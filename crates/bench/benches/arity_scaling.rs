@@ -1,0 +1,34 @@
+//! E10 (§1): the headline arity argument — the recursive relation is bounded by n^k,
+//! so reducing k pays off by orders of magnitude. An arity-3 right-linear recursion is
+//! evaluated with and without factoring while the exit fanout grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use factorlog_bench::{measure, standard_strategies};
+use factorlog_workloads::layered::arity3_edb;
+use factorlog_workloads::programs;
+
+fn bench(c: &mut Criterion) {
+    let runs = standard_strategies(programs::ARITY_3_TC, "t(0, Y, Z)");
+    let mut group = c.benchmark_group("e10_arity_scaling");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(800));
+    group.warm_up_time(std::time::Duration::from_millis(200));
+
+    for &fanout in &[2usize, 4, 8] {
+        let edb = arity3_edb(100, fanout, 23);
+        for run in &runs {
+            // The unoptimized original evaluates the whole closure; skip the largest
+            // fanout to keep the suite fast.
+            if run.name == "original" && fanout > 4 {
+                continue;
+            }
+            group.bench_with_input(BenchmarkId::new(run.name, fanout), &edb, |b, edb| {
+                b.iter(|| measure(run, edb).answers)
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! E8 (§6.4, Theorem 6.4): for right-linear programs the factored Magic program equals
+//! the Counting program with its index fields deleted — so the indices are pure
+//! overhead. This bench compares Magic, Magic+factoring and Counting.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use factorlog_bench::{counting_strategy, measure, standard_strategies};
+use factorlog_workloads::layered::right_linear_edb;
+use factorlog_workloads::programs;
+
+fn bench(c: &mut Criterion) {
+    let mut runs = standard_strategies(programs::RIGHT_LINEAR_TWO_RULES, programs::P_QUERY);
+    runs.push(counting_strategy(
+        programs::RIGHT_LINEAR_TWO_RULES,
+        programs::P_QUERY,
+    ));
+    let mut group = c.benchmark_group("e8_counting_vs_factoring");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(800));
+    group.warm_up_time(std::time::Duration::from_millis(200));
+
+    for &n in &[100usize, 200, 400] {
+        let edb = right_linear_edb(n, 3);
+        for run in &runs {
+            group.bench_with_input(BenchmarkId::new(run.name, n), &edb, |b, edb| {
+                b.iter(|| measure(run, edb).answers)
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! E2 (Examples 1.2/4.6): `pmem` over an EDB-encoded list — the unfactored program is
+//! quadratic in the list length, the factored program linear.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use factorlog_bench::{measure, standard_strategies};
+use factorlog_workloads::lists::{pmem_list, LIST_ID_BASE};
+use factorlog_workloads::programs;
+
+fn bench(c: &mut Criterion) {
+    let query = format!("pmem(X, {})", LIST_ID_BASE + 1);
+    let runs = standard_strategies(programs::PMEM, &query);
+    let mut group = c.benchmark_group("e2_list_membership");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(800));
+    group.warm_up_time(std::time::Duration::from_millis(200));
+
+    for &n in &[100usize, 200, 400] {
+        let workload = pmem_list(n, 1);
+        for run in &runs {
+            group.bench_with_input(
+                BenchmarkId::new(run.name, n),
+                &workload.edb,
+                |b, edb| b.iter(|| measure(run, edb).answers),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! E8 (baseline): same generation — the canonical recursion that cannot be factored.
+//! The pipeline falls back to Magic only; this bench records the original-vs-Magic gap
+//! so the factoring benchmarks can be read against a non-factorable control.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use factorlog_bench::{measure, standard_strategies};
+use factorlog_workloads::{graphs, programs};
+
+fn bench(c: &mut Criterion) {
+    let runs = standard_strategies(programs::SAME_GENERATION, programs::SG_QUERY);
+    let mut group = c.benchmark_group("e8_same_generation");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(800));
+    group.warm_up_time(std::time::Duration::from_millis(200));
+
+    for &depth in &[6usize, 8, 10] {
+        let edb = graphs::same_generation_tree(depth);
+        for run in &runs {
+            group.bench_with_input(BenchmarkId::new(run.name, depth), &edb, |b, edb| {
+                b.iter(|| measure(run, edb).answers)
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! E5 (Example 4.4 shape): a symmetric program (two combined rules with a shared
+//! middle conjunction), original vs Magic vs factored.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use factorlog_bench::{measure, standard_strategies};
+use factorlog_workloads::layered::{combined_rule_edb, LayeredParams};
+use factorlog_workloads::programs;
+
+fn bench(c: &mut Criterion) {
+    let runs = standard_strategies(programs::SYMMETRIC, programs::P_QUERY);
+    let mut group = c.benchmark_group("e5_symmetric");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(800));
+    group.warm_up_time(std::time::Duration::from_millis(200));
+
+    for &n in &[16usize, 32, 64] {
+        let edb = combined_rule_edb(&LayeredParams::scaled(n, 11));
+        for run in &runs {
+            group.bench_with_input(BenchmarkId::new(run.name, n), &edb, |b, edb| {
+                b.iter(|| measure(run, edb).answers)
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

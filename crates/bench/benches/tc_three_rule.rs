@@ -1,0 +1,48 @@
+//! E1 (Figs. 1–2, Examples 1.1/4.2/5.3): the three-rule transitive closure under a
+//! single-source selection, comparing plain semi-naive evaluation, the Magic program,
+//! and the factored + optimized program on chains and random graphs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use factorlog_bench::{measure, standard_strategies};
+use factorlog_workloads::{graphs, programs};
+
+fn bench(c: &mut Criterion) {
+    let runs = standard_strategies(programs::THREE_RULE_TC, programs::TC_QUERY);
+    let mut group = c.benchmark_group("e1_three_rule_tc");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(800));
+    group.warm_up_time(std::time::Duration::from_millis(200));
+
+    for &n in &[50usize, 100, 200] {
+        let edb = graphs::chain(n);
+        for run in &runs {
+            // The unoptimized original is cubic; skip its largest size to keep the
+            // suite fast while still showing the gap.
+            if run.name == "original" && n > 100 {
+                continue;
+            }
+            group.bench_with_input(
+                BenchmarkId::new(format!("chain/{}", run.name), n),
+                &edb,
+                |b, edb| b.iter(|| measure(run, edb).answers),
+            );
+        }
+    }
+    for &n in &[100usize, 200] {
+        let edb = graphs::random_graph(n, 2 * n, 42);
+        for run in &runs {
+            if run.name == "original" {
+                continue;
+            }
+            group.bench_with_input(
+                BenchmarkId::new(format!("random/{}", run.name), n),
+                &edb,
+                |b, edb| b.iter(|| measure(run, edb).answers),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

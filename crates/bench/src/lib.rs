@@ -1,0 +1,191 @@
+//! Shared harness for the benchmark suite: build the evaluation strategies the paper
+//! compares (plain semi-naive evaluation, Magic Sets, Magic + factoring + §5, and —
+//! where applicable — Counting), run them over a workload, and collect
+//! machine-independent counters alongside wall-clock time.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::time::{Duration, Instant};
+
+use factorlog_core::counting::counting;
+use factorlog_core::pipeline::{optimize_query, PipelineOptions, Strategy};
+use factorlog_core::{adorn, classify};
+use factorlog_datalog::ast::{Program, Query};
+use factorlog_datalog::eval::{seminaive_evaluate, EvalOptions};
+use factorlog_datalog::parser::{parse_program, parse_query};
+use factorlog_datalog::storage::Database;
+
+/// One program/query pair to evaluate, labelled with the strategy it embodies.
+#[derive(Clone, Debug)]
+pub struct StrategyRun {
+    /// Label used in tables and benchmark ids.
+    pub name: &'static str,
+    /// The program to evaluate.
+    pub program: Program,
+    /// The query whose answers are extracted.
+    pub query: Query,
+}
+
+/// The result of evaluating one strategy over one workload.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Strategy label.
+    pub name: &'static str,
+    /// Wall-clock evaluation time.
+    pub duration: Duration,
+    /// Number of successful rule-body instantiations.
+    pub inferences: usize,
+    /// Number of facts derived.
+    pub facts: usize,
+    /// Fixpoint iterations.
+    pub iterations: usize,
+    /// Number of answers to the query.
+    pub answers: usize,
+}
+
+/// Build the three standard strategies for a program/query pair:
+/// plain semi-naive evaluation of the original program, the Magic program, and the
+/// pipeline output (Magic + factoring + §5 when factorable, otherwise optimized Magic).
+pub fn standard_strategies(source: &str, query_text: &str) -> Vec<StrategyRun> {
+    let program = parse_program(source).expect("benchmark program parses").program;
+    let query = parse_query(query_text).expect("benchmark query parses");
+    let optimized = optimize_query(&program, &query, &PipelineOptions::default())
+        .expect("benchmark pipeline succeeds");
+    let factored_name = match optimized.strategy {
+        Strategy::FactoredMagic => "magic+factoring",
+        Strategy::MagicOnly => "magic(optimized)",
+    };
+    vec![
+        StrategyRun {
+            name: "original",
+            program,
+            query,
+        },
+        StrategyRun {
+            name: "magic",
+            program: optimized.magic.program.clone(),
+            query: optimized.adorned.query.clone(),
+        },
+        StrategyRun {
+            name: factored_name,
+            program: optimized.program.clone(),
+            query: optimized.query.clone(),
+        },
+    ]
+}
+
+/// Build the Counting strategy for a right-linear program/query pair.
+pub fn counting_strategy(source: &str, query_text: &str) -> StrategyRun {
+    let program = parse_program(source).expect("program parses").program;
+    let query = parse_query(query_text).expect("query parses");
+    let adorned = adorn(&program, &query).expect("adornment succeeds");
+    let classification = classify(&adorned).expect("classification succeeds");
+    let cnt = counting(&adorned, &classification).expect("counting applies");
+    StrategyRun {
+        name: "counting",
+        program: cnt.program,
+        query: cnt.query,
+    }
+}
+
+/// Evaluate one strategy over one workload.
+pub fn measure(run: &StrategyRun, edb: &Database) -> Measurement {
+    let start = Instant::now();
+    let result = seminaive_evaluate(&run.program, edb, &EvalOptions::default())
+        .expect("benchmark evaluation succeeds");
+    let duration = start.elapsed();
+    let answers = result.answers(&run.query).len();
+    Measurement {
+        name: run.name,
+        duration,
+        inferences: result.stats.inferences,
+        facts: result.stats.facts_derived,
+        iterations: result.stats.iterations,
+        answers,
+    }
+}
+
+/// Evaluate every strategy over the workload, asserting that they all agree on the
+/// number of answers (a cheap cross-check that the benchmark is measuring equivalent
+/// computations).
+pub fn measure_all(runs: &[StrategyRun], edb: &Database) -> Vec<Measurement> {
+    let measurements: Vec<Measurement> = runs.iter().map(|r| measure(r, edb)).collect();
+    if let Some(first) = measurements.first() {
+        for m in &measurements {
+            assert_eq!(
+                m.answers, first.answers,
+                "strategy {} disagrees with {} on the answer count",
+                m.name, first.name
+            );
+        }
+    }
+    measurements
+}
+
+/// Format a table of measurements (one row per strategy).
+pub fn format_table(title: &str, parameter: &str, rows: &[(String, Vec<Measurement>)]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "### {title}\n");
+    let _ = writeln!(
+        out,
+        "| {parameter} | strategy | time (ms) | inferences | facts | answers |"
+    );
+    let _ = writeln!(out, "|---|---|---:|---:|---:|---:|");
+    for (param, measurements) in rows {
+        for m in measurements {
+            let _ = writeln!(
+                out,
+                "| {param} | {} | {:.3} | {} | {} | {} |",
+                m.name,
+                m.duration.as_secs_f64() * 1e3,
+                m.inferences,
+                m.facts,
+                m.answers
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use factorlog_workloads::{graphs, programs};
+
+    #[test]
+    fn standard_strategies_agree_on_a_chain() {
+        let runs = standard_strategies(programs::RIGHT_LINEAR_TC, programs::TC_QUERY);
+        assert_eq!(runs.len(), 3);
+        let edb = graphs::chain(30);
+        let measurements = measure_all(&runs, &edb);
+        assert!(measurements.iter().all(|m| m.answers == 30));
+        // The factored strategy must not derive more facts than magic on this chain.
+        let magic = measurements.iter().find(|m| m.name == "magic").unwrap();
+        let factored = measurements
+            .iter()
+            .find(|m| m.name == "magic+factoring")
+            .unwrap();
+        assert!(factored.facts <= magic.facts);
+    }
+
+    #[test]
+    fn counting_strategy_matches_the_others() {
+        let mut runs = standard_strategies(programs::RIGHT_LINEAR_TC, programs::TC_QUERY);
+        runs.push(counting_strategy(programs::RIGHT_LINEAR_TC, programs::TC_QUERY));
+        let edb = graphs::chain(20);
+        let measurements = measure_all(&runs, &edb);
+        assert_eq!(measurements.len(), 4);
+    }
+
+    #[test]
+    fn format_table_produces_markdown() {
+        let runs = standard_strategies(programs::LEFT_LINEAR_TC, programs::TC_QUERY);
+        let edb = graphs::chain(10);
+        let rows = vec![("10".to_string(), measure_all(&runs, &edb))];
+        let table = format_table("test", "n", &rows);
+        assert!(table.contains("| n | strategy |"));
+        assert!(table.contains("magic+factoring"));
+    }
+}

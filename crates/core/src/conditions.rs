@@ -1,0 +1,490 @@
+//! The factorability conditions: *selection-pushing* (Definition 4.6, Theorem 4.1),
+//! *symmetric* (Definition 4.7, Theorem 4.2) and *answer-propagating* (Definition 4.8,
+//! Theorem 4.3) programs.
+//!
+//! For an RLC-stable unit program that satisfies any of these conditions, the Magic
+//! program can be factored with respect to the recursive predicate: `p^a(X̄, Ȳ)`
+//! splits into `bp(X̄)` and `fp(Ȳ)`. The conditions are containments and equivalences
+//! between the conjunctions of Definition 4.5, decided by the Chandra–Merlin test.
+//!
+//! Testing for these classes is NP-complete in the size of the *rules* (conjunctive
+//! query containment), not the database — exactly the trade-off the paper argues is
+//! worthwhile (§4.2, closing remarks).
+
+use std::fmt;
+
+use crate::classify::{ProgramClassification, RuleClass};
+use crate::conjunctions;
+
+/// A sufficient condition under which the Magic program is factorable.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, PartialOrd, Ord)]
+pub enum FactorableClass {
+    /// Definition 4.6 / Theorem 4.1.
+    SelectionPushing,
+    /// Definition 4.7 / Theorem 4.2.
+    Symmetric,
+    /// Definition 4.8 / Theorem 4.3 (strictly generalizes the symmetric class).
+    AnswerPropagating,
+}
+
+impl fmt::Display for FactorableClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FactorableClass::SelectionPushing => write!(f, "selection-pushing"),
+            FactorableClass::Symmetric => write!(f, "symmetric"),
+            FactorableClass::AnswerPropagating => write!(f, "answer-propagating"),
+        }
+    }
+}
+
+/// The outcome of the factorability analysis.
+#[derive(Clone, Debug)]
+pub struct FactorabilityReport {
+    /// Every class whose conditions hold (possibly several).
+    pub classes: Vec<FactorableClass>,
+    /// For each class whose conditions fail, the first reason why.
+    pub failures: Vec<(FactorableClass, String)>,
+    /// Whether the program is RLC-stable at all.
+    pub rlc_stable: bool,
+}
+
+impl FactorabilityReport {
+    /// Does at least one sufficient condition hold?
+    pub fn is_factorable(&self) -> bool {
+        !self.classes.is_empty()
+    }
+
+    /// The reason a particular class failed, if it did.
+    pub fn failure_reason(&self, class: FactorableClass) -> Option<&str> {
+        self.failures
+            .iter()
+            .find(|(c, _)| *c == class)
+            .map(|(_, r)| r.as_str())
+    }
+}
+
+impl fmt::Display for FactorabilityReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.classes.is_empty() {
+            writeln!(f, "not factorable by the sufficient conditions of Theorems 4.1-4.3")?;
+        } else {
+            let names: Vec<String> = self.classes.iter().map(|c| c.to_string()).collect();
+            writeln!(f, "factorable: {}", names.join(", "))?;
+        }
+        for (class, reason) in &self.failures {
+            writeln!(f, "  not {class}: {reason}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Run all three condition checks and collect the results.
+pub fn analyze(classification: &ProgramClassification) -> FactorabilityReport {
+    let mut classes = Vec::new();
+    let mut failures = Vec::new();
+    for (class, result) in [
+        (
+            FactorableClass::SelectionPushing,
+            is_selection_pushing(classification),
+        ),
+        (FactorableClass::Symmetric, is_symmetric(classification)),
+        (
+            FactorableClass::AnswerPropagating,
+            is_answer_propagating(classification),
+        ),
+    ] {
+        match result {
+            Ok(()) => classes.push(class),
+            Err(reason) => failures.push((class, reason)),
+        }
+    }
+    FactorabilityReport {
+        classes,
+        failures,
+        rlc_stable: classification.is_rlc_stable(),
+    }
+}
+
+fn require_rlc_stable(classification: &ProgramClassification) -> Result<(), String> {
+    if classification.is_rlc_stable() {
+        return Ok(());
+    }
+    let bad: Vec<String> = classification
+        .rules
+        .iter()
+        .filter_map(|r| match &r.class {
+            RuleClass::Other(reason) => Some(format!("rule {}: {}", r.rule_index, reason)),
+            _ => None,
+        })
+        .collect();
+    if !bad.is_empty() {
+        return Err(format!("not RLC-stable ({})", bad.join("; ")));
+    }
+    Err(format!(
+        "not RLC-stable (expected exactly one exit rule, found {})",
+        classification.exit_rules().count()
+    ))
+}
+
+/// Definition 4.6: selection-pushing.
+pub fn is_selection_pushing(classification: &ProgramClassification) -> Result<(), String> {
+    require_rlc_stable(classification)?;
+    let exit = classification
+        .exit_rules()
+        .next()
+        .expect("RLC-stable programs have an exit rule");
+    let free_exit = conjunctions::free_exit(exit);
+
+    // Condition 1: free-exit ⊆ free for every combined or right-linear rule.
+    for rule in classification.recursive_rules() {
+        if matches!(rule.class, RuleClass::Combined | RuleClass::RightLinear) {
+            let free = conjunctions::free(rule);
+            if !free_exit.is_contained_in(&free) {
+                return Err(format!(
+                    "free-exit is not contained in the free conjunction of rule {}",
+                    rule.rule_index
+                ));
+            }
+        }
+    }
+
+    // Condition 2: pairwise conditions on the bound side.
+    let with_left: Vec<_> = classification
+        .recursive_rules()
+        .filter(|r| matches!(r.class, RuleClass::Combined | RuleClass::LeftLinear))
+        .collect();
+    let right_linear: Vec<_> = classification
+        .recursive_rules()
+        .filter(|r| r.class == RuleClass::RightLinear)
+        .collect();
+    for (i, r1) in with_left.iter().enumerate() {
+        for r2 in &with_left[i + 1..] {
+            let b1 = conjunctions::bound(r1);
+            let b2 = conjunctions::bound(r2);
+            if !b1.equivalent(&b2) {
+                return Err(format!(
+                    "the left conjunctions of rules {} and {} are not equivalent",
+                    r1.rule_index, r2.rule_index
+                ));
+            }
+        }
+    }
+    for left_rule in &with_left {
+        let bound = conjunctions::bound(left_rule);
+        for right_rule in &right_linear {
+            let bound_first = conjunctions::bound_first(right_rule);
+            if !bound_first.is_contained_in(&bound) {
+                return Err(format!(
+                    "bound-first of rule {} is not contained in the left conjunction of rule {}",
+                    right_rule.rule_index, left_rule.rule_index
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Definition 4.7: symmetric.
+pub fn is_symmetric(classification: &ProgramClassification) -> Result<(), String> {
+    require_rlc_stable(classification)?;
+    if !classification.all_recursive_rules_are(&RuleClass::Combined) {
+        return Err("every recursive rule must be a combined rule".to_string());
+    }
+    let exit = classification
+        .exit_rules()
+        .next()
+        .expect("RLC-stable programs have an exit rule");
+    let free_exit = conjunctions::free_exit(exit);
+
+    let combined: Vec<_> = classification.recursive_rules().collect();
+    for rule in &combined {
+        let free = conjunctions::free(rule);
+        if !free_exit.is_contained_in(&free) {
+            return Err(format!(
+                "free-exit is not contained in the free conjunction of rule {}",
+                rule.rule_index
+            ));
+        }
+    }
+    for (i, r1) in combined.iter().enumerate() {
+        for r2 in &combined[i + 1..] {
+            let m1 = conjunctions::middle(r1);
+            let m2 = conjunctions::middle(r2);
+            if !m1.equivalent(&m2) {
+                return Err(format!(
+                    "the middle conjunctions of rules {} and {} are not equivalent",
+                    r1.rule_index, r2.rule_index
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Definition 4.8: answer-propagating.
+pub fn is_answer_propagating(classification: &ProgramClassification) -> Result<(), String> {
+    require_rlc_stable(classification)?;
+    let exit = classification
+        .exit_rules()
+        .next()
+        .expect("RLC-stable programs have an exit rule");
+    let bound_exit = conjunctions::bound_exit(exit);
+    let free_exit = conjunctions::free_exit(exit);
+
+    let left_rules: Vec<_> = classification
+        .recursive_rules()
+        .filter(|r| r.class == RuleClass::LeftLinear)
+        .collect();
+    let right_rules: Vec<_> = classification
+        .recursive_rules()
+        .filter(|r| r.class == RuleClass::RightLinear)
+        .collect();
+    let combined_rules: Vec<_> = classification
+        .recursive_rules()
+        .filter(|r| r.class == RuleClass::Combined)
+        .collect();
+
+    // Per-rule conditions.
+    for rule in &left_rules {
+        if !bound_exit.is_contained_in(&conjunctions::bound(rule)) {
+            return Err(format!(
+                "bound-exit is not contained in the bound conjunction of left-linear rule {}",
+                rule.rule_index
+            ));
+        }
+    }
+    for rule in right_rules.iter().chain(combined_rules.iter()) {
+        if !free_exit.is_contained_in(&conjunctions::free(rule)) {
+            return Err(format!(
+                "free-exit is not contained in the free conjunction of rule {}",
+                rule.rule_index
+            ));
+        }
+    }
+
+    // Pairwise conditions.
+    for (i, r1) in combined_rules.iter().enumerate() {
+        for r2 in &combined_rules[i + 1..] {
+            if !conjunctions::middle(r1).equivalent(&conjunctions::middle(r2)) {
+                return Err(format!(
+                    "the middle conjunctions of combined rules {} and {} are not equivalent",
+                    r1.rule_index, r2.rule_index
+                ));
+            }
+        }
+    }
+    for left in &left_rules {
+        for combined in &combined_rules {
+            if !conjunctions::bound(left).is_contained_in(&conjunctions::bound(combined)) {
+                return Err(format!(
+                    "the bound conjunction of left-linear rule {} is not contained in that of combined rule {}",
+                    left.rule_index, combined.rule_index
+                ));
+            }
+            if !conjunctions::free_last(left).is_contained_in(&conjunctions::free(combined)) {
+                return Err(format!(
+                    "free-last of left-linear rule {} is not contained in the free conjunction of combined rule {}",
+                    left.rule_index, combined.rule_index
+                ));
+            }
+        }
+    }
+    for right in &right_rules {
+        for combined in &combined_rules {
+            if !conjunctions::bound_first(right).is_contained_in(&conjunctions::bound(combined)) {
+                return Err(format!(
+                    "bound-first of right-linear rule {} is not contained in the bound conjunction of combined rule {}",
+                    right.rule_index, combined.rule_index
+                ));
+            }
+        }
+        for left in &left_rules {
+            if !conjunctions::bound_first(right).is_contained_in(&conjunctions::bound(left)) {
+                return Err(format!(
+                    "bound-first of right-linear rule {} is not contained in the bound conjunction of left-linear rule {}",
+                    right.rule_index, left.rule_index
+                ));
+            }
+            if !conjunctions::free_last(left).is_contained_in(&conjunctions::free(right)) {
+                return Err(format!(
+                    "free-last of left-linear rule {} is not contained in the free conjunction of right-linear rule {}",
+                    left.rule_index, right.rule_index
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adorn::adorn;
+    use crate::classify::classify;
+    use factorlog_datalog::parser::{parse_program, parse_query};
+
+    fn report(src: &str, query: &str) -> FactorabilityReport {
+        let program = parse_program(src).unwrap().program;
+        let query = parse_query(query).unwrap();
+        analyze(&classify(&adorn(&program, &query).unwrap()).unwrap())
+    }
+
+    const THREE_RULE_TC: &str = "t(X, Y) :- t(X, W), t(W, Y).\n\
+                                 t(X, Y) :- e(X, W), t(W, Y).\n\
+                                 t(X, Y) :- t(X, W), e(W, Y).\n\
+                                 t(X, Y) :- e(X, Y).";
+
+    #[test]
+    fn three_rule_tc_is_selection_pushing() {
+        // Example 4.2: the Magic program of the three-rule transitive closure factors;
+        // the sufficient condition that applies is selection-pushing.
+        let r = report(THREE_RULE_TC, "t(5, Y)");
+        assert!(r.is_factorable());
+        assert!(r.classes.contains(&FactorableClass::SelectionPushing));
+        assert!(r.classes.contains(&FactorableClass::AnswerPropagating));
+        // Not symmetric: it has non-combined recursive rules.
+        assert!(!r.classes.contains(&FactorableClass::Symmetric));
+        assert!(r.failure_reason(FactorableClass::Symmetric).unwrap().contains("combined"));
+        assert!(r.rlc_stable);
+        assert!(format!("{r}").contains("factorable"));
+    }
+
+    #[test]
+    fn single_right_linear_tc_is_selection_pushing() {
+        let r = report(
+            "t(X, Y) :- e(X, W), t(W, Y).\nt(X, Y) :- e(X, Y).",
+            "t(5, Y)",
+        );
+        assert!(r.classes.contains(&FactorableClass::SelectionPushing));
+    }
+
+    #[test]
+    fn single_left_linear_tc_is_selection_pushing() {
+        let r = report(
+            "t(X, Y) :- t(X, W), e(W, Y).\nt(X, Y) :- e(X, Y).",
+            "t(5, Y)",
+        );
+        assert!(r.classes.contains(&FactorableClass::SelectionPushing));
+        assert!(r.classes.contains(&FactorableClass::AnswerPropagating));
+    }
+
+    #[test]
+    fn pmem_program_is_selection_pushing() {
+        // Example 4.6 (standard form, list represented by an EDB relation).
+        let r = report(
+            "pmem(X, L) :- list(X, T, L), p(X).\n\
+             pmem(X, L) :- list(H, T, L), pmem(X, T).",
+            "pmem(X, 100)",
+        );
+        assert!(r.classes.contains(&FactorableClass::SelectionPushing));
+    }
+
+    #[test]
+    fn example_4_3_exact_program_is_not_factorable() {
+        // The program of Example 4.3 as written does not satisfy the containment
+        // conditions (the paper uses it to show what goes wrong when they fail).
+        let r = report(
+            "p(X, Y) :- l1(X), p(X, U), c1(U, V), p(V, Y), r1(Y).\n\
+             p(X, Y) :- l2(X), p(X, U), c2(U, V), p(V, Y), r2(Y).\n\
+             p(X, Y) :- f(X, V), p(V, Y), r3(Y).\n\
+             p(X, Y) :- e(X, Y).",
+            "p(5, Y)",
+        );
+        assert!(!r.is_factorable());
+        assert!(r.failure_reason(FactorableClass::SelectionPushing).is_some());
+    }
+
+    #[test]
+    fn selection_pushing_variant_of_example_4_3() {
+        // Restoring the conditions: a common left conjunction, the right restrictions
+        // repeated in the exit rule, and bound-first contained in the left conjunction.
+        let r = report(
+            "p(X, Y) :- l(X), p(X, U), c1(U, V), p(V, Y), r1(Y).\n\
+             p(X, Y) :- l(X), p(X, U), c2(U, V), p(V, Y), r2(Y).\n\
+             p(X, Y) :- l(X), f(X, V), p(V, Y), r3(Y).\n\
+             p(X, Y) :- e(X, Y), r1(Y), r2(Y), r3(Y).",
+            "p(5, Y)",
+        );
+        assert!(r.classes.contains(&FactorableClass::SelectionPushing));
+        // Answer-propagating additionally requires equivalent middle conjunctions, and
+        // c1 differs from c2; selection-pushing alone suffices for factorability.
+        assert!(!r.classes.contains(&FactorableClass::AnswerPropagating));
+        assert!(!r.classes.contains(&FactorableClass::Symmetric));
+        assert!(r.is_factorable());
+    }
+
+    #[test]
+    fn symmetric_program_example_4_4() {
+        // Example 4.4's shape with the exit rule carrying the right restrictions so the
+        // free-exit containment holds; the two left conjunctions (l1, l2) differ, so the
+        // program is symmetric but not selection-pushing.
+        let r = report(
+            "p(X, Y) :- l1(X), p(X, U), p(X, V), c(U, V, W), p(W, Y), r1(Y).\n\
+             p(X, Y) :- l2(X), p(X, U), p(X, V), c(U, V, W), p(W, Y), r2(Y).\n\
+             p(X, Y) :- e(X, Y), r1(Y), r2(Y).",
+            "p(5, Y)",
+        );
+        assert!(r.classes.contains(&FactorableClass::Symmetric));
+        assert!(r.classes.contains(&FactorableClass::AnswerPropagating));
+        assert!(!r.classes.contains(&FactorableClass::SelectionPushing));
+    }
+
+    #[test]
+    fn answer_propagating_program_example_4_5() {
+        // Example 4.5's shape: two combined rules with different left conjunctions plus
+        // a right-linear rule whose first conjunction is contained in both, and an exit
+        // rule carrying all right restrictions.
+        let r = report(
+            "p(X, Y) :- l1(X), p(X, U), p(X, V), c(U, V, W), p(W, Y), r1(Y).\n\
+             p(X, Y) :- l2(X), p(X, U), p(X, V), c(U, V, W), p(W, Y), r2(Y).\n\
+             p(X, Y) :- l1(X), l2(X), f(X, V), p(V, Y), r3(Y).\n\
+             p(X, Y) :- e(X, Y), r1(Y), r2(Y), r3(Y).",
+            "p(5, Y)",
+        );
+        assert!(r.classes.contains(&FactorableClass::AnswerPropagating));
+        assert!(!r.classes.contains(&FactorableClass::SelectionPushing));
+        assert!(!r.classes.contains(&FactorableClass::Symmetric));
+        assert!(r.is_factorable());
+    }
+
+    #[test]
+    fn symmetric_fails_when_middles_differ() {
+        let r = report(
+            "p(X, Y) :- l1(X), p(X, U), p(X, V), c(U, V, W), p(W, Y).\n\
+             p(X, Y) :- l2(X), p(X, U), p(X, V), d(U, V, W), p(W, Y).\n\
+             p(X, Y) :- e(X, Y).",
+            "p(5, Y)",
+        );
+        assert!(!r.classes.contains(&FactorableClass::Symmetric));
+        assert!(r
+            .failure_reason(FactorableClass::Symmetric)
+            .unwrap()
+            .contains("middle"));
+    }
+
+    #[test]
+    fn same_generation_is_not_factorable() {
+        let r = report(
+            "sg(X, Y) :- flat(X, Y).\nsg(X, Y) :- up(X, U), sg(U, V), down(V, Y).",
+            "sg(1, Y)",
+        );
+        assert!(!r.is_factorable());
+        assert!(!r.rlc_stable);
+        assert!(format!("{r}").contains("not factorable"));
+    }
+
+    #[test]
+    fn answer_propagating_left_rule_needs_bound_exit_condition() {
+        // A left-linear rule whose bound conjunction is not implied by bound-exit:
+        // answer-propagating fails, selection-pushing also fails (free-exit not
+        // contained in the right-linear free), so the program is not factorable.
+        let r = report(
+            "p(X, Y) :- lguard(X), p(X, U), e(U, Y).\n\
+             p(X, Y) :- f(X, V), p(V, Y), rguard(Y).\n\
+             p(X, Y) :- e(X, Y).",
+            "p(5, Y)",
+        );
+        assert!(!r.classes.contains(&FactorableClass::AnswerPropagating));
+        assert!(!r.is_factorable());
+    }
+}

@@ -1,0 +1,123 @@
+//! Errors produced by the program transformations.
+
+use std::fmt;
+
+use factorlog_datalog::validate::ValidationError;
+
+/// Errors from adornment, Magic Sets, factoring analysis, or the optimizer pipeline.
+#[derive(Clone, Debug)]
+pub enum TransformError {
+    /// The input program failed static validation.
+    Invalid(Vec<ValidationError>),
+    /// The query predicate does not occur in the program.
+    UnknownQueryPredicate {
+        /// Name of the query predicate.
+        predicate: String,
+    },
+    /// The query's arity does not match the program's use of the predicate.
+    QueryArityMismatch {
+        /// Name of the query predicate.
+        predicate: String,
+        /// Arity in the program.
+        program_arity: usize,
+        /// Arity in the query.
+        query_arity: usize,
+    },
+    /// The analysis requires a *unit program* (§4.1): a single recursive IDB predicate
+    /// with a single reachable adornment.
+    NotUnitProgram {
+        /// Why the program is not a unit program.
+        reason: String,
+    },
+    /// The requested transformation does not apply to this program.
+    NotApplicable {
+        /// Which transformation.
+        transformation: &'static str,
+        /// Why it does not apply.
+        reason: String,
+    },
+    /// An argument-position list was invalid (out of range, overlapping, or not a
+    /// partition of the predicate's positions).
+    BadArgumentSplit {
+        /// Description of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for TransformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransformError::Invalid(errors) => {
+                write!(f, "invalid program:")?;
+                for e in errors {
+                    write!(f, "\n  {e}")?;
+                }
+                Ok(())
+            }
+            TransformError::UnknownQueryPredicate { predicate } => {
+                write!(f, "query predicate {predicate} does not occur in the program")
+            }
+            TransformError::QueryArityMismatch {
+                predicate,
+                program_arity,
+                query_arity,
+            } => write!(
+                f,
+                "query uses {predicate} with arity {query_arity} but the program uses arity {program_arity}"
+            ),
+            TransformError::NotUnitProgram { reason } => {
+                write!(f, "not a unit program: {reason}")
+            }
+            TransformError::NotApplicable {
+                transformation,
+                reason,
+            } => write!(f, "{transformation} is not applicable: {reason}"),
+            TransformError::BadArgumentSplit { reason } => {
+                write!(f, "bad argument split: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TransformError {}
+
+impl From<Vec<ValidationError>> for TransformError {
+    fn from(value: Vec<ValidationError>) -> Self {
+        TransformError::Invalid(value)
+    }
+}
+
+/// Result alias for transformation functions.
+pub type TransformResult<T> = Result<T, TransformError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = TransformError::UnknownQueryPredicate {
+            predicate: "t".into(),
+        };
+        assert!(format!("{e}").contains('t'));
+        let e = TransformError::NotUnitProgram {
+            reason: "two recursive predicates".into(),
+        };
+        assert!(format!("{e}").contains("unit program"));
+        let e = TransformError::QueryArityMismatch {
+            predicate: "t".into(),
+            program_arity: 2,
+            query_arity: 3,
+        };
+        assert!(format!("{e}").contains("arity 3"));
+        let e = TransformError::NotApplicable {
+            transformation: "counting",
+            reason: "left-linear rule present".into(),
+        };
+        assert!(format!("{e}").contains("counting"));
+        let e = TransformError::BadArgumentSplit {
+            reason: "position 5 out of range".into(),
+        };
+        assert!(format!("{e}").contains("position 5"));
+    }
+}

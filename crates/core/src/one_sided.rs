@@ -1,0 +1,320 @@
+//! One-sided recursions (§6.1 of the paper; Naughton 1987).
+//!
+//! A *simple one-sided* recursion, after expansion, has the form
+//!
+//! ```text
+//! p(Ā, B̄) :- p(Ā, C̄), c(C̄, D̄, B̄).
+//! p(Ā, B̄) :- exit(Ā, B̄).
+//! ```
+//!
+//! where `Ā` is a group of *static* positions (same variable in head and body
+//! occurrence) and the remaining positions `B̄` are connected to the body occurrence's
+//! `C̄` only through non-recursive literals that never touch the static group. Theorem
+//! 6.2 states that the Magic program of a *full selection* (a query binding all of `Ā`
+//! or all of `B̄`) on such a recursion is factorable: binding `Ā` makes the rule
+//! left-linear, binding `B̄` makes it right-linear, and either way the program is
+//! selection-pushing. This module detects the (expanded) simple one-sided shape — the
+//! argument/variable-graph characterization of Theorem 6.1 reduces to exactly this
+//! structural test for expanded rules — and reports the two full-selection binding
+//! patterns.
+
+use std::collections::BTreeSet;
+
+use factorlog_datalog::ast::{Program, Term};
+use factorlog_datalog::graph::recursion_info;
+use factorlog_datalog::symbol::Symbol;
+
+use crate::error::{TransformError, TransformResult};
+
+/// The result of the one-sidedness analysis.
+#[derive(Clone, Debug)]
+pub struct OneSidedAnalysis {
+    /// The recursive predicate.
+    pub predicate: Symbol,
+    /// The static argument positions (the `Ā` group).
+    pub static_positions: Vec<usize>,
+    /// The remaining argument positions (the `B̄` group).
+    pub dynamic_positions: Vec<usize>,
+    /// Is the recursion simple one-sided (in the expanded form above)?
+    pub is_simple_one_sided: bool,
+    /// Explanation when it is not.
+    pub reason: Option<String>,
+}
+
+impl OneSidedAnalysis {
+    /// The two *full selection* adornments of Theorem 6.2: binding the whole static
+    /// group, or binding the whole dynamic group (each returned as a `b`/`f` string).
+    pub fn full_selection_adornments(&self) -> Vec<String> {
+        let arity = self.static_positions.len() + self.dynamic_positions.len();
+        let build = |bound: &[usize]| -> String {
+            (0..arity)
+                .map(|i| if bound.contains(&i) { 'b' } else { 'f' })
+                .collect()
+        };
+        vec![
+            build(&self.static_positions),
+            build(&self.dynamic_positions),
+        ]
+    }
+}
+
+/// Analyse whether the (unit) program defining `predicate` is a simple one-sided
+/// recursion in the expanded form of §6.1.
+pub fn analyze_one_sided(program: &Program, predicate: Symbol) -> TransformResult<OneSidedAnalysis> {
+    let arity = program
+        .arity_of(predicate)
+        .ok_or_else(|| TransformError::UnknownQueryPredicate {
+            predicate: predicate.as_str().to_string(),
+        })?;
+
+    let info = recursion_info(program);
+    let fail = |reason: &str| OneSidedAnalysis {
+        predicate,
+        static_positions: Vec::new(),
+        dynamic_positions: (0..arity).collect(),
+        is_simple_one_sided: false,
+        reason: Some(reason.to_string()),
+    };
+
+    if info.single_recursive_predicate != Some(predicate) {
+        return Ok(fail("the program is not a unit recursion on the predicate"));
+    }
+    let recursive_rules: Vec<_> = info
+        .recursive_rules
+        .iter()
+        .map(|&i| &program.rules[i])
+        .collect();
+    if recursive_rules.len() != 1 {
+        return Ok(fail("a simple one-sided recursion has exactly one recursive rule"));
+    }
+    let rule = recursive_rules[0];
+    let occurrences: Vec<_> = rule
+        .body
+        .iter()
+        .filter(|a| a.predicate == predicate)
+        .collect();
+    if occurrences.len() != 1 {
+        return Ok(fail("the recursive rule must be linear"));
+    }
+    let occurrence = occurrences[0];
+
+    // Static positions: identical variables in head and body occurrence.
+    let mut static_positions = Vec::new();
+    let mut dynamic_positions = Vec::new();
+    for i in 0..arity {
+        match (rule.head.terms.get(i), occurrence.terms.get(i)) {
+            (Some(Term::Var(h)), Some(Term::Var(b))) if h == b => static_positions.push(i),
+            _ => dynamic_positions.push(i),
+        }
+    }
+    if dynamic_positions.is_empty() {
+        return Ok(fail("every argument is static; the recursive rule derives nothing new"));
+    }
+
+    let static_vars: BTreeSet<Symbol> = static_positions
+        .iter()
+        .filter_map(|&i| rule.head.terms[i].as_var())
+        .collect();
+    // Head-side and body-side dynamic variables must be distinct variable sets (no
+    // shifting of a value straight across), and the non-recursive literals must not
+    // touch the static group.
+    let head_dynamic: BTreeSet<Symbol> = dynamic_positions
+        .iter()
+        .filter_map(|&i| rule.head.terms[i].as_var())
+        .collect();
+    let body_dynamic: BTreeSet<Symbol> = dynamic_positions
+        .iter()
+        .filter_map(|&i| occurrence.terms[i].as_var())
+        .collect();
+    if !head_dynamic.is_disjoint(&body_dynamic) {
+        return Ok(fail(
+            "a dynamic-side variable is shared directly between head and body occurrence",
+        ));
+    }
+    let nonrecursive: Vec<&factorlog_datalog::ast::Atom> = rule
+        .body
+        .iter()
+        .filter(|a| a.predicate != predicate)
+        .collect();
+    for atom in &nonrecursive {
+        if atom.variables().any(|v| static_vars.contains(&v)) {
+            return Ok(fail(
+                "a non-recursive literal mentions a static-group variable",
+            ));
+        }
+    }
+
+    // Theorem 6.1's "only one connected component with a nonzero-weight cycle": the
+    // whole changing side must be a single connected blob. The non-recursive literals
+    // of the rule must form one connected component that mentions every dynamic-side
+    // variable (head and body). Same-generation fails here: `up` and `down` are two
+    // disconnected components, one per changing side.
+    {
+        let mut component_vars: BTreeSet<Symbol> = BTreeSet::new();
+        let mut reached = vec![false; nonrecursive.len()];
+        if let Some(first) = nonrecursive.first() {
+            component_vars.extend(first.variables());
+            reached[0] = true;
+            loop {
+                let mut progressed = false;
+                for (i, atom) in nonrecursive.iter().enumerate() {
+                    if !reached[i] && atom.variables().any(|v| component_vars.contains(&v)) {
+                        reached[i] = true;
+                        component_vars.extend(atom.variables());
+                        progressed = true;
+                    }
+                }
+                if !progressed {
+                    break;
+                }
+            }
+        }
+        if reached.iter().any(|r| !r) {
+            return Ok(fail(
+                "the non-recursive literals split into more than one connected component",
+            ));
+        }
+        let all_dynamic: BTreeSet<Symbol> =
+            head_dynamic.union(&body_dynamic).copied().collect();
+        if !all_dynamic.iter().all(|v| component_vars.contains(v)) {
+            return Ok(fail(
+                "a dynamic-side variable is not connected to the non-recursive literals",
+            ));
+        }
+    }
+
+    Ok(OneSidedAnalysis {
+        predicate,
+        static_positions,
+        dynamic_positions,
+        is_simple_one_sided: true,
+        reason: None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adorn::adorn;
+    use crate::classify::classify;
+    use crate::conditions::analyze;
+    use factorlog_datalog::parser::{parse_program, parse_query};
+
+    fn one_sided(src: &str, pred: &str) -> OneSidedAnalysis {
+        let program = parse_program(src).unwrap().program;
+        analyze_one_sided(&program, Symbol::intern(pred)).unwrap()
+    }
+
+    const SIMPLE_ONE_SIDED: &str =
+        "p(A1, A2, B) :- p(A1, A2, C), c(C, D), d(D, B).\np(A1, A2, B) :- exit(A1, A2, B).";
+
+    #[test]
+    fn detects_the_expanded_form() {
+        let a = one_sided(SIMPLE_ONE_SIDED, "p");
+        assert!(a.is_simple_one_sided, "{:?}", a.reason);
+        assert_eq!(a.static_positions, vec![0, 1]);
+        assert_eq!(a.dynamic_positions, vec![2]);
+        assert_eq!(
+            a.full_selection_adornments(),
+            vec!["bbf".to_string(), "ffb".to_string()]
+        );
+    }
+
+    #[test]
+    fn theorem_6_2_both_full_selections_are_factorable() {
+        // Binding the static group (Ā) or the dynamic group (B̄) must both yield
+        // factorable Magic programs (Theorem 6.2, via Theorem 4.1). The left-to-right
+        // SIP requires the body to be ordered so the recursive call sees the right
+        // bindings: as written for the Ā-selection (left-linear reading), with the
+        // non-recursive literals first for the B̄-selection (right-linear reading).
+        let analysis = one_sided(SIMPLE_ONE_SIDED, "p");
+        assert_eq!(
+            analysis.full_selection_adornments(),
+            vec!["bbf".to_string(), "ffb".to_string()]
+        );
+
+        let cases = [
+            (SIMPLE_ONE_SIDED, "p(101, 102, B)"),
+            (
+                "p(A1, A2, B) :- c(C, D), d(D, B), p(A1, A2, C).\n\
+                 p(A1, A2, B) :- exit(A1, A2, B).",
+                "p(A1, A2, 103)",
+            ),
+        ];
+        for (src, query_text) in cases {
+            let program = parse_program(src).unwrap().program;
+            let query = parse_query(query_text).unwrap();
+            let adorned = adorn(&program, &query).unwrap();
+            let classification = classify(&adorned).unwrap();
+            let report = analyze(&classification);
+            assert!(
+                report.is_factorable(),
+                "full selection {query_text} must be factorable: {report}"
+            );
+        }
+    }
+
+    #[test]
+    fn transitive_closure_is_one_sided() {
+        let a = one_sided("t(X, Y) :- t(X, W), e(W, Y).\nt(X, Y) :- e(X, Y).", "t");
+        assert!(a.is_simple_one_sided);
+        assert_eq!(a.static_positions, vec![0]);
+        assert_eq!(a.dynamic_positions, vec![1]);
+    }
+
+    #[test]
+    fn same_generation_is_not_one_sided() {
+        let a = one_sided(
+            "sg(X, Y) :- up(X, U), sg(U, V), down(V, Y).\nsg(X, Y) :- flat(X, Y).",
+            "sg",
+        );
+        assert!(!a.is_simple_one_sided);
+        assert!(a.reason.is_some());
+    }
+
+    #[test]
+    fn shifting_variable_breaks_one_sidedness() {
+        // The dynamic value B moves straight from the body occurrence to the head.
+        let a = one_sided("p(A, B) :- p(A, B), c(B).\np(A, B) :- exit(A, B).", "p");
+        assert!(!a.is_simple_one_sided);
+    }
+
+    #[test]
+    fn static_variable_in_edb_literal_breaks_the_form() {
+        // c mentions the static variable A, which is the pseudo-left-linear situation
+        // (Example 5.2) needing reduction, not plain one-sidedness.
+        let a = one_sided("p(A, B) :- p(A, C), c(C, A, B).\np(A, B) :- exit(A, B).", "p");
+        assert!(!a.is_simple_one_sided);
+        assert!(a.reason.as_ref().unwrap().contains("static-group"));
+    }
+
+    #[test]
+    fn nonlinear_rule_is_rejected() {
+        let a = one_sided(
+            "p(A, B) :- p(A, C), p(A, D), c(C, D, B).\np(A, B) :- exit(A, B).",
+            "p",
+        );
+        assert!(!a.is_simple_one_sided);
+    }
+
+    #[test]
+    fn two_recursive_rules_are_rejected() {
+        let a = one_sided(
+            "p(A, B) :- p(A, C), c(C, B).\np(A, B) :- p(A, C), d(C, B).\np(A, B) :- exit(A, B).",
+            "p",
+        );
+        assert!(!a.is_simple_one_sided);
+    }
+
+    #[test]
+    fn unknown_predicate_is_an_error() {
+        let program = parse_program("p(X) :- e(X).").unwrap().program;
+        assert!(analyze_one_sided(&program, Symbol::intern("nope")).is_err());
+    }
+
+    #[test]
+    fn all_static_rule_is_rejected() {
+        let a = one_sided("p(A) :- p(A), c(A).\np(A) :- exit(A).", "p");
+        assert!(!a.is_simple_one_sided);
+    }
+}

@@ -1,0 +1,442 @@
+//! The end-to-end optimizer: *Magic Sets followed by factoring* (the paper's two-step
+//! approach, §4.2), with static-argument reduction as a pre-pass and the §5
+//! simplifications as a post-pass.
+//!
+//! ```text
+//!   original program + query
+//!        │  (optional) static-argument reduction          §5, Lemmas 5.1–5.2
+//!        ▼
+//!     adornment                                           §2.1/§4.1
+//!        ▼
+//!     Magic Sets                                          §2.1  (Fig. 1)
+//!        ▼
+//!     classification + factorability analysis             §4    (Thms 4.1–4.3)
+//!        ▼
+//!     factoring (when a sufficient condition holds)       §3    (Fig. 2)
+//!        ▼
+//!     §5 optimizations                                     §5    (Example 5.3)
+//! ```
+//!
+//! When the factorability analysis finds no applicable condition the pipeline falls
+//! back to the (optimized) Magic program, which is always sound.
+
+use factorlog_datalog::ast::{Const, Program, Query};
+use factorlog_datalog::eval::{
+    seminaive_evaluate, EvalError, EvalOptions, EvalResult,
+};
+use factorlog_datalog::storage::Database;
+
+use crate::adorn::{adorn, AdornedProgram};
+use crate::classify::{classify, ProgramClassification};
+use crate::conditions::{analyze, FactorabilityReport};
+use crate::error::{TransformError, TransformResult};
+use crate::factor::{factor_magic, FactoredProgram};
+use crate::magic::{magic, MagicProgram};
+use crate::optimize::{optimize, FactoringContext, OptimizationTrace, OptimizeOptions};
+use crate::reduce::{reduce, ReducedProgram};
+
+/// Options for the end-to-end pipeline.
+#[derive(Clone, Debug)]
+pub struct PipelineOptions {
+    /// Attempt the factoring transformation when a sufficient condition holds.
+    pub factor: bool,
+    /// Factor even when no sufficient condition holds (used by the negative
+    /// experiments; the result may be unsound, which is the point of those tests).
+    pub force_factoring: bool,
+    /// Attempt static-argument reduction before adornment.
+    pub try_reduction: bool,
+    /// Options for the §5 simplification passes.
+    pub optimize: OptimizeOptions,
+}
+
+impl Default for PipelineOptions {
+    fn default() -> Self {
+        PipelineOptions {
+            factor: true,
+            force_factoring: false,
+            try_reduction: true,
+            optimize: OptimizeOptions::default(),
+        }
+    }
+}
+
+/// Which program the pipeline ended up producing.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Strategy {
+    /// The factored Magic program (plus §5 optimizations).
+    FactoredMagic,
+    /// The Magic program only (factoring did not apply).
+    MagicOnly,
+}
+
+impl std::fmt::Display for Strategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Strategy::FactoredMagic => write!(f, "magic + factoring"),
+            Strategy::MagicOnly => write!(f, "magic only"),
+        }
+    }
+}
+
+/// The output of the pipeline: every intermediate stage plus the final program.
+#[derive(Clone, Debug)]
+pub struct Optimized {
+    /// The input program.
+    pub original_program: Program,
+    /// The input query.
+    pub original_query: Query,
+    /// The statically reduced program, when reduction applied.
+    pub reduced: Option<ReducedProgram>,
+    /// The adorned program.
+    pub adorned: AdornedProgram,
+    /// The Magic program (Fig. 1 for the paper's running example).
+    pub magic: MagicProgram,
+    /// The rule classification, when the program is a unit program.
+    pub classification: Option<ProgramClassification>,
+    /// The factorability analysis, when classification succeeded.
+    pub factorability: Option<FactorabilityReport>,
+    /// The factored Magic program (Fig. 2), when factoring was applied.
+    pub factored: Option<FactoredProgram>,
+    /// The final program after the §5 simplifications.
+    pub program: Program,
+    /// The query to ask of the final program.
+    pub query: Query,
+    /// Which strategy the final program embodies.
+    pub strategy: Strategy,
+    /// The simplification steps applied.
+    pub trace: OptimizationTrace,
+}
+
+impl Optimized {
+    /// Evaluate the final program over an EDB.
+    pub fn evaluate(&self, edb: &Database) -> Result<EvalResult, EvalError> {
+        seminaive_evaluate(&self.program, edb, &EvalOptions::default())
+    }
+
+    /// The answers to the original query over `edb`, computed with the final program
+    /// (projected onto the query's free positions, sorted).
+    pub fn answers(&self, edb: &Database) -> Result<Vec<Vec<Const>>, EvalError> {
+        Ok(self.evaluate(edb)?.answers(&self.query))
+    }
+
+    /// A human-readable report of every stage (used by the examples and the report
+    /// binary).
+    pub fn report(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "== original program ==\n{}", self.original_program);
+        let _ = writeln!(out, "query: {}\n", self.original_query);
+        if let Some(reduced) = &self.reduced {
+            let _ = writeln!(
+                out,
+                "== after static-argument reduction (removed positions {:?}) ==\n{}",
+                reduced.removed_positions, reduced.program
+            );
+        }
+        let _ = writeln!(out, "== adorned program ==\n{}", self.adorned.program);
+        let _ = writeln!(out, "== magic program ==\n{}", self.magic.program);
+        if let Some(classification) = &self.classification {
+            let _ = writeln!(out, "== classification ==\n{}", classification.summary());
+        }
+        if let Some(report) = &self.factorability {
+            let _ = writeln!(out, "== factorability ==\n{report}");
+        }
+        if let Some(factored) = &self.factored {
+            let _ = writeln!(out, "== factored magic program ==\n{}", factored.program);
+        }
+        let _ = writeln!(out, "== final program ({}) ==\n{}", self.strategy, self.program);
+        let _ = writeln!(out, "final query: {}", self.query);
+        if !self.trace.steps.is_empty() {
+            let _ = writeln!(out, "\n== simplifications applied ==");
+            for step in &self.trace.steps {
+                let _ = writeln!(out, "  - {step}");
+            }
+        }
+        out
+    }
+}
+
+/// The transformation stages run on one (program, query) pair.
+struct Stages {
+    adorned: AdornedProgram,
+    magic: MagicProgram,
+    classification: Option<ProgramClassification>,
+    factorability: Option<FactorabilityReport>,
+    factored: Option<FactoredProgram>,
+}
+
+fn run_stages(
+    program: &Program,
+    query: &Query,
+    options: &PipelineOptions,
+) -> TransformResult<Stages> {
+    let adorned = adorn(program, query)?;
+    let magic_program = magic(&adorned)?;
+    let classification = match classify(&adorned) {
+        Ok(c) => Some(c),
+        Err(TransformError::NotUnitProgram { .. }) => None,
+        Err(other) => return Err(other),
+    };
+    let factorability = classification.as_ref().map(analyze);
+    let should_factor = options.factor
+        && (options.force_factoring
+            || factorability
+                .as_ref()
+                .map(FactorabilityReport::is_factorable)
+                .unwrap_or(false));
+    let factored = if should_factor {
+        match factor_magic(&adorned, &magic_program) {
+            Ok(f) => Some(f),
+            Err(TransformError::NotApplicable { .. }) => None,
+            Err(other) => return Err(other),
+        }
+    } else {
+        None
+    };
+    Ok(Stages {
+        adorned,
+        magic: magic_program,
+        classification,
+        factorability,
+        factored,
+    })
+}
+
+/// Run the full pipeline on a program and query.
+///
+/// Static-argument reduction is attempted only when the program does not factor as
+/// written (the paper uses reduction to bring programs like Examples 5.1/5.2 into the
+/// scope of the factoring theorems); if the reduced program factors — or even if it
+/// does not, since reduction alone already lowers the recursive arity — the pipeline
+/// continues from the reduced program.
+pub fn optimize_query(
+    program: &Program,
+    query: &Query,
+    options: &PipelineOptions,
+) -> TransformResult<Optimized> {
+    let mut reduced: Option<ReducedProgram> = None;
+    let mut stages = run_stages(program, query, options)?;
+
+    if stages.factored.is_none() && options.try_reduction {
+        let reduction = match reduce(program, query) {
+            Ok(r) => Some(r),
+            Err(TransformError::NotApplicable { .. })
+            | Err(TransformError::UnknownQueryPredicate { .. }) => None,
+            Err(other) => return Err(other),
+        };
+        if let Some(r) = reduction {
+            stages = run_stages(&r.program, &r.query, options)?;
+            reduced = Some(r);
+        }
+    }
+
+    let Stages {
+        adorned,
+        magic: magic_program,
+        classification,
+        factorability,
+        factored,
+    } = stages;
+
+    let (final_program, final_query, strategy, trace) = match &factored {
+        Some(f) => {
+            let ctx = FactoringContext::from_factored(f);
+            let (optimized, trace) =
+                optimize(&f.program, &f.query, Some(&ctx), &options.optimize);
+            (optimized, f.query.clone(), Strategy::FactoredMagic, trace)
+        }
+        None => {
+            let (optimized, trace) =
+                optimize(&magic_program.program, &adorned.query, None, &options.optimize);
+            (optimized, adorned.query.clone(), Strategy::MagicOnly, trace)
+        }
+    };
+
+    Ok(Optimized {
+        original_program: program.clone(),
+        original_query: query.clone(),
+        reduced,
+        adorned,
+        magic: magic_program,
+        classification,
+        factorability,
+        factored,
+        program: final_program,
+        query: final_query,
+        strategy,
+        trace,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use factorlog_datalog::parser::{parse_program, parse_query};
+
+    const THREE_RULE_TC: &str = "t(X, Y) :- t(X, W), t(W, Y).\n\
+                                 t(X, Y) :- e(X, W), t(W, Y).\n\
+                                 t(X, Y) :- t(X, W), e(W, Y).\n\
+                                 t(X, Y) :- e(X, Y).";
+
+    fn chain_edb(n: i64, start: i64) -> Database {
+        let mut db = Database::new();
+        for i in 0..n {
+            db.add_fact("e", &[Const::Int(start + i), Const::Int(start + i + 1)]);
+        }
+        db
+    }
+
+    #[test]
+    fn end_to_end_three_rule_transitive_closure() {
+        // Example 1.1: the pipeline must produce the unary program of the introduction
+        // and compute the correct answers with it.
+        let program = parse_program(THREE_RULE_TC).unwrap().program;
+        let query = parse_query("t(5, Y)").unwrap();
+        let out = optimize_query(&program, &query, &PipelineOptions::default()).unwrap();
+        assert_eq!(out.strategy, Strategy::FactoredMagic);
+        assert!(out.factorability.as_ref().unwrap().is_factorable());
+        assert_eq!(out.program.len(), 3, "{}", out.program);
+
+        let edb = chain_edb(10, 5);
+        let expected = factorlog_datalog::eval::evaluate_default(&program, &edb)
+            .unwrap()
+            .answers(&query);
+        assert_eq!(out.answers(&edb).unwrap(), expected);
+        assert_eq!(expected.len(), 10);
+
+        let report = out.report();
+        assert!(report.contains("magic program"));
+        assert!(report.contains("factored magic program"));
+        assert!(report.contains("selection-pushing"));
+    }
+
+    #[test]
+    fn non_factorable_program_falls_back_to_magic() {
+        let program = parse_program(
+            "sg(X, Y) :- flat(X, Y).\nsg(X, Y) :- up(X, U), sg(U, V), down(V, Y).",
+        )
+        .unwrap()
+        .program;
+        let query = parse_query("sg(1, Y)").unwrap();
+        let out = optimize_query(&program, &query, &PipelineOptions::default()).unwrap();
+        assert_eq!(out.strategy, Strategy::MagicOnly);
+        assert!(out.factored.is_none());
+        assert!(!out.factorability.as_ref().unwrap().is_factorable());
+
+        let mut edb = Database::new();
+        edb.add_fact("up", &[Const::Int(1), Const::Int(10)]);
+        edb.add_fact("flat", &[Const::Int(10), Const::Int(20)]);
+        edb.add_fact("down", &[Const::Int(20), Const::Int(2)]);
+        let expected = factorlog_datalog::eval::evaluate_default(&program, &edb)
+            .unwrap()
+            .answers(&query);
+        assert_eq!(out.answers(&edb).unwrap(), expected);
+        assert_eq!(expected, vec![vec![Const::Int(2)]]);
+    }
+
+    #[test]
+    fn reduction_pre_pass_enables_factoring() {
+        // Example 5.1: without reduction the program is not even RLC-stable; the
+        // pipeline reduces the static argument and then factors.
+        let src = "p(X, Y, Z) :- a(X), p(X, Y, W), d(W, U), p(X, U, Z).\n\
+                   p(X, Y, Z) :- exit(X, Y, Z).";
+        let program = parse_program(src).unwrap().program;
+        let query = parse_query("p(5, 6, U)").unwrap();
+        let out = optimize_query(&program, &query, &PipelineOptions::default()).unwrap();
+        assert!(out.reduced.is_some());
+        assert_eq!(out.strategy, Strategy::FactoredMagic);
+
+        let mut edb = Database::new();
+        edb.add_fact("a", &[Const::Int(5)]);
+        edb.add_fact("exit", &[Const::Int(5), Const::Int(6), Const::Int(1)]);
+        edb.add_fact("exit", &[Const::Int(5), Const::Int(8), Const::Int(2)]);
+        edb.add_fact("d", &[Const::Int(1), Const::Int(8)]);
+        edb.add_fact("d", &[Const::Int(2), Const::Int(6)]);
+        let expected = factorlog_datalog::eval::evaluate_default(&program, &edb)
+            .unwrap()
+            .answers(&query);
+        assert_eq!(out.answers(&edb).unwrap(), expected);
+    }
+
+    #[test]
+    fn reduction_can_be_disabled() {
+        let src = "p(X, Y, Z) :- a(X), p(X, Y, W), d(W, U), p(X, U, Z).\n\
+                   p(X, Y, Z) :- exit(X, Y, Z).";
+        let program = parse_program(src).unwrap().program;
+        let query = parse_query("p(5, 6, U)").unwrap();
+        let options = PipelineOptions {
+            try_reduction: false,
+            ..PipelineOptions::default()
+        };
+        let out = optimize_query(&program, &query, &options).unwrap();
+        assert!(out.reduced.is_none());
+        assert_eq!(out.strategy, Strategy::MagicOnly);
+    }
+
+    #[test]
+    fn factoring_can_be_disabled() {
+        let program = parse_program(THREE_RULE_TC).unwrap().program;
+        let query = parse_query("t(5, Y)").unwrap();
+        let options = PipelineOptions {
+            factor: false,
+            ..PipelineOptions::default()
+        };
+        let out = optimize_query(&program, &query, &options).unwrap();
+        assert_eq!(out.strategy, Strategy::MagicOnly);
+        // The magic-only fallback still answers correctly.
+        let edb = chain_edb(5, 5);
+        assert_eq!(out.answers(&edb).unwrap().len(), 5);
+    }
+
+    #[test]
+    fn forced_factoring_of_a_non_factorable_program_changes_answers() {
+        // Forcing the factoring of Example 4.3's program produces a program that is
+        // *not* equivalent — reproducing the paper's negative example end to end.
+        let src = "p(X, Y) :- l1(X), p(X, U), c1(U, V), p(V, Y), r1(Y).\n\
+                   p(X, Y) :- l2(X), p(X, U), c2(U, V), p(V, Y), r2(Y).\n\
+                   p(X, Y) :- f(X, V), p(V, Y), r3(Y).\n\
+                   p(X, Y) :- e(X, Y).";
+        let program = parse_program(src).unwrap().program;
+        let query = parse_query("p(5, Y)").unwrap();
+        let options = PipelineOptions {
+            force_factoring: true,
+            ..PipelineOptions::default()
+        };
+        let out = optimize_query(&program, &query, &options).unwrap();
+        assert_eq!(out.strategy, Strategy::FactoredMagic);
+        assert!(!out.factorability.as_ref().unwrap().is_factorable());
+
+        // The paper's first EDB instance: 8 is incorrectly derived by the factored
+        // program.
+        let mut edb = Database::new();
+        edb.add_fact("f", &[Const::Int(5), Const::Int(1)]);
+        edb.add_fact("e", &[Const::Int(5), Const::Int(6)]);
+        edb.add_fact("e", &[Const::Int(1), Const::Int(7)]);
+        edb.add_fact("e", &[Const::Int(2), Const::Int(8)]);
+        edb.add_fact("l1", &[Const::Int(1)]);
+        edb.add_fact("c1", &[Const::Int(6), Const::Int(2)]);
+        edb.add_fact("r1", &[Const::Int(7)]);
+        edb.add_fact("r1", &[Const::Int(8)]);
+        // r3 is needed for answers through the right-linear rule.
+        for v in [6, 7, 8] {
+            edb.add_fact("r3", &[Const::Int(v)]);
+        }
+        let correct = factorlog_datalog::eval::evaluate_default(&program, &edb)
+            .unwrap()
+            .answers(&query);
+        let factored_answers = out.answers(&edb).unwrap();
+        assert!(
+            factored_answers.len() > correct.len(),
+            "forced factoring must over-derive here: {factored_answers:?} vs {correct:?}"
+        );
+        assert!(factored_answers.contains(&vec![Const::Int(8)]));
+        assert!(!correct.contains(&vec![Const::Int(8)]));
+    }
+
+    #[test]
+    fn query_on_edb_predicate_is_rejected_cleanly() {
+        let program = parse_program("t(X, Y) :- e(X, Y).").unwrap().program;
+        let query = parse_query("zzz(1)").unwrap();
+        assert!(optimize_query(&program, &query, &PipelineOptions::default()).is_err());
+    }
+}

@@ -1,0 +1,329 @@
+//! Separable recursions (§6.2 of the paper; Naughton 1988).
+//!
+//! A recursion is *separable* (Definition 6.4) when its linear recursive rules have no
+//! shifting variables, the argument positions connected to non-recursive predicates
+//! coincide between head and body occurrence (`tᵢʰ = tᵢᵇ`), those position sets are
+//! pairwise equal or disjoint across rules, and the non-recursive part of each body is
+//! a single connected component. A separable recursion is *reducible* (Definition 6.6)
+//! when no fixed variable occupies a connected position. Theorem 6.3 states that for a
+//! reducible separable recursion and a full-selection query, the Magic program is
+//! factorable — the subsumption the benchmarks and tests check via the main pipeline.
+
+use std::collections::BTreeSet;
+
+use factorlog_datalog::ast::{Program, Rule, Term};
+use factorlog_datalog::graph::recursion_info;
+use factorlog_datalog::symbol::Symbol;
+
+use crate::error::{TransformError, TransformResult};
+
+/// Per-rule facts collected by the separability analysis.
+#[derive(Clone, Debug)]
+pub struct SeparableRuleInfo {
+    /// Index of the rule in the program.
+    pub rule_index: usize,
+    /// Positions of the recursive predicate connected (in this rule) to non-recursive
+    /// predicates — the paper's `tᵢʰ` (= `tᵢᵇ` when the rule passes the checks).
+    pub connected_positions: BTreeSet<usize>,
+    /// Fixed variables of the rule: variables occupying the same position in the head
+    /// and the body occurrence (Definition 6.5).
+    pub fixed_positions: BTreeSet<usize>,
+}
+
+/// The result of the separability analysis.
+#[derive(Clone, Debug)]
+pub struct SeparableAnalysis {
+    /// The recursive predicate.
+    pub predicate: Symbol,
+    /// Is the recursion separable (Definition 6.4)?
+    pub is_separable: bool,
+    /// Is it reducible (Definition 6.6)? Only meaningful when separable.
+    pub is_reducible: bool,
+    /// Why the recursion is not separable / reducible, when it is not.
+    pub reason: Option<String>,
+    /// Per-recursive-rule details.
+    pub rules: Vec<SeparableRuleInfo>,
+}
+
+/// Shifting variables (Definition 6.1): a variable appearing at different positions in
+/// the head and the body occurrence of the recursive predicate.
+fn has_shifting_variable(rule: &Rule, predicate: Symbol) -> bool {
+    let occurrence = rule
+        .body
+        .iter()
+        .find(|a| a.predicate == predicate)
+        .expect("recursive rule has an occurrence");
+    for (i, head_term) in rule.head.terms.iter().enumerate() {
+        let Term::Var(head_var) = head_term else { continue };
+        for (j, body_term) in occurrence.terms.iter().enumerate() {
+            if i != j && *body_term == Term::Var(*head_var) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Analyse whether the (unit, linear) recursion defining `predicate` is separable and
+/// reducible.
+pub fn analyze_separable(
+    program: &Program,
+    predicate: Symbol,
+) -> TransformResult<SeparableAnalysis> {
+    if program.arity_of(predicate).is_none() {
+        return Err(TransformError::UnknownQueryPredicate {
+            predicate: predicate.as_str().to_string(),
+        });
+    }
+    let info = recursion_info(program);
+    let fail = |reason: &str| SeparableAnalysis {
+        predicate,
+        is_separable: false,
+        is_reducible: false,
+        reason: Some(reason.to_string()),
+        rules: Vec::new(),
+    };
+    if info.single_recursive_predicate != Some(predicate) {
+        return Ok(fail("the program is not a unit recursion on the predicate"));
+    }
+    if !info.linear {
+        return Ok(fail("a separable recursion must have only linear recursive rules"));
+    }
+
+    let mut rules_info = Vec::new();
+    for &rule_index in &info.recursive_rules {
+        let rule = &program.rules[rule_index];
+        // Condition (1): no shifting variables.
+        if has_shifting_variable(rule, predicate) {
+            return Ok(fail(&format!("rule {rule_index} has a shifting variable")));
+        }
+        let occurrence = rule
+            .body
+            .iter()
+            .find(|a| a.predicate == predicate)
+            .expect("recursive rule has an occurrence");
+        let nonrecursive: Vec<_> = rule
+            .body
+            .iter()
+            .filter(|a| a.predicate != predicate)
+            .collect();
+        let nonrec_vars: BTreeSet<Symbol> =
+            nonrecursive.iter().flat_map(|a| a.variables()).collect();
+
+        // tᵢʰ / tᵢᵇ: positions sharing a variable with a non-recursive body predicate.
+        let connected = |terms: &[Term]| -> BTreeSet<usize> {
+            terms
+                .iter()
+                .enumerate()
+                .filter_map(|(i, t)| match t {
+                    Term::Var(v) if nonrec_vars.contains(v) => Some(i),
+                    _ => None,
+                })
+                .collect()
+        };
+        let head_connected = connected(&rule.head.terms);
+        let body_connected = connected(&occurrence.terms);
+        // Condition (2): tᵢʰ = tᵢᵇ.
+        if head_connected != body_connected {
+            return Ok(fail(&format!(
+                "rule {rule_index}: the connected positions of the head ({head_connected:?}) and the body occurrence ({body_connected:?}) differ"
+            )));
+        }
+        // Condition (4): the non-recursive literals form one connected component.
+        if !nonrecursive.is_empty() && !is_single_component(&nonrecursive) {
+            return Ok(fail(&format!(
+                "rule {rule_index}: the non-recursive literals do not form a single connected set"
+            )));
+        }
+        // Fixed variables (Definition 6.5).
+        let fixed_positions: BTreeSet<usize> = rule
+            .head
+            .terms
+            .iter()
+            .enumerate()
+            .filter(|&(i, t)| occurrence.terms.get(i) == Some(t) && t.is_var())
+            .map(|(i, _)| i)
+            .collect();
+        rules_info.push(SeparableRuleInfo {
+            rule_index,
+            connected_positions: head_connected,
+            fixed_positions,
+        });
+    }
+
+    // Condition (3): pairwise equal or disjoint connected-position sets.
+    for (a, ra) in rules_info.iter().enumerate() {
+        for rb in &rules_info[a + 1..] {
+            let same = ra.connected_positions == rb.connected_positions;
+            let disjoint = ra
+                .connected_positions
+                .is_disjoint(&rb.connected_positions);
+            if !same && !disjoint {
+                return Ok(fail(&format!(
+                    "rules {} and {} have overlapping but unequal connected-position sets",
+                    ra.rule_index, rb.rule_index
+                )));
+            }
+        }
+    }
+
+    // Reducibility (Definition 6.6): no fixed variable in a connected position.
+    let mut reducible = true;
+    let mut reason = None;
+    for r in &rules_info {
+        if !r.connected_positions.is_disjoint(&r.fixed_positions) {
+            reducible = false;
+            reason = Some(format!(
+                "rule {} has a fixed variable in a connected position",
+                r.rule_index
+            ));
+            break;
+        }
+    }
+
+    Ok(SeparableAnalysis {
+        predicate,
+        is_separable: true,
+        is_reducible: reducible,
+        reason,
+        rules: rules_info,
+    })
+}
+
+fn is_single_component(atoms: &[&factorlog_datalog::ast::Atom]) -> bool {
+    if atoms.len() <= 1 {
+        return true;
+    }
+    let mut reached: BTreeSet<usize> = BTreeSet::new();
+    let mut vars: BTreeSet<Symbol> = atoms[0].variables().collect();
+    reached.insert(0);
+    loop {
+        let mut progressed = false;
+        for (i, atom) in atoms.iter().enumerate() {
+            if reached.contains(&i) {
+                continue;
+            }
+            if atom.variables().any(|v| vars.contains(&v)) {
+                reached.insert(i);
+                vars.extend(atom.variables());
+                progressed = true;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    reached.len() == atoms.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adorn::adorn;
+    use crate::classify::classify;
+    use crate::conditions::analyze;
+    use factorlog_datalog::parser::{parse_program, parse_query};
+
+    fn separable(src: &str, pred: &str) -> SeparableAnalysis {
+        let program = parse_program(src).unwrap().program;
+        analyze_separable(&program, Symbol::intern(pred)).unwrap()
+    }
+
+    #[test]
+    fn transitive_closure_is_reducible_separable() {
+        let a = separable("t(X, Y) :- t(X, W), e(W, Y).\nt(X, Y) :- e(X, Y).", "t");
+        assert!(a.is_separable);
+        assert!(a.is_reducible);
+        assert_eq!(a.rules.len(), 1);
+        assert_eq!(
+            a.rules[0].connected_positions,
+            BTreeSet::from([1usize])
+        );
+        assert_eq!(a.rules[0].fixed_positions, BTreeSet::from([0usize]));
+    }
+
+    #[test]
+    fn two_rule_separable_recursion_with_disjoint_sides() {
+        // One rule touches the second argument, the other touches the first; the
+        // connected-position sets are disjoint, which Definition 6.4 allows.
+        let a = separable(
+            "t(X, Y) :- t(X, W), e(W, Y).\nt(X, Y) :- t(W, Y), f(X, W).\nt(X, Y) :- e(X, Y).",
+            "t",
+        );
+        assert!(a.is_separable);
+        assert!(a.is_reducible);
+        assert_eq!(a.rules.len(), 2);
+    }
+
+    #[test]
+    fn shifting_variables_break_separability() {
+        let a = separable("t(X, Y) :- t(Y, W), e(W, X).\nt(X, Y) :- e(X, Y).", "t");
+        assert!(!a.is_separable);
+        assert!(a.reason.as_ref().unwrap().contains("shifting"));
+    }
+
+    #[test]
+    fn same_generation_is_not_separable() {
+        let a = separable(
+            "sg(X, Y) :- up(X, U), sg(U, V), down(V, Y).\nsg(X, Y) :- flat(X, Y).",
+            "sg",
+        );
+        assert!(!a.is_separable);
+    }
+
+    #[test]
+    fn nonlinear_recursion_is_not_separable() {
+        let a = separable(
+            "t(X, Y) :- t(X, W), t(W, Y).\nt(X, Y) :- e(X, Y).",
+            "t",
+        );
+        assert!(!a.is_separable);
+        assert!(a.reason.as_ref().unwrap().contains("linear"));
+    }
+
+    #[test]
+    fn disconnected_nonrecursive_part_is_not_separable() {
+        // e(W, Y) and g(Z) share no variable: condition (4) fails.
+        let a = separable(
+            "t(X, Y) :- t(X, W), e(W, Y), g(Z).\nt(X, Y) :- e(X, Y).",
+            "t",
+        );
+        assert!(!a.is_separable);
+        assert!(a.reason.as_ref().unwrap().contains("connected"));
+    }
+
+    #[test]
+    fn fixed_variable_in_connected_position_is_not_reducible() {
+        // The fixed variable X is itself connected to the non-recursive predicate, so
+        // the recursion is separable but not reducible (the paper's `A` nonempty case,
+        // where the separable evaluation algorithm does not reduce arity).
+        let a = separable(
+            "t(X, Y) :- t(X, W), e(W, X, Y).\nt(X, Y) :- e0(X, Y).",
+            "t",
+        );
+        assert!(a.is_separable);
+        assert!(!a.is_reducible);
+        assert!(a.reason.as_ref().unwrap().contains("fixed variable"));
+    }
+
+    #[test]
+    fn theorem_6_3_reducible_separable_full_selection_is_factorable() {
+        // Theorem 6.3: a full selection on a reducible separable recursion yields a
+        // factorable Magic program. A full selection binds the argument positions of
+        // one side; here the first argument.
+        let src = "t(X, Y) :- t(X, W), e(W, Y).\nt(X, Y) :- e(X, Y).";
+        let a = separable(src, "t");
+        assert!(a.is_separable && a.is_reducible);
+        let program = parse_program(src).unwrap().program;
+        let query = parse_query("t(5, Y)").unwrap();
+        let adorned = adorn(&program, &query).unwrap();
+        let classification = classify(&adorned).unwrap();
+        assert!(analyze(&classification).is_factorable());
+    }
+
+    #[test]
+    fn unknown_predicate_is_an_error() {
+        let program = parse_program("p(X) :- e(X).").unwrap().program;
+        assert!(analyze_separable(&program, Symbol::intern("zzz")).is_err());
+    }
+}

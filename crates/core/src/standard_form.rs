@@ -1,0 +1,170 @@
+//! Standard form (§4.1): for the factorability analysis, every argument of a `p^a`
+//! literal must be a distinct variable.
+//!
+//! A literal such as `p^a(X, X, 5, Y)` is replaced by `p^a(X, U, V, Y)` together with
+//! `equal(U, X)` and `equal(V, 5)` in the rule body. As the paper emphasizes, the
+//! translation is purely syntactic and used only at analysis time — the program that is
+//! evaluated need not be in standard form. `equal` is conceptually an infinite EDB
+//! relation; the conjunctive-query machinery eliminates it by substitution
+//! ([`factorlog_datalog::cq::ConjunctiveQuery::normalize_equalities`]).
+
+use factorlog_datalog::ast::{Atom, Program, Rule, Term};
+use factorlog_datalog::cq::equal_symbol;
+use factorlog_datalog::symbol::Symbol;
+
+/// Is `rule` in standard form with respect to `predicate`? (Every argument of every
+/// `predicate` literal is a variable and no variable repeats within one such literal.)
+pub fn is_rule_standard(rule: &Rule, predicate: Symbol) -> bool {
+    std::iter::once(&rule.head)
+        .chain(rule.body.iter())
+        .filter(|a| a.predicate == predicate)
+        .all(is_atom_standard)
+}
+
+/// Is every `predicate` literal of the program in standard form?
+pub fn is_program_standard(program: &Program, predicate: Symbol) -> bool {
+    program
+        .rules
+        .iter()
+        .all(|r| is_rule_standard(r, predicate))
+}
+
+fn is_atom_standard(atom: &Atom) -> bool {
+    let mut seen = std::collections::BTreeSet::new();
+    atom.terms.iter().all(|t| match t {
+        Term::Const(_) => false,
+        Term::Var(v) => seen.insert(*v),
+    })
+}
+
+/// Convert one rule to standard form with respect to `predicate`, introducing fresh
+/// variables and `equal/2` atoms as needed. Fresh variables are named `_sfN` and do
+/// not clash with the rule's variables.
+pub fn rule_to_standard_form(rule: &Rule, predicate: Symbol) -> Rule {
+    let mut counter = 0usize;
+    let existing: std::collections::BTreeSet<Symbol> =
+        rule.variable_set().into_iter().collect();
+    let mut fresh = || loop {
+        counter += 1;
+        let v = Symbol::intern(&format!("_sf{counter}"));
+        if !existing.contains(&v) {
+            return v;
+        }
+    };
+
+    let mut extra: Vec<Atom> = Vec::new();
+    let mut fix_atom = |atom: &Atom, extra: &mut Vec<Atom>| -> Atom {
+        if atom.predicate != predicate || is_atom_standard(atom) {
+            return atom.clone();
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        let mut terms = Vec::with_capacity(atom.terms.len());
+        for t in &atom.terms {
+            match t {
+                Term::Var(v) if seen.insert(*v) => terms.push(*t),
+                _ => {
+                    let v = fresh();
+                    seen.insert(v);
+                    terms.push(Term::Var(v));
+                    extra.push(Atom::new(equal_symbol(), vec![Term::Var(v), *t]));
+                }
+            }
+        }
+        Atom::new(atom.predicate, terms)
+    };
+
+    let head = fix_atom(&rule.head, &mut extra);
+    let mut body: Vec<Atom> = rule.body.iter().map(|a| fix_atom(a, &mut extra)).collect();
+    body.extend(extra);
+    Rule::new(head, body)
+}
+
+/// Convert every rule of the program to standard form with respect to `predicate`.
+pub fn to_standard_form(program: &Program, predicate: Symbol) -> Program {
+    Program::from_rules(
+        program
+            .rules
+            .iter()
+            .map(|r| rule_to_standard_form(r, predicate))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use factorlog_datalog::parser::{parse_program, parse_rule};
+
+    #[test]
+    fn detects_standard_rules() {
+        let p = Symbol::intern("p");
+        let r = parse_rule("p(X, Y) :- e(X, W), p(W, Y).").unwrap();
+        assert!(is_rule_standard(&r, p));
+        let r = parse_rule("p(X, X) :- e(X, X).").unwrap();
+        assert!(!is_rule_standard(&r, p), "repeated variable in a p literal");
+        let r = parse_rule("p(X, 5) :- e(X, Y).").unwrap();
+        assert!(!is_rule_standard(&r, p), "constant in a p literal");
+        // Constants in non-p literals are fine.
+        let r = parse_rule("p(X, Y) :- e(X, 5), p(5, Y).").unwrap();
+        assert!(!is_rule_standard(&r, p));
+        let r = parse_rule("q(X, 5) :- e(X, 5).").unwrap();
+        assert!(is_rule_standard(&r, p), "only p literals are constrained");
+    }
+
+    #[test]
+    fn converts_constants_to_equalities() {
+        let p = Symbol::intern("p");
+        let r = parse_rule("p(X, 5) :- e(X, Y).").unwrap();
+        let s = rule_to_standard_form(&r, p);
+        assert!(is_rule_standard(&s, p));
+        let text = format!("{s}");
+        assert!(text.starts_with("p(X, _sf1) :- e(X, Y), equal(_sf1, 5)."), "{text}");
+    }
+
+    #[test]
+    fn converts_repeated_variables() {
+        let p = Symbol::intern("p");
+        let r = parse_rule("p(X, X, Z) :- e(X, Z).").unwrap();
+        let s = rule_to_standard_form(&r, p);
+        assert!(is_rule_standard(&s, p));
+        let text = format!("{s}");
+        assert!(text.contains("equal(_sf1, X)"), "{text}");
+    }
+
+    #[test]
+    fn body_literals_are_converted_too() {
+        let p = Symbol::intern("p");
+        let r = parse_rule("q(Y) :- p(5, Y).").unwrap();
+        let s = rule_to_standard_form(&r, p);
+        assert!(is_rule_standard(&s, p));
+        assert!(format!("{s}").contains("equal(_sf1, 5)"));
+    }
+
+    #[test]
+    fn standard_rules_are_untouched() {
+        let p = Symbol::intern("p");
+        let r = parse_rule("p(X, Y) :- e(X, W), p(W, Y).").unwrap();
+        assert_eq!(rule_to_standard_form(&r, p), r);
+    }
+
+    #[test]
+    fn fresh_variables_avoid_existing_names() {
+        let p = Symbol::intern("p");
+        let r = parse_rule("p(X, 5) :- e(X, _sf1).").unwrap();
+        let s = rule_to_standard_form(&r, p);
+        // The generated variable must not collide with the existing _sf1.
+        assert!(format!("{s}").contains("equal(_sf2, 5)"));
+    }
+
+    #[test]
+    fn whole_program_conversion() {
+        let program = parse_program("p(X, X) :- e(X).\np(X, Y) :- p(X, W), f(W, Y).")
+            .unwrap()
+            .program;
+        let p = Symbol::intern("p");
+        assert!(!is_program_standard(&program, p));
+        let converted = to_standard_form(&program, p);
+        assert!(is_program_standard(&converted, p));
+        assert_eq!(converted.len(), 2);
+    }
+}

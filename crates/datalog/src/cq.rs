@@ -1,0 +1,409 @@
+//! Conjunctive queries and the Chandra–Merlin containment test.
+//!
+//! The factorability conditions of the paper (Definitions 4.6–4.8) are phrased as
+//! containments between conjunctive queries built from rule bodies ("the conjunction
+//! *free-exit* must be contained in the conjunction *free*", etc.). Containment of
+//! conjunctive queries is decided by the existence of a containment mapping
+//! (homomorphism) [Chandra & Merlin 1977]; the test is NP-complete in the size of the
+//! queries, which the paper notes is acceptable because queries are rule bodies (small),
+//! not data.
+//!
+//! The special EDB predicate `equal/2` introduced by standard-form conversion (§4.1) is
+//! handled by [`ConjunctiveQuery::normalize_equalities`], which applies the equalities
+//! as a substitution before the homomorphism search.
+
+use std::fmt;
+
+use crate::ast::{Atom, Substitution, Term};
+use crate::fx::FxHashMap;
+use crate::symbol::Symbol;
+
+/// The interned name of the special equality predicate used by standard-form
+/// conversion.
+pub fn equal_symbol() -> Symbol {
+    Symbol::intern("equal")
+}
+
+/// A conjunctive query: a head (tuple of distinguished terms) defined by a conjunction
+/// of atoms. A query with an empty body and only variables in the head denotes the
+/// universal relation of that arity (every tuple satisfies it), matching the paper's
+/// usage for empty `right`/`left` conjunctions.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ConjunctiveQuery {
+    /// The distinguished (head) terms.
+    pub head: Vec<Term>,
+    /// The body atoms.
+    pub body: Vec<Atom>,
+    /// Set when equality normalization discovered a contradiction (e.g. `equal(1, 2)`);
+    /// an unsatisfiable query is contained in every query.
+    pub unsatisfiable: bool,
+}
+
+impl ConjunctiveQuery {
+    /// Construct a conjunctive query.
+    pub fn new(head: Vec<Term>, body: Vec<Atom>) -> ConjunctiveQuery {
+        ConjunctiveQuery {
+            head,
+            body,
+            unsatisfiable: false,
+        }
+    }
+
+    /// The arity of the query result.
+    pub fn arity(&self) -> usize {
+        self.head.len()
+    }
+
+    /// Is the body empty (the universal relation, if satisfiable)?
+    pub fn is_universal(&self) -> bool {
+        !self.unsatisfiable && self.body.is_empty()
+    }
+
+    /// Eliminate `equal/2` atoms by substitution. `equal(X, t)` binds `X := t`
+    /// throughout the query; `equal(c, c)` is dropped; `equal(c1, c2)` with distinct
+    /// constants marks the query unsatisfiable.
+    pub fn normalize_equalities(&mut self) {
+        let equal = equal_symbol();
+        while let Some(pos) = self
+            .body
+            .iter()
+            .position(|a| a.predicate == equal && a.arity() == 2)
+        {
+            let atom = self.body.remove(pos);
+            let (a, b) = (atom.terms[0], atom.terms[1]);
+            match (a, b) {
+                (Term::Const(c1), Term::Const(c2)) => {
+                    if c1 != c2 {
+                        self.unsatisfiable = true;
+                        return;
+                    }
+                }
+                (Term::Var(v), t) | (t, Term::Var(v)) => {
+                    let mut subst = Substitution::new();
+                    subst.insert_term(v, t);
+                    self.head = self.head.iter().map(|h| subst.apply_term(*h)).collect();
+                    self.body = self.body.iter().map(|a| a.apply(&subst)).collect();
+                }
+            }
+        }
+    }
+
+    /// Is `self` contained in `other` (`self ⊆ other`)? Both queries must have the
+    /// same arity; otherwise the answer is `false`.
+    ///
+    /// `self ⊆ other` holds iff there is a containment mapping from the variables of
+    /// `other` to the terms of `self` that (1) maps `other`'s head onto `self`'s head
+    /// position-wise, and (2) maps every body atom of `other` onto some body atom of
+    /// `self`.
+    pub fn is_contained_in(&self, other: &ConjunctiveQuery) -> bool {
+        if self.unsatisfiable {
+            return true;
+        }
+        if other.unsatisfiable {
+            return false;
+        }
+        if self.arity() != other.arity() {
+            return false;
+        }
+        // Freeze `self`: treat its variables as (distinct) constants. The mapping then
+        // sends `other`'s variables to frozen terms of `self`.
+        let mut mapping: FxHashMap<Symbol, Term> = FxHashMap::default();
+        // Head condition: other.head[i] must map to self.head[i].
+        for (ot, st) in other.head.iter().zip(self.head.iter()) {
+            match ot {
+                Term::Const(_) => {
+                    if ot != st {
+                        return false;
+                    }
+                }
+                Term::Var(v) => match mapping.get(v) {
+                    Some(existing) => {
+                        if existing != st {
+                            return false;
+                        }
+                    }
+                    None => {
+                        mapping.insert(*v, *st);
+                    }
+                },
+            }
+        }
+        // Body condition: every atom of `other` maps into some atom of `self`.
+        search(&other.body, 0, &self.body, &mut mapping)
+    }
+
+    /// Are the two queries equivalent (mutual containment)?
+    pub fn equivalent(&self, other: &ConjunctiveQuery) -> bool {
+        self.is_contained_in(other) && other.is_contained_in(self)
+    }
+
+    /// The set of variables appearing in the query (head or body), in first-occurrence
+    /// order.
+    pub fn variables(&self) -> Vec<Symbol> {
+        let mut seen = std::collections::BTreeSet::new();
+        let mut out = Vec::new();
+        let head_vars = self.head.iter().filter_map(Term::as_var);
+        let body_vars = self.body.iter().flat_map(Atom::variables);
+        for v in head_vars.chain(body_vars) {
+            if seen.insert(v) {
+                out.push(v);
+            }
+        }
+        out
+    }
+
+    /// Do `self` and `other` share any variables? The paper's rule classes require the
+    /// `left`/`center`/`right`/... conjunctions to be variable-disjoint.
+    pub fn shares_variables_with(&self, other: &ConjunctiveQuery) -> bool {
+        let mine: std::collections::BTreeSet<Symbol> = self.variables().into_iter().collect();
+        other.variables().iter().any(|v| mine.contains(v))
+    }
+}
+
+/// Backtracking search for a mapping of `atoms[from..]` (of the containing query) into
+/// `targets` (the frozen body of the contained query), extending `mapping`.
+fn search(
+    atoms: &[Atom],
+    from: usize,
+    targets: &[Atom],
+    mapping: &mut FxHashMap<Symbol, Term>,
+) -> bool {
+    if from == atoms.len() {
+        return true;
+    }
+    let atom = &atoms[from];
+    for target in targets {
+        if target.predicate != atom.predicate || target.arity() != atom.arity() {
+            continue;
+        }
+        // Try to extend the mapping so that atom ↦ target.
+        let mut added: Vec<Symbol> = Vec::new();
+        let mut ok = true;
+        for (at, tt) in atom.terms.iter().zip(target.terms.iter()) {
+            match at {
+                Term::Const(_) => {
+                    if at != tt {
+                        ok = false;
+                        break;
+                    }
+                }
+                Term::Var(v) => match mapping.get(v) {
+                    Some(existing) => {
+                        if existing != tt {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    None => {
+                        mapping.insert(*v, *tt);
+                        added.push(*v);
+                    }
+                },
+            }
+        }
+        if ok && search(atoms, from + 1, targets, mapping) {
+            return true;
+        }
+        for v in added {
+            mapping.remove(&v);
+        }
+    }
+    false
+}
+
+impl fmt::Display for ConjunctiveQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, t) in self.head.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, ") :- ")?;
+        if self.unsatisfiable {
+            return write!(f, "false");
+        }
+        if self.body.is_empty() {
+            return write!(f, "true");
+        }
+        for (i, a) in self.body.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_atom;
+
+    fn cq(head: &[&str], body: &[&str]) -> ConjunctiveQuery {
+        let head_terms = head
+            .iter()
+            .map(|t| {
+                if let Ok(i) = t.parse::<i64>() {
+                    Term::int(i)
+                } else if t.chars().next().unwrap().is_uppercase() {
+                    Term::var(t)
+                } else {
+                    Term::sym(t)
+                }
+            })
+            .collect();
+        let body_atoms = body.iter().map(|a| parse_atom(a).unwrap()).collect();
+        ConjunctiveQuery::new(head_terms, body_atoms)
+    }
+
+    #[test]
+    fn identical_queries_are_equivalent() {
+        let q1 = cq(&["X", "Y"], &["e(X, Z)", "e(Z, Y)"]);
+        let q2 = cq(&["A", "B"], &["e(A, C)", "e(C, B)"]);
+        assert!(q1.equivalent(&q2));
+    }
+
+    #[test]
+    fn path_of_length_two_is_contained_in_path_of_length_one_projection() {
+        // Q1(X,Y) :- e(X,Z), e(Z,Y)   is contained in   Q2(X,Y) :- e(X,Z'), e(Z'',Y)?
+        // Q2 only requires an outgoing edge from X and an incoming edge to Y, which Q1
+        // guarantees, so Q1 ⊆ Q2 but not conversely.
+        let q1 = cq(&["X", "Y"], &["e(X, Z)", "e(Z, Y)"]);
+        let q2 = cq(&["X", "Y"], &["e(X, U)", "e(V, Y)"]);
+        assert!(q1.is_contained_in(&q2));
+        assert!(!q2.is_contained_in(&q1));
+        assert!(!q1.equivalent(&q2));
+    }
+
+    #[test]
+    fn universal_query_contains_everything_of_same_arity() {
+        let universal = cq(&["X"], &[]);
+        let specific = cq(&["X"], &["p(X)", "q(X, Y)"]);
+        assert!(specific.is_contained_in(&universal));
+        assert!(!universal.is_contained_in(&specific));
+        assert!(universal.is_universal());
+    }
+
+    #[test]
+    fn arity_mismatch_is_never_contained() {
+        let q1 = cq(&["X"], &["p(X)"]);
+        let q2 = cq(&["X", "Y"], &["p(X)"]);
+        assert!(!q1.is_contained_in(&q2));
+        assert!(!q2.is_contained_in(&q1));
+    }
+
+    #[test]
+    fn constants_must_match() {
+        let q5 = cq(&["Y"], &["e(5, Y)"]);
+        let qx = cq(&["Y"], &["e(X, Y)"]);
+        // A query selecting edges from 5 is contained in the query selecting all edges.
+        assert!(q5.is_contained_in(&qx));
+        assert!(!qx.is_contained_in(&q5));
+    }
+
+    #[test]
+    fn constant_in_head_checked() {
+        let q1 = cq(&["5"], &["p(X)"]);
+        let q2 = cq(&["Y"], &["p(X)"]);
+        assert!(q1.is_contained_in(&q2));
+        assert!(!q2.is_contained_in(&q1));
+    }
+
+    #[test]
+    fn repeated_variables_restrict_containment() {
+        // Q1(X) :- e(X, X) is contained in Q2(X) :- e(X, Y), but not conversely.
+        let q1 = cq(&["X"], &["e(X, X)"]);
+        let q2 = cq(&["X"], &["e(X, Y)"]);
+        assert!(q1.is_contained_in(&q2));
+        assert!(!q2.is_contained_in(&q1));
+    }
+
+    #[test]
+    fn classic_redundant_atom_equivalence() {
+        // Q(X,Y) :- e(X,Y), e(X,Z)  ≡  Q(X,Y) :- e(X,Y)   (Z is existential and can fold onto Y).
+        let q1 = cq(&["X", "Y"], &["e(X, Y)", "e(X, Z)"]);
+        let q2 = cq(&["X", "Y"], &["e(X, Y)"]);
+        assert!(q1.equivalent(&q2));
+    }
+
+    #[test]
+    fn equality_normalization_substitutes() {
+        let mut q = cq(&["X", "Y"], &["equal(X, 5)", "e(X, Y)"]);
+        q.normalize_equalities();
+        assert!(!q.unsatisfiable);
+        assert_eq!(q.head[0], Term::int(5));
+        assert_eq!(format!("{}", q.body[0]), "e(5, Y)");
+
+        let expected = cq(&["5", "Y"], &["e(5, Y)"]);
+        assert!(q.equivalent(&expected));
+    }
+
+    #[test]
+    fn contradictory_equality_makes_query_unsatisfiable() {
+        let mut q = cq(&["X"], &["equal(1, 2)", "p(X)"]);
+        q.normalize_equalities();
+        assert!(q.unsatisfiable);
+        // Unsatisfiable queries are contained in everything of any arity check aside.
+        let other = cq(&["X"], &["q(X)"]);
+        assert!(q.is_contained_in(&other));
+        assert!(!other.is_contained_in(&q));
+    }
+
+    #[test]
+    fn chained_equalities_resolve() {
+        let mut q = cq(&["X"], &["equal(X, Y)", "equal(Y, 3)", "p(X)"]);
+        q.normalize_equalities();
+        assert_eq!(q.head[0], Term::int(3));
+        assert_eq!(format!("{}", q.body[0]), "p(3)");
+    }
+
+    #[test]
+    fn trivial_equal_constants_are_dropped() {
+        let mut q = cq(&["X"], &["equal(7, 7)", "p(X)"]);
+        q.normalize_equalities();
+        assert!(!q.unsatisfiable);
+        assert_eq!(q.body.len(), 1);
+    }
+
+    #[test]
+    fn shares_variables_with_detects_overlap() {
+        let q1 = cq(&["X"], &["p(X, Z)"]);
+        let q2 = cq(&["Y"], &["q(Y, Z)"]);
+        let q3 = cq(&["Y"], &["q(Y, W)"]);
+        assert!(q1.shares_variables_with(&q2));
+        assert!(!q1.shares_variables_with(&q3));
+    }
+
+    #[test]
+    fn variables_in_first_occurrence_order() {
+        let q = cq(&["B", "A"], &["p(A, C)", "q(B)"]);
+        let names: Vec<&str> = q.variables().iter().map(|v| v.as_str()).collect();
+        assert_eq!(names, vec!["B", "A", "C"]);
+    }
+
+    #[test]
+    fn display_formats_query() {
+        let q = cq(&["X"], &["p(X, Y)"]);
+        assert_eq!(format!("{q}"), "(X) :- p(X, Y)");
+        let u = cq(&["X"], &[]);
+        assert_eq!(format!("{u}"), "(X) :- true");
+        let mut bad = cq(&["X"], &["equal(1, 2)"]);
+        bad.normalize_equalities();
+        assert_eq!(format!("{bad}"), "(X) :- false");
+    }
+
+    #[test]
+    fn free_exit_contained_in_free_example() {
+        // The paper's condition from Example 4.3: free_exit(Y) :- e(X, Y) must be
+        // contained in free(Y) :- r1(Y). With r1 absent from free_exit this fails;
+        // with free the universal query it holds.
+        let free_exit = cq(&["Y"], &["e(X, Y)"]);
+        let free_restrictive = cq(&["Y"], &["r1(Y)"]);
+        let free_universal = cq(&["Y"], &[]);
+        assert!(!free_exit.is_contained_in(&free_restrictive));
+        assert!(free_exit.is_contained_in(&free_universal));
+    }
+}

@@ -1,0 +1,530 @@
+//! Rule compilation and the nested-loop/index join used to instantiate rule bodies.
+//!
+//! Each rule is compiled once per evaluation into a [`CompiledRule`]: variables are
+//! mapped to dense environment slots, and for every body literal we precompute which
+//! argument positions are already bound when the literal is reached in left-to-right
+//! order (the paper's sideways-information-passing order). Those bound positions decide
+//! which secondary index the evaluator asks the storage layer to maintain.
+//!
+//! The built-in predicate `succ/2` (successor on integers) is evaluated arithmetically
+//! when enabled; it exists solely so that the Counting transformation of §6.4, which
+//! introduces derivation-depth indices `I + 1`, can be executed by the same engine.
+
+use crate::ast::{Atom, Const, Rule, Term};
+use crate::fx::FxHashMap;
+use crate::storage::{Database, Relation, RowId};
+use crate::symbol::Symbol;
+
+/// Evaluation options shared by the naive and semi-naive evaluators.
+#[derive(Clone, Debug)]
+pub struct EvalOptions {
+    /// Hard cap on fixpoint iterations; exceeded caps return an error so that
+    /// non-terminating programs (e.g. Counting applied to a left-linear recursion,
+    /// §6.4) can be detected by tests and benchmarks instead of hanging.
+    pub max_iterations: usize,
+    /// Enable the arithmetic `succ/2` builtin (disabled automatically for any
+    /// predicate that has explicit facts in the database).
+    pub enable_builtins: bool,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        EvalOptions {
+            max_iterations: 1_000_000,
+            enable_builtins: true,
+        }
+    }
+}
+
+/// How a term of a body literal is resolved at join time.
+#[derive(Clone, Copy, Debug)]
+enum Slot {
+    /// A constant that must match.
+    Const(Const),
+    /// A variable occupying environment slot `usize`.
+    Var(usize),
+}
+
+/// A body literal with its compiled argument slots.
+#[derive(Clone, Debug)]
+pub struct CompiledLiteral {
+    /// Predicate of the literal.
+    pub predicate: Symbol,
+    slots: Vec<Slot>,
+    /// Argument positions that are bound (constant or previously-bound variable) when
+    /// the literal is reached left-to-right. Sorted.
+    pub bound_positions: Vec<usize>,
+    /// Is this literal the builtin successor predicate?
+    is_succ: bool,
+}
+
+/// A rule compiled for evaluation.
+#[derive(Clone, Debug)]
+pub struct CompiledRule {
+    /// Index of the rule in the source program (for statistics).
+    pub rule_index: usize,
+    /// Head predicate.
+    pub head_predicate: Symbol,
+    head_slots: Vec<Slot>,
+    /// Compiled body literals in source order.
+    pub literals: Vec<CompiledLiteral>,
+    /// Number of variable slots in the environment.
+    pub env_size: usize,
+    /// Positions (within the body) of literals whose predicate is an IDB predicate.
+    pub idb_literal_positions: Vec<usize>,
+}
+
+/// The name of the successor builtin.
+pub fn succ_symbol() -> Symbol {
+    Symbol::intern("succ")
+}
+
+impl CompiledRule {
+    /// Compile `rule`. `is_idb` classifies predicates as IDB (has rules) for the
+    /// semi-naive delta machinery.
+    pub fn compile(
+        rule_index: usize,
+        rule: &Rule,
+        is_idb: &dyn Fn(Symbol) -> bool,
+        options: &EvalOptions,
+    ) -> CompiledRule {
+        let mut var_slots: FxHashMap<Symbol, usize> = FxHashMap::default();
+        let mut bound_so_far: Vec<bool> = Vec::new();
+
+        let slot_of = |term: &Term, var_slots: &mut FxHashMap<Symbol, usize>, bound: &mut Vec<bool>| match term {
+            Term::Const(c) => Slot::Const(*c),
+            Term::Var(v) => {
+                let next = var_slots.len();
+                let idx = *var_slots.entry(*v).or_insert(next);
+                if idx == bound.len() {
+                    bound.push(false);
+                }
+                Slot::Var(idx)
+            }
+        };
+
+        let mut literals = Vec::with_capacity(rule.body.len());
+        let mut idb_literal_positions = Vec::new();
+        for (pos, atom) in rule.body.iter().enumerate() {
+            let mut slots = Vec::with_capacity(atom.terms.len());
+            let mut bound_positions = Vec::new();
+            for (i, term) in atom.terms.iter().enumerate() {
+                let slot = slot_of(term, &mut var_slots, &mut bound_so_far);
+                match slot {
+                    Slot::Const(_) => bound_positions.push(i),
+                    Slot::Var(idx) => {
+                        if bound_so_far[idx] {
+                            bound_positions.push(i);
+                        }
+                    }
+                }
+                slots.push(slot);
+            }
+            // After matching this literal, all its variables are bound.
+            for slot in &slots {
+                if let Slot::Var(idx) = slot {
+                    bound_so_far[*idx] = true;
+                }
+            }
+            let is_succ = options.enable_builtins && atom.predicate == succ_symbol();
+            if is_idb(atom.predicate) {
+                idb_literal_positions.push(pos);
+            }
+            literals.push(CompiledLiteral {
+                predicate: atom.predicate,
+                slots,
+                bound_positions,
+                is_succ,
+            });
+        }
+
+        let head_slots = rule
+            .head
+            .terms
+            .iter()
+            .map(|t| slot_of(t, &mut var_slots, &mut bound_so_far))
+            .collect();
+
+        CompiledRule {
+            rule_index,
+            head_predicate: rule.head.predicate,
+            head_slots,
+            literals,
+            env_size: var_slots.len(),
+            idb_literal_positions,
+        }
+    }
+
+    /// Ask the database to maintain the indexes this rule's join will probe.
+    pub fn ensure_indexes(&self, db: &mut Database, arities: &FxHashMap<Symbol, usize>) {
+        for literal in &self.literals {
+            if literal.is_succ {
+                continue;
+            }
+            if literal.bound_positions.is_empty()
+                || literal.bound_positions.len() >= literal.slots.len()
+            {
+                continue;
+            }
+            let arity = arities
+                .get(&literal.predicate)
+                .copied()
+                .unwrap_or(literal.slots.len());
+            db.ensure_relation(literal.predicate, arity)
+                .ensure_index(&literal.bound_positions);
+        }
+    }
+
+    /// Instantiate the head for a completed environment.
+    fn head_tuple(&self, env: &[Option<Const>], out: &mut Vec<Const>) {
+        out.clear();
+        for slot in &self.head_slots {
+            match slot {
+                Slot::Const(c) => out.push(*c),
+                Slot::Var(idx) => out.push(env[*idx].expect("unbound head variable at firing time")),
+            }
+        }
+    }
+
+    /// Enumerate all instantiations of the body against `db`, calling `emit` with the
+    /// instantiated head tuple for each. If `delta` is `Some((position, relation))`,
+    /// the literal at `position` is matched against `relation` instead of the database
+    /// relation for its predicate (the semi-naive delta).
+    ///
+    /// Returns the number of successful body instantiations.
+    pub fn fire(
+        &self,
+        db: &Database,
+        delta: Option<(usize, &Relation)>,
+        emit: &mut dyn FnMut(&[Const]),
+    ) -> usize {
+        let mut env: Vec<Option<Const>> = vec![None; self.env_size];
+        let mut head_buf: Vec<Const> = Vec::with_capacity(self.head_slots.len());
+        let mut scratch: Vec<Vec<RowId>> = vec![Vec::new(); self.literals.len()];
+        let mut count = 0usize;
+        self.join(
+            db,
+            delta,
+            0,
+            &mut env,
+            &mut scratch,
+            &mut head_buf,
+            emit,
+            &mut count,
+        );
+        count
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn join(
+        &self,
+        db: &Database,
+        delta: Option<(usize, &Relation)>,
+        depth: usize,
+        env: &mut Vec<Option<Const>>,
+        scratch: &mut Vec<Vec<RowId>>,
+        head_buf: &mut Vec<Const>,
+        emit: &mut dyn FnMut(&[Const]),
+        count: &mut usize,
+    ) {
+        if depth == self.literals.len() {
+            *count += 1;
+            self.head_tuple(env, head_buf);
+            emit(head_buf);
+            return;
+        }
+        let literal = &self.literals[depth];
+
+        // Builtin successor: succ(X, Y) with X bound to an integer binds/checks Y=X+1;
+        // with only Y bound it binds/checks X=Y-1.
+        if literal.is_succ && db.relation(literal.predicate).is_none() {
+            self.join_succ(db, delta, depth, env, scratch, head_buf, emit, count);
+            return;
+        }
+
+        let use_delta = matches!(delta, Some((pos, _)) if pos == depth);
+        let relation: &Relation = if use_delta {
+            delta.expect("delta checked above").1
+        } else {
+            match db.relation(literal.predicate) {
+                Some(rel) => rel,
+                None => return, // empty relation: no matches
+            }
+        };
+        if relation.arity() != literal.slots.len() {
+            return;
+        }
+
+        // Build the selection pattern from currently bound slots.
+        let mut pattern: Vec<Option<Const>> = Vec::with_capacity(literal.slots.len());
+        for slot in &literal.slots {
+            match slot {
+                Slot::Const(c) => pattern.push(Some(*c)),
+                Slot::Var(idx) => pattern.push(env[*idx]),
+            }
+        }
+
+        // Take this literal's scratch buffer out to appease the borrow checker; it is
+        // restored before returning.
+        let mut rows = std::mem::take(&mut scratch[depth]);
+        relation.select(&pattern, &mut rows);
+        for &row_id in &rows {
+            let row = relation.row(row_id);
+            // Bind unbound variables; remember which so we can undo.
+            let mut newly_bound: Vec<usize> = Vec::new();
+            let mut consistent = true;
+            for (i, slot) in literal.slots.iter().enumerate() {
+                match slot {
+                    Slot::Const(c) => {
+                        if row[i] != *c {
+                            consistent = false;
+                            break;
+                        }
+                    }
+                    Slot::Var(idx) => match env[*idx] {
+                        Some(value) => {
+                            if row[i] != value {
+                                consistent = false;
+                                break;
+                            }
+                        }
+                        None => {
+                            env[*idx] = Some(row[i]);
+                            newly_bound.push(*idx);
+                        }
+                    },
+                }
+            }
+            if consistent {
+                self.join(db, delta, depth + 1, env, scratch, head_buf, emit, count);
+            }
+            for idx in newly_bound {
+                env[idx] = None;
+            }
+        }
+        rows.clear();
+        scratch[depth] = rows;
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn join_succ(
+        &self,
+        db: &Database,
+        delta: Option<(usize, &Relation)>,
+        depth: usize,
+        env: &mut Vec<Option<Const>>,
+        scratch: &mut Vec<Vec<RowId>>,
+        head_buf: &mut Vec<Const>,
+        emit: &mut dyn FnMut(&[Const]),
+        count: &mut usize,
+    ) {
+        let literal = &self.literals[depth];
+        if literal.slots.len() != 2 {
+            return;
+        }
+        let value_of = |slot: &Slot, env: &[Option<Const>]| match slot {
+            Slot::Const(c) => Some(*c),
+            Slot::Var(idx) => env[*idx],
+        };
+        let first = value_of(&literal.slots[0], env);
+        let second = value_of(&literal.slots[1], env);
+        let pair: Option<(Const, Const)> = match (first, second) {
+            (Some(Const::Int(x)), _) => Some((Const::Int(x), Const::Int(x + 1))),
+            (None, Some(Const::Int(y))) => Some((Const::Int(y - 1), Const::Int(y))),
+            _ => None, // unbound or non-integer: no matches
+        };
+        let Some((x, y)) = pair else { return };
+        // Check/bind both positions against (x, y).
+        let expected = [x, y];
+        let mut newly_bound: Vec<usize> = Vec::new();
+        let mut consistent = true;
+        for (i, slot) in literal.slots.iter().enumerate() {
+            match slot {
+                Slot::Const(c) => {
+                    if *c != expected[i] {
+                        consistent = false;
+                        break;
+                    }
+                }
+                Slot::Var(idx) => match env[*idx] {
+                    Some(value) => {
+                        if value != expected[i] {
+                            consistent = false;
+                            break;
+                        }
+                    }
+                    None => {
+                        env[*idx] = Some(expected[i]);
+                        newly_bound.push(*idx);
+                    }
+                },
+            }
+        }
+        if consistent {
+            self.join(db, delta, depth + 1, env, scratch, head_buf, emit, count);
+        }
+        for idx in newly_bound {
+            env[idx] = None;
+        }
+    }
+}
+
+/// Build an atom from a predicate and tuple (diagnostic helper used by evaluators).
+pub fn fact_atom(predicate: Symbol, tuple: &[Const]) -> Atom {
+    Atom::new(predicate, tuple.iter().map(|&c| Term::Const(c)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_rule;
+
+    fn c(i: i64) -> Const {
+        Const::Int(i)
+    }
+
+    fn compile(rule_text: &str) -> CompiledRule {
+        let rule = parse_rule(rule_text).unwrap();
+        CompiledRule::compile(0, &rule, &|_| false, &EvalOptions::default())
+    }
+
+    #[test]
+    fn bound_positions_follow_left_to_right_sip() {
+        let compiled = compile("t(X, Y) :- e(X, W), t(W, Y).");
+        // In e(X, W): nothing bound yet.
+        assert!(compiled.literals[0].bound_positions.is_empty());
+        // In t(W, Y): W was bound by e(X, W).
+        assert_eq!(compiled.literals[1].bound_positions, vec![0]);
+        assert_eq!(compiled.env_size, 3);
+    }
+
+    #[test]
+    fn constants_count_as_bound() {
+        let compiled = compile("q(Y) :- t(5, Y).");
+        assert_eq!(compiled.literals[0].bound_positions, vec![0]);
+    }
+
+    #[test]
+    fn fire_joins_two_literals() {
+        let compiled = compile("t(X, Y) :- e(X, W), f(W, Y).");
+        let mut db = Database::new();
+        db.add_fact("e", &[c(1), c(2)]);
+        db.add_fact("e", &[c(1), c(3)]);
+        db.add_fact("f", &[c(2), c(10)]);
+        db.add_fact("f", &[c(3), c(11)]);
+        db.add_fact("f", &[c(4), c(12)]);
+        let mut results = Vec::new();
+        let fired = compiled.fire(&db, None, &mut |tuple| results.push(tuple.to_vec()));
+        assert_eq!(fired, 2);
+        results.sort();
+        assert_eq!(results, vec![vec![c(1), c(10)], vec![c(1), c(11)]]);
+    }
+
+    #[test]
+    fn fire_respects_repeated_variables() {
+        let compiled = compile("loop(X) :- e(X, X).");
+        let mut db = Database::new();
+        db.add_fact("e", &[c(1), c(1)]);
+        db.add_fact("e", &[c(1), c(2)]);
+        let mut results = Vec::new();
+        compiled.fire(&db, None, &mut |tuple| results.push(tuple.to_vec()));
+        assert_eq!(results, vec![vec![c(1)]]);
+    }
+
+    #[test]
+    fn fire_uses_delta_for_designated_literal() {
+        let compiled = compile("t(X, Y) :- e(X, W), t(W, Y).");
+        let mut db = Database::new();
+        db.add_fact("e", &[c(1), c(2)]);
+        db.add_fact("t", &[c(2), c(3)]);
+        db.add_fact("t", &[c(2), c(4)]);
+        // Delta contains only one of the two t facts.
+        let mut delta = Relation::new(2);
+        delta.insert(&[c(2), c(3)]);
+        let mut results = Vec::new();
+        compiled.fire(&db, Some((1, &delta)), &mut |t| results.push(t.to_vec()));
+        assert_eq!(results, vec![vec![c(1), c(3)]]);
+    }
+
+    #[test]
+    fn fire_with_constants_in_head() {
+        let compiled = compile("m(5).");
+        let db = Database::new();
+        let mut results = Vec::new();
+        let fired = compiled.fire(&db, None, &mut |t| results.push(t.to_vec()));
+        assert_eq!(fired, 1);
+        assert_eq!(results, vec![vec![c(5)]]);
+    }
+
+    #[test]
+    fn missing_relation_yields_no_matches() {
+        let compiled = compile("p(X) :- q(X).");
+        let db = Database::new();
+        let mut results = Vec::new();
+        assert_eq!(compiled.fire(&db, None, &mut |t| results.push(t.to_vec())), 0);
+        assert!(results.is_empty());
+    }
+
+    #[test]
+    fn arity_mismatch_is_no_match_not_a_panic() {
+        let compiled = compile("p(X) :- q(X).");
+        let mut db = Database::new();
+        db.add_fact("q", &[c(1), c(2)]); // q stored with arity 2, literal has arity 1
+        let mut results = Vec::new();
+        assert_eq!(compiled.fire(&db, None, &mut |t| results.push(t.to_vec())), 0);
+    }
+
+    #[test]
+    fn succ_builtin_binds_forward_and_backward() {
+        let compiled = compile("next(Y) :- start(X), succ(X, Y).");
+        let mut db = Database::new();
+        db.add_fact("start", &[c(7)]);
+        let mut results = Vec::new();
+        compiled.fire(&db, None, &mut |t| results.push(t.to_vec()));
+        assert_eq!(results, vec![vec![c(8)]]);
+
+        let compiled = compile("prev(X) :- end(Y), succ(X, Y).");
+        let mut db = Database::new();
+        db.add_fact("end", &[c(7)]);
+        let mut results = Vec::new();
+        compiled.fire(&db, None, &mut |t| results.push(t.to_vec()));
+        assert_eq!(results, vec![vec![c(6)]]);
+    }
+
+    #[test]
+    fn succ_builtin_checks_when_both_bound() {
+        let compiled = compile("ok :- a(X), b(Y), succ(X, Y).");
+        let mut db = Database::new();
+        db.add_fact("a", &[c(1)]);
+        db.add_fact("b", &[c(2)]);
+        db.add_fact("b", &[c(5)]);
+        let mut results = Vec::new();
+        let fired = compiled.fire(&db, None, &mut |t| results.push(t.to_vec()));
+        assert_eq!(fired, 1, "only succ(1,2) holds");
+    }
+
+    #[test]
+    fn explicit_succ_relation_overrides_builtin() {
+        let compiled = compile("p(Y) :- start(X), succ(X, Y).");
+        let mut db = Database::new();
+        db.add_fact("start", &[c(1)]);
+        db.add_fact("succ", &[c(1), c(100)]);
+        let mut results = Vec::new();
+        compiled.fire(&db, None, &mut |t| results.push(t.to_vec()));
+        assert_eq!(results, vec![vec![c(100)]]);
+    }
+
+    #[test]
+    fn ensure_indexes_creates_probeable_indexes() {
+        let compiled = compile("t(X, Y) :- e(X, W), t(W, Y).");
+        let mut db = Database::new();
+        db.add_fact("e", &[c(1), c(2)]);
+        db.add_fact("t", &[c(2), c(3)]);
+        let mut arities = FxHashMap::default();
+        arities.insert(Symbol::intern("e"), 2);
+        arities.insert(Symbol::intern("t"), 2);
+        compiled.ensure_indexes(&mut db, &arities);
+        // t is probed on its first column.
+        assert!(db.relation(Symbol::intern("t")).unwrap().probe(&[0], &[c(2)]).is_some());
+    }
+}

@@ -1,0 +1,169 @@
+//! Bottom-up evaluation of Datalog programs: naive and semi-naive fixpoint strategies,
+//! join machinery, and evaluation statistics.
+
+pub mod join;
+pub mod naive;
+pub mod seminaive;
+pub mod stats;
+
+use std::fmt;
+
+use crate::ast::{Program, Query};
+use crate::fx::FxHashMap;
+use crate::storage::Database;
+use crate::symbol::Symbol;
+use crate::validate::ValidationError;
+
+pub use join::EvalOptions;
+pub use naive::naive_evaluate;
+pub use seminaive::seminaive_evaluate;
+pub use stats::EvalStats;
+
+/// Which fixpoint strategy to use.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub enum Strategy {
+    /// Re-apply every rule to the whole database each round.
+    Naive,
+    /// Delta-driven evaluation (the default).
+    #[default]
+    SemiNaive,
+}
+
+/// The outcome of an evaluation: the least model restricted to the materialized
+/// predicates, plus statistics.
+#[derive(Clone, Debug)]
+pub struct EvalResult {
+    /// EDB facts plus all derived IDB facts.
+    pub database: Database,
+    /// Evaluation counters.
+    pub stats: EvalStats,
+}
+
+impl EvalResult {
+    /// The answers to `query` over the computed model, projected onto the query's free
+    /// positions and sorted (see [`Database::answers`]).
+    pub fn answers(&self, query: &Query) -> Vec<Vec<crate::ast::Const>> {
+        self.database.answers(query)
+    }
+}
+
+/// Errors produced by evaluation.
+#[derive(Clone, Debug)]
+pub enum EvalError {
+    /// The program failed static validation.
+    Invalid(Vec<ValidationError>),
+    /// The fixpoint did not converge within the configured iteration limit.
+    IterationLimit {
+        /// The limit that was exceeded.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::Invalid(errors) => {
+                write!(f, "program is invalid:")?;
+                for e in errors {
+                    write!(f, "\n  {e}")?;
+                }
+                Ok(())
+            }
+            EvalError::IterationLimit { limit } => {
+                write!(f, "evaluation did not converge within {limit} iterations")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Evaluate with the chosen strategy.
+pub fn evaluate(
+    program: &Program,
+    edb: &Database,
+    strategy: Strategy,
+    options: &EvalOptions,
+) -> Result<EvalResult, EvalError> {
+    match strategy {
+        Strategy::Naive => naive_evaluate(program, edb, options),
+        Strategy::SemiNaive => seminaive_evaluate(program, edb, options),
+    }
+}
+
+/// Evaluate with the default strategy (semi-naive) and default options.
+pub fn evaluate_default(program: &Program, edb: &Database) -> Result<EvalResult, EvalError> {
+    seminaive_evaluate(program, edb, &EvalOptions::default())
+}
+
+/// Collect the arity of every predicate mentioned in the program or present in the
+/// database. Program occurrences win (they are validated for consistency).
+pub(crate) fn arity_map(program: &Program, edb: &Database) -> FxHashMap<Symbol, usize> {
+    let mut arities: FxHashMap<Symbol, usize> = FxHashMap::default();
+    for (pred, rel) in edb.iter() {
+        arities.insert(pred, rel.arity());
+    }
+    for rule in &program.rules {
+        for atom in std::iter::once(&rule.head).chain(rule.body.iter()) {
+            arities.insert(atom.predicate, atom.arity());
+        }
+    }
+    arities
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Const;
+    use crate::parser::{parse_program, parse_query};
+
+    fn c(i: i64) -> Const {
+        Const::Int(i)
+    }
+
+    #[test]
+    fn evaluate_dispatches_on_strategy() {
+        let program = parse_program("t(X, Y) :- e(X, Y).\nt(X, Y) :- e(X, W), t(W, Y).")
+            .unwrap()
+            .program;
+        let mut edb = Database::new();
+        for i in 0..5i64 {
+            edb.add_fact("e", &[c(i), c(i + 1)]);
+        }
+        let options = EvalOptions::default();
+        let naive = evaluate(&program, &edb, Strategy::Naive, &options).unwrap();
+        let semi = evaluate(&program, &edb, Strategy::SemiNaive, &options).unwrap();
+        assert_eq!(naive.database.count("t"), semi.database.count("t"));
+        let q = parse_query("t(0, Y)").unwrap();
+        assert_eq!(naive.answers(&q), semi.answers(&q));
+    }
+
+    #[test]
+    fn evaluate_default_uses_seminaive() {
+        let program = parse_program("p(X) :- e(X, Y).").unwrap().program;
+        let mut edb = Database::new();
+        edb.add_fact("e", &[c(1), c(2)]);
+        let result = evaluate_default(&program, &edb).unwrap();
+        assert_eq!(result.database.count("p"), 1);
+    }
+
+    #[test]
+    fn error_display() {
+        let err = EvalError::IterationLimit { limit: 7 };
+        assert!(format!("{err}").contains('7'));
+        let program = parse_program("p(X, Y) :- e(X).").unwrap().program;
+        let err = evaluate_default(&program, &Database::new()).unwrap_err();
+        assert!(format!("{err}").contains("invalid"));
+    }
+
+    #[test]
+    fn arity_map_covers_program_and_edb() {
+        let program = parse_program("p(X) :- e(X, Y).").unwrap().program;
+        let mut edb = Database::new();
+        edb.add_fact("r", &[c(1), c(2), c(3)]);
+        let map = arity_map(&program, &edb);
+        assert_eq!(map[&Symbol::intern("p")], 1);
+        assert_eq!(map[&Symbol::intern("e")], 2);
+        assert_eq!(map[&Symbol::intern("r")], 3);
+    }
+}

@@ -1,0 +1,173 @@
+//! Naive bottom-up evaluation: repeatedly apply every rule to the whole database until
+//! no new fact is derived.
+//!
+//! Naive evaluation is quadratically redundant compared to semi-naive evaluation but is
+//! the simplest correct fixpoint computation; it serves as the reference implementation
+//! the semi-naive evaluator is tested against, and as the evaluation core of the
+//! uniform-equivalence check used by the §5 optimizations.
+
+use crate::ast::Program;
+use crate::fx::FxHashMap;
+use crate::storage::{Database, Relation};
+use crate::symbol::Symbol;
+
+use super::join::{CompiledRule, EvalOptions};
+use super::stats::EvalStats;
+use super::{arity_map, EvalError, EvalResult};
+
+/// Evaluate `program` over `edb` with naive iteration.
+pub fn naive_evaluate(
+    program: &Program,
+    edb: &Database,
+    options: &EvalOptions,
+) -> Result<EvalResult, EvalError> {
+    crate::validate::check_program(program).map_err(EvalError::Invalid)?;
+
+    let idb: std::collections::BTreeSet<Symbol> = program.idb_predicates();
+    let arities = arity_map(program, edb);
+    let mut db = edb.clone();
+    for &p in &idb {
+        let arity = arities.get(&p).copied().unwrap_or(0);
+        db.ensure_relation(p, arity);
+    }
+
+    let compiled: Vec<CompiledRule> = program
+        .rules
+        .iter()
+        .enumerate()
+        .map(|(i, r)| CompiledRule::compile(i, r, &|p| idb.contains(&p), options))
+        .collect();
+    for rule in &compiled {
+        rule.ensure_indexes(&mut db, &arities);
+    }
+
+    let mut stats = EvalStats::new(program.rules.len());
+    loop {
+        if stats.iterations >= options.max_iterations {
+            return Err(EvalError::IterationLimit {
+                limit: options.max_iterations,
+            });
+        }
+        stats.iterations += 1;
+        let mut staging: FxHashMap<Symbol, Relation> = FxHashMap::default();
+        for rule in &compiled {
+            let head_arity = arities.get(&rule.head_predicate).copied().unwrap_or(0);
+            let staged = staging
+                .entry(rule.head_predicate)
+                .or_insert_with(|| Relation::new(head_arity));
+            let db_ref = &db;
+            let mut inferences: Vec<(Vec<crate::ast::Const>, bool)> = Vec::new();
+            rule.fire(db_ref, None, &mut |tuple| {
+                let known = db_ref
+                    .relation(rule.head_predicate)
+                    .map(|r| r.contains(tuple))
+                    .unwrap_or(false);
+                let is_new = !known && staged.insert(tuple);
+                inferences.push((tuple.to_vec(), is_new));
+            });
+            for (_, is_new) in &inferences {
+                stats.record_inference(rule.rule_index, rule.head_predicate, *is_new);
+            }
+        }
+        let mut any_new = false;
+        for (pred, staged) in staging {
+            let arity = staged.arity();
+            let added = db.ensure_relation(pred, arity).merge_from(&staged);
+            if added > 0 {
+                any_new = true;
+            }
+        }
+        if !any_new {
+            break;
+        }
+    }
+
+    Ok(EvalResult {
+        database: db,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Const;
+    use crate::parser::{parse_program, parse_query};
+
+    fn c(i: i64) -> Const {
+        Const::Int(i)
+    }
+
+    fn chain_edb(n: i64) -> Database {
+        let mut db = Database::new();
+        for i in 0..n {
+            db.add_fact("e", &[c(i), c(i + 1)]);
+        }
+        db
+    }
+
+    #[test]
+    fn computes_transitive_closure_of_a_chain() {
+        let program = parse_program("t(X, Y) :- e(X, Y).\nt(X, Y) :- e(X, W), t(W, Y).")
+            .unwrap()
+            .program;
+        let result = naive_evaluate(&program, &chain_edb(5), &EvalOptions::default()).unwrap();
+        // A chain of 5 edges has 5+4+3+2+1 = 15 transitive-closure pairs.
+        assert_eq!(result.database.count("t"), 15);
+        let q = parse_query("t(0, Y)").unwrap();
+        assert_eq!(result.database.answers(&q).len(), 5);
+    }
+
+    #[test]
+    fn facts_in_program_are_materialized() {
+        let program = parse_program("m(5).\nm(W) :- m(X), e(X, W).").unwrap().program;
+        let mut edb = Database::new();
+        edb.add_fact("e", &[c(5), c(6)]);
+        edb.add_fact("e", &[c(6), c(7)]);
+        edb.add_fact("e", &[c(9), c(10)]);
+        let result = naive_evaluate(&program, &edb, &EvalOptions::default()).unwrap();
+        let m = result.database.relation(Symbol::intern("m")).unwrap();
+        assert_eq!(m.to_sorted_vec(), vec![vec![c(5)], vec![c(6)], vec![c(7)]]);
+    }
+
+    #[test]
+    fn stats_count_iterations_and_inferences() {
+        let program = parse_program("t(X, Y) :- e(X, Y).\nt(X, Y) :- e(X, W), t(W, Y).")
+            .unwrap()
+            .program;
+        let result = naive_evaluate(&program, &chain_edb(4), &EvalOptions::default()).unwrap();
+        assert!(result.stats.iterations >= 4, "chain of length 4 needs >= 4 passes");
+        assert!(result.stats.inferences >= result.stats.facts_derived);
+        assert_eq!(result.stats.facts_for(Symbol::intern("t")), 10);
+    }
+
+    #[test]
+    fn unsafe_program_is_rejected() {
+        let program = parse_program("p(X, Y) :- e(X).").unwrap().program;
+        let err = naive_evaluate(&program, &Database::new(), &EvalOptions::default()).unwrap_err();
+        assert!(matches!(err, EvalError::Invalid(_)));
+    }
+
+    #[test]
+    fn iteration_limit_is_enforced() {
+        // counter(N1) :- counter(N), succ(N, N1). grows forever with the succ builtin.
+        let program = parse_program("counter(0).\ncounter(M) :- counter(N), succ(N, M).")
+            .unwrap()
+            .program;
+        let options = EvalOptions {
+            max_iterations: 10,
+            ..EvalOptions::default()
+        };
+        let err = naive_evaluate(&program, &Database::new(), &options).unwrap_err();
+        assert!(matches!(err, EvalError::IterationLimit { limit: 10 }));
+    }
+
+    #[test]
+    fn empty_program_returns_edb() {
+        let program = Program::new();
+        let edb = chain_edb(3);
+        let result = naive_evaluate(&program, &edb, &EvalOptions::default()).unwrap();
+        assert_eq!(result.database.count("e"), 3);
+        assert_eq!(result.stats.facts_derived, 0);
+    }
+}

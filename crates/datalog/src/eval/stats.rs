@@ -1,0 +1,141 @@
+//! Evaluation statistics.
+//!
+//! Wall-clock time depends on the machine; the paper's arguments are about the *number
+//! of facts and inferences* a strategy performs (e.g. the O(n²) `pmem` facts of
+//! Example 1.2 versus the O(n) facts after factoring). The evaluator therefore counts
+//! inferences, derived facts and duplicates, and reports them per predicate, so
+//! benchmarks can present machine-independent results alongside timings.
+
+use std::fmt;
+
+use crate::fx::FxHashMap;
+use crate::symbol::Symbol;
+
+/// Counters collected during one evaluation run.
+#[derive(Clone, Debug, Default)]
+pub struct EvalStats {
+    /// Number of fixpoint iterations (semi-naive rounds or naive passes).
+    pub iterations: usize,
+    /// Number of successful rule-body instantiations (each is one inference).
+    pub inferences: usize,
+    /// Number of inferences whose head fact was already known.
+    pub duplicates: usize,
+    /// Number of new facts added to the IDB.
+    pub facts_derived: usize,
+    /// New facts per predicate.
+    pub facts_per_predicate: FxHashMap<Symbol, usize>,
+    /// Inferences per rule (indexed by rule position in the program).
+    pub inferences_per_rule: Vec<usize>,
+}
+
+impl EvalStats {
+    /// Create statistics for a program with `rule_count` rules.
+    pub fn new(rule_count: usize) -> EvalStats {
+        EvalStats {
+            inferences_per_rule: vec![0; rule_count],
+            ..EvalStats::default()
+        }
+    }
+
+    /// Record one successful inference of `predicate` by rule `rule_index`; `is_new`
+    /// says whether the derived fact was new.
+    pub fn record_inference(&mut self, rule_index: usize, predicate: Symbol, is_new: bool) {
+        self.inferences += 1;
+        if let Some(slot) = self.inferences_per_rule.get_mut(rule_index) {
+            *slot += 1;
+        }
+        if is_new {
+            self.facts_derived += 1;
+            *self.facts_per_predicate.entry(predicate).or_insert(0) += 1;
+        } else {
+            self.duplicates += 1;
+        }
+    }
+
+    /// Number of facts derived for one predicate.
+    pub fn facts_for(&self, predicate: Symbol) -> usize {
+        self.facts_per_predicate.get(&predicate).copied().unwrap_or(0)
+    }
+
+    /// Merge another statistics object into this one (summing counters, taking the max
+    /// of iteration counts).
+    pub fn merge(&mut self, other: &EvalStats) {
+        self.iterations = self.iterations.max(other.iterations);
+        self.inferences += other.inferences;
+        self.duplicates += other.duplicates;
+        self.facts_derived += other.facts_derived;
+        for (&p, &n) in &other.facts_per_predicate {
+            *self.facts_per_predicate.entry(p).or_insert(0) += n;
+        }
+        if self.inferences_per_rule.len() < other.inferences_per_rule.len() {
+            self.inferences_per_rule
+                .resize(other.inferences_per_rule.len(), 0);
+        }
+        for (i, n) in other.inferences_per_rule.iter().enumerate() {
+            self.inferences_per_rule[i] += n;
+        }
+    }
+}
+
+impl fmt::Display for EvalStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "iterations: {}, inferences: {}, facts derived: {}, duplicates: {}",
+            self.iterations, self.inferences, self.facts_derived, self.duplicates
+        )?;
+        let mut preds: Vec<_> = self.facts_per_predicate.iter().collect();
+        preds.sort_by_key(|(p, _)| p.as_str());
+        for (p, n) in preds {
+            writeln!(f, "  {p}: {n} facts")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_inference_updates_counters() {
+        let mut s = EvalStats::new(2);
+        let p = Symbol::intern("t");
+        s.record_inference(0, p, true);
+        s.record_inference(0, p, true);
+        s.record_inference(1, p, false);
+        assert_eq!(s.inferences, 3);
+        assert_eq!(s.facts_derived, 2);
+        assert_eq!(s.duplicates, 1);
+        assert_eq!(s.facts_for(p), 2);
+        assert_eq!(s.inferences_per_rule, vec![2, 1]);
+    }
+
+    #[test]
+    fn merge_sums_counters() {
+        let p = Symbol::intern("q");
+        let mut a = EvalStats::new(1);
+        a.iterations = 3;
+        a.record_inference(0, p, true);
+        let mut b = EvalStats::new(2);
+        b.iterations = 5;
+        b.record_inference(1, p, true);
+        b.record_inference(1, p, false);
+        a.merge(&b);
+        assert_eq!(a.iterations, 5);
+        assert_eq!(a.inferences, 3);
+        assert_eq!(a.facts_derived, 2);
+        assert_eq!(a.duplicates, 1);
+        assert_eq!(a.inferences_per_rule, vec![1, 2]);
+    }
+
+    #[test]
+    fn display_mentions_all_counts() {
+        let mut s = EvalStats::new(1);
+        s.iterations = 2;
+        s.record_inference(0, Symbol::intern("t"), true);
+        let text = format!("{s}");
+        assert!(text.contains("iterations: 2"));
+        assert!(text.contains("t: 1 facts"));
+    }
+}

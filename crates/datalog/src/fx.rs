@@ -1,0 +1,131 @@
+//! A small, fast, non-cryptographic hasher (the classic `FxHash` algorithm used by
+//! rustc), plus `HashMap`/`HashSet` type aliases built on it.
+//!
+//! Joins and duplicate elimination hash small fixed-arity tuples of integers billions of
+//! times per benchmark run; the default SipHash is measurably slower for these keys.
+//! HashDoS resistance is irrelevant here (all inputs are generated workloads), so we
+//! trade it away. Implemented internally to keep the dependency set to the approved
+//! list.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant from the FxHash algorithm (64-bit variant).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The rustc `FxHash` hasher: a word-at-a-time multiply-rotate-xor hash.
+#[derive(Default, Clone, Copy)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, i: i64) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+/// Hash a single value with [`FxHasher`]; convenience for bucketed stores.
+#[inline]
+pub fn fx_hash_one<T: std::hash::Hash>(value: &T) -> u64 {
+    let mut hasher = FxHasher::default();
+    value.hash(&mut hasher);
+    hasher.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hashes_are_deterministic() {
+        assert_eq!(fx_hash_one(&42u64), fx_hash_one(&42u64));
+        assert_eq!(fx_hash_one(&"hello"), fx_hash_one(&"hello"));
+    }
+
+    #[test]
+    fn different_inputs_hash_differently() {
+        // Not a guarantee in general, but these simple cases must not collide.
+        assert_ne!(fx_hash_one(&1u64), fx_hash_one(&2u64));
+        assert_ne!(fx_hash_one(&[1u32, 2u32]), fx_hash_one(&[2u32, 1u32]));
+    }
+
+    #[test]
+    fn map_and_set_work() {
+        let mut map: FxHashMap<u32, &str> = FxHashMap::default();
+        map.insert(1, "one");
+        map.insert(2, "two");
+        assert_eq!(map.get(&1), Some(&"one"));
+
+        let mut set: FxHashSet<(u32, u32)> = FxHashSet::default();
+        assert!(set.insert((1, 2)));
+        assert!(!set.insert((1, 2)));
+        assert!(set.insert((2, 1)));
+    }
+
+    #[test]
+    fn write_partial_words() {
+        // Exercise the remainder path of `write`.
+        let a = fx_hash_one(&"abc");
+        let b = fx_hash_one(&"abd");
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,410 @@
+//! Predicate dependency graph: which predicates are recursive, which rules are
+//! recursive, strongly connected components, and reachability from the query predicate.
+//!
+//! The factoring analysis (crate `factorlog-core`) only applies to *unit programs*
+//! — programs with a single recursive IDB predicate (§4.1) — and this module supplies
+//! the classification it needs.
+
+use std::collections::BTreeSet;
+
+use crate::ast::Program;
+use crate::fx::FxHashMap;
+use crate::symbol::Symbol;
+
+/// The predicate dependency graph of a program.
+#[derive(Clone, Debug)]
+pub struct DependencyGraph {
+    /// All predicates, in deterministic (name) order.
+    predicates: Vec<Symbol>,
+    index: FxHashMap<Symbol, usize>,
+    /// `edges[i]` lists the predicates that predicate `i` depends on (its rules' body
+    /// predicates).
+    edges: Vec<BTreeSet<usize>>,
+    /// IDB predicates (appear in some head).
+    idb: BTreeSet<Symbol>,
+    /// Strongly connected components, each a sorted list of predicates, in reverse
+    /// topological order (dependencies before dependents).
+    sccs: Vec<Vec<Symbol>>,
+}
+
+impl DependencyGraph {
+    /// Build the dependency graph of `program`.
+    pub fn new(program: &Program) -> DependencyGraph {
+        let mut predicates: Vec<Symbol> = program.all_predicates().into_iter().collect();
+        predicates.sort_by_key(|s| s.as_str());
+        let index: FxHashMap<Symbol, usize> = predicates
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (p, i))
+            .collect();
+        let mut edges: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); predicates.len()];
+        for rule in &program.rules {
+            let head = index[&rule.head.predicate];
+            for atom in &rule.body {
+                edges[head].insert(index[&atom.predicate]);
+            }
+        }
+        let idb = program.idb_predicates();
+        let sccs = tarjan_sccs(&edges)
+            .into_iter()
+            .map(|component| {
+                let mut names: Vec<Symbol> =
+                    component.into_iter().map(|i| predicates[i]).collect();
+                names.sort_by_key(|s| s.as_str());
+                names
+            })
+            .collect();
+        DependencyGraph {
+            predicates,
+            index,
+            edges,
+            idb,
+            sccs,
+        }
+    }
+
+    /// All predicates, sorted by name.
+    pub fn predicates(&self) -> &[Symbol] {
+        &self.predicates
+    }
+
+    /// Is `p` an IDB predicate (appears in a rule head)?
+    pub fn is_idb(&self, p: Symbol) -> bool {
+        self.idb.contains(&p)
+    }
+
+    /// Does `from` depend (directly) on `to`?
+    pub fn depends_on(&self, from: Symbol, to: Symbol) -> bool {
+        match (self.index.get(&from), self.index.get(&to)) {
+            (Some(&f), Some(&t)) => self.edges[f].contains(&t),
+            _ => false,
+        }
+    }
+
+    /// The strongly connected components in dependency order (a component appears
+    /// after the components it depends on).
+    pub fn sccs(&self) -> &[Vec<Symbol>] {
+        &self.sccs
+    }
+
+    /// Is predicate `p` recursive — i.e. does it (transitively) depend on itself?
+    pub fn is_recursive(&self, p: Symbol) -> bool {
+        let Some(&i) = self.index.get(&p) else {
+            return false;
+        };
+        // p is recursive iff its SCC has more than one member, or it has a self-loop.
+        if self.edges[i].contains(&i) {
+            return true;
+        }
+        self.sccs
+            .iter()
+            .any(|component| component.len() > 1 && component.contains(&p))
+    }
+
+    /// All recursive IDB predicates, sorted by name.
+    pub fn recursive_predicates(&self) -> Vec<Symbol> {
+        self.predicates
+            .iter()
+            .copied()
+            .filter(|&p| self.idb.contains(&p) && self.is_recursive(p))
+            .collect()
+    }
+
+    /// The set of predicates reachable from `start` (including `start` itself if it is
+    /// a known predicate).
+    pub fn reachable_from(&self, start: Symbol) -> BTreeSet<Symbol> {
+        let mut reached = BTreeSet::new();
+        let Some(&s) = self.index.get(&start) else {
+            return reached;
+        };
+        let mut stack = vec![s];
+        let mut seen = vec![false; self.predicates.len()];
+        seen[s] = true;
+        while let Some(node) = stack.pop() {
+            reached.insert(self.predicates[node]);
+            for &next in &self.edges[node] {
+                if !seen[next] {
+                    seen[next] = true;
+                    stack.push(next);
+                }
+            }
+        }
+        reached
+    }
+}
+
+/// Classification of a program's rules with respect to recursion.
+#[derive(Clone, Debug)]
+pub struct RecursionInfo {
+    /// Recursive IDB predicates.
+    pub recursive_predicates: Vec<Symbol>,
+    /// Indices of rules whose body mentions a predicate in the head's SCC
+    /// (the recursive rules).
+    pub recursive_rules: Vec<usize>,
+    /// Indices of rules for recursive predicates whose body contains no predicate
+    /// mutually recursive with the head (the exit rules).
+    pub exit_rules: Vec<usize>,
+    /// Is this a *unit program*: exactly one recursive IDB predicate and no other IDB
+    /// predicate is mutually recursive with it?
+    pub single_recursive_predicate: Option<Symbol>,
+    /// Is every recursive rule linear (at most one body literal of the recursive
+    /// predicate's SCC)?
+    pub linear: bool,
+}
+
+/// Analyse the recursion structure of a program.
+pub fn recursion_info(program: &Program) -> RecursionInfo {
+    let graph = DependencyGraph::new(program);
+    let recursive = graph.recursive_predicates();
+    let mut recursive_rules = Vec::new();
+    let mut exit_rules = Vec::new();
+    let mut linear = true;
+    for (i, rule) in program.rules.iter().enumerate() {
+        let head = rule.head.predicate;
+        if !recursive.contains(&head) {
+            continue;
+        }
+        // Mutually-recursive body literals: those in the same SCC as the head.
+        let scc: &Vec<Symbol> = graph
+            .sccs()
+            .iter()
+            .find(|c| c.contains(&head))
+            .expect("head predicate is in some SCC");
+        let rec_literals = rule
+            .body
+            .iter()
+            .filter(|a| scc.contains(&a.predicate))
+            .count();
+        if rec_literals == 0 {
+            exit_rules.push(i);
+        } else {
+            recursive_rules.push(i);
+            if rec_literals > 1 {
+                linear = false;
+            }
+        }
+    }
+    let single_recursive_predicate = if recursive.len() == 1 {
+        Some(recursive[0])
+    } else {
+        None
+    };
+    RecursionInfo {
+        recursive_predicates: recursive,
+        recursive_rules,
+        exit_rules,
+        single_recursive_predicate,
+        linear,
+    }
+}
+
+/// Tarjan's strongly-connected-components algorithm (iterative), returning components
+/// in reverse topological order.
+fn tarjan_sccs(edges: &[BTreeSet<usize>]) -> Vec<Vec<usize>> {
+    let n = edges.len();
+    let mut index_counter = 0usize;
+    let mut indices: Vec<Option<usize>> = vec![None; n];
+    let mut lowlink: Vec<usize> = vec![0; n];
+    let mut on_stack: Vec<bool> = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut result: Vec<Vec<usize>> = Vec::new();
+
+    // Iterative DFS with an explicit call stack of (node, neighbour-iterator position).
+    enum Frame {
+        Enter(usize),
+        Continue(usize, Vec<usize>, usize),
+    }
+
+    for start in 0..n {
+        if indices[start].is_some() {
+            continue;
+        }
+        let mut call_stack = vec![Frame::Enter(start)];
+        while let Some(frame) = call_stack.pop() {
+            match frame {
+                Frame::Enter(v) => {
+                    indices[v] = Some(index_counter);
+                    lowlink[v] = index_counter;
+                    index_counter += 1;
+                    stack.push(v);
+                    on_stack[v] = true;
+                    let neighbours: Vec<usize> = edges[v].iter().copied().collect();
+                    call_stack.push(Frame::Continue(v, neighbours, 0));
+                }
+                Frame::Continue(v, neighbours, mut i) => {
+                    let mut descended = false;
+                    while i < neighbours.len() {
+                        let w = neighbours[i];
+                        i += 1;
+                        match indices[w] {
+                            None => {
+                                call_stack.push(Frame::Continue(v, neighbours.clone(), i));
+                                call_stack.push(Frame::Enter(w));
+                                descended = true;
+                                break;
+                            }
+                            Some(w_index) => {
+                                if on_stack[w] {
+                                    lowlink[v] = lowlink[v].min(w_index);
+                                }
+                            }
+                        }
+                    }
+                    if descended {
+                        continue;
+                    }
+                    // All neighbours processed.
+                    if lowlink[v] == indices[v].expect("visited") {
+                        let mut component = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("stack nonempty");
+                            on_stack[w] = false;
+                            component.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        result.push(component);
+                    }
+                    // Propagate lowlink to parent if any.
+                    if let Some(Frame::Continue(parent, _, _)) = call_stack.last() {
+                        let parent = *parent;
+                        lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                    }
+                }
+            }
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn program(src: &str) -> Program {
+        parse_program(src).unwrap().program
+    }
+
+    #[test]
+    fn transitive_closure_has_one_recursive_predicate() {
+        let p = program("t(X, Y) :- e(X, Y).\nt(X, Y) :- e(X, W), t(W, Y).\nquery(Y) :- t(5, Y).");
+        let g = DependencyGraph::new(&p);
+        let t = Symbol::intern("t");
+        let e = Symbol::intern("e");
+        let q = Symbol::intern("query");
+        assert!(g.is_recursive(t));
+        assert!(!g.is_recursive(e));
+        assert!(!g.is_recursive(q));
+        assert!(g.is_idb(t));
+        assert!(g.is_idb(q));
+        assert!(!g.is_idb(e));
+        assert!(g.depends_on(q, t));
+        assert!(!g.depends_on(t, q));
+        assert_eq!(g.recursive_predicates(), vec![t]);
+    }
+
+    #[test]
+    fn mutual_recursion_forms_one_scc() {
+        let p = program(
+            "even(X) :- zero(X).\n\
+             even(X) :- pred(X, Y), odd(Y).\n\
+             odd(X) :- pred(X, Y), even(Y).",
+        );
+        let g = DependencyGraph::new(&p);
+        let even = Symbol::intern("even");
+        let odd = Symbol::intern("odd");
+        assert!(g.is_recursive(even));
+        assert!(g.is_recursive(odd));
+        let scc = g
+            .sccs()
+            .iter()
+            .find(|c| c.contains(&even))
+            .expect("even is in some SCC");
+        assert!(scc.contains(&odd));
+    }
+
+    #[test]
+    fn sccs_are_in_dependency_order() {
+        let p = program("a(X) :- b(X).\nb(X) :- c(X).\nc(X) :- d(X).");
+        let g = DependencyGraph::new(&p);
+        let order: Vec<&str> = g
+            .sccs()
+            .iter()
+            .map(|c| c[0].as_str())
+            .collect();
+        let pos = |name: &str| order.iter().position(|&p| p == name).unwrap();
+        assert!(pos("d") < pos("c"));
+        assert!(pos("c") < pos("b"));
+        assert!(pos("b") < pos("a"));
+    }
+
+    #[test]
+    fn reachability_from_query() {
+        let p = program(
+            "query(Y) :- t(5, Y).\n\
+             t(X, Y) :- e(X, Y).\n\
+             t(X, Y) :- e(X, W), t(W, Y).\n\
+             unrelated(X) :- f(X).",
+        );
+        let g = DependencyGraph::new(&p);
+        let reached = g.reachable_from(Symbol::intern("query"));
+        assert!(reached.contains(&Symbol::intern("t")));
+        assert!(reached.contains(&Symbol::intern("e")));
+        assert!(!reached.contains(&Symbol::intern("unrelated")));
+        assert!(g.reachable_from(Symbol::intern("no_such_pred")).is_empty());
+    }
+
+    #[test]
+    fn recursion_info_classifies_rules() {
+        let p = program(
+            "t(X, Y) :- t(X, W), t(W, Y).\n\
+             t(X, Y) :- e(X, W), t(W, Y).\n\
+             t(X, Y) :- e(X, Y).\n\
+             query(Y) :- t(5, Y).",
+        );
+        let info = recursion_info(&p);
+        assert_eq!(info.single_recursive_predicate, Some(Symbol::intern("t")));
+        assert_eq!(info.recursive_rules, vec![0, 1]);
+        assert_eq!(info.exit_rules, vec![2]);
+        assert!(!info.linear, "the first rule has two recursive literals");
+    }
+
+    #[test]
+    fn recursion_info_linear_program() {
+        let p = program("t(X, Y) :- e(X, W), t(W, Y).\nt(X, Y) :- e(X, Y).");
+        let info = recursion_info(&p);
+        assert!(info.linear);
+        assert_eq!(info.recursive_rules, vec![0]);
+        assert_eq!(info.exit_rules, vec![1]);
+    }
+
+    #[test]
+    fn non_recursive_program_has_no_recursive_predicates() {
+        let p = program("ancestor(X, Y) :- parent(X, Y).\ngrand(X, Z) :- parent(X, Y), parent(Y, Z).");
+        let info = recursion_info(&p);
+        assert!(info.recursive_predicates.is_empty());
+        assert!(info.recursive_rules.is_empty());
+        assert!(info.exit_rules.is_empty());
+        assert_eq!(info.single_recursive_predicate, None);
+    }
+
+    #[test]
+    fn self_loop_detected_as_recursive() {
+        let p = program("p(X) :- p(X).");
+        let g = DependencyGraph::new(&p);
+        assert!(g.is_recursive(Symbol::intern("p")));
+    }
+
+    #[test]
+    fn two_separate_recursions_are_not_a_unit_program() {
+        let p = program(
+            "t(X, Y) :- e(X, W), t(W, Y).\nt(X, Y) :- e(X, Y).\n\
+             s(X, Y) :- f(X, W), s(W, Y).\ns(X, Y) :- f(X, Y).",
+        );
+        let info = recursion_info(&p);
+        assert_eq!(info.recursive_predicates.len(), 2);
+        assert_eq!(info.single_recursive_predicate, None);
+    }
+}

@@ -1,0 +1,73 @@
+//! Parse errors with source positions.
+
+use std::fmt;
+
+/// A position in the source text (1-based line and column).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct Position {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub column: u32,
+}
+
+impl Position {
+    /// The start of the input.
+    pub fn start() -> Position {
+        Position { line: 1, column: 1 }
+    }
+}
+
+impl fmt::Display for Position {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.column)
+    }
+}
+
+/// An error produced while lexing or parsing Datalog source text.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    /// Where the error occurred.
+    pub position: Position,
+    /// Human-readable description of what went wrong.
+    pub message: String,
+}
+
+impl ParseError {
+    /// Construct an error at `position`.
+    pub fn new(position: Position, message: impl Into<String>) -> ParseError {
+        ParseError {
+            position,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Result alias for parser functions.
+pub type ParseResult<T> = Result<T, ParseError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position_and_message() {
+        let err = ParseError::new(Position { line: 3, column: 7 }, "unexpected token");
+        assert_eq!(format!("{err}"), "parse error at 3:7: unexpected token");
+    }
+
+    #[test]
+    fn start_position() {
+        let p = Position::start();
+        assert_eq!(p.line, 1);
+        assert_eq!(p.column, 1);
+    }
+}

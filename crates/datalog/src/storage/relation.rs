@@ -1,0 +1,401 @@
+//! In-memory relation (set of same-arity tuples) with duplicate elimination and lazily
+//! built secondary hash indexes.
+//!
+//! Tuples are stored row-major in a single flat `Vec<Const>`; a hash-bucket table keyed
+//! by tuple hash provides O(1) duplicate detection (verified against the flat store, so
+//! hash collisions are handled correctly). Secondary indexes map the values of a column
+//! subset to the row ids having those values; they are built on first use and maintained
+//! incrementally on insertion, so semi-naive iterations reuse them.
+
+use crate::ast::Const;
+use crate::fx::{fx_hash_one, FxHashMap};
+
+/// A row identifier within one [`Relation`].
+pub type RowId = u32;
+
+/// A set of tuples of fixed arity.
+#[derive(Clone, Debug, Default)]
+pub struct Relation {
+    arity: usize,
+    flat: Vec<Const>,
+    /// tuple-hash → row ids with that hash (usually exactly one).
+    dedup: FxHashMap<u64, Vec<RowId>>,
+    /// Secondary indexes, keyed by the (sorted) column subset they cover.
+    indexes: Vec<ColumnIndex>,
+}
+
+#[derive(Clone, Debug)]
+struct ColumnIndex {
+    columns: Vec<usize>,
+    map: FxHashMap<Box<[Const]>, Vec<RowId>>,
+}
+
+impl Relation {
+    /// Create an empty relation of the given arity.
+    pub fn new(arity: usize) -> Relation {
+        Relation {
+            arity,
+            flat: Vec::new(),
+            dedup: FxHashMap::default(),
+            indexes: Vec::new(),
+        }
+    }
+
+    /// The arity of the relation.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of (distinct) tuples.
+    pub fn len(&self) -> usize {
+        if self.arity == 0 {
+            // A zero-arity relation holds at most the empty tuple; represent presence
+            // by a single marker row.
+            return usize::from(!self.dedup.is_empty());
+        }
+        self.flat.len() / self.arity
+    }
+
+    /// Is the relation empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The tuple with the given row id.
+    pub fn row(&self, id: RowId) -> &[Const] {
+        let start = id as usize * self.arity;
+        &self.flat[start..start + self.arity]
+    }
+
+    /// Iterate over all tuples in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &[Const]> + '_ {
+        RelationIter {
+            relation: self,
+            next: 0,
+            len: self.len() as RowId,
+        }
+    }
+
+    /// Does the relation contain `tuple`?
+    pub fn contains(&self, tuple: &[Const]) -> bool {
+        debug_assert_eq!(tuple.len(), self.arity);
+        let hash = fx_hash_one(&tuple);
+        match self.dedup.get(&hash) {
+            None => false,
+            Some(rows) => rows.iter().any(|&r| self.row(r) == tuple),
+        }
+    }
+
+    /// Insert a tuple; returns `true` if it was new.
+    pub fn insert(&mut self, tuple: &[Const]) -> bool {
+        assert_eq!(
+            tuple.len(),
+            self.arity,
+            "tuple arity {} does not match relation arity {}",
+            tuple.len(),
+            self.arity
+        );
+        let hash = fx_hash_one(&tuple);
+        if let Some(rows) = self.dedup.get(&hash) {
+            if rows.iter().any(|&r| self.row(r) == tuple) {
+                return false;
+            }
+        }
+        let id = self.len() as RowId;
+        self.flat.extend_from_slice(tuple);
+        self.dedup.entry(hash).or_default().push(id);
+        for index in &mut self.indexes {
+            let key: Box<[Const]> = index.columns.iter().map(|&c| tuple[c]).collect();
+            index.map.entry(key).or_default().push(id);
+        }
+        true
+    }
+
+    /// Insert every tuple of `other` (which must have the same arity); returns the
+    /// number of tuples that were new.
+    pub fn merge_from(&mut self, other: &Relation) -> usize {
+        assert_eq!(self.arity, other.arity);
+        let mut added = 0;
+        for tuple in other.iter() {
+            if self.insert(tuple) {
+                added += 1;
+            }
+        }
+        added
+    }
+
+    /// Remove all tuples (keeps index definitions, drops their contents).
+    pub fn clear(&mut self) {
+        self.flat.clear();
+        self.dedup.clear();
+        for index in &mut self.indexes {
+            index.map.clear();
+        }
+    }
+
+    /// Ensure a secondary index exists on the given column subset. Columns must be
+    /// valid positions; the set is deduplicated and sorted internally. Building the
+    /// index is O(rows); subsequent inserts maintain it.
+    pub fn ensure_index(&mut self, columns: &[usize]) {
+        let mut cols: Vec<usize> = columns.to_vec();
+        cols.sort_unstable();
+        cols.dedup();
+        if cols.is_empty() || cols.len() >= self.arity {
+            // Full-tuple or empty "indexes" are not useful: full scans and the dedup
+            // table already cover these cases.
+            return;
+        }
+        assert!(
+            cols.iter().all(|&c| c < self.arity),
+            "index column out of range for arity {}",
+            self.arity
+        );
+        if self.indexes.iter().any(|i| i.columns == cols) {
+            return;
+        }
+        let mut map: FxHashMap<Box<[Const]>, Vec<RowId>> = FxHashMap::default();
+        for id in 0..self.len() as RowId {
+            let row = {
+                let start = id as usize * self.arity;
+                &self.flat[start..start + self.arity]
+            };
+            let key: Box<[Const]> = cols.iter().map(|&c| row[c]).collect();
+            map.entry(key).or_default().push(id);
+        }
+        self.indexes.push(ColumnIndex { columns: cols, map });
+    }
+
+    /// The row ids whose values at `columns` (sorted, deduplicated) equal `key`.
+    /// Requires [`Relation::ensure_index`] to have been called for `columns`; returns
+    /// `None` if no such index exists.
+    pub fn probe<'a>(&'a self, columns: &[usize], key: &[Const]) -> Option<&'a [RowId]> {
+        let index = self.indexes.iter().find(|i| i.columns == columns)?;
+        Some(index.map.get(key).map(Vec::as_slice).unwrap_or(&[]))
+    }
+
+    /// Select all rows matching a pattern of optional constants (one entry per column;
+    /// `None` means "any value"). Uses an index if one covering exactly the bound
+    /// columns exists, otherwise scans. Results are returned as row ids.
+    pub fn select(&self, pattern: &[Option<Const>], out: &mut Vec<RowId>) {
+        debug_assert_eq!(pattern.len(), self.arity);
+        out.clear();
+        let bound: Vec<usize> = pattern
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| p.is_some().then_some(i))
+            .collect();
+        if bound.is_empty() {
+            out.extend(0..self.len() as RowId);
+            return;
+        }
+        if bound.len() == self.arity {
+            // Fully bound: membership test.
+            let tuple: Vec<Const> = pattern.iter().map(|p| p.unwrap()).collect();
+            if self.contains(&tuple) {
+                // Find its id (rare path, used by tests and provenance).
+                let hash = fx_hash_one(&tuple.as_slice());
+                if let Some(rows) = self.dedup.get(&hash) {
+                    for &r in rows {
+                        if self.row(r) == tuple.as_slice() {
+                            out.push(r);
+                            return;
+                        }
+                    }
+                }
+            }
+            return;
+        }
+        if let Some(index) = self.indexes.iter().find(|i| i.columns == bound) {
+            let key: Box<[Const]> = bound.iter().map(|&c| pattern[c].unwrap()).collect();
+            if let Some(rows) = index.map.get(&key) {
+                out.extend_from_slice(rows);
+            }
+            return;
+        }
+        // Fallback: scan.
+        for id in 0..self.len() as RowId {
+            let row = self.row(id);
+            if bound.iter().all(|&c| pattern[c] == Some(row[c])) {
+                out.push(id);
+            }
+        }
+    }
+
+    /// All tuples, cloned into owned vectors (test/diagnostic convenience).
+    pub fn to_vec(&self) -> Vec<Vec<Const>> {
+        self.iter().map(|r| r.to_vec()).collect()
+    }
+
+    /// Sorted tuple list (test convenience, for deterministic comparison).
+    pub fn to_sorted_vec(&self) -> Vec<Vec<Const>> {
+        let mut v = self.to_vec();
+        v.sort();
+        v
+    }
+}
+
+struct RelationIter<'a> {
+    relation: &'a Relation,
+    next: RowId,
+    len: RowId,
+}
+
+impl<'a> Iterator for RelationIter<'a> {
+    type Item = &'a [Const];
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.next >= self.len {
+            return None;
+        }
+        let row = self.relation.row(self.next);
+        self.next += 1;
+        Some(row)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = (self.len - self.next) as usize;
+        (remaining, Some(remaining))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(i: i64) -> Const {
+        Const::Int(i)
+    }
+
+    #[test]
+    fn insert_and_dedup() {
+        let mut r = Relation::new(2);
+        assert!(r.insert(&[c(1), c(2)]));
+        assert!(r.insert(&[c(2), c(3)]));
+        assert!(!r.insert(&[c(1), c(2)]), "duplicate must be rejected");
+        assert_eq!(r.len(), 2);
+        assert!(r.contains(&[c(1), c(2)]));
+        assert!(!r.contains(&[c(3), c(1)]));
+    }
+
+    #[test]
+    fn iteration_preserves_insertion_order() {
+        let mut r = Relation::new(1);
+        for i in 0..10 {
+            r.insert(&[c(i)]);
+        }
+        let values: Vec<i64> = r.iter().map(|row| row[0].as_int().unwrap()).collect();
+        assert_eq!(values, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn select_with_and_without_index() {
+        let mut r = Relation::new(2);
+        for i in 0..100i64 {
+            r.insert(&[c(i % 10), c(i)]);
+        }
+        // Unindexed scan.
+        let mut out = Vec::new();
+        r.select(&[Some(c(3)), None], &mut out);
+        assert_eq!(out.len(), 10);
+        assert!(out.iter().all(|&id| r.row(id)[0] == c(3)));
+
+        // Indexed probe gives the same answer.
+        r.ensure_index(&[0]);
+        let mut out2 = Vec::new();
+        r.select(&[Some(c(3)), None], &mut out2);
+        let mut a = out.clone();
+        let mut b = out2.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+
+        // Probe API directly.
+        let rows = r.probe(&[0], &[c(7)]).unwrap();
+        assert_eq!(rows.len(), 10);
+        assert!(r.probe(&[1], &[c(7)]).is_none(), "no index on column 1");
+    }
+
+    #[test]
+    fn index_is_maintained_across_inserts() {
+        let mut r = Relation::new(2);
+        r.insert(&[c(1), c(10)]);
+        r.ensure_index(&[0]);
+        r.insert(&[c(1), c(11)]);
+        r.insert(&[c(2), c(20)]);
+        assert_eq!(r.probe(&[0], &[c(1)]).unwrap().len(), 2);
+        assert_eq!(r.probe(&[0], &[c(2)]).unwrap().len(), 1);
+        assert_eq!(r.probe(&[0], &[c(9)]).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn fully_bound_select_is_membership() {
+        let mut r = Relation::new(2);
+        r.insert(&[c(1), c(2)]);
+        let mut out = Vec::new();
+        r.select(&[Some(c(1)), Some(c(2))], &mut out);
+        assert_eq!(out.len(), 1);
+        r.select(&[Some(c(2)), Some(c(1))], &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn empty_pattern_selects_everything() {
+        let mut r = Relation::new(3);
+        r.insert(&[c(1), c(2), c(3)]);
+        r.insert(&[c(4), c(5), c(6)]);
+        let mut out = Vec::new();
+        r.select(&[None, None, None], &mut out);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn merge_from_counts_new_tuples() {
+        let mut a = Relation::new(1);
+        a.insert(&[c(1)]);
+        a.insert(&[c(2)]);
+        let mut b = Relation::new(1);
+        b.insert(&[c(2)]);
+        b.insert(&[c(3)]);
+        assert_eq!(a.merge_from(&b), 1);
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn clear_preserves_index_definitions() {
+        let mut r = Relation::new(2);
+        r.insert(&[c(1), c(2)]);
+        r.ensure_index(&[0]);
+        r.clear();
+        assert!(r.is_empty());
+        r.insert(&[c(5), c(6)]);
+        assert_eq!(r.probe(&[0], &[c(5)]).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn zero_arity_relation() {
+        let mut r = Relation::new(0);
+        assert!(r.is_empty());
+        assert!(r.insert(&[]));
+        assert!(!r.insert(&[]));
+        assert_eq!(r.len(), 1);
+        assert!(r.contains(&[]));
+    }
+
+    #[test]
+    fn to_sorted_vec_is_deterministic() {
+        let mut r = Relation::new(2);
+        r.insert(&[c(3), c(1)]);
+        r.insert(&[c(1), c(2)]);
+        assert_eq!(
+            r.to_sorted_vec(),
+            vec![vec![c(1), c(2)], vec![c(3), c(1)]]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match relation arity")]
+    fn arity_mismatch_panics() {
+        let mut r = Relation::new(2);
+        r.insert(&[c(1)]);
+    }
+}

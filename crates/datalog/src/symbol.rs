@@ -1,0 +1,168 @@
+//! Global string interner and the [`Symbol`] handle type.
+//!
+//! Predicate names, variable names, and symbolic constants are interned once and
+//! referred to by a compact `u32` handle everywhere else, so the hot evaluation paths
+//! never touch strings. The interner is global and append-only; interned strings are
+//! leaked (`Box::leak`) so that [`Symbol::as_str`] can hand out `&'static str` without
+//! holding a lock. The set of *names* in any program is small and bounded (data values
+//! are integers, see [`crate::ast::Const`]), so the leak is a deliberate, bounded
+//! trade-off for a lock-free read path.
+
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+use crate::fx::FxHashMap;
+
+/// A handle to an interned string (predicate name, variable name, or symbolic constant).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(u32);
+
+struct Interner {
+    map: FxHashMap<&'static str, u32>,
+    names: Vec<&'static str>,
+}
+
+impl Interner {
+    fn new() -> Self {
+        Interner {
+            map: FxHashMap::default(),
+            names: Vec::new(),
+        }
+    }
+
+    fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.map.get(name) {
+            return id;
+        }
+        let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+        let id = u32::try_from(self.names.len()).expect("interner overflow");
+        self.names.push(leaked);
+        self.map.insert(leaked, id);
+        id
+    }
+}
+
+fn interner() -> &'static Mutex<Interner> {
+    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| Mutex::new(Interner::new()))
+}
+
+impl Symbol {
+    /// Intern `name`, returning its stable handle. Interning the same string twice
+    /// returns the same handle.
+    pub fn intern(name: &str) -> Symbol {
+        Symbol(interner().lock().expect("interner poisoned").intern(name))
+    }
+
+    /// The interned string for this symbol.
+    pub fn as_str(self) -> &'static str {
+        interner().lock().expect("interner poisoned").names[self.0 as usize]
+    }
+
+    /// A fresh symbol guaranteed not to collide with any previously interned name.
+    ///
+    /// Used by program transformations (magic sets, factoring, standard-form
+    /// conversion) to mint new predicate and variable names. The name embeds `base`
+    /// for readability plus a global counter.
+    pub fn fresh(base: &str) -> Symbol {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        loop {
+            let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+            let candidate = format!("{base}#{n}");
+            let mut guard = interner().lock().expect("interner poisoned");
+            if !guard.map.contains_key(candidate.as_str()) {
+                return Symbol(guard.intern(&candidate));
+            }
+        }
+    }
+
+    /// The raw interner index. Useful as a dense map key.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Symbol({:?})", self.as_str())
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(value: &str) -> Self {
+        Symbol::intern(value)
+    }
+}
+
+impl From<String> for Symbol {
+    fn from(value: String) -> Self {
+        Symbol::intern(&value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = Symbol::intern("edge");
+        let b = Symbol::intern("edge");
+        assert_eq!(a, b);
+        assert_eq!(a.as_str(), "edge");
+    }
+
+    #[test]
+    fn distinct_names_get_distinct_symbols() {
+        let a = Symbol::intern("alpha_sym_test");
+        let b = Symbol::intern("beta_sym_test");
+        assert_ne!(a, b);
+        assert_eq!(a.as_str(), "alpha_sym_test");
+        assert_eq!(b.as_str(), "beta_sym_test");
+    }
+
+    #[test]
+    fn fresh_symbols_do_not_collide() {
+        let base = Symbol::intern("m_t");
+        let f1 = Symbol::fresh("m_t");
+        let f2 = Symbol::fresh("m_t");
+        assert_ne!(f1, f2);
+        assert_ne!(f1, base);
+        assert!(f1.as_str().starts_with("m_t#"));
+    }
+
+    #[test]
+    fn display_and_from_impls() {
+        let s: Symbol = "gamma_sym_test".into();
+        assert_eq!(format!("{s}"), "gamma_sym_test");
+        let s2: Symbol = String::from("gamma_sym_test").into();
+        assert_eq!(s, s2);
+    }
+
+    #[test]
+    fn interning_is_thread_safe() {
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let mut syms = Vec::new();
+                    for j in 0..100 {
+                        syms.push(Symbol::intern(&format!("concurrent_{}", (i + j) % 50)));
+                    }
+                    syms
+                })
+            })
+            .collect();
+        for h in handles {
+            for s in h.join().unwrap() {
+                assert!(s.as_str().starts_with("concurrent_"));
+            }
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Static validation of programs: safety (range restriction) and arity consistency.
+//!
+//! The evaluators call [`check_program`] before compiling rules, so unsafe programs are
+//! rejected with a diagnostic instead of failing mid-evaluation.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::ast::{Program, Query, Rule};
+use crate::fx::FxHashMap;
+use crate::symbol::Symbol;
+
+/// A single validation problem.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ValidationError {
+    /// A head variable does not occur in the body (violates range restriction), so the
+    /// rule could derive infinitely many facts.
+    UnsafeRule {
+        /// Display form of the offending rule.
+        rule: String,
+        /// The unsafe variable.
+        variable: String,
+    },
+    /// A fact (rule with empty body) has a non-ground head.
+    NonGroundFact {
+        /// Display form of the offending fact.
+        rule: String,
+    },
+    /// A predicate is used with two different arities.
+    ArityMismatch {
+        /// The predicate.
+        predicate: String,
+        /// First arity observed.
+        first: usize,
+        /// Conflicting arity observed.
+        second: usize,
+    },
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::UnsafeRule { rule, variable } => {
+                write!(f, "unsafe rule `{rule}`: head variable {variable} does not occur in the body")
+            }
+            ValidationError::NonGroundFact { rule } => {
+                write!(f, "fact `{rule}` has variables in its head")
+            }
+            ValidationError::ArityMismatch {
+                predicate,
+                first,
+                second,
+            } => write!(
+                f,
+                "predicate {predicate} is used with arity {first} and with arity {second}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Validate a single rule for safety.
+pub fn check_rule(rule: &Rule) -> Result<(), ValidationError> {
+    if rule.is_fact() {
+        if !rule.head.is_ground() {
+            return Err(ValidationError::NonGroundFact {
+                rule: rule.to_string(),
+            });
+        }
+        return Ok(());
+    }
+    let body_vars: BTreeSet<Symbol> = rule.body.iter().flat_map(|a| a.variables()).collect();
+    for v in rule.head.variables() {
+        if !body_vars.contains(&v) {
+            return Err(ValidationError::UnsafeRule {
+                rule: rule.to_string(),
+                variable: v.as_str().to_string(),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Validate a whole program (all rules safe, arities consistent). Returns every
+/// problem found so callers can report them all at once.
+pub fn check_program(program: &Program) -> Result<(), Vec<ValidationError>> {
+    let mut errors = Vec::new();
+    for rule in &program.rules {
+        if let Err(e) = check_rule(rule) {
+            errors.push(e);
+        }
+    }
+    let mut arities: FxHashMap<Symbol, usize> = FxHashMap::default();
+    for rule in &program.rules {
+        for atom in std::iter::once(&rule.head).chain(rule.body.iter()) {
+            match arities.get(&atom.predicate) {
+                None => {
+                    arities.insert(atom.predicate, atom.arity());
+                }
+                Some(&a) if a != atom.arity() => {
+                    let err = ValidationError::ArityMismatch {
+                        predicate: atom.predicate.as_str().to_string(),
+                        first: a,
+                        second: atom.arity(),
+                    };
+                    if !errors.contains(&err) {
+                        errors.push(err);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+/// Validate a query against a program: the query predicate must be used with a
+/// consistent arity.
+pub fn check_query(program: &Program, query: &Query) -> Result<(), ValidationError> {
+    if let Some(arity) = program.arity_of(query.atom.predicate) {
+        if arity != query.atom.arity() {
+            return Err(ValidationError::ArityMismatch {
+                predicate: query.atom.predicate.as_str().to_string(),
+                first: arity,
+                second: query.atom.arity(),
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Atom, Term};
+    use crate::parser::{parse_program, parse_query, parse_rule};
+
+    #[test]
+    fn safe_rules_pass() {
+        let rule = parse_rule("t(X, Y) :- e(X, W), t(W, Y).").unwrap();
+        assert!(check_rule(&rule).is_ok());
+        let fact = parse_rule("e(1, 2).").unwrap();
+        assert!(check_rule(&fact).is_ok());
+    }
+
+    #[test]
+    fn unsafe_rule_is_rejected() {
+        let rule = parse_rule("t(X, Y) :- e(X, W).").unwrap();
+        let err = check_rule(&rule).unwrap_err();
+        match err {
+            ValidationError::UnsafeRule { variable, .. } => assert_eq!(variable, "Y"),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_ground_fact_is_rejected() {
+        let rule = Rule::fact(Atom::new("p", vec![Term::var("X")]));
+        assert!(matches!(
+            check_rule(&rule),
+            Err(ValidationError::NonGroundFact { .. })
+        ));
+    }
+
+    #[test]
+    fn arity_mismatch_is_detected() {
+        let program = parse_program("p(X) :- e(X, Y).\nq(X) :- e(X).").unwrap().program;
+        let errors = check_program(&program).unwrap_err();
+        assert!(errors
+            .iter()
+            .any(|e| matches!(e, ValidationError::ArityMismatch { predicate, .. } if predicate == "e")));
+    }
+
+    #[test]
+    fn whole_program_collects_multiple_errors() {
+        let program = parse_program("p(X, Y) :- e(X).\nq(Z) :- f(Z, Z), f(Z).").unwrap().program;
+        let errors = check_program(&program).unwrap_err();
+        assert!(errors.len() >= 2);
+    }
+
+    #[test]
+    fn valid_program_passes() {
+        let program = parse_program(
+            "t(X, Y) :- e(X, Y).\n t(X, Y) :- e(X, W), t(W, Y).\n",
+        )
+        .unwrap()
+        .program;
+        assert!(check_program(&program).is_ok());
+    }
+
+    #[test]
+    fn query_arity_checked() {
+        let program = parse_program("t(X, Y) :- e(X, Y).").unwrap().program;
+        let ok = parse_query("t(5, Y)").unwrap();
+        assert!(check_query(&program, &ok).is_ok());
+        let bad = parse_query("t(5)").unwrap();
+        assert!(check_query(&program, &bad).is_err());
+        // Unknown predicates are allowed (checked elsewhere).
+        let unknown = parse_query("zzz(5)").unwrap();
+        assert!(check_query(&program, &unknown).is_ok());
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let rule = parse_rule("t(X, Y) :- e(X, W).").unwrap();
+        let err = check_rule(&rule).unwrap_err();
+        let text = format!("{err}");
+        assert!(text.contains("unsafe rule"));
+        assert!(text.contains('Y'));
+    }
+}

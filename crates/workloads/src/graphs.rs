@@ -1,0 +1,186 @@
+//! Graph EDB generators for the transitive-closure and same-generation experiments.
+//!
+//! All generators populate a binary edge relation (named `e` unless stated otherwise)
+//! over the integer domain, matching the paper's evaluation setting of selections over
+//! graph recursions.
+
+use factorlog_datalog::ast::Const;
+use factorlog_datalog::storage::Database;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn c(i: i64) -> Const {
+    Const::Int(i)
+}
+
+/// A chain `0 -> 1 -> ... -> n`.
+pub fn chain(n: usize) -> Database {
+    let mut db = Database::new();
+    for i in 0..n {
+        db.add_fact("e", &[c(i as i64), c(i as i64 + 1)]);
+    }
+    db
+}
+
+/// A cycle over `n` nodes.
+pub fn cycle(n: usize) -> Database {
+    let mut db = Database::new();
+    for i in 0..n {
+        db.add_fact("e", &[c(i as i64), c(((i + 1) % n) as i64)]);
+    }
+    db
+}
+
+/// Two disjoint chains of `n` edges each; the second starts at node `offset`. Only the
+/// chain containing the query node is relevant to a single-source query, which is what
+/// Magic Sets exploits.
+pub fn two_chains(n: usize, offset: i64) -> Database {
+    let mut db = chain(n);
+    for i in 0..n {
+        db.add_fact("e", &[c(offset + i as i64), c(offset + i as i64 + 1)]);
+    }
+    db
+}
+
+/// A random graph with `nodes` nodes and `edges` directed edges (duplicates merged).
+pub fn random_graph(nodes: usize, edges: usize, seed: u64) -> Database {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut db = Database::new();
+    db.ensure_relation(factorlog_datalog::Symbol::intern("e"), 2);
+    for _ in 0..edges {
+        let a = rng.gen_range(0..nodes) as i64;
+        let b = rng.gen_range(0..nodes) as i64;
+        db.add_fact("e", &[c(a), c(b)]);
+    }
+    db
+}
+
+/// A complete `width`-ary tree of the given `depth`, edges pointing from parent to
+/// child; node 0 is the root.
+pub fn tree(width: usize, depth: usize) -> Database {
+    let mut db = Database::new();
+    let mut next = 1i64;
+    let mut frontier = vec![0i64];
+    for _ in 0..depth {
+        let mut new_frontier = Vec::new();
+        for &parent in &frontier {
+            for _ in 0..width {
+                db.add_fact("e", &[c(parent), c(next)]);
+                new_frontier.push(next);
+                next += 1;
+            }
+        }
+        frontier = new_frontier;
+    }
+    db
+}
+
+/// A rectangular grid of `width` x `height` nodes with edges right and down. Node
+/// `(r, col)` is numbered `r * width + col`.
+pub fn grid(width: usize, height: usize) -> Database {
+    let mut db = Database::new();
+    let id = |r: usize, col: usize| (r * width + col) as i64;
+    for r in 0..height {
+        for col in 0..width {
+            if col + 1 < width {
+                db.add_fact("e", &[c(id(r, col)), c(id(r, col + 1))]);
+            }
+            if r + 1 < height {
+                db.add_fact("e", &[c(id(r, col)), c(id(r + 1, col))]);
+            }
+        }
+    }
+    db
+}
+
+/// An EDB for the same-generation program: a balanced binary tree of the given depth
+/// expressed as `up(child, parent)` / `down(parent, child)` plus `flat` edges between
+/// sibling leaves. The query constant 0 is the leftmost leaf.
+pub fn same_generation_tree(depth: usize) -> Database {
+    let mut db = Database::new();
+    // Nodes numbered level by level: the root is the single node of level `depth`.
+    // Leaves are level 0 and numbered 0..2^depth.
+    let leaves = 1usize << depth;
+    let mut level_start = 0usize;
+    let mut level_size = leaves;
+    let mut next_id = leaves;
+    let mut current: Vec<usize> = (0..leaves).collect();
+    for _ in 0..depth {
+        let mut parents = Vec::new();
+        for pair in current.chunks(2) {
+            let parent = next_id;
+            next_id += 1;
+            for &child in pair {
+                db.add_fact("up", &[c(child as i64), c(parent as i64)]);
+                db.add_fact("down", &[c(parent as i64), c(child as i64)]);
+            }
+            parents.push(parent);
+        }
+        level_start += level_size;
+        level_size /= 2;
+        current = parents;
+    }
+    let _ = level_start;
+    // Flat edges between adjacent leaves.
+    for i in 0..leaves.saturating_sub(1) {
+        db.add_fact("flat", &[c(i as i64), c(i as i64 + 1)]);
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_has_n_edges() {
+        assert_eq!(chain(10).count("e"), 10);
+        assert_eq!(chain(0).count("e"), 0);
+    }
+
+    #[test]
+    fn cycle_wraps_around() {
+        let db = cycle(5);
+        assert_eq!(db.count("e"), 5);
+        assert!(db.relation(factorlog_datalog::Symbol::intern("e")).unwrap().contains(&[c(4), c(0)]));
+    }
+
+    #[test]
+    fn two_chains_are_disjoint() {
+        let db = two_chains(10, 1000);
+        assert_eq!(db.count("e"), 20);
+    }
+
+    #[test]
+    fn random_graph_is_seeded() {
+        let a = random_graph(50, 200, 1);
+        let b = random_graph(50, 200, 1);
+        let c = random_graph(50, 200, 2);
+        assert_eq!(format!("{a}"), format!("{b}"));
+        assert_ne!(format!("{a}"), format!("{c}"));
+        assert!(a.count("e") <= 200);
+    }
+
+    #[test]
+    fn tree_node_and_edge_counts() {
+        let db = tree(2, 3);
+        // A binary tree of depth 3 has 2 + 4 + 8 = 14 edges.
+        assert_eq!(db.count("e"), 14);
+    }
+
+    #[test]
+    fn grid_edge_count() {
+        let db = grid(3, 3);
+        // 3x3 grid: 2*3 horizontal + 2*3 vertical = 12 edges.
+        assert_eq!(db.count("e"), 12);
+    }
+
+    #[test]
+    fn same_generation_tree_shape() {
+        let db = same_generation_tree(3);
+        // 8 leaves, 14 up edges (one per non-root node), 14 down edges, 7 flat edges.
+        assert_eq!(db.count("up"), 14);
+        assert_eq!(db.count("down"), 14);
+        assert_eq!(db.count("flat"), 7);
+    }
+}

@@ -1,0 +1,18 @@
+//! `factorlog-workloads`: synthetic EDB generators and the paper's example programs,
+//! shared by the integration tests, the runnable examples and the benchmark harness.
+//!
+//! * [`programs`] — the paper's programs (Examples 1.1, 1.2, 4.3–4.6, 5.1, 5.2, 7.1,
+//!   same-generation, …) as source text;
+//! * [`graphs`] — chains, cycles, random graphs, trees, grids, and the
+//!   same-generation tree;
+//! * [`lists`] — the EDB encoding of cons-lists for the `pmem` experiment;
+//! * [`layered`] — EDBs for the combined-rule programs of §4 and the right-linear
+//!   programs of §6.4.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod graphs;
+pub mod layered;
+pub mod lists;
+pub mod programs;

@@ -1,0 +1,96 @@
+//! EDB encoding of cons-lists for the `pmem` experiment (Examples 1.2 and 4.6).
+//!
+//! The paper's program works over Prolog lists; its standard-form encoding represents
+//! the list by an EDB relation `list(Head, TailId, ListId)` where list identifiers
+//! stand for (shared) suffixes. This module generates that encoding: the suffix
+//! `[x_i, ..., x_n]` gets identifier `LIST_ID_BASE + i`, so each cons cell is a single
+//! tuple and tails are shared by identifier — the same cost model as a
+//! structure-sharing list implementation, which is what the paper's linear-time claim
+//! relies on.
+
+use factorlog_datalog::ast::Const;
+use factorlog_datalog::storage::Database;
+
+/// Identifiers for list suffixes start here so they never collide with element values.
+pub const LIST_ID_BASE: i64 = 10_000_000;
+
+/// The generated list workload.
+#[derive(Clone, Debug)]
+pub struct ListWorkload {
+    /// The EDB: `list/3` plus the unary `p` relation of elements satisfying the filter.
+    pub edb: Database,
+    /// The identifier of the full list (the query constant).
+    pub list_id: Const,
+    /// Number of elements.
+    pub length: usize,
+    /// Number of elements satisfying `p`.
+    pub satisfying: usize,
+}
+
+/// Build the EDB for a list `[1, 2, ..., n]` where every `keep_every`-th element
+/// satisfies the predicate `p` (use `keep_every = 1` for the paper's "all members
+/// satisfy p" case).
+pub fn pmem_list(n: usize, keep_every: usize) -> ListWorkload {
+    let keep_every = keep_every.max(1);
+    let mut edb = Database::new();
+    let suffix_id = |i: usize| Const::Int(LIST_ID_BASE + i as i64);
+    // suffix i denotes [x_i, ..., x_n] (1-based); suffix n+1 is the empty list.
+    for i in 1..=n {
+        edb.add_fact(
+            "list",
+            &[Const::Int(i as i64), suffix_id(i + 1), suffix_id(i)],
+        );
+    }
+    let mut satisfying = 0;
+    for i in 1..=n {
+        if i % keep_every == 0 {
+            edb.add_fact("p", &[Const::Int(i as i64)]);
+            satisfying += 1;
+        }
+    }
+    ListWorkload {
+        edb,
+        list_id: suffix_id(1),
+        length: n,
+        satisfying,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use factorlog_datalog::parser::{parse_program, parse_query};
+    use factorlog_datalog::Symbol;
+
+    #[test]
+    fn encodes_one_cons_cell_per_element() {
+        let w = pmem_list(10, 1);
+        assert_eq!(w.edb.count("list"), 10);
+        assert_eq!(w.edb.count("p"), 10);
+        assert_eq!(w.length, 10);
+        assert_eq!(w.satisfying, 10);
+        assert_eq!(w.list_id, Const::Int(LIST_ID_BASE + 1));
+    }
+
+    #[test]
+    fn keep_every_controls_the_filter() {
+        let w = pmem_list(10, 3);
+        assert_eq!(w.edb.count("p"), 3); // elements 3, 6, 9
+        assert_eq!(w.satisfying, 3);
+    }
+
+    #[test]
+    fn pmem_program_finds_exactly_the_satisfying_members() {
+        let w = pmem_list(12, 2);
+        let program = parse_program(crate::programs::PMEM).unwrap().program;
+        let query_text = format!("pmem(X, {})", LIST_ID_BASE + 1);
+        let query = parse_query(&query_text).unwrap();
+        let result = factorlog_datalog::eval::evaluate_default(&program, &w.edb).unwrap();
+        let answers = result.answers(&query);
+        assert_eq!(answers.len(), 6, "elements 2,4,6,8,10,12 satisfy p");
+        // The unfactored program materializes O(n^2) pmem facts when many elements
+        // satisfy p: every member is paired with every suffix that contains it.
+        let pmem_facts = result.database.count(Symbol::intern("pmem"));
+        assert!(pmem_facts > w.length, "quadratic blow-up expected: {pmem_facts}");
+    }
+}

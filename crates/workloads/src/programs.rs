@@ -1,0 +1,146 @@
+//! The paper's programs (and the variants used in the evaluation), as source text,
+//! shared by the examples, integration tests and benchmarks.
+
+/// Example 1.1 / 4.2: transitive closure with all three forms of the recursive rule.
+pub const THREE_RULE_TC: &str = "\
+t(X, Y) :- t(X, W), t(W, Y).
+t(X, Y) :- e(X, W), t(W, Y).
+t(X, Y) :- t(X, W), e(W, Y).
+t(X, Y) :- e(X, Y).";
+
+/// The right-linear transitive closure.
+pub const RIGHT_LINEAR_TC: &str = "\
+t(X, Y) :- e(X, W), t(W, Y).
+t(X, Y) :- e(X, Y).";
+
+/// The left-linear transitive closure.
+pub const LEFT_LINEAR_TC: &str = "\
+t(X, Y) :- t(X, W), e(W, Y).
+t(X, Y) :- e(X, Y).";
+
+/// The nonlinear (doubling) transitive closure.
+pub const NONLINEAR_TC: &str = "\
+t(X, Y) :- t(X, W), t(W, Y).
+t(X, Y) :- e(X, Y).";
+
+/// The canonical query for the transitive-closure programs: `t(0, Y)`.
+pub const TC_QUERY: &str = "t(0, Y)";
+
+/// Same generation: the paper's canonical example of a recursion that cannot be
+/// factored (§6.4) and for which the Counting indices are genuinely needed.
+pub const SAME_GENERATION: &str = "\
+sg(X, Y) :- flat(X, Y).
+sg(X, Y) :- up(X, U), sg(U, V), down(V, Y).";
+
+/// Query for [`SAME_GENERATION`].
+pub const SG_QUERY: &str = "sg(0, Y)";
+
+/// Example 1.2 / 4.6: the `pmem` list-membership program in the paper's standard form,
+/// with the list represented by the EDB relation `list(Head, TailId, ListId)` and the
+/// body ordered so the left-to-right SIP binds the tail before the recursive call.
+pub const PMEM: &str = "\
+pmem(X, L) :- list(X, T, L), p(X).
+pmem(X, L) :- list(H, T, L), pmem(X, T).";
+
+/// Example 4.3 exactly as printed in the paper. This program is **not** factorable;
+/// the paper uses it to show which EDBs break each condition.
+pub const EXAMPLE_4_3_EXACT: &str = "\
+p(X, Y) :- l1(X), p(X, U), c1(U, V), p(V, Y), r1(Y).
+p(X, Y) :- l2(X), p(X, U), c2(U, V), p(V, Y), r2(Y).
+p(X, Y) :- f(X, V), p(V, Y), r3(Y).
+p(X, Y) :- e(X, Y).";
+
+/// A selection-pushing variant of Example 4.3: one shared left conjunction, the right
+/// restrictions repeated in the exit rule, and the right-linear rule's first
+/// conjunction contained in the left conjunction (Definition 4.6 holds syntactically).
+pub const SELECTION_PUSHING: &str = "\
+p(X, Y) :- l(X), p(X, U), c1(U, V), p(V, Y), r1(Y).
+p(X, Y) :- l(X), p(X, U), c2(U, V), p(V, Y), r2(Y).
+p(X, Y) :- l(X), f(X, V), p(V, Y), r3(Y).
+p(X, Y) :- e(X, Y), r1(Y), r2(Y), r3(Y).";
+
+/// A symmetric program in the shape of Example 4.4 (Definition 4.7 holds: identical
+/// middle conjunctions, free-exit contained in every right restriction). It is not
+/// selection-pushing because the two left conjunctions differ.
+pub const SYMMETRIC: &str = "\
+p(X, Y) :- l1(X), p(X, U), p(X, V), c(U, V, W), p(W, Y), r1(Y).
+p(X, Y) :- l2(X), p(X, U), p(X, V), c(U, V, W), p(W, Y), r2(Y).
+p(X, Y) :- e(X, Y), r1(Y), r2(Y).";
+
+/// An answer-propagating program in the shape of Example 4.5 (Definition 4.8 holds).
+/// It is neither selection-pushing (different left conjunctions) nor symmetric (it has
+/// a right-linear rule).
+pub const ANSWER_PROPAGATING: &str = "\
+p(X, Y) :- l1(X), p(X, U), p(X, V), c(U, V, W), p(W, Y), r1(Y).
+p(X, Y) :- l2(X), p(X, U), p(X, V), c(U, V, W), p(W, Y), r2(Y).
+p(X, Y) :- l1(X), l2(X), f(X, V), p(V, Y), r3(Y).
+p(X, Y) :- e(X, Y), r1(Y), r2(Y), r3(Y).";
+
+/// The query used with the combined-rule programs above.
+pub const P_QUERY: &str = "p(0, Y)";
+
+/// Example 5.1: a program to which the factoring theorems do not apply directly but
+/// which becomes factorable after static-argument reduction.
+pub const EXAMPLE_5_1: &str = "\
+p(X, Y, Z) :- a(X), p(X, Y, W), d(W, U), p(X, U, Z).
+p(X, Y, Z) :- exit(X, Y, Z).";
+
+/// Example 5.2: a pseudo-left-linear program (the left and last conjunctions share the
+/// static variable X); reduction makes it left-linear.
+pub const EXAMPLE_5_2: &str = "\
+p(X, Y, Z) :- p(X, Y, W), d(W, X, Z).
+p(X, Y, Z) :- exit(X, Y, Z).";
+
+/// Example 7.1: the first future-work example — a recursion whose *factored Magic
+/// program* can itself be factored again, down to unary predicates.
+pub const EXAMPLE_7_1: &str = "\
+t(X, Y, Z) :- t(X, U, W), b(U, Y), d(Z).
+t(X, Y, Z) :- e(X, Y, Z).";
+
+/// A family of right-linear programs used for the Counting-vs-factoring comparison
+/// (§6.4): two alternative `first` relations and right restrictions. The exit rule
+/// repeats the right restrictions so that `free-exit ⊆ free` holds and the program is
+/// selection-pushing (Definition 4.6) — the setting of Theorem 6.4.
+pub const RIGHT_LINEAR_TWO_RULES: &str = "\
+p(X, Y) :- first1(X, U), p(U, Y), right1(Y).
+p(X, Y) :- first2(X, U), p(U, Y), right2(Y).
+p(X, Y) :- exit(X, Y), right1(Y), right2(Y).";
+
+/// An arity-3 factorable recursion used by the arity-scaling experiment: the bound
+/// argument selects a chain, and two free arguments are produced by the exit relation.
+pub const ARITY_3_TC: &str = "\
+t(X, Y, Z) :- e(X, W), t(W, Y, Z).
+t(X, Y, Z) :- exit(X, Y, Z).";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use factorlog_datalog::parser::{parse_program, parse_query};
+
+    #[test]
+    fn all_programs_parse() {
+        for (name, src) in [
+            ("THREE_RULE_TC", THREE_RULE_TC),
+            ("RIGHT_LINEAR_TC", RIGHT_LINEAR_TC),
+            ("LEFT_LINEAR_TC", LEFT_LINEAR_TC),
+            ("NONLINEAR_TC", NONLINEAR_TC),
+            ("SAME_GENERATION", SAME_GENERATION),
+            ("PMEM", PMEM),
+            ("EXAMPLE_4_3_EXACT", EXAMPLE_4_3_EXACT),
+            ("SELECTION_PUSHING", SELECTION_PUSHING),
+            ("SYMMETRIC", SYMMETRIC),
+            ("ANSWER_PROPAGATING", ANSWER_PROPAGATING),
+            ("EXAMPLE_5_1", EXAMPLE_5_1),
+            ("EXAMPLE_5_2", EXAMPLE_5_2),
+            ("EXAMPLE_7_1", EXAMPLE_7_1),
+            ("RIGHT_LINEAR_TWO_RULES", RIGHT_LINEAR_TWO_RULES),
+            ("ARITY_3_TC", ARITY_3_TC),
+        ] {
+            let parsed = parse_program(src).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(!parsed.program.is_empty(), "{name} is empty");
+        }
+        for q in [TC_QUERY, SG_QUERY, P_QUERY] {
+            parse_query(q).unwrap();
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Classify a suite of recursions and report, for each, its rule classes, whether it
+//! is RLC-stable, which factorability condition (if any) applies, and what the final
+//! optimized program looks like.
+//!
+//! Run with: `cargo run --release --example optimizer_report`
+
+use factorlog::core::one_sided::analyze_one_sided;
+use factorlog::core::separable::analyze_separable;
+use factorlog::prelude::*;
+use factorlog::workloads::programs;
+
+fn main() {
+    let suite: Vec<(&str, &str, &str)> = vec![
+        ("three-rule TC (Ex. 1.1)", programs::THREE_RULE_TC, "t(0, Y)"),
+        ("right-linear TC", programs::RIGHT_LINEAR_TC, "t(0, Y)"),
+        ("left-linear TC", programs::LEFT_LINEAR_TC, "t(0, Y)"),
+        ("nonlinear TC", programs::NONLINEAR_TC, "t(0, Y)"),
+        ("pmem (Ex. 4.6)", programs::PMEM, "pmem(X, 10000001)"),
+        ("Example 4.3 (as printed)", programs::EXAMPLE_4_3_EXACT, "p(0, Y)"),
+        ("selection-pushing variant", programs::SELECTION_PUSHING, "p(0, Y)"),
+        ("symmetric (Ex. 4.4 shape)", programs::SYMMETRIC, "p(0, Y)"),
+        ("answer-propagating (Ex. 4.5 shape)", programs::ANSWER_PROPAGATING, "p(0, Y)"),
+        ("Example 5.1 (needs reduction)", programs::EXAMPLE_5_1, "p(0, 1, Z)"),
+        ("Example 5.2 (pseudo-left-linear)", programs::EXAMPLE_5_2, "p(0, 1, Z)"),
+        ("same generation", programs::SAME_GENERATION, "sg(0, Y)"),
+    ];
+
+    println!(
+        "{:<36} {:>10} {:>12} {:>24} {:>8}",
+        "program", "reduced?", "RLC-stable", "factorable (class)", "rules"
+    );
+    for (name, source, query_text) in &suite {
+        let program = parse_program(source).unwrap().program;
+        let query = parse_query(query_text).unwrap();
+        let optimized = match optimize_query(&program, &query, &PipelineOptions::default()) {
+            Ok(o) => o,
+            Err(e) => {
+                println!("{name:<36} pipeline error: {e}");
+                continue;
+            }
+        };
+        let rlc = optimized
+            .classification
+            .as_ref()
+            .map(|c| c.is_rlc_stable().to_string())
+            .unwrap_or_else(|| "n/a".to_string());
+        let factorable = match &optimized.factorability {
+            Some(report) if report.is_factorable() => report
+                .classes
+                .iter()
+                .map(|c| c.to_string())
+                .collect::<Vec<_>>()
+                .join("+"),
+            Some(_) => "no".to_string(),
+            None => "n/a".to_string(),
+        };
+        println!(
+            "{:<36} {:>10} {:>12} {:>24} {:>8}",
+            name,
+            if optimized.reduced.is_some() { "yes" } else { "no" },
+            rlc,
+            factorable,
+            optimized.program.len()
+        );
+    }
+
+    println!("\n== §6 class analyses on the transitive closure ==");
+    let tc = parse_program(programs::LEFT_LINEAR_TC).unwrap().program;
+    let one_sided = analyze_one_sided(&tc, Symbol::intern("t")).unwrap();
+    println!(
+        "one-sided: {} (static positions {:?}, dynamic {:?})",
+        one_sided.is_simple_one_sided, one_sided.static_positions, one_sided.dynamic_positions
+    );
+    let separable = analyze_separable(&tc, Symbol::intern("t")).unwrap();
+    println!(
+        "separable: {}, reducible: {}",
+        separable.is_separable, separable.is_reducible
+    );
+
+    println!("\n== full pipeline report for the three-rule transitive closure ==\n");
+    let program = parse_program(programs::THREE_RULE_TC).unwrap().program;
+    let query = parse_query("t(5, Y)").unwrap();
+    let optimized = optimize_query(&program, &query, &PipelineOptions::default()).unwrap();
+    println!("{}", optimized.report());
+}

@@ -1,0 +1,293 @@
+//! `factorlog` — command-line front end: load a Datalog file (rules, facts and a
+//! `?- query.`), optimize the query with Magic Sets + factoring, evaluate it, and
+//! print the answers.
+//!
+//! ```text
+//! USAGE:
+//!     factorlog <FILE> [--query "t(0, Y)"] [--strategy original|magic|factored]
+//!               [--show-program] [--explain] [--stats]
+//!
+//! OPTIONS:
+//!     --query <ATOM>       query literal (overrides any ?- clause in the file)
+//!     --strategy <NAME>    evaluation strategy (default: factored — i.e. the pipeline)
+//!     --show-program       print the program that is evaluated
+//!     --explain            print the full stage-by-stage optimization report
+//!     --stats              print evaluation statistics
+//! ```
+
+use std::process::ExitCode;
+
+use factorlog::prelude::*;
+
+/// Which program the CLI evaluates.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+enum CliStrategy {
+    /// The program as written, evaluated semi-naively.
+    Original,
+    /// The Magic Sets rewriting only.
+    Magic,
+    /// The full pipeline: Magic + factoring (when applicable) + the §5 optimizations.
+    Factored,
+}
+
+#[derive(Debug)]
+struct CliOptions {
+    file: String,
+    query: Option<String>,
+    strategy: CliStrategy,
+    show_program: bool,
+    explain: bool,
+    stats: bool,
+}
+
+fn usage() -> String {
+    "usage: factorlog <FILE> [--query \"t(0, Y)\"] [--strategy original|magic|factored] \
+     [--show-program] [--explain] [--stats]"
+        .to_string()
+}
+
+fn parse_args(args: &[String]) -> Result<CliOptions, String> {
+    let mut file = None;
+    let mut query = None;
+    let mut strategy = CliStrategy::Factored;
+    let mut show_program = false;
+    let mut explain = false;
+    let mut stats = false;
+
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--query" => {
+                query = Some(
+                    iter.next()
+                        .ok_or_else(|| "--query requires an argument".to_string())?
+                        .clone(),
+                );
+            }
+            "--strategy" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| "--strategy requires an argument".to_string())?;
+                strategy = match value.as_str() {
+                    "original" => CliStrategy::Original,
+                    "magic" => CliStrategy::Magic,
+                    "factored" | "pipeline" => CliStrategy::Factored,
+                    other => return Err(format!("unknown strategy `{other}`")),
+                };
+            }
+            "--show-program" => show_program = true,
+            "--explain" => explain = true,
+            "--stats" => stats = true,
+            "--help" | "-h" => return Err(usage()),
+            other if other.starts_with("--") => {
+                return Err(format!("unknown option `{other}`\n{}", usage()));
+            }
+            other => {
+                if file.is_some() {
+                    return Err(format!("unexpected positional argument `{other}`"));
+                }
+                file = Some(other.to_string());
+            }
+        }
+    }
+    Ok(CliOptions {
+        file: file.ok_or_else(usage)?,
+        query,
+        strategy,
+        show_program,
+        explain,
+        stats,
+    })
+}
+
+fn run(options: &CliOptions) -> Result<(), String> {
+    let source = std::fs::read_to_string(&options.file)
+        .map_err(|e| format!("cannot read {}: {e}", options.file))?;
+    let parsed = parse_program(&source).map_err(|e| format!("{}: {e}", options.file))?;
+    let (program, facts) = parsed.split_facts();
+    let edb = Database::from_facts(facts);
+
+    let query = match &options.query {
+        Some(text) => parse_query(text).map_err(|e| format!("--query: {e}"))?,
+        None => parsed
+            .query()
+            .cloned()
+            .ok_or_else(|| "no query: add a `?- atom.` clause or pass --query".to_string())?,
+    };
+
+    let (eval_program, eval_query, label) = match options.strategy {
+        CliStrategy::Original => (program.clone(), query.clone(), "original".to_string()),
+        CliStrategy::Magic => {
+            let adorned = adorn(&program, &query).map_err(|e| e.to_string())?;
+            let magicp = magic(&adorned).map_err(|e| e.to_string())?;
+            (magicp.program, adorned.query, "magic".to_string())
+        }
+        CliStrategy::Factored => {
+            let optimized = optimize_query(&program, &query, &PipelineOptions::default())
+                .map_err(|e| e.to_string())?;
+            if options.explain {
+                println!("{}", optimized.report());
+            }
+            let label = optimized.strategy.to_string();
+            (optimized.program.clone(), optimized.query.clone(), label)
+        }
+    };
+
+    if options.show_program {
+        println!("% strategy: {label}\n{eval_program}");
+    }
+
+    let result = evaluate_default(&eval_program, &edb).map_err(|e| e.to_string())?;
+    let answers = result.answers(&eval_query);
+
+    // Present answers in terms of the original query's variables.
+    let free_vars: Vec<String> = query
+        .atom
+        .terms
+        .iter()
+        .filter_map(|t| t.as_var().map(|v| v.as_str().to_string()))
+        .collect();
+    println!(
+        "% {} answer(s) to {} [{}]",
+        answers.len(),
+        query,
+        label
+    );
+    for row in &answers {
+        let rendered: Vec<String> = free_vars
+            .iter()
+            .zip(row.iter())
+            .map(|(v, c)| format!("{v} = {c}"))
+            .collect();
+        if rendered.is_empty() {
+            println!("true");
+        } else {
+            println!("{}", rendered.join(", "));
+        }
+    }
+
+    if options.stats {
+        println!(
+            "% stats: {} iterations, {} inferences, {} facts derived, {} duplicates",
+            result.stats.iterations,
+            result.stats.inferences,
+            result.stats.facts_derived,
+            result.stats.duplicates
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&args) {
+        Ok(options) => match run(&options) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(message) => {
+                eprintln!("error: {message}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_a_minimal_invocation() {
+        let options = parse_args(&args(&["tc.dl"])).unwrap();
+        assert_eq!(options.file, "tc.dl");
+        assert_eq!(options.strategy, CliStrategy::Factored);
+        assert!(options.query.is_none());
+        assert!(!options.stats && !options.explain && !options.show_program);
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let options = parse_args(&args(&[
+            "tc.dl",
+            "--query",
+            "t(0, Y)",
+            "--strategy",
+            "magic",
+            "--stats",
+            "--show-program",
+            "--explain",
+        ]))
+        .unwrap();
+        assert_eq!(options.query.as_deref(), Some("t(0, Y)"));
+        assert_eq!(options.strategy, CliStrategy::Magic);
+        assert!(options.stats && options.explain && options.show_program);
+    }
+
+    #[test]
+    fn rejects_bad_invocations() {
+        assert!(parse_args(&args(&[])).is_err());
+        assert!(parse_args(&args(&["a.dl", "b.dl"])).is_err());
+        assert!(parse_args(&args(&["a.dl", "--strategy", "quantum"])).is_err());
+        assert!(parse_args(&args(&["a.dl", "--query"])).is_err());
+        assert!(parse_args(&args(&["a.dl", "--bogus"])).is_err());
+    }
+
+    #[test]
+    fn runs_end_to_end_on_a_temporary_file() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("factorlog_cli_test.dl");
+        std::fs::write(
+            &path,
+            "t(X, Y) :- e(X, Y).\n t(X, Y) :- e(X, W), t(W, Y).\n\
+             e(1, 2).\n e(2, 3).\n e(3, 4).\n ?- t(1, Y).\n",
+        )
+        .unwrap();
+        let options = CliOptions {
+            file: path.to_string_lossy().to_string(),
+            query: None,
+            strategy: CliStrategy::Factored,
+            show_program: true,
+            explain: false,
+            stats: true,
+        };
+        run(&options).unwrap();
+        // The magic strategy and the original strategy run on the same file too.
+        for strategy in [CliStrategy::Magic, CliStrategy::Original] {
+            let options = CliOptions {
+                file: path.to_string_lossy().to_string(),
+                query: Some("t(2, Y)".to_string()),
+                strategy,
+                show_program: false,
+                explain: false,
+                stats: false,
+            };
+            run(&options).unwrap();
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_query_is_an_error() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("factorlog_cli_noquery.dl");
+        std::fs::write(&path, "t(X, Y) :- e(X, Y).\ne(1, 2).\n").unwrap();
+        let options = CliOptions {
+            file: path.to_string_lossy().to_string(),
+            query: None,
+            strategy: CliStrategy::Factored,
+            show_program: false,
+            explain: false,
+            stats: false,
+        };
+        let err = run(&options).unwrap_err();
+        assert!(err.contains("no query"));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,135 @@
+//! Property-based tests (proptest): the transformation invariants over randomly
+//! generated EDBs and, for the evaluator, over randomly generated safe programs.
+//!
+//! * semi-naive ≡ naive on random graph EDBs;
+//! * Magic ≡ original on random EDBs for several programs;
+//! * factored ≡ original on random EDBs for every program the analysis declares
+//!   factorable (Theorems 4.1–4.3 instantiated);
+//! * the §5 optimizer preserves answers;
+//! * conjunctive-query containment is sound with respect to evaluation.
+
+use factorlog::core::optimize::{optimize, OptimizeOptions};
+use factorlog::core::pipeline::Strategy as PipelineStrategy;
+use factorlog::datalog::cq::ConjunctiveQuery;
+use factorlog::datalog::eval::{evaluate, naive_evaluate, EvalOptions, Strategy as EvalStrategy};
+use factorlog::prelude::*;
+use factorlog::workloads::programs;
+use proptest::prelude::*;
+
+/// A random edge list over a small domain.
+fn edges(
+    max_nodes: i64,
+    max_edges: usize,
+) -> impl proptest::strategy::Strategy<Value = Vec<(i64, i64)>> {
+    prop::collection::vec((0..max_nodes, 0..max_nodes), 0..max_edges)
+}
+
+fn edge_db(edges: &[(i64, i64)]) -> Database {
+    let mut db = Database::new();
+    db.ensure_relation(Symbol::intern("e"), 2);
+    for &(a, b) in edges {
+        db.add_fact("e", &[Const::Int(a), Const::Int(b)]);
+    }
+    db
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn seminaive_matches_naive_on_random_graphs(edge_list in edges(12, 40)) {
+        let program = parse_program(programs::NONLINEAR_TC).unwrap().program;
+        let edb = edge_db(&edge_list);
+        let options = EvalOptions::default();
+        let naive = naive_evaluate(&program, &edb, &options).unwrap();
+        let semi = evaluate(&program, &edb, EvalStrategy::SemiNaive, &options).unwrap();
+        let t = Symbol::intern("t");
+        prop_assert_eq!(
+            naive.database.relation(t).unwrap().to_sorted_vec(),
+            semi.database.relation(t).unwrap().to_sorted_vec()
+        );
+    }
+
+    #[test]
+    fn magic_preserves_answers_on_random_graphs(edge_list in edges(10, 35), start in 0i64..10) {
+        let program = parse_program(programs::THREE_RULE_TC).unwrap().program;
+        let query = parse_query(&format!("t({start}, Y)")).unwrap();
+        let edb = edge_db(&edge_list);
+        let adorned = adorn(&program, &query).unwrap();
+        let magicp = magic(&adorned).unwrap();
+        let expected = evaluate_default(&program, &edb).unwrap().answers(&query);
+        let got = evaluate_default(&magicp.program, &edb).unwrap().answers(&adorned.query);
+        prop_assert_eq!(expected, got);
+    }
+
+    #[test]
+    fn factoring_preserves_answers_when_declared_factorable(
+        edge_list in edges(10, 30),
+        start in 0i64..10,
+    ) {
+        // Theorems 4.1-4.3 instantiated on the three transitive-closure variants.
+        for src in [programs::THREE_RULE_TC, programs::LEFT_LINEAR_TC, programs::RIGHT_LINEAR_TC] {
+            let program = parse_program(src).unwrap().program;
+            let query = parse_query(&format!("t({start}, Y)")).unwrap();
+            let optimized = optimize_query(&program, &query, &PipelineOptions::default()).unwrap();
+            prop_assert_eq!(optimized.strategy, PipelineStrategy::FactoredMagic);
+            let edb = edge_db(&edge_list);
+            let expected = evaluate_default(&program, &edb).unwrap().answers(&query);
+            let got = optimized.answers(&edb).unwrap();
+            prop_assert_eq!(expected, got, "program {}", src);
+        }
+    }
+
+    #[test]
+    fn optimizer_passes_preserve_answers(edge_list in edges(10, 30), start in 0i64..10) {
+        // Run the generic §5 passes over the *magic* program (no factoring context) and
+        // check answers are unchanged.
+        let program = parse_program(programs::THREE_RULE_TC).unwrap().program;
+        let query = parse_query(&format!("t({start}, Y)")).unwrap();
+        let adorned = adorn(&program, &query).unwrap();
+        let magicp = magic(&adorned).unwrap();
+        let (optimized, _) = optimize(&magicp.program, &adorned.query, None, &OptimizeOptions::default());
+        let edb = edge_db(&edge_list);
+        let expected = evaluate_default(&magicp.program, &edb).unwrap().answers(&adorned.query);
+        let got = evaluate_default(&optimized, &edb).unwrap().answers(&adorned.query);
+        prop_assert_eq!(expected, got);
+    }
+
+    #[test]
+    fn pmem_factoring_is_linear_and_correct(n in 1usize..40, keep in 1usize..4) {
+        let workload = factorlog::workloads::lists::pmem_list(n, keep);
+        let program = parse_program(programs::PMEM).unwrap().program;
+        let query = parse_query(&format!("pmem(X, {})", factorlog::workloads::lists::LIST_ID_BASE + 1)).unwrap();
+        let optimized = optimize_query(&program, &query, &PipelineOptions::default()).unwrap();
+        prop_assert_eq!(optimized.strategy, PipelineStrategy::FactoredMagic);
+        let expected = evaluate_default(&program, &workload.edb).unwrap().answers(&query);
+        let result = optimized.evaluate(&workload.edb).unwrap();
+        prop_assert_eq!(result.answers(&optimized.query), expected);
+        // Linearity: the factored evaluation derives O(n) facts (goal per suffix plus
+        // one answer per satisfying member), never the quadratic pmem relation.
+        prop_assert!(result.stats.facts_derived <= 2 * n + workload.satisfying + 2);
+    }
+
+    #[test]
+    fn cq_containment_is_sound_wrt_evaluation(edge_list in edges(8, 25)) {
+        // Q1(X,Y) :- e(X,Z), e(Z,Y)  ⊆  Q2(X,Y) :- e(X,U), e(V,Y): containment of the
+        // queries implies containment of their answers on every EDB.
+        let q1 = ConjunctiveQuery::new(
+            vec![Term::var("X"), Term::var("Y")],
+            vec![parse_atom("e(X, Z)").unwrap(), parse_atom("e(Z, Y)").unwrap()],
+        );
+        let q2 = ConjunctiveQuery::new(
+            vec![Term::var("X"), Term::var("Y")],
+            vec![parse_atom("e(X, U)").unwrap(), parse_atom("e(V, Y)").unwrap()],
+        );
+        prop_assert!(q1.is_contained_in(&q2));
+        let edb = edge_db(&edge_list);
+        let p1 = parse_program("q1(X, Y) :- e(X, Z), e(Z, Y).").unwrap().program;
+        let p2 = parse_program("q2(X, Y) :- e(X, U), e(V, Y).").unwrap().program;
+        let a1 = evaluate_default(&p1, &edb).unwrap().answers(&parse_query("q1(X, Y)").unwrap());
+        let a2 = evaluate_default(&p2, &edb).unwrap().answers(&parse_query("q2(X, Y)").unwrap());
+        for row in &a1 {
+            prop_assert!(a2.contains(row), "containment violated for {row:?}");
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! E7: static-argument reduction (Examples 5.1 and 5.2, Lemmas 5.1–5.2) through the
+//! public pipeline, with randomized answer-preservation checks.
+
+use factorlog::core::equivalence::{check_equivalence, EdbSpec};
+use factorlog::prelude::*;
+use factorlog::workloads::programs;
+
+#[test]
+fn example_5_1_pipeline_reduces_then_factors() {
+    let program = parse_program(programs::EXAMPLE_5_1).unwrap().program;
+    let query = parse_query("p(5, 6, U)").unwrap();
+    let optimized = optimize_query(&program, &query, &PipelineOptions::default()).unwrap();
+    let reduced = optimized.reduced.as_ref().expect("reduction applies");
+    assert_eq!(reduced.removed_positions, vec![0]);
+    assert_eq!(optimized.strategy, Strategy::FactoredMagic);
+
+    // Answer preservation on random EDBs: the end-to-end program vs the original.
+    let specs = [
+        EdbSpec::new("a", 1, 4),
+        EdbSpec::new("d", 2, 10),
+        EdbSpec::new("exit", 3, 10),
+    ];
+    let counterexample = check_equivalence(
+        &program,
+        &query,
+        &optimized.program,
+        &optimized.query,
+        &specs,
+        7,
+        30,
+        555,
+    )
+    .unwrap();
+    assert!(counterexample.is_none(), "{counterexample:?}");
+}
+
+#[test]
+fn example_5_2_pipeline_reduces_the_pseudo_left_linear_program() {
+    // The pipeline reduces *both* static bound arguments (the paper's Example 5.2
+    // reduces only the first); with both gone the query has no bound argument left and
+    // the reduced program is already unary — factoring has nothing further to split,
+    // so the strategy is Magic-only on the reduced program. Every derived predicate in
+    // the final program is unary, which is the arity reduction the section is after.
+    let program = parse_program(programs::EXAMPLE_5_2).unwrap().program;
+    let query = parse_query("p(5, 6, U)").unwrap();
+    let optimized = optimize_query(&program, &query, &PipelineOptions::default()).unwrap();
+    let reduced = optimized.reduced.as_ref().expect("reduction applies");
+    assert_eq!(reduced.removed_positions, vec![0, 1]);
+    for rule in &optimized.program.rules {
+        for atom in std::iter::once(&rule.head).chain(rule.body.iter()) {
+            if atom.predicate != Symbol::intern("d") && atom.predicate != Symbol::intern("exit") {
+                assert!(atom.arity() <= 1, "derived predicates must be unary: {atom}");
+            }
+        }
+    }
+
+    let specs = [EdbSpec::new("d", 3, 12), EdbSpec::new("exit", 3, 10)];
+    let counterexample = check_equivalence(
+        &program,
+        &query,
+        &optimized.program,
+        &optimized.query,
+        &specs,
+        7,
+        30,
+        556,
+    )
+    .unwrap();
+    assert!(counterexample.is_none(), "{counterexample:?}");
+}
+
+#[test]
+fn without_reduction_the_examples_do_not_factor() {
+    for src in [programs::EXAMPLE_5_1, programs::EXAMPLE_5_2] {
+        let program = parse_program(src).unwrap().program;
+        let query = parse_query("p(5, 6, U)").unwrap();
+        let options = PipelineOptions {
+            try_reduction: false,
+            ..PipelineOptions::default()
+        };
+        let optimized = optimize_query(&program, &query, &options).unwrap();
+        assert_eq!(optimized.strategy, Strategy::MagicOnly);
+    }
+}
+
+#[test]
+fn reduction_lowers_the_recursive_arity_in_the_final_program() {
+    // Example 5.1: the original predicate is ternary; after reduction + factoring the
+    // final program mentions no predicate of arity three or more except the EDB exit.
+    let program = parse_program(programs::EXAMPLE_5_1).unwrap().program;
+    let query = parse_query("p(5, 6, U)").unwrap();
+    let optimized = optimize_query(&program, &query, &PipelineOptions::default()).unwrap();
+    for rule in &optimized.program.rules {
+        for atom in std::iter::once(&rule.head).chain(rule.body.iter()) {
+            if atom.predicate != Symbol::intern("exit") && atom.predicate != Symbol::intern("d") {
+                assert!(
+                    atom.arity() <= 1,
+                    "derived predicates must be unary after reduction + factoring, found {atom}"
+                );
+            }
+        }
+    }
+}
