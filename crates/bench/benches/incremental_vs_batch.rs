@@ -1,0 +1,71 @@
+//! Incremental maintenance vs from-scratch re-evaluation: a stream of fact inserts,
+//! each followed by a query. The persistent engine materializes the model once and
+//! absorbs every insert with a delta-seeded semi-naive resume; the baseline re-runs
+//! the whole fixpoint after every insert. The gap widens with the model size, since
+//! the resume touches only consequences of the new fact.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use factorlog_bench::{stream_batch, stream_incremental, InsertStream};
+use factorlog_datalog::ast::Const;
+use factorlog_datalog::parser::{parse_program, parse_query};
+use factorlog_workloads::{graphs, programs};
+
+fn bench_transitive_closure(c: &mut Criterion) {
+    let program = parse_program(programs::RIGHT_LINEAR_TC).unwrap().program;
+    let query = parse_query(programs::TC_QUERY).unwrap();
+    let mut group = c.benchmark_group("incremental_vs_batch_tc");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(800));
+    group.warm_up_time(std::time::Duration::from_millis(200));
+
+    for &n in &[50usize, 100, 200] {
+        let base = graphs::chain(n);
+        // Extend the chain by 15 edges, querying reachability from 0 after each.
+        let stream: InsertStream = (0..15)
+            .map(|i| {
+                let from = (n + i) as i64;
+                ("e", vec![Const::Int(from), Const::Int(from + 1)])
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("incremental", n), &base, |b, base| {
+            b.iter(|| stream_incremental(&program, base, &stream, &query))
+        });
+        group.bench_with_input(BenchmarkId::new("batch", n), &base, |b, base| {
+            b.iter(|| stream_batch(&program, base, &stream, &query))
+        });
+    }
+    group.finish();
+}
+
+fn bench_same_generation(c: &mut Criterion) {
+    let program = parse_program(programs::SAME_GENERATION).unwrap().program;
+    let query = parse_query(programs::SG_QUERY).unwrap();
+    let mut group = c.benchmark_group("incremental_vs_batch_sg");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(800));
+    group.warm_up_time(std::time::Duration::from_millis(200));
+
+    for &depth in &[4usize, 6] {
+        let base = graphs::same_generation_tree(depth);
+        let leaves = 1i64 << depth;
+        // New flat edges between non-adjacent leaves, one query after each.
+        let stream: InsertStream = (0..10)
+            .map(|i| {
+                (
+                    "flat",
+                    vec![Const::Int(i % leaves), Const::Int((i + 3) % leaves)],
+                )
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("incremental", depth), &base, |b, base| {
+            b.iter(|| stream_incremental(&program, base, &stream, &query))
+        });
+        group.bench_with_input(BenchmarkId::new("batch", depth), &base, |b, base| {
+            b.iter(|| stream_batch(&program, base, &stream, &query))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_transitive_closure, bench_same_generation);
+criterion_main!(benches);

@@ -17,11 +17,9 @@ fn bench(c: &mut Criterion) {
     for &n in &[100usize, 200, 400] {
         let workload = pmem_list(n, 1);
         for run in &runs {
-            group.bench_with_input(
-                BenchmarkId::new(run.name, n),
-                &workload.edb,
-                |b, edb| b.iter(|| measure(run, edb).answers),
-            );
+            group.bench_with_input(BenchmarkId::new(run.name, n), &workload.edb, |b, edb| {
+                b.iter(|| measure(run, edb).answers)
+            });
         }
     }
     group.finish();

@@ -11,10 +11,11 @@ use std::time::{Duration, Instant};
 use factorlog_core::counting::counting;
 use factorlog_core::pipeline::{optimize_query, PipelineOptions, Strategy};
 use factorlog_core::{adorn, classify};
-use factorlog_datalog::ast::{Program, Query};
+use factorlog_datalog::ast::{Const, Program, Query};
 use factorlog_datalog::eval::{seminaive_evaluate, EvalOptions};
 use factorlog_datalog::parser::{parse_program, parse_query};
 use factorlog_datalog::storage::Database;
+use factorlog_engine::Engine;
 
 /// One program/query pair to evaluate, labelled with the strategy it embodies.
 #[derive(Clone, Debug)]
@@ -48,7 +49,9 @@ pub struct Measurement {
 /// plain semi-naive evaluation of the original program, the Magic program, and the
 /// pipeline output (Magic + factoring + §5 when factorable, otherwise optimized Magic).
 pub fn standard_strategies(source: &str, query_text: &str) -> Vec<StrategyRun> {
-    let program = parse_program(source).expect("benchmark program parses").program;
+    let program = parse_program(source)
+        .expect("benchmark program parses")
+        .program;
     let query = parse_query(query_text).expect("benchmark query parses");
     let optimized = optimize_query(&program, &query, &PipelineOptions::default())
         .expect("benchmark pipeline succeeds");
@@ -123,6 +126,57 @@ pub fn measure_all(runs: &[StrategyRun], edb: &Database) -> Vec<Measurement> {
     measurements
 }
 
+/// A stream of fact insertions interleaved with queries: the workload shape of the
+/// incremental-vs-batch comparison. Each element is `(predicate, tuple)`.
+pub type InsertStream = Vec<(&'static str, Vec<Const>)>;
+
+/// Play an insert/query stream against a persistent [`Engine`]: materialize once,
+/// then absorb each insert with a delta-seeded resume. Returns the total answer count
+/// across all queries (a checksum the batch variant must reproduce).
+pub fn stream_incremental(
+    program: &Program,
+    base: &Database,
+    stream: &InsertStream,
+    query: &Query,
+) -> usize {
+    let mut engine = Engine::new();
+    engine.add_rules(program.clone());
+    for (pred, rel) in base.iter() {
+        for tuple in rel.iter() {
+            engine.insert(pred, tuple).expect("base fact inserts");
+        }
+    }
+    let mut total = engine.query(query).expect("initial query").len();
+    for (pred, tuple) in stream {
+        engine.insert(*pred, tuple).expect("stream insert");
+        total += engine.query(query).expect("stream query").len();
+    }
+    total
+}
+
+/// Play the same stream with from-scratch re-evaluation after every insert — the
+/// baseline the incremental engine must beat.
+pub fn stream_batch(
+    program: &Program,
+    base: &Database,
+    stream: &InsertStream,
+    query: &Query,
+) -> usize {
+    let mut edb = base.clone();
+    let evaluate = |edb: &Database| {
+        seminaive_evaluate(program, edb, &EvalOptions::default())
+            .expect("batch evaluation")
+            .answers(query)
+            .len()
+    };
+    let mut total = evaluate(&edb);
+    for (pred, tuple) in stream {
+        edb.add_fact(*pred, tuple);
+        total += evaluate(&edb);
+    }
+    total
+}
+
 /// Format a table of measurements (one row per strategy).
 pub fn format_table(title: &str, parameter: &str, rows: &[(String, Vec<Measurement>)]) -> String {
     use std::fmt::Write as _;
@@ -173,10 +227,42 @@ mod tests {
     #[test]
     fn counting_strategy_matches_the_others() {
         let mut runs = standard_strategies(programs::RIGHT_LINEAR_TC, programs::TC_QUERY);
-        runs.push(counting_strategy(programs::RIGHT_LINEAR_TC, programs::TC_QUERY));
+        runs.push(counting_strategy(
+            programs::RIGHT_LINEAR_TC,
+            programs::TC_QUERY,
+        ));
         let edb = graphs::chain(20);
         let measurements = measure_all(&runs, &edb);
         assert_eq!(measurements.len(), 4);
+    }
+
+    #[test]
+    fn incremental_stream_matches_batch_stream() {
+        let program = parse_program(programs::RIGHT_LINEAR_TC).unwrap().program;
+        let query = parse_query(programs::TC_QUERY).unwrap();
+        let base = graphs::chain(20);
+        let stream: InsertStream = (20..30)
+            .map(|i| ("e", vec![Const::Int(i), Const::Int(i + 1)]))
+            .collect();
+        let incremental = stream_incremental(&program, &base, &stream, &query);
+        let batch = stream_batch(&program, &base, &stream, &query);
+        assert_eq!(incremental, batch);
+        // 20 answers initially, one more per extension edge.
+        assert_eq!(batch, (20..=30).sum::<i64>() as usize);
+    }
+
+    #[test]
+    fn incremental_stream_matches_batch_on_same_generation() {
+        let program = parse_program(programs::SAME_GENERATION).unwrap().program;
+        let query = parse_query(programs::SG_QUERY).unwrap();
+        let base = graphs::same_generation_tree(3);
+        let stream: InsertStream = (0..4)
+            .map(|i| ("flat", vec![Const::Int(i), Const::Int(i + 3)]))
+            .collect();
+        let incremental = stream_incremental(&program, &base, &stream, &query);
+        let batch = stream_batch(&program, &base, &stream, &query);
+        assert_eq!(incremental, batch);
+        assert!(batch > 0);
     }
 
     #[test]

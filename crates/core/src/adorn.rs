@@ -160,10 +160,7 @@ pub fn adorn(program: &Program, query: &Query) -> TransformResult<AdornedProgram
 
     // Mint the adorned name for (predicate, adornment), avoiding collisions with
     // existing predicate names.
-    let mint = |original: Symbol,
-                    adornment: &str,
-                    out: &mut AdornedProgram|
-     -> Symbol {
+    let mint = |original: Symbol, adornment: &str, out: &mut AdornedProgram| -> Symbol {
         if let Some(&sym) = out.by_original.get(&(original, adornment.to_string())) {
             return sym;
         }
@@ -222,10 +219,8 @@ pub fn adorn(program: &Program, query: &Query) -> TransformResult<AdornedProgram
                     bound.insert(v);
                 }
             }
-            out.program.push(Rule::new(
-                rule.head.with_predicate(adorned_sym),
-                new_body,
-            ));
+            out.program
+                .push(Rule::new(rule.head.with_predicate(adorned_sym), new_body));
         }
     }
 

@@ -271,14 +271,11 @@ fn classify_rule(
         let bound_matches_head = occ_bound == head_bound;
         let free_matches_head = occ_free == head_free;
         if bound_matches_head && free_matches_head {
-            classified.class =
-                RuleClass::Other("the head literal occurs in the body".to_string());
+            classified.class = RuleClass::Other("the head literal occurs in the body".to_string());
             return classified;
         }
-        let is_left =
-            bound_matches_head && occ_free.iter().all(|v| !head_vars.contains(v));
-        let is_right =
-            free_matches_head && occ_bound.iter().all(|v| !head_vars.contains(v));
+        let is_left = bound_matches_head && occ_free.iter().all(|v| !head_vars.contains(v));
+        let is_right = free_matches_head && occ_bound.iter().all(|v| !head_vars.contains(v));
         if is_left {
             left_occurrences.push(i);
         } else if is_right {
@@ -294,8 +291,7 @@ fn classify_rule(
         return classified;
     }
     if right_occurrences.len() > 1 {
-        classified.class =
-            RuleClass::Other("more than one right-linear occurrence".to_string());
+        classified.class = RuleClass::Other("more than one right-linear occurrence".to_string());
         return classified;
     }
     classified.left_occurrences = left_occurrences.clone();
@@ -445,7 +441,8 @@ fn connected_components<'a>(atoms: &[&'a Atom]) -> Vec<Vec<&'a Atom>> {
             }
         }
     }
-    let mut groups: std::collections::BTreeMap<usize, Vec<&Atom>> = std::collections::BTreeMap::new();
+    let mut groups: std::collections::BTreeMap<usize, Vec<&Atom>> =
+        std::collections::BTreeMap::new();
     for (i, atom) in atoms.iter().enumerate() {
         let root = find(&mut parent, i);
         groups.entry(root).or_default().push(*atom);
@@ -464,11 +461,12 @@ pub fn permute_arguments(
     predicate: Symbol,
     permutation: &[usize],
 ) -> TransformResult<(Program, Query)> {
-    let arity = program
-        .arity_of(predicate)
-        .ok_or_else(|| TransformError::UnknownQueryPredicate {
-            predicate: predicate.as_str().to_string(),
-        })?;
+    let arity =
+        program
+            .arity_of(predicate)
+            .ok_or_else(|| TransformError::UnknownQueryPredicate {
+                predicate: predicate.as_str().to_string(),
+            })?;
     let mut seen = vec![false; arity];
     if permutation.len() != arity || permutation.iter().any(|&i| i >= arity) {
         return Err(TransformError::BadArgumentSplit {
@@ -495,7 +493,12 @@ pub fn permute_arguments(
     let rules = program
         .rules
         .iter()
-        .map(|r| Rule::new(permute_atom(&r.head), r.body.iter().map(permute_atom).collect()))
+        .map(|r| {
+            Rule::new(
+                permute_atom(&r.head),
+                r.body.iter().map(permute_atom).collect(),
+            )
+        })
         .collect();
     Ok((
         Program::from_rules(rules),
@@ -632,7 +635,10 @@ mod tests {
 
     #[test]
     fn head_in_body_is_other() {
-        let c = classified("t(X, Y) :- t(X, Y), e(X, Y).\nt(X, Y) :- e(X, Y).", "t(5, Y)");
+        let c = classified(
+            "t(X, Y) :- t(X, Y), e(X, Y).\nt(X, Y) :- e(X, Y).",
+            "t(5, Y)",
+        );
         assert!(matches!(c.rules[0].class, RuleClass::Other(ref r) if r.contains("head")));
     }
 
@@ -733,10 +739,7 @@ mod tests {
         // t(X, X) in the head: converted to standard form with an equal/2 atom, then
         // classified; the equal atom lands in a conjunction rather than breaking the
         // analysis.
-        let c = classified(
-            "t(X, Y) :- t(X, W), e(W, Y).\nt(X, X) :- n(X).",
-            "t(5, Y)",
-        );
+        let c = classified("t(X, Y) :- t(X, W), e(W, Y).\nt(X, X) :- n(X).", "t(5, Y)");
         assert_eq!(c.rules[0].class, RuleClass::LeftLinear);
         assert_eq!(c.rules[1].class, RuleClass::Exit);
     }

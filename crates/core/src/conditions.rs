@@ -66,7 +66,10 @@ impl FactorabilityReport {
 impl fmt::Display for FactorabilityReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.classes.is_empty() {
-            writeln!(f, "not factorable by the sufficient conditions of Theorems 4.1-4.3")?;
+            writeln!(
+                f,
+                "not factorable by the sufficient conditions of Theorems 4.1-4.3"
+            )?;
         } else {
             let names: Vec<String> = self.classes.iter().map(|c| c.to_string()).collect();
             writeln!(f, "factorable: {}", names.join(", "))?;
@@ -344,7 +347,10 @@ mod tests {
         assert!(r.classes.contains(&FactorableClass::AnswerPropagating));
         // Not symmetric: it has non-combined recursive rules.
         assert!(!r.classes.contains(&FactorableClass::Symmetric));
-        assert!(r.failure_reason(FactorableClass::Symmetric).unwrap().contains("combined"));
+        assert!(r
+            .failure_reason(FactorableClass::Symmetric)
+            .unwrap()
+            .contains("combined"));
         assert!(r.rlc_stable);
         assert!(format!("{r}").contains("factorable"));
     }
@@ -391,7 +397,9 @@ mod tests {
             "p(5, Y)",
         );
         assert!(!r.is_factorable());
-        assert!(r.failure_reason(FactorableClass::SelectionPushing).is_some());
+        assert!(r
+            .failure_reason(FactorableClass::SelectionPushing)
+            .is_some());
     }
 
     #[test]

@@ -153,7 +153,11 @@ mod tests {
         );
         let combined = &c.rules[0];
         let m = middle(combined);
-        assert_eq!(m.arity(), 3, "U, V from the left occurrences plus W from the right");
+        assert_eq!(
+            m.arity(),
+            3,
+            "U, V from the left occurrences plus W from the right"
+        );
         assert_eq!(format!("{m}"), "(U, V, W) :- c(U, V, W)");
     }
 
@@ -161,10 +165,7 @@ mod tests {
     fn equalities_from_standard_form_are_normalized() {
         // Exit rule p(X, X): in standard form the head is p(X, _sf1) with
         // equal(_sf1, X); free_exit is then (X) :- n(X) after substitution.
-        let c = classified(
-            "p(X, Y) :- p(X, W), e(W, Y).\np(X, X) :- n(X).",
-            "p(5, Y)",
-        );
+        let c = classified("p(X, Y) :- p(X, W), e(W, Y).\np(X, X) :- n(X).", "p(5, Y)");
         let exit = &c.rules[1];
         let fe = free_exit(exit);
         assert_eq!(fe.arity(), 1);

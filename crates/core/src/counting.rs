@@ -232,9 +232,7 @@ pub fn delete_index_fields(counting: &CountingProgram) -> Program {
             let body = rule
                 .body
                 .iter()
-                .filter(|a| {
-                    a.predicate != succ_symbol() && a.predicate != counting.depth_predicate
-                })
+                .filter(|a| a.predicate != succ_symbol() && a.predicate != counting.depth_predicate)
                 .map(strip)
                 .collect();
             Rule::new(head, body)
@@ -271,7 +269,9 @@ mod tests {
         let (_, cnt) = build(RIGHT_LINEAR, "p(5, Y)");
         let text = format!("{}", cnt.program);
         assert!(text.contains("cnt_p_bf(5, 0)."), "{text}");
-        assert!(text.contains("cnt_p_bf(U, _CntI1) :- cnt_p_bf(X, _CntI), first1(X, U), succ(_CntI, _CntI1)."));
+        assert!(text.contains(
+            "cnt_p_bf(U, _CntI1) :- cnt_p_bf(X, _CntI), first1(X, U), succ(_CntI, _CntI1)."
+        ));
         assert!(text.contains(
             "ans_p_bf(Y, _CntI) :- ans_p_bf(Y, _CntI1), succ(_CntI, _CntI1), cntd_p_bf(_CntI), right1(Y)."
         ));
@@ -288,12 +288,8 @@ mod tests {
 
         let mut edb = Database::new();
         // A small layered instance: goals 5 -> 6 -> 7 via first1/first2; exits at each.
-        for (a, b) in [(5, 6)] {
-            edb.add_fact("first1", &[Const::Int(a), Const::Int(b)]);
-        }
-        for (a, b) in [(6, 7)] {
-            edb.add_fact("first2", &[Const::Int(a), Const::Int(b)]);
-        }
+        edb.add_fact("first1", &[Const::Int(5), Const::Int(6)]);
+        edb.add_fact("first2", &[Const::Int(6), Const::Int(7)]);
         for (a, b) in [(5, 50), (6, 60), (7, 70)] {
             edb.add_fact("exit", &[Const::Int(a), Const::Int(b)]);
         }
@@ -308,7 +304,11 @@ mod tests {
         assert_eq!(original.answers(&query), counted.answers(&cnt.query));
         assert_eq!(
             original.answers(&query),
-            vec![vec![Const::Int(50)], vec![Const::Int(60)], vec![Const::Int(70)]]
+            vec![
+                vec![Const::Int(50)],
+                vec![Const::Int(60)],
+                vec![Const::Int(70)]
+            ]
         );
     }
 

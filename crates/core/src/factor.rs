@@ -46,7 +46,10 @@ pub struct FactoredProgram {
 
 /// Split an atom's terms according to a position list.
 fn project(atom: &Atom, positions: &[usize], predicate: Symbol) -> Atom {
-    Atom::new(predicate, positions.iter().map(|&i| atom.terms[i]).collect())
+    Atom::new(
+        predicate,
+        positions.iter().map(|&i| atom.terms[i]).collect(),
+    )
 }
 
 /// Apply Proposition 3.1: factor `predicate` into `name1` over `positions1` and
@@ -173,7 +176,11 @@ pub fn factor_magic(
         free_predicate,
     )?;
 
-    let query = Query::new(project(&adorned.query.atom, &free_positions, free_predicate));
+    let query = Query::new(project(
+        &adorned.query.atom,
+        &free_positions,
+        free_predicate,
+    ));
 
     Ok(FactoredProgram {
         program,
@@ -226,9 +233,9 @@ mod tests {
         assert!(text.contains("b_t_bf(X) :- m_t_bf(X), e(X, Y)."));
         assert!(text.contains("f_t_bf(Y) :- m_t_bf(X), e(X, Y)."));
         // The nonlinear rule's body mentions both factors of both occurrences.
-        assert!(text.contains(
-            "f_t_bf(Y) :- m_t_bf(X), b_t_bf(X), f_t_bf(W), b_t_bf(W), f_t_bf(Y)."
-        ));
+        assert!(
+            text.contains("f_t_bf(Y) :- m_t_bf(X), b_t_bf(X), f_t_bf(W), b_t_bf(W), f_t_bf(Y).")
+        );
         // The query now asks for fp facts.
         assert_eq!(format!("{}", f.query), "?- f_t_bf(Y).");
         assert_eq!(f.magic_predicate.unwrap().as_str(), "m_t_bf");
@@ -281,14 +288,11 @@ mod tests {
         let t = Symbol::intern("t");
         let t1 = Symbol::intern("t1_counter");
         let t2 = Symbol::intern("t2_counter");
-        let mut factored =
-            factor_predicate(&program, t, &[0], &[1, 2], t1, t2).unwrap();
+        let mut factored = factor_predicate(&program, t, &[0], &[1, 2], t1, t2).unwrap();
         // Proposition 3.1's equivalent formulation adds the recombination rule.
         factored.push(
-            factorlog_datalog::parser::parse_rule(
-                "t(X, Y, Z) :- t1_counter(X), t2_counter(Y, Z).",
-            )
-            .unwrap(),
+            factorlog_datalog::parser::parse_rule("t(X, Y, Z) :- t1_counter(X), t2_counter(Y, Z).")
+                .unwrap(),
         );
 
         // EDB from the proof: a2 empty, a1 = {1}, q2 = {(2,3)... } — here q1 holds the

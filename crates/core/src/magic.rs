@@ -238,7 +238,10 @@ mod tests {
         // the magic program only computes tuples with first component reachable from 0.
         let t_all = original.database.count("t");
         let t_magic = transformed.database.count("t_bf");
-        assert!(t_magic * 2 <= t_all, "magic must skip the irrelevant chain: {t_magic} vs {t_all}");
+        assert!(
+            t_magic * 2 <= t_all,
+            "magic must skip the irrelevant chain: {t_magic} vs {t_all}"
+        );
     }
 
     #[test]
@@ -286,7 +289,10 @@ mod tests {
         }
         let original = evaluate_default(&program, &edb).unwrap();
         let transformed = evaluate_default(&magicp.program, &edb).unwrap();
-        assert_eq!(original.answers(&query), transformed.answers(&adorned.query));
+        assert_eq!(
+            original.answers(&query),
+            transformed.answers(&adorned.query)
+        );
     }
 
     #[test]

@@ -60,12 +60,16 @@ impl OneSidedAnalysis {
 
 /// Analyse whether the (unit) program defining `predicate` is a simple one-sided
 /// recursion in the expanded form of §6.1.
-pub fn analyze_one_sided(program: &Program, predicate: Symbol) -> TransformResult<OneSidedAnalysis> {
-    let arity = program
-        .arity_of(predicate)
-        .ok_or_else(|| TransformError::UnknownQueryPredicate {
-            predicate: predicate.as_str().to_string(),
-        })?;
+pub fn analyze_one_sided(
+    program: &Program,
+    predicate: Symbol,
+) -> TransformResult<OneSidedAnalysis> {
+    let arity =
+        program
+            .arity_of(predicate)
+            .ok_or_else(|| TransformError::UnknownQueryPredicate {
+                predicate: predicate.as_str().to_string(),
+            })?;
 
     let info = recursion_info(program);
     let fail = |reason: &str| OneSidedAnalysis {
@@ -85,7 +89,9 @@ pub fn analyze_one_sided(program: &Program, predicate: Symbol) -> TransformResul
         .map(|&i| &program.rules[i])
         .collect();
     if recursive_rules.len() != 1 {
-        return Ok(fail("a simple one-sided recursion has exactly one recursive rule"));
+        return Ok(fail(
+            "a simple one-sided recursion has exactly one recursive rule",
+        ));
     }
     let rule = recursive_rules[0];
     let occurrences: Vec<_> = rule
@@ -108,7 +114,9 @@ pub fn analyze_one_sided(program: &Program, predicate: Symbol) -> TransformResul
         }
     }
     if dynamic_positions.is_empty() {
-        return Ok(fail("every argument is static; the recursive rule derives nothing new"));
+        return Ok(fail(
+            "every argument is static; the recursive rule derives nothing new",
+        ));
     }
 
     let static_vars: BTreeSet<Symbol> = static_positions
@@ -174,8 +182,7 @@ pub fn analyze_one_sided(program: &Program, predicate: Symbol) -> TransformResul
                 "the non-recursive literals split into more than one connected component",
             ));
         }
-        let all_dynamic: BTreeSet<Symbol> =
-            head_dynamic.union(&body_dynamic).copied().collect();
+        let all_dynamic: BTreeSet<Symbol> = head_dynamic.union(&body_dynamic).copied().collect();
         if !all_dynamic.iter().all(|v| component_vars.contains(v)) {
             return Ok(fail(
                 "a dynamic-side variable is not connected to the non-recursive literals",
@@ -283,7 +290,10 @@ mod tests {
     fn static_variable_in_edb_literal_breaks_the_form() {
         // c mentions the static variable A, which is the pseudo-left-linear situation
         // (Example 5.2) needing reduction, not plain one-sidedness.
-        let a = one_sided("p(A, B) :- p(A, C), c(C, A, B).\np(A, B) :- exit(A, B).", "p");
+        let a = one_sided(
+            "p(A, B) :- p(A, C), c(C, A, B).\np(A, B) :- exit(A, B).",
+            "p",
+        );
         assert!(!a.is_simple_one_sided);
         assert!(a.reason.as_ref().unwrap().contains("static-group"));
     }

@@ -208,20 +208,13 @@ fn delete_redundant_literals(
             // Proposition 5.2 / 5.3: bp literal deletable when an fp literal is present
             // (and vice versa for fp-only-variable literals).
             if delete_index.is_none() {
-                let has_fp = rule
-                    .body
-                    .iter()
-                    .any(|a| a.predicate == ctx.free_predicate);
-                let has_bp = rule
-                    .body
-                    .iter()
-                    .any(|a| a.predicate == ctx.bound_predicate);
+                let has_fp = rule.body.iter().any(|a| a.predicate == ctx.free_predicate);
+                let has_bp = rule.body.iter().any(|a| a.predicate == ctx.bound_predicate);
                 let occurrences = rule.variable_occurrences();
                 for (i, lit) in rule.body.iter().enumerate() {
-                    let all_anonymous = lit
-                        .terms
-                        .iter()
-                        .all(|t| matches!(t, Term::Var(v) if occurrences.get(v).copied() == Some(1)));
+                    let all_anonymous = lit.terms.iter().all(
+                        |t| matches!(t, Term::Var(v) if occurrences.get(v).copied() == Some(1)),
+                    );
                     if lit.predicate == ctx.bound_predicate && has_fp {
                         if all_anonymous {
                             delete_index = Some((i, "Proposition 5.2"));
@@ -254,11 +247,7 @@ fn delete_redundant_literals(
 
 /// Proposition 5.4 (second part): delete rules for predicates not reachable from the
 /// query predicate.
-fn delete_unreachable(
-    program: &mut Program,
-    query: &Query,
-    trace: &mut OptimizationTrace,
-) -> bool {
+fn delete_unreachable(program: &mut Program, query: &Query, trace: &mut OptimizationTrace) -> bool {
     if program.is_empty() {
         return false;
     }
@@ -290,7 +279,10 @@ fn delete_unreachable(
 fn freeze(rule: &Rule) -> (Atom, Vec<Atom>) {
     let mut subst = Substitution::new();
     for v in rule.variable_set() {
-        subst.insert(v, Const::Sym(Symbol::intern(&format!("$frozen_{}", v.as_str()))));
+        subst.insert(
+            v,
+            Const::Sym(Symbol::intern(&format!("$frozen_{}", v.as_str()))),
+        );
     }
     (
         rule.head.apply(&subst),
@@ -413,7 +405,9 @@ mod tests {
 
     #[test]
     fn head_in_body_rules_are_deleted() {
-        let mut p = parse_program("p(X) :- p(X), q(X).\np(X) :- q(X).").unwrap().program;
+        let mut p = parse_program("p(X) :- p(X), q(X).\np(X) :- q(X).")
+            .unwrap()
+            .program;
         let mut trace = OptimizationTrace::default();
         assert!(delete_head_in_body(&mut p, &mut trace));
         assert_eq!(p.len(), 1);
@@ -427,16 +421,19 @@ mod tests {
             .program;
         let mut trace = OptimizationTrace::default();
         assert!(delete_duplicate_rules(&mut p, &mut trace));
-        assert_eq!(p.len(), 2, "the alpha-variant is removed, the different rule stays");
+        assert_eq!(
+            p.len(),
+            2,
+            "the alpha-variant is removed, the different rule stays"
+        );
     }
 
     #[test]
     fn unreachable_rules_are_deleted() {
-        let mut p = parse_program(
-            "answer(Y) :- helper(Y).\nhelper(Y) :- e(5, Y).\norphan(Z) :- f(Z).",
-        )
-        .unwrap()
-        .program;
+        let mut p =
+            parse_program("answer(Y) :- helper(Y).\nhelper(Y) :- e(5, Y).\norphan(Z) :- f(Z).")
+                .unwrap()
+                .program;
         let query = parse_query("answer(Y)").unwrap();
         let mut trace = OptimizationTrace::default();
         assert!(delete_unreachable(&mut p, &query, &mut trace));

@@ -20,10 +20,14 @@
 //! When the factorability analysis finds no applicable condition the pipeline falls
 //! back to the (optimized) Magic program, which is always sound.
 
-use factorlog_datalog::ast::{Const, Program, Query};
+use std::collections::BTreeSet;
+
+use factorlog_datalog::ast::{Atom, Const, Program, Query, Rule};
 use factorlog_datalog::eval::{
-    seminaive_evaluate, EvalError, EvalOptions, EvalResult,
+    seminaive_evaluate, seminaive_evaluate_owned, CompiledProgram, EvalError, EvalOptions,
+    EvalResult,
 };
+use factorlog_datalog::fx::FxHashMap;
 use factorlog_datalog::storage::Database;
 
 use crate::adorn::{adorn, AdornedProgram};
@@ -144,7 +148,11 @@ impl Optimized {
         if let Some(factored) = &self.factored {
             let _ = writeln!(out, "== factored magic program ==\n{}", factored.program);
         }
-        let _ = writeln!(out, "== final program ({}) ==\n{}", self.strategy, self.program);
+        let _ = writeln!(
+            out,
+            "== final program ({}) ==\n{}",
+            self.strategy, self.program
+        );
         let _ = writeln!(out, "final query: {}", self.query);
         if !self.trace.steps.is_empty() {
             let _ = writeln!(out, "\n== simplifications applied ==");
@@ -153,6 +161,172 @@ impl Optimized {
             }
         }
         out
+    }
+}
+
+impl Optimized {
+    /// Compile the final program into a reusable [`PreparedPlan`] — the plan-reuse API
+    /// behind the engine's prepared-query cache.
+    ///
+    /// The ground seed facts the Magic transformation plants in the program (e.g.
+    /// `m_t_bf(5).`) are stripped out of the compiled rule set and kept as data: at
+    /// execution time they are injected into the evaluation database instead, where
+    /// the semi-naive round 0 (a full pass) picks them up. This makes the compiled
+    /// rules constant-free for most programs, so the same plan can be
+    /// [rebound](PreparedPlan::rebind) to a query with the same adornment but
+    /// different constants without re-running the pipeline.
+    pub fn prepare(&self, options: &EvalOptions) -> Result<PreparedPlan, EvalError> {
+        let mut rules: Vec<Rule> = Vec::new();
+        let mut seeds: Vec<Atom> = Vec::new();
+        for rule in &self.program.rules {
+            if rule.is_fact() && rule.head.is_ground() {
+                seeds.push(rule.head.clone());
+            } else {
+                rules.push(rule.clone());
+            }
+        }
+        let seedless = Program::from_rules(rules);
+        let compiled = CompiledProgram::compile(&seedless, options)?;
+        let bound_consts: Vec<Const> = self
+            .original_query
+            .atom
+            .terms
+            .iter()
+            .filter_map(|t| t.as_const())
+            .collect();
+        Ok(PreparedPlan {
+            seeds,
+            query: self.query.clone(),
+            compiled,
+            bound_consts,
+        })
+    }
+}
+
+/// A compiled, replayable query plan: the output of the optimization pipeline with its
+/// rules compiled once and its magic seed facts held as injectable data.
+#[derive(Clone, Debug)]
+pub struct PreparedPlan {
+    /// Ground seed facts stripped from the optimized program, injected at evaluation.
+    seeds: Vec<Atom>,
+    /// The query to ask of the final program.
+    query: Query,
+    /// The compiled seedless program.
+    compiled: CompiledProgram,
+    /// The constants of the original query's bound positions, in position order.
+    bound_consts: Vec<Const>,
+}
+
+impl PreparedPlan {
+    /// The query the plan answers (in the optimized program's vocabulary).
+    pub fn query(&self) -> &Query {
+        &self.query
+    }
+
+    /// The compiled seedless program.
+    pub fn compiled(&self) -> &CompiledProgram {
+        &self.compiled
+    }
+
+    /// The seed facts injected at evaluation time.
+    pub fn seeds(&self) -> &[Atom] {
+        &self.seeds
+    }
+
+    /// The original query's bound constants, in position order.
+    pub fn bound_consts(&self) -> &[Const] {
+        &self.bound_consts
+    }
+
+    /// Evaluate the plan over `edb`: inject the seeds, replay the compiled rules.
+    pub fn evaluate(&self, edb: &Database, options: &EvalOptions) -> Result<EvalResult, EvalError> {
+        let mut db = edb.clone();
+        for seed in &self.seeds {
+            db.add_atom(seed);
+        }
+        seminaive_evaluate_owned(&self.compiled, db, options)
+    }
+
+    /// The answers to the plan's query over `edb` (projected onto the original
+    /// query's free positions, sorted — same contract as [`Optimized::answers`]).
+    pub fn answers(
+        &self,
+        edb: &Database,
+        options: &EvalOptions,
+    ) -> Result<Vec<Vec<Const>>, EvalError> {
+        Ok(self.evaluate(edb, options)?.answers(&self.query))
+    }
+
+    /// Rebind the plan to a query with the same predicate and adornment but different
+    /// bound constants, reusing the compiled rules verbatim.
+    ///
+    /// This is sound only when the constants live purely in the seeds and the query —
+    /// i.e. the pipeline did not specialize any *rule* on them (and could not have
+    /// specialized differently on the new ones). The guard is conservative:
+    ///
+    /// * old and new constants must be in bijection (consistent duplicates, injective),
+    /// * neither set may appear anywhere in the compiled rules,
+    /// * every seed constant must be covered by the rebinding map.
+    ///
+    /// Returns `None` when the guard fails; callers fall back to re-running the
+    /// pipeline.
+    pub fn rebind(&self, new_bound: &[Const]) -> Option<PreparedPlan> {
+        if new_bound.len() != self.bound_consts.len() {
+            return None;
+        }
+        if new_bound == self.bound_consts.as_slice() {
+            return Some(self.clone());
+        }
+        let mut forward: FxHashMap<Const, Const> = FxHashMap::default();
+        let mut backward: FxHashMap<Const, Const> = FxHashMap::default();
+        for (&old, &new) in self.bound_consts.iter().zip(new_bound) {
+            if *forward.entry(old).or_insert(new) != new {
+                return None; // inconsistent duplicate pattern
+            }
+            if *backward.entry(new).or_insert(old) != old {
+                return None; // not injective
+            }
+        }
+        let rule_consts = self.rule_constants();
+        if forward.keys().any(|c| rule_consts.contains(c))
+            || new_bound.iter().any(|c| rule_consts.contains(c))
+        {
+            return None; // a rule mentions one of the constants: possibly specialized
+        }
+        let remap_atom = |atom: &Atom| -> Option<Atom> {
+            let terms = atom
+                .terms
+                .iter()
+                .map(|t| match t.as_const() {
+                    None => Some(*t),
+                    Some(c) => forward.get(&c).copied().map(Into::into),
+                })
+                .collect::<Option<Vec<_>>>()?;
+            Some(Atom::new(atom.predicate, terms))
+        };
+        let seeds = self
+            .seeds
+            .iter()
+            .map(remap_atom)
+            .collect::<Option<Vec<_>>>()?;
+        let query = Query::new(remap_atom(&self.query.atom)?);
+        Some(PreparedPlan {
+            seeds,
+            query,
+            compiled: self.compiled.clone(),
+            bound_consts: new_bound.to_vec(),
+        })
+    }
+
+    /// Every constant mentioned by the compiled (seedless) rules.
+    fn rule_constants(&self) -> BTreeSet<Const> {
+        self.compiled
+            .program()
+            .rules
+            .iter()
+            .flat_map(|r| std::iter::once(&r.head).chain(r.body.iter()))
+            .flat_map(|a| a.terms.iter().filter_map(|t| t.as_const()))
+            .collect()
     }
 }
 
@@ -241,13 +415,16 @@ pub fn optimize_query(
     let (final_program, final_query, strategy, trace) = match &factored {
         Some(f) => {
             let ctx = FactoringContext::from_factored(f);
-            let (optimized, trace) =
-                optimize(&f.program, &f.query, Some(&ctx), &options.optimize);
+            let (optimized, trace) = optimize(&f.program, &f.query, Some(&ctx), &options.optimize);
             (optimized, f.query.clone(), Strategy::FactoredMagic, trace)
         }
         None => {
-            let (optimized, trace) =
-                optimize(&magic_program.program, &adorned.query, None, &options.optimize);
+            let (optimized, trace) = optimize(
+                &magic_program.program,
+                &adorned.query,
+                None,
+                &options.optimize,
+            );
             (optimized, adorned.query.clone(), Strategy::MagicOnly, trace)
         }
     };
@@ -312,11 +489,10 @@ mod tests {
 
     #[test]
     fn non_factorable_program_falls_back_to_magic() {
-        let program = parse_program(
-            "sg(X, Y) :- flat(X, Y).\nsg(X, Y) :- up(X, U), sg(U, V), down(V, Y).",
-        )
-        .unwrap()
-        .program;
+        let program =
+            parse_program("sg(X, Y) :- flat(X, Y).\nsg(X, Y) :- up(X, U), sg(U, V), down(V, Y).")
+                .unwrap()
+                .program;
         let query = parse_query("sg(1, Y)").unwrap();
         let out = optimize_query(&program, &query, &PipelineOptions::default()).unwrap();
         assert_eq!(out.strategy, Strategy::MagicOnly);
@@ -431,6 +607,70 @@ mod tests {
         );
         assert!(factored_answers.contains(&vec![Const::Int(8)]));
         assert!(!correct.contains(&vec![Const::Int(8)]));
+    }
+
+    #[test]
+    fn prepared_plan_replays_the_pipeline_output() {
+        let program = parse_program(THREE_RULE_TC).unwrap().program;
+        let query = parse_query("t(5, Y)").unwrap();
+        let out = optimize_query(&program, &query, &PipelineOptions::default()).unwrap();
+        let plan = out.prepare(&EvalOptions::default()).unwrap();
+        assert!(
+            !plan.seeds().is_empty(),
+            "the magic seed must be stripped into the seed list"
+        );
+        assert_eq!(plan.bound_consts(), &[Const::Int(5)]);
+        let edb = chain_edb(10, 5);
+        assert_eq!(
+            plan.answers(&edb, &EvalOptions::default()).unwrap(),
+            out.answers(&edb).unwrap()
+        );
+    }
+
+    #[test]
+    fn prepared_plan_rebinds_to_new_constants() {
+        let program = parse_program(THREE_RULE_TC).unwrap().program;
+        let query = parse_query("t(5, Y)").unwrap();
+        let out = optimize_query(&program, &query, &PipelineOptions::default()).unwrap();
+        let plan = out.prepare(&EvalOptions::default()).unwrap();
+
+        // Rebind the (5)-plan to constant 20 and compare against a fresh pipeline run.
+        let rebound = plan.rebind(&[Const::Int(20)]).expect("rebind applies");
+        let edb = chain_edb(30, 0);
+        let fresh_query = parse_query("t(20, Y)").unwrap();
+        let fresh = optimize_query(&program, &fresh_query, &PipelineOptions::default()).unwrap();
+        assert_eq!(
+            rebound.answers(&edb, &EvalOptions::default()).unwrap(),
+            fresh.answers(&edb).unwrap()
+        );
+        assert_eq!(
+            rebound
+                .answers(&edb, &EvalOptions::default())
+                .unwrap()
+                .len(),
+            10
+        );
+
+        // Same constants: trivially rebindable.
+        assert!(plan.rebind(&[Const::Int(5)]).is_some());
+        // Arity mismatch: refused.
+        assert!(plan.rebind(&[Const::Int(1), Const::Int(2)]).is_none());
+    }
+
+    #[test]
+    fn rebind_refuses_constants_mentioned_by_rules() {
+        // The rule set mentions 7 (in a body literal, which survives the rewriting);
+        // a plan may have been specialized on it.
+        let program = parse_program(
+            "t(X, Y) :- e(X, W), t(W, Y).\n\
+             t(X, Y) :- e(X, Y), anchor(7).",
+        )
+        .unwrap()
+        .program;
+        let query = parse_query("t(5, Y)").unwrap();
+        let out = optimize_query(&program, &query, &PipelineOptions::default()).unwrap();
+        let plan = out.prepare(&EvalOptions::default()).unwrap();
+        assert!(plan.rebind(&[Const::Int(7)]).is_none());
     }
 
     #[test]

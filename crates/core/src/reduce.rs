@@ -132,7 +132,8 @@ pub fn reduce_positions(
         // positions, then drop those positions from every occurrence of the predicate.
         let mut subst = Substitution::new();
         for &pos in &removed_positions {
-            if let (Term::Var(v), Some(c)) = (rule.head.terms[pos], query.atom.terms[pos].as_const())
+            if let (Term::Var(v), Some(c)) =
+                (rule.head.terms[pos], query.atom.terms[pos].as_const())
             {
                 subst.insert(v, c);
             }
@@ -222,7 +223,10 @@ mod tests {
         assert_eq!(static_bound_positions(&program, &query), vec![0, 1]);
         let reduced = reduce_positions(&program, &query, &[0]).unwrap();
         let text = format!("{}", reduced.program);
-        assert!(text.contains("p_red(Y, Z) :- p_red(Y, W), d(W, 5, Z)."), "{text}");
+        assert!(
+            text.contains("p_red(Y, Z) :- p_red(Y, W), d(W, 5, Z)."),
+            "{text}"
+        );
 
         let adorned = adorn(&reduced.program, &reduced.query).unwrap();
         let classified = classify(&adorned).unwrap();
@@ -252,7 +256,11 @@ mod tests {
         assert_eq!(original.answers(&query), red.answers(&reduced.query));
         assert_eq!(
             original.answers(&query),
-            vec![vec![Const::Int(10)], vec![Const::Int(11)], vec![Const::Int(12)]]
+            vec![
+                vec![Const::Int(10)],
+                vec![Const::Int(11)],
+                vec![Const::Int(12)]
+            ]
         );
     }
 

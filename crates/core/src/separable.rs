@@ -54,7 +54,9 @@ fn has_shifting_variable(rule: &Rule, predicate: Symbol) -> bool {
         .find(|a| a.predicate == predicate)
         .expect("recursive rule has an occurrence");
     for (i, head_term) in rule.head.terms.iter().enumerate() {
-        let Term::Var(head_var) = head_term else { continue };
+        let Term::Var(head_var) = head_term else {
+            continue;
+        };
         for (j, body_term) in occurrence.terms.iter().enumerate() {
             if i != j && *body_term == Term::Var(*head_var) {
                 return true;
@@ -87,7 +89,9 @@ pub fn analyze_separable(
         return Ok(fail("the program is not a unit recursion on the predicate"));
     }
     if !info.linear {
-        return Ok(fail("a separable recursion must have only linear recursive rules"));
+        return Ok(fail(
+            "a separable recursion must have only linear recursive rules",
+        ));
     }
 
     let mut rules_info = Vec::new();
@@ -155,9 +159,7 @@ pub fn analyze_separable(
     for (a, ra) in rules_info.iter().enumerate() {
         for rb in &rules_info[a + 1..] {
             let same = ra.connected_positions == rb.connected_positions;
-            let disjoint = ra
-                .connected_positions
-                .is_disjoint(&rb.connected_positions);
+            let disjoint = ra.connected_positions.is_disjoint(&rb.connected_positions);
             if !same && !disjoint {
                 return Ok(fail(&format!(
                     "rules {} and {} have overlapping but unequal connected-position sets",
@@ -235,10 +237,7 @@ mod tests {
         assert!(a.is_separable);
         assert!(a.is_reducible);
         assert_eq!(a.rules.len(), 1);
-        assert_eq!(
-            a.rules[0].connected_positions,
-            BTreeSet::from([1usize])
-        );
+        assert_eq!(a.rules[0].connected_positions, BTreeSet::from([1usize]));
         assert_eq!(a.rules[0].fixed_positions, BTreeSet::from([0usize]));
     }
 
@@ -273,10 +272,7 @@ mod tests {
 
     #[test]
     fn nonlinear_recursion_is_not_separable() {
-        let a = separable(
-            "t(X, Y) :- t(X, W), t(W, Y).\nt(X, Y) :- e(X, Y).",
-            "t",
-        );
+        let a = separable("t(X, Y) :- t(X, W), t(W, Y).\nt(X, Y) :- e(X, Y).", "t");
         assert!(!a.is_separable);
         assert!(a.reason.as_ref().unwrap().contains("linear"));
     }
@@ -297,10 +293,7 @@ mod tests {
         // The fixed variable X is itself connected to the non-recursive predicate, so
         // the recursion is separable but not reducible (the paper's `A` nonempty case,
         // where the separable evaluation algorithm does not reduce arity).
-        let a = separable(
-            "t(X, Y) :- t(X, W), e(W, X, Y).\nt(X, Y) :- e0(X, Y).",
-            "t",
-        );
+        let a = separable("t(X, Y) :- t(X, W), e(W, X, Y).\nt(X, Y) :- e0(X, Y).", "t");
         assert!(a.is_separable);
         assert!(!a.is_reducible);
         assert!(a.reason.as_ref().unwrap().contains("fixed variable"));

@@ -23,10 +23,7 @@ pub fn is_rule_standard(rule: &Rule, predicate: Symbol) -> bool {
 
 /// Is every `predicate` literal of the program in standard form?
 pub fn is_program_standard(program: &Program, predicate: Symbol) -> bool {
-    program
-        .rules
-        .iter()
-        .all(|r| is_rule_standard(r, predicate))
+    program.rules.iter().all(|r| is_rule_standard(r, predicate))
 }
 
 fn is_atom_standard(atom: &Atom) -> bool {
@@ -42,8 +39,7 @@ fn is_atom_standard(atom: &Atom) -> bool {
 /// not clash with the rule's variables.
 pub fn rule_to_standard_form(rule: &Rule, predicate: Symbol) -> Rule {
     let mut counter = 0usize;
-    let existing: std::collections::BTreeSet<Symbol> =
-        rule.variable_set().into_iter().collect();
+    let existing: std::collections::BTreeSet<Symbol> = rule.variable_set().into_iter().collect();
     let mut fresh = || loop {
         counter += 1;
         let v = Symbol::intern(&format!("_sf{counter}"));
@@ -118,7 +114,10 @@ mod tests {
         let s = rule_to_standard_form(&r, p);
         assert!(is_rule_standard(&s, p));
         let text = format!("{s}");
-        assert!(text.starts_with("p(X, _sf1) :- e(X, Y), equal(_sf1, 5)."), "{text}");
+        assert!(
+            text.starts_with("p(X, _sf1) :- e(X, Y), equal(_sf1, 5)."),
+            "{text}"
+        );
     }
 
     #[test]

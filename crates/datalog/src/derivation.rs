@@ -42,12 +42,21 @@ impl DerivationTree {
 
     /// The height of the tree (a leaf has height 1, as in Definition 2.1's induction).
     pub fn height(&self) -> usize {
-        1 + self.children.iter().map(DerivationTree::height).max().unwrap_or(0)
+        1 + self
+            .children
+            .iter()
+            .map(DerivationTree::height)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Total number of nodes.
     pub fn size(&self) -> usize {
-        1 + self.children.iter().map(DerivationTree::size).sum::<usize>()
+        1 + self
+            .children
+            .iter()
+            .map(DerivationTree::size)
+            .sum::<usize>()
     }
 
     /// Every fact appearing in the tree (pre-order).
@@ -251,7 +260,9 @@ mod tests {
     fn edb_facts_are_leaves() {
         let program = parse_program("t(X, Y) :- e(X, Y).").unwrap().program;
         let prov = ProvenanceEvaluator::run(&program, &chain_edb(3));
-        let tree = prov.derivation_tree(&parse_atom("e(0, 1)").unwrap()).unwrap();
+        let tree = prov
+            .derivation_tree(&parse_atom("e(0, 1)").unwrap())
+            .unwrap();
         assert_eq!(tree.height(), 1);
         assert_eq!(tree.rule_index, None);
     }
@@ -262,7 +273,9 @@ mod tests {
             .unwrap()
             .program;
         let prov = ProvenanceEvaluator::run(&program, &chain_edb(4));
-        let tree = prov.derivation_tree(&parse_atom("t(0, 4)").unwrap()).unwrap();
+        let tree = prov
+            .derivation_tree(&parse_atom("t(0, 4)").unwrap())
+            .unwrap();
         // t(0,4) needs the recursive rule at the root.
         assert_eq!(tree.rule_index, Some(1));
         assert_eq!(tree.children.len(), 2);
@@ -278,8 +291,12 @@ mod tests {
             .unwrap()
             .program;
         let prov = ProvenanceEvaluator::run(&program, &chain_edb(4));
-        assert!(prov.derivation_tree(&parse_atom("t(1, 3)").unwrap()).is_some());
-        assert!(prov.derivation_tree(&parse_atom("t(3, 1)").unwrap()).is_none());
+        assert!(prov
+            .derivation_tree(&parse_atom("t(1, 3)").unwrap())
+            .is_some());
+        assert!(prov
+            .derivation_tree(&parse_atom("t(3, 1)").unwrap())
+            .is_none());
         assert!(prov.holds(&parse_atom("t(0, 1)").unwrap()));
         assert!(!prov.holds(&parse_atom("t(4, 0)").unwrap()));
     }
@@ -292,7 +309,9 @@ mod tests {
             .unwrap()
             .program;
         let prov = ProvenanceEvaluator::run(&program, &chain_edb(8));
-        let tree = prov.derivation_tree(&parse_atom("t(0, 7)").unwrap()).unwrap();
+        let tree = prov
+            .derivation_tree(&parse_atom("t(0, 7)").unwrap())
+            .unwrap();
         fn check_acyclic(tree: &DerivationTree) {
             for child in &tree.children {
                 assert_ne!(child.fact, tree.fact, "a fact must not justify itself");
@@ -307,7 +326,9 @@ mod tests {
     fn display_is_indented() {
         let program = parse_program("t(X, Y) :- e(X, Y).").unwrap().program;
         let prov = ProvenanceEvaluator::run(&program, &chain_edb(2));
-        let tree = prov.derivation_tree(&parse_atom("t(0, 1)").unwrap()).unwrap();
+        let tree = prov
+            .derivation_tree(&parse_atom("t(0, 1)").unwrap())
+            .unwrap();
         let text = format!("{tree}");
         assert!(text.contains("t(0, 1)   [rule 0]"));
         assert!(text.contains("  e(0, 1)   [edb]"));
@@ -326,11 +347,10 @@ mod tests {
 
     #[test]
     fn model_matches_plain_evaluation() {
-        let program = parse_program(
-            "t(X, Y) :- e(X, Y).\n t(X, Y) :- e(X, W), t(W, Y).\n q(Y) :- t(0, Y).",
-        )
-        .unwrap()
-        .program;
+        let program =
+            parse_program("t(X, Y) :- e(X, Y).\n t(X, Y) :- e(X, W), t(W, Y).\n q(Y) :- t(0, Y).")
+                .unwrap()
+                .program;
         let edb = chain_edb(5);
         let prov = ProvenanceEvaluator::run(&program, &edb);
         let eval = crate::eval::evaluate_default(&program, &edb).unwrap();

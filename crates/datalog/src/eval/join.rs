@@ -91,7 +91,9 @@ impl CompiledRule {
         let mut var_slots: FxHashMap<Symbol, usize> = FxHashMap::default();
         let mut bound_so_far: Vec<bool> = Vec::new();
 
-        let slot_of = |term: &Term, var_slots: &mut FxHashMap<Symbol, usize>, bound: &mut Vec<bool>| match term {
+        let slot_of = |term: &Term,
+                       var_slots: &mut FxHashMap<Symbol, usize>,
+                       bound: &mut Vec<bool>| match term {
             Term::Const(c) => Slot::Const(*c),
             Term::Var(v) => {
                 let next = var_slots.len();
@@ -181,7 +183,9 @@ impl CompiledRule {
         for slot in &self.head_slots {
             match slot {
                 Slot::Const(c) => out.push(*c),
-                Slot::Var(idx) => out.push(env[*idx].expect("unbound head variable at firing time")),
+                Slot::Var(idx) => {
+                    out.push(env[*idx].expect("unbound head variable at firing time"))
+                }
             }
         }
     }
@@ -461,7 +465,10 @@ mod tests {
         let compiled = compile("p(X) :- q(X).");
         let db = Database::new();
         let mut results = Vec::new();
-        assert_eq!(compiled.fire(&db, None, &mut |t| results.push(t.to_vec())), 0);
+        assert_eq!(
+            compiled.fire(&db, None, &mut |t| results.push(t.to_vec())),
+            0
+        );
         assert!(results.is_empty());
     }
 
@@ -471,7 +478,10 @@ mod tests {
         let mut db = Database::new();
         db.add_fact("q", &[c(1), c(2)]); // q stored with arity 2, literal has arity 1
         let mut results = Vec::new();
-        assert_eq!(compiled.fire(&db, None, &mut |t| results.push(t.to_vec())), 0);
+        assert_eq!(
+            compiled.fire(&db, None, &mut |t| results.push(t.to_vec())),
+            0
+        );
     }
 
     #[test]
@@ -525,6 +535,10 @@ mod tests {
         arities.insert(Symbol::intern("t"), 2);
         compiled.ensure_indexes(&mut db, &arities);
         // t is probed on its first column.
-        assert!(db.relation(Symbol::intern("t")).unwrap().probe(&[0], &[c(2)]).is_some());
+        assert!(db
+            .relation(Symbol::intern("t"))
+            .unwrap()
+            .probe(&[0], &[c(2)])
+            .is_some());
     }
 }

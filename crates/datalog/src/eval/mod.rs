@@ -16,7 +16,10 @@ use crate::validate::ValidationError;
 
 pub use join::EvalOptions;
 pub use naive::naive_evaluate;
-pub use seminaive::seminaive_evaluate;
+pub use seminaive::{
+    seminaive_evaluate, seminaive_evaluate_compiled, seminaive_evaluate_owned, seminaive_resume,
+    CompiledProgram,
+};
 pub use stats::EvalStats;
 
 /// Which fixpoint strategy to use.

@@ -120,7 +120,9 @@ mod tests {
 
     #[test]
     fn facts_in_program_are_materialized() {
-        let program = parse_program("m(5).\nm(W) :- m(X), e(X, W).").unwrap().program;
+        let program = parse_program("m(5).\nm(W) :- m(X), e(X, W).")
+            .unwrap()
+            .program;
         let mut edb = Database::new();
         edb.add_fact("e", &[c(5), c(6)]);
         edb.add_fact("e", &[c(6), c(7)]);
@@ -136,7 +138,10 @@ mod tests {
             .unwrap()
             .program;
         let result = naive_evaluate(&program, &chain_edb(4), &EvalOptions::default()).unwrap();
-        assert!(result.stats.iterations >= 4, "chain of length 4 needs >= 4 passes");
+        assert!(
+            result.stats.iterations >= 4,
+            "chain of length 4 needs >= 4 passes"
+        );
         assert!(result.stats.inferences >= result.stats.facts_derived);
         assert_eq!(result.stats.facts_for(Symbol::intern("t")), 10);
     }

@@ -8,6 +8,17 @@
 //!
 //! This is the evaluation strategy the paper assumes when it speaks of "semi-naive
 //! bottom-up evaluation of the new program" (§1).
+//!
+//! Two entry points beyond the classic [`seminaive_evaluate`] support the persistent
+//! engine (`factorlog-engine`):
+//!
+//! * [`CompiledProgram`] + [`seminaive_evaluate_compiled`] — compile a program's rules
+//!   once and replay the compiled plan over many databases (the prepared-query path);
+//! * [`seminaive_resume`] — restart the fixpoint over an *existing* least model with
+//!   externally seeded deltas (newly inserted EDB facts), deriving only consequences
+//!   that use at least one new fact instead of re-evaluating from scratch.
+
+use std::collections::BTreeSet;
 
 use crate::ast::Program;
 use crate::fx::FxHashMap;
@@ -18,55 +29,183 @@ use super::join::{CompiledRule, EvalOptions};
 use super::stats::EvalStats;
 use super::{arity_map, EvalError, EvalResult};
 
+/// A program validated and compiled for semi-naive evaluation: the reusable plan.
+///
+/// Compilation (validation, IDB classification, variable-slot assignment, bound-position
+/// analysis) happens once; the plan can then be replayed over any number of databases
+/// with [`seminaive_evaluate_compiled`] or resumed incrementally with
+/// [`seminaive_resume`]. This is what the prepared-query cache stores.
+#[derive(Clone, Debug)]
+pub struct CompiledProgram {
+    program: Program,
+    idb: BTreeSet<Symbol>,
+    rules: Vec<CompiledRule>,
+}
+
+impl CompiledProgram {
+    /// Validate and compile `program`. `options` decides builtin handling at compile
+    /// time (the `succ/2` flag is baked into the compiled literals).
+    pub fn compile(program: &Program, options: &EvalOptions) -> Result<CompiledProgram, EvalError> {
+        crate::validate::check_program(program).map_err(EvalError::Invalid)?;
+        let idb = program.idb_predicates();
+        let rules = program
+            .rules
+            .iter()
+            .enumerate()
+            .map(|(i, r)| CompiledRule::compile(i, r, &|p| idb.contains(&p), options))
+            .collect();
+        Ok(CompiledProgram {
+            program: program.clone(),
+            idb,
+            rules,
+        })
+    }
+
+    /// The source program this plan was compiled from.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The IDB predicates (head predicates) of the compiled program.
+    pub fn idb(&self) -> &BTreeSet<Symbol> {
+        &self.idb
+    }
+
+    /// Ensure `db` has a relation for every IDB predicate and every secondary index
+    /// the compiled joins will probe; returns the arity map used for staging.
+    fn prepare(&self, db: &mut Database) -> FxHashMap<Symbol, usize> {
+        let arities = arity_map(&self.program, db);
+        for &p in &self.idb {
+            let arity = arities.get(&p).copied().unwrap_or(0);
+            db.ensure_relation(p, arity);
+        }
+        for rule in &self.rules {
+            rule.ensure_indexes(db, &arities);
+        }
+        arities
+    }
+
+    /// Fresh empty staging relations, one per IDB predicate.
+    fn empty_staging(&self, arities: &FxHashMap<Symbol, usize>) -> FxHashMap<Symbol, Relation> {
+        let mut staging: FxHashMap<Symbol, Relation> = FxHashMap::default();
+        for &p in &self.idb {
+            staging.insert(p, Relation::new(arities.get(&p).copied().unwrap_or(0)));
+        }
+        staging
+    }
+}
+
 /// Evaluate `program` over `edb` with semi-naive iteration.
 pub fn seminaive_evaluate(
     program: &Program,
     edb: &Database,
     options: &EvalOptions,
 ) -> Result<EvalResult, EvalError> {
-    crate::validate::check_program(program).map_err(EvalError::Invalid)?;
+    let compiled = CompiledProgram::compile(program, options)?;
+    seminaive_evaluate_compiled(&compiled, edb, options)
+}
 
-    let idb: std::collections::BTreeSet<Symbol> = program.idb_predicates();
-    let arities = arity_map(program, edb);
-    let mut db = edb.clone();
-    for &p in &idb {
-        let arity = arities.get(&p).copied().unwrap_or(0);
-        db.ensure_relation(p, arity);
-    }
+/// Evaluate a pre-compiled plan over `edb` with semi-naive iteration. Equivalent to
+/// [`seminaive_evaluate`] but skips validation and rule compilation — the replay path
+/// for prepared queries.
+pub fn seminaive_evaluate_compiled(
+    compiled: &CompiledProgram,
+    edb: &Database,
+    options: &EvalOptions,
+) -> Result<EvalResult, EvalError> {
+    seminaive_evaluate_owned(compiled, edb.clone(), options)
+}
 
-    let compiled: Vec<CompiledRule> = program
-        .rules
-        .iter()
-        .enumerate()
-        .map(|(i, r)| CompiledRule::compile(i, r, &|p| idb.contains(&p), options))
-        .collect();
-    for rule in &compiled {
-        rule.ensure_indexes(&mut db, &arities);
-    }
-
-    let mut stats = EvalStats::new(program.rules.len());
+/// Like [`seminaive_evaluate_compiled`] but takes the starting database by value,
+/// evaluating in place — for callers that already built a dedicated database (e.g. a
+/// prepared plan injecting its seed facts) and don't need a second copy.
+pub fn seminaive_evaluate_owned(
+    compiled: &CompiledProgram,
+    mut db: Database,
+    options: &EvalOptions,
+) -> Result<EvalResult, EvalError> {
+    let arities = compiled.prepare(&mut db);
+    let mut stats = EvalStats::new(compiled.rules.len());
 
     // Round 0: fire every rule against the EDB alone (IDB relations are empty). Exit
     // rules and program facts produce the initial deltas; recursive rules find no IDB
-    // facts and contribute nothing.
-    let mut delta: FxHashMap<Symbol, Relation> = FxHashMap::default();
-    for &p in &idb {
-        delta.insert(p, Relation::new(arities.get(&p).copied().unwrap_or(0)));
-    }
+    // facts and contribute nothing. (If the caller pre-loaded IDB facts — e.g. a
+    // prepared plan injecting its magic seed — this full pass derives their direct
+    // consequences too.)
+    let mut delta = compiled.empty_staging(&arities);
     stats.iterations += 1;
-    for rule in &compiled {
+    for rule in &compiled.rules {
         fire_into(
             rule,
             &db,
             None,
-            delta.get_mut(&rule.head_predicate).expect("idb delta exists"),
+            delta
+                .get_mut(&rule.head_predicate)
+                .expect("idb delta exists"),
             &mut stats,
         );
     }
     merge_deltas(&mut db, &delta);
+    run_fixpoint(compiled, &mut db, delta, &arities, options, &mut stats)?;
 
-    // Subsequent rounds: fire each rule once per IDB body literal, with the delta
-    // substituted at that literal.
+    Ok(EvalResult {
+        database: db,
+        stats,
+    })
+}
+
+/// Resume semi-naive evaluation over an existing least `model`, seeded with external
+/// deltas — the incremental-maintenance primitive.
+///
+/// `model` must be a fixpoint of the compiled program over some earlier EDB, with the
+/// `seeds` facts **already merged in** (so emission-time duplicate detection sees
+/// them); `seeds` holds, per predicate, exactly the facts that are new since that
+/// fixpoint. The seed round fires every rule once per body literal whose predicate has
+/// a seed delta — EDB predicates included, which is what distinguishes this from an
+/// ordinary semi-naive round — so every derivation using at least one new fact is
+/// found, and the regular delta-driven fixpoint then propagates the consequences.
+/// Returns the statistics of the incremental run; `model` is updated in place.
+pub fn seminaive_resume(
+    compiled: &CompiledProgram,
+    model: &mut Database,
+    seeds: &FxHashMap<Symbol, Relation>,
+    options: &EvalOptions,
+) -> Result<EvalStats, EvalError> {
+    let arities = compiled.prepare(model);
+    let mut stats = EvalStats::new(compiled.rules.len());
+
+    let mut staging = compiled.empty_staging(&arities);
+    stats.iterations += 1;
+    for rule in &compiled.rules {
+        for (pos, literal) in rule.literals.iter().enumerate() {
+            let Some(seed_rel) = seeds.get(&literal.predicate) else {
+                continue;
+            };
+            if seed_rel.is_empty() {
+                continue;
+            }
+            let staged = staging
+                .get_mut(&rule.head_predicate)
+                .expect("idb staging exists");
+            fire_into(rule, model, Some((pos, seed_rel)), staged, &mut stats);
+        }
+    }
+    merge_deltas(model, &staging);
+    run_fixpoint(compiled, model, staging, &arities, options, &mut stats)?;
+    Ok(stats)
+}
+
+/// The delta-driven fixpoint loop shared by full evaluation and incremental resume:
+/// fire each rule once per IDB body literal with the delta substituted at that
+/// literal, until no new facts appear.
+fn run_fixpoint(
+    compiled: &CompiledProgram,
+    db: &mut Database,
+    mut delta: FxHashMap<Symbol, Relation>,
+    arities: &FxHashMap<Symbol, usize>,
+    options: &EvalOptions,
+    stats: &mut EvalStats,
+) -> Result<(), EvalError> {
     loop {
         if delta.values().all(Relation::is_empty) {
             break;
@@ -78,11 +217,8 @@ pub fn seminaive_evaluate(
         }
         stats.iterations += 1;
 
-        let mut staging: FxHashMap<Symbol, Relation> = FxHashMap::default();
-        for &p in &idb {
-            staging.insert(p, Relation::new(arities.get(&p).copied().unwrap_or(0)));
-        }
-        for rule in &compiled {
+        let mut staging = compiled.empty_staging(arities);
+        for rule in &compiled.rules {
             for &pos in &rule.idb_literal_positions {
                 let body_pred = rule.literals[pos].predicate;
                 let delta_rel = delta.get(&body_pred).expect("idb delta exists");
@@ -92,19 +228,15 @@ pub fn seminaive_evaluate(
                 let staged = staging
                     .get_mut(&rule.head_predicate)
                     .expect("idb staging exists");
-                fire_into(rule, &db, Some((pos, delta_rel)), staged, &mut stats);
+                fire_into(rule, db, Some((pos, delta_rel)), staged, stats);
             }
         }
         // The new delta is the staged facts not already in the full database; `staged`
         // was deduplicated against `db` during emission, so it is the delta directly.
-        merge_deltas(&mut db, &staging);
+        merge_deltas(db, &staging);
         delta = staging;
     }
-
-    Ok(EvalResult {
-        database: db,
-        stats,
-    })
+    Ok(())
 }
 
 /// Fire one rule (optionally with a delta-substituted literal), staging new facts into
@@ -288,6 +420,134 @@ mod tests {
         assert!(sg.contains(&[c(4), c(5)]));
         assert!(sg.contains(&[c(2), c(3)]));
         assert_eq!(sg.len(), 2);
+    }
+
+    #[test]
+    fn compiled_plan_replays_across_databases() {
+        let program = tc_program();
+        let compiled = CompiledProgram::compile(&program, &EvalOptions::default()).unwrap();
+        for n in [3i64, 7, 11] {
+            let edb = chain_edb(n);
+            let via_plan =
+                seminaive_evaluate_compiled(&compiled, &edb, &EvalOptions::default()).unwrap();
+            let fresh = seminaive_evaluate(&program, &edb, &EvalOptions::default()).unwrap();
+            assert_eq!(via_plan.database.count("t"), fresh.database.count("t"));
+        }
+        assert_eq!(compiled.program().len(), 2);
+        assert!(compiled.idb().contains(&Symbol::intern("t")));
+    }
+
+    /// Resume helper: evaluate, then insert `extra` edges incrementally and resume.
+    fn resume_after_inserts(
+        program: &Program,
+        base: i64,
+        extra: &[(i64, i64)],
+    ) -> (Database, EvalStats) {
+        let compiled = CompiledProgram::compile(program, &EvalOptions::default()).unwrap();
+        let mut model = seminaive_evaluate(program, &chain_edb(base), &EvalOptions::default())
+            .unwrap()
+            .database;
+        let mut seeds: FxHashMap<Symbol, Relation> = FxHashMap::default();
+        let mut seed_rel = Relation::new(2);
+        for &(a, b) in extra {
+            if model.add_fact("e", &[c(a), c(b)]) {
+                seed_rel.insert(&[c(a), c(b)]);
+            }
+        }
+        seeds.insert(Symbol::intern("e"), seed_rel);
+        let stats =
+            seminaive_resume(&compiled, &mut model, &seeds, &EvalOptions::default()).unwrap();
+        (model, stats)
+    }
+
+    #[test]
+    fn resume_matches_batch_on_edb_extension() {
+        let program = tc_program();
+        let extra = [(5i64, 0i64), (2, 7), (9, 9)];
+        let (incremental, stats) = resume_after_inserts(&program, 8, &extra);
+
+        let mut full_edb = chain_edb(8);
+        for &(a, b) in &extra {
+            full_edb.add_fact("e", &[c(a), c(b)]);
+        }
+        let batch = seminaive_evaluate(&program, &full_edb, &EvalOptions::default()).unwrap();
+        let t = Symbol::intern("t");
+        assert_eq!(
+            incremental.relation(t).unwrap().to_sorted_vec(),
+            batch.database.relation(t).unwrap().to_sorted_vec()
+        );
+        assert!(stats.facts_derived > 0, "the new edges derive new paths");
+    }
+
+    #[test]
+    fn resume_with_no_op_seed_derives_nothing() {
+        let program = tc_program();
+        // Re-inserting an existing edge is filtered out by the caller (add_fact returns
+        // false), so the seed relation is empty and resume is a no-op.
+        let (model, stats) = resume_after_inserts(&program, 6, &[]);
+        assert_eq!(model.count("t"), 21);
+        assert_eq!(stats.facts_derived, 0);
+        assert_eq!(stats.inferences, 0);
+    }
+
+    #[test]
+    fn resume_does_less_work_than_reevaluation() {
+        let program = tc_program();
+        let (_, stats) = resume_after_inserts(&program, 40, &[(40, 41)]);
+        let mut full_edb = chain_edb(40);
+        full_edb.add_fact("e", &[c(40), c(41)]);
+        let batch = seminaive_evaluate(&program, &full_edb, &EvalOptions::default()).unwrap();
+        assert!(
+            stats.inferences < batch.stats.inferences / 2,
+            "incremental ({}) must be far cheaper than batch ({})",
+            stats.inferences,
+            batch.stats.inferences
+        );
+    }
+
+    #[test]
+    fn resume_handles_nonlinear_rules_and_idb_seeds() {
+        // Seeding an IDB predicate directly (a user asserting a derived fact) must
+        // propagate through both occurrences of the nonlinear recursion.
+        let program = parse_program("t(X, Y) :- e(X, Y).\nt(X, Y) :- t(X, W), t(W, Y).")
+            .unwrap()
+            .program;
+        let compiled = CompiledProgram::compile(&program, &EvalOptions::default()).unwrap();
+        let mut model = seminaive_evaluate(&program, &chain_edb(4), &EvalOptions::default())
+            .unwrap()
+            .database;
+        // Assert t(4, 100) as a fact: every t(x, 4) now extends to t(x, 100).
+        let mut seeds: FxHashMap<Symbol, Relation> = FxHashMap::default();
+        let mut seed = Relation::new(2);
+        model.add_fact("t", &[c(4), c(100)]);
+        seed.insert(&[c(4), c(100)]);
+        seeds.insert(Symbol::intern("t"), seed);
+        seminaive_resume(&compiled, &mut model, &seeds, &EvalOptions::default()).unwrap();
+        let t = model.relation(Symbol::intern("t")).unwrap();
+        for x in 0..4 {
+            assert!(t.contains(&[c(x), c(100)]), "t({x}, 100) must be derived");
+        }
+    }
+
+    #[test]
+    fn resume_respects_iteration_limit() {
+        let program = parse_program("counter(0).\ncounter(M) :- counter(N), succ(N, M).")
+            .unwrap()
+            .program;
+        let options = EvalOptions {
+            max_iterations: 20,
+            ..EvalOptions::default()
+        };
+        let compiled = CompiledProgram::compile(&program, &options).unwrap();
+        // Build a model by hand (the full evaluation would diverge as well).
+        let mut model = Database::new();
+        model.add_fact("counter", &[c(0)]);
+        let mut seeds: FxHashMap<Symbol, Relation> = FxHashMap::default();
+        let mut seed = Relation::new(1);
+        seed.insert(&[c(0)]);
+        seeds.insert(Symbol::intern("counter"), seed);
+        let err = seminaive_resume(&compiled, &mut model, &seeds, &options).unwrap_err();
+        assert!(matches!(err, EvalError::IterationLimit { limit: 20 }));
     }
 
     #[test]

@@ -26,6 +26,11 @@ pub struct EvalStats {
     pub facts_per_predicate: FxHashMap<Symbol, usize>,
     /// Inferences per rule (indexed by rule position in the program).
     pub inferences_per_rule: Vec<usize>,
+    /// Prepared-plan cache hits (queries answered by replaying a cached compiled
+    /// plan). Recorded by the session engine; zero for one-shot evaluations.
+    pub plan_cache_hits: usize,
+    /// Prepared-plan cache misses (queries that ran the full optimization pipeline).
+    pub plan_cache_misses: usize,
 }
 
 impl EvalStats {
@@ -54,16 +59,31 @@ impl EvalStats {
 
     /// Number of facts derived for one predicate.
     pub fn facts_for(&self, predicate: Symbol) -> usize {
-        self.facts_per_predicate.get(&predicate).copied().unwrap_or(0)
+        self.facts_per_predicate
+            .get(&predicate)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Record a prepared-plan cache lookup.
+    pub fn record_plan_lookup(&mut self, hit: bool) {
+        if hit {
+            self.plan_cache_hits += 1;
+        } else {
+            self.plan_cache_misses += 1;
+        }
     }
 
     /// Merge another statistics object into this one (summing counters, taking the max
-    /// of iteration counts).
+    /// of iteration counts). Session engines use this to accumulate per-call results
+    /// into cumulative per-session counters.
     pub fn merge(&mut self, other: &EvalStats) {
         self.iterations = self.iterations.max(other.iterations);
         self.inferences += other.inferences;
         self.duplicates += other.duplicates;
         self.facts_derived += other.facts_derived;
+        self.plan_cache_hits += other.plan_cache_hits;
+        self.plan_cache_misses += other.plan_cache_misses;
         for (&p, &n) in &other.facts_per_predicate {
             *self.facts_per_predicate.entry(p).or_insert(0) += n;
         }
@@ -84,6 +104,13 @@ impl fmt::Display for EvalStats {
             "iterations: {}, inferences: {}, facts derived: {}, duplicates: {}",
             self.iterations, self.inferences, self.facts_derived, self.duplicates
         )?;
+        if self.plan_cache_hits + self.plan_cache_misses > 0 {
+            writeln!(
+                f,
+                "plan cache: {} hits, {} misses",
+                self.plan_cache_hits, self.plan_cache_misses
+            )?;
+        }
         let mut preds: Vec<_> = self.facts_per_predicate.iter().collect();
         preds.sort_by_key(|(p, _)| p.as_str());
         for (p, n) in preds {
@@ -127,6 +154,23 @@ mod tests {
         assert_eq!(a.facts_derived, 2);
         assert_eq!(a.duplicates, 1);
         assert_eq!(a.inferences_per_rule, vec![1, 2]);
+    }
+
+    #[test]
+    fn plan_cache_counters_record_and_merge() {
+        let mut a = EvalStats::new(0);
+        a.record_plan_lookup(false);
+        a.record_plan_lookup(true);
+        a.record_plan_lookup(true);
+        assert_eq!(a.plan_cache_hits, 2);
+        assert_eq!(a.plan_cache_misses, 1);
+        let mut b = EvalStats::new(0);
+        b.record_plan_lookup(true);
+        a.merge(&b);
+        assert_eq!(a.plan_cache_hits, 3);
+        assert_eq!(a.plan_cache_misses, 1);
+        let text = format!("{a}");
+        assert!(text.contains("plan cache: 3 hits, 1 misses"));
     }
 
     #[test]

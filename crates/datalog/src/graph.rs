@@ -48,8 +48,7 @@ impl DependencyGraph {
         let sccs = tarjan_sccs(&edges)
             .into_iter()
             .map(|component| {
-                let mut names: Vec<Symbol> =
-                    component.into_iter().map(|i| predicates[i]).collect();
+                let mut names: Vec<Symbol> = component.into_iter().map(|i| predicates[i]).collect();
                 names.sort_by_key(|s| s.as_str());
                 names
             })
@@ -329,11 +328,7 @@ mod tests {
     fn sccs_are_in_dependency_order() {
         let p = program("a(X) :- b(X).\nb(X) :- c(X).\nc(X) :- d(X).");
         let g = DependencyGraph::new(&p);
-        let order: Vec<&str> = g
-            .sccs()
-            .iter()
-            .map(|c| c[0].as_str())
-            .collect();
+        let order: Vec<&str> = g.sccs().iter().map(|c| c[0].as_str()).collect();
         let pos = |name: &str| order.iter().position(|&p| p == name).unwrap();
         assert!(pos("d") < pos("c"));
         assert!(pos("c") < pos("b"));
@@ -382,7 +377,8 @@ mod tests {
 
     #[test]
     fn non_recursive_program_has_no_recursive_predicates() {
-        let p = program("ancestor(X, Y) :- parent(X, Y).\ngrand(X, Z) :- parent(X, Y), parent(Y, Z).");
+        let p =
+            program("ancestor(X, Y) :- parent(X, Y).\ngrand(X, Z) :- parent(X, Y), parent(Y, Z).");
         let info = recursion_info(&p);
         assert!(info.recursive_predicates.is_empty());
         assert!(info.recursive_rules.is_empty());

@@ -54,7 +54,10 @@ pub mod symbol;
 pub mod validate;
 
 pub use ast::{Atom, Const, Program, Query, Rule, Substitution, Term};
-pub use eval::{evaluate, evaluate_default, EvalError, EvalOptions, EvalResult, EvalStats, Strategy};
+pub use eval::{
+    evaluate, evaluate_default, seminaive_resume, CompiledProgram, EvalError, EvalOptions,
+    EvalResult, EvalStats, Strategy,
+};
 pub use parser::{parse_atom, parse_program, parse_query, parse_rule};
 pub use storage::{Database, Relation};
 pub use symbol::Symbol;

@@ -155,7 +155,9 @@ pub fn tokenize(input: &str) -> ParseResult<Vec<SpannedToken>> {
                             position,
                             format!(
                                 "expected `:-` but found `:`{}",
-                                other.map(|c| format!(" followed by `{c}`")).unwrap_or_default()
+                                other
+                                    .map(|c| format!(" followed by `{c}`"))
+                                    .unwrap_or_default()
                             ),
                         ));
                     }
@@ -272,7 +274,11 @@ mod tests {
     use super::*;
 
     fn kinds(input: &str) -> Vec<Token> {
-        tokenize(input).unwrap().into_iter().map(|t| t.token).collect()
+        tokenize(input)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.token)
+            .collect()
     }
 
     #[test]

@@ -46,7 +46,9 @@ impl ParseOutput {
         let mut rules = Vec::new();
         let mut facts = Vec::new();
         for rule in &self.program.rules {
-            if rule.is_fact() && rule.head.is_ground() && !idb_with_rules.contains(&rule.head.predicate)
+            if rule.is_fact()
+                && rule.head.is_ground()
+                && !idb_with_rules.contains(&rule.head.predicate)
             {
                 facts.push(rule.head.clone());
             } else {
@@ -138,7 +140,10 @@ impl Parser {
             self.advance();
             if self.peek().token == Token::RParen {
                 let pos = self.peek().position;
-                return Err(ParseError::new(pos, "empty argument list; omit the parentheses for a zero-arity atom"));
+                return Err(ParseError::new(
+                    pos,
+                    "empty argument list; omit the parentheses for a zero-arity atom",
+                ));
             }
             loop {
                 terms.push(self.parse_term()?);
@@ -308,7 +313,10 @@ mod tests {
         // e/2 facts are EDB; seed(5) stays in the program because seed has rules.
         assert_eq!(facts.len(), 2);
         assert_eq!(program.len(), 3);
-        assert!(program.rules.iter().any(|r| r.is_fact() && r.head.predicate == Symbol::intern("seed")));
+        assert!(program
+            .rules
+            .iter()
+            .any(|r| r.is_fact() && r.head.predicate == Symbol::intern("seed")));
     }
 
     #[test]
@@ -346,7 +354,10 @@ mod tests {
     #[test]
     fn error_messages_carry_positions() {
         let err = parse_program("p(X) :- q(X)\np(Y).").unwrap_err();
-        assert_eq!(err.position.line, 2, "error should point at the second line");
+        assert_eq!(
+            err.position.line, 2,
+            "error should point at the second line"
+        );
         let err = parse_rule("p(X) :- .").unwrap_err();
         assert!(err.message.contains("expected a predicate name"));
         let err = parse_rule("p().").unwrap_err();

@@ -130,7 +130,9 @@ impl Database {
         let mut keep: Vec<usize> = Vec::new();
         let mut equal_to: Vec<(usize, usize)> = Vec::new();
         for &pos in &free {
-            let var = query.atom.terms[pos].as_var().expect("free position is a variable");
+            let var = query.atom.terms[pos]
+                .as_var()
+                .expect("free position is a variable");
             match var_first.get(&var) {
                 Some(&first) => equal_to.push((first, pos)),
                 None => {

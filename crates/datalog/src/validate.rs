@@ -41,7 +41,10 @@ impl fmt::Display for ValidationError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ValidationError::UnsafeRule { rule, variable } => {
-                write!(f, "unsafe rule `{rule}`: head variable {variable} does not occur in the body")
+                write!(
+                    f,
+                    "unsafe rule `{rule}`: head variable {variable} does not occur in the body"
+                )
             }
             ValidationError::NonGroundFact { rule } => {
                 write!(f, "fact `{rule}` has variables in its head")
@@ -169,27 +172,29 @@ mod tests {
 
     #[test]
     fn arity_mismatch_is_detected() {
-        let program = parse_program("p(X) :- e(X, Y).\nq(X) :- e(X).").unwrap().program;
+        let program = parse_program("p(X) :- e(X, Y).\nq(X) :- e(X).")
+            .unwrap()
+            .program;
         let errors = check_program(&program).unwrap_err();
-        assert!(errors
-            .iter()
-            .any(|e| matches!(e, ValidationError::ArityMismatch { predicate, .. } if predicate == "e")));
+        assert!(errors.iter().any(
+            |e| matches!(e, ValidationError::ArityMismatch { predicate, .. } if predicate == "e")
+        ));
     }
 
     #[test]
     fn whole_program_collects_multiple_errors() {
-        let program = parse_program("p(X, Y) :- e(X).\nq(Z) :- f(Z, Z), f(Z).").unwrap().program;
+        let program = parse_program("p(X, Y) :- e(X).\nq(Z) :- f(Z, Z), f(Z).")
+            .unwrap()
+            .program;
         let errors = check_program(&program).unwrap_err();
         assert!(errors.len() >= 2);
     }
 
     #[test]
     fn valid_program_passes() {
-        let program = parse_program(
-            "t(X, Y) :- e(X, Y).\n t(X, Y) :- e(X, W), t(W, Y).\n",
-        )
-        .unwrap()
-        .program;
+        let program = parse_program("t(X, Y) :- e(X, Y).\n t(X, Y) :- e(X, W), t(W, Y).\n")
+            .unwrap()
+            .program;
         assert!(check_program(&program).is_ok());
     }
 

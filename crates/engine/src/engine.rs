@@ -1,0 +1,816 @@
+//! The persistent [`Engine`]: a session that owns facts, rules, a materialized model,
+//! and a prepared-query cache.
+//!
+//! # State machine
+//!
+//! ```text
+//!   insert ──────────────▶ edb (+ model, + pending delta)
+//!   add_rules/load ──────▶ program         (model dropped, caches cleared)
+//!   query ───────────────▶ refresh: model = fixpoint(program, edb)
+//!                            · no model yet   → full semi-naive evaluation
+//!                            · pending deltas → seminaive_resume (delta rounds only)
+//!                          then answer from the materialized model
+//!   query_prepared ──────▶ prepared-plan cache keyed by (predicate, query shape):
+//!                            · hit  → replay the cached CompiledProgram
+//!                            · miss → reduce→adorn→magic→factor→optimize, cache plan
+//! ```
+//!
+//! All evaluation statistics are merged into one cumulative per-session
+//! [`EvalStats`], so `:stats` (REPL) and `--stats` (CLI) report session totals, not
+//! the last call.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use factorlog_core::error::TransformError;
+use factorlog_core::pipeline::{optimize_query, PipelineOptions, PreparedPlan, Strategy};
+use factorlog_datalog::ast::{Atom, Const, Program, Query, Rule, Term};
+use factorlog_datalog::eval::{
+    seminaive_evaluate_compiled, seminaive_resume, CompiledProgram, EvalError, EvalOptions,
+    EvalStats,
+};
+use factorlog_datalog::fx::FxHashMap;
+use factorlog_datalog::parser::{parse_program, ParseError};
+use factorlog_datalog::storage::{Database, Relation};
+use factorlog_datalog::symbol::Symbol;
+
+/// Errors surfaced by engine operations.
+#[derive(Clone, Debug)]
+pub enum EngineError {
+    /// Source text failed to parse.
+    Parse(ParseError),
+    /// Evaluation failed (invalid program or iteration limit).
+    Eval(EvalError),
+    /// The optimization pipeline rejected a prepared query.
+    Transform(TransformError),
+    /// An inserted tuple does not match the relation's arity.
+    ArityMismatch {
+        /// The predicate being inserted into.
+        predicate: Symbol,
+        /// Arity already established for the predicate.
+        expected: usize,
+        /// Arity of the offered tuple.
+        got: usize,
+    },
+    /// An inserted atom contains variables.
+    NonGroundFact(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Parse(e) => write!(f, "{e}"),
+            EngineError::Eval(e) => write!(f, "{e}"),
+            EngineError::Transform(e) => write!(f, "{e}"),
+            EngineError::ArityMismatch {
+                predicate,
+                expected,
+                got,
+            } => write!(
+                f,
+                "arity mismatch: {predicate} has arity {expected}, tuple has {got}"
+            ),
+            EngineError::NonGroundFact(atom) => {
+                write!(f, "cannot insert non-ground atom {atom} as a fact")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<ParseError> for EngineError {
+    fn from(e: ParseError) -> Self {
+        EngineError::Parse(e)
+    }
+}
+
+impl From<EvalError> for EngineError {
+    fn from(e: EvalError) -> Self {
+        EngineError::Eval(e)
+    }
+}
+
+impl From<TransformError> for EngineError {
+    fn from(e: TransformError) -> Self {
+        EngineError::Transform(e)
+    }
+}
+
+/// What [`Engine::load_source`] did.
+#[derive(Clone, Debug, Default)]
+pub struct LoadSummary {
+    /// Rules added to the registered program.
+    pub rules_added: usize,
+    /// Facts inserted (new tuples only).
+    pub facts_added: usize,
+    /// Facts that were already present.
+    pub duplicates: usize,
+    /// The `?- atom.` query clause of the source, if any.
+    pub query: Option<Query>,
+}
+
+/// What [`Engine::prepare`] did.
+#[derive(Clone, Debug)]
+pub struct PrepareReport {
+    /// `true` if a cached plan was reused (possibly rebound to new constants).
+    pub cached: bool,
+    /// Which program the plan embodies (factored vs magic-only).
+    pub strategy: Strategy,
+}
+
+/// One entry of the prepared-query cache.
+#[derive(Clone, Debug)]
+struct CachedPlan {
+    plan: PreparedPlan,
+    strategy: Strategy,
+}
+
+/// A persistent session: facts + rules + materialized model + prepared-plan cache.
+///
+/// See the [crate docs](crate) for the overall design and an example.
+pub struct Engine {
+    program: Program,
+    /// The IDB predicates of `program` (cached; recomputed on rule changes).
+    idb: BTreeSet<Symbol>,
+    edb: Database,
+    /// The materialized least model (EDB ∪ derived IDB), when up to date except for
+    /// `pending`.
+    model: Option<Database>,
+    /// Facts inserted since the model was last brought to a fixpoint, per predicate —
+    /// the seed deltas for the next [`seminaive_resume`].
+    pending: FxHashMap<Symbol, Relation>,
+    /// Compiled plan for the registered (base) program.
+    compiled: Option<CompiledProgram>,
+    /// Prepared plans keyed by (query predicate, query shape). The shape encodes the
+    /// constant/variable pattern *and* which variable positions repeat (`t(X, Y)` and
+    /// `t(X, X)` need different plans even though both adorn as `ff`).
+    prepared: FxHashMap<(Symbol, String), CachedPlan>,
+    options: EvalOptions,
+    pipeline: PipelineOptions,
+    stats: EvalStats,
+}
+
+/// The cache key shape of a query: `b` for constant positions, a first-occurrence
+/// index for variable positions, `,`-separated — so repeated-variable queries get
+/// their own plans.
+fn query_shape(query: &Query) -> String {
+    use std::fmt::Write as _;
+    let mut seen: Vec<Symbol> = Vec::new();
+    let mut shape = String::new();
+    for term in &query.atom.terms {
+        match term {
+            Term::Const(_) => shape.push_str("b,"),
+            Term::Var(v) => {
+                let index = seen.iter().position(|s| s == v).unwrap_or_else(|| {
+                    seen.push(*v);
+                    seen.len() - 1
+                });
+                let _ = write!(shape, "{index},");
+            }
+        }
+    }
+    shape
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new()
+    }
+}
+
+impl Engine {
+    /// A fresh session with default options.
+    pub fn new() -> Engine {
+        Engine::with_options(EvalOptions::default())
+    }
+
+    /// A fresh session with the given evaluation options. The options apply to every
+    /// evaluation the session performs (materialization, incremental resumes, and
+    /// prepared-plan replays) — they round-trip through the engine rather than being
+    /// per-call.
+    pub fn with_options(options: EvalOptions) -> Engine {
+        Engine {
+            program: Program::new(),
+            idb: BTreeSet::new(),
+            edb: Database::new(),
+            model: None,
+            pending: FxHashMap::default(),
+            compiled: None,
+            prepared: FxHashMap::default(),
+            options,
+            pipeline: PipelineOptions::default(),
+            stats: EvalStats::default(),
+        }
+    }
+
+    /// The session's evaluation options.
+    pub fn options(&self) -> &EvalOptions {
+        &self.options
+    }
+
+    /// Replace the session's evaluation options. Compiled plans depend on them
+    /// (builtin handling is baked in at compile time), so all caches and the
+    /// materialized model are invalidated.
+    pub fn set_options(&mut self, options: EvalOptions) {
+        self.options = options;
+        self.invalidate();
+    }
+
+    /// The pipeline options used to prepare queries.
+    pub fn pipeline_options(&self) -> &PipelineOptions {
+        &self.pipeline
+    }
+
+    /// Replace the pipeline options; drops cached prepared plans.
+    pub fn set_pipeline_options(&mut self, pipeline: PipelineOptions) {
+        self.pipeline = pipeline;
+        self.prepared.clear();
+    }
+
+    /// The registered rules.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The extensional facts of the session (inserted facts only, no derived facts).
+    pub fn facts(&self) -> &Database {
+        &self.edb
+    }
+
+    /// Cumulative statistics for every evaluation this session has performed,
+    /// including prepared-plan cache hit/miss counters.
+    pub fn stats(&self) -> &EvalStats {
+        &self.stats
+    }
+
+    /// Reset the cumulative statistics (keeps model and caches).
+    pub fn reset_stats(&mut self) {
+        self.stats = EvalStats::default();
+    }
+
+    /// Fold externally computed statistics into this session's cumulative counters
+    /// (e.g. an auxiliary evaluation a front end performed on the session's behalf).
+    pub fn absorb_stats(&mut self, other: &EvalStats) {
+        self.stats.merge(other);
+    }
+
+    /// Number of prepared plans currently cached.
+    pub fn prepared_count(&self) -> usize {
+        self.prepared.len()
+    }
+
+    /// Number of inserted facts not yet propagated into the materialized model.
+    pub fn pending_facts(&self) -> usize {
+        self.pending.values().map(Relation::len).sum()
+    }
+
+    /// Is the materialized model current (no pending deltas)?
+    pub fn is_materialized(&self) -> bool {
+        self.model.is_some() && self.pending.values().all(Relation::is_empty)
+    }
+
+    fn invalidate(&mut self) {
+        self.model = None;
+        self.compiled = None;
+        self.prepared.clear();
+        self.pending.clear();
+    }
+
+    /// Register additional rules. Changing the program invalidates the materialized
+    /// model and every cached plan (both are program-specific); the facts survive.
+    ///
+    /// Facts previously inserted under a predicate that now *becomes* IDB migrate to
+    /// its assertion relation (see [`Engine::insert`]) so the rewrite pipeline keeps
+    /// seeing a purely rule-defined predicate.
+    pub fn add_rules(&mut self, rules: Program) {
+        if rules.is_empty() {
+            return;
+        }
+        self.program.extend(rules);
+        self.invalidate();
+        self.idb = self.program.idb_predicates();
+        let migrate: Vec<Symbol> = self
+            .idb
+            .iter()
+            .copied()
+            .filter(|&p| self.edb.relation(p).is_some_and(|r| !r.is_empty()))
+            .collect();
+        for predicate in migrate {
+            let relation = self
+                .edb
+                .remove_relation(predicate)
+                .expect("relation checked above");
+            self.ensure_assertion_rule(predicate, relation.arity());
+            self.edb
+                .ensure_relation(Self::asserted_symbol(predicate), relation.arity())
+                .merge_from(&relation);
+        }
+    }
+
+    /// The auxiliary EDB relation holding user-asserted facts of an IDB predicate.
+    fn asserted_symbol(predicate: Symbol) -> Symbol {
+        Symbol::intern(&format!("{predicate}__asserted"))
+    }
+
+    /// Ensure the exit rule `p(X0, ..., Xn) :- p__asserted(X0, ..., Xn).` exists, so
+    /// asserted facts of the IDB predicate `p` flow through every rewrite (magic,
+    /// factoring) instead of bypassing it.
+    fn ensure_assertion_rule(&mut self, predicate: Symbol, arity: usize) {
+        let alias = Self::asserted_symbol(predicate);
+        let already = self.program.rules.iter().any(|r| {
+            r.head.predicate == predicate && r.body.len() == 1 && r.body[0].predicate == alias
+        });
+        if already {
+            return;
+        }
+        let vars: Vec<Term> = (0..arity).map(|i| Term::var(&format!("X{i}"))).collect();
+        self.program.push(Rule::new(
+            Atom::new(predicate, vars.clone()),
+            vec![Atom::new(alias, vars)],
+        ));
+        self.invalidate();
+        self.idb = self.program.idb_predicates();
+    }
+
+    /// The arity the session already associates with `predicate`, from (in order) the
+    /// fact store, the materialized model, or the registered rules.
+    fn expected_arity(&self, predicate: Symbol) -> Option<usize> {
+        self.edb
+            .relation(predicate)
+            .map(Relation::arity)
+            .or_else(|| {
+                self.model
+                    .as_ref()
+                    .and_then(|m| m.relation(predicate))
+                    .map(Relation::arity)
+            })
+            .or_else(|| self.program.arity_of(predicate))
+    }
+
+    /// Parse `source` (rules, facts, optionally a `?- atom.` clause) and absorb it:
+    /// rules are registered, facts inserted (incrementally when a model exists).
+    pub fn load_source(&mut self, source: &str) -> Result<LoadSummary, EngineError> {
+        let parsed = parse_program(source)?;
+        let query = parsed.query().cloned();
+        let (rules, facts) = parsed.split_facts();
+        let mut summary = LoadSummary {
+            rules_added: rules.len(),
+            query,
+            ..LoadSummary::default()
+        };
+        self.add_rules(rules);
+        for atom in &facts {
+            if self.insert_atom(atom)? {
+                summary.facts_added += 1;
+            } else {
+                summary.duplicates += 1;
+            }
+        }
+        Ok(summary)
+    }
+
+    /// Insert one fact; returns `true` if it was new. New facts are recorded as
+    /// pending deltas and propagated into the materialized model by the next query
+    /// (delta rounds only — the model is never rebuilt from scratch).
+    ///
+    /// A fact asserted for an *IDB* predicate `p` is stored in the auxiliary EDB
+    /// relation `p__asserted`, with the exit rule `p(..) :- p__asserted(..)`
+    /// registered on first use: this keeps every rewrite of `p` (magic, factoring)
+    /// sound in the presence of asserted facts, at the cost of one full
+    /// re-materialization when the exit rule first appears.
+    pub fn insert(
+        &mut self,
+        predicate: impl Into<Symbol>,
+        tuple: &[Const],
+    ) -> Result<bool, EngineError> {
+        let predicate = predicate.into();
+        if let Some(expected) = self.expected_arity(predicate) {
+            if expected != tuple.len() {
+                return Err(EngineError::ArityMismatch {
+                    predicate,
+                    expected,
+                    got: tuple.len(),
+                });
+            }
+        }
+        let target = if self.idb.contains(&predicate) {
+            self.ensure_assertion_rule(predicate, tuple.len());
+            Self::asserted_symbol(predicate)
+        } else {
+            predicate
+        };
+        let new = self.edb.add_fact(target, tuple);
+        if !new {
+            return Ok(false);
+        }
+        if let Some(model) = &mut self.model {
+            // Feed the delta only if the model did not already contain the fact (it
+            // may exist there as a *derived* fact, in which case the fixpoint already
+            // accounts for it).
+            if model.add_fact(target, tuple) {
+                self.pending
+                    .entry(target)
+                    .or_insert_with(|| Relation::new(tuple.len()))
+                    .insert(tuple);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Insert a ground atom as a fact; errors on non-ground atoms.
+    pub fn insert_atom(&mut self, atom: &Atom) -> Result<bool, EngineError> {
+        let Some(tuple) = atom.as_fact() else {
+            return Err(EngineError::NonGroundFact(atom.to_string()));
+        };
+        self.insert(atom.predicate, &tuple)
+    }
+
+    /// Bring the materialized model up to date: full evaluation the first time,
+    /// seeded-delta resume afterwards.
+    fn refresh(&mut self) -> Result<(), EngineError> {
+        if self.compiled.is_none() {
+            self.compiled = Some(CompiledProgram::compile(&self.program, &self.options)?);
+        }
+        let compiled = self.compiled.as_ref().expect("compiled above");
+        match &mut self.model {
+            None => {
+                let result = seminaive_evaluate_compiled(compiled, &self.edb, &self.options)?;
+                self.stats.merge(&result.stats);
+                self.model = Some(result.database);
+                self.pending.clear();
+            }
+            Some(model) => {
+                if self.pending.values().any(|r| !r.is_empty()) {
+                    let stats = seminaive_resume(compiled, model, &self.pending, &self.options)?;
+                    self.stats.merge(&stats);
+                    self.pending.clear();
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Answers to `query` over the materialized model of the registered program
+    /// (projected onto the query's free positions, sorted). Pending inserts are
+    /// propagated first via incremental delta rounds.
+    pub fn query(&mut self, query: &Query) -> Result<Vec<Vec<Const>>, EngineError> {
+        self.refresh()?;
+        Ok(self
+            .model
+            .as_ref()
+            .expect("model materialized by refresh")
+            .answers(query))
+    }
+
+    /// Look up (or build) the prepared plan for `query`'s (predicate, shape),
+    /// recording a cache hit or miss in the session statistics.
+    fn prepared_plan(&mut self, query: &Query) -> Result<(PreparedPlan, Strategy), EngineError> {
+        let key = (query.atom.predicate, query_shape(query));
+        let bound: Vec<Const> = query
+            .atom
+            .terms
+            .iter()
+            .filter_map(|t| t.as_const())
+            .collect();
+        if let Some(entry) = self.prepared.get(&key) {
+            if let Some(plan) = entry.plan.rebind(&bound) {
+                self.stats.record_plan_lookup(true);
+                return Ok((plan, entry.strategy));
+            }
+        }
+        // Miss: run the full pipeline for this query and cache the plan (most recent
+        // constants win when rebinding was not applicable).
+        self.stats.record_plan_lookup(false);
+        let optimized = optimize_query(&self.program, query, &self.pipeline)?;
+        let plan = optimized.prepare(&self.options)?;
+        let strategy = optimized.strategy;
+        self.prepared.insert(
+            key,
+            CachedPlan {
+                plan: plan.clone(),
+                strategy,
+            },
+        );
+        Ok((plan, strategy))
+    }
+
+    /// Ensure a prepared plan exists for `query`; reports whether a cached plan was
+    /// reused and which strategy the plan embodies.
+    pub fn prepare(&mut self, query: &Query) -> Result<PrepareReport, EngineError> {
+        let hits_before = self.stats.plan_cache_hits;
+        let (_, strategy) = self.prepared_plan(query)?;
+        Ok(PrepareReport {
+            cached: self.stats.plan_cache_hits > hits_before,
+            strategy,
+        })
+    }
+
+    /// Is a prepared plan cached for `query`'s (predicate, shape)?
+    pub fn has_prepared(&self, query: &Query) -> bool {
+        self.prepared
+            .contains_key(&(query.atom.predicate, query_shape(query)))
+    }
+
+    /// The strategy of the cached plan for `query`, if one is cached (a pure lookup:
+    /// no counters are touched).
+    pub fn prepared_strategy(&self, query: &Query) -> Option<Strategy> {
+        self.prepared
+            .get(&(query.atom.predicate, query_shape(query)))
+            .map(|entry| entry.strategy)
+    }
+
+    /// Answers to `query` via the prepared-plan path: the optimization pipeline runs
+    /// at most once per (predicate, shape); subsequent calls replay the cached
+    /// compiled plan over the current facts. Same answer contract as
+    /// [`Engine::query`].
+    pub fn query_prepared(&mut self, query: &Query) -> Result<Vec<Vec<Const>>, EngineError> {
+        let (plan, _) = self.prepared_plan(query)?;
+        let result = plan.evaluate(&self.edb, &self.options)?;
+        self.stats.merge(&result.stats);
+        Ok(result.answers(plan.query()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use factorlog_datalog::eval::evaluate_default;
+    use factorlog_datalog::parser::{parse_atom, parse_query};
+
+    fn c(i: i64) -> Const {
+        Const::Int(i)
+    }
+
+    fn tc_engine(n: i64) -> Engine {
+        let mut engine = Engine::new();
+        engine
+            .load_source("t(X, Y) :- e(X, Y).\nt(X, Y) :- e(X, W), t(W, Y).")
+            .unwrap();
+        for i in 0..n {
+            engine.insert("e", &[c(i), c(i + 1)]).unwrap();
+        }
+        engine
+    }
+
+    #[test]
+    fn query_matches_batch_evaluation() {
+        let mut engine = tc_engine(10);
+        let query = parse_query("t(0, Y)").unwrap();
+        let batch = evaluate_default(engine.program(), engine.facts())
+            .unwrap()
+            .answers(&query);
+        assert_eq!(engine.query(&query).unwrap(), batch);
+        assert_eq!(batch.len(), 10);
+    }
+
+    #[test]
+    fn inserts_after_materialization_are_incremental() {
+        let mut engine = tc_engine(10);
+        let query = parse_query("t(0, Y)").unwrap();
+        assert_eq!(engine.query(&query).unwrap().len(), 10);
+        let inferences_after_first = engine.stats().inferences;
+
+        engine.insert("e", &[c(10), c(11)]).unwrap();
+        assert_eq!(engine.pending_facts(), 1);
+        assert!(!engine.is_materialized());
+        assert_eq!(engine.query(&query).unwrap().len(), 11);
+        assert!(engine.is_materialized());
+
+        let incremental_cost = engine.stats().inferences - inferences_after_first;
+        assert!(
+            incremental_cost < inferences_after_first,
+            "resume ({incremental_cost}) must cost less than the initial fixpoint \
+             ({inferences_after_first})"
+        );
+    }
+
+    #[test]
+    fn duplicate_and_derived_inserts_are_no_ops() {
+        let mut engine = tc_engine(5);
+        let query = parse_query("t(0, Y)").unwrap();
+        engine.query(&query).unwrap();
+        // Duplicate EDB fact.
+        assert!(!engine.insert("e", &[c(0), c(1)]).unwrap());
+        assert_eq!(engine.pending_facts(), 0);
+        // Fact already derivable (t(0, 1) is in the model): inserted into the EDB but
+        // contributes no delta work.
+        assert!(engine.insert("t", &[c(0), c(1)]).unwrap());
+        assert_eq!(engine.pending_facts(), 0);
+        assert_eq!(engine.query(&query).unwrap().len(), 5);
+    }
+
+    #[test]
+    fn inserting_idb_facts_propagates() {
+        let mut engine = tc_engine(3);
+        let query = parse_query("t(0, Y)").unwrap();
+        assert_eq!(engine.query(&query).unwrap().len(), 3);
+        // Assert a derived fact that is not otherwise derivable; the recursion must
+        // extend it.
+        engine.insert("t", &[c(3), c(100)]).unwrap();
+        let answers = engine.query(&query).unwrap();
+        assert!(answers.contains(&vec![c(100)]));
+    }
+
+    #[test]
+    fn add_rules_invalidates_model_but_keeps_facts() {
+        let mut engine = tc_engine(4);
+        let query = parse_query("t(0, Y)").unwrap();
+        assert_eq!(engine.query(&query).unwrap().len(), 4);
+        engine.load_source("s(X, Y) :- t(Y, X).").unwrap();
+        assert!(!engine.is_materialized());
+        let s_query = parse_query("s(4, Y)").unwrap();
+        assert_eq!(engine.query(&s_query).unwrap().len(), 4);
+        assert_eq!(engine.query(&query).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn arity_and_groundness_are_checked() {
+        let mut engine = tc_engine(2);
+        let err = engine.insert("e", &[c(1)]).unwrap_err();
+        assert!(matches!(err, EngineError::ArityMismatch { .. }));
+        let atom = parse_atom("e(X, 1)").unwrap();
+        let err = engine.insert_atom(&atom).unwrap_err();
+        assert!(matches!(err, EngineError::NonGroundFact(_)));
+        assert!(format!("{err}").contains("non-ground"));
+    }
+
+    #[test]
+    fn prepared_cache_hits_on_same_adornment() {
+        let mut engine = tc_engine(8);
+        let query = parse_query("t(0, Y)").unwrap();
+        let first = engine.query_prepared(&query).unwrap();
+        assert_eq!(engine.stats().plan_cache_misses, 1);
+        assert_eq!(engine.stats().plan_cache_hits, 0);
+        let second = engine.query_prepared(&query).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(engine.stats().plan_cache_hits, 1);
+        assert_eq!(engine.prepared_count(), 1);
+    }
+
+    #[test]
+    fn prepared_cache_rebinds_across_constants() {
+        let mut engine = tc_engine(10);
+        let q0 = parse_query("t(0, Y)").unwrap();
+        let q5 = parse_query("t(5, Y)").unwrap();
+        assert_eq!(engine.query_prepared(&q0).unwrap().len(), 10);
+        // Different constant, same adornment: the cached plan is rebound, not rebuilt.
+        assert_eq!(engine.query_prepared(&q5).unwrap().len(), 5);
+        assert_eq!(engine.stats().plan_cache_hits, 1);
+        assert_eq!(engine.stats().plan_cache_misses, 1);
+        // And the prepared answers agree with the materialized-model answers.
+        assert_eq!(
+            engine.query_prepared(&q5).unwrap(),
+            engine.query(&q5).unwrap()
+        );
+    }
+
+    #[test]
+    fn wrong_arity_insert_on_model_only_predicate_errors_cleanly() {
+        // `t` exists only as rules (and in the model after a query), never in the
+        // EDB; a wrong-arity insert must error, not panic in the storage layer.
+        let mut engine = tc_engine(3);
+        let query = parse_query("t(0, Y)").unwrap();
+        engine.query(&query).unwrap();
+        let err = engine.insert("t", &[c(1)]).unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::ArityMismatch {
+                expected: 2,
+                got: 1,
+                ..
+            }
+        ));
+        // And the fact store was not polluted with a wrong-arity relation.
+        assert_eq!(engine.facts().count("t"), 0);
+        assert_eq!(engine.query(&query).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn repeated_variable_queries_get_their_own_plans() {
+        let mut engine = Engine::new();
+        engine
+            .load_source("t(X, Y) :- e(X, Y).\nt(X, Y) :- e(X, W), t(W, Y).")
+            .unwrap();
+        engine.insert("e", &[c(0), c(1)]).unwrap();
+        engine.insert("e", &[c(1), c(0)]).unwrap();
+        let q_xy = parse_query("t(X, Y)").unwrap();
+        let q_xx = parse_query("t(X, X)").unwrap();
+        // Cache the general plan first, then the repeated-variable query: it must not
+        // reuse the (t, "ff") plan.
+        let xy = engine.query_prepared(&q_xy).unwrap();
+        let xx = engine.query_prepared(&q_xx).unwrap();
+        assert_eq!(xy, engine.query(&q_xy).unwrap());
+        assert_eq!(xx, engine.query(&q_xx).unwrap());
+        assert_eq!(xx, vec![vec![c(0)], vec![c(1)]]);
+        assert_eq!(engine.prepared_count(), 2);
+    }
+
+    #[test]
+    fn prepared_path_sees_asserted_idb_facts() {
+        let mut engine = Engine::new();
+        engine
+            .load_source("t(X, Y) :- e(X, Y).\nt(X, Y) :- e(X, W), t(W, Y).")
+            .unwrap();
+        engine.insert("e", &[c(0), c(1)]).unwrap();
+        let query = parse_query("t(0, Y)").unwrap();
+        assert_eq!(engine.query_prepared(&query).unwrap(), vec![vec![c(1)]]);
+        // Assert a t fact after the plan is cached: the assertion exit rule
+        // invalidates the plan and the rebuilt plan must include it — and extend it
+        // through the recursion (t(0,99) via t(0,1) ∘ t(1,99)? no: via e(0,1)+t(1,99)).
+        engine.insert("t", &[c(1), c(99)]).unwrap();
+        let prepared = engine.query_prepared(&query).unwrap();
+        let materialized = engine.query(&query).unwrap();
+        assert_eq!(prepared, materialized);
+        assert!(prepared.contains(&vec![c(99)]));
+    }
+
+    #[test]
+    fn facts_present_before_rules_migrate_to_assertions() {
+        // Insert t facts while t is still EDB, then register rules for t: the facts
+        // must keep counting as part of the model and the rewrites must stay sound.
+        let mut engine = Engine::new();
+        engine.insert("t", &[c(7), c(8)]).unwrap();
+        engine
+            .load_source("t(X, Y) :- e(X, Y).\nt(X, Y) :- e(X, W), t(W, Y).")
+            .unwrap();
+        engine.insert("e", &[c(0), c(7)]).unwrap();
+        let query = parse_query("t(0, Y)").unwrap();
+        let answers = engine.query(&query).unwrap();
+        assert_eq!(answers, vec![vec![c(7)], vec![c(8)]]);
+        assert_eq!(engine.query_prepared(&query).unwrap(), answers);
+    }
+
+    #[test]
+    fn prepare_reports_strategy_and_caching() {
+        let mut engine = tc_engine(4);
+        let query = parse_query("t(0, Y)").unwrap();
+        let first = engine.prepare(&query).unwrap();
+        assert!(!first.cached);
+        assert_eq!(first.strategy, Strategy::FactoredMagic);
+        assert!(engine.has_prepared(&query));
+        let again = engine.prepare(&query).unwrap();
+        assert!(again.cached);
+    }
+
+    #[test]
+    fn rule_changes_drop_prepared_plans() {
+        let mut engine = tc_engine(4);
+        let query = parse_query("t(0, Y)").unwrap();
+        engine.query_prepared(&query).unwrap();
+        assert_eq!(engine.prepared_count(), 1);
+        engine.load_source("u(X) :- t(X, X).").unwrap();
+        assert_eq!(engine.prepared_count(), 0);
+    }
+
+    #[test]
+    fn stats_accumulate_across_calls() {
+        let mut engine = tc_engine(6);
+        let query = parse_query("t(0, Y)").unwrap();
+        engine.query(&query).unwrap();
+        let after_one = engine.stats().inferences;
+        engine.insert("e", &[c(6), c(7)]).unwrap();
+        engine.query(&query).unwrap();
+        assert!(
+            engine.stats().inferences > after_one,
+            "counters are cumulative"
+        );
+        engine.reset_stats();
+        assert_eq!(engine.stats().inferences, 0);
+    }
+
+    #[test]
+    fn load_summary_reports_what_happened() {
+        let mut engine = Engine::new();
+        let summary = engine
+            .load_source("t(X, Y) :- e(X, Y).\ne(1, 2).\ne(1, 2).\n?- t(1, Y).")
+            .unwrap();
+        assert_eq!(summary.rules_added, 1);
+        assert_eq!(summary.facts_added, 1);
+        assert_eq!(summary.duplicates, 1);
+        assert_eq!(summary.query.unwrap().atom.predicate, Symbol::intern("t"));
+    }
+
+    #[test]
+    fn options_round_trip_and_invalidate() {
+        let mut engine = tc_engine(3);
+        let query = parse_query("t(0, Y)").unwrap();
+        engine.query(&query).unwrap();
+        let options = EvalOptions {
+            max_iterations: 123,
+            ..EvalOptions::default()
+        };
+        engine.set_options(options);
+        assert_eq!(engine.options().max_iterations, 123);
+        assert!(!engine.is_materialized());
+        assert_eq!(engine.query(&query).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn empty_program_answers_from_facts() {
+        let mut engine = Engine::new();
+        engine.insert("e", &[c(1), c(2)]).unwrap();
+        let query = parse_query("e(1, Y)").unwrap();
+        assert_eq!(engine.query(&query).unwrap(), vec![vec![c(2)]]);
+    }
+}

@@ -1,0 +1,69 @@
+//! `factorlog-engine`: the persistent incremental runtime.
+//!
+//! Everything below `factorlog-engine` in the stack is one-shot: parse a program,
+//! optimize a query, evaluate from scratch, return. This crate adds the long-lived
+//! layer a deductive database needs to serve traffic:
+//!
+//! * **Sessions** — an [`Engine`] owns a fact store ([`Database`]) plus the registered
+//!   rules, and persists across any number of inserts and queries, accumulating
+//!   per-session [`EvalStats`] (including prepared-plan cache counters) under a single
+//!   set of [`EvalOptions`].
+//!
+//! * **Incremental view maintenance** — the engine materializes the least model of the
+//!   registered program once, then absorbs new EDB facts by *resuming* the semi-naive
+//!   fixpoint with the inserted facts as seeded deltas
+//!   ([`factorlog_datalog::eval::seminaive_resume`]): only consequences using at least
+//!   one new fact are derived, never the whole model. Inserts are buffered and the
+//!   model is brought up to date lazily, at the next query, so a burst of inserts
+//!   costs one delta round.
+//!
+//! * **Prepared queries** — [`Engine::query_prepared`] runs the full
+//!   `factorlog-core` pipeline (reduce → adorn → magic → factor → §5 optimize) once
+//!   per (predicate, query shape), caches the resulting
+//!   [`factorlog_core::pipeline::PreparedPlan`] (compiled rules with the magic seed
+//!   held as injectable data), and replays it on subsequent calls — including queries
+//!   with *different constants* of the same adornment, via sound constant rebinding.
+//!   Hits and misses are surfaced through
+//!   [`EvalStats::plan_cache_hits`](factorlog_datalog::eval::EvalStats) /
+//!   `plan_cache_misses`.
+//!
+//! * **A REPL front end** — [`Repl`] interprets the `factorlog repl` command language
+//!   (`:load`, `:insert`, `:prepare`, `?- query.`, `:stats`, …) against an engine
+//!   session; the `factorlog` binary only supplies the I/O loop.
+//!
+//! # Example
+//!
+//! ```
+//! use factorlog_engine::Engine;
+//! use factorlog_datalog::ast::Const;
+//! use factorlog_datalog::parser::parse_query;
+//!
+//! let mut engine = Engine::new();
+//! engine
+//!     .load_source("t(X, Y) :- e(X, Y).\n t(X, Y) :- e(X, W), t(W, Y).\n e(0, 1).")
+//!     .unwrap();
+//! let query = parse_query("t(0, Y)").unwrap();
+//! assert_eq!(engine.query(&query).unwrap().len(), 1);
+//!
+//! // Incremental: the new edge extends the materialized closure via a delta round.
+//! engine.insert("e", &[Const::Int(1), Const::Int(2)]).unwrap();
+//! assert_eq!(engine.query(&query).unwrap().len(), 2);
+//!
+//! // Prepared: first call compiles the magic/factored plan (miss), second replays it.
+//! assert_eq!(engine.query_prepared(&query).unwrap().len(), 2);
+//! assert_eq!(engine.query_prepared(&query).unwrap().len(), 2);
+//! assert_eq!(engine.stats().plan_cache_hits, 1);
+//! assert_eq!(engine.stats().plan_cache_misses, 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod engine;
+mod repl;
+
+pub use engine::{Engine, EngineError, LoadSummary, PrepareReport};
+pub use repl::{Repl, ReplAction};
+
+pub use factorlog_datalog::eval::{EvalOptions, EvalStats};
+pub use factorlog_datalog::storage::Database;

@@ -1,0 +1,340 @@
+//! The interactive session command language, decoupled from terminal I/O so it can be
+//! tested directly: [`Repl::execute`] maps one input line to one textual response.
+//!
+//! ```text
+//! :load <file>        load rules + facts from a Datalog file
+//! :insert <fact>.     insert one ground fact (incremental)
+//! :prepare <query>    compile + cache the optimized plan for a query
+//! ?- <query>.         answer a query (uses the prepared plan when one is cached)
+//! :stats              cumulative session statistics (incl. plan-cache counters)
+//! :program            show the registered rules
+//! :help               command summary
+//! :quit               leave the session
+//! <rule or fact>.     bare Datalog clauses are absorbed like :load text
+//! ```
+
+use std::fmt::Write as _;
+
+use factorlog_datalog::ast::Query;
+use factorlog_datalog::parser::{parse_atom, parse_query};
+
+use crate::engine::Engine;
+
+/// The outcome of executing one REPL line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReplAction {
+    /// Print this (possibly empty) response and continue.
+    Output(String),
+    /// Leave the session.
+    Quit,
+}
+
+/// A REPL session: an [`Engine`] plus the command interpreter.
+#[derive(Default)]
+pub struct Repl {
+    engine: Engine,
+}
+
+const HELP: &str = "\
+commands:
+  :load <file>     load rules and facts from a Datalog file
+  :insert <fact>.  insert one ground fact (incrementally maintained)
+  :prepare <q>     prepare (compile + cache) the optimized plan for query <q>
+  ?- <query>.      answer a query; replays the prepared plan when one is cached
+  :stats           cumulative session statistics (plan cache, inferences, ...)
+  :program         show the registered rules
+  :help            this summary
+  :quit            leave the session
+bare rules/facts (e.g. `e(1, 2).` or `t(X, Y) :- e(X, Y).`) are added directly.";
+
+impl Repl {
+    /// A fresh session.
+    pub fn new() -> Repl {
+        Repl {
+            engine: Engine::new(),
+        }
+    }
+
+    /// A session wrapping an existing engine (e.g. pre-loaded from a file).
+    pub fn with_engine(engine: Engine) -> Repl {
+        Repl { engine }
+    }
+
+    /// The underlying engine.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Mutable access to the underlying engine.
+    pub fn engine_mut(&mut self) -> &mut Engine {
+        &mut self.engine
+    }
+
+    /// Execute one input line and return what to print (or [`ReplAction::Quit`]).
+    /// Errors are rendered into the response, never panicked or propagated.
+    pub fn execute(&mut self, line: &str) -> ReplAction {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('%') {
+            return ReplAction::Output(String::new());
+        }
+        match self.dispatch(line) {
+            Ok(action) => action,
+            Err(message) => ReplAction::Output(format!("error: {message}")),
+        }
+    }
+
+    fn dispatch(&mut self, line: &str) -> Result<ReplAction, String> {
+        if let Some(rest) = line.strip_prefix("?-") {
+            return self.run_query(rest).map(ReplAction::Output);
+        }
+        if let Some(rest) = line.strip_prefix(':') {
+            let (command, argument) = match rest.split_once(char::is_whitespace) {
+                Some((c, a)) => (c, a.trim()),
+                None => (rest, ""),
+            };
+            return match command {
+                "quit" | "exit" | "q" => Ok(ReplAction::Quit),
+                "help" | "h" => Ok(ReplAction::Output(HELP.to_string())),
+                "load" => self.load(argument).map(ReplAction::Output),
+                "insert" => self.insert(argument).map(ReplAction::Output),
+                "prepare" => self.prepare(argument).map(ReplAction::Output),
+                "stats" => Ok(ReplAction::Output(self.stats())),
+                "program" => Ok(ReplAction::Output(self.show_program())),
+                other => Err(format!("unknown command `:{other}` (try :help)")),
+            };
+        }
+        // Bare Datalog text: rules and facts.
+        self.absorb(line).map(ReplAction::Output)
+    }
+
+    fn load(&mut self, path: &str) -> Result<String, String> {
+        if path.is_empty() {
+            return Err(":load requires a file path".to_string());
+        }
+        let source =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let summary = self
+            .engine
+            .load_source(&source)
+            .map_err(|e| e.to_string())?;
+        let mut out = format!(
+            "loaded {} rule(s), {} fact(s)",
+            summary.rules_added, summary.facts_added
+        );
+        if summary.duplicates > 0 {
+            let _ = write!(out, " ({} duplicate(s) ignored)", summary.duplicates);
+        }
+        if let Some(query) = &summary.query {
+            let _ = write!(out, "; file query: {query}");
+        }
+        Ok(out)
+    }
+
+    fn insert(&mut self, text: &str) -> Result<String, String> {
+        let text = text.trim().trim_end_matches('.');
+        if text.is_empty() {
+            return Err(":insert requires a fact, e.g. `:insert e(1, 2).`".to_string());
+        }
+        let atom = parse_atom(text).map_err(|e| e.to_string())?;
+        let new = self.engine.insert_atom(&atom).map_err(|e| e.to_string())?;
+        Ok(if new {
+            format!("inserted {atom}")
+        } else {
+            format!("{atom} already present")
+        })
+    }
+
+    fn parse_query_text(text: &str) -> Result<Query, String> {
+        let text = text.trim().trim_end_matches('.');
+        if text.is_empty() {
+            return Err("expected a query literal, e.g. `t(0, Y)`".to_string());
+        }
+        parse_query(text).map_err(|e| e.to_string())
+    }
+
+    fn prepare(&mut self, text: &str) -> Result<String, String> {
+        let query = Self::parse_query_text(text)?;
+        let report = self.engine.prepare(&query).map_err(|e| e.to_string())?;
+        Ok(format!(
+            "prepared {query} [{}]{}",
+            report.strategy,
+            if report.cached { " (cached)" } else { "" }
+        ))
+    }
+
+    fn run_query(&mut self, text: &str) -> Result<String, String> {
+        let query = Self::parse_query_text(text)?;
+        let (answers, label) = if self.engine.has_prepared(&query) {
+            let answers = self
+                .engine
+                .query_prepared(&query)
+                .map_err(|e| e.to_string())?;
+            (answers, "prepared")
+        } else {
+            let answers = self.engine.query(&query).map_err(|e| e.to_string())?;
+            (answers, "materialized")
+        };
+
+        // Distinct free variables in first-occurrence order — matches the projection
+        // used by `Database::answers`.
+        let mut free_vars: Vec<String> = Vec::new();
+        for term in &query.atom.terms {
+            if let Some(v) = term.as_var() {
+                let name = v.as_str().to_string();
+                if !free_vars.contains(&name) {
+                    free_vars.push(name);
+                }
+            }
+        }
+        let mut out = format!("% {} answer(s) [{label}]", answers.len());
+        for row in &answers {
+            let rendered: Vec<String> = free_vars
+                .iter()
+                .zip(row.iter())
+                .map(|(v, c)| format!("{v} = {c}"))
+                .collect();
+            out.push('\n');
+            if rendered.is_empty() {
+                out.push_str("true");
+            } else {
+                out.push_str(&rendered.join(", "));
+            }
+        }
+        Ok(out)
+    }
+
+    fn absorb(&mut self, text: &str) -> Result<String, String> {
+        let summary = self.engine.load_source(text).map_err(|e| e.to_string())?;
+        let mut parts = Vec::new();
+        if summary.rules_added > 0 {
+            parts.push(format!("added {} rule(s)", summary.rules_added));
+        }
+        if summary.facts_added > 0 {
+            parts.push(format!("inserted {} fact(s)", summary.facts_added));
+        }
+        if summary.duplicates > 0 {
+            parts.push(format!("{} duplicate(s) ignored", summary.duplicates));
+        }
+        if parts.is_empty() {
+            parts.push("nothing to add".to_string());
+        }
+        Ok(parts.join(", "))
+    }
+
+    fn stats(&self) -> String {
+        let stats = self.engine.stats();
+        let mut out = String::new();
+        let _ = write!(out, "{stats}");
+        let _ = write!(
+            out,
+            "prepared plans: {} cached ({} hits, {} misses); pending facts: {}; model: {}",
+            self.engine.prepared_count(),
+            stats.plan_cache_hits,
+            stats.plan_cache_misses,
+            self.engine.pending_facts(),
+            if self.engine.is_materialized() {
+                "materialized"
+            } else {
+                "stale"
+            }
+        );
+        out
+    }
+
+    fn show_program(&self) -> String {
+        let program = self.engine.program();
+        if program.is_empty() {
+            "no rules registered".to_string()
+        } else {
+            format!("{program}").trim_end().to_string()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn output(repl: &mut Repl, line: &str) -> String {
+        match repl.execute(line) {
+            ReplAction::Output(text) => text,
+            ReplAction::Quit => panic!("unexpected quit for {line}"),
+        }
+    }
+
+    #[test]
+    fn full_session_transcript() {
+        let mut repl = Repl::new();
+        assert_eq!(output(&mut repl, "t(X, Y) :- e(X, Y)."), "added 1 rule(s)");
+        assert_eq!(
+            output(&mut repl, "t(X, Y) :- e(X, W), t(W, Y)."),
+            "added 1 rule(s)"
+        );
+        assert_eq!(output(&mut repl, ":insert e(0, 1)."), "inserted e(0, 1)");
+        assert_eq!(output(&mut repl, ":insert e(1, 2)."), "inserted e(1, 2)");
+        let answers = output(&mut repl, "?- t(0, Y).");
+        assert!(answers.starts_with("% 2 answer(s) [materialized]"));
+        assert!(answers.contains("Y = 1") && answers.contains("Y = 2"));
+
+        // Incremental insert, then the same query sees the new fact.
+        assert_eq!(output(&mut repl, ":insert e(2, 3)."), "inserted e(2, 3)");
+        assert!(output(&mut repl, "?- t(0, Y).").contains("% 3 answer(s)"));
+
+        // Prepare, then the query switches to the prepared plan and hits the cache.
+        let prepared = output(&mut repl, ":prepare t(0, Y)");
+        assert!(prepared.starts_with("prepared ?- t(0, Y). [magic + factoring]"));
+        let answers = output(&mut repl, "?- t(0, Y).");
+        assert!(answers.starts_with("% 3 answer(s) [prepared]"));
+        assert_eq!(repl.engine().stats().plan_cache_hits, 1);
+
+        let stats = output(&mut repl, ":stats");
+        assert!(stats.contains("plan cache: 1 hits, 1 misses"));
+        assert!(stats.contains("prepared plans: 1 cached"));
+
+        let program = output(&mut repl, ":program");
+        assert!(program.contains("t(X, Y) :- e(X, W), t(W, Y)."));
+
+        assert_eq!(repl.execute(":quit"), ReplAction::Quit);
+    }
+
+    #[test]
+    fn errors_are_reported_not_propagated() {
+        let mut repl = Repl::new();
+        assert!(output(&mut repl, ":insert e(X, 1).").starts_with("error:"));
+        assert!(output(&mut repl, ":bogus").starts_with("error:"));
+        assert!(output(&mut repl, "?- ").starts_with("error:"));
+        assert!(output(&mut repl, ":load /nonexistent/path.dl").starts_with("error:"));
+        assert!(output(&mut repl, "nonsense here").starts_with("error:"));
+    }
+
+    #[test]
+    fn blank_lines_comments_and_help() {
+        let mut repl = Repl::new();
+        assert_eq!(output(&mut repl, ""), "");
+        assert_eq!(output(&mut repl, "% a comment"), "");
+        assert!(output(&mut repl, ":help").contains(":prepare"));
+        assert_eq!(output(&mut repl, ":program"), "no rules registered");
+    }
+
+    #[test]
+    fn duplicate_insert_is_reported() {
+        let mut repl = Repl::new();
+        output(&mut repl, ":insert e(1, 2).");
+        assert_eq!(
+            output(&mut repl, ":insert e(1, 2)."),
+            "e(1, 2) already present"
+        );
+    }
+
+    #[test]
+    fn load_reads_a_file() {
+        let path = std::env::temp_dir().join("factorlog_repl_load_test.dl");
+        std::fs::write(&path, "t(X, Y) :- e(X, Y).\ne(1, 2).\n?- t(1, Y).\n").unwrap();
+        let mut repl = Repl::new();
+        let message = output(&mut repl, &format!(":load {}", path.display()));
+        assert!(message.contains("loaded 1 rule(s), 1 fact(s)"));
+        assert!(message.contains("file query: ?- t(1, Y)."));
+        assert!(output(&mut repl, "?- t(1, Y).").contains("Y = 2"));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,260 @@
+//! Minimal, API-compatible stand-in for the subset of `criterion` this workspace's
+//! benches use. The build environment has no access to crates.io, so the benches link
+//! against this in-repo shim instead.
+//!
+//! Implemented surface: `Criterion::benchmark_group`, `BenchmarkGroup` knobs
+//! (`sample_size`, `measurement_time`, `warm_up_time`), `bench_with_input` /
+//! `bench_function`, `BenchmarkId`, `Bencher::iter`, [`black_box`], and the
+//! `criterion_group!` / `criterion_main!` macros. Each benchmark runs a short warm-up
+//! followed by `sample_size` timed samples and prints median / mean wall-clock times
+//! as plain text. Pass `--test` (as `cargo test --benches` does) to run every
+//! benchmark exactly once for a smoke check instead of timing it.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard black box, used to defeat optimization of benched values.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for one benchmark within a group: a function name plus a parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `function/parameter`.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id with no parameter part.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// Passed to the benchmark closure; runs and times the measured routine.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Bencher {
+    /// Run `routine` repeatedly, recording one wall-clock sample per run.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let runs = if self.test_mode { 1 } else { self.sample_size };
+        for _ in 0..runs {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// A named group of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Wall-clock budget for warm-up (approximate; the shim runs a single warm-up
+    /// pass capped by this duration).
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Wall-clock budget for measurement (accepted for API compatibility; the shim
+    /// always takes exactly `sample_size` samples).
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Benchmark `f`, passing it `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+            test_mode: self.criterion.test_mode,
+        };
+        if !self.criterion.test_mode {
+            // One untimed warm-up pass.
+            f(&mut bencher, input);
+            bencher.samples.clear();
+        }
+        f(&mut bencher, input);
+        self.report(&id, &bencher.samples);
+        self
+    }
+
+    /// Benchmark `f` with no input.
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.bench_with_input(id, &(), |b, ()| f(b))
+    }
+
+    fn report(&self, id: &BenchmarkId, samples: &[Duration]) {
+        if samples.is_empty() {
+            println!("{}/{id}: no samples", self.name);
+            return;
+        }
+        let mut sorted: Vec<Duration> = samples.to_vec();
+        sorted.sort_unstable();
+        let median = sorted[sorted.len() / 2];
+        let total: Duration = sorted.iter().sum();
+        let mean = total / sorted.len() as u32;
+        if self.criterion.test_mode {
+            println!("{}/{id}: ok (test mode, 1 iteration)", self.name);
+        } else {
+            println!(
+                "{}/{id}: median {:>12.3?}  mean {:>12.3?}  ({} samples)",
+                self.name,
+                median,
+                mean,
+                sorted.len()
+            );
+        }
+    }
+
+    /// Finish the group (prints a trailing newline to separate groups).
+    pub fn finish(&mut self) {
+        println!();
+    }
+}
+
+/// Entry point handed to benchmark functions.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test --benches` (and `cargo bench -- --test`) pass `--test`: run each
+        // benchmark once as a smoke check instead of timing it.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("## {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(100),
+            measurement_time: Duration::from_millis(500),
+        }
+    }
+}
+
+/// Group benchmark functions under one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Produce a `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_runs_and_reports() {
+        let mut criterion = Criterion { test_mode: true };
+        let mut group = criterion.benchmark_group("shim_smoke");
+        group.sample_size(3);
+        group.measurement_time(Duration::from_millis(10));
+        group.warm_up_time(Duration::from_millis(1));
+        let mut runs = 0usize;
+        let input = 21u64;
+        group.bench_with_input(BenchmarkId::new("double", input), &input, |b, &n| {
+            b.iter(|| {
+                runs += 1;
+                n * 2
+            })
+        });
+        group.finish();
+        // Test mode: exactly one iteration, no warm-up.
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn timed_mode_takes_sample_size_samples() {
+        let mut criterion = Criterion { test_mode: false };
+        let mut group = criterion.benchmark_group("shim_timed");
+        group.sample_size(4);
+        let mut runs = 0usize;
+        group.bench_function(BenchmarkId::from_parameter("noop"), |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        group.finish();
+        // One warm-up pass (4 runs) plus one measured pass (4 runs).
+        assert_eq!(runs, 8);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(
+            BenchmarkId::new("chain/magic", 100).to_string(),
+            "chain/magic/100"
+        );
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+}

@@ -1,0 +1,352 @@
+//! Minimal, API-compatible stand-in for the subset of `proptest` this workspace uses.
+//! The build environment has no access to crates.io, so the property tests run on this
+//! in-repo shim instead.
+//!
+//! Implemented surface: the [`proptest!`] macro (with the `#![proptest_config(...)]`
+//! attribute and `pattern in strategy` bindings), [`prop_assert!`] /
+//! [`prop_assert_eq!`] / [`prop_assert_ne!`], integer-range and tuple strategies, and
+//! `prop::collection::vec`. Inputs are generated from a deterministic PRNG; there is
+//! no shrinking — a failing case panics with the generated values' debug output, which
+//! is reproducible because the seed is fixed.
+
+#![warn(missing_docs)]
+
+/// Strategies: recipes for generating random values.
+pub mod strategy {
+    use rand::rngs::SmallRng;
+    use rand::Rng as _;
+    use std::ops::Range;
+
+    /// A recipe for generating values of type `Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generate one value.
+        fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+    }
+
+    /// Ranges of integers are strategies producing a uniform value in the range.
+    impl Strategy for Range<i64> {
+        type Value = i64;
+
+        fn generate(&self, rng: &mut SmallRng) -> i64 {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl Strategy for Range<usize> {
+        type Value = usize;
+
+        fn generate(&self, rng: &mut SmallRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl Strategy for Range<u64> {
+        type Value = u64;
+
+        fn generate(&self, rng: &mut SmallRng) -> u64 {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+        type Value = (A::Value, B::Value);
+
+        fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+            (self.0.generate(rng), self.1.generate(rng))
+        }
+    }
+
+    impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+        type Value = (A::Value, B::Value, C::Value);
+
+        fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+            (
+                self.0.generate(rng),
+                self.1.generate(rng),
+                self.2.generate(rng),
+            )
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut SmallRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::SmallRng;
+    use rand::Rng as _;
+    use std::ops::Range;
+
+    /// Strategy for vectors with a random length and random elements.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+            let len = if self.size.start < self.size.end {
+                rng.gen_range(self.size.clone())
+            } else {
+                self.size.start
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A vector strategy: `len` is drawn from `size`, elements from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+}
+
+/// Test-runner plumbing used by the [`proptest!`] macro expansion.
+pub mod test_runner {
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng as _;
+    use std::fmt;
+
+    /// Configuration for a property test.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` random cases.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// A failed test case (produced by the `prop_assert*` macros).
+    #[derive(Clone, Debug)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// Record a failure with the given message.
+        pub fn fail(message: impl Into<String>) -> TestCaseError {
+            TestCaseError {
+                message: message.into(),
+            }
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "{}", self.message)
+        }
+    }
+
+    /// Drives the random cases of one property test.
+    pub struct TestRunner {
+        config: ProptestConfig,
+        rng: SmallRng,
+    }
+
+    impl TestRunner {
+        /// Create a runner with a fixed seed (reproducible runs).
+        pub fn new(config: ProptestConfig) -> TestRunner {
+            TestRunner {
+                config,
+                rng: SmallRng::seed_from_u64(0x9E37_79B9_7F4A_7C15),
+            }
+        }
+
+        /// Number of cases to run.
+        pub fn cases(&self) -> u32 {
+            self.config.cases
+        }
+
+        /// The runner's PRNG.
+        pub fn rng(&mut self) -> &mut SmallRng {
+            &mut self.rng
+        }
+    }
+}
+
+/// Define property tests: each function runs `cases` times with freshly generated
+/// inputs bound by `name in strategy` parameters.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (config = $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut runner = $crate::test_runner::TestRunner::new(config);
+                for case in 0..runner.cases() {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), runner.rng());)+
+                    let values = format!(concat!($(stringify!($arg), " = {:?}; "),+), $(&$arg),+);
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(err) = outcome {
+                        panic!("proptest case {} failed: {}\n  inputs: {}", case, err, values);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Assert a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "{} (`{:?}` != `{:?}`)",
+                    format!($($fmt)*),
+                    left,
+                    right
+                ),
+            ));
+        }
+    }};
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+/// The usual imports for property tests.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Namespaced strategy constructors (`prop::collection::vec`).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn generated_vectors_respect_bounds(
+            v in prop::collection::vec((0i64..10, 0i64..10), 0..20),
+            n in 1usize..5,
+        ) {
+            prop_assert!(v.len() < 20);
+            prop_assert!((1..5).contains(&n));
+            for &(a, b) in &v {
+                prop_assert!((0..10).contains(&a), "a out of range: {}", a);
+                prop_assert!((0..10).contains(&b));
+            }
+        }
+
+        #[test]
+        fn eq_and_ne_assertions_pass(x in 0i64..100) {
+            prop_assert_eq!(x, x);
+            prop_assert_ne!(x, x + 1);
+            prop_assert_eq!(x, x, "with message {}", x);
+        }
+    }
+
+    #[test]
+    fn failing_assertion_panics_with_inputs() {
+        let result = std::panic::catch_unwind(|| {
+            proptest! {
+                #![proptest_config(ProptestConfig::with_cases(1))]
+
+                #[allow(unused)]
+                fn always_fails(x in 0i64..10) {
+                    prop_assert!(false, "doomed {}", x);
+                }
+            }
+            always_fails();
+        });
+        let err = result.unwrap_err();
+        let message = err
+            .downcast_ref::<String>()
+            .expect("panic carries a String");
+        assert!(message.contains("doomed"));
+        assert!(message.contains("inputs"));
+    }
+}

@@ -1,0 +1,139 @@
+//! Minimal, API-compatible stand-in for the subset of the `rand` crate this workspace
+//! uses. The build environment has no access to crates.io, so the workload generators'
+//! dependency is satisfied by this in-repo shim instead.
+//!
+//! Implemented surface: `rngs::SmallRng`, `SeedableRng::seed_from_u64`,
+//! `Rng::gen_range` over half-open integer ranges, and `Rng::gen_bool`. The generator
+//! is `splitmix64` — deterministic for a given seed, which is all the workloads need
+//! (they pass explicit seeds for reproducibility).
+
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// Seedable random number generators (the one constructor the workspace uses).
+pub trait SeedableRng: Sized {
+    /// Create a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Integer types that [`Rng::gen_range`] can sample uniformly from a half-open range.
+pub trait SampleUniform: Copy {
+    /// Sample uniformly from `[low, high)` using `next` as the word source.
+    fn sample(range: Range<Self>, next: u64) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($ty:ty),*) => {
+        $(impl SampleUniform for $ty {
+            fn sample(range: Range<Self>, next: u64) -> Self {
+                assert!(range.start < range.end, "gen_range called with empty range");
+                let span = range.end.wrapping_sub(range.start) as u128;
+                range.start + (next as u128 % span) as Self
+            }
+        })*
+    };
+}
+impl_sample_uniform!(usize, u64, u32);
+
+impl SampleUniform for i64 {
+    fn sample(range: Range<Self>, next: u64) -> Self {
+        assert!(range.start < range.end, "gen_range called with empty range");
+        let span = (range.end as i128 - range.start as i128) as u128;
+        (range.start as i128 + (next as u128 % span) as i128) as i64
+    }
+}
+
+/// The subset of `rand::Rng` the workspace uses.
+pub trait Rng {
+    /// The next raw 64-bit word from the generator.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample from a half-open range.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample(range, self.next_u64())
+    }
+
+    /// Bernoulli sample with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability out of range"
+        );
+        // 53 bits of the word give a uniform float in [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// A small, fast, deterministic generator (`splitmix64`).
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            SmallRng { state: seed }
+        }
+    }
+
+    impl Rng for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            // splitmix64: passes basic statistical tests, more than enough for
+            // generating benchmark EDBs.
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = rng.gen_range(0..10usize);
+            assert!(x < 10);
+            let y = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&y));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+        // p = 0.5 produces both values over enough draws.
+        let draws: Vec<bool> = (0..64).map(|_| rng.gen_bool(0.5)).collect();
+        assert!(draws.iter().any(|&b| b) && draws.iter().any(|&b| !b));
+    }
+}

@@ -142,7 +142,10 @@ mod tests {
     fn cycle_wraps_around() {
         let db = cycle(5);
         assert_eq!(db.count("e"), 5);
-        assert!(db.relation(factorlog_datalog::Symbol::intern("e")).unwrap().contains(&[c(4), c(0)]));
+        assert!(db
+            .relation(factorlog_datalog::Symbol::intern("e"))
+            .unwrap()
+            .contains(&[c(4), c(0)]));
     }
 
     #[test]

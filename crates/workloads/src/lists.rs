@@ -91,6 +91,9 @@ mod tests {
         // The unfactored program materializes O(n^2) pmem facts when many elements
         // satisfy p: every member is paired with every suffix that contains it.
         let pmem_facts = result.database.count(Symbol::intern("pmem"));
-        assert!(pmem_facts > w.length, "quadratic blow-up expected: {pmem_facts}");
+        assert!(
+            pmem_facts > w.length,
+            "quadratic blow-up expected: {pmem_facts}"
+        );
     }
 }

@@ -11,17 +11,41 @@ use factorlog::workloads::programs;
 
 fn main() {
     let suite: Vec<(&str, &str, &str)> = vec![
-        ("three-rule TC (Ex. 1.1)", programs::THREE_RULE_TC, "t(0, Y)"),
+        (
+            "three-rule TC (Ex. 1.1)",
+            programs::THREE_RULE_TC,
+            "t(0, Y)",
+        ),
         ("right-linear TC", programs::RIGHT_LINEAR_TC, "t(0, Y)"),
         ("left-linear TC", programs::LEFT_LINEAR_TC, "t(0, Y)"),
         ("nonlinear TC", programs::NONLINEAR_TC, "t(0, Y)"),
         ("pmem (Ex. 4.6)", programs::PMEM, "pmem(X, 10000001)"),
-        ("Example 4.3 (as printed)", programs::EXAMPLE_4_3_EXACT, "p(0, Y)"),
-        ("selection-pushing variant", programs::SELECTION_PUSHING, "p(0, Y)"),
+        (
+            "Example 4.3 (as printed)",
+            programs::EXAMPLE_4_3_EXACT,
+            "p(0, Y)",
+        ),
+        (
+            "selection-pushing variant",
+            programs::SELECTION_PUSHING,
+            "p(0, Y)",
+        ),
         ("symmetric (Ex. 4.4 shape)", programs::SYMMETRIC, "p(0, Y)"),
-        ("answer-propagating (Ex. 4.5 shape)", programs::ANSWER_PROPAGATING, "p(0, Y)"),
-        ("Example 5.1 (needs reduction)", programs::EXAMPLE_5_1, "p(0, 1, Z)"),
-        ("Example 5.2 (pseudo-left-linear)", programs::EXAMPLE_5_2, "p(0, 1, Z)"),
+        (
+            "answer-propagating (Ex. 4.5 shape)",
+            programs::ANSWER_PROPAGATING,
+            "p(0, Y)",
+        ),
+        (
+            "Example 5.1 (needs reduction)",
+            programs::EXAMPLE_5_1,
+            "p(0, 1, Z)",
+        ),
+        (
+            "Example 5.2 (pseudo-left-linear)",
+            programs::EXAMPLE_5_2,
+            "p(0, 1, Z)",
+        ),
         ("same generation", programs::SAME_GENERATION, "sg(0, Y)"),
     ];
 
@@ -57,7 +81,11 @@ fn main() {
         println!(
             "{:<36} {:>10} {:>12} {:>24} {:>8}",
             name,
-            if optimized.reduced.is_some() { "yes" } else { "no" },
+            if optimized.reduced.is_some() {
+                "yes"
+            } else {
+                "no"
+            },
             rlc,
             factorable,
             optimized.program.len()

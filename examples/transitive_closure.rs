@@ -31,7 +31,10 @@ fn main() {
 
     // Stage 4: factoring (Fig. 2 of the paper).
     let factored = factor_magic(&adorned, &magic_program).unwrap();
-    println!("== factored magic program (Fig. 2) ==\n{}", factored.program);
+    println!(
+        "== factored magic program (Fig. 2) ==\n{}",
+        factored.program
+    );
 
     // Stage 5: the §5 optimizations (Example 5.3's final unary program).
     let ctx = FactoringContext::from_factored(&factored);
@@ -58,18 +61,28 @@ fn main() {
     // Also add an irrelevant component that Magic Sets should never touch.
     let irrelevant = graphs::chain(300);
     let mut edb_with_noise = edb.clone();
-    for row in irrelevant
-        .relation(Symbol::intern("e"))
-        .unwrap()
-        .iter()
-    {
-        edb_with_noise.add_fact("e", &[Const::Int(row[0].as_int().unwrap() + 1_000_000), Const::Int(row[1].as_int().unwrap() + 1_000_000)]);
+    for row in irrelevant.relation(Symbol::intern("e")).unwrap().iter() {
+        edb_with_noise.add_fact(
+            "e",
+            &[
+                Const::Int(row[0].as_int().unwrap() + 1_000_000),
+                Const::Int(row[1].as_int().unwrap() + 1_000_000),
+            ],
+        );
     }
 
     let strategies: Vec<(&str, Program, Query)> = vec![
         ("original (semi-naive)", program.clone(), query.clone()),
-        ("magic", magic_program.program.clone(), adorned.query.clone()),
-        ("magic + factoring + §5", final_program.clone(), factored.query.clone()),
+        (
+            "magic",
+            magic_program.program.clone(),
+            adorned.query.clone(),
+        ),
+        (
+            "magic + factoring + §5",
+            final_program.clone(),
+            factored.query.clone(),
+        ),
     ];
     println!(
         "{:<28} {:>12} {:>12} {:>10}",

@@ -1,20 +1,30 @@
 //! `factorlog` — command-line front end: load a Datalog file (rules, facts and a
 //! `?- query.`), optimize the query with Magic Sets + factoring, evaluate it, and
-//! print the answers.
+//! print the answers. Or start a persistent interactive session with `factorlog repl`.
 //!
 //! ```text
 //! USAGE:
 //!     factorlog <FILE> [--query "t(0, Y)"] [--strategy original|magic|factored]
 //!               [--show-program] [--explain] [--stats]
+//!     factorlog repl [FILE]
 //!
 //! OPTIONS:
 //!     --query <ATOM>       query literal (overrides any ?- clause in the file)
 //!     --strategy <NAME>    evaluation strategy (default: factored — i.e. the pipeline)
 //!     --show-program       print the program that is evaluated
 //!     --explain            print the full stage-by-stage optimization report
-//!     --stats              print evaluation statistics
+//!     --stats              print cumulative session evaluation statistics
+//!
+//! REPL MODE:
+//!     an incremental engine session: `:load`, `:insert fact.`, `:prepare q`,
+//!     `?- query.`, `:stats`, `:help`, `:quit`. An optional FILE is loaded at start.
 //! ```
+//!
+//! One-shot runs execute on the same [`Engine`] the REPL uses, so `--stats` reports
+//! the session's cumulative counters (materialization + prepared-plan replays +
+//! cache hits/misses), not a single call's.
 
+use std::io::{BufRead, Write};
 use std::process::ExitCode;
 
 use factorlog::prelude::*;
@@ -42,7 +52,7 @@ struct CliOptions {
 
 fn usage() -> String {
     "usage: factorlog <FILE> [--query \"t(0, Y)\"] [--strategy original|magic|factored] \
-     [--show-program] [--explain] [--stats]"
+     [--show-program] [--explain] [--stats]\n       factorlog repl [FILE]"
         .to_string()
 }
 
@@ -100,45 +110,89 @@ fn parse_args(args: &[String]) -> Result<CliOptions, String> {
     })
 }
 
+/// Print cumulative session statistics in the CLI's one-line format.
+fn print_session_stats(stats: &EvalStats) {
+    println!(
+        "% session stats: {} iterations, {} inferences, {} facts derived, {} duplicates, \
+         plan cache {} hit(s) / {} miss(es)",
+        stats.iterations,
+        stats.inferences,
+        stats.facts_derived,
+        stats.duplicates,
+        stats.plan_cache_hits,
+        stats.plan_cache_misses,
+    );
+}
+
 fn run(options: &CliOptions) -> Result<(), String> {
     let source = std::fs::read_to_string(&options.file)
         .map_err(|e| format!("cannot read {}: {e}", options.file))?;
-    let parsed = parse_program(&source).map_err(|e| format!("{}: {e}", options.file))?;
-    let (program, facts) = parsed.split_facts();
-    let edb = Database::from_facts(facts);
+
+    // One engine session for the whole invocation: every evaluation (materialization,
+    // magic rewriting, prepared replays) accumulates into its per-session statistics.
+    let mut engine = Engine::new();
+    let summary = engine
+        .load_source(&source)
+        .map_err(|e| format!("{}: {e}", options.file))?;
 
     let query = match &options.query {
         Some(text) => parse_query(text).map_err(|e| format!("--query: {e}"))?,
-        None => parsed
-            .query()
-            .cloned()
+        None => summary
+            .query
+            .clone()
             .ok_or_else(|| "no query: add a `?- atom.` clause or pass --query".to_string())?,
     };
 
-    let (eval_program, eval_query, label) = match options.strategy {
-        CliStrategy::Original => (program.clone(), query.clone(), "original".to_string()),
+    let (answers, label) = match options.strategy {
+        CliStrategy::Original => {
+            let answers = engine.query(&query).map_err(|e| e.to_string())?;
+            if options.show_program {
+                println!("% strategy: original\n{}", engine.program());
+            }
+            (answers, "original".to_string())
+        }
         CliStrategy::Magic => {
-            let adorned = adorn(&program, &query).map_err(|e| e.to_string())?;
+            let adorned = adorn(engine.program(), &query).map_err(|e| e.to_string())?;
             let magicp = magic(&adorned).map_err(|e| e.to_string())?;
-            (magicp.program, adorned.query, "magic".to_string())
+            if options.show_program {
+                println!("% strategy: magic\n{}", magicp.program);
+            }
+            // Evaluate the magic program as an auxiliary engine session sharing the
+            // facts, then fold its counters into the main session's.
+            let mut magic_engine = Engine::new();
+            magic_engine.add_rules(magicp.program);
+            for (pred, rel) in engine.facts().iter() {
+                for tuple in rel.iter() {
+                    magic_engine
+                        .insert(pred, tuple)
+                        .map_err(|e| e.to_string())?;
+                }
+            }
+            let answers = magic_engine
+                .query(&adorned.query)
+                .map_err(|e| e.to_string())?;
+            engine.absorb_stats(magic_engine.stats());
+            (answers, "magic".to_string())
         }
         CliStrategy::Factored => {
-            let optimized = optimize_query(&program, &query, &PipelineOptions::default())
-                .map_err(|e| e.to_string())?;
-            if options.explain {
-                println!("{}", optimized.report());
+            if options.explain || options.show_program {
+                let optimized =
+                    optimize_query(engine.program(), &query, &PipelineOptions::default())
+                        .map_err(|e| e.to_string())?;
+                if options.explain {
+                    println!("{}", optimized.report());
+                }
+                if options.show_program {
+                    println!("% strategy: {}\n{}", optimized.strategy, optimized.program);
+                }
             }
-            let label = optimized.strategy.to_string();
-            (optimized.program.clone(), optimized.query.clone(), label)
+            let answers = engine.query_prepared(&query).map_err(|e| e.to_string())?;
+            let strategy = engine
+                .prepared_strategy(&query)
+                .expect("plan cached by query_prepared");
+            (answers, strategy.to_string())
         }
     };
-
-    if options.show_program {
-        println!("% strategy: {label}\n{eval_program}");
-    }
-
-    let result = evaluate_default(&eval_program, &edb).map_err(|e| e.to_string())?;
-    let answers = result.answers(&eval_query);
 
     // Present answers in terms of the original query's variables.
     let free_vars: Vec<String> = query
@@ -147,12 +201,7 @@ fn run(options: &CliOptions) -> Result<(), String> {
         .iter()
         .filter_map(|t| t.as_var().map(|v| v.as_str().to_string()))
         .collect();
-    println!(
-        "% {} answer(s) to {} [{}]",
-        answers.len(),
-        query,
-        label
-    );
+    println!("% {} answer(s) to {} [{}]", answers.len(), query, label);
     for row in &answers {
         let rendered: Vec<String> = free_vars
             .iter()
@@ -167,19 +216,58 @@ fn run(options: &CliOptions) -> Result<(), String> {
     }
 
     if options.stats {
-        println!(
-            "% stats: {} iterations, {} inferences, {} facts derived, {} duplicates",
-            result.stats.iterations,
-            result.stats.inferences,
-            result.stats.facts_derived,
-            result.stats.duplicates
-        );
+        print_session_stats(engine.stats());
+    }
+    Ok(())
+}
+
+/// Run the interactive REPL; `file` (when given) is loaded into the session first.
+fn run_repl(file: Option<&str>) -> Result<(), String> {
+    let mut repl = Repl::new();
+    println!("factorlog repl — :help for commands, :quit to leave");
+    if let Some(path) = file {
+        match repl.execute(&format!(":load {path}")) {
+            ReplAction::Output(message) => println!("{message}"),
+            ReplAction::Quit => return Ok(()),
+        }
+    }
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout();
+    loop {
+        print!("factorlog> ");
+        stdout.flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => match repl.execute(&line) {
+                ReplAction::Output(message) => {
+                    if !message.is_empty() {
+                        println!("{message}");
+                    }
+                }
+                ReplAction::Quit => break,
+            },
+            Err(e) => return Err(format!("stdin: {e}")),
+        }
     }
     Ok(())
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("repl") {
+        if args.len() > 2 {
+            eprintln!("{}", usage());
+            return ExitCode::FAILURE;
+        }
+        return match run_repl(args.get(1).map(String::as_str)) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(message) => {
+                eprintln!("error: {message}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     match parse_args(&args) {
         Ok(options) => match run(&options) {
             Ok(()) => ExitCode::SUCCESS,

@@ -1,14 +1,17 @@
 //! `factorlog` — a reproduction of *Argument Reduction by Factoring* (Naughton,
 //! Ramakrishnan, Sagiv, Ullman; VLDB 1989 / Theoretical Computer Science 146, 1995).
 //!
-//! This facade crate re-exports the three underlying crates:
+//! This facade crate re-exports the four underlying crates:
 //!
 //! * [`datalog`] — the bottom-up Datalog engine substrate (`factorlog-datalog`);
 //! * [`core`] — adornment, Magic Sets, the factoring analysis and transformation, the
 //!   §5 optimizations, Counting, and the one-sided/separable analyses
 //!   (`factorlog-core`);
 //! * [`workloads`] — the paper's programs and synthetic EDB generators
-//!   (`factorlog-workloads`).
+//!   (`factorlog-workloads`);
+//! * [`engine`] — the persistent incremental runtime: sessions with materialized
+//!   views maintained by delta-seeded semi-naive resumes, a prepared-query cache over
+//!   the optimization pipeline, and the REPL front end (`factorlog-engine`).
 //!
 //! The [`prelude`] pulls in the handful of types most programs need.
 //!
@@ -38,24 +41,28 @@
 
 pub use factorlog_core as core;
 pub use factorlog_datalog as datalog;
+pub use factorlog_engine as engine;
 pub use factorlog_workloads as workloads;
 
-/// The most commonly used items from all three crates.
+/// The most commonly used items from all four crates.
 pub mod prelude {
     pub use factorlog_core::conditions::{FactorabilityReport, FactorableClass};
-    pub use factorlog_core::pipeline::{optimize_query, Optimized, PipelineOptions, Strategy};
+    pub use factorlog_core::pipeline::{
+        optimize_query, Optimized, PipelineOptions, PreparedPlan, Strategy,
+    };
     pub use factorlog_core::{
         adorn, analyze, classify, counting, factor_magic, magic, optimize, reduce,
         FactoringContext, OptimizeOptions, TransformError,
     };
     pub use factorlog_datalog::ast::{Atom, Const, Program, Query, Rule, Term};
     pub use factorlog_datalog::eval::{
-        evaluate, evaluate_default, EvalOptions, EvalResult, EvalStats,
-        Strategy as EvalStrategy,
+        evaluate, evaluate_default, seminaive_resume, CompiledProgram, EvalOptions, EvalResult,
+        EvalStats, Strategy as EvalStrategy,
     };
     pub use factorlog_datalog::parser::{parse_atom, parse_program, parse_query, parse_rule};
     pub use factorlog_datalog::storage::Database;
     pub use factorlog_datalog::Symbol;
+    pub use factorlog_engine::{Engine, EngineError, Repl, ReplAction};
 }
 
 #[cfg(test)]

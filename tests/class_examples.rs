@@ -176,7 +176,11 @@ fn factored_programs_agree_with_originals_on_the_benchmark_workload() {
         let expected = evaluate_default(&program, &edb).unwrap().answers(&query);
         let magic_result = evaluate_default(&optimized.magic.program, &edb).unwrap();
         let factored_result = optimized.evaluate(&edb).unwrap();
-        assert_eq!(expected, factored_result.answers(&optimized.query), "{name}");
+        assert_eq!(
+            expected,
+            factored_result.answers(&optimized.query),
+            "{name}"
+        );
         assert_eq!(
             expected,
             magic_result.answers(&optimized.adorned.query),
@@ -186,6 +190,9 @@ fn factored_programs_agree_with_originals_on_the_benchmark_workload() {
         // predicate) only shows on instances where the binary relation is large; the
         // benchmarks in `crates/bench` measure that gap on scaled workloads. Here we
         // only require agreement of the answers.
-        let _ = (factored_result.stats.facts_derived, magic_result.stats.facts_derived);
+        let _ = (
+            factored_result.stats.facts_derived,
+            magic_result.stats.facts_derived,
+        );
     }
 }

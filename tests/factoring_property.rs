@@ -109,7 +109,9 @@ fn theorem_3_1_t1_t2_factoring_fails_when_a1_and_a2_differ() {
 fn factoring_is_sound_when_the_two_rules_coincide() {
     // If a1 = a2 and q1 = q2 syntactically (a single rule), t is a cartesian product
     // and the factoring is exact on every EDB we try.
-    let program = parse_program("t(X, Y, Z) :- a1(X), q1(Y, Z).").unwrap().program;
+    let program = parse_program("t(X, Y, Z) :- a1(X), q1(Y, Z).")
+        .unwrap()
+        .program;
     let query = parse_query("t(X, Y, Z)").unwrap();
     let mut factored = factor_predicate(
         &program,

@@ -65,7 +65,10 @@ fn figure_2_factored_program_shape() {
     ] {
         assert!(text.contains(rule), "missing rule `{rule}` in:\n{text}");
     }
-    assert!(!text.contains("t_bf(X, Y) :-"), "no binary t_bf rule may remain");
+    assert!(
+        !text.contains("t_bf(X, Y) :-"),
+        "no binary t_bf rule may remain"
+    );
 }
 
 #[test]

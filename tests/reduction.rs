@@ -49,7 +49,10 @@ fn example_5_2_pipeline_reduces_the_pseudo_left_linear_program() {
     for rule in &optimized.program.rules {
         for atom in std::iter::once(&rule.head).chain(rule.body.iter()) {
             if atom.predicate != Symbol::intern("d") && atom.predicate != Symbol::intern("exit") {
-                assert!(atom.arity() <= 1, "derived predicates must be unary: {atom}");
+                assert!(
+                    atom.arity() <= 1,
+                    "derived predicates must be unary: {atom}"
+                );
             }
         }
     }

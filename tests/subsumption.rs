@@ -95,7 +95,9 @@ fn theorem_6_4_counting_equals_factored_magic_up_to_indices() {
     // For the right-linear two-rule program: Counting, the factored Magic program, and
     // Counting-with-indices-deleted all compute the same answers; the indexed program
     // derives at least as many facts (the index fields are pure overhead).
-    let program = parse_program(programs::RIGHT_LINEAR_TWO_RULES).unwrap().program;
+    let program = parse_program(programs::RIGHT_LINEAR_TWO_RULES)
+        .unwrap()
+        .program;
     let query = parse_query("p(0, Y)").unwrap();
     let adorned = adorn(&program, &query).unwrap();
     let classification = classify(&adorned).unwrap();
