@@ -1,0 +1,96 @@
+//! The compiled join pipeline under load: batch fixpoints (index probes on full
+//! relations and on semi-naive deltas), the incremental engine's resume path, and the
+//! paper's list-membership workload, at several scales. The same workloads back the
+//! checked-in `BENCH_joins.json` baseline (see `report --json joins`); this criterion
+//! group exists for quick A/B runs while touching the join internals:
+//!
+//! ```text
+//! cargo bench -p factorlog-bench --bench joins
+//! ```
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use factorlog_bench::{stream_incremental, InsertStream};
+use factorlog_datalog::ast::Const;
+use factorlog_datalog::eval::{seminaive_evaluate, EvalOptions};
+use factorlog_datalog::parser::{parse_program, parse_query};
+use factorlog_workloads::lists::pmem_list;
+use factorlog_workloads::{graphs, programs};
+
+fn bench_tc_batch(c: &mut Criterion) {
+    let program = parse_program(programs::RIGHT_LINEAR_TC).unwrap().program;
+    let mut group = c.benchmark_group("joins_tc_batch");
+    group.sample_size(10);
+
+    // Wide graph: >= 10k edges, shallow recursion, wide deltas (the acceptance
+    // workload of the BENCH_joins.json baseline).
+    let tree = graphs::tree(10, 4);
+    group.bench_with_input(
+        BenchmarkId::new("tree_10k_edges", 11110),
+        &tree,
+        |b, edb| b.iter(|| seminaive_evaluate(&program, edb, &EvalOptions::default()).unwrap()),
+    );
+
+    // Deep graph: long chains, many small delta rounds.
+    for &n in &[100usize, 400] {
+        let edb = graphs::chain(n);
+        group.bench_with_input(BenchmarkId::new("chain", n), &edb, |b, edb| {
+            b.iter(|| seminaive_evaluate(&program, edb, &EvalOptions::default()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_sg_batch(c: &mut Criterion) {
+    let program = parse_program(programs::SAME_GENERATION).unwrap().program;
+    let mut group = c.benchmark_group("joins_sg_batch");
+    group.sample_size(10);
+    for &depth in &[6usize, 8] {
+        let edb = graphs::same_generation_tree(depth);
+        group.bench_with_input(BenchmarkId::new("tree_depth", depth), &edb, |b, edb| {
+            b.iter(|| seminaive_evaluate(&program, edb, &EvalOptions::default()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_list_membership(c: &mut Criterion) {
+    let program = parse_program(programs::PMEM).unwrap().program;
+    let mut group = c.benchmark_group("joins_list_membership");
+    group.sample_size(10);
+    for &n in &[100usize, 400] {
+        let workload = pmem_list(n, 1);
+        group.bench_with_input(BenchmarkId::new("length", n), &workload.edb, |b, edb| {
+            b.iter(|| seminaive_evaluate(&program, edb, &EvalOptions::default()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_tc_incremental(c: &mut Criterion) {
+    let program = parse_program(programs::RIGHT_LINEAR_TC).unwrap().program;
+    let query = parse_query(programs::TC_QUERY).unwrap();
+    let mut group = c.benchmark_group("joins_tc_incremental");
+    group.sample_size(10);
+    for &n in &[200usize, 1000] {
+        let base = graphs::chain(n);
+        let stream: InsertStream = (0..20)
+            .map(|i| {
+                let from = (n + i) as i64;
+                ("e", vec![Const::Int(from), Const::Int(from + 1)])
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("chain", n), &base, |b, base| {
+            b.iter(|| stream_incremental(&program, base, &stream, &query))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_tc_batch,
+    bench_sg_batch,
+    bench_list_membership,
+    bench_tc_incremental
+);
+criterion_main!(benches);

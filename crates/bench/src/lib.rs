@@ -275,3 +275,185 @@ mod tests {
         assert!(table.contains("magic+factoring"));
     }
 }
+
+/// The `joins` measurement suite: the fixed workload set behind the checked-in
+/// `BENCH_joins.json` baseline and the `report --json joins` mode. Each workload
+/// exercises the compiled join pipeline differently — full batch fixpoints over wide
+/// and deep graphs (index probes on the full relations *and* on the semi-naive
+/// deltas), the incremental engine's resume path, and the factored list-membership
+/// program of the paper.
+pub mod joins {
+    use std::time::Instant;
+
+    use factorlog_datalog::ast::Const;
+    use factorlog_datalog::eval::{seminaive_evaluate, EvalOptions, EvalStats};
+    use factorlog_datalog::parser::{parse_program, parse_query};
+    use factorlog_workloads::lists::pmem_list;
+    use factorlog_workloads::{graphs, programs};
+
+    use crate::{stream_incremental, InsertStream};
+
+    /// One measured workload of the suite.
+    #[derive(Clone, Debug)]
+    pub struct JoinMeasurement {
+        /// Workload id (stable across runs; keys of `BENCH_joins.json`).
+        pub name: &'static str,
+        /// Median wall-clock milliseconds over the samples.
+        pub millis: f64,
+        /// Inference count (machine-independent size of the join work; 0 for the
+        /// engine-driven incremental workload, whose per-call stats stay inside the
+        /// engine).
+        pub inferences: usize,
+        /// Facts derived.
+        pub facts: usize,
+        /// Index probes performed (0 on builds that predate the counter).
+        pub index_probes: usize,
+        /// Full relation scans performed (0 on builds that predate the counter).
+        pub full_scans: usize,
+        /// Machine-independent answer-total checksum of streamed workloads (0 for
+        /// batch workloads) — a correctness cross-check across builds, not a cost.
+        pub answer_checksum: usize,
+    }
+
+    fn median(mut samples: Vec<f64>) -> f64 {
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        samples[samples.len() / 2]
+    }
+
+    fn measure_batch(
+        name: &'static str,
+        source: &str,
+        edb: &factorlog_datalog::storage::Database,
+        samples: usize,
+    ) -> JoinMeasurement {
+        let program = parse_program(source).expect("suite program parses").program;
+        let mut timings = Vec::with_capacity(samples);
+        let mut stats = EvalStats::default();
+        for _ in 0..samples {
+            let start = Instant::now();
+            let result = seminaive_evaluate(&program, edb, &EvalOptions::default())
+                .expect("suite evaluation succeeds");
+            timings.push(start.elapsed().as_secs_f64() * 1e3);
+            stats = result.stats;
+        }
+        JoinMeasurement {
+            name,
+            millis: median(timings),
+            inferences: stats.inferences,
+            facts: stats.facts_derived,
+            index_probes: stats.index_probes,
+            full_scans: stats.full_scans,
+            answer_checksum: 0,
+        }
+    }
+
+    /// Run the whole suite. `quick` shrinks the workloads and sample counts to a smoke
+    /// test (used by CI to keep the benchmark code honest without paying for a full
+    /// measurement run).
+    pub fn run_suite(quick: bool) -> Vec<JoinMeasurement> {
+        let samples = if quick { 1 } else { 5 };
+        let mut out = Vec::new();
+
+        // Transitive closure over a 10-ary tree: 11_110 edges (the ">= 10k edges"
+        // acceptance workload). Deltas are wide, so recursive-literal delta probes
+        // dominate.
+        let (width, depth) = if quick { (4, 3) } else { (10, 4) };
+        out.push(measure_batch(
+            "tc_tree_10k_edges",
+            programs::RIGHT_LINEAR_TC,
+            &graphs::tree(width, depth),
+            samples,
+        ));
+
+        // Transitive closure of a chain: long dependency depth, small deltas.
+        let n = if quick { 64 } else { 400 };
+        out.push(measure_batch(
+            "tc_chain_400",
+            programs::RIGHT_LINEAR_TC,
+            &graphs::chain(n),
+            samples,
+        ));
+
+        // Same generation over a balanced binary tree (the non-factorable control).
+        let depth = if quick { 4 } else { 8 };
+        out.push(measure_batch(
+            "sg_tree_depth_8",
+            programs::SAME_GENERATION,
+            &graphs::same_generation_tree(depth),
+            samples,
+        ));
+
+        // List membership (Example 1.2/4.6): the original quadratic program.
+        let n = if quick { 50 } else { 400 };
+        out.push(measure_batch(
+            "pmem_list_400",
+            programs::PMEM,
+            &pmem_list(n, 1).edb,
+            samples,
+        ));
+
+        // Incremental engine: materialize a chain closure, then absorb a stream of
+        // edge inserts with delta-seeded resumes, querying after each.
+        let n = if quick { 64 } else { 1000 };
+        let inserts = if quick { 4 } else { 20 };
+        let program = parse_program(programs::RIGHT_LINEAR_TC)
+            .expect("tc program parses")
+            .program;
+        let query = parse_query(programs::TC_QUERY).expect("tc query parses");
+        let base = graphs::chain(n);
+        let stream: InsertStream = (0..inserts)
+            .map(|i| {
+                let from = (n + i) as i64;
+                ("e", vec![Const::Int(from), Const::Int(from + 1)])
+            })
+            .collect();
+        let mut timings = Vec::with_capacity(samples);
+        let mut checksum = 0usize;
+        for _ in 0..samples {
+            let start = Instant::now();
+            checksum = stream_incremental(&program, &base, &stream, &query);
+            timings.push(start.elapsed().as_secs_f64() * 1e3);
+        }
+        out.push(JoinMeasurement {
+            name: "tc_chain_1000_incremental",
+            millis: median(timings),
+            inferences: 0,
+            facts: 0,
+            index_probes: 0,
+            full_scans: 0,
+            answer_checksum: checksum,
+        });
+
+        out
+    }
+
+    /// Render the suite results as a JSON object (manual formatting keeps the
+    /// workspace dependency-free). `quick` marks smoke runs: their workload ids name
+    /// the *full-size* workloads, so the marker keeps shrunken numbers from being
+    /// mistaken for the checked-in baseline.
+    pub fn to_json(results: &[JoinMeasurement], quick: bool) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("{\n");
+        if quick {
+            out.push_str(
+                "  \"quick\": true,\n  \"warning\": \"smoke run on shrunken workloads — not comparable to BENCH_joins.json\",\n",
+            );
+        }
+        for (i, m) in results.iter().enumerate() {
+            let _ = write!(
+                out,
+                "  \"{}\": {{\"millis\": {:.3}, \"inferences\": {}, \"facts\": {}, \"index_probes\": {}, \"full_scans\": {}, \"answer_checksum\": {}}}",
+                m.name,
+                m.millis,
+                m.inferences,
+                m.facts,
+                m.index_probes,
+                m.full_scans,
+                m.answer_checksum
+            );
+            out.push_str(if i + 1 == results.len() { "\n" } else { ",\n" });
+        }
+        out.push('}');
+        out
+    }
+}

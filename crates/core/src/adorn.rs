@@ -370,6 +370,55 @@ mod tests {
     }
 
     #[test]
+    fn head_constants_in_free_positions_are_not_dropped() {
+        // Regression test for the ROADMAP-flagged report that the adornment pass
+        // silently drops rules whose head carries a constant in a free position.
+        // Every rule must survive adornment verbatim (modulo predicate renaming),
+        // whether the head constant falls in a free or a bound position of the
+        // reachable adornment.
+        let out = adorned(
+            "t(X, Y) :- e(X, Y).\n\
+             t(X, Y) :- e(X, W), t(W, Y).\n\
+             t(X, 7) :- mark(X).\n\
+             t(7, Y) :- source(Y).\n\
+             t(3, 7).",
+            "t(3, Y)",
+        );
+        assert_eq!(
+            out.program.len(),
+            5,
+            "no rule may be dropped:\n{}",
+            out.program
+        );
+        let text = format!("{}", out.program);
+        // Constant in the free (second) position of the bf adornment.
+        assert!(text.contains("t_bf(X, 7) :- mark(X)."), "{text}");
+        // Constant in the bound (first) position.
+        assert!(text.contains("t_bf(7, Y) :- source(Y)."), "{text}");
+        // Ground program fact with constants in both positions.
+        assert!(text.contains("t_bf(3, 7)."), "{text}");
+    }
+
+    #[test]
+    fn head_constants_survive_under_free_bound_adornment() {
+        // Same regression with the mirrored adornment (query binds the second
+        // argument): the constant now sits in the free position of `fb`.
+        let out = adorned(
+            "t(X, Y) :- e(X, Y).\n\
+             t(X, Y) :- t(X, W), e(W, Y).\n\
+             t(7, Y) :- source(Y).",
+            "t(X, 4)",
+        );
+        let text = format!("{}", out.program);
+        // The body occurrence t(X, W) reaches the ff adornment as well, so every rule
+        // appears once per reachable adornment (fb and ff) — and the constant-headed
+        // rule must appear in both.
+        assert_eq!(out.program.len(), 6, "{text}");
+        assert!(text.contains("t_fb(7, Y) :- source(Y)."), "{text}");
+        assert!(text.contains("t_ff(7, Y) :- source(Y)."), "{text}");
+    }
+
+    #[test]
     fn pmem_standard_form_program_adorns_fb() {
         // Example 4.6 in standard form: pmem(X, L) with the query binding L.
         let out = adorned(

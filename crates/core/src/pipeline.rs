@@ -674,6 +674,77 @@ mod tests {
     }
 
     #[test]
+    fn head_constants_in_free_positions_survive_the_pipeline() {
+        // Regression for the ROADMAP-flagged adornment report: rules whose head has a
+        // constant in a free position of the reachable adornment must flow through
+        // adorn -> magic -> (factoring) -> §5 optimization without being dropped, and
+        // the final program must compute exactly the answers of direct evaluation —
+        // including answers *derivable only through* the constant-headed rule.
+        let mut edb = Database::new();
+        for (a, b) in [(3i64, 4i64), (4, 5), (5, 7), (7, 3), (7, 8), (8, 4), (9, 7)] {
+            edb.add_fact("e", &[Const::Int(a), Const::Int(b)]);
+        }
+        for m in [3i64, 4, 7, 9] {
+            edb.add_fact("mark", &[Const::Int(m)]);
+        }
+        let cases = [
+            // Single constant-headed exit rule: the program is RLC-stable, so the
+            // pipeline factors it (the sharpest version of the regression).
+            (
+                "t(X, Y) :- e(X, W), t(W, Y).\nt(X, 7) :- mark(X).",
+                "t(3, Y)",
+            ),
+            (
+                "t(X, Y) :- t(X, W), e(W, Y).\nt(X, 7) :- mark(X).",
+                "t(3, Y)",
+            ),
+            (
+                "t(X, Y) :- t(X, W), t(W, Y).\nt(7, Y) :- mark(Y).",
+                "t(7, Y)",
+            ),
+            // Ground program fact as the exit rule.
+            ("t(X, Y) :- e(X, W), t(W, Y).\nt(3, 7).", "t(3, Y)"),
+            // Extra constant-headed rule beside a variable exit rule: classification
+            // sees two exit rules and the pipeline falls back to Magic-only.
+            (
+                "t(X, Y) :- e(X, Y).\nt(X, Y) :- e(X, W), t(W, Y).\nt(X, 7) :- mark(X).",
+                "t(3, Y)",
+            ),
+            // Mirrored adornment: the constant sits in the free position of `fb`.
+            (
+                "t(X, Y) :- e(X, Y).\nt(X, Y) :- t(X, W), e(W, Y).\nt(7, Y) :- mark(Y).",
+                "t(X, 4)",
+            ),
+        ];
+        for (src, query_text) in cases {
+            let program = parse_program(src).unwrap().program;
+            let query = parse_query(query_text).unwrap();
+            let expected = factorlog_datalog::eval::evaluate_default(&program, &edb)
+                .unwrap()
+                .answers(&query);
+            assert!(
+                !expected.is_empty(),
+                "the workload must exercise the constant-headed rule: {src}"
+            );
+            let out = optimize_query(&program, &query, &PipelineOptions::default()).unwrap();
+            assert_eq!(
+                out.answers(&edb).unwrap(),
+                expected,
+                "strategy {:?} loses answers for {query_text} over:\n{src}\nfinal:\n{}",
+                out.strategy,
+                out.program
+            );
+            // And the prepared-plan replay path agrees too.
+            let plan = out.prepare(&EvalOptions::default()).unwrap();
+            assert_eq!(
+                plan.answers(&edb, &EvalOptions::default()).unwrap(),
+                expected,
+                "prepared plan loses answers for {query_text} over:\n{src}"
+            );
+        }
+    }
+
+    #[test]
     fn query_on_edb_predicate_is_rejected_cleanly() {
         let program = parse_program("t(X, Y) :- e(X, Y).").unwrap().program;
         let query = parse_query("zzz(1)").unwrap();

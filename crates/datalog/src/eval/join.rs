@@ -1,4 +1,5 @@
-//! Rule compilation and the nested-loop/index join used to instantiate rule bodies.
+//! Rule compilation and the compiled nested-loop/index join used to instantiate rule
+//! bodies.
 //!
 //! Each rule is compiled once per evaluation into a [`CompiledRule`]: variables are
 //! mapped to dense environment slots, and for every body literal we precompute which
@@ -6,13 +7,29 @@
 //! order (the paper's sideways-information-passing order). Those bound positions decide
 //! which secondary index the evaluator asks the storage layer to maintain.
 //!
+//! Evaluation then runs in two compiled layers on top:
+//!
+//! * **Access paths** ([`AccessPath`], [`RuleAccess`]): before firing rules, the
+//!   evaluator resolves every body literal to a concrete access path against the
+//!   database — a [`FullScan`](AccessPath::FullScan), an
+//!   [`IndexProbe`](AccessPath::IndexProbe) carrying the relation's stable
+//!   [`IndexId`], or a [`Membership`](AccessPath::Membership) check for fully bound
+//!   literals. The inner loop never searches the index list or rebuilds a selection
+//!   pattern.
+//! * **Join scratch** ([`JoinScratch`]): one preallocated buffer set per rule (the
+//!   environment, the head tuple, a key buffer, and an unbind stack) reused across
+//!   every [`CompiledRule::fire_with`] call, so the steady-state join performs no heap
+//!   allocation per row. Probes hash the bound values straight out of the environment —
+//!   no key tuple is ever materialized — and candidate verification is folded into the
+//!   binding loop, which must compare every row against the pattern anyway.
+//!
 //! The built-in predicate `succ/2` (successor on integers) is evaluated arithmetically
 //! when enabled; it exists solely so that the Counting transformation of §6.4, which
 //! introduces derivation-depth indices `I + 1`, can be executed by the same engine.
 
 use crate::ast::{Atom, Const, Rule, Term};
 use crate::fx::FxHashMap;
-use crate::storage::{Database, Relation, RowId};
+use crate::storage::{Database, IndexId, KeyHasher, Relation, RowId};
 use crate::symbol::Symbol;
 
 /// Evaluation options shared by the naive and semi-naive evaluators.
@@ -58,6 +75,79 @@ pub struct CompiledLiteral {
     is_succ: bool,
 }
 
+impl CompiledLiteral {
+    /// Number of argument positions of the literal.
+    pub fn arity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Is this literal compiled against the arithmetic `succ/2` builtin?
+    pub fn is_builtin_succ(&self) -> bool {
+        self.is_succ
+    }
+
+    /// Does this literal want a (nontrivial) secondary index on its bound positions?
+    /// Shared by [`CompiledRule::ensure_indexes`] (database relations) and the
+    /// compiled program's index plan (delta/staging relations) — the two must agree
+    /// or delta joins silently degrade to scans.
+    pub fn wants_index(&self) -> bool {
+        !self.is_succ
+            && !self.bound_positions.is_empty()
+            && self.bound_positions.len() < self.slots.len()
+    }
+}
+
+/// The concrete way one body literal is matched against its relation, resolved once
+/// per evaluation (after [`CompiledRule::ensure_indexes`]) instead of re-derived per
+/// row.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessPath {
+    /// Iterate every row: no position is bound, or no covering index exists.
+    FullScan,
+    /// Every position is bound: one membership check against the dedup table.
+    Membership,
+    /// Probe the relation's hash index on the literal's bound positions.
+    IndexProbe(IndexId),
+}
+
+/// The resolved access paths of one rule's body literals, in literal order.
+#[derive(Clone, Debug)]
+pub struct RuleAccess {
+    paths: Vec<AccessPath>,
+}
+
+/// Join-side counters accumulated in the scratch and drained into
+/// [`super::stats::EvalStats`] by the evaluators.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct JoinCounters {
+    /// Index probes performed (one per literal instantiation served by an index).
+    pub index_probes: usize,
+    /// Full scans performed (one per literal instantiation that walked the relation).
+    pub full_scans: usize,
+    /// Membership checks performed for fully bound literals.
+    pub membership_checks: usize,
+}
+
+/// Reusable per-rule join state: preallocated buffers sized at construction so that
+/// steady-state firing performs no per-row heap allocation. Create one per rule per
+/// evaluation with [`CompiledRule::scratch`] and pass it to every
+/// [`CompiledRule::fire_with`] call.
+#[derive(Clone, Debug)]
+pub struct JoinScratch {
+    /// Variable bindings, indexed by environment slot.
+    env: Vec<Option<Const>>,
+    /// The instantiated head tuple.
+    head_buf: Vec<Const>,
+    /// Key buffer for membership checks of fully bound literals.
+    key_buf: Vec<Const>,
+    /// Stack of environment slots bound during descent; each join frame remembers its
+    /// base and truncates back to it on exit (replacing the per-row `newly_bound`
+    /// vector of the interpreted join).
+    unbind: Vec<usize>,
+    /// Join operation counters, drained by the evaluator.
+    pub counters: JoinCounters,
+}
+
 /// A rule compiled for evaluation.
 #[derive(Clone, Debug)]
 pub struct CompiledRule {
@@ -77,6 +167,16 @@ pub struct CompiledRule {
 /// The name of the successor builtin.
 pub fn succ_symbol() -> Symbol {
     Symbol::intern("succ")
+}
+
+/// Everything a single `fire` needs that is constant over the descent.
+struct FireCtx<'a> {
+    db: &'a Database,
+    delta: Option<(usize, &'a Relation)>,
+    /// Access path for the delta-substituted literal (resolved against the delta
+    /// relation, whose index ids are independent of the database relation's).
+    delta_path: AccessPath,
+    access: &'a RuleAccess,
 }
 
 impl CompiledRule {
@@ -160,12 +260,7 @@ impl CompiledRule {
     /// Ask the database to maintain the indexes this rule's join will probe.
     pub fn ensure_indexes(&self, db: &mut Database, arities: &FxHashMap<Symbol, usize>) {
         for literal in &self.literals {
-            if literal.is_succ {
-                continue;
-            }
-            if literal.bound_positions.is_empty()
-                || literal.bound_positions.len() >= literal.slots.len()
-            {
+            if !literal.wants_index() {
                 continue;
             }
             let arity = arities
@@ -174,6 +269,58 @@ impl CompiledRule {
                 .unwrap_or(literal.slots.len());
             db.ensure_relation(literal.predicate, arity)
                 .ensure_index(&literal.bound_positions);
+        }
+    }
+
+    /// Resolve the access path of the literal at `pos` against a concrete relation
+    /// (used for the database relations at plan-resolution time and for the
+    /// delta-substituted relation at fire time).
+    pub fn access_for(&self, pos: usize, relation: Option<&Relation>) -> AccessPath {
+        let literal = &self.literals[pos];
+        if literal.bound_positions.is_empty() {
+            return AccessPath::FullScan;
+        }
+        if literal.bound_positions.len() == literal.slots.len() {
+            return AccessPath::Membership;
+        }
+        match relation.and_then(|r| {
+            if r.arity() == literal.slots.len() {
+                r.index_on(&literal.bound_positions)
+            } else {
+                None
+            }
+        }) {
+            Some(id) => AccessPath::IndexProbe(id),
+            None => AccessPath::FullScan,
+        }
+    }
+
+    /// Resolve every body literal to a concrete access path against `db`. Call after
+    /// [`CompiledRule::ensure_indexes`]; the result stays valid as long as no *new*
+    /// indexes are created on the involved relations (insertions and `clear` are
+    /// fine — [`IndexId`]s are stable under both).
+    pub fn resolve_access(&self, db: &Database) -> RuleAccess {
+        RuleAccess {
+            paths: (0..self.literals.len())
+                .map(|pos| self.access_for(pos, db.relation(self.literals[pos].predicate)))
+                .collect(),
+        }
+    }
+
+    /// A fresh scratch for this rule: all buffers preallocated to their maximal size.
+    pub fn scratch(&self) -> JoinScratch {
+        let max_arity = self
+            .literals
+            .iter()
+            .map(|l| l.slots.len())
+            .max()
+            .unwrap_or(0);
+        JoinScratch {
+            env: vec![None; self.env_size],
+            head_buf: Vec::with_capacity(self.head_slots.len()),
+            key_buf: Vec::with_capacity(max_arity),
+            unbind: Vec::with_capacity(self.env_size),
+            counters: JoinCounters::default(),
         }
     }
 
@@ -191,9 +338,9 @@ impl CompiledRule {
     }
 
     /// Enumerate all instantiations of the body against `db`, calling `emit` with the
-    /// instantiated head tuple for each. If `delta` is `Some((position, relation))`,
-    /// the literal at `position` is matched against `relation` instead of the database
-    /// relation for its predicate (the semi-naive delta).
+    /// instantiated head tuple for each. Convenience wrapper that resolves access
+    /// paths and allocates a scratch per call; hot paths (the evaluators) resolve once
+    /// and use [`CompiledRule::fire_with`].
     ///
     /// Returns the number of successful body instantiations.
     pub fn fire(
@@ -202,56 +349,125 @@ impl CompiledRule {
         delta: Option<(usize, &Relation)>,
         emit: &mut dyn FnMut(&[Const]),
     ) -> usize {
-        let mut env: Vec<Option<Const>> = vec![None; self.env_size];
-        let mut head_buf: Vec<Const> = Vec::with_capacity(self.head_slots.len());
-        let mut scratch: Vec<Vec<RowId>> = vec![Vec::new(); self.literals.len()];
-        let mut count = 0usize;
-        self.join(
-            db,
-            delta,
-            0,
-            &mut env,
-            &mut scratch,
-            &mut head_buf,
-            emit,
-            &mut count,
-        );
-        count
+        let access = self.resolve_access(db);
+        let mut scratch = self.scratch();
+        self.fire_with(db, delta, &access, &mut scratch, emit)
     }
 
-    #[allow(clippy::too_many_arguments)]
-    fn join(
+    /// Enumerate all instantiations of the body against `db` using pre-resolved
+    /// access paths and a reusable scratch — the allocation-free steady-state path.
+    /// If `delta` is `Some((position, relation))`, the literal at `position` is
+    /// matched against `relation` instead of the database relation for its predicate
+    /// (the semi-naive delta); its access path is resolved against the delta relation
+    /// here, so indexed deltas are probed.
+    ///
+    /// Returns the number of successful body instantiations.
+    pub fn fire_with(
         &self,
         db: &Database,
         delta: Option<(usize, &Relation)>,
+        access: &RuleAccess,
+        scratch: &mut JoinScratch,
+        emit: &mut dyn FnMut(&[Const]),
+    ) -> usize {
+        debug_assert_eq!(access.paths.len(), self.literals.len());
+        debug_assert!(
+            scratch.env.iter().all(Option::is_none),
+            "scratch environment must be clean between fires"
+        );
+        let delta_path = match delta {
+            Some((pos, relation)) => self.access_for(pos, Some(relation)),
+            None => AccessPath::FullScan,
+        };
+        let ctx = FireCtx {
+            db,
+            delta,
+            delta_path,
+            access,
+        };
+        let mut count = 0usize;
+        self.join(&ctx, 0, scratch, emit, &mut count);
+        count
+    }
+
+    /// Bind the row against the literal's slots, recurse if consistent, and restore
+    /// the environment. Collision candidates from hash buckets are rejected here (a
+    /// row that does not match the bound slots fails the comparison), so probes need
+    /// no separate verification pass.
+    #[inline]
+    fn bind_and_descend(
+        &self,
+        ctx: &FireCtx<'_>,
         depth: usize,
-        env: &mut Vec<Option<Const>>,
-        scratch: &mut Vec<Vec<RowId>>,
-        head_buf: &mut Vec<Const>,
+        row: &[Const],
+        scratch: &mut JoinScratch,
+        emit: &mut dyn FnMut(&[Const]),
+        count: &mut usize,
+    ) {
+        let literal = &self.literals[depth];
+        let base = scratch.unbind.len();
+        let mut consistent = true;
+        for (i, slot) in literal.slots.iter().enumerate() {
+            match slot {
+                Slot::Const(c) => {
+                    if row[i] != *c {
+                        consistent = false;
+                        break;
+                    }
+                }
+                Slot::Var(idx) => match scratch.env[*idx] {
+                    Some(value) => {
+                        if row[i] != value {
+                            consistent = false;
+                            break;
+                        }
+                    }
+                    None => {
+                        scratch.env[*idx] = Some(row[i]);
+                        scratch.unbind.push(*idx);
+                    }
+                },
+            }
+        }
+        if consistent {
+            self.join(ctx, depth + 1, scratch, emit, count);
+        }
+        for k in base..scratch.unbind.len() {
+            let idx = scratch.unbind[k];
+            scratch.env[idx] = None;
+        }
+        scratch.unbind.truncate(base);
+    }
+
+    fn join(
+        &self,
+        ctx: &FireCtx<'_>,
+        depth: usize,
+        scratch: &mut JoinScratch,
         emit: &mut dyn FnMut(&[Const]),
         count: &mut usize,
     ) {
         if depth == self.literals.len() {
             *count += 1;
-            self.head_tuple(env, head_buf);
-            emit(head_buf);
+            self.head_tuple(&scratch.env, &mut scratch.head_buf);
+            emit(&scratch.head_buf);
             return;
         }
         let literal = &self.literals[depth];
 
         // Builtin successor: succ(X, Y) with X bound to an integer binds/checks Y=X+1;
         // with only Y bound it binds/checks X=Y-1.
-        if literal.is_succ && db.relation(literal.predicate).is_none() {
-            self.join_succ(db, delta, depth, env, scratch, head_buf, emit, count);
+        if literal.is_succ && ctx.db.relation(literal.predicate).is_none() {
+            self.join_succ(ctx, depth, scratch, emit, count);
             return;
         }
 
-        let use_delta = matches!(delta, Some((pos, _)) if pos == depth);
-        let relation: &Relation = if use_delta {
-            delta.expect("delta checked above").1
+        let use_delta = matches!(ctx.delta, Some((pos, _)) if pos == depth);
+        let (relation, path): (&Relation, AccessPath) = if use_delta {
+            (ctx.delta.expect("delta checked above").1, ctx.delta_path)
         } else {
-            match db.relation(literal.predicate) {
-                Some(rel) => rel,
+            match ctx.db.relation(literal.predicate) {
+                Some(rel) => (rel, ctx.access.paths[depth]),
                 None => return, // empty relation: no matches
             }
         };
@@ -259,66 +475,56 @@ impl CompiledRule {
             return;
         }
 
-        // Build the selection pattern from currently bound slots.
-        let mut pattern: Vec<Option<Const>> = Vec::with_capacity(literal.slots.len());
-        for slot in &literal.slots {
-            match slot {
-                Slot::Const(c) => pattern.push(Some(*c)),
-                Slot::Var(idx) => pattern.push(env[*idx]),
-            }
-        }
-
-        // Take this literal's scratch buffer out to appease the borrow checker; it is
-        // restored before returning.
-        let mut rows = std::mem::take(&mut scratch[depth]);
-        relation.select(&pattern, &mut rows);
-        for &row_id in &rows {
-            let row = relation.row(row_id);
-            // Bind unbound variables; remember which so we can undo.
-            let mut newly_bound: Vec<usize> = Vec::new();
-            let mut consistent = true;
-            for (i, slot) in literal.slots.iter().enumerate() {
-                match slot {
-                    Slot::Const(c) => {
-                        if row[i] != *c {
-                            consistent = false;
-                            break;
-                        }
+        match path {
+            AccessPath::Membership => {
+                scratch.counters.membership_checks += 1;
+                // All slots are bound: materialize the expected tuple into the key
+                // buffer and test membership.
+                scratch.key_buf.clear();
+                for slot in &literal.slots {
+                    match slot {
+                        Slot::Const(c) => scratch.key_buf.push(*c),
+                        Slot::Var(idx) => scratch
+                            .key_buf
+                            .push(scratch.env[*idx].expect("bound position has a value")),
                     }
-                    Slot::Var(idx) => match env[*idx] {
-                        Some(value) => {
-                            if row[i] != value {
-                                consistent = false;
-                                break;
-                            }
-                        }
-                        None => {
-                            env[*idx] = Some(row[i]);
-                            newly_bound.push(*idx);
-                        }
-                    },
+                }
+                if relation.contains(&scratch.key_buf) {
+                    self.join(ctx, depth + 1, scratch, emit, count);
                 }
             }
-            if consistent {
-                self.join(db, delta, depth + 1, env, scratch, head_buf, emit, count);
+            AccessPath::IndexProbe(index) => {
+                scratch.counters.index_probes += 1;
+                // Hash the bound values straight out of the slots/environment — no key
+                // tuple is materialized. `bound_positions` is sorted, matching the
+                // index's normalized column order.
+                let mut hasher = KeyHasher::new();
+                for &i in &literal.bound_positions {
+                    let value = match &literal.slots[i] {
+                        Slot::Const(c) => *c,
+                        Slot::Var(idx) => scratch.env[*idx].expect("bound position has a value"),
+                    };
+                    hasher.push(&value);
+                }
+                let candidates = relation.probe_candidates(index, hasher.finish());
+                for &row_id in candidates {
+                    self.bind_and_descend(ctx, depth, relation.row(row_id), scratch, emit, count);
+                }
             }
-            for idx in newly_bound {
-                env[idx] = None;
+            AccessPath::FullScan => {
+                scratch.counters.full_scans += 1;
+                for row_id in 0..relation.len() as RowId {
+                    self.bind_and_descend(ctx, depth, relation.row(row_id), scratch, emit, count);
+                }
             }
         }
-        rows.clear();
-        scratch[depth] = rows;
     }
 
-    #[allow(clippy::too_many_arguments)]
     fn join_succ(
         &self,
-        db: &Database,
-        delta: Option<(usize, &Relation)>,
+        ctx: &FireCtx<'_>,
         depth: usize,
-        env: &mut Vec<Option<Const>>,
-        scratch: &mut Vec<Vec<RowId>>,
-        head_buf: &mut Vec<Const>,
+        scratch: &mut JoinScratch,
         emit: &mut dyn FnMut(&[Const]),
         count: &mut usize,
     ) {
@@ -330,46 +536,17 @@ impl CompiledRule {
             Slot::Const(c) => Some(*c),
             Slot::Var(idx) => env[*idx],
         };
-        let first = value_of(&literal.slots[0], env);
-        let second = value_of(&literal.slots[1], env);
+        let first = value_of(&literal.slots[0], &scratch.env);
+        let second = value_of(&literal.slots[1], &scratch.env);
         let pair: Option<(Const, Const)> = match (first, second) {
             (Some(Const::Int(x)), _) => Some((Const::Int(x), Const::Int(x + 1))),
             (None, Some(Const::Int(y))) => Some((Const::Int(y - 1), Const::Int(y))),
             _ => None, // unbound or non-integer: no matches
         };
         let Some((x, y)) = pair else { return };
-        // Check/bind both positions against (x, y).
-        let expected = [x, y];
-        let mut newly_bound: Vec<usize> = Vec::new();
-        let mut consistent = true;
-        for (i, slot) in literal.slots.iter().enumerate() {
-            match slot {
-                Slot::Const(c) => {
-                    if *c != expected[i] {
-                        consistent = false;
-                        break;
-                    }
-                }
-                Slot::Var(idx) => match env[*idx] {
-                    Some(value) => {
-                        if value != expected[i] {
-                            consistent = false;
-                            break;
-                        }
-                    }
-                    None => {
-                        env[*idx] = Some(expected[i]);
-                        newly_bound.push(*idx);
-                    }
-                },
-            }
-        }
-        if consistent {
-            self.join(db, delta, depth + 1, env, scratch, head_buf, emit, count);
-        }
-        for idx in newly_bound {
-            env[idx] = None;
-        }
+        // Check/bind both positions against (x, y) as if it were the only matching
+        // row of a virtual relation — the one place the binding protocol lives.
+        self.bind_and_descend(ctx, depth, &[x, y], scratch, emit, count);
     }
 }
 
@@ -448,6 +625,99 @@ mod tests {
         let mut results = Vec::new();
         compiled.fire(&db, Some((1, &delta)), &mut |t| results.push(t.to_vec()));
         assert_eq!(results, vec![vec![c(1), c(3)]]);
+    }
+
+    #[test]
+    fn indexed_delta_is_probed() {
+        let compiled = compile("t(X, Y) :- e(X, W), t(W, Y).");
+        let mut db = Database::new();
+        for i in 0..10i64 {
+            db.add_fact("e", &[c(i), c(i + 1)]);
+        }
+        let mut delta = Relation::new(2);
+        delta.ensure_index(&[0]);
+        delta.insert(&[c(5), c(99)]);
+        let access = compiled.resolve_access(&db);
+        let mut scratch = compiled.scratch();
+        let mut results = Vec::new();
+        compiled.fire_with(&db, Some((1, &delta)), &access, &mut scratch, &mut |t| {
+            results.push(t.to_vec())
+        });
+        assert_eq!(results, vec![vec![c(4), c(99)]]);
+        // One scan of e (depth 0) and one probe of the delta per e-row.
+        assert_eq!(scratch.counters.full_scans, 1);
+        assert_eq!(scratch.counters.index_probes, 10);
+    }
+
+    #[test]
+    fn unindexed_delta_falls_back_to_scan() {
+        let compiled = compile("t(X, Y) :- e(X, W), t(W, Y).");
+        let mut db = Database::new();
+        db.add_fact("e", &[c(1), c(2)]);
+        let mut delta = Relation::new(2);
+        delta.insert(&[c(2), c(3)]);
+        let access = compiled.resolve_access(&db);
+        let mut scratch = compiled.scratch();
+        let mut results = Vec::new();
+        compiled.fire_with(&db, Some((1, &delta)), &access, &mut scratch, &mut |t| {
+            results.push(t.to_vec())
+        });
+        assert_eq!(results, vec![vec![c(1), c(3)]]);
+        assert_eq!(scratch.counters.index_probes, 0);
+        assert_eq!(scratch.counters.full_scans, 2, "e scan + delta scan");
+    }
+
+    #[test]
+    fn scratch_is_reusable_across_fires() {
+        let compiled = compile("t(X, Y) :- e(X, W), f(W, Y).");
+        let mut db = Database::new();
+        db.add_fact("e", &[c(1), c(2)]);
+        db.add_fact("f", &[c(2), c(10)]);
+        let access = compiled.resolve_access(&db);
+        let mut scratch = compiled.scratch();
+        for _ in 0..3 {
+            let mut results = Vec::new();
+            let fired = compiled.fire_with(&db, None, &access, &mut scratch, &mut |t| {
+                results.push(t.to_vec())
+            });
+            assert_eq!(fired, 1);
+            assert_eq!(results, vec![vec![c(1), c(10)]]);
+        }
+    }
+
+    #[test]
+    fn access_paths_resolve_per_literal() {
+        let compiled = compile("p(X) :- e(X, W), f(W, X), g(X, W).");
+        let mut db = Database::new();
+        db.add_fact("e", &[c(1), c(2)]);
+        db.add_fact("f", &[c(2), c(1)]);
+        db.add_fact("g", &[c(1), c(2)]);
+        let mut arities = FxHashMap::default();
+        for p in ["e", "f", "g"] {
+            arities.insert(Symbol::intern(p), 2);
+        }
+        compiled.ensure_indexes(&mut db, &arities);
+        let access = compiled.resolve_access(&db);
+        // e(X, W): nothing bound -> scan; f(W, X): both bound -> membership;
+        // g(X, W): both bound -> membership.
+        assert_eq!(access.paths[0], AccessPath::FullScan);
+        assert_eq!(access.paths[1], AccessPath::Membership);
+        assert_eq!(access.paths[2], AccessPath::Membership);
+
+        let two = compile("p(Y) :- a(X), b(X, Y).");
+        let mut db = Database::new();
+        db.add_fact("a", &[c(1)]);
+        db.add_fact("b", &[c(1), c(2)]);
+        let mut arities = FxHashMap::default();
+        arities.insert(Symbol::intern("a"), 1);
+        arities.insert(Symbol::intern("b"), 2);
+        two.ensure_indexes(&mut db, &arities);
+        let access = two.resolve_access(&db);
+        assert_eq!(access.paths[0], AccessPath::FullScan);
+        assert!(matches!(access.paths[1], AccessPath::IndexProbe(_)));
+        let mut results = Vec::new();
+        two.fire(&db, None, &mut |t| results.push(t.to_vec()));
+        assert_eq!(results, vec![vec![c(2)]]);
     }
 
     #[test]

@@ -42,6 +42,12 @@ pub fn naive_evaluate(
     }
 
     let mut stats = EvalStats::new(program.rules.len());
+    // Resolve access paths once and reuse one scratch per rule across every pass.
+    stats.scratch_allocs += compiled.len();
+    let mut runtimes: Vec<_> = compiled
+        .iter()
+        .map(|rule| (rule.resolve_access(&db), rule.scratch()))
+        .collect();
     loop {
         if stats.iterations >= options.max_iterations {
             return Err(EvalError::IterationLimit {
@@ -50,24 +56,18 @@ pub fn naive_evaluate(
         }
         stats.iterations += 1;
         let mut staging: FxHashMap<Symbol, Relation> = FxHashMap::default();
-        for rule in &compiled {
+        for (rule, (access, scratch)) in compiled.iter().zip(runtimes.iter_mut()) {
             let head_arity = arities.get(&rule.head_predicate).copied().unwrap_or(0);
             let staged = staging
                 .entry(rule.head_predicate)
                 .or_insert_with(|| Relation::new(head_arity));
-            let db_ref = &db;
-            let mut inferences: Vec<(Vec<crate::ast::Const>, bool)> = Vec::new();
-            rule.fire(db_ref, None, &mut |tuple| {
-                let known = db_ref
-                    .relation(rule.head_predicate)
-                    .map(|r| r.contains(tuple))
-                    .unwrap_or(false);
+            let head = db.relation(rule.head_predicate);
+            rule.fire_with(&db, None, access, scratch, &mut |tuple| {
+                let known = head.map(|r| r.contains(tuple)).unwrap_or(false);
                 let is_new = !known && staged.insert(tuple);
-                inferences.push((tuple.to_vec(), is_new));
+                stats.record_inference(rule.rule_index, rule.head_predicate, is_new);
             });
-            for (_, is_new) in &inferences {
-                stats.record_inference(rule.rule_index, rule.head_predicate, *is_new);
-            }
+            stats.absorb_join_counters(std::mem::take(&mut scratch.counters));
         }
         let mut any_new = false;
         for (pred, staged) in staging {

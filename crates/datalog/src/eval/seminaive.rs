@@ -25,21 +25,26 @@ use crate::fx::FxHashMap;
 use crate::storage::{Database, Relation};
 use crate::symbol::Symbol;
 
-use super::join::{CompiledRule, EvalOptions};
+use super::join::{CompiledRule, EvalOptions, JoinScratch, RuleAccess};
 use super::stats::EvalStats;
 use super::{arity_map, EvalError, EvalResult};
 
 /// A program validated and compiled for semi-naive evaluation: the reusable plan.
 ///
 /// Compilation (validation, IDB classification, variable-slot assignment, bound-position
-/// analysis) happens once; the plan can then be replayed over any number of databases
-/// with [`seminaive_evaluate_compiled`] or resumed incrementally with
-/// [`seminaive_resume`]. This is what the prepared-query cache stores.
+/// analysis, per-predicate index planning) happens once; the plan can then be replayed
+/// over any number of databases with [`seminaive_evaluate_compiled`] or resumed
+/// incrementally with [`seminaive_resume`]. This is what the prepared-query cache
+/// stores.
 #[derive(Clone, Debug)]
 pub struct CompiledProgram {
     program: Program,
     idb: BTreeSet<Symbol>,
     rules: Vec<CompiledRule>,
+    /// For each predicate, the column subsets some rule probes it on — the indexes to
+    /// maintain on the database relation *and* on the semi-naive delta relations, so
+    /// recursive-literal delta joins probe instead of scanning.
+    index_plan: FxHashMap<Symbol, Vec<Vec<usize>>>,
 }
 
 impl CompiledProgram {
@@ -48,16 +53,30 @@ impl CompiledProgram {
     pub fn compile(program: &Program, options: &EvalOptions) -> Result<CompiledProgram, EvalError> {
         crate::validate::check_program(program).map_err(EvalError::Invalid)?;
         let idb = program.idb_predicates();
-        let rules = program
+        let rules: Vec<CompiledRule> = program
             .rules
             .iter()
             .enumerate()
             .map(|(i, r)| CompiledRule::compile(i, r, &|p| idb.contains(&p), options))
             .collect();
+        let mut index_plan: FxHashMap<Symbol, Vec<Vec<usize>>> = FxHashMap::default();
+        for rule in &rules {
+            for literal in &rule.literals {
+                if !literal.wants_index() {
+                    continue;
+                }
+                let bound = &literal.bound_positions;
+                let sets = index_plan.entry(literal.predicate).or_default();
+                if !sets.iter().any(|s| s == bound) {
+                    sets.push(bound.clone());
+                }
+            }
+        }
         Ok(CompiledProgram {
             program: program.clone(),
             idb,
             rules,
+            index_plan,
         })
     }
 
@@ -85,14 +104,43 @@ impl CompiledProgram {
         arities
     }
 
-    /// Fresh empty staging relations, one per IDB predicate.
+    /// Fresh empty staging relations, one per IDB predicate, pre-indexed according to
+    /// the compiled index plan: the staging relation of one round is the delta of the
+    /// next, so building its indexes up front (O(1) on an empty relation, maintained
+    /// per insert) lets recursive-literal delta joins probe instead of scanning.
     fn empty_staging(&self, arities: &FxHashMap<Symbol, usize>) -> FxHashMap<Symbol, Relation> {
         let mut staging: FxHashMap<Symbol, Relation> = FxHashMap::default();
         for &p in &self.idb {
-            staging.insert(p, Relation::new(arities.get(&p).copied().unwrap_or(0)));
+            let mut relation = Relation::new(arities.get(&p).copied().unwrap_or(0));
+            if let Some(sets) = self.index_plan.get(&p) {
+                for columns in sets {
+                    relation.ensure_index(columns);
+                }
+            }
+            staging.insert(p, relation);
         }
         staging
     }
+
+    /// Per-evaluation join runtimes: resolved access paths plus a reusable scratch per
+    /// rule. Build after [`CompiledProgram::prepare`] (index resolution needs the
+    /// indexes to exist) and reuse across every round of the fixpoint.
+    fn runtimes(&self, db: &Database, stats: &mut EvalStats) -> Vec<RuleRuntime> {
+        stats.scratch_allocs += self.rules.len();
+        self.rules
+            .iter()
+            .map(|rule| RuleRuntime {
+                access: rule.resolve_access(db),
+                scratch: rule.scratch(),
+            })
+            .collect()
+    }
+}
+
+/// The per-evaluation mutable join state of one rule.
+struct RuleRuntime {
+    access: RuleAccess,
+    scratch: JoinScratch,
 }
 
 /// Evaluate `program` over `edb` with semi-naive iteration.
@@ -126,6 +174,7 @@ pub fn seminaive_evaluate_owned(
 ) -> Result<EvalResult, EvalError> {
     let arities = compiled.prepare(&mut db);
     let mut stats = EvalStats::new(compiled.rules.len());
+    let mut runtimes = compiled.runtimes(&db, &mut stats);
 
     // Round 0: fire every rule against the EDB alone (IDB relations are empty). Exit
     // rules and program facts produce the initial deltas; recursive rules find no IDB
@@ -134,9 +183,10 @@ pub fn seminaive_evaluate_owned(
     // consequences too.)
     let mut delta = compiled.empty_staging(&arities);
     stats.iterations += 1;
-    for rule in &compiled.rules {
+    for (rule, runtime) in compiled.rules.iter().zip(&mut runtimes) {
         fire_into(
             rule,
+            runtime,
             &db,
             None,
             delta
@@ -146,7 +196,15 @@ pub fn seminaive_evaluate_owned(
         );
     }
     merge_deltas(&mut db, &delta);
-    run_fixpoint(compiled, &mut db, delta, &arities, options, &mut stats)?;
+    run_fixpoint(
+        compiled,
+        &mut db,
+        delta,
+        &arities,
+        &mut runtimes,
+        options,
+        &mut stats,
+    )?;
 
     Ok(EvalResult {
         database: db,
@@ -173,10 +231,11 @@ pub fn seminaive_resume(
 ) -> Result<EvalStats, EvalError> {
     let arities = compiled.prepare(model);
     let mut stats = EvalStats::new(compiled.rules.len());
+    let mut runtimes = compiled.runtimes(model, &mut stats);
 
     let mut staging = compiled.empty_staging(&arities);
     stats.iterations += 1;
-    for rule in &compiled.rules {
+    for (rule, runtime) in compiled.rules.iter().zip(&mut runtimes) {
         for (pos, literal) in rule.literals.iter().enumerate() {
             let Some(seed_rel) = seeds.get(&literal.predicate) else {
                 continue;
@@ -187,11 +246,26 @@ pub fn seminaive_resume(
             let staged = staging
                 .get_mut(&rule.head_predicate)
                 .expect("idb staging exists");
-            fire_into(rule, model, Some((pos, seed_rel)), staged, &mut stats);
+            fire_into(
+                rule,
+                runtime,
+                model,
+                Some((pos, seed_rel)),
+                staged,
+                &mut stats,
+            );
         }
     }
     merge_deltas(model, &staging);
-    run_fixpoint(compiled, model, staging, &arities, options, &mut stats)?;
+    run_fixpoint(
+        compiled,
+        model,
+        staging,
+        &arities,
+        &mut runtimes,
+        options,
+        &mut stats,
+    )?;
     Ok(stats)
 }
 
@@ -203,6 +277,7 @@ fn run_fixpoint(
     db: &mut Database,
     mut delta: FxHashMap<Symbol, Relation>,
     arities: &FxHashMap<Symbol, usize>,
+    runtimes: &mut [RuleRuntime],
     options: &EvalOptions,
     stats: &mut EvalStats,
 ) -> Result<(), EvalError> {
@@ -218,7 +293,7 @@ fn run_fixpoint(
         stats.iterations += 1;
 
         let mut staging = compiled.empty_staging(arities);
-        for rule in &compiled.rules {
+        for (rule, runtime) in compiled.rules.iter().zip(runtimes.iter_mut()) {
             for &pos in &rule.idb_literal_positions {
                 let body_pred = rule.literals[pos].predicate;
                 let delta_rel = delta.get(&body_pred).expect("idb delta exists");
@@ -228,7 +303,7 @@ fn run_fixpoint(
                 let staged = staging
                     .get_mut(&rule.head_predicate)
                     .expect("idb staging exists");
-                fire_into(rule, db, Some((pos, delta_rel)), staged, stats);
+                fire_into(rule, runtime, db, Some((pos, delta_rel)), staged, stats);
             }
         }
         // The new delta is the staged facts not already in the full database; `staged`
@@ -239,28 +314,30 @@ fn run_fixpoint(
     Ok(())
 }
 
-/// Fire one rule (optionally with a delta-substituted literal), staging new facts into
-/// `staged` and recording statistics. Facts already present in `db` or in `staged`
-/// count as duplicates.
+/// Fire one rule (optionally with a delta-substituted literal) through its reusable
+/// runtime, staging new facts into `staged` and recording statistics. Facts already
+/// present in `db` or in `staged` count as duplicates.
 fn fire_into(
     rule: &CompiledRule,
+    runtime: &mut RuleRuntime,
     db: &Database,
     delta: Option<(usize, &Relation)>,
     staged: &mut Relation,
     stats: &mut EvalStats,
 ) {
-    let mut outcomes: Vec<bool> = Vec::new();
-    rule.fire(db, delta, &mut |tuple| {
-        let known = db
-            .relation(rule.head_predicate)
-            .map(|r| r.contains(tuple))
-            .unwrap_or(false);
-        let is_new = !known && staged.insert(tuple);
-        outcomes.push(is_new);
-    });
-    for is_new in outcomes {
-        stats.record_inference(rule.rule_index, rule.head_predicate, is_new);
-    }
+    let head = db.relation(rule.head_predicate);
+    rule.fire_with(
+        db,
+        delta,
+        &runtime.access,
+        &mut runtime.scratch,
+        &mut |tuple| {
+            let known = head.map(|r| r.contains(tuple)).unwrap_or(false);
+            let is_new = !known && staged.insert(tuple);
+            stats.record_inference(rule.rule_index, rule.head_predicate, is_new);
+        },
+    );
+    stats.absorb_join_counters(std::mem::take(&mut runtime.scratch.counters));
 }
 
 fn merge_deltas(db: &mut Database, deltas: &FxHashMap<Symbol, Relation>) {
@@ -548,6 +625,43 @@ mod tests {
         seeds.insert(Symbol::intern("counter"), seed);
         let err = seminaive_resume(&compiled, &mut model, &seeds, &options).unwrap_err();
         assert!(matches!(err, EvalError::IterationLimit { limit: 20 }));
+    }
+
+    #[test]
+    fn delta_joins_probe_indexes_instead_of_scanning() {
+        // In `t(X, Y) :- e(X, W), t(W, Y).` the fixpoint substitutes the delta at the
+        // recursive literal; the staging relations carry the compiled index plan, so
+        // each e-row probes the delta on its bound column instead of scanning it.
+        let program = tc_program();
+        let n = 50i64;
+        let result = seminaive_evaluate(&program, &chain_edb(n), &EvalOptions::default()).unwrap();
+        let stats = &result.stats;
+        // Every delta round scans e once (depth 0) and probes the delta once per
+        // e-row: index probes must dominate scans by roughly the e-row count.
+        assert!(
+            stats.index_probes > stats.full_scans * (n as usize / 2),
+            "delta joins must probe: {} probes vs {} scans",
+            stats.index_probes,
+            stats.full_scans
+        );
+        // Scratch buffers are allocated once per rule and reused across all rounds.
+        assert_eq!(stats.scratch_allocs, program.rules.len());
+        assert!(stats.iterations > 10, "the chain needs many delta rounds");
+    }
+
+    #[test]
+    fn resume_delta_rounds_probe_indexes() {
+        let program = tc_program();
+        let (_, stats) = resume_after_inserts(&program, 40, &[(40, 41)]);
+        assert!(
+            stats.index_probes > 0,
+            "incremental delta rounds must use index probes"
+        );
+        assert_eq!(
+            stats.scratch_allocs,
+            program.rules.len(),
+            "one reusable scratch per rule per resume"
+        );
     }
 
     #[test]

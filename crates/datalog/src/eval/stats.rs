@@ -31,6 +31,21 @@ pub struct EvalStats {
     pub plan_cache_hits: usize,
     /// Prepared-plan cache misses (queries that ran the full optimization pipeline).
     pub plan_cache_misses: usize,
+    /// Prepared plans evicted from the engine's bounded cache.
+    pub plan_cache_evictions: usize,
+    /// Hash-index probes performed by the join pipeline (each replaces a scan of the
+    /// probed relation).
+    pub index_probes: usize,
+    /// Full relation scans performed by the join pipeline (literals with no usable
+    /// index, or with no bound position).
+    pub full_scans: usize,
+    /// Fully-bound literal instantiations answered by a membership check against the
+    /// relation's dedup table.
+    pub membership_checks: usize,
+    /// Join scratch-buffer constructions. The evaluators allocate one scratch per rule
+    /// per evaluation and reuse it across every `fire` call, so this stays equal to
+    /// the rule count no matter how many rows flow through the join.
+    pub scratch_allocs: usize,
 }
 
 impl EvalStats {
@@ -65,6 +80,15 @@ impl EvalStats {
             .unwrap_or(0)
     }
 
+    /// Drain one rule's join counters into these statistics (shared by the naive and
+    /// semi-naive evaluators so a future counter cannot be absorbed in one but
+    /// silently dropped in the other).
+    pub fn absorb_join_counters(&mut self, counters: crate::eval::join::JoinCounters) {
+        self.index_probes += counters.index_probes;
+        self.full_scans += counters.full_scans;
+        self.membership_checks += counters.membership_checks;
+    }
+
     /// Record a prepared-plan cache lookup.
     pub fn record_plan_lookup(&mut self, hit: bool) {
         if hit {
@@ -84,6 +108,11 @@ impl EvalStats {
         self.facts_derived += other.facts_derived;
         self.plan_cache_hits += other.plan_cache_hits;
         self.plan_cache_misses += other.plan_cache_misses;
+        self.plan_cache_evictions += other.plan_cache_evictions;
+        self.index_probes += other.index_probes;
+        self.full_scans += other.full_scans;
+        self.membership_checks += other.membership_checks;
+        self.scratch_allocs += other.scratch_allocs;
         for (&p, &n) in &other.facts_per_predicate {
             *self.facts_per_predicate.entry(p).or_insert(0) += n;
         }
@@ -107,8 +136,15 @@ impl fmt::Display for EvalStats {
         if self.plan_cache_hits + self.plan_cache_misses > 0 {
             writeln!(
                 f,
-                "plan cache: {} hits, {} misses",
-                self.plan_cache_hits, self.plan_cache_misses
+                "plan cache: {} hits, {} misses, {} evicted",
+                self.plan_cache_hits, self.plan_cache_misses, self.plan_cache_evictions
+            )?;
+        }
+        if self.index_probes + self.full_scans + self.membership_checks > 0 {
+            writeln!(
+                f,
+                "joins: {} index probes, {} full scans, {} membership checks, {} scratch allocations",
+                self.index_probes, self.full_scans, self.membership_checks, self.scratch_allocs
             )?;
         }
         let mut preds: Vec<_> = self.facts_per_predicate.iter().collect();

@@ -3,15 +3,32 @@
 //!
 //! Tuples are stored row-major in a single flat `Vec<Const>`; a hash-bucket table keyed
 //! by tuple hash provides O(1) duplicate detection (verified against the flat store, so
-//! hash collisions are handled correctly). Secondary indexes map the values of a column
-//! subset to the row ids having those values; they are built on first use and maintained
-//! incrementally on insertion, so semi-naive iterations reuse them.
+//! hash collisions are handled correctly). Secondary indexes use the same trick: they
+//! map the *hash* of a column-subset key to the row ids whose key columns produce that
+//! hash, so neither insertion nor probing ever materializes a boxed key tuple. Callers
+//! that need exact row sets verify candidates against the flat store ([`Relation::probe`]
+//! does this; the join pipeline folds the verification into its binding loop, which
+//! compares every row against the pattern anyway). Indexes are built on first use and
+//! maintained incrementally on insertion, so semi-naive iterations reuse them.
+//!
+//! [`Relation::ensure_index`] returns a stable [`IndexId`] handle; resolving a column
+//! subset to its handle once (at plan-resolution time) lets the evaluator probe with
+//! [`Relation::probe_candidates`] without ever searching the index list again.
 
 use crate::ast::Const;
-use crate::fx::{fx_hash_one, FxHashMap};
+use crate::fx::{fx_hash_one, FxHashMap, FxHasher};
+use std::hash::Hasher as _;
 
 /// A row identifier within one [`Relation`].
 pub type RowId = u32;
+
+/// A stable handle for a secondary index of one [`Relation`].
+///
+/// Handles are positions in the relation's index list; they stay valid across
+/// insertions and [`Relation::clear`] (which keeps index definitions). They are only
+/// meaningful for the relation that returned them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IndexId(u32);
 
 /// A set of tuples of fixed arity.
 #[derive(Clone, Debug, Default)]
@@ -27,7 +44,57 @@ pub struct Relation {
 #[derive(Clone, Debug)]
 struct ColumnIndex {
     columns: Vec<usize>,
-    map: FxHashMap<Box<[Const]>, Vec<RowId>>,
+    /// key-hash → candidate row ids (collisions possible; callers verify).
+    map: FxHashMap<u64, Vec<RowId>>,
+}
+
+/// THE index-key hashing scheme: element-wise over the key constants, in index column
+/// order, no length prefix. Every producer and consumer of index key hashes (index
+/// maintenance, probes, the join pipeline's inline probe hashing) must go through
+/// this builder — a divergent copy would silently desynchronize probing from
+/// maintenance and drop answers without a panic.
+#[derive(Default)]
+pub struct KeyHasher(FxHasher);
+
+impl KeyHasher {
+    /// Start hashing a key.
+    pub fn new() -> KeyHasher {
+        KeyHasher::default()
+    }
+
+    /// Feed the next key value (values must arrive in index column order).
+    #[inline]
+    pub fn push(&mut self, value: &Const) {
+        std::hash::Hash::hash(value, &mut self.0);
+    }
+
+    /// The hash of the values fed so far.
+    #[inline]
+    pub fn finish(&self) -> u64 {
+        self.0.finish()
+    }
+}
+
+/// Hash a sequence of key values with the canonical scheme (see [`KeyHasher`]).
+#[inline]
+pub fn hash_values<'a>(values: impl IntoIterator<Item = &'a Const>) -> u64 {
+    let mut hasher = KeyHasher::new();
+    for value in values {
+        hasher.push(value);
+    }
+    hasher.finish()
+}
+
+/// Hash the values of `row` at `columns` (in the given column order).
+#[inline]
+fn hash_columns(row: &[Const], columns: &[usize]) -> u64 {
+    hash_values(columns.iter().map(|&c| &row[c]))
+}
+
+/// Hash an already-projected key (values in index column order).
+#[inline]
+pub fn hash_key(key: &[Const]) -> u64 {
+    hash_values(key)
 }
 
 impl Relation {
@@ -136,8 +203,8 @@ impl Relation {
         self.flat.extend_from_slice(tuple);
         self.dedup.entry(hash).or_default().push(id);
         for index in &mut self.indexes {
-            let key: Box<[Const]> = index.columns.iter().map(|&c| tuple[c]).collect();
-            index.map.entry(key).or_default().push(id);
+            let key_hash = hash_columns(tuple, &index.columns);
+            index.map.entry(key_hash).or_default().push(id);
         }
         true
     }
@@ -164,44 +231,78 @@ impl Relation {
         }
     }
 
-    /// Ensure a secondary index exists on the given column subset. Columns must be
-    /// valid positions; the set is deduplicated and sorted internally. Building the
-    /// index is O(rows); subsequent inserts maintain it.
-    pub fn ensure_index(&mut self, columns: &[usize]) {
+    /// Ensure a secondary index exists on the given column subset and return its
+    /// stable handle. Columns must be valid positions; the set is deduplicated and
+    /// sorted internally. Building the index is O(rows); subsequent inserts maintain
+    /// it. Returns `None` for empty or full-tuple column sets (full scans and the
+    /// dedup table already cover those).
+    pub fn ensure_index(&mut self, columns: &[usize]) -> Option<IndexId> {
         let mut cols: Vec<usize> = columns.to_vec();
         cols.sort_unstable();
         cols.dedup();
         if cols.is_empty() || cols.len() >= self.arity {
-            // Full-tuple or empty "indexes" are not useful: full scans and the dedup
-            // table already cover these cases.
-            return;
+            return None;
         }
         assert!(
             cols.iter().all(|&c| c < self.arity),
             "index column out of range for arity {}",
             self.arity
         );
-        if self.indexes.iter().any(|i| i.columns == cols) {
-            return;
+        if let Some(existing) = self.index_on(&cols) {
+            return Some(existing);
         }
-        let mut map: FxHashMap<Box<[Const]>, Vec<RowId>> = FxHashMap::default();
+        let mut map: FxHashMap<u64, Vec<RowId>> = FxHashMap::default();
         for id in 0..self.len() as RowId {
             let row = {
                 let start = id as usize * self.arity;
                 &self.flat[start..start + self.arity]
             };
-            let key: Box<[Const]> = cols.iter().map(|&c| row[c]).collect();
-            map.entry(key).or_default().push(id);
+            map.entry(hash_columns(row, &cols)).or_default().push(id);
         }
         self.indexes.push(ColumnIndex { columns: cols, map });
+        Some(IndexId(self.indexes.len() as u32 - 1))
     }
 
-    /// The row ids whose values at `columns` (sorted, deduplicated) equal `key`.
-    /// Requires [`Relation::ensure_index`] to have been called for `columns`; returns
-    /// `None` if no such index exists.
-    pub fn probe<'a>(&'a self, columns: &[usize], key: &[Const]) -> Option<&'a [RowId]> {
-        let index = self.indexes.iter().find(|i| i.columns == columns)?;
-        Some(index.map.get(key).map(Vec::as_slice).unwrap_or(&[]))
+    /// The handle of the existing index on exactly `columns` (sorted, deduplicated),
+    /// if one has been built.
+    pub fn index_on(&self, columns: &[usize]) -> Option<IndexId> {
+        self.indexes
+            .iter()
+            .position(|i| i.columns == columns)
+            .map(|p| IndexId(p as u32))
+    }
+
+    /// The *candidate* row ids whose key columns hash to `key_hash` — the raw hash
+    /// bucket of the index, without collision verification. The join pipeline verifies
+    /// candidates in its binding loop; other callers should compare the rows' key
+    /// columns against the probe key (or use [`Relation::probe`]).
+    #[inline]
+    pub fn probe_candidates(&self, index: IndexId, key_hash: u64) -> &[RowId] {
+        self.indexes[index.0 as usize]
+            .map
+            .get(&key_hash)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// The columns covered by `index` (sorted ascending).
+    pub fn index_columns(&self, index: IndexId) -> &[usize] {
+        &self.indexes[index.0 as usize].columns
+    }
+
+    /// The row ids whose values at `columns` (sorted, deduplicated) equal `key`,
+    /// collision-verified against the flat store. Requires [`Relation::ensure_index`]
+    /// to have been called for `columns`; returns `None` if no such index exists.
+    pub fn probe(&self, columns: &[usize], key: &[Const]) -> Option<Vec<RowId>> {
+        let index = self.index_on(columns)?;
+        let mut rows = Vec::new();
+        for &id in self.probe_candidates(index, hash_key(key)) {
+            let row = self.row(id);
+            if columns.iter().zip(key).all(|(&c, k)| row[c] == *k) {
+                rows.push(id);
+            }
+        }
+        Some(rows)
     }
 
     /// Select all rows matching a pattern of optional constants (one entry per column;
@@ -236,10 +337,13 @@ impl Relation {
             }
             return;
         }
-        if let Some(index) = self.indexes.iter().find(|i| i.columns == bound) {
-            let key: Box<[Const]> = bound.iter().map(|&c| pattern[c].unwrap()).collect();
-            if let Some(rows) = index.map.get(&key) {
-                out.extend_from_slice(rows);
+        if let Some(index) = self.index_on(&bound) {
+            let key_hash = hash_values(bound.iter().map(|&c| pattern[c].as_ref().unwrap()));
+            for &id in self.probe_candidates(index, key_hash) {
+                let row = self.row(id);
+                if bound.iter().all(|&c| pattern[c] == Some(row[c])) {
+                    out.push(id);
+                }
             }
             return;
         }
@@ -356,6 +460,46 @@ mod tests {
         assert_eq!(r.probe(&[0], &[c(1)]).unwrap().len(), 2);
         assert_eq!(r.probe(&[0], &[c(2)]).unwrap().len(), 1);
         assert_eq!(r.probe(&[0], &[c(9)]).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn index_ids_are_stable_handles() {
+        let mut r = Relation::new(3);
+        let id0 = r.ensure_index(&[0]).unwrap();
+        let id1 = r.ensure_index(&[1, 2]).unwrap();
+        assert_ne!(id0, id1);
+        // Re-ensuring returns the same handle; column order is normalized.
+        assert_eq!(r.ensure_index(&[2, 1]), Some(id1));
+        assert_eq!(r.index_on(&[0]), Some(id0));
+        assert_eq!(r.index_on(&[1, 2]), Some(id1));
+        assert_eq!(r.index_on(&[1]), None);
+        assert_eq!(r.index_columns(id1), &[1, 2]);
+        // Handles survive inserts and clears.
+        r.insert(&[c(1), c(2), c(3)]);
+        r.clear();
+        r.insert(&[c(4), c(5), c(6)]);
+        assert_eq!(r.probe_candidates(id0, hash_key(&[c(4)])).len(), 1);
+        // Trivial column sets are refused.
+        assert_eq!(r.ensure_index(&[]), None);
+        assert_eq!(r.ensure_index(&[0, 1, 2]), None);
+    }
+
+    #[test]
+    fn probe_candidates_verification_matches_probe() {
+        let mut r = Relation::new(2);
+        for i in 0..50i64 {
+            r.insert(&[c(i % 5), c(i)]);
+        }
+        let id = r.ensure_index(&[0]).unwrap();
+        let verified = r.probe(&[0], &[c(2)]).unwrap();
+        let candidates: Vec<RowId> = r
+            .probe_candidates(id, hash_key(&[c(2)]))
+            .iter()
+            .copied()
+            .filter(|&row| r.row(row)[0] == c(2))
+            .collect();
+        assert_eq!(verified, candidates);
+        assert_eq!(verified.len(), 10);
     }
 
     #[test]

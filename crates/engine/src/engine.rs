@@ -124,7 +124,13 @@ pub struct PrepareReport {
 struct CachedPlan {
     plan: PreparedPlan,
     strategy: Strategy,
+    /// Logical timestamp of the last hit or insertion (LRU eviction order).
+    last_used: u64,
 }
+
+/// Default bound on the prepared-plan cache (entries), so long-lived REPL sessions
+/// cannot grow without bound. Override with [`Engine::set_prepared_capacity`].
+pub const DEFAULT_PREPARED_CAPACITY: usize = 256;
 
 /// A persistent session: facts + rules + materialized model + prepared-plan cache.
 ///
@@ -144,8 +150,13 @@ pub struct Engine {
     compiled: Option<CompiledProgram>,
     /// Prepared plans keyed by (query predicate, query shape). The shape encodes the
     /// constant/variable pattern *and* which variable positions repeat (`t(X, Y)` and
-    /// `t(X, X)` need different plans even though both adorn as `ff`).
+    /// `t(X, X)` need different plans even though both adorn as `ff`). Bounded to
+    /// `prepared_capacity` entries with least-recently-used eviction.
     prepared: FxHashMap<(Symbol, String), CachedPlan>,
+    /// Maximum number of cached prepared plans.
+    prepared_capacity: usize,
+    /// Logical clock driving the LRU order of `prepared`.
+    prepared_clock: u64,
     options: EvalOptions,
     pipeline: PipelineOptions,
     stats: EvalStats,
@@ -198,6 +209,8 @@ impl Engine {
             pending: FxHashMap::default(),
             compiled: None,
             prepared: FxHashMap::default(),
+            prepared_capacity: DEFAULT_PREPARED_CAPACITY,
+            prepared_clock: 0,
             options,
             pipeline: PipelineOptions::default(),
             stats: EvalStats::default(),
@@ -258,6 +271,35 @@ impl Engine {
     /// Number of prepared plans currently cached.
     pub fn prepared_count(&self) -> usize {
         self.prepared.len()
+    }
+
+    /// The bound on the prepared-plan cache (entries).
+    pub fn prepared_capacity(&self) -> usize {
+        self.prepared_capacity
+    }
+
+    /// Change the bound on the prepared-plan cache. Shrinking below the current size
+    /// evicts least-recently-used plans immediately (counted in the session
+    /// statistics). A capacity of 0 disables caching entirely.
+    pub fn set_prepared_capacity(&mut self, capacity: usize) {
+        self.prepared_capacity = capacity;
+        self.evict_to_capacity();
+    }
+
+    /// Evict least-recently-used plans until the cache fits its capacity.
+    fn evict_to_capacity(&mut self) {
+        while self.prepared.len() > self.prepared_capacity {
+            let Some(oldest) = self
+                .prepared
+                .iter()
+                .min_by_key(|(_, entry)| entry.last_used)
+                .map(|(key, _)| key.clone())
+            else {
+                break;
+            };
+            self.prepared.remove(&oldest);
+            self.stats.plan_cache_evictions += 1;
+        }
     }
 
     /// Number of inserted facts not yet propagated into the materialized model.
@@ -473,25 +515,34 @@ impl Engine {
             .iter()
             .filter_map(|t| t.as_const())
             .collect();
-        if let Some(entry) = self.prepared.get(&key) {
+        self.prepared_clock += 1;
+        let now = self.prepared_clock;
+        if let Some(entry) = self.prepared.get_mut(&key) {
             if let Some(plan) = entry.plan.rebind(&bound) {
+                entry.last_used = now;
+                let strategy = entry.strategy;
                 self.stats.record_plan_lookup(true);
-                return Ok((plan, entry.strategy));
+                return Ok((plan, strategy));
             }
         }
         // Miss: run the full pipeline for this query and cache the plan (most recent
-        // constants win when rebinding was not applicable).
+        // constants win when rebinding was not applicable), evicting the
+        // least-recently-used plan when the cache is full.
         self.stats.record_plan_lookup(false);
         let optimized = optimize_query(&self.program, query, &self.pipeline)?;
         let plan = optimized.prepare(&self.options)?;
         let strategy = optimized.strategy;
-        self.prepared.insert(
-            key,
-            CachedPlan {
-                plan: plan.clone(),
-                strategy,
-            },
-        );
+        if self.prepared_capacity > 0 {
+            self.prepared.insert(
+                key,
+                CachedPlan {
+                    plan: plan.clone(),
+                    strategy,
+                    last_used: now,
+                },
+            );
+            self.evict_to_capacity();
+        }
         Ok((plan, strategy))
     }
 
@@ -742,6 +793,35 @@ mod tests {
     }
 
     #[test]
+    fn constant_headed_rules_answer_correctly_through_the_engine() {
+        // Companion to the pipeline-level adornment regression: a rule whose head has
+        // a constant in the free position of the query adornment must contribute its
+        // answers on the materialized path, the prepared path, and after rebinding the
+        // cached plan to a different query constant (the rebind guard must refuse or
+        // rebuild, never drop the rule).
+        let mut engine = Engine::new();
+        engine
+            .load_source("t(X, Y) :- e(X, Y).\nt(X, Y) :- e(X, W), t(W, Y).\nt(X, 7) :- mark(X).")
+            .unwrap();
+        for (a, b) in [(0i64, 1i64), (1, 2), (7, 8)] {
+            engine.insert("e", &[c(a), c(b)]).unwrap();
+        }
+        engine.insert("mark", &[c(1)]).unwrap();
+        let q0 = parse_query("t(0, Y)").unwrap();
+        // Derivation through the constant head: t(1, 7) via mark(1), then t(0, 7) by
+        // prepending e(0, 1) — alongside the ordinary edge answers 1 and 2.
+        let materialized = engine.query(&q0).unwrap();
+        assert_eq!(materialized, vec![vec![c(1)], vec![c(2)], vec![c(7)]]);
+        assert_eq!(engine.query_prepared(&q0).unwrap(), materialized);
+        // A different constant hits the rebind guard (7 is mentioned by a rule).
+        let q7 = parse_query("t(7, Y)").unwrap();
+        assert_eq!(
+            engine.query_prepared(&q7).unwrap(),
+            engine.query(&q7).unwrap()
+        );
+    }
+
+    #[test]
     fn prepare_reports_strategy_and_caching() {
         let mut engine = tc_engine(4);
         let query = parse_query("t(0, Y)").unwrap();
@@ -761,6 +841,69 @@ mod tests {
         assert_eq!(engine.prepared_count(), 1);
         engine.load_source("u(X) :- t(X, X).").unwrap();
         assert_eq!(engine.prepared_count(), 0);
+    }
+
+    #[test]
+    fn prepared_cache_evicts_least_recently_used() {
+        let mut engine = Engine::new();
+        engine
+            .load_source(
+                "t(X, Y) :- e(X, Y).\nt(X, Y) :- e(X, W), t(W, Y).\n\
+                 s(X) :- t(X, X).\nu(Y) :- t(0, Y).",
+            )
+            .unwrap();
+        engine.insert("e", &[c(0), c(1)]).unwrap();
+        engine.insert("e", &[c(1), c(0)]).unwrap();
+        engine.set_prepared_capacity(2);
+        assert_eq!(engine.prepared_capacity(), 2);
+
+        let q_t = parse_query("t(0, Y)").unwrap();
+        let q_s = parse_query("s(X)").unwrap();
+        let q_u = parse_query("u(Y)").unwrap();
+        engine.query_prepared(&q_t).unwrap();
+        engine.query_prepared(&q_s).unwrap();
+        assert_eq!(engine.prepared_count(), 2);
+        assert_eq!(engine.stats().plan_cache_evictions, 0);
+
+        // Touch t so s becomes the LRU entry, then overflow with u.
+        engine.query_prepared(&q_t).unwrap();
+        engine.query_prepared(&q_u).unwrap();
+        assert_eq!(engine.prepared_count(), 2);
+        assert_eq!(engine.stats().plan_cache_evictions, 1);
+        assert!(engine.has_prepared(&q_t), "recently used plan survives");
+        assert!(engine.has_prepared(&q_u));
+        assert!(!engine.has_prepared(&q_s), "LRU plan is evicted");
+
+        // The evicted query still answers correctly (re-prepared on demand).
+        let misses_before = engine.stats().plan_cache_misses;
+        let answers = engine.query_prepared(&q_s).unwrap();
+        assert_eq!(answers, engine.query(&q_s).unwrap());
+        assert_eq!(engine.stats().plan_cache_misses, misses_before + 1);
+    }
+
+    #[test]
+    fn shrinking_prepared_capacity_evicts_immediately() {
+        let mut engine = tc_engine(4);
+        let q0 = parse_query("t(0, Y)").unwrap();
+        let q_all = parse_query("t(X, Y)").unwrap();
+        engine.query_prepared(&q0).unwrap();
+        engine.query_prepared(&q_all).unwrap();
+        assert_eq!(engine.prepared_count(), 2);
+        engine.set_prepared_capacity(1);
+        assert_eq!(engine.prepared_count(), 1);
+        assert_eq!(engine.stats().plan_cache_evictions, 1);
+        // Capacity 0 disables caching.
+        engine.set_prepared_capacity(0);
+        assert_eq!(engine.prepared_count(), 0);
+        engine.query_prepared(&q0).unwrap();
+        assert_eq!(engine.prepared_count(), 0);
+    }
+
+    #[test]
+    fn default_prepared_capacity_is_bounded() {
+        let engine = Engine::new();
+        assert_eq!(engine.prepared_capacity(), DEFAULT_PREPARED_CAPACITY);
+        assert_eq!(engine.prepared_capacity(), 256);
     }
 
     #[test]

@@ -62,7 +62,7 @@
 mod engine;
 mod repl;
 
-pub use engine::{Engine, EngineError, LoadSummary, PrepareReport};
+pub use engine::{Engine, EngineError, LoadSummary, PrepareReport, DEFAULT_PREPARED_CAPACITY};
 pub use repl::{Repl, ReplAction};
 
 pub use factorlog_datalog::eval::{EvalOptions, EvalStats};

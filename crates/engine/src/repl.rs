@@ -227,10 +227,12 @@ impl Repl {
         let _ = write!(out, "{stats}");
         let _ = write!(
             out,
-            "prepared plans: {} cached ({} hits, {} misses); pending facts: {}; model: {}",
+            "prepared plans: {} cached of {} max ({} hits, {} misses, {} evicted); pending facts: {}; model: {}",
             self.engine.prepared_count(),
+            self.engine.prepared_capacity(),
             stats.plan_cache_hits,
             stats.plan_cache_misses,
+            stats.plan_cache_evictions,
             self.engine.pending_facts(),
             if self.engine.is_materialized() {
                 "materialized"
@@ -288,8 +290,11 @@ mod tests {
         assert_eq!(repl.engine().stats().plan_cache_hits, 1);
 
         let stats = output(&mut repl, ":stats");
-        assert!(stats.contains("plan cache: 1 hits, 1 misses"));
-        assert!(stats.contains("prepared plans: 1 cached"));
+        assert!(stats.contains("plan cache: 1 hits, 1 misses, 0 evicted"));
+        assert!(stats.contains("prepared plans: 1 cached of 256 max"));
+        // The compiled-join counters flow through the cumulative session stats.
+        assert!(stats.contains("index probes"), "{stats}");
+        assert!(stats.contains("full scans"), "{stats}");
 
         let program = output(&mut repl, ":program");
         assert!(program.contains("t(X, Y) :- e(X, W), t(W, Y)."));
@@ -314,6 +319,27 @@ mod tests {
         assert_eq!(output(&mut repl, "% a comment"), "");
         assert!(output(&mut repl, ":help").contains(":prepare"));
         assert_eq!(output(&mut repl, ":program"), "no rules registered");
+    }
+
+    #[test]
+    fn stats_report_evictions_and_join_counters() {
+        let mut repl = Repl::new();
+        repl.engine_mut().set_prepared_capacity(1);
+        output(&mut repl, "t(X, Y) :- e(X, Y).");
+        output(&mut repl, "s(X) :- t(X, X).");
+        output(&mut repl, ":insert e(1, 1).");
+        // Two differently-shaped prepared plans with capacity 1: one eviction.
+        output(&mut repl, ":prepare t(1, Y)");
+        output(&mut repl, ":prepare s(X)");
+        let stats = output(&mut repl, ":stats");
+        assert!(
+            stats.contains("prepared plans: 1 cached of 1 max (0 hits, 2 misses, 1 evicted)"),
+            "{stats}"
+        );
+        assert!(
+            stats.contains("plan cache: 0 hits, 2 misses, 1 evicted"),
+            "{stats}"
+        );
     }
 
     #[test]
