@@ -1,0 +1,58 @@
+//! Hash-partitioned parallel evaluation under load: the wide-delta transitive-closure
+//! workloads of the `parallel` suite at several worker-thread counts, plus the
+//! chain-shaped control whose deltas stay below the partition threshold. The same
+//! workloads back the checked-in `BENCH_parallel.json` baseline (see
+//! `report --json parallel`); this criterion group exists for quick A/B runs while
+//! touching the partition/merge internals:
+//!
+//! ```text
+//! cargo bench -p factorlog-bench --bench parallel
+//! ```
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use factorlog_datalog::eval::{seminaive_evaluate, EvalOptions};
+use factorlog_datalog::parser::parse_program;
+use factorlog_workloads::lists::pmem_list;
+use factorlog_workloads::{graphs, programs};
+
+fn options(threads: usize) -> EvalOptions {
+    EvalOptions {
+        threads,
+        ..EvalOptions::default()
+    }
+}
+
+fn bench_tc_tree(c: &mut Criterion) {
+    let program = parse_program(programs::RIGHT_LINEAR_TC).unwrap().program;
+    let mut group = c.benchmark_group("parallel_tc_tree");
+    group.sample_size(10);
+    let tree = graphs::tree(10, 4);
+    for &threads in &[1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("tree_10k_edges_threads", threads),
+            &tree,
+            |b, edb| b.iter(|| seminaive_evaluate(&program, edb, &options(threads)).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_pmem_control(c: &mut Criterion) {
+    // Long chains, tiny deltas: every round stays below the partition threshold, so
+    // higher thread counts must cost nothing.
+    let program = parse_program(programs::PMEM).unwrap().program;
+    let mut group = c.benchmark_group("parallel_pmem_control");
+    group.sample_size(10);
+    let workload = pmem_list(400, 1);
+    for &threads in &[1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("pmem_400_threads", threads),
+            &workload.edb,
+            |b, edb| b.iter(|| seminaive_evaluate(&program, edb, &options(threads)).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tc_tree, bench_pmem_control);
+criterion_main!(benches);

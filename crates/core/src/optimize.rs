@@ -304,6 +304,7 @@ pub fn is_uniformly_redundant(program: &Program, rule: &Rule) -> bool {
     let options = EvalOptions {
         max_iterations: 10_000,
         enable_builtins: false,
+        ..EvalOptions::default()
     };
     match naive_evaluate(program, &edb, &options) {
         Ok(result) => result.database.contains_atom(&frozen_head),

@@ -28,9 +28,20 @@
 //! introduces derivation-depth indices `I + 1`, can be executed by the same engine.
 
 use crate::ast::{Atom, Const, Rule, Term};
-use crate::fx::FxHashMap;
-use crate::storage::{Database, IndexId, KeyHasher, Relation, RowId};
+use crate::fx::{FxHashMap, FxHashSet};
+use crate::storage::{shard_of_row, Database, IndexId, KeyHasher, Relation, RowId};
 use crate::symbol::Symbol;
+
+/// Environment variable overriding the default worker-thread count
+/// ([`EvalOptions::threads`]): `FACTORLOG_THREADS=4` parallelizes every evaluation,
+/// `FACTORLOG_THREADS=0` uses one worker per available core.
+pub const THREADS_ENV_VAR: &str = "FACTORLOG_THREADS";
+
+/// Default minimum number of outer rows a semi-naive round must feed its firings
+/// before the evaluator partitions it across workers; below this, thread-spawn and
+/// merge overhead dominates and the round runs sequentially (which is why long-chain
+/// workloads with tiny deltas stay at single-thread speed no matter the setting).
+pub const DEFAULT_PARALLEL_THRESHOLD: usize = 512;
 
 /// Evaluation options shared by the naive and semi-naive evaluators.
 #[derive(Clone, Debug)]
@@ -42,6 +53,36 @@ pub struct EvalOptions {
     /// Enable the arithmetic `succ/2` builtin (disabled automatically for any
     /// predicate that has explicit facts in the database).
     pub enable_builtins: bool,
+    /// Worker threads for hash-partitioned semi-naive rounds: `1` evaluates
+    /// sequentially, `0` uses one worker per available core. Parallel evaluation
+    /// produces the exact single-thread result — same fact set, same relation
+    /// insertion order, same machine-independent counters — so this is purely a
+    /// wall-clock knob. Defaults to the `FACTORLOG_THREADS` environment variable,
+    /// or 1 when unset.
+    pub threads: usize,
+    /// Reorder rule-body literals at plan time (greedy: most bound argument
+    /// positions first, then smallest relation at plan-resolution time) before
+    /// compiling access paths. Bodies containing the virtual `succ/2` builtin are
+    /// never reordered (its evaluability is position-dependent). Purely an
+    /// execution-order change: the set of derived facts is unaffected.
+    pub reorder_literals: bool,
+    /// Minimum total outer rows in a round before it is partitioned across workers
+    /// (see [`DEFAULT_PARALLEL_THRESHOLD`]). Benchmarks and tests lower this to
+    /// exercise the parallel path on small inputs.
+    pub parallel_threshold: usize,
+}
+
+/// The process-wide default thread count: `FACTORLOG_THREADS`, read once (defaults
+/// are constructed on hot paths — per prepared-query replay — so the environment
+/// lookup must not recur).
+fn default_threads() -> usize {
+    static THREADS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *THREADS.get_or_init(|| {
+        std::env::var(THREADS_ENV_VAR)
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .unwrap_or(1)
+    })
 }
 
 impl Default for EvalOptions {
@@ -49,7 +90,31 @@ impl Default for EvalOptions {
         EvalOptions {
             max_iterations: 1_000_000,
             enable_builtins: true,
+            threads: default_threads(),
+            reorder_literals: true,
+            parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
         }
+    }
+}
+
+/// Hard ceiling on the worker count, whatever `threads` asks for: beyond this,
+/// per-round spawn and merge costs dominate any join, and an absurd setting (a typo'd
+/// `:threads 500000`) must not take the process down trying to spawn OS threads.
+pub const MAX_WORKERS: usize = 64;
+
+impl EvalOptions {
+    /// The concrete worker count this configuration asks for: `threads`, with `0`
+    /// resolved to the number of available cores, clamped to [`MAX_WORKERS`].
+    /// Oversubscription below the ceiling is allowed on purpose (the determinism
+    /// tests run 8 workers on 1 core).
+    pub fn effective_threads(&self) -> usize {
+        let requested = match self.threads {
+            0 => std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            n => n,
+        };
+        requested.min(MAX_WORKERS)
     }
 }
 
@@ -167,6 +232,102 @@ pub struct CompiledRule {
 /// The name of the successor builtin.
 pub fn succ_symbol() -> Symbol {
     Symbol::intern("succ")
+}
+
+/// Greedily reorder `rule`'s body for evaluation, or return `None` when the source
+/// order is already the greedy order.
+///
+/// At each step the next literal is the one with the most bound argument positions
+/// (constants plus variables bound by already-placed literals) — the cheapest to match
+/// under the left-to-right sideways-information-passing discipline — breaking ties by
+/// smaller relation size in `db` (the plan-resolution-time selectivity estimate), then
+/// by original position (stable). Conjunction over stored relations is commutative, so
+/// any order derives the same facts — only the join cost changes.
+///
+/// Bodies containing the *virtual* `succ/2` builtin (enabled, and with no explicit
+/// `succ` relation in `db`) are never reordered: the builtin is not a stored relation —
+/// it matches nothing until one argument is bound — so whether it can evaluate depends
+/// on its position relative to its binders, and moving it could change the computed
+/// model rather than merely its cost. Reordering must stay a pure performance knob.
+pub fn reorder_body(rule: &Rule, db: &Database, options: &EvalOptions) -> Option<Rule> {
+    if rule.body.len() < 2 {
+        return None;
+    }
+    let virtual_succ = |atom: &Atom| {
+        options.enable_builtins
+            && atom.predicate == succ_symbol()
+            && db.relation(atom.predicate).is_none()
+    };
+    if rule.body.iter().any(virtual_succ) {
+        return None;
+    }
+    let size_of = |p: Symbol| db.relation(p).map(Relation::len).unwrap_or(0);
+    let mut bound: FxHashSet<Symbol> = FxHashSet::default();
+    let mut remaining: Vec<usize> = (0..rule.body.len()).collect();
+    let mut order: Vec<usize> = Vec::with_capacity(rule.body.len());
+    while !remaining.is_empty() {
+        // (slot in `remaining`, (bound positions, relation size, original index)).
+        let mut pick: Option<(usize, (usize, usize, usize))> = None;
+        for (slot, &idx) in remaining.iter().enumerate() {
+            let atom = &rule.body[idx];
+            let bound_count = atom
+                .terms
+                .iter()
+                .filter(|t| match t {
+                    Term::Const(_) => true,
+                    Term::Var(v) => bound.contains(v),
+                })
+                .count();
+            let key = (bound_count, size_of(atom.predicate), idx);
+            let better = match &pick {
+                None => true,
+                Some((_, best)) => {
+                    key.0 > best.0
+                        || (key.0 == best.0
+                            && (key.1 < best.1 || (key.1 == best.1 && key.2 < best.2)))
+                }
+            };
+            if better {
+                pick = Some((slot, key));
+            }
+        }
+        let (slot, _) = pick.expect("non-empty remaining always yields a pick");
+        let idx = remaining.remove(slot);
+        for term in &rule.body[idx].terms {
+            if let Term::Var(v) = term {
+                bound.insert(*v);
+            }
+        }
+        order.push(idx);
+    }
+    if order.iter().enumerate().all(|(i, &idx)| i == idx) {
+        return None;
+    }
+    let body: Vec<Atom> = order.iter().map(|&idx| rule.body[idx].clone()).collect();
+    Some(Rule::new(rule.head.clone(), body))
+}
+
+/// One worker's slice of a hash-partitioned firing: worker `shard` of `of` matches
+/// only the outer (depth-0) rows that [`shard_of_row`] assigns to it, partitioning by
+/// `columns` (a join-key column set whose values vary across the outer rows) or by
+/// whole-row hash (`None`). The round driver picks the columns; any choice is exact —
+/// it only affects which worker does which share of the work.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardSpec<'a> {
+    /// This worker's shard index, `0 <= shard < of`.
+    pub shard: usize,
+    /// Total number of shards.
+    pub of: usize,
+    /// Partition-key columns of the outer relation (`None` = whole-row hash).
+    pub columns: Option<&'a [usize]>,
+}
+
+impl ShardSpec<'_> {
+    /// Does this shard own `row`?
+    #[inline]
+    fn owns(&self, row: &[Const]) -> bool {
+        shard_of_row(row, self.columns, self.of) == self.shard
+    }
 }
 
 /// Everything a single `fire` needs that is constant over the descent.
@@ -387,6 +548,134 @@ impl CompiledRule {
         };
         let mut count = 0usize;
         self.join(&ctx, 0, scratch, emit, &mut count);
+        count
+    }
+
+    /// Fire one shard of a hash-partitioned firing: like [`CompiledRule::fire_with`],
+    /// but the depth-0 (outer) rows are filtered to those [`ShardSpec::owns`] says
+    /// belong to this worker, and `emit` additionally receives the outer row id — the
+    /// insertion key the round driver merge-sorts per-worker out-buffers by, so the
+    /// merged staging relation reproduces the single-thread emission order exactly.
+    ///
+    /// The union of all shards' emissions is exactly the `fire_with` emission set:
+    /// every outer row is owned by exactly one shard, and within a shard the outer
+    /// rows are enumerated in the same ascending order `fire_with` uses. Firings with
+    /// no partitionable outer enumeration (empty bodies, a fully bound or builtin
+    /// first literal) run entirely on shard 0 with outer key 0. Depth-0 access
+    /// counters are recorded by shard 0 only, so counter totals match the
+    /// single-thread run; inner-depth counters split exactly across shards.
+    ///
+    /// NOTE: the depth-0 dispatch below intentionally mirrors [`CompiledRule::join`]'s
+    /// (delta-path selection, arity check, key hashing, counter attribution) rather
+    /// than sharing one body — folding shard filtering and the outer-id-carrying
+    /// emit into the sequential hot path would tax every single-threaded join. Any
+    /// change to either copy must keep the other in lockstep; the
+    /// `assert_partition_matches_fire` test harness pins them against each other
+    /// across every access path, worker count, and partition-column choice.
+    pub fn fire_partition(
+        &self,
+        db: &Database,
+        delta: Option<(usize, &Relation)>,
+        access: &RuleAccess,
+        scratch: &mut JoinScratch,
+        shard: &ShardSpec<'_>,
+        emit: &mut dyn FnMut(RowId, &[Const]),
+    ) -> usize {
+        debug_assert_eq!(access.paths.len(), self.literals.len());
+        debug_assert!(
+            scratch.env.iter().all(Option::is_none),
+            "scratch environment must be clean between fires"
+        );
+        let delta_path = match delta {
+            Some((pos, relation)) => self.access_for(pos, Some(relation)),
+            None => AccessPath::FullScan,
+        };
+        let ctx = FireCtx {
+            db,
+            delta,
+            delta_path,
+            access,
+        };
+        let mut count = 0usize;
+
+        let unpartitionable = self.literals.is_empty()
+            || (self.literals[0].is_succ && db.relation(self.literals[0].predicate).is_none());
+        if unpartitionable {
+            if shard.shard == 0 {
+                let mut inner = |tuple: &[Const]| emit(0, tuple);
+                self.join(&ctx, 0, scratch, &mut inner, &mut count);
+            }
+            return count;
+        }
+
+        let literal = &self.literals[0];
+        let use_delta = matches!(ctx.delta, Some((0, _)));
+        let (relation, path): (&Relation, AccessPath) = if use_delta {
+            (ctx.delta.expect("delta checked above").1, ctx.delta_path)
+        } else {
+            match ctx.db.relation(literal.predicate) {
+                Some(rel) => (rel, ctx.access.paths[0]),
+                None => return 0,
+            }
+        };
+        if relation.arity() != literal.slots.len() {
+            return 0;
+        }
+
+        match path {
+            AccessPath::Membership => {
+                // A single fully bound candidate row: no enumeration to split.
+                if shard.shard == 0 {
+                    scratch.counters.membership_checks += 1;
+                    scratch.key_buf.clear();
+                    for slot in &literal.slots {
+                        match slot {
+                            Slot::Const(c) => scratch.key_buf.push(*c),
+                            Slot::Var(idx) => scratch
+                                .key_buf
+                                .push(scratch.env[*idx].expect("bound position has a value")),
+                        }
+                    }
+                    if relation.contains(&scratch.key_buf) {
+                        let mut inner = |tuple: &[Const]| emit(0, tuple);
+                        self.join(&ctx, 1, scratch, &mut inner, &mut count);
+                    }
+                }
+            }
+            AccessPath::IndexProbe(index) => {
+                if shard.shard == 0 {
+                    scratch.counters.index_probes += 1;
+                }
+                // At depth 0 the bound positions can only hold constants.
+                let mut hasher = KeyHasher::new();
+                for &i in &literal.bound_positions {
+                    let value = match &literal.slots[i] {
+                        Slot::Const(c) => *c,
+                        Slot::Var(idx) => scratch.env[*idx].expect("bound position has a value"),
+                    };
+                    hasher.push(&value);
+                }
+                let candidates = relation.probe_candidates(index, hasher.finish());
+                for &row_id in candidates {
+                    let row = relation.row(row_id);
+                    if !shard.owns(row) {
+                        continue;
+                    }
+                    let mut inner = |tuple: &[Const]| emit(row_id, tuple);
+                    self.bind_and_descend(&ctx, 0, row, scratch, &mut inner, &mut count);
+                }
+            }
+            AccessPath::FullScan => {
+                if shard.shard == 0 {
+                    scratch.counters.full_scans += 1;
+                }
+                for row_id in relation.shard_rows(shard.columns, shard.shard, shard.of) {
+                    let row = relation.row(row_id);
+                    let mut inner = |tuple: &[Const]| emit(row_id, tuple);
+                    self.bind_and_descend(&ctx, 0, row, scratch, &mut inner, &mut count);
+                }
+            }
+        }
         count
     }
 
@@ -792,6 +1081,271 @@ mod tests {
         let mut results = Vec::new();
         compiled.fire(&db, None, &mut |t| results.push(t.to_vec()));
         assert_eq!(results, vec![vec![c(100)]]);
+    }
+
+    /// Reference check: the union of all shards' emissions equals `fire_with`'s, with
+    /// outer keys that reconstruct the sequential emission order.
+    fn assert_partition_matches_fire(
+        compiled: &CompiledRule,
+        db: &Database,
+        delta: Option<(usize, &Relation)>,
+        workers: usize,
+        columns: Option<&[usize]>,
+    ) {
+        let access = compiled.resolve_access(db);
+        let mut scratch = compiled.scratch();
+        let mut sequential = Vec::new();
+        compiled.fire_with(db, delta, &access, &mut scratch, &mut |t| {
+            sequential.push(t.to_vec())
+        });
+        let seq_counters = scratch.counters;
+
+        let mut merged: Vec<(RowId, Vec<Const>)> = Vec::new();
+        let mut par_counters = JoinCounters::default();
+        for w in 0..workers {
+            let mut shard_scratch = compiled.scratch();
+            let shard = ShardSpec {
+                shard: w,
+                of: workers,
+                columns,
+            };
+            compiled.fire_partition(
+                db,
+                delta,
+                &access,
+                &mut shard_scratch,
+                &shard,
+                &mut |outer, t| merged.push((outer, t.to_vec())),
+            );
+            par_counters.index_probes += shard_scratch.counters.index_probes;
+            par_counters.full_scans += shard_scratch.counters.full_scans;
+            par_counters.membership_checks += shard_scratch.counters.membership_checks;
+        }
+        // Stable sort by the outer insertion key reconstructs the sequential order.
+        merged.sort_by_key(|(outer, _)| *outer);
+        let tuples: Vec<Vec<Const>> = merged.into_iter().map(|(_, t)| t).collect();
+        assert_eq!(
+            tuples, sequential,
+            "partitioned firing must match fire_with"
+        );
+        assert_eq!(par_counters.index_probes, seq_counters.index_probes);
+        assert_eq!(par_counters.full_scans, seq_counters.full_scans);
+        assert_eq!(
+            par_counters.membership_checks,
+            seq_counters.membership_checks
+        );
+    }
+
+    #[test]
+    fn partitioned_firing_reproduces_fire_with() {
+        let compiled = compile("t(X, Y) :- e(X, W), f(W, Y).");
+        let mut db = Database::new();
+        for i in 0..30i64 {
+            db.add_fact("e", &[c(i % 6), c(i)]);
+            db.add_fact("f", &[c(i), c(i * 2)]);
+        }
+        let mut arities = FxHashMap::default();
+        arities.insert(Symbol::intern("e"), 2);
+        arities.insert(Symbol::intern("f"), 2);
+        compiled.ensure_indexes(&mut db, &arities);
+        for workers in [1usize, 2, 3, 8] {
+            assert_partition_matches_fire(&compiled, &db, None, workers, None);
+            assert_partition_matches_fire(&compiled, &db, None, workers, Some(&[0]));
+        }
+    }
+
+    #[test]
+    fn partitioned_delta_firing_reproduces_fire_with() {
+        let compiled = compile("t(X, Y) :- e(X, W), t(W, Y).");
+        let mut db = Database::new();
+        for i in 0..20i64 {
+            db.add_fact("e", &[c(i), c(i + 1)]);
+        }
+        // Delta at the recursive literal: the outer e-scan is partitioned.
+        let mut delta = Relation::new(2);
+        delta.ensure_index(&[0]);
+        for i in 0..20i64 {
+            delta.insert(&[c(i + 1), c(99)]);
+        }
+        for workers in [2usize, 4] {
+            assert_partition_matches_fire(&compiled, &db, Some((1, &delta)), workers, None);
+        }
+        // Delta at position 0 (the reordered SIP shape): the delta itself is sharded.
+        let exit = compile("t(X, Y) :- d(X, Y).");
+        let mut d = Relation::new(2);
+        for i in 0..20i64 {
+            d.insert(&[c(i), c(i + 1)]);
+        }
+        for workers in [2usize, 4] {
+            assert_partition_matches_fire(&exit, &db, Some((0, &d)), workers, None);
+        }
+    }
+
+    #[test]
+    fn probed_outer_rows_distribute_under_row_hash() {
+        // A constant-first literal probes at depth 0; all candidates share the probe
+        // key, so only whole-row hashing (columns: None) spreads them across shards.
+        let compiled = compile("q(Y) :- t(5, Y).");
+        let mut db = Database::new();
+        for i in 0..40i64 {
+            db.add_fact("t", &[c(5), c(i)]);
+            db.add_fact("t", &[c(6), c(i)]);
+        }
+        let mut arities = FxHashMap::default();
+        arities.insert(Symbol::intern("t"), 2);
+        compiled.ensure_indexes(&mut db, &arities);
+        assert_partition_matches_fire(&compiled, &db, None, 4, None);
+        let access = compiled.resolve_access(&db);
+        let mut nonempty_shards = 0usize;
+        for w in 0..4usize {
+            let mut scratch = compiled.scratch();
+            let shard = ShardSpec {
+                shard: w,
+                of: 4,
+                columns: None,
+            };
+            let n =
+                compiled.fire_partition(&db, None, &access, &mut scratch, &shard, &mut |_, _| {});
+            if n > 0 {
+                nonempty_shards += 1;
+            }
+        }
+        assert!(
+            nonempty_shards > 1,
+            "row-hash must spread probe candidates over multiple shards"
+        );
+    }
+
+    #[test]
+    fn unpartitionable_firings_run_on_shard_zero_only() {
+        // Empty body: the fact rule fires once, from shard 0.
+        let fact = compile("m(5).");
+        let db = Database::new();
+        let access = fact.resolve_access(&db);
+        let mut total = 0usize;
+        for w in 0..4usize {
+            let mut scratch = fact.scratch();
+            let shard = ShardSpec {
+                shard: w,
+                of: 4,
+                columns: None,
+            };
+            total += fact.fire_partition(&db, None, &access, &mut scratch, &shard, &mut |o, t| {
+                assert_eq!(o, 0);
+                assert_eq!(t, [c(5)]);
+            });
+        }
+        assert_eq!(total, 1);
+
+        // Builtin-first body (no binder before it): no shard emits anything, like
+        // fire_with.
+        let succ_first = compile("p(Y) :- succ(X, Y), q(X).");
+        let mut db = Database::new();
+        db.add_fact("q", &[c(1)]);
+        let access = succ_first.resolve_access(&db);
+        for w in 0..2usize {
+            let mut scratch = succ_first.scratch();
+            let shard = ShardSpec {
+                shard: w,
+                of: 2,
+                columns: None,
+            };
+            let n =
+                succ_first.fire_partition(&db, None, &access, &mut scratch, &shard, &mut |_, _| {});
+            assert_eq!(n, 0);
+        }
+    }
+
+    #[test]
+    fn reorder_promotes_small_bound_relations() {
+        let rule = parse_rule("p(X, Y) :- big(X, W), small(W, Y).").unwrap();
+        let mut db = Database::new();
+        for i in 0..50i64 {
+            db.add_fact("big", &[c(i), c(i + 1)]);
+        }
+        db.add_fact("small", &[c(1), c(2)]);
+        let reordered = reorder_body(&rule, &db, &EvalOptions::default()).expect("order changes");
+        assert_eq!(reordered.body[0].predicate, Symbol::intern("small"));
+        assert_eq!(reordered.body[1].predicate, Symbol::intern("big"));
+        assert_eq!(reordered.head, rule.head);
+
+        // Once `small` is placed, `big(X, W)` has W bound at position 1 — the SIP
+        // chain survives the reorder.
+        let compiled = CompiledRule::compile(0, &reordered, &|_| false, &EvalOptions::default());
+        assert_eq!(compiled.literals[1].bound_positions, vec![1]);
+    }
+
+    #[test]
+    fn reorder_prefers_bound_positions_over_size() {
+        // q(5, Y) has a constant: it goes first even though it is the bigger relation.
+        let rule = parse_rule("p(Y, Z) :- r(Y, Z), q(5, Y).").unwrap();
+        let mut db = Database::new();
+        for i in 0..50i64 {
+            db.add_fact("q", &[c(i % 7), c(i)]);
+        }
+        db.add_fact("r", &[c(1), c(2)]);
+        let reordered = reorder_body(&rule, &db, &EvalOptions::default()).expect("order changes");
+        assert_eq!(reordered.body[0].predicate, Symbol::intern("q"));
+    }
+
+    #[test]
+    fn builtin_bodies_are_never_reordered() {
+        // The virtual succ builtin matches nothing until an argument is bound, so
+        // moving it (or its binders) could change the computed model — the whole
+        // body is left alone. `p(M) :- succ(N, M), counter(N).` derives nothing in
+        // source order; reordering counter first would make it derive facts, which
+        // would turn a performance knob into a semantic one.
+        let rule = parse_rule("p(M) :- succ(N, M), counter(N).").unwrap();
+        let mut db = Database::new();
+        for i in 0..10i64 {
+            db.add_fact("counter", &[c(i)]);
+        }
+        assert!(reorder_body(&rule, &db, &EvalOptions::default()).is_none());
+
+        // With an explicit succ relation, succ is an ordinary stored predicate and
+        // the body reorders freely: counter (2 rows) is promoted over succ (10).
+        let mut db = Database::new();
+        db.add_fact("counter", &[c(0)]);
+        db.add_fact("counter", &[c(1)]);
+        for i in 0..10i64 {
+            db.add_fact("succ", &[c(i), c(i + 1)]);
+        }
+        let reordered = reorder_body(&rule, &db, &EvalOptions::default()).expect("order changes");
+        assert_eq!(reordered.body[0].predicate, Symbol::intern("counter"));
+    }
+
+    #[test]
+    fn effective_threads_resolves_and_clamps() {
+        let explicit = EvalOptions {
+            threads: 3,
+            ..EvalOptions::default()
+        };
+        assert_eq!(explicit.effective_threads(), 3);
+        let auto = EvalOptions {
+            threads: 0,
+            ..EvalOptions::default()
+        };
+        assert!(auto.effective_threads() >= 1);
+        // A typo'd worker count must not try to spawn half a million OS threads.
+        let absurd = EvalOptions {
+            threads: 500_000,
+            ..EvalOptions::default()
+        };
+        assert_eq!(absurd.effective_threads(), MAX_WORKERS);
+    }
+
+    #[test]
+    fn reorder_is_a_no_op_when_order_is_already_greedy() {
+        let rule = parse_rule("t(X, Y) :- e(X, Y).").unwrap();
+        let db = Database::new();
+        assert!(reorder_body(&rule, &db, &EvalOptions::default()).is_none());
+        let two = parse_rule("p(X, Y) :- a(X, W), b(W, Y).").unwrap();
+        let mut db = Database::new();
+        db.add_fact("a", &[c(1), c(2)]);
+        db.add_fact("b", &[c(2), c(3)]);
+        db.add_fact("b", &[c(2), c(4)]);
+        // a is smaller and nothing is bound: original order is the greedy order.
+        assert!(reorder_body(&two, &db, &EvalOptions::default()).is_none());
     }
 
     #[test]

@@ -17,15 +17,33 @@
 //! * [`seminaive_resume`] — restart the fixpoint over an *existing* least model with
 //!   externally seeded deltas (newly inserted EDB facts), deriving only consequences
 //!   that use at least one new fact instead of re-evaluating from scratch.
+//!
+//! # Parallel rounds
+//!
+//! When [`EvalOptions::threads`] asks for more than one worker, every round whose
+//! firings enumerate enough outer rows (see [`EvalOptions::parallel_threshold`]) is
+//! hash-partitioned: each firing's depth-0 row set — the round's delta when the delta
+//! literal leads the body, the driving relation scan otherwise — is split across a
+//! `std::thread::scope` worker pool by [`crate::storage::shard_of_row`] (the join-key
+//! columns the index plan maintains on a scanned outer, whole-row hash otherwise —
+//! see [`partition_columns`] for why probed outers must row-hash). Workers run
+//! [`CompiledRule::fire_partition`] with per-worker [`JoinScratch`]es from a scratch
+//! pool and append emissions to per-worker out-buffers tagged with the outer row id;
+//! the main thread then merge-sorts the buffers by that insertion key and pushes every
+//! tuple through the same collision-verified dedup path the sequential rounds use.
+//! The result is bit-for-bit the single-thread evaluation: same fact set, same
+//! relation insertion order, same machine-independent counters — only wall-clock
+//! changes. Rounds below the threshold (long chains with tiny deltas) stay
+//! sequential, so parallelism never taxes workloads it cannot help.
 
 use std::collections::BTreeSet;
 
-use crate::ast::Program;
+use crate::ast::{Const, Program};
 use crate::fx::FxHashMap;
-use crate::storage::{Database, Relation};
+use crate::storage::{Database, Relation, RowId};
 use crate::symbol::Symbol;
 
-use super::join::{CompiledRule, EvalOptions, JoinScratch, RuleAccess};
+use super::join::{reorder_body, CompiledRule, EvalOptions, JoinScratch, RuleAccess, ShardSpec};
 use super::stats::EvalStats;
 use super::{arity_map, EvalError, EvalResult};
 
@@ -59,19 +77,7 @@ impl CompiledProgram {
             .enumerate()
             .map(|(i, r)| CompiledRule::compile(i, r, &|p| idb.contains(&p), options))
             .collect();
-        let mut index_plan: FxHashMap<Symbol, Vec<Vec<usize>>> = FxHashMap::default();
-        for rule in &rules {
-            for literal in &rule.literals {
-                if !literal.wants_index() {
-                    continue;
-                }
-                let bound = &literal.bound_positions;
-                let sets = index_plan.entry(literal.predicate).or_default();
-                if !sets.iter().any(|s| s == bound) {
-                    sets.push(bound.clone());
-                }
-            }
-        }
+        let index_plan = build_index_plan(&rules);
         Ok(CompiledProgram {
             program: program.clone(),
             idb,
@@ -90,29 +96,105 @@ impl CompiledProgram {
         &self.idb
     }
 
+    /// The per-evaluation plan: the compiled rules, with bodies greedily reordered
+    /// against the starting database's relation sizes when
+    /// [`EvalOptions::reorder_literals`] is set (most bound argument positions first,
+    /// then smallest relation — the ROADMAP's selectivity heuristic). Reordering
+    /// re-derives the affected rules' bound-position analysis and the index plan, so
+    /// delta indexes always match the effective join order. The compile-time rules
+    /// are borrowed unchanged when no rule moves.
+    fn plan(&self, db: &Database, options: &EvalOptions) -> EvalPlan<'_> {
+        let mut reordered: Option<Vec<CompiledRule>> = None;
+        let mut reorders = 0usize;
+        if options.reorder_literals {
+            for (i, rule) in self.program.rules.iter().enumerate() {
+                if let Some(better) = reorder_body(rule, db, options) {
+                    let rules = reordered.get_or_insert_with(|| self.rules.clone());
+                    rules[i] =
+                        CompiledRule::compile(i, &better, &|p| self.idb.contains(&p), options);
+                    reorders += 1;
+                }
+            }
+        }
+        let reordered_index_plan = reordered.as_deref().map(build_index_plan);
+        EvalPlan {
+            compiled: self,
+            reordered,
+            reordered_index_plan,
+            reorders,
+        }
+    }
+}
+
+/// For each predicate, the column subsets some rule probes it on — the indexes to
+/// maintain on the database relation *and* on the semi-naive delta relations, so
+/// recursive-literal delta joins probe instead of scanning.
+fn build_index_plan(rules: &[CompiledRule]) -> FxHashMap<Symbol, Vec<Vec<usize>>> {
+    let mut index_plan: FxHashMap<Symbol, Vec<Vec<usize>>> = FxHashMap::default();
+    for rule in rules {
+        for literal in &rule.literals {
+            if !literal.wants_index() {
+                continue;
+            }
+            let bound = &literal.bound_positions;
+            let sets = index_plan.entry(literal.predicate).or_default();
+            if !sets.iter().any(|s| s == bound) {
+                sets.push(bound.clone());
+            }
+        }
+    }
+    index_plan
+}
+
+/// A [`CompiledProgram`] specialized to one evaluation: body literals reordered by
+/// the selectivity heuristic against the starting database (when enabled), with the
+/// matching index plan. Borrows the compile-time artifacts when nothing moved.
+struct EvalPlan<'a> {
+    compiled: &'a CompiledProgram,
+    /// Recompiled rules when at least one body was reordered; `None` = compile order.
+    reordered: Option<Vec<CompiledRule>>,
+    /// Index plan matching `reordered` (bound positions change with the order).
+    reordered_index_plan: Option<FxHashMap<Symbol, Vec<Vec<usize>>>>,
+    /// Number of rules whose body order changed (recorded on the statistics).
+    reorders: usize,
+}
+
+impl EvalPlan<'_> {
+    /// The effective compiled rules of this evaluation.
+    fn rules(&self) -> &[CompiledRule] {
+        self.reordered.as_deref().unwrap_or(&self.compiled.rules)
+    }
+
+    /// The effective index plan of this evaluation.
+    fn index_plan(&self) -> &FxHashMap<Symbol, Vec<Vec<usize>>> {
+        self.reordered_index_plan
+            .as_ref()
+            .unwrap_or(&self.compiled.index_plan)
+    }
+
     /// Ensure `db` has a relation for every IDB predicate and every secondary index
     /// the compiled joins will probe; returns the arity map used for staging.
     fn prepare(&self, db: &mut Database) -> FxHashMap<Symbol, usize> {
-        let arities = arity_map(&self.program, db);
-        for &p in &self.idb {
+        let arities = arity_map(&self.compiled.program, db);
+        for &p in &self.compiled.idb {
             let arity = arities.get(&p).copied().unwrap_or(0);
             db.ensure_relation(p, arity);
         }
-        for rule in &self.rules {
+        for rule in self.rules() {
             rule.ensure_indexes(db, &arities);
         }
         arities
     }
 
     /// Fresh empty staging relations, one per IDB predicate, pre-indexed according to
-    /// the compiled index plan: the staging relation of one round is the delta of the
+    /// the effective index plan: the staging relation of one round is the delta of the
     /// next, so building its indexes up front (O(1) on an empty relation, maintained
     /// per insert) lets recursive-literal delta joins probe instead of scanning.
     fn empty_staging(&self, arities: &FxHashMap<Symbol, usize>) -> FxHashMap<Symbol, Relation> {
         let mut staging: FxHashMap<Symbol, Relation> = FxHashMap::default();
-        for &p in &self.idb {
+        for &p in &self.compiled.idb {
             let mut relation = Relation::new(arities.get(&p).copied().unwrap_or(0));
-            if let Some(sets) = self.index_plan.get(&p) {
+            if let Some(sets) = self.index_plan().get(&p) {
                 for columns in sets {
                     relation.ensure_index(columns);
                 }
@@ -123,11 +205,11 @@ impl CompiledProgram {
     }
 
     /// Per-evaluation join runtimes: resolved access paths plus a reusable scratch per
-    /// rule. Build after [`CompiledProgram::prepare`] (index resolution needs the
-    /// indexes to exist) and reuse across every round of the fixpoint.
+    /// rule. Build after [`EvalPlan::prepare`] (index resolution needs the indexes to
+    /// exist) and reuse across every round of the fixpoint.
     fn runtimes(&self, db: &Database, stats: &mut EvalStats) -> Vec<RuleRuntime> {
-        stats.scratch_allocs += self.rules.len();
-        self.rules
+        stats.scratch_allocs += self.rules().len();
+        self.rules()
             .iter()
             .map(|rule| RuleRuntime {
                 access: rule.resolve_access(db),
@@ -172,36 +254,44 @@ pub fn seminaive_evaluate_owned(
     mut db: Database,
     options: &EvalOptions,
 ) -> Result<EvalResult, EvalError> {
-    let arities = compiled.prepare(&mut db);
+    let plan = compiled.plan(&db, options);
+    let arities = plan.prepare(&mut db);
     let mut stats = EvalStats::new(compiled.rules.len());
-    let mut runtimes = compiled.runtimes(&db, &mut stats);
+    stats.literal_reorders += plan.reorders;
+    let mut runtimes = plan.runtimes(&db, &mut stats);
+    let mut exec = Executor::new(options);
 
     // Round 0: fire every rule against the EDB alone (IDB relations are empty). Exit
     // rules and program facts produce the initial deltas; recursive rules find no IDB
     // facts and contribute nothing. (If the caller pre-loaded IDB facts — e.g. a
     // prepared plan injecting its magic seed — this full pass derives their direct
     // consequences too.)
-    let mut delta = compiled.empty_staging(&arities);
+    let mut delta = plan.empty_staging(&arities);
     stats.iterations += 1;
-    for (rule, runtime) in compiled.rules.iter().zip(&mut runtimes) {
-        fire_into(
-            rule,
-            runtime,
-            &db,
-            None,
-            delta
-                .get_mut(&rule.head_predicate)
-                .expect("idb delta exists"),
-            &mut stats,
-        );
-    }
+    let firings: Vec<Firing<'_>> = (0..plan.rules().len())
+        .map(|rule_index| Firing {
+            rule_index,
+            delta: None,
+        })
+        .collect();
+    run_round(
+        &plan,
+        &db,
+        &firings,
+        &mut runtimes,
+        &mut exec,
+        &mut delta,
+        &mut stats,
+    );
+    drop(firings);
     merge_deltas(&mut db, &delta);
     run_fixpoint(
-        compiled,
+        &plan,
         &mut db,
         delta,
         &arities,
         &mut runtimes,
+        &mut exec,
         options,
         &mut stats,
     )?;
@@ -229,40 +319,49 @@ pub fn seminaive_resume(
     seeds: &FxHashMap<Symbol, Relation>,
     options: &EvalOptions,
 ) -> Result<EvalStats, EvalError> {
-    let arities = compiled.prepare(model);
+    let plan = compiled.plan(model, options);
+    let arities = plan.prepare(model);
     let mut stats = EvalStats::new(compiled.rules.len());
-    let mut runtimes = compiled.runtimes(model, &mut stats);
+    stats.literal_reorders += plan.reorders;
+    let mut runtimes = plan.runtimes(model, &mut stats);
+    let mut exec = Executor::new(options);
 
-    let mut staging = compiled.empty_staging(&arities);
+    let mut staging = plan.empty_staging(&arities);
     stats.iterations += 1;
-    for (rule, runtime) in compiled.rules.iter().zip(&mut runtimes) {
-        for (pos, literal) in rule.literals.iter().enumerate() {
-            let Some(seed_rel) = seeds.get(&literal.predicate) else {
-                continue;
-            };
-            if seed_rel.is_empty() {
-                continue;
+    {
+        let mut firings: Vec<Firing<'_>> = Vec::new();
+        for (rule_index, rule) in plan.rules().iter().enumerate() {
+            for (pos, literal) in rule.literals.iter().enumerate() {
+                let Some(seed_rel) = seeds.get(&literal.predicate) else {
+                    continue;
+                };
+                if seed_rel.is_empty() {
+                    continue;
+                }
+                firings.push(Firing {
+                    rule_index,
+                    delta: Some((pos, seed_rel)),
+                });
             }
-            let staged = staging
-                .get_mut(&rule.head_predicate)
-                .expect("idb staging exists");
-            fire_into(
-                rule,
-                runtime,
-                model,
-                Some((pos, seed_rel)),
-                staged,
-                &mut stats,
-            );
         }
+        run_round(
+            &plan,
+            model,
+            &firings,
+            &mut runtimes,
+            &mut exec,
+            &mut staging,
+            &mut stats,
+        );
     }
     merge_deltas(model, &staging);
     run_fixpoint(
-        compiled,
+        &plan,
         model,
         staging,
         &arities,
         &mut runtimes,
+        &mut exec,
         options,
         &mut stats,
     )?;
@@ -272,12 +371,14 @@ pub fn seminaive_resume(
 /// The delta-driven fixpoint loop shared by full evaluation and incremental resume:
 /// fire each rule once per IDB body literal with the delta substituted at that
 /// literal, until no new facts appear.
+#[allow(clippy::too_many_arguments)]
 fn run_fixpoint(
-    compiled: &CompiledProgram,
+    plan: &EvalPlan<'_>,
     db: &mut Database,
     mut delta: FxHashMap<Symbol, Relation>,
     arities: &FxHashMap<Symbol, usize>,
     runtimes: &mut [RuleRuntime],
+    exec: &mut Executor,
     options: &EvalOptions,
     stats: &mut EvalStats,
 ) -> Result<(), EvalError> {
@@ -292,19 +393,23 @@ fn run_fixpoint(
         }
         stats.iterations += 1;
 
-        let mut staging = compiled.empty_staging(arities);
-        for (rule, runtime) in compiled.rules.iter().zip(runtimes.iter_mut()) {
-            for &pos in &rule.idb_literal_positions {
-                let body_pred = rule.literals[pos].predicate;
-                let delta_rel = delta.get(&body_pred).expect("idb delta exists");
-                if delta_rel.is_empty() {
-                    continue;
+        let mut staging = plan.empty_staging(arities);
+        {
+            let mut firings: Vec<Firing<'_>> = Vec::new();
+            for (rule_index, rule) in plan.rules().iter().enumerate() {
+                for &pos in &rule.idb_literal_positions {
+                    let body_pred = rule.literals[pos].predicate;
+                    let delta_rel = delta.get(&body_pred).expect("idb delta exists");
+                    if delta_rel.is_empty() {
+                        continue;
+                    }
+                    firings.push(Firing {
+                        rule_index,
+                        delta: Some((pos, delta_rel)),
+                    });
                 }
-                let staged = staging
-                    .get_mut(&rule.head_predicate)
-                    .expect("idb staging exists");
-                fire_into(rule, runtime, db, Some((pos, delta_rel)), staged, stats);
             }
+            run_round(plan, db, &firings, runtimes, exec, &mut staging, stats);
         }
         // The new delta is the staged facts not already in the full database; `staged`
         // was deduplicated against `db` during emission, so it is the delta directly.
@@ -312,6 +417,298 @@ fn run_fixpoint(
         delta = staging;
     }
     Ok(())
+}
+
+/// One scheduled rule firing of a round: the rule, and optionally the delta-substituted
+/// body position with the relation standing in for it.
+#[derive(Clone, Copy)]
+struct Firing<'d> {
+    rule_index: usize,
+    delta: Option<(usize, &'d Relation)>,
+}
+
+/// The round executor: the resolved worker count and threshold, plus the lazily built
+/// per-worker state (one [`JoinScratch`] per rule per worker from the scratch pool,
+/// and reusable out-buffers). One executor lives per evaluation, so parallel rounds
+/// reuse the same scratches and buffers round after round.
+struct Executor {
+    /// Effective worker count (>= 1).
+    workers: usize,
+    /// Minimum total outer rows in a round before it is partitioned.
+    threshold: usize,
+    /// Per-worker state; empty until the first parallel round.
+    pool: Vec<WorkerState>,
+}
+
+struct WorkerState {
+    /// One reusable scratch per rule (rules fire on every worker).
+    scratches: Vec<JoinScratch>,
+    /// One out-buffer per firing of the current round (reused across rounds).
+    bufs: Vec<OutBuf>,
+}
+
+/// A worker's emissions for one firing: tuples appended flat, with `(outer row id,
+/// tuple count)` run-length keys. Within one worker the keys are strictly ascending
+/// (the shard enumerates outer rows in order), and shards are disjoint, so a k-way
+/// merge by outer id reconstructs the sequential emission order exactly.
+#[derive(Default)]
+struct OutBuf {
+    keys: Vec<(RowId, u32)>,
+    data: Vec<Const>,
+}
+
+impl OutBuf {
+    fn clear(&mut self) {
+        self.keys.clear();
+        self.data.clear();
+    }
+
+    #[inline]
+    fn push(&mut self, outer: RowId, tuple: &[Const]) {
+        match self.keys.last_mut() {
+            Some((id, n)) if *id == outer => *n += 1,
+            _ => self.keys.push((outer, 1)),
+        }
+        self.data.extend_from_slice(tuple);
+    }
+}
+
+impl Executor {
+    fn new(options: &EvalOptions) -> Executor {
+        Executor {
+            workers: options.effective_threads().max(1),
+            threshold: options.parallel_threshold,
+            pool: Vec::new(),
+        }
+    }
+
+    /// Build the per-worker scratch pool on first use (counted as scratch
+    /// allocations: `workers * rules` on top of the sequential per-rule scratches).
+    fn ensure_pool(&mut self, rules: &[CompiledRule], stats: &mut EvalStats) {
+        if !self.pool.is_empty() {
+            return;
+        }
+        for _ in 0..self.workers {
+            self.pool.push(WorkerState {
+                scratches: rules.iter().map(CompiledRule::scratch).collect(),
+                bufs: Vec::new(),
+            });
+        }
+        stats.scratch_allocs += self.workers * rules.len();
+    }
+}
+
+/// Total depth-0 rows the round's firings will enumerate — the work available for
+/// partitioning. The delta relation when the delta literal leads the body, the
+/// driving relation otherwise.
+fn outer_rows(rules: &[CompiledRule], db: &Database, firings: &[Firing<'_>]) -> usize {
+    firings
+        .iter()
+        .map(|firing| match firing.delta {
+            Some((0, rel)) => rel.len(),
+            _ => match rules[firing.rule_index].literals.first() {
+                // A probed or fully bound outer (bound positions are constants at
+                // depth 0) enumerates one hash bucket, not the relation — counting
+                // the full length here would misclassify near-empty rounds as heavy
+                // and pay partition overhead to process a handful of rows.
+                Some(literal) if !literal.bound_positions.is_empty() => 1,
+                Some(literal) => db
+                    .relation(literal.predicate)
+                    .map(Relation::len)
+                    .unwrap_or(0),
+                None => 1,
+            },
+        })
+        .sum()
+}
+
+/// Execute one round's firings into `staging`: sequentially through the per-rule
+/// runtimes, or hash-partitioned across the worker pool when the round is heavy
+/// enough. Both paths stage the same facts in the same order and record the same
+/// counters (see the module docs).
+fn run_round(
+    plan: &EvalPlan<'_>,
+    db: &Database,
+    firings: &[Firing<'_>],
+    runtimes: &mut [RuleRuntime],
+    exec: &mut Executor,
+    staging: &mut FxHashMap<Symbol, Relation>,
+    stats: &mut EvalStats,
+) {
+    let rules = plan.rules();
+    if exec.workers > 1 && outer_rows(rules, db, firings) >= exec.threshold {
+        run_round_parallel(plan, db, firings, runtimes, exec, staging, stats);
+        return;
+    }
+    for firing in firings {
+        let rule = &rules[firing.rule_index];
+        let runtime = &mut runtimes[firing.rule_index];
+        let staged = staging
+            .get_mut(&rule.head_predicate)
+            .expect("idb staging exists");
+        fire_into(rule, runtime, db, firing.delta, staged, stats);
+    }
+}
+
+/// One firing of a partitioned round, with the partition-key columns all workers
+/// shard its outer rows by.
+struct Job<'d, 'p> {
+    rule_index: usize,
+    delta: Option<(usize, &'d Relation)>,
+    columns: Option<&'p [usize]>,
+}
+
+/// The partition key of a firing's outer rows.
+///
+/// A *probed* outer (nonempty bound positions — constants, at depth 0) must use
+/// whole-row hash: every candidate row shares the probe-key values, so partitioning
+/// by them would collapse all matches onto a single shard and leave the other
+/// workers idle. A *scanned* outer (the delta when it leads the body) partitions by
+/// the first column set the index plan maintains on its predicate — the join key
+/// other literals probe it on, the sharding columns the ROADMAP calls out — so
+/// tuples sharing a downstream join key stay on one worker; whole-row hash is the
+/// fallback when no index plan covers the predicate.
+fn partition_columns<'p>(plan: &'p EvalPlan<'_>, rule: &'p CompiledRule) -> Option<&'p [usize]> {
+    let literal = rule.literals.first()?;
+    if !literal.bound_positions.is_empty() {
+        return None;
+    }
+    plan.index_plan()
+        .get(&literal.predicate)
+        .and_then(|sets| sets.first())
+        .map(Vec::as_slice)
+}
+
+/// The partitioned round: shard every firing's outer rows across the worker pool,
+/// collect per-worker out-buffers, then merge them — sorted by the outer-row
+/// insertion key — through the staging relations' collision-verified dedup tables.
+fn run_round_parallel(
+    plan: &EvalPlan<'_>,
+    db: &Database,
+    firings: &[Firing<'_>],
+    runtimes: &mut [RuleRuntime],
+    exec: &mut Executor,
+    staging: &mut FxHashMap<Symbol, Relation>,
+    stats: &mut EvalStats,
+) {
+    let rules = plan.rules();
+    let workers = exec.workers;
+    exec.ensure_pool(rules, stats);
+
+    let jobs: Vec<Job<'_, '_>> = firings
+        .iter()
+        .map(|firing| Job {
+            rule_index: firing.rule_index,
+            delta: firing.delta,
+            columns: partition_columns(plan, &rules[firing.rule_index]),
+        })
+        .collect();
+    for state in &mut exec.pool {
+        if state.bufs.len() < jobs.len() {
+            state.bufs.resize_with(jobs.len(), OutBuf::default);
+        }
+        for buf in &mut state.bufs[..jobs.len()] {
+            buf.clear();
+        }
+    }
+
+    // Fan out: worker 0 runs on the calling thread, the rest on scoped threads. All
+    // shared state (database, deltas, access paths) is borrowed immutably; each
+    // worker owns its scratches and buffers.
+    {
+        let runtimes: &[RuleRuntime] = runtimes;
+        let jobs: &[Job<'_, '_>] = &jobs;
+        std::thread::scope(|scope| {
+            let mut states = exec.pool.iter_mut();
+            let first = states.next().expect("pool has at least one worker");
+            for (i, state) in states.enumerate() {
+                scope.spawn(move || run_worker(i + 1, workers, state, jobs, rules, runtimes, db));
+            }
+            run_worker(0, workers, first, jobs, rules, runtimes, db);
+        });
+    }
+
+    // Merge: per firing, in firing order, k-way by outer row id — reconstructing the
+    // sequential emission order — through the same dedup path `fire_into` uses.
+    for (j, job) in jobs.iter().enumerate() {
+        let rule = &rules[job.rule_index];
+        let head = db.relation(rule.head_predicate);
+        let staged = staging
+            .get_mut(&rule.head_predicate)
+            .expect("idb staging exists");
+        let arity = staged.arity();
+        let mut cursors: Vec<(usize, usize)> = vec![(0, 0); workers];
+        loop {
+            let mut next: Option<(usize, RowId)> = None;
+            for (w, &(key_idx, _)) in cursors.iter().enumerate() {
+                if let Some(&(outer, _)) = exec.pool[w].bufs[j].keys.get(key_idx) {
+                    if next.is_none_or(|(_, best)| outer < best) {
+                        next = Some((w, outer));
+                    }
+                }
+            }
+            let Some((w, _)) = next else { break };
+            let buf = &exec.pool[w].bufs[j];
+            let (key_idx, mut offset) = cursors[w];
+            let (_, count) = buf.keys[key_idx];
+            for _ in 0..count {
+                let tuple = &buf.data[offset..offset + arity];
+                offset += arity;
+                let known = head.map(|r| r.contains(tuple)).unwrap_or(false);
+                let is_new = !known && staged.insert(tuple);
+                stats.record_inference(rule.rule_index, rule.head_predicate, is_new);
+            }
+            cursors[w] = (key_idx + 1, offset);
+        }
+    }
+
+    for state in &mut exec.pool {
+        for scratch in &mut state.scratches {
+            stats.absorb_join_counters(std::mem::take(&mut scratch.counters));
+        }
+    }
+    stats.parallel_rounds += 1;
+    stats.parallel_firings += jobs.len();
+    stats.threads_used = stats.threads_used.max(workers);
+}
+
+/// One worker's share of a partitioned round: every firing, restricted to the outer
+/// rows its shard owns, emitted into its own out-buffers.
+///
+/// Each worker re-hashes every outer row to test ownership, so shard assignment
+/// costs O(workers × rows) per firing in total. That is a deliberate trade: the
+/// alternative — a main-thread pre-pass materializing per-shard row lists — puts
+/// the hashing on the serial critical path and allocates per round, while the
+/// per-row hash here is two multiply-rotate rounds against a join that probes,
+/// binds, and emits per row. Revisit if profiles ever show the filter dominating
+/// (tracked as a ROADMAP follow-on).
+fn run_worker(
+    worker: usize,
+    of: usize,
+    state: &mut WorkerState,
+    jobs: &[Job<'_, '_>],
+    rules: &[CompiledRule],
+    runtimes: &[RuleRuntime],
+    db: &Database,
+) {
+    for (j, job) in jobs.iter().enumerate() {
+        let rule = &rules[job.rule_index];
+        let buf = &mut state.bufs[j];
+        let scratch = &mut state.scratches[job.rule_index];
+        let shard = ShardSpec {
+            shard: worker,
+            of,
+            columns: job.columns,
+        };
+        rule.fire_partition(
+            db,
+            job.delta,
+            &runtimes[job.rule_index].access,
+            scratch,
+            &shard,
+            &mut |outer, tuple| buf.push(outer, tuple),
+        );
+    }
 }
 
 /// Fire one rule (optionally with a delta-substituted literal) through its reusable
@@ -629,21 +1026,31 @@ mod tests {
 
     #[test]
     fn delta_joins_probe_indexes_instead_of_scanning() {
-        // In `t(X, Y) :- e(X, W), t(W, Y).` the fixpoint substitutes the delta at the
-        // recursive literal; the staging relations carry the compiled index plan, so
-        // each e-row probes the delta on its bound column instead of scanning it.
+        // In `t(X, Y) :- e(X, W), t(W, Y).` the plan reorders the recursive body to
+        // `t(W, Y), e(X, W)` (t is empty at plan time): every delta round scans the
+        // delta once (depth 0) and probes e on its bound column once per delta row,
+        // so index probes must dominate scans by roughly the average delta size.
         let program = tc_program();
         let n = 50i64;
-        let result = seminaive_evaluate(&program, &chain_edb(n), &EvalOptions::default()).unwrap();
+        let options = EvalOptions {
+            threads: 1,
+            ..EvalOptions::default()
+        };
+        let result = seminaive_evaluate(&program, &chain_edb(n), &options).unwrap();
         let stats = &result.stats;
-        // Every delta round scans e once (depth 0) and probes the delta once per
-        // e-row: index probes must dominate scans by roughly the e-row count.
+        assert_eq!(
+            stats.literal_reorders, 1,
+            "the recursive body is reordered delta-first"
+        );
         assert!(
-            stats.index_probes > stats.full_scans * (n as usize / 2),
+            stats.index_probes > stats.full_scans * (n as usize / 4),
             "delta joins must probe: {} probes vs {} scans",
             stats.index_probes,
             stats.full_scans
         );
+        // One probe per delta row over the whole run: exactly one per derived fact
+        // (plus none for round 0, which scans).
+        assert_eq!(stats.index_probes, stats.facts_derived);
         // Scratch buffers are allocated once per rule and reused across all rounds.
         assert_eq!(stats.scratch_allocs, program.rules.len());
         assert!(stats.iterations > 10, "the chain needs many delta rounds");
@@ -661,6 +1068,169 @@ mod tests {
             stats.scratch_allocs,
             program.rules.len(),
             "one reusable scratch per rule per resume"
+        );
+    }
+
+    /// Options that force the parallel path (threshold 0) at a given thread count.
+    fn parallel_options(threads: usize) -> EvalOptions {
+        EvalOptions {
+            threads,
+            parallel_threshold: 0,
+            ..EvalOptions::default()
+        }
+    }
+
+    /// Assert two databases are identical including per-relation insertion order.
+    fn assert_same_model(a: &Database, b: &Database) {
+        let preds = |db: &Database| {
+            let mut names: Vec<Symbol> = db.iter().map(|(p, _)| p).collect();
+            names.sort_by_key(|p| p.as_str());
+            names
+        };
+        assert_eq!(preds(a), preds(b));
+        for (pred, rel) in a.iter() {
+            let other = b.relation(pred).expect("relation exists in both");
+            assert_eq!(
+                rel.to_vec(),
+                other.to_vec(),
+                "{pred} must match in content AND insertion order"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_evaluation_is_bit_identical_to_sequential() {
+        let programs = [
+            "t(X, Y) :- e(X, Y).\nt(X, Y) :- e(X, W), t(W, Y).",
+            "t(X, Y) :- e(X, Y).\nt(X, Y) :- t(X, W), t(W, Y).",
+            "t(X, Y) :- t(X, W), t(W, Y).\nt(X, Y) :- e(X, W), t(W, Y).\n\
+             t(X, Y) :- t(X, W), e(W, Y).\nt(X, Y) :- e(X, Y).",
+        ];
+        for source in programs {
+            let program = parse_program(source).unwrap().program;
+            let mut edb = chain_edb(30);
+            for i in 0..10i64 {
+                edb.add_fact("e", &[c(i * 3), c(i)]);
+            }
+            let baseline = seminaive_evaluate(&program, &edb, &parallel_options(1)).unwrap();
+            assert_eq!(
+                baseline.stats.parallel_rounds, 0,
+                "one worker is sequential"
+            );
+            for threads in [2usize, 4, 8] {
+                let parallel =
+                    seminaive_evaluate(&program, &edb, &parallel_options(threads)).unwrap();
+                assert_same_model(&baseline.database, &parallel.database);
+                assert_eq!(baseline.stats.inferences, parallel.stats.inferences);
+                assert_eq!(baseline.stats.duplicates, parallel.stats.duplicates);
+                assert_eq!(baseline.stats.facts_derived, parallel.stats.facts_derived);
+                assert_eq!(baseline.stats.index_probes, parallel.stats.index_probes);
+                assert_eq!(baseline.stats.full_scans, parallel.stats.full_scans);
+                assert_eq!(
+                    baseline.stats.inferences_per_rule,
+                    parallel.stats.inferences_per_rule
+                );
+                assert!(parallel.stats.parallel_rounds > 0, "threshold 0 partitions");
+                assert_eq!(parallel.stats.threads_used, threads);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_resume_is_bit_identical_to_sequential() {
+        let program = tc_program();
+        let extra = [(29i64, 3i64), (7, 31), (31, 32)];
+        let run = |threads: usize| {
+            let options = parallel_options(threads);
+            let compiled = CompiledProgram::compile(&program, &options).unwrap();
+            let mut model = seminaive_evaluate(&program, &chain_edb(30), &options)
+                .unwrap()
+                .database;
+            let mut seed_rel = Relation::new(2);
+            for &(a, b) in &extra {
+                if model.add_fact("e", &[c(a), c(b)]) {
+                    seed_rel.insert(&[c(a), c(b)]);
+                }
+            }
+            let mut seeds: FxHashMap<Symbol, Relation> = FxHashMap::default();
+            seeds.insert(Symbol::intern("e"), seed_rel);
+            let stats = seminaive_resume(&compiled, &mut model, &seeds, &options).unwrap();
+            (model, stats)
+        };
+        let (baseline, base_stats) = run(1);
+        for threads in [2usize, 4] {
+            let (model, stats) = run(threads);
+            assert_same_model(&baseline, &model);
+            assert_eq!(base_stats.inferences, stats.inferences);
+            assert_eq!(base_stats.facts_derived, stats.facts_derived);
+            assert!(stats.parallel_rounds > 0, "resume rounds partition too");
+        }
+    }
+
+    #[test]
+    fn rounds_below_the_threshold_stay_sequential() {
+        let program = tc_program();
+        let options = EvalOptions {
+            threads: 4,
+            parallel_threshold: 1_000_000,
+            ..EvalOptions::default()
+        };
+        let result = seminaive_evaluate(&program, &chain_edb(20), &options).unwrap();
+        assert_eq!(result.stats.parallel_rounds, 0);
+        assert_eq!(result.stats.threads_used, 0);
+        // The scratch pool is never built for an all-sequential evaluation.
+        assert_eq!(result.stats.scratch_allocs, program.rules.len());
+    }
+
+    #[test]
+    fn reordering_can_be_disabled() {
+        let program = tc_program();
+        let on = EvalOptions {
+            threads: 1,
+            ..EvalOptions::default()
+        };
+        let off = EvalOptions {
+            threads: 1,
+            reorder_literals: false,
+            ..EvalOptions::default()
+        };
+        let with = seminaive_evaluate(&program, &chain_edb(12), &on).unwrap();
+        let without = seminaive_evaluate(&program, &chain_edb(12), &off).unwrap();
+        assert!(with.stats.literal_reorders > 0);
+        assert_eq!(without.stats.literal_reorders, 0);
+        // Same model either way (conjunction is commutative).
+        let t = Symbol::intern("t");
+        assert_eq!(
+            with.database.relation(t).unwrap().to_sorted_vec(),
+            without.database.relation(t).unwrap().to_sorted_vec()
+        );
+        // Same inference count too: reordering moves work, it does not add any.
+        assert_eq!(with.stats.inferences, without.stats.inferences);
+    }
+
+    #[test]
+    fn reordering_never_changes_builtin_rule_answers() {
+        // Regression: `p(M) :- succ(N, M), counter(N).` derives nothing in source
+        // order (succ is unbound when reached). The reorder heuristic must not
+        // change that — a performance knob may not alter the computed model.
+        let program = parse_program("p(M) :- succ(N, M), counter(N).\ncounter(1).")
+            .unwrap()
+            .program;
+        let on = EvalOptions {
+            threads: 1,
+            ..EvalOptions::default()
+        };
+        let off = EvalOptions {
+            threads: 1,
+            reorder_literals: false,
+            ..EvalOptions::default()
+        };
+        let with = seminaive_evaluate(&program, &Database::new(), &on).unwrap();
+        let without = seminaive_evaluate(&program, &Database::new(), &off).unwrap();
+        assert_eq!(with.database.count("p"), without.database.count("p"));
+        assert_eq!(
+            with.stats.literal_reorders, 0,
+            "builtin bodies never reorder"
         );
     }
 

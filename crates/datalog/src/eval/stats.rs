@@ -44,8 +44,21 @@ pub struct EvalStats {
     pub membership_checks: usize,
     /// Join scratch-buffer constructions. The evaluators allocate one scratch per rule
     /// per evaluation and reuse it across every `fire` call, so this stays equal to
-    /// the rule count no matter how many rows flow through the join.
+    /// the rule count for sequential evaluations no matter how many rows flow through
+    /// the join; the first parallel round of an evaluation adds one scratch per rule
+    /// per worker (the scratch pool), also reused for the rest of the evaluation.
     pub scratch_allocs: usize,
+    /// Rules whose body-literal order was changed by the selectivity heuristic
+    /// (bound-position count, then relation size) at plan time.
+    pub literal_reorders: usize,
+    /// Semi-naive rounds executed hash-partitioned across the worker pool (rounds
+    /// below the parallel threshold run sequentially and are not counted).
+    pub parallel_rounds: usize,
+    /// Rule firings executed as partitioned jobs within parallel rounds.
+    pub parallel_firings: usize,
+    /// Largest worker count any parallel round of this run used (0 when every round
+    /// ran sequentially).
+    pub threads_used: usize,
 }
 
 impl EvalStats {
@@ -113,6 +126,10 @@ impl EvalStats {
         self.full_scans += other.full_scans;
         self.membership_checks += other.membership_checks;
         self.scratch_allocs += other.scratch_allocs;
+        self.literal_reorders += other.literal_reorders;
+        self.parallel_rounds += other.parallel_rounds;
+        self.parallel_firings += other.parallel_firings;
+        self.threads_used = self.threads_used.max(other.threads_used);
         for (&p, &n) in &other.facts_per_predicate {
             *self.facts_per_predicate.entry(p).or_insert(0) += n;
         }
@@ -145,6 +162,16 @@ impl fmt::Display for EvalStats {
                 f,
                 "joins: {} index probes, {} full scans, {} membership checks, {} scratch allocations",
                 self.index_probes, self.full_scans, self.membership_checks, self.scratch_allocs
+            )?;
+        }
+        if self.literal_reorders > 0 {
+            writeln!(f, "plan: {} body literal reorder(s)", self.literal_reorders)?;
+        }
+        if self.parallel_rounds > 0 {
+            writeln!(
+                f,
+                "parallel: {} partitioned rounds ({} firings) on {} threads",
+                self.parallel_rounds, self.parallel_firings, self.threads_used
             )?;
         }
         let mut preds: Vec<_> = self.facts_per_predicate.iter().collect();

@@ -230,6 +230,20 @@ impl Engine {
         self.invalidate();
     }
 
+    /// The session's worker-thread count for partitioned evaluation rounds
+    /// (see [`EvalOptions::threads`]: 1 = sequential, 0 = one per available core).
+    pub fn threads(&self) -> usize {
+        self.options.threads
+    }
+
+    /// Set the worker-thread count for every subsequent evaluation this session
+    /// performs. Unlike [`Engine::set_options`] this invalidates nothing: compiled
+    /// plans are thread-agnostic, and parallel evaluation produces bit-identical
+    /// results, so the materialized model and all cached plans stay valid.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.options.threads = threads;
+    }
+
     /// The pipeline options used to prepare queries.
     pub fn pipeline_options(&self) -> &PipelineOptions {
         &self.pipeline
@@ -947,6 +961,59 @@ mod tests {
         assert_eq!(engine.options().max_iterations, 123);
         assert!(!engine.is_materialized());
         assert_eq!(engine.query(&query).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn set_threads_keeps_model_and_plans_and_answers() {
+        let mut engine = tc_engine(12);
+        let query = parse_query("t(0, Y)").unwrap();
+        let sequential = engine.query(&query).unwrap();
+        engine.query_prepared(&query).unwrap();
+        let plans = engine.prepared_count();
+        assert!(engine.is_materialized());
+
+        // Raising the thread count invalidates nothing and answers identically.
+        engine.set_threads(4);
+        assert_eq!(engine.threads(), 4);
+        assert!(engine.is_materialized());
+        assert_eq!(engine.prepared_count(), plans);
+        assert_eq!(engine.query(&query).unwrap(), sequential);
+        assert_eq!(engine.query_prepared(&query).unwrap(), sequential);
+
+        // Inserts keep propagating incrementally under the new setting.
+        engine.insert("e", &[c(12), c(13)]).unwrap();
+        assert_eq!(engine.query(&query).unwrap().len(), 13);
+    }
+
+    #[test]
+    fn parallel_session_matches_sequential_session() {
+        // Two whole sessions — materialization, incremental resume, prepared replay —
+        // at 1 vs 4 threads with the threshold forced to zero must agree exactly.
+        let run = |threads: usize| {
+            let mut engine = Engine::with_options(EvalOptions {
+                threads,
+                parallel_threshold: 0,
+                ..EvalOptions::default()
+            });
+            engine
+                .load_source("t(X, Y) :- e(X, Y).\nt(X, Y) :- e(X, W), t(W, Y).")
+                .unwrap();
+            for i in 0..20i64 {
+                engine.insert("e", &[c(i), c(i + 1)]).unwrap();
+            }
+            let query = parse_query("t(0, Y)").unwrap();
+            let first = engine.query(&query).unwrap();
+            engine.insert("e", &[c(20), c(21)]).unwrap();
+            let second = engine.query(&query).unwrap();
+            let prepared = engine.query_prepared(&query).unwrap();
+            (first, second, prepared, engine.stats().inferences)
+        };
+        let (f1, s1, p1, inf1) = run(1);
+        let (f4, s4, p4, inf4) = run(4);
+        assert_eq!(f1, f4);
+        assert_eq!(s1, s4);
+        assert_eq!(p1, p4);
+        assert_eq!(inf1, inf4, "inference counts are thread-invariant");
     }
 
     #[test]

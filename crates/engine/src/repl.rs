@@ -6,6 +6,7 @@
 //! :insert <fact>.     insert one ground fact (incremental)
 //! :prepare <query>    compile + cache the optimized plan for a query
 //! ?- <query>.         answer a query (uses the prepared plan when one is cached)
+//! :threads [N]        show or set the evaluation worker count (0 = all cores)
 //! :stats              cumulative session statistics (incl. plan-cache counters)
 //! :program            show the registered rules
 //! :help               command summary
@@ -41,7 +42,9 @@ commands:
   :insert <fact>.  insert one ground fact (incrementally maintained)
   :prepare <q>     prepare (compile + cache) the optimized plan for query <q>
   ?- <query>.      answer a query; replays the prepared plan when one is cached
-  :stats           cumulative session statistics (plan cache, inferences, ...)
+  :threads [N]     show or set evaluation worker threads (1 = sequential, 0 = cores);
+                   parallel evaluation is bit-identical to sequential, only faster
+  :stats           cumulative session statistics (plan cache, inferences, parallel)
   :program         show the registered rules
   :help            this summary
   :quit            leave the session
@@ -98,6 +101,7 @@ impl Repl {
                 "load" => self.load(argument).map(ReplAction::Output),
                 "insert" => self.insert(argument).map(ReplAction::Output),
                 "prepare" => self.prepare(argument).map(ReplAction::Output),
+                "threads" => self.threads(argument).map(ReplAction::Output),
                 "stats" => Ok(ReplAction::Output(self.stats())),
                 "program" => Ok(ReplAction::Output(self.show_program())),
                 other => Err(format!("unknown command `:{other}` (try :help)")),
@@ -160,6 +164,26 @@ impl Repl {
             report.strategy,
             if report.cached { " (cached)" } else { "" }
         ))
+    }
+
+    fn threads(&mut self, arg: &str) -> Result<String, String> {
+        let describe = |engine: &Engine| {
+            let configured = engine.threads();
+            let effective = engine.options().effective_threads();
+            match configured {
+                0 => format!("threads: 0 (auto: {effective} available core(s))"),
+                1 => "threads: 1 (sequential)".to_string(),
+                n => format!("threads: {n}"),
+            }
+        };
+        if arg.is_empty() {
+            return Ok(describe(&self.engine));
+        }
+        let n: usize = arg
+            .parse()
+            .map_err(|_| format!("`:threads` expects a number, got `{arg}`"))?;
+        self.engine.set_threads(n);
+        Ok(describe(&self.engine))
     }
 
     fn run_query(&mut self, text: &str) -> Result<String, String> {
@@ -239,6 +263,15 @@ impl Repl {
             } else {
                 "stale"
             }
+        );
+        let _ = write!(
+            out,
+            "\nthreads: {} configured ({} effective); parallel rounds: {} ({} firings); literal reorders: {}",
+            self.engine.threads(),
+            self.engine.options().effective_threads(),
+            stats.parallel_rounds,
+            stats.parallel_firings,
+            stats.literal_reorders,
         );
         out
     }
@@ -340,6 +373,26 @@ mod tests {
             stats.contains("plan cache: 0 hits, 2 misses, 1 evicted"),
             "{stats}"
         );
+    }
+
+    #[test]
+    fn threads_command_round_trips() {
+        let mut repl = Repl::new();
+        repl.engine_mut().set_threads(1);
+        assert_eq!(output(&mut repl, ":threads"), "threads: 1 (sequential)");
+        assert_eq!(output(&mut repl, ":threads 4"), "threads: 4");
+        assert_eq!(repl.engine().threads(), 4);
+        assert!(output(&mut repl, ":threads 0").starts_with("threads: 0 (auto:"));
+        assert!(output(&mut repl, ":threads nope").starts_with("error:"));
+        // A parallel session still answers queries correctly.
+        repl.engine_mut().set_threads(4);
+        output(&mut repl, "t(X, Y) :- e(X, Y).");
+        output(&mut repl, ":insert e(1, 2).");
+        assert!(output(&mut repl, "?- t(1, Y).").contains("Y = 2"));
+        let stats = output(&mut repl, ":stats");
+        assert!(stats.contains("threads: 4 configured"), "{stats}");
+        assert!(stats.contains("parallel rounds:"), "{stats}");
+        assert!(stats.contains("literal reorders:"), "{stats}");
     }
 
     #[test]
