@@ -458,6 +458,215 @@ pub mod joins {
     }
 }
 
+/// The `incremental` measurement suite: the workload set behind the checked-in
+/// `BENCH_incremental.json` baseline and the `report --json incremental` mode. The
+/// headline workload is *churn*: a materialized transitive closure absorbing a
+/// stream of retract+assert transactions (counting-based delete propagation through
+/// the maintained model), measured against from-scratch re-evaluation of every
+/// post-transaction EDB. The suite asserts on every run — including the CI smoke
+/// run — that the maintained answers checksum-match the from-scratch answers.
+pub mod incremental {
+    use std::time::Instant;
+
+    use factorlog_datalog::ast::Const;
+    use factorlog_datalog::eval::{seminaive_evaluate, EvalOptions};
+    use factorlog_datalog::parser::{parse_program, parse_query};
+    use factorlog_datalog::storage::Database;
+    use factorlog_engine::Engine;
+    use factorlog_workloads::programs;
+
+    /// One measured workload of the suite.
+    #[derive(Clone, Debug)]
+    pub struct IncrementalMeasurement {
+        /// Workload id (stable across runs; keys of `BENCH_incremental.json`).
+        pub name: &'static str,
+        /// Median wall-clock milliseconds over the samples.
+        pub millis: f64,
+        /// Facts removed from the model by delete propagation (0 for the
+        /// from-scratch baseline, which has no model to maintain).
+        pub retractions: usize,
+        /// Over-deleted facts restored by the counting re-derivation pass.
+        pub rederivations: usize,
+        /// Negative-delta fixpoint rounds.
+        pub delete_rounds: usize,
+        /// Total answers across the stream's queries — the machine-independent
+        /// correctness checksum the maintained and scratch runs must share.
+        pub answer_checksum: usize,
+    }
+
+    fn median(mut samples: Vec<f64>) -> f64 {
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        samples[samples.len() / 2]
+    }
+
+    /// The churn workload's base EDB: a chain 0→1→…→n plus skip edges (j → j+2 for
+    /// even j), so a retracted chain edge usually leaves reachability intact through
+    /// the skips — maximal re-derivation work for the counting pass.
+    fn churn_base(n: i64) -> Vec<(i64, i64)> {
+        let mut edges: Vec<(i64, i64)> = (0..n).map(|i| (i, i + 1)).collect();
+        edges.extend((0..n - 1).step_by(2).map(|j| (j, j + 2)));
+        edges
+    }
+
+    /// The mutation stream: transaction `i` retracts chain edge (s_i → s_i+1) and
+    /// asserts a fresh detour edge (s_i → n + i).
+    fn churn_stream(n: i64, churns: usize) -> Vec<((i64, i64), (i64, i64))> {
+        (0..churns as i64)
+            .map(|i| {
+                let cut = (i * 7 + 1) % (n - 1);
+                ((cut, cut + 1), (cut, n + i))
+            })
+            .collect()
+    }
+
+    /// Play the churn stream against a persistent engine: materialize once, then
+    /// absorb each retract+assert transaction with incremental maintenance, querying
+    /// after each. Returns (total answers, mutation counters).
+    fn churn_maintained(n: i64, churns: usize) -> (usize, (usize, usize, usize)) {
+        let mut engine = Engine::new();
+        engine
+            .load_source(programs::RIGHT_LINEAR_TC)
+            .expect("program loads");
+        for (a, b) in churn_base(n) {
+            engine
+                .insert("e", &[Const::Int(a), Const::Int(b)])
+                .expect("base insert");
+        }
+        let query = parse_query(programs::TC_QUERY).expect("query parses");
+        let mut checksum = engine.query(&query).expect("initial query").len();
+        for ((ra, rb), (aa, ab)) in churn_stream(n, churns) {
+            let mut txn = engine.transaction();
+            txn.retract("e", &[Const::Int(ra), Const::Int(rb)])
+                .assert("e", &[Const::Int(aa), Const::Int(ab)]);
+            txn.commit().expect("churn commit");
+            checksum += engine.query(&query).expect("churn query").len();
+        }
+        let stats = engine.stats();
+        (
+            checksum,
+            (stats.retractions, stats.rederivations, stats.delete_rounds),
+        )
+    }
+
+    /// The baseline: the same stream with a from-scratch evaluation of the whole EDB
+    /// after every transaction.
+    fn churn_scratch(n: i64, churns: usize) -> usize {
+        let program = parse_program(programs::RIGHT_LINEAR_TC)
+            .expect("program parses")
+            .program;
+        let query = parse_query(programs::TC_QUERY).expect("query parses");
+        let mut edb = Database::new();
+        for (a, b) in churn_base(n) {
+            edb.add_fact("e", &[Const::Int(a), Const::Int(b)]);
+        }
+        let evaluate = |edb: &Database| {
+            seminaive_evaluate(&program, edb, &EvalOptions::default())
+                .expect("scratch evaluation")
+                .answers(&query)
+                .len()
+        };
+        let mut checksum = evaluate(&edb);
+        for ((ra, rb), (aa, ab)) in churn_stream(n, churns) {
+            edb.remove_fact("e", &[Const::Int(ra), Const::Int(rb)]);
+            edb.add_fact("e", &[Const::Int(aa), Const::Int(ab)]);
+            checksum += evaluate(&edb);
+        }
+        checksum
+    }
+
+    /// Run the whole suite. `quick` shrinks the workloads and sample counts to a
+    /// smoke test; the maintained-vs-scratch checksum assertion runs either way.
+    pub fn run_suite(quick: bool) -> Vec<IncrementalMeasurement> {
+        let samples = if quick { 1 } else { 5 };
+        let (n, churns) = if quick { (60i64, 4usize) } else { (400, 20) };
+        let mut out = Vec::new();
+
+        let mut timings = Vec::with_capacity(samples);
+        let mut maintained = None;
+        for _ in 0..samples {
+            let start = Instant::now();
+            let result = churn_maintained(n, churns);
+            timings.push(start.elapsed().as_secs_f64() * 1e3);
+            maintained = Some(result);
+        }
+        let (checksum, (retractions, rederivations, delete_rounds)) =
+            maintained.expect("at least one sample");
+        out.push(IncrementalMeasurement {
+            name: "tc_churn_400_maintained",
+            millis: median(timings),
+            retractions,
+            rederivations,
+            delete_rounds,
+            answer_checksum: checksum,
+        });
+        assert!(
+            rederivations > 0,
+            "the skip edges must force counting re-derivations"
+        );
+
+        let mut timings = Vec::with_capacity(samples);
+        let mut scratch_checksum = 0usize;
+        for _ in 0..samples {
+            let start = Instant::now();
+            scratch_checksum = churn_scratch(n, churns);
+            timings.push(start.elapsed().as_secs_f64() * 1e3);
+        }
+        assert_eq!(
+            checksum, scratch_checksum,
+            "maintained and from-scratch answers must agree"
+        );
+        out.push(IncrementalMeasurement {
+            name: "tc_churn_400_scratch",
+            millis: median(timings),
+            retractions: 0,
+            rederivations: 0,
+            delete_rounds: 0,
+            answer_checksum: scratch_checksum,
+        });
+
+        out
+    }
+
+    /// Render the suite results as a JSON object (manual formatting keeps the
+    /// workspace dependency-free). `quick` marks smoke runs on shrunken workloads.
+    pub fn to_json(results: &[IncrementalMeasurement], quick: bool) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("{\n");
+        if quick {
+            out.push_str(
+                "  \"quick\": true,\n  \"warning\": \"smoke run on shrunken workloads — not comparable to BENCH_incremental.json\",\n",
+            );
+        }
+        for (i, m) in results.iter().enumerate() {
+            let _ = write!(
+                out,
+                "  \"{}\": {{\"millis\": {:.3}, \"retractions\": {}, \"rederivations\": {}, \"delete_rounds\": {}, \"answer_checksum\": {}}}",
+                m.name, m.millis, m.retractions, m.rederivations, m.delete_rounds, m.answer_checksum
+            );
+            out.push_str(if i + 1 == results.len() { "\n" } else { ",\n" });
+        }
+        out.push('}');
+        out
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn quick_suite_is_internally_consistent() {
+            let results = super::run_suite(true);
+            assert_eq!(results.len(), 2);
+            assert_eq!(
+                results[0].answer_checksum, results[1].answer_checksum,
+                "run_suite asserts this itself; pin it here too"
+            );
+            assert!(results[0].retractions > 0);
+            let json = super::to_json(&results, true);
+            assert!(json.contains("tc_churn_400_maintained"));
+            assert!(json.contains("\"quick\": true"));
+        }
+    }
+}
+
 /// The `parallel` measurement suite: the workload set behind the checked-in
 /// `BENCH_parallel.json` baseline and the `report --json parallel` mode. Each workload
 /// is evaluated at several worker-thread counts ([`parallel::THREAD_COUNTS`]); the

@@ -320,13 +320,23 @@ pub struct ShardSpec<'a> {
     pub of: usize,
     /// Partition-key columns of the outer relation (`None` = whole-row hash).
     pub columns: Option<&'a [usize]>,
+    /// Precomputed shard assignment of the outer relation's rows
+    /// (`assign[row_id] = owning shard`), produced once per round by the driver so
+    /// that workers test ownership with an array load instead of re-hashing every
+    /// outer row (the PR 3 follow-on). Must agree with [`shard_of_row`] over
+    /// `columns`/`of` — the round driver computes it with exactly that function.
+    /// `None` falls back to hashing per row (probed outers, direct callers).
+    pub assign: Option<&'a [u8]>,
 }
 
 impl ShardSpec<'_> {
-    /// Does this shard own `row`?
+    /// Does this shard own the outer row `id` with values `row`?
     #[inline]
-    fn owns(&self, row: &[Const]) -> bool {
-        shard_of_row(row, self.columns, self.of) == self.shard
+    fn owns(&self, id: RowId, row: &[Const]) -> bool {
+        match self.assign {
+            Some(assign) => assign[id as usize] as usize == self.shard,
+            None => shard_of_row(row, self.columns, self.of) == self.shard,
+        }
     }
 }
 
@@ -658,7 +668,7 @@ impl CompiledRule {
                 let candidates = relation.probe_candidates(index, hasher.finish());
                 for &row_id in candidates {
                     let row = relation.row(row_id);
-                    if !shard.owns(row) {
+                    if !shard.owns(row_id, row) {
                         continue;
                     }
                     let mut inner = |tuple: &[Const]| emit(row_id, tuple);
@@ -669,8 +679,11 @@ impl CompiledRule {
                 if shard.shard == 0 {
                     scratch.counters.full_scans += 1;
                 }
-                for row_id in relation.shard_rows(shard.columns, shard.shard, shard.of) {
+                for row_id in 0..relation.len() as RowId {
                     let row = relation.row(row_id);
+                    if !shard.owns(row_id, row) {
+                        continue;
+                    }
                     let mut inner = |tuple: &[Const]| emit(row_id, tuple);
                     self.bind_and_descend(&ctx, 0, row, scratch, &mut inner, &mut count);
                 }
@@ -1084,7 +1097,9 @@ mod tests {
     }
 
     /// Reference check: the union of all shards' emissions equals `fire_with`'s, with
-    /// outer keys that reconstruct the sequential emission order.
+    /// outer keys that reconstruct the sequential emission order — exercised both
+    /// with per-row hashing and with a precomputed assignment vector (the two
+    /// ownership paths must be indistinguishable).
     fn assert_partition_matches_fire(
         compiled: &CompiledRule,
         db: &Database,
@@ -1100,40 +1115,66 @@ mod tests {
         });
         let seq_counters = scratch.counters;
 
-        let mut merged: Vec<(RowId, Vec<Const>)> = Vec::new();
-        let mut par_counters = JoinCounters::default();
-        for w in 0..workers {
-            let mut shard_scratch = compiled.scratch();
-            let shard = ShardSpec {
-                shard: w,
-                of: workers,
-                columns,
+        // A precomputed assignment for the scanned-outer case, built with the same
+        // shard function the hashing path uses.
+        let outer_assign: Option<Vec<u8>> = compiled.literals.first().and_then(|literal| {
+            if !literal.bound_positions.is_empty() {
+                return None;
+            }
+            let relation = match delta {
+                Some((0, rel)) => rel,
+                _ => db.relation(literal.predicate)?,
             };
-            compiled.fire_partition(
-                db,
-                delta,
-                &access,
-                &mut shard_scratch,
-                &shard,
-                &mut |outer, t| merged.push((outer, t.to_vec())),
+            Some(
+                (0..relation.len() as RowId)
+                    .map(|id| shard_of_row(relation.row(id), columns, workers) as u8)
+                    .collect(),
+            )
+        });
+
+        for assign in [None, outer_assign.as_deref()] {
+            let mut merged: Vec<(RowId, Vec<Const>)> = Vec::new();
+            let mut par_counters = JoinCounters::default();
+            for w in 0..workers {
+                let mut shard_scratch = compiled.scratch();
+                let shard = ShardSpec {
+                    shard: w,
+                    of: workers,
+                    columns,
+                    assign,
+                };
+                compiled.fire_partition(
+                    db,
+                    delta,
+                    &access,
+                    &mut shard_scratch,
+                    &shard,
+                    &mut |outer, t| merged.push((outer, t.to_vec())),
+                );
+                par_counters.index_probes += shard_scratch.counters.index_probes;
+                par_counters.full_scans += shard_scratch.counters.full_scans;
+                par_counters.membership_checks += shard_scratch.counters.membership_checks;
+            }
+            // Stable sort by the outer insertion key reconstructs the sequential order.
+            merged.sort_by_key(|(outer, _)| *outer);
+            let tuples: Vec<Vec<Const>> = merged.into_iter().map(|(_, t)| t).collect();
+            assert_eq!(
+                tuples,
+                sequential,
+                "partitioned firing must match fire_with (assign: {})",
+                if assign.is_some() {
+                    "precomputed"
+                } else {
+                    "hashed"
+                }
             );
-            par_counters.index_probes += shard_scratch.counters.index_probes;
-            par_counters.full_scans += shard_scratch.counters.full_scans;
-            par_counters.membership_checks += shard_scratch.counters.membership_checks;
+            assert_eq!(par_counters.index_probes, seq_counters.index_probes);
+            assert_eq!(par_counters.full_scans, seq_counters.full_scans);
+            assert_eq!(
+                par_counters.membership_checks,
+                seq_counters.membership_checks
+            );
         }
-        // Stable sort by the outer insertion key reconstructs the sequential order.
-        merged.sort_by_key(|(outer, _)| *outer);
-        let tuples: Vec<Vec<Const>> = merged.into_iter().map(|(_, t)| t).collect();
-        assert_eq!(
-            tuples, sequential,
-            "partitioned firing must match fire_with"
-        );
-        assert_eq!(par_counters.index_probes, seq_counters.index_probes);
-        assert_eq!(par_counters.full_scans, seq_counters.full_scans);
-        assert_eq!(
-            par_counters.membership_checks,
-            seq_counters.membership_checks
-        );
     }
 
     #[test]
@@ -1203,6 +1244,7 @@ mod tests {
                 shard: w,
                 of: 4,
                 columns: None,
+                assign: None,
             };
             let n =
                 compiled.fire_partition(&db, None, &access, &mut scratch, &shard, &mut |_, _| {});
@@ -1229,6 +1271,7 @@ mod tests {
                 shard: w,
                 of: 4,
                 columns: None,
+                assign: None,
             };
             total += fact.fire_partition(&db, None, &access, &mut scratch, &shard, &mut |o, t| {
                 assert_eq!(o, 0);
@@ -1249,6 +1292,7 @@ mod tests {
                 shard: w,
                 of: 2,
                 columns: None,
+                assign: None,
             };
             let n =
                 succ_first.fire_partition(&db, None, &access, &mut scratch, &shard, &mut |_, _| {});

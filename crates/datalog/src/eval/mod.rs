@@ -18,7 +18,7 @@ pub use join::EvalOptions;
 pub use naive::naive_evaluate;
 pub use seminaive::{
     seminaive_evaluate, seminaive_evaluate_compiled, seminaive_evaluate_owned, seminaive_resume,
-    CompiledProgram,
+    seminaive_retract, CompiledProgram,
 };
 pub use stats::EvalStats;
 

@@ -16,7 +16,10 @@
 //!   once and replay the compiled plan over many databases (the prepared-query path);
 //! * [`seminaive_resume`] — restart the fixpoint over an *existing* least model with
 //!   externally seeded deltas (newly inserted EDB facts), deriving only consequences
-//!   that use at least one new fact instead of re-evaluating from scratch.
+//!   that use at least one new fact instead of re-evaluating from scratch;
+//! * [`seminaive_retract`] — the negative-delta counterpart: retract base facts from
+//!   an existing least model with DRed-shaped over-delete/re-derive propagation and
+//!   a counting re-derivation phase, through the same compiled firings.
 //!
 //! # Parallel rounds
 //!
@@ -280,6 +283,7 @@ pub fn seminaive_evaluate_owned(
         &firings,
         &mut runtimes,
         &mut exec,
+        Sink::Derive,
         &mut delta,
         &mut stats,
     );
@@ -350,6 +354,7 @@ pub fn seminaive_resume(
             &firings,
             &mut runtimes,
             &mut exec,
+            Sink::Derive,
             &mut staging,
             &mut stats,
         );
@@ -365,6 +370,222 @@ pub fn seminaive_resume(
         options,
         &mut stats,
     )?;
+    Ok(stats)
+}
+
+/// Retract facts from an existing least `model` with incremental delete propagation —
+/// the negative-delta counterpart of [`seminaive_resume`].
+///
+/// `model` must be a fixpoint of the compiled program over some earlier EDB, with the
+/// retracted base facts **still present**; `removed` holds, per predicate, the base
+/// facts being retracted (facts not in the model are ignored); `base` is the
+/// caller's surviving base-fact store — the EDB *after* the retraction, which the
+/// caller must have applied first, so that a later from-scratch evaluation agrees
+/// with the maintained model. Base facts count as support during re-derivation:
+/// an over-deleted fact of a rule-defined predicate that is also a surviving base
+/// fact (the evaluator accepts pre-loaded IDB facts) is restored even when no rule
+/// derives it.
+///
+/// The propagation is DRed-shaped with a counting re-derivation phase, all driven
+/// through the same compiled join pipeline (and the same partitioned executor) as
+/// insertion:
+///
+/// 1. **Over-delete** — negative deltas: fire every rule once per body position whose
+///    predicate has a deletion delta, against the *old* model. Every emitted head
+///    fact had a derivation touching a retracted fact, so it is scheduled for
+///    deletion; the schedule is propagated to a fixpoint. This over-approximates for
+///    facts with independent surviving derivations — deliberately: recursive
+///    predicates can support themselves in cycles, so incremental derivation counts
+///    cannot soundly decide survival under the evaluator's overlapping delta
+///    discipline (an instantiation whose body facts arrive — or die — in the same
+///    round is enumerated once per such position, so insert-side and delete-side
+///    multiplicities need not cancel).
+/// 2. **Remove** — every scheduled fact is removed from the model in one batch
+///    compaction per relation.
+/// 3. **Re-derive by counting** — rules whose head predicate lost facts fire once
+///    against the post-removal model; emissions that are scheduled-deleted facts are
+///    staged into *counted* relations ([`Relation::enable_counts`]), so each staged
+///    fact carries its exact number of surviving derivations (the full firing
+///    enumerates each instantiation exactly once). Facts with support count ≥ 1 are
+///    restored.
+/// 4. **Resume** — the restored facts seed the ordinary positive-delta fixpoint,
+///    restoring everything derivable downstream of them.
+///
+/// Returns the statistics of the run (`retractions` counts facts removed in step 2,
+/// `rederivations` facts restored in step 3, `delete_rounds` the fixpoint rounds of
+/// step 1); `model` is updated in place. On error the model may hold a partial
+/// maintenance state; callers should discard and re-materialize it.
+pub fn seminaive_retract(
+    compiled: &CompiledProgram,
+    model: &mut Database,
+    removed: &FxHashMap<Symbol, Relation>,
+    base: &Database,
+    options: &EvalOptions,
+) -> Result<EvalStats, EvalError> {
+    let plan = compiled.plan(model, options);
+    let arities = plan.prepare(model);
+    let mut stats = EvalStats::new(compiled.rules.len());
+    stats.literal_reorders += plan.reorders;
+    let mut runtimes = plan.runtimes(model, &mut stats);
+    let mut exec = Executor::new(options);
+
+    // Seed the deletion schedule with the retracted base facts present in the model,
+    // indexed like delta relations so recursive-literal negative deltas probe.
+    let mut deleted: FxHashMap<Symbol, Relation> = FxHashMap::default();
+    for (&pred, rel) in removed {
+        let present: Vec<&[Const]> = rel
+            .iter()
+            .filter(|tuple| {
+                model
+                    .relation(pred)
+                    .is_some_and(|r| r.arity() == rel.arity() && r.contains(tuple))
+            })
+            .collect();
+        if present.is_empty() {
+            continue;
+        }
+        let mut seed = Relation::new(rel.arity());
+        if let Some(sets) = plan.index_plan().get(&pred) {
+            for columns in sets {
+                seed.ensure_index(columns);
+            }
+        }
+        for tuple in present {
+            seed.insert(tuple);
+        }
+        stats.retractions += seed.len();
+        deleted.insert(pred, seed);
+    }
+    if deleted.is_empty() {
+        return Ok(stats);
+    }
+
+    // Phase 1 — over-delete fixpoint: negative deltas through the compiled firings.
+    let mut delta: FxHashMap<Symbol, Relation> = deleted.clone();
+    loop {
+        let mut staging = plan.empty_staging(&arities);
+        {
+            let mut firings: Vec<Firing<'_>> = Vec::new();
+            for (rule_index, rule) in plan.rules().iter().enumerate() {
+                for (pos, literal) in rule.literals.iter().enumerate() {
+                    let Some(delta_rel) = delta.get(&literal.predicate) else {
+                        continue;
+                    };
+                    if delta_rel.is_empty() {
+                        continue;
+                    }
+                    firings.push(Firing {
+                        rule_index,
+                        delta: Some((pos, delta_rel)),
+                    });
+                }
+            }
+            if firings.is_empty() {
+                break;
+            }
+            if stats.delete_rounds >= options.max_iterations {
+                return Err(EvalError::IterationLimit {
+                    limit: options.max_iterations,
+                });
+            }
+            stats.delete_rounds += 1;
+            run_round(
+                &plan,
+                model,
+                &firings,
+                &mut runtimes,
+                &mut exec,
+                Sink::Retract { deleted: &deleted },
+                &mut staging,
+                &mut stats,
+            );
+        }
+        if staging.values().all(Relation::is_empty) {
+            break;
+        }
+        for (&pred, rel) in &staging {
+            if !rel.is_empty() {
+                deleted
+                    .entry(pred)
+                    .or_insert_with(|| Relation::new(rel.arity()))
+                    .merge_from(rel);
+            }
+        }
+        delta = staging;
+    }
+
+    // Phase 2 — remove every scheduled fact (one compaction per relation).
+    for (&pred, rel) in &deleted {
+        if let Some(target) = model.relation_mut(pred) {
+            target.remove_all(rel);
+        }
+    }
+
+    // Phase 3 — counting re-derivation: count each over-deleted IDB fact's surviving
+    // derivations; facts with support ≥ 1 are restored. A surviving *base* fact is
+    // one unit of support too (pre-loaded IDB facts have no deriving rule).
+    let candidates: FxHashMap<Symbol, Relation> = deleted
+        .iter()
+        .filter(|(pred, rel)| compiled.idb.contains(pred) && !rel.is_empty())
+        .map(|(&pred, rel)| (pred, rel.clone()))
+        .collect();
+    if !candidates.is_empty() {
+        let mut restored = plan.empty_staging(&arities);
+        for rel in restored.values_mut() {
+            rel.enable_counts();
+        }
+        for (pred, cand) in &candidates {
+            let Some(base_rel) = base.relation(*pred) else {
+                continue;
+            };
+            if base_rel.arity() != cand.arity() {
+                continue;
+            }
+            let staged = restored.get_mut(pred).expect("idb staging exists");
+            for tuple in cand.iter() {
+                if base_rel.contains(tuple) && staged.insert_counted(tuple) {
+                    stats.rederivations += 1;
+                }
+            }
+        }
+        {
+            let firings: Vec<Firing<'_>> = plan
+                .rules()
+                .iter()
+                .enumerate()
+                .filter(|(_, rule)| candidates.contains_key(&rule.head_predicate))
+                .map(|(rule_index, _)| Firing {
+                    rule_index,
+                    delta: None,
+                })
+                .collect();
+            run_round(
+                &plan,
+                model,
+                &firings,
+                &mut runtimes,
+                &mut exec,
+                Sink::Rederive {
+                    candidates: &candidates,
+                },
+                &mut restored,
+                &mut stats,
+            );
+        }
+        // Phase 4 — restored facts rejoin the model and seed the ordinary
+        // positive-delta fixpoint for everything downstream of them.
+        merge_deltas(model, &restored);
+        run_fixpoint(
+            &plan,
+            model,
+            restored,
+            &arities,
+            &mut runtimes,
+            &mut exec,
+            options,
+            &mut stats,
+        )?;
+    }
     Ok(stats)
 }
 
@@ -409,7 +630,16 @@ fn run_fixpoint(
                     });
                 }
             }
-            run_round(plan, db, &firings, runtimes, exec, &mut staging, stats);
+            run_round(
+                plan,
+                db,
+                &firings,
+                runtimes,
+                exec,
+                Sink::Derive,
+                &mut staging,
+                stats,
+            );
         }
         // The new delta is the staged facts not already in the full database; `staged`
         // was deduplicated against `db` during emission, so it is the delta directly.
@@ -425,6 +655,72 @@ fn run_fixpoint(
 struct Firing<'d> {
     rule_index: usize,
     delta: Option<(usize, &'d Relation)>,
+}
+
+/// What a round's emissions *mean* — the delta polarity of the round. All three modes
+/// run through the same compiled firings and (when the round is heavy enough) the
+/// same partitioned executor; only the staging criterion at the emission point
+/// differs, so sequential and parallel rounds of every polarity stay bit-identical.
+#[derive(Clone, Copy)]
+enum Sink<'a> {
+    /// Positive deltas: stage emissions not already in the database (the ordinary
+    /// semi-naive round).
+    Derive,
+    /// Negative deltas (the over-delete phase of retraction): stage emissions that
+    /// are still present in the database and not already scheduled for deletion in
+    /// `deleted` — every derivation that touches a retracted fact schedules its head.
+    Retract {
+        /// Facts already scheduled for deletion in earlier rounds of this batch.
+        deleted: &'a FxHashMap<Symbol, Relation>,
+    },
+    /// The counting re-derivation pass: stage emissions that are over-deleted
+    /// `candidates`, bumping the staged fact's support count on every enumeration —
+    /// the staging relations carry per-fact counts, and any fact staged here has at
+    /// least one derivation from surviving facts.
+    Rederive {
+        /// The over-deleted facts whose surviving support is being counted.
+        candidates: &'a FxHashMap<Symbol, Relation>,
+    },
+}
+
+impl Sink<'_> {
+    /// Apply one emission of `rule` to its staging relation, recording the
+    /// mode-specific statistics. `head` is the database relation of the rule's head
+    /// predicate. This is THE emission point: the sequential path (`fire_into`) and
+    /// the parallel merge both go through it, which is what keeps the two paths'
+    /// staged contents and counters identical.
+    #[inline]
+    fn stage(
+        &self,
+        rule: &CompiledRule,
+        head: Option<&Relation>,
+        staged: &mut Relation,
+        tuple: &[Const],
+        stats: &mut EvalStats,
+    ) {
+        match self {
+            Sink::Derive => {
+                let known = head.map(|r| r.contains(tuple)).unwrap_or(false);
+                let is_new = !known && staged.insert(tuple);
+                stats.record_inference(rule.rule_index, rule.head_predicate, is_new);
+            }
+            Sink::Retract { deleted } => {
+                let scheduled = deleted
+                    .get(&rule.head_predicate)
+                    .is_some_and(|r| r.contains(tuple));
+                let dying = !scheduled && head.map(|r| r.contains(tuple)).unwrap_or(false);
+                let is_new = dying && staged.insert(tuple);
+                stats.record_retraction(rule.rule_index, is_new);
+            }
+            Sink::Rederive { candidates } => {
+                let candidate = candidates
+                    .get(&rule.head_predicate)
+                    .is_some_and(|r| r.contains(tuple));
+                let is_new = candidate && staged.insert_counted(tuple);
+                stats.record_rederivation(rule.rule_index, is_new);
+            }
+        }
+    }
 }
 
 /// The round executor: the resolved worker count and threshold, plus the lazily built
@@ -526,18 +822,20 @@ fn outer_rows(rules: &[CompiledRule], db: &Database, firings: &[Firing<'_>]) -> 
 /// runtimes, or hash-partitioned across the worker pool when the round is heavy
 /// enough. Both paths stage the same facts in the same order and record the same
 /// counters (see the module docs).
+#[allow(clippy::too_many_arguments)]
 fn run_round(
     plan: &EvalPlan<'_>,
     db: &Database,
     firings: &[Firing<'_>],
     runtimes: &mut [RuleRuntime],
     exec: &mut Executor,
+    sink: Sink<'_>,
     staging: &mut FxHashMap<Symbol, Relation>,
     stats: &mut EvalStats,
 ) {
     let rules = plan.rules();
     if exec.workers > 1 && outer_rows(rules, db, firings) >= exec.threshold {
-        run_round_parallel(plan, db, firings, runtimes, exec, staging, stats);
+        run_round_parallel(plan, db, firings, runtimes, exec, sink, staging, stats);
         return;
     }
     for firing in firings {
@@ -546,16 +844,42 @@ fn run_round(
         let staged = staging
             .get_mut(&rule.head_predicate)
             .expect("idb staging exists");
-        fire_into(rule, runtime, db, firing.delta, staged, stats);
+        fire_into(rule, runtime, db, firing.delta, sink, staged, stats);
     }
 }
 
 /// One firing of a partitioned round, with the partition-key columns all workers
-/// shard its outer rows by.
+/// shard its outer rows by and (for scanned outers) the round's precomputed shard
+/// assignment of the outer relation's rows.
 struct Job<'d, 'p> {
     rule_index: usize,
     delta: Option<(usize, &'d Relation)>,
     columns: Option<&'p [usize]>,
+    assign: Option<&'p [u8]>,
+}
+
+/// The outer relation a firing scans at depth 0, when there is one to precompute
+/// shard assignments for: the delta relation when the delta leads the body, the
+/// driving database relation for an unbound (full-scan) first literal. Probed,
+/// fully bound, builtin-first and empty-bodied firings return `None` — their outer
+/// enumeration is a hash bucket or a single row, so hashing the whole relation up
+/// front would cost more than it saves.
+fn scanned_outer<'d>(
+    rule: &CompiledRule,
+    db: &'d Database,
+    delta: Option<(usize, &'d Relation)>,
+) -> Option<&'d Relation> {
+    let literal = rule.literals.first()?;
+    if literal.is_builtin_succ() && db.relation(literal.predicate).is_none() {
+        return None;
+    }
+    if !literal.bound_positions.is_empty() {
+        return None;
+    }
+    match delta {
+        Some((0, rel)) => Some(rel),
+        _ => db.relation(literal.predicate),
+    }
 }
 
 /// The partition key of a firing's outer rows.
@@ -582,12 +906,14 @@ fn partition_columns<'p>(plan: &'p EvalPlan<'_>, rule: &'p CompiledRule) -> Opti
 /// The partitioned round: shard every firing's outer rows across the worker pool,
 /// collect per-worker out-buffers, then merge them — sorted by the outer-row
 /// insertion key — through the staging relations' collision-verified dedup tables.
+#[allow(clippy::too_many_arguments)]
 fn run_round_parallel(
     plan: &EvalPlan<'_>,
     db: &Database,
     firings: &[Firing<'_>],
     runtimes: &mut [RuleRuntime],
     exec: &mut Executor,
+    sink: Sink<'_>,
     staging: &mut FxHashMap<Symbol, Relation>,
     stats: &mut EvalStats,
 ) {
@@ -595,12 +921,42 @@ fn run_round_parallel(
     let workers = exec.workers;
     exec.ensure_pool(rules, stats);
 
+    // Precompute each scanned outer's shard assignment once (PR 3 follow-on): one
+    // hashing pass on the round driver replaces every worker re-hashing every outer
+    // row in its ownership filter — O(rows) total instead of O(workers × rows). The
+    // assignment uses exactly `shard_of_row` over the job's partition columns, so
+    // the partitioning (and therefore the merged emission order) is unchanged.
+    // Firings sharing an (outer relation, partition columns) pair — e.g. a rule with
+    // several delta positions scanning the same driving relation — share one vector.
+    let mut computed: Vec<Vec<u8>> = Vec::new();
+    let mut keys: Vec<(*const Relation, Option<&[usize]>)> = Vec::new();
+    let assign_index: Vec<Option<usize>> = firings
+        .iter()
+        .map(|firing| {
+            let rule = &rules[firing.rule_index];
+            let columns = partition_columns(plan, rule);
+            let outer = scanned_outer(rule, db, firing.delta)?;
+            let key = (outer as *const Relation, columns);
+            if let Some(found) = keys.iter().position(|&k| k == key) {
+                return Some(found);
+            }
+            computed.push(
+                (0..outer.len() as RowId)
+                    .map(|id| crate::storage::shard_of_row(outer.row(id), columns, workers) as u8)
+                    .collect(),
+            );
+            keys.push(key);
+            Some(computed.len() - 1)
+        })
+        .collect();
     let jobs: Vec<Job<'_, '_>> = firings
         .iter()
-        .map(|firing| Job {
+        .zip(&assign_index)
+        .map(|(firing, assign)| Job {
             rule_index: firing.rule_index,
             delta: firing.delta,
             columns: partition_columns(plan, &rules[firing.rule_index]),
+            assign: assign.map(|idx| computed[idx].as_slice()),
         })
         .collect();
     for state in &mut exec.pool {
@@ -654,9 +1010,7 @@ fn run_round_parallel(
             for _ in 0..count {
                 let tuple = &buf.data[offset..offset + arity];
                 offset += arity;
-                let known = head.map(|r| r.contains(tuple)).unwrap_or(false);
-                let is_new = !known && staged.insert(tuple);
-                stats.record_inference(rule.rule_index, rule.head_predicate, is_new);
+                sink.stage(rule, head, staged, tuple, stats);
             }
             cursors[w] = (key_idx + 1, offset);
         }
@@ -675,13 +1029,10 @@ fn run_round_parallel(
 /// One worker's share of a partitioned round: every firing, restricted to the outer
 /// rows its shard owns, emitted into its own out-buffers.
 ///
-/// Each worker re-hashes every outer row to test ownership, so shard assignment
-/// costs O(workers × rows) per firing in total. That is a deliberate trade: the
-/// alternative — a main-thread pre-pass materializing per-shard row lists — puts
-/// the hashing on the serial critical path and allocates per round, while the
-/// per-row hash here is two multiply-rotate rounds against a join that probes,
-/// binds, and emits per row. Revisit if profiles ever show the filter dominating
-/// (tracked as a ROADMAP follow-on).
+/// Ownership of a scanned outer row is an array load into the round's precomputed
+/// shard assignment (see [`run_round_parallel`]); only probed outers — whose
+/// candidate sets are too small to be worth a whole-relation hashing pass — fall
+/// back to hashing each candidate row.
 fn run_worker(
     worker: usize,
     of: usize,
@@ -699,6 +1050,7 @@ fn run_worker(
             shard: worker,
             of,
             columns: job.columns,
+            assign: job.assign,
         };
         rule.fire_partition(
             db,
@@ -712,13 +1064,14 @@ fn run_worker(
 }
 
 /// Fire one rule (optionally with a delta-substituted literal) through its reusable
-/// runtime, staging new facts into `staged` and recording statistics. Facts already
-/// present in `db` or in `staged` count as duplicates.
+/// runtime, staging emissions into `staged` under the round's [`Sink`] polarity and
+/// recording statistics.
 fn fire_into(
     rule: &CompiledRule,
     runtime: &mut RuleRuntime,
     db: &Database,
     delta: Option<(usize, &Relation)>,
+    sink: Sink<'_>,
     staged: &mut Relation,
     stats: &mut EvalStats,
 ) {
@@ -729,9 +1082,7 @@ fn fire_into(
         &runtime.access,
         &mut runtime.scratch,
         &mut |tuple| {
-            let known = head.map(|r| r.contains(tuple)).unwrap_or(false);
-            let is_new = !known && staged.insert(tuple);
-            stats.record_inference(rule.rule_index, rule.head_predicate, is_new);
+            sink.stage(rule, head, staged, tuple, stats);
         },
     );
     stats.absorb_join_counters(std::mem::take(&mut runtime.scratch.counters));
@@ -1232,6 +1583,188 @@ mod tests {
             with.stats.literal_reorders, 0,
             "builtin bodies never reorder"
         );
+    }
+
+    /// Retract helper: evaluate the program over `edb`, retract `gone` edges of `e`,
+    /// and return the maintained model, the retraction stats, and the from-scratch
+    /// model over the surviving EDB for comparison.
+    fn retract_edges(
+        program: &Program,
+        mut edb: Database,
+        gone: &[(i64, i64)],
+        options: &EvalOptions,
+    ) -> (Database, EvalStats, Database) {
+        let compiled = CompiledProgram::compile(program, options).unwrap();
+        let mut model = seminaive_evaluate(program, &edb, options).unwrap().database;
+        let mut seeds: FxHashMap<Symbol, Relation> = FxHashMap::default();
+        let mut seed = Relation::new(2);
+        for &(a, b) in gone {
+            if edb.remove_fact("e", &[c(a), c(b)]) {
+                seed.insert(&[c(a), c(b)]);
+            }
+        }
+        seeds.insert(Symbol::intern("e"), seed);
+        let stats = seminaive_retract(&compiled, &mut model, &seeds, &edb, options).unwrap();
+        let scratch = seminaive_evaluate(program, &edb, options).unwrap().database;
+        (model, stats, scratch)
+    }
+
+    /// Assert two databases hold the same fact sets (insertion order may differ:
+    /// re-derived facts re-enter in maintenance order).
+    fn assert_same_facts(a: &Database, b: &Database) {
+        let preds = |db: &Database| {
+            let mut names: Vec<Symbol> = db
+                .iter()
+                .filter(|(_, rel)| !rel.is_empty())
+                .map(|(p, _)| p)
+                .collect();
+            names.sort_by_key(|p| p.as_str());
+            names
+        };
+        assert_eq!(preds(a), preds(b));
+        for (pred, rel) in a.iter() {
+            if rel.is_empty() {
+                continue;
+            }
+            let other = b.relation(pred).expect("relation exists in both");
+            assert_eq!(rel.to_sorted_vec(), other.to_sorted_vec(), "{pred} differs");
+        }
+    }
+
+    #[test]
+    fn retract_matches_scratch_on_chain() {
+        let program = tc_program();
+        let (model, stats, scratch) =
+            retract_edges(&program, chain_edb(10), &[(4, 5)], &EvalOptions::default());
+        assert_same_facts(&model, &scratch);
+        // A 10-edge chain closes to 55 pairs; cutting it at 4-5 kills every path
+        // crossing the cut — sources {0..4} × targets {5..10} = 30 pairs.
+        assert_eq!(model.count("t"), 55 - 30);
+        assert!(stats.retractions > 0);
+        assert!(stats.delete_rounds > 0);
+    }
+
+    #[test]
+    fn retract_rederives_alternative_support() {
+        // Two parallel paths 0→1→3 and 0→2→3: retracting e(0, 1) must keep t(0, 3)
+        // (re-derived through node 2) while deleting t(0, 1).
+        let program = tc_program();
+        let mut edb = Database::new();
+        for &(a, b) in &[(0i64, 1i64), (1, 3), (0, 2), (2, 3)] {
+            edb.add_fact("e", &[c(a), c(b)]);
+        }
+        let (model, stats, scratch) =
+            retract_edges(&program, edb, &[(0, 1)], &EvalOptions::default());
+        assert_same_facts(&model, &scratch);
+        let t = model.relation(Symbol::intern("t")).unwrap();
+        assert!(t.contains(&[c(0), c(3)]), "alternative path must survive");
+        assert!(!t.contains(&[c(0), c(1)]));
+        assert!(
+            stats.rederivations > 0,
+            "t(0, 3) is over-deleted then restored by counting"
+        );
+    }
+
+    #[test]
+    fn retract_handles_cycles() {
+        // A 2-cycle supports every t fact through recursion; retracting one edge must
+        // not let the cycle keep itself alive (the counting-unsound case DRed covers).
+        let program = tc_program();
+        let mut edb = Database::new();
+        edb.add_fact("e", &[c(1), c(2)]);
+        edb.add_fact("e", &[c(2), c(1)]);
+        let (model, _, scratch) = retract_edges(&program, edb, &[(1, 2)], &EvalOptions::default());
+        assert_same_facts(&model, &scratch);
+        assert_eq!(
+            model.relation(Symbol::intern("t")).unwrap().to_sorted_vec(),
+            vec![vec![c(2), c(1)]]
+        );
+    }
+
+    #[test]
+    fn retract_keeps_preloaded_idb_base_facts() {
+        // Regression: the evaluator accepts pre-loaded IDB facts (round 0 derives
+        // their consequences), so a base fact of a rule-defined predicate must count
+        // as support during re-derivation — retracting e(1, 2) over-deletes t(1, 2)
+        // AND the independently asserted t(3, 4), and only the former may stay gone.
+        let program = parse_program("t(X, Y) :- e(X, Y).\nt(X, Y) :- e(X, W), t(W, Y).")
+            .unwrap()
+            .program;
+        let mut edb = Database::new();
+        edb.add_fact("e", &[c(1), c(2)]);
+        edb.add_fact("e", &[c(0), c(1)]);
+        // t(1, 2) is BOTH derivable (via e(1, 2)) and a pre-loaded base fact: after
+        // the retraction its only remaining support is the base fact itself.
+        edb.add_fact("t", &[c(1), c(2)]);
+        let options = EvalOptions::default();
+        let compiled = CompiledProgram::compile(&program, &options).unwrap();
+        let mut model = seminaive_evaluate(&program, &edb, &options)
+            .unwrap()
+            .database;
+        let mut seeds: FxHashMap<Symbol, Relation> = FxHashMap::default();
+        let mut seed = Relation::new(2);
+        edb.remove_fact("e", &[c(1), c(2)]);
+        seed.insert(&[c(1), c(2)]);
+        seeds.insert(Symbol::intern("e"), seed);
+        let stats = seminaive_retract(&compiled, &mut model, &seeds, &edb, &options).unwrap();
+        let scratch = seminaive_evaluate(&program, &edb, &options)
+            .unwrap()
+            .database;
+        assert_same_facts(&model, &scratch);
+        let t = model.relation(Symbol::intern("t")).unwrap();
+        assert!(
+            t.contains(&[c(1), c(2)]),
+            "base support keeps t(1, 2) alive"
+        );
+        assert!(
+            t.contains(&[c(0), c(2)]),
+            "the consequence t(0, 2) = e(0, 1) ∘ t(1, 2) is restored downstream"
+        );
+        assert!(stats.rederivations > 0, "restored from base support");
+    }
+
+    #[test]
+    fn retract_of_absent_or_no_op_facts_is_empty() {
+        let program = tc_program();
+        let (model, stats, scratch) =
+            retract_edges(&program, chain_edb(5), &[(40, 41)], &EvalOptions::default());
+        assert_same_facts(&model, &scratch);
+        assert_eq!(stats.retractions, 0);
+        assert_eq!(stats.delete_rounds, 0);
+        assert_eq!(model.count("t"), 15);
+    }
+
+    #[test]
+    fn retract_on_nonlinear_recursion_matches_scratch() {
+        let program = parse_program("t(X, Y) :- e(X, Y).\nt(X, Y) :- t(X, W), t(W, Y).")
+            .unwrap()
+            .program;
+        let mut edb = chain_edb(8);
+        edb.add_fact("e", &[c(2), c(6)]);
+        let (model, _, scratch) = retract_edges(&program, edb, &[(3, 4)], &EvalOptions::default());
+        assert_same_facts(&model, &scratch);
+    }
+
+    #[test]
+    fn parallel_retract_matches_sequential() {
+        let program = tc_program();
+        let mut edb = chain_edb(25);
+        for i in 0..8i64 {
+            edb.add_fact("e", &[c(i * 3), c(i)]);
+        }
+        let gone = [(4i64, 5i64), (12, 13), (2, 0)];
+        let (base_model, base_stats, scratch) =
+            retract_edges(&program, edb.clone(), &gone, &parallel_options(1));
+        assert_same_facts(&base_model, &scratch);
+        for threads in [2usize, 4] {
+            let (model, stats, _) =
+                retract_edges(&program, edb.clone(), &gone, &parallel_options(threads));
+            assert_same_model(&base_model, &model);
+            assert_eq!(base_stats.retractions, stats.retractions);
+            assert_eq!(base_stats.rederivations, stats.rederivations);
+            assert_eq!(base_stats.delete_rounds, stats.delete_rounds);
+            assert_eq!(base_stats.inferences, stats.inferences);
+        }
     }
 
     #[test]

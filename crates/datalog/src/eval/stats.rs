@@ -59,6 +59,15 @@ pub struct EvalStats {
     /// Largest worker count any parallel round of this run used (0 when every round
     /// ran sequentially).
     pub threads_used: usize,
+    /// Facts removed from the model by delete propagation: retracted base facts plus
+    /// every derived fact the over-delete phase scheduled (some of which the
+    /// re-derivation phase restores — see `rederivations`).
+    pub retractions: usize,
+    /// Over-deleted facts restored because the counting re-derivation pass found at
+    /// least one surviving derivation.
+    pub rederivations: usize,
+    /// Fixpoint rounds of the over-delete (negative-delta) phase.
+    pub delete_rounds: usize,
 }
 
 impl EvalStats {
@@ -102,6 +111,34 @@ impl EvalStats {
         self.membership_checks += counters.membership_checks;
     }
 
+    /// Record one enumeration of a dying derivation by rule `rule_index` during the
+    /// over-delete phase; `is_new` says whether the head fact was newly scheduled for
+    /// deletion (as opposed to already scheduled this batch).
+    pub fn record_retraction(&mut self, rule_index: usize, is_new: bool) {
+        self.inferences += 1;
+        if let Some(slot) = self.inferences_per_rule.get_mut(rule_index) {
+            *slot += 1;
+        }
+        if is_new {
+            self.retractions += 1;
+        } else {
+            self.duplicates += 1;
+        }
+    }
+
+    /// Record one surviving derivation enumerated by the re-derivation pass;
+    /// `is_new` says whether it restored a fact (first surviving derivation) rather
+    /// than bumping an already-restored fact's support count.
+    pub fn record_rederivation(&mut self, rule_index: usize, is_new: bool) {
+        self.inferences += 1;
+        if let Some(slot) = self.inferences_per_rule.get_mut(rule_index) {
+            *slot += 1;
+        }
+        if is_new {
+            self.rederivations += 1;
+        }
+    }
+
     /// Record a prepared-plan cache lookup.
     pub fn record_plan_lookup(&mut self, hit: bool) {
         if hit {
@@ -130,6 +167,9 @@ impl EvalStats {
         self.parallel_rounds += other.parallel_rounds;
         self.parallel_firings += other.parallel_firings;
         self.threads_used = self.threads_used.max(other.threads_used);
+        self.retractions += other.retractions;
+        self.rederivations += other.rederivations;
+        self.delete_rounds += other.delete_rounds;
         for (&p, &n) in &other.facts_per_predicate {
             *self.facts_per_predicate.entry(p).or_insert(0) += n;
         }
@@ -172,6 +212,13 @@ impl fmt::Display for EvalStats {
                 f,
                 "parallel: {} partitioned rounds ({} firings) on {} threads",
                 self.parallel_rounds, self.parallel_firings, self.threads_used
+            )?;
+        }
+        if self.retractions + self.rederivations + self.delete_rounds > 0 {
+            writeln!(
+                f,
+                "mutations: {} retractions, {} rederivations, {} delete rounds",
+                self.retractions, self.rederivations, self.delete_rounds
             )?;
         }
         let mut preds: Vec<_> = self.facts_per_predicate.iter().collect();
@@ -234,6 +281,31 @@ mod tests {
         assert_eq!(a.plan_cache_misses, 1);
         let text = format!("{a}");
         assert!(text.contains("plan cache: 3 hits, 1 misses"));
+    }
+
+    #[test]
+    fn mutation_counters_record_merge_and_display() {
+        let mut a = EvalStats::new(2);
+        a.record_retraction(0, true);
+        a.record_retraction(0, false);
+        a.record_rederivation(1, true);
+        a.record_rederivation(1, false);
+        a.delete_rounds = 2;
+        assert_eq!(a.retractions, 1);
+        assert_eq!(a.rederivations, 1);
+        assert_eq!(a.duplicates, 1);
+        assert_eq!(a.inferences, 4);
+        assert_eq!(a.inferences_per_rule, vec![2, 2]);
+        let mut b = EvalStats::new(0);
+        b.retractions = 3;
+        b.rederivations = 2;
+        b.delete_rounds = 1;
+        a.merge(&b);
+        assert_eq!(a.retractions, 4);
+        assert_eq!(a.rederivations, 3);
+        assert_eq!(a.delete_rounds, 3);
+        let text = format!("{a}");
+        assert!(text.contains("mutations: 4 retractions, 3 rederivations, 3 delete rounds"));
     }
 
     #[test]

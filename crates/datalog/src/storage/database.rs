@@ -66,6 +66,24 @@ impl Database {
         self.add_fact(atom.predicate, &tuple)
     }
 
+    /// Remove a fact; returns `true` if it was present. Removal compacts the
+    /// relation (see [`Relation::remove`]); batch retraction paths should collect the
+    /// doomed tuples per predicate and use [`Relation::remove_all`] instead.
+    pub fn remove_fact(&mut self, predicate: impl Into<Symbol>, tuple: &[Const]) -> bool {
+        match self.relations.get_mut(&predicate.into()) {
+            Some(rel) if rel.arity() == tuple.len() => rel.remove(tuple),
+            _ => false,
+        }
+    }
+
+    /// Remove a ground atom. Panics if the atom is not ground.
+    pub fn remove_atom(&mut self, atom: &Atom) -> bool {
+        let tuple = atom
+            .as_fact()
+            .unwrap_or_else(|| panic!("cannot remove non-ground atom {atom} as a fact"));
+        self.remove_fact(atom.predicate, &tuple)
+    }
+
     /// Does the database contain this ground atom?
     pub fn contains_atom(&self, atom: &Atom) -> bool {
         match (atom.as_fact(), self.relation(atom.predicate)) {
@@ -260,6 +278,20 @@ mod tests {
         let q = Query::new(Atom::new("nothing", vec![Term::var("X")]));
         assert!(db.answers(&q).is_empty());
         assert!(db.matching(&q).is_empty());
+    }
+
+    #[test]
+    fn remove_fact_and_atom() {
+        let mut db = Database::new();
+        db.add_fact("e", &[c(1), c(2)]);
+        db.add_fact("e", &[c(2), c(3)]);
+        assert!(db.remove_fact("e", &[c(1), c(2)]));
+        assert!(!db.remove_fact("e", &[c(1), c(2)]), "already gone");
+        assert!(!db.remove_fact("missing", &[c(1)]));
+        assert!(!db.remove_fact("e", &[c(1)]), "arity mismatch is a no-op");
+        assert_eq!(db.count("e"), 1);
+        assert!(db.remove_atom(&parse_atom("e(2, 3)").unwrap()));
+        assert_eq!(db.count("e"), 0);
     }
 
     #[test]

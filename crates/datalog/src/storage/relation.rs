@@ -39,6 +39,9 @@ pub struct Relation {
     dedup: FxHashMap<u64, Vec<RowId>>,
     /// Secondary indexes, keyed by the (sorted) column subset they cover.
     indexes: Vec<ColumnIndex>,
+    /// Per-row support counts, when counting is enabled (see
+    /// [`Relation::enable_counts`]). `None` = plain set semantics.
+    counts: Option<Vec<u32>>,
 }
 
 #[derive(Clone, Debug)]
@@ -133,6 +136,7 @@ impl Relation {
             flat: Vec::new(),
             dedup: FxHashMap::default(),
             indexes: Vec::new(),
+            counts: None,
         }
     }
 
@@ -234,7 +238,147 @@ impl Relation {
             let key_hash = hash_columns(tuple, &index.columns);
             index.map.entry(key_hash).or_default().push(id);
         }
+        if let Some(counts) = &mut self.counts {
+            counts.push(1);
+        }
         true
+    }
+
+    /// Enable per-row support counts. Existing rows are backfilled with a count of 1;
+    /// from here on [`Relation::insert`] records new rows with count 1 and
+    /// [`Relation::insert_counted`] bumps the count of already-present tuples instead
+    /// of discarding the duplicate. Counting is the bookkeeping behind the
+    /// retraction engine's re-derivation phase: the count of a staged fact is the
+    /// number of (enumerated) derivations supporting it.
+    pub fn enable_counts(&mut self) {
+        if self.counts.is_none() {
+            self.counts = Some(vec![1; self.len()]);
+        }
+    }
+
+    /// Are per-row support counts enabled?
+    pub fn counting(&self) -> bool {
+        self.counts.is_some()
+    }
+
+    /// Insert a tuple under counting semantics: a new tuple is stored with count 1
+    /// (and `true` is returned); a duplicate bumps the existing row's count instead
+    /// of being dropped. Requires [`Relation::enable_counts`].
+    pub fn insert_counted(&mut self, tuple: &[Const]) -> bool {
+        debug_assert!(self.counting(), "insert_counted requires enabled counts");
+        let hash = fx_hash_one(&tuple);
+        if let Some(rows) = self.dedup.get(&hash) {
+            if let Some(&id) = rows.iter().find(|&&r| self.row(r) == tuple) {
+                if let Some(counts) = &mut self.counts {
+                    counts[id as usize] = counts[id as usize].saturating_add(1);
+                }
+                return false;
+            }
+        }
+        self.insert(tuple)
+    }
+
+    /// The support count of `tuple`: 0 if absent, the recorded count when counting is
+    /// enabled, and 1 for any present tuple of a non-counting relation.
+    pub fn count_of(&self, tuple: &[Const]) -> u32 {
+        let hash = fx_hash_one(&tuple);
+        let Some(rows) = self.dedup.get(&hash) else {
+            return 0;
+        };
+        match rows.iter().find(|&&r| self.row(r) == tuple) {
+            None => 0,
+            Some(&id) => match &self.counts {
+                Some(counts) => counts[id as usize],
+                None => 1,
+            },
+        }
+    }
+
+    /// Remove one tuple; returns `true` if it was present. Removal compacts the flat
+    /// store (O(rows)), preserving the insertion order of the survivors and the
+    /// stability of [`IndexId`] handles; batch callers should prefer
+    /// [`Relation::remove_all`], which pays the compaction once for any number of
+    /// tuples. Row ids and watermarks taken before a removal are invalidated.
+    pub fn remove(&mut self, tuple: &[Const]) -> bool {
+        debug_assert_eq!(tuple.len(), self.arity);
+        if self.arity == 0 {
+            let present = !self.dedup.is_empty();
+            self.clear();
+            return present;
+        }
+        if !self.contains(tuple) {
+            return false;
+        }
+        let mut keep = vec![true; self.len()];
+        for id in 0..self.len() as RowId {
+            if self.row(id) == tuple {
+                keep[id as usize] = false;
+            }
+        }
+        self.compact(&keep);
+        true
+    }
+
+    /// Remove every tuple of `other` (same arity) that is present in `self`; returns
+    /// the number of tuples removed. One O(rows) compaction regardless of how many
+    /// tuples are removed — the batch-retraction primitive. Survivor insertion order
+    /// and [`IndexId`] handles are preserved; prior row ids and watermarks are
+    /// invalidated.
+    pub fn remove_all(&mut self, other: &Relation) -> usize {
+        assert_eq!(self.arity, other.arity);
+        if self.arity == 0 {
+            if other.is_empty() || self.is_empty() {
+                return 0;
+            }
+            self.clear();
+            return 1;
+        }
+        let mut keep = vec![true; self.len()];
+        let mut removed = 0usize;
+        for id in 0..self.len() as RowId {
+            if other.contains(self.row(id)) {
+                keep[id as usize] = false;
+                removed += 1;
+            }
+        }
+        if removed > 0 {
+            self.compact(&keep);
+        }
+        removed
+    }
+
+    /// Rebuild the flat store, dedup table, counts, and every index map, keeping only
+    /// the rows marked in `keep` (in their original order). Index *definitions* are
+    /// untouched, so [`IndexId`] handles stay valid across removals, exactly as they
+    /// do across [`Relation::clear`].
+    fn compact(&mut self, keep: &[bool]) {
+        debug_assert_eq!(keep.len(), self.len());
+        let arity = self.arity;
+        let old_flat = std::mem::take(&mut self.flat);
+        let old_counts = self.counts.take();
+        self.dedup.clear();
+        for index in &mut self.indexes {
+            index.map.clear();
+        }
+        if old_counts.is_some() {
+            self.counts = Some(Vec::new());
+        }
+        for (old_id, &kept) in keep.iter().enumerate() {
+            if !kept {
+                continue;
+            }
+            let row = &old_flat[old_id * arity..(old_id + 1) * arity];
+            let id = self.len() as RowId;
+            self.flat.extend_from_slice(row);
+            self.dedup.entry(fx_hash_one(&row)).or_default().push(id);
+            for index in &mut self.indexes {
+                let key_hash = hash_columns(row, &index.columns);
+                index.map.entry(key_hash).or_default().push(id);
+            }
+            if let (Some(counts), Some(old)) = (&mut self.counts, &old_counts) {
+                counts.push(old[old_id]);
+            }
+        }
     }
 
     /// Insert every tuple of `other` (which must have the same arity); returns the
@@ -256,6 +400,9 @@ impl Relation {
         self.dedup.clear();
         for index in &mut self.indexes {
             index.map.clear();
+        }
+        if let Some(counts) = &mut self.counts {
+            counts.clear();
         }
     }
 
@@ -382,19 +529,6 @@ impl Relation {
                 out.push(id);
             }
         }
-    }
-
-    /// The row ids of shard `shard` (of `of`) when hash-partitioning this relation by
-    /// `columns` (see [`shard_of_row`]) — a zero-copy shard view: the union over all
-    /// shards is exactly the relation, each row appearing in exactly one shard, in
-    /// ascending (insertion) order within each shard.
-    pub fn shard_rows<'a>(
-        &'a self,
-        columns: Option<&'a [usize]>,
-        shard: usize,
-        of: usize,
-    ) -> impl Iterator<Item = RowId> + 'a {
-        (0..self.len() as RowId).filter(move |&id| shard_of_row(self.row(id), columns, of) == shard)
     }
 
     /// All tuples, cloned into owned vectors (test/diagnostic convenience).
@@ -609,6 +743,86 @@ mod tests {
     }
 
     #[test]
+    fn remove_compacts_and_keeps_indexes_probeable() {
+        let mut r = Relation::new(2);
+        for i in 0..20i64 {
+            r.insert(&[c(i % 4), c(i)]);
+        }
+        let id = r.ensure_index(&[0]).unwrap();
+        assert!(r.remove(&[c(1), c(5)]));
+        assert!(!r.remove(&[c(1), c(5)]), "already removed");
+        assert_eq!(r.len(), 19);
+        assert!(!r.contains(&[c(1), c(5)]));
+        // Survivors keep their insertion order.
+        let firsts: Vec<i64> = r.iter().map(|row| row[1].as_int().unwrap()).collect();
+        assert_eq!(firsts.iter().filter(|&&v| v == 5).count(), 0);
+        assert!(firsts.windows(2).all(|w| w[0] < w[1]));
+        // The old IndexId handle still probes correctly after compaction.
+        assert_eq!(r.probe_candidates(id, hash_key(&[c(1)])).len(), 4);
+        assert_eq!(r.probe(&[0], &[c(1)]).unwrap().len(), 4);
+        // Re-inserting works and is indexed.
+        assert!(r.insert(&[c(1), c(5)]));
+        assert_eq!(r.probe(&[0], &[c(1)]).unwrap().len(), 5);
+    }
+
+    #[test]
+    fn remove_all_batches_one_compaction() {
+        let mut r = Relation::new(2);
+        for i in 0..10i64 {
+            r.insert(&[c(i), c(i + 1)]);
+        }
+        let mut gone = Relation::new(2);
+        gone.insert(&[c(2), c(3)]);
+        gone.insert(&[c(7), c(8)]);
+        gone.insert(&[c(99), c(100)]); // absent: not counted
+        assert_eq!(r.remove_all(&gone), 2);
+        assert_eq!(r.len(), 8);
+        assert!(!r.contains(&[c(2), c(3)]));
+        assert!(!r.contains(&[c(7), c(8)]));
+        assert_eq!(r.remove_all(&gone), 0);
+    }
+
+    #[test]
+    fn counted_inserts_track_support() {
+        let mut r = Relation::new(1);
+        r.insert(&[c(1)]);
+        r.enable_counts();
+        assert!(r.counting());
+        assert_eq!(r.count_of(&[c(1)]), 1, "existing rows backfill to 1");
+        assert!(r.insert_counted(&[c(2)]));
+        assert!(!r.insert_counted(&[c(2)]));
+        assert!(!r.insert_counted(&[c(2)]));
+        assert_eq!(r.count_of(&[c(2)]), 3);
+        assert_eq!(r.count_of(&[c(9)]), 0);
+        // Plain inserts of new tuples record count 1 under counting.
+        assert!(r.insert(&[c(3)]));
+        assert_eq!(r.count_of(&[c(3)]), 1);
+        // Counts survive compaction.
+        assert!(r.remove(&[c(1)]));
+        assert_eq!(r.count_of(&[c(2)]), 3);
+        assert_eq!(r.count_of(&[c(1)]), 0);
+        // Non-counting relations report presence as 1.
+        let mut plain = Relation::new(1);
+        plain.insert(&[c(5)]);
+        assert_eq!(plain.count_of(&[c(5)]), 1);
+        assert_eq!(plain.count_of(&[c(6)]), 0);
+    }
+
+    #[test]
+    fn zero_arity_removal() {
+        let mut r = Relation::new(0);
+        r.insert(&[]);
+        assert!(r.remove(&[]));
+        assert!(r.is_empty());
+        assert!(!r.remove(&[]));
+        r.insert(&[]);
+        let mut gone = Relation::new(0);
+        gone.insert(&[]);
+        assert_eq!(r.remove_all(&gone), 1);
+        assert!(r.is_empty());
+    }
+
+    #[test]
     fn zero_arity_relation() {
         let mut r = Relation::new(0);
         assert!(r.is_empty());
@@ -666,20 +880,12 @@ mod tests {
         }
         for &of in &[1usize, 2, 3, 8] {
             for columns in [None, Some(&[0usize][..]), Some(&[1usize][..])] {
-                let mut seen: Vec<RowId> = Vec::new();
-                for shard in 0..of {
-                    let rows: Vec<RowId> = r.shard_rows(columns, shard, of).collect();
-                    // Ascending within each shard (the merge relies on this).
-                    assert!(rows.windows(2).all(|w| w[0] < w[1]));
-                    // Shard assignment agrees with the row-level function.
-                    for &id in &rows {
-                        assert_eq!(shard_of_row(r.row(id), columns, of), shard);
-                    }
-                    seen.extend(rows);
+                // Every row lands in exactly one valid shard, deterministically.
+                for id in 0..r.len() as RowId {
+                    let shard = shard_of_row(r.row(id), columns, of);
+                    assert!(shard < of);
+                    assert_eq!(shard, shard_of_row(r.row(id), columns, of));
                 }
-                seen.sort_unstable();
-                let all: Vec<RowId> = (0..r.len() as RowId).collect();
-                assert_eq!(seen, all, "shards must partition exactly (of={of})");
             }
         }
         // Key-column partitioning keeps equal join keys on one shard.

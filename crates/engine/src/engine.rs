@@ -5,6 +5,9 @@
 //!
 //! ```text
 //!   insert ──────────────▶ edb (+ model, + pending delta)
+//!   transaction/commit ──▶ edb ± batch; retractions propagate immediately via
+//!                          seminaive_retract (negative deltas + counting re-derive),
+//!                          assertions become pending deltas
 //!   add_rules/load ──────▶ program         (model dropped, caches cleared)
 //!   query ───────────────▶ refresh: model = fixpoint(program, edb)
 //!                            · no model yet   → full semi-naive evaluation
@@ -13,6 +16,8 @@
 //!   query_prepared ──────▶ prepared-plan cache keyed by (predicate, query shape):
 //!                            · hit  → replay the cached CompiledProgram
 //!                            · miss → reduce→adorn→magic→factor→optimize, cache plan
+//!   snapshot/restore ────▶ serialize program + edb as (versioned) Datalog text;
+//!                          restore wipes the session and reloads it
 //! ```
 //!
 //! All evaluation statistics are merged into one cumulative per-session
@@ -26,8 +31,8 @@ use factorlog_core::error::TransformError;
 use factorlog_core::pipeline::{optimize_query, PipelineOptions, PreparedPlan, Strategy};
 use factorlog_datalog::ast::{Atom, Const, Program, Query, Rule, Term};
 use factorlog_datalog::eval::{
-    seminaive_evaluate_compiled, seminaive_resume, CompiledProgram, EvalError, EvalOptions,
-    EvalStats,
+    seminaive_evaluate_compiled, seminaive_resume, seminaive_retract, CompiledProgram, EvalError,
+    EvalOptions, EvalStats,
 };
 use factorlog_datalog::fx::FxHashMap;
 use factorlog_datalog::parser::{parse_program, ParseError};
@@ -54,6 +59,10 @@ pub enum EngineError {
     },
     /// An inserted atom contains variables.
     NonGroundFact(String),
+    /// A snapshot file or string is not in the expected format.
+    Snapshot(String),
+    /// An I/O failure while saving or loading a snapshot.
+    Io(String),
 }
 
 impl fmt::Display for EngineError {
@@ -73,6 +82,8 @@ impl fmt::Display for EngineError {
             EngineError::NonGroundFact(atom) => {
                 write!(f, "cannot insert non-ground atom {atom} as a fact")
             }
+            EngineError::Snapshot(message) => write!(f, "invalid snapshot: {message}"),
+            EngineError::Io(message) => write!(f, "{message}"),
         }
     }
 }
@@ -108,6 +119,193 @@ pub struct LoadSummary {
     pub duplicates: usize,
     /// The `?- atom.` query clause of the source, if any.
     pub query: Option<Query>,
+}
+
+/// What a committed transaction did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TxnSummary {
+    /// Facts newly added to the fact store.
+    pub asserted: usize,
+    /// Facts removed from the fact store.
+    pub retracted: usize,
+    /// Asserted facts that were already present (no-ops).
+    pub duplicates: usize,
+    /// Retracted facts that were not present as base facts (no-ops — a derived fact
+    /// cannot be retracted, only the assertions supporting it).
+    pub missing: usize,
+}
+
+/// One operation of a transaction batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum TxnOp {
+    Assert,
+    Retract,
+}
+
+/// An atomic batch of `assert`/`retract` operations against an [`Engine`].
+///
+/// Build one with [`Engine::transaction`], queue operations with [`Txn::assert`] /
+/// [`Txn::retract`] (or the atom-taking variants), and apply the whole batch with
+/// [`Txn::commit`]. Nothing touches the engine until commit; dropping an uncommitted
+/// transaction discards it. Commit validates every operation (arity consistency —
+/// against the session *and* within the batch) before applying anything, so a failed
+/// commit leaves the session exactly as it was.
+///
+/// Within one batch the ops are set-oriented and the *last* operation on a given
+/// fact wins: `assert(f)` after `retract(f)` means `f` is present afterwards, and
+/// vice versa. Retractions are applied before assertions; retractions propagate
+/// through the materialized model immediately (negative deltas + counting
+/// re-derivation, see [`seminaive_retract`]), while assertions become pending deltas
+/// absorbed by the next query, exactly like [`Engine::insert`].
+#[must_use = "a transaction does nothing until committed"]
+pub struct Txn<'e> {
+    engine: &'e mut Engine,
+    ops: Vec<(TxnOp, Symbol, Vec<Const>)>,
+}
+
+impl Txn<'_> {
+    /// Queue an assertion of `predicate(tuple)`.
+    pub fn assert(&mut self, predicate: impl Into<Symbol>, tuple: &[Const]) -> &mut Self {
+        self.ops
+            .push((TxnOp::Assert, predicate.into(), tuple.to_vec()));
+        self
+    }
+
+    /// Queue a retraction of `predicate(tuple)`.
+    pub fn retract(&mut self, predicate: impl Into<Symbol>, tuple: &[Const]) -> &mut Self {
+        self.ops
+            .push((TxnOp::Retract, predicate.into(), tuple.to_vec()));
+        self
+    }
+
+    /// Queue an assertion of a ground atom; errors (leaving the batch unchanged) if
+    /// the atom contains variables.
+    pub fn assert_atom(&mut self, atom: &Atom) -> Result<&mut Self, EngineError> {
+        let tuple = atom
+            .as_fact()
+            .ok_or_else(|| EngineError::NonGroundFact(atom.to_string()))?;
+        Ok(self.assert(atom.predicate, &tuple))
+    }
+
+    /// Queue a retraction of a ground atom; errors (leaving the batch unchanged) if
+    /// the atom contains variables.
+    pub fn retract_atom(&mut self, atom: &Atom) -> Result<&mut Self, EngineError> {
+        let tuple = atom
+            .as_fact()
+            .ok_or_else(|| EngineError::NonGroundFact(atom.to_string()))?;
+        Ok(self.retract(atom.predicate, &tuple))
+    }
+
+    /// Number of queued operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Is the batch empty?
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Apply the whole batch atomically. Validation failures (arity mismatches)
+    /// leave the session untouched. An evaluation failure *during* model maintenance
+    /// (e.g. the iteration limit on a diverging program) still applies the batch to
+    /// the fact store — the store is the source of truth — but drops the
+    /// materialized model, which the next query rebuilds from scratch.
+    pub fn commit(self) -> Result<TxnSummary, EngineError> {
+        let ops = self.ops;
+        self.engine.apply_txn(ops)
+    }
+}
+
+/// The version header identifying a session snapshot. It is a Datalog line comment,
+/// so every snapshot is also a loadable Datalog source file.
+pub const SNAPSHOT_HEADER: &str = "% factorlog snapshot v1";
+
+/// A serialized session image: the registered program plus every base fact, as
+/// versioned Datalog text (rules and facts round-trip through the regular parser).
+///
+/// Produced by [`Engine::snapshot`]; consumed by [`Engine::restore`] /
+/// [`Engine::from_snapshot`]. The materialized model, pending deltas, and prepared
+/// plans are deliberately *not* serialized — they are caches, rebuilt on demand
+/// after a restore (the first query re-materializes; prepared shapes re-compile on
+/// first use and are cached again from then on).
+///
+/// Symbolic constants that are not plain identifiers are written as quoted strings;
+/// symbols containing `"` or a newline cannot be represented by the surface syntax
+/// and fail to round-trip (construct such facts programmatically and they are on
+/// you).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Snapshot {
+    text: String,
+}
+
+impl Snapshot {
+    /// The snapshot as Datalog text (header comment included).
+    pub fn as_str(&self) -> &str {
+        &self.text
+    }
+
+    /// Wrap existing snapshot text, validating the version header.
+    pub fn from_text(text: &str) -> Result<Snapshot, EngineError> {
+        if !is_snapshot_text(text) {
+            return Err(EngineError::Snapshot(format!(
+                "missing `{SNAPSHOT_HEADER}` header"
+            )));
+        }
+        Ok(Snapshot {
+            text: text.to_string(),
+        })
+    }
+
+    /// Write the snapshot to a file.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<(), EngineError> {
+        let path = path.as_ref();
+        std::fs::write(path, &self.text)
+            .map_err(|e| EngineError::Io(format!("cannot write {}: {e}", path.display())))
+    }
+
+    /// Read a snapshot from a file (validating the version header).
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<Snapshot, EngineError> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| EngineError::Io(format!("cannot read {}: {e}", path.display())))?;
+        Snapshot::from_text(&text)
+    }
+}
+
+impl fmt::Display for Snapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Does `text` begin with the snapshot version header (allowing leading blank
+/// lines)? Used by front ends to tell a snapshot from ordinary Datalog source.
+pub fn is_snapshot_text(text: &str) -> bool {
+    text.lines()
+        .find(|line| !line.trim().is_empty())
+        .is_some_and(|line| line.trim() == SNAPSHOT_HEADER)
+}
+
+/// Write one constant in parseable surface syntax: integers and identifier-shaped
+/// symbols verbatim, other symbols as quoted strings.
+fn write_const(out: &mut String, value: &Const) {
+    use std::fmt::Write as _;
+    match value {
+        Const::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Const::Sym(s) => {
+            let name = s.as_str();
+            let identifier = name.chars().next().is_some_and(|c| c.is_ascii_lowercase())
+                && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_');
+            if identifier {
+                out.push_str(name);
+            } else {
+                let _ = write!(out, "\"{name}\"");
+            }
+        }
+    }
 }
 
 /// What [`Engine::prepare`] did.
@@ -480,6 +678,243 @@ impl Engine {
             return Err(EngineError::NonGroundFact(atom.to_string()));
         };
         self.insert(atom.predicate, &tuple)
+    }
+
+    /// Start an atomic mutation batch (see [`Txn`]). Nothing is applied until
+    /// [`Txn::commit`].
+    pub fn transaction(&mut self) -> Txn<'_> {
+        Txn {
+            engine: self,
+            ops: Vec::new(),
+        }
+    }
+
+    /// Retract one fact; returns `true` if it was present (and is now gone). The
+    /// single-op convenience over [`Engine::transaction`]: retraction of an IDB
+    /// predicate removes the *asserted* base fact (see [`Engine::insert`] on the
+    /// `p__asserted` scheme); a fact that is merely derived cannot be retracted and
+    /// reports `false`. The materialized model is maintained incrementally via
+    /// counting-based delete propagation, never rebuilt.
+    pub fn retract(
+        &mut self,
+        predicate: impl Into<Symbol>,
+        tuple: &[Const],
+    ) -> Result<bool, EngineError> {
+        let mut txn = self.transaction();
+        txn.retract(predicate, tuple);
+        Ok(txn.commit()?.retracted > 0)
+    }
+
+    /// Retract a ground atom; errors on non-ground atoms.
+    pub fn retract_atom(&mut self, atom: &Atom) -> Result<bool, EngineError> {
+        let Some(tuple) = atom.as_fact() else {
+            return Err(EngineError::NonGroundFact(atom.to_string()));
+        };
+        self.retract(atom.predicate, &tuple)
+    }
+
+    /// Apply one transaction batch: validate everything, then retract, then assert,
+    /// maintaining the materialized model incrementally (see [`Txn::commit`] for the
+    /// error contract).
+    fn apply_txn(
+        &mut self,
+        ops: Vec<(TxnOp, Symbol, Vec<Const>)>,
+    ) -> Result<TxnSummary, EngineError> {
+        // Validate arities against the session and within the batch, before any
+        // mutation — this is what makes a failed commit a no-op.
+        let mut batch_arity: FxHashMap<Symbol, usize> = FxHashMap::default();
+        for (_, predicate, tuple) in &ops {
+            let expected = self
+                .expected_arity(*predicate)
+                .or_else(|| batch_arity.get(predicate).copied());
+            if let Some(expected) = expected {
+                if expected != tuple.len() {
+                    return Err(EngineError::ArityMismatch {
+                        predicate: *predicate,
+                        expected,
+                        got: tuple.len(),
+                    });
+                }
+            } else {
+                batch_arity.insert(*predicate, tuple.len());
+            }
+        }
+
+        // Net effect per fact: the last operation wins.
+        let mut order: Vec<(Symbol, Vec<Const>)> = Vec::new();
+        let mut net: FxHashMap<(Symbol, Vec<Const>), TxnOp> = FxHashMap::default();
+        for (op, predicate, tuple) in ops {
+            let key = (predicate, tuple);
+            if net.insert(key.clone(), op).is_none() {
+                order.push(key);
+            }
+        }
+
+        // Route IDB-predicate ops to the assertion relation. Registering a new
+        // assertion exit rule invalidates the model (exactly as single inserts do).
+        let mut summary = TxnSummary::default();
+        let mut retracts: Vec<(Symbol, Vec<Const>)> = Vec::new();
+        let mut asserts: Vec<(Symbol, Vec<Const>)> = Vec::new();
+        for (predicate, tuple) in order {
+            let op = net[&(predicate, tuple.clone())];
+            let target = if self.idb.contains(&predicate) {
+                if op == TxnOp::Assert {
+                    self.ensure_assertion_rule(predicate, tuple.len());
+                }
+                Self::asserted_symbol(predicate)
+            } else {
+                predicate
+            };
+            match op {
+                TxnOp::Assert => asserts.push((target, tuple)),
+                TxnOp::Retract => retracts.push((target, tuple)),
+            }
+        }
+
+        // Apply retractions to the fact store: one batched removal per relation.
+        let mut seeds: FxHashMap<Symbol, Relation> = FxHashMap::default();
+        for (target, tuple) in retracts {
+            let present = self
+                .edb
+                .relation(target)
+                .is_some_and(|r| r.arity() == tuple.len() && r.contains(&tuple));
+            if present {
+                seeds
+                    .entry(target)
+                    .or_insert_with(|| Relation::new(tuple.len()))
+                    .insert(&tuple);
+            } else {
+                summary.missing += 1;
+            }
+        }
+        for (&target, doomed) in &seeds {
+            let removed = self
+                .edb
+                .relation_mut(target)
+                .expect("retracted facts were found in this relation")
+                .remove_all(doomed);
+            debug_assert_eq!(removed, doomed.len());
+            summary.retracted += removed;
+        }
+
+        // Apply assertions to the fact store.
+        let mut new_facts: Vec<(Symbol, Vec<Const>)> = Vec::new();
+        for (target, tuple) in asserts {
+            if self.edb.add_fact(target, &tuple) {
+                summary.asserted += 1;
+                new_facts.push((target, tuple));
+            } else {
+                summary.duplicates += 1;
+            }
+        }
+
+        // Maintain the materialized model, if one exists. The fact store is already
+        // committed; an evaluation error here degrades to dropping the model (the
+        // next query rebuilds it from the — consistent — fact store).
+        if self.model.is_some() && !seeds.is_empty() {
+            if let Err(error) = self.propagate_retractions(&seeds) {
+                self.model = None;
+                self.pending.clear();
+                return Err(error);
+            }
+        }
+        if let Some(model) = &mut self.model {
+            for (target, tuple) in new_facts {
+                if model.add_fact(target, &tuple) {
+                    self.pending
+                        .entry(target)
+                        .or_insert_with(|| Relation::new(tuple.len()))
+                        .insert(&tuple);
+                }
+            }
+        }
+        Ok(summary)
+    }
+
+    /// Propagate a batch of base-fact retractions through the materialized model:
+    /// flush pending insertions first (delete propagation needs a fixpoint to start
+    /// from), then drive the negative deltas via [`seminaive_retract`].
+    fn propagate_retractions(
+        &mut self,
+        seeds: &FxHashMap<Symbol, Relation>,
+    ) -> Result<(), EngineError> {
+        if self.compiled.is_none() {
+            self.compiled = Some(CompiledProgram::compile(&self.program, &self.options)?);
+        }
+        let compiled = self.compiled.as_ref().expect("compiled above");
+        let model = self
+            .model
+            .as_mut()
+            .expect("caller checked the model exists");
+        if self.pending.values().any(|r| !r.is_empty()) {
+            let stats = seminaive_resume(compiled, model, &self.pending, &self.options)?;
+            self.stats.merge(&stats);
+            self.pending.clear();
+        }
+        let stats = seminaive_retract(compiled, model, seeds, &self.edb, &self.options)?;
+        self.stats.merge(&stats);
+        Ok(())
+    }
+
+    /// Serialize the session — registered program plus every base fact — as a
+    /// versioned [`Snapshot`]. Caches (the materialized model, pending deltas,
+    /// prepared plans) are not part of the image; they rebuild on demand after
+    /// [`Engine::restore`].
+    pub fn snapshot(&self) -> Snapshot {
+        use std::fmt::Write as _;
+        let mut text = String::new();
+        let _ = writeln!(text, "{SNAPSHOT_HEADER}");
+        if !self.program.is_empty() {
+            text.push_str("% rules\n");
+            let _ = write!(text, "{}", self.program);
+        }
+        let predicates = self.edb.predicates();
+        if predicates.iter().any(|&p| self.edb.count(p) > 0) {
+            text.push_str("% facts\n");
+            for predicate in predicates {
+                let relation = self.edb.relation(predicate).expect("listed predicate");
+                for row in relation.iter() {
+                    text.push_str(predicate.as_str());
+                    if !row.is_empty() {
+                        text.push('(');
+                        for (i, value) in row.iter().enumerate() {
+                            if i > 0 {
+                                text.push_str(", ");
+                            }
+                            write_const(&mut text, value);
+                        }
+                        text.push(')');
+                    }
+                    text.push_str(".\n");
+                }
+            }
+        }
+        Snapshot { text }
+    }
+
+    /// Replace this session's program and facts with a snapshot's, keeping the
+    /// session configuration (evaluation options, pipeline options, prepared-plan
+    /// capacity) and the cumulative statistics. The model and every cache are
+    /// dropped; the first query after a restore re-materializes.
+    ///
+    /// The snapshot is parsed into a staging session first and swapped in only on
+    /// success — a snapshot with a valid header but a corrupt body errors out
+    /// without touching this session.
+    pub fn restore(&mut self, snapshot: &Snapshot) -> Result<LoadSummary, EngineError> {
+        let mut staged = Engine::with_options(self.options.clone());
+        let summary = staged.load_source(snapshot.as_str())?;
+        self.program = staged.program;
+        self.idb = staged.idb;
+        self.edb = staged.edb;
+        self.invalidate();
+        Ok(summary)
+    }
+
+    /// A fresh session (default configuration) restored from a snapshot.
+    pub fn from_snapshot(snapshot: &Snapshot) -> Result<Engine, EngineError> {
+        let mut engine = Engine::new();
+        engine.restore(snapshot)?;
+        Ok(engine)
     }
 
     /// Bring the materialized model up to date: full evaluation the first time,
@@ -1014,6 +1449,266 @@ mod tests {
         assert_eq!(s1, s4);
         assert_eq!(p1, p4);
         assert_eq!(inf1, inf4, "inference counts are thread-invariant");
+    }
+
+    #[test]
+    fn retract_maintains_the_model_incrementally() {
+        let mut engine = tc_engine(10);
+        let query = parse_query("t(0, Y)").unwrap();
+        assert_eq!(engine.query(&query).unwrap().len(), 10);
+        assert!(engine.is_materialized());
+
+        // Retracting a middle edge cuts the chain; the model is maintained by delete
+        // propagation (still materialized afterwards), not rebuilt.
+        assert!(engine.retract("e", &[c(4), c(5)]).unwrap());
+        assert!(engine.is_materialized(), "retraction maintains in place");
+        assert_eq!(engine.query(&query).unwrap().len(), 4);
+        assert!(engine.stats().retractions > 0);
+
+        // The maintained answers equal from-scratch evaluation of the surviving EDB.
+        let batch = evaluate_default(engine.program(), engine.facts())
+            .unwrap()
+            .answers(&query);
+        assert_eq!(engine.query(&query).unwrap(), batch);
+
+        // Retracting an absent fact is a no-op.
+        assert!(!engine.retract("e", &[c(4), c(5)]).unwrap());
+        assert!(!engine.retract("e", &[c(77), c(78)]).unwrap());
+    }
+
+    #[test]
+    fn transaction_applies_batch_atomically() {
+        let mut engine = tc_engine(6);
+        let query = parse_query("t(0, Y)").unwrap();
+        engine.query(&query).unwrap();
+
+        let mut txn = engine.transaction();
+        txn.retract("e", &[c(2), c(3)])
+            .assert("e", &[c(2), c(30)])
+            .assert("e", &[c(30), c(3)])
+            .assert("e", &[c(0), c(1)]); // duplicate
+        txn.retract("e", &[c(90), c(91)]); // missing
+        assert_eq!(txn.len(), 5);
+        let summary = txn.commit().unwrap();
+        assert_eq!(summary.asserted, 2);
+        assert_eq!(summary.retracted, 1);
+        assert_eq!(summary.duplicates, 1);
+        assert_eq!(summary.missing, 1);
+
+        // The detour 2→30→3 replaces the cut edge: same reachability plus node 30.
+        let answers = engine.query(&query).unwrap();
+        assert!(answers.contains(&vec![c(30)]));
+        assert_eq!(answers.len(), 7);
+        let batch = evaluate_default(engine.program(), engine.facts())
+            .unwrap()
+            .answers(&query);
+        assert_eq!(engine.query(&query).unwrap(), batch);
+    }
+
+    #[test]
+    fn failed_commit_is_a_no_op() {
+        let mut engine = tc_engine(4);
+        let query = parse_query("t(0, Y)").unwrap();
+        engine.query(&query).unwrap();
+        let facts_before = engine.facts().total_facts();
+
+        let mut txn = engine.transaction();
+        txn.retract("e", &[c(0), c(1)]).assert("e", &[c(9)]); // arity error
+        let err = txn.commit().unwrap_err();
+        assert!(matches!(err, EngineError::ArityMismatch { .. }));
+        // Nothing was applied — not even the valid retraction queued first.
+        assert_eq!(engine.facts().total_facts(), facts_before);
+        assert_eq!(engine.query(&query).unwrap().len(), 4);
+
+        // Arity consistency is also enforced *within* a batch for new predicates.
+        let mut txn = engine.transaction();
+        txn.assert("fresh", &[c(1), c(2)]).assert("fresh", &[c(3)]);
+        assert!(matches!(
+            txn.commit().unwrap_err(),
+            EngineError::ArityMismatch { .. }
+        ));
+        assert_eq!(engine.facts().count("fresh"), 0);
+    }
+
+    #[test]
+    fn last_op_wins_within_a_batch() {
+        let mut engine = tc_engine(3);
+        let query = parse_query("t(0, Y)").unwrap();
+        engine.query(&query).unwrap();
+
+        // retract-then-assert: present afterwards.
+        let mut txn = engine.transaction();
+        txn.retract("e", &[c(0), c(1)]).assert("e", &[c(0), c(1)]);
+        let summary = txn.commit().unwrap();
+        assert_eq!((summary.retracted, summary.duplicates), (0, 1));
+        assert_eq!(engine.query(&query).unwrap().len(), 3);
+
+        // assert-then-retract: absent afterwards.
+        let mut txn = engine.transaction();
+        txn.assert("e", &[c(9), c(10)]).retract("e", &[c(9), c(10)]);
+        let summary = txn.commit().unwrap();
+        assert_eq!((summary.asserted, summary.missing), (0, 1));
+        assert!(!engine
+            .facts()
+            .contains_atom(&parse_atom("e(9, 10)").unwrap()));
+    }
+
+    #[test]
+    fn retracting_asserted_idb_facts_propagates() {
+        let mut engine = tc_engine(3);
+        let query = parse_query("t(0, Y)").unwrap();
+        engine.insert("t", &[c(3), c(100)]).unwrap();
+        assert!(engine.query(&query).unwrap().contains(&vec![c(100)]));
+
+        // Retracting the asserted t fact removes it and its consequences…
+        assert!(engine.retract("t", &[c(3), c(100)]).unwrap());
+        let answers = engine.query(&query).unwrap();
+        assert!(!answers.contains(&vec![c(100)]));
+        assert_eq!(answers.len(), 3);
+        // …but a derived fact cannot be retracted.
+        assert!(!engine.retract("t", &[c(0), c(1)]).unwrap());
+        assert_eq!(engine.query(&query).unwrap().len(), 3);
+        let batch = evaluate_default(engine.program(), engine.facts())
+            .unwrap()
+            .answers(&query);
+        assert_eq!(engine.query(&query).unwrap(), batch);
+    }
+
+    #[test]
+    fn retract_flushes_pending_inserts_first() {
+        let mut engine = tc_engine(5);
+        let query = parse_query("t(0, Y)").unwrap();
+        engine.query(&query).unwrap();
+        // Insert without querying (stays pending), then retract: the commit must
+        // absorb the pending delta before propagating the deletion.
+        engine.insert("e", &[c(5), c(6)]).unwrap();
+        assert_eq!(engine.pending_facts(), 1);
+        assert!(engine.retract("e", &[c(2), c(3)]).unwrap());
+        assert_eq!(engine.pending_facts(), 0);
+        assert_eq!(engine.query(&query).unwrap().len(), 2);
+        let batch = evaluate_default(engine.program(), engine.facts())
+            .unwrap()
+            .answers(&query);
+        assert_eq!(engine.query(&query).unwrap(), batch);
+    }
+
+    #[test]
+    fn prepared_queries_see_retractions() {
+        let mut engine = tc_engine(8);
+        let query = parse_query("t(0, Y)").unwrap();
+        assert_eq!(engine.query_prepared(&query).unwrap().len(), 8);
+        engine.retract("e", &[c(3), c(4)]).unwrap();
+        // The prepared plan replays over the current fact store: no invalidation
+        // needed, the answers just shrink.
+        assert_eq!(engine.query_prepared(&query).unwrap().len(), 3);
+        assert_eq!(
+            engine.query_prepared(&query).unwrap(),
+            engine.query(&query).unwrap()
+        );
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_a_session() {
+        let mut engine = tc_engine(5);
+        let query = parse_query("t(0, Y)").unwrap();
+        engine.insert("t", &[c(5), c(50)]).unwrap(); // asserted IDB fact
+        engine.insert("label", &[Const::sym("blue")]).unwrap();
+        let answers = engine.query(&query).unwrap();
+
+        let snapshot = engine.snapshot();
+        assert!(is_snapshot_text(snapshot.as_str()));
+        let text = snapshot.as_str();
+        assert!(text.starts_with(SNAPSHOT_HEADER));
+        assert!(text.contains("t(X, Y) :- e(X, W), t(W, Y)."));
+        assert!(text.contains("t__asserted(5, 50)."));
+
+        // Restore into a fresh engine: same program, same facts, same answers.
+        let mut restored = Engine::from_snapshot(&snapshot).unwrap();
+        assert_eq!(restored.query(&query).unwrap(), answers);
+        assert_eq!(restored.facts().total_facts(), engine.facts().total_facts());
+        // Prepared plans are rebuilt on demand after restore and keep working.
+        assert_eq!(restored.query_prepared(&query).unwrap(), answers);
+        assert_eq!(restored.stats().plan_cache_misses, 1);
+        assert_eq!(restored.query_prepared(&query).unwrap(), answers);
+        assert_eq!(restored.stats().plan_cache_hits, 1);
+        // And mutations keep flowing after a restore.
+        restored.retract("e", &[c(0), c(1)]).unwrap();
+        assert!(restored.query(&query).unwrap().is_empty());
+    }
+
+    #[test]
+    fn snapshot_quotes_non_identifier_symbols() {
+        let mut engine = Engine::new();
+        engine.insert("tag", &[Const::sym("has space")]).unwrap();
+        engine.insert("tag", &[Const::sym("plain")]).unwrap();
+        let snapshot = engine.snapshot();
+        assert!(snapshot.as_str().contains("tag(\"has space\")."));
+        assert!(snapshot.as_str().contains("tag(plain)."));
+        let restored = Engine::from_snapshot(&snapshot).unwrap();
+        assert_eq!(restored.facts().count("tag"), 2);
+    }
+
+    #[test]
+    fn snapshot_files_round_trip() {
+        let path = std::env::temp_dir().join("factorlog_engine_snapshot_test.fl");
+        let mut engine = tc_engine(4);
+        let query = parse_query("t(0, Y)").unwrap();
+        let answers = engine.query(&query).unwrap();
+        engine.snapshot().save(&path).unwrap();
+
+        let loaded = Snapshot::load(&path).unwrap();
+        let mut restored = Engine::new();
+        restored.restore(&loaded).unwrap();
+        assert_eq!(restored.query(&query).unwrap(), answers);
+        std::fs::remove_file(&path).ok();
+
+        // Bad inputs are rejected with clear errors.
+        assert!(matches!(
+            Snapshot::from_text("e(1, 2)."),
+            Err(EngineError::Snapshot(_))
+        ));
+        assert!(matches!(
+            Snapshot::load("/nonexistent/path.fl"),
+            Err(EngineError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn failed_restore_leaves_the_session_untouched() {
+        // A valid header with a corrupt body must error WITHOUT wiping the live
+        // session (regression: restore used to clear state before parsing).
+        let mut engine = tc_engine(3);
+        let query = parse_query("t(0, Y)").unwrap();
+        assert_eq!(engine.query(&query).unwrap().len(), 3);
+        let corrupt = Snapshot::from_text(&format!(
+            "{SNAPSHOT_HEADER}\ne(1, 2).\nthis is (not datalog"
+        ))
+        .unwrap();
+        assert!(engine.restore(&corrupt).is_err());
+        assert_eq!(
+            engine.facts().count("e"),
+            3,
+            "facts survive a failed restore"
+        );
+        assert_eq!(engine.program().len(), 2, "rules survive a failed restore");
+        assert_eq!(engine.query(&query).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn restore_replaces_existing_session_state() {
+        let mut engine = tc_engine(3);
+        let query = parse_query("t(0, Y)").unwrap();
+        engine.query(&query).unwrap();
+        let snapshot = engine.snapshot();
+
+        let mut other = Engine::new();
+        other.load_source("zzz(1).\nq(X) :- zzz(X).").unwrap();
+        other.set_threads(3);
+        other.restore(&snapshot).unwrap();
+        // Old state is gone, snapshot state is in, configuration survives.
+        assert_eq!(other.facts().count("zzz"), 0);
+        assert_eq!(other.threads(), 3);
+        assert_eq!(other.query(&query).unwrap().len(), 3);
     }
 
     #[test]

@@ -62,7 +62,10 @@
 mod engine;
 mod repl;
 
-pub use engine::{Engine, EngineError, LoadSummary, PrepareReport, DEFAULT_PREPARED_CAPACITY};
+pub use engine::{
+    is_snapshot_text, Engine, EngineError, LoadSummary, PrepareReport, Snapshot, Txn, TxnSummary,
+    DEFAULT_PREPARED_CAPACITY, SNAPSHOT_HEADER,
+};
 pub use repl::{Repl, ReplAction};
 
 pub use factorlog_datalog::eval::{EvalOptions, EvalStats};

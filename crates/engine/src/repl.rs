@@ -2,8 +2,13 @@
 //! tested directly: [`Repl::execute`] maps one input line to one textual response.
 //!
 //! ```text
-//! :load <file>        load rules + facts from a Datalog file
+//! :load <file>        load a Datalog file — or restore a snapshot (autodetected)
+//! :save <file>        save the session (program + facts) as a snapshot
 //! :insert <fact>.     insert one ground fact (incremental)
+//! :retract <fact>.    retract one base fact (counting-based delete propagation)
+//! :begin              start a transaction; :insert/:retract queue until :commit
+//! :commit             apply the queued batch atomically
+//! :abort              discard the queued batch
 //! :prepare <query>    compile + cache the optimized plan for a query
 //! ?- <query>.         answer a query (uses the prepared plan when one is cached)
 //! :threads [N]        show or set the evaluation worker count (0 = all cores)
@@ -16,10 +21,10 @@
 
 use std::fmt::Write as _;
 
-use factorlog_datalog::ast::Query;
+use factorlog_datalog::ast::{Atom, Query};
 use factorlog_datalog::parser::{parse_atom, parse_query};
 
-use crate::engine::Engine;
+use crate::engine::{is_snapshot_text, Engine, Snapshot};
 
 /// The outcome of executing one REPL line.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -30,16 +35,31 @@ pub enum ReplAction {
     Quit,
 }
 
+/// One queued operation of an open REPL transaction.
+#[derive(Clone, Debug)]
+enum PendingOp {
+    Assert(Atom),
+    Retract(Atom),
+}
+
 /// A REPL session: an [`Engine`] plus the command interpreter.
 #[derive(Default)]
 pub struct Repl {
     engine: Engine,
+    /// Queued operations of an open `:begin` transaction (`None` = autocommit).
+    txn: Option<Vec<PendingOp>>,
 }
 
 const HELP: &str = "\
 commands:
-  :load <file>     load rules and facts from a Datalog file
+  :load <file>     load rules and facts from a Datalog file, or restore a
+                   snapshot written by :save (autodetected by its header)
+  :save <file>     save the session (program + base facts) as a snapshot
   :insert <fact>.  insert one ground fact (incrementally maintained)
+  :retract <fact>. retract one base fact (incremental delete propagation)
+  :begin           start a transaction: :insert/:retract queue until :commit
+  :commit          apply the queued batch atomically
+  :abort           discard the queued batch
   :prepare <q>     prepare (compile + cache) the optimized plan for query <q>
   ?- <query>.      answer a query; replays the prepared plan when one is cached
   :threads [N]     show or set evaluation worker threads (1 = sequential, 0 = cores);
@@ -55,12 +75,13 @@ impl Repl {
     pub fn new() -> Repl {
         Repl {
             engine: Engine::new(),
+            txn: None,
         }
     }
 
     /// A session wrapping an existing engine (e.g. pre-loaded from a file).
     pub fn with_engine(engine: Engine) -> Repl {
-        Repl { engine }
+        Repl { engine, txn: None }
     }
 
     /// The underlying engine.
@@ -99,7 +120,12 @@ impl Repl {
                 "quit" | "exit" | "q" => Ok(ReplAction::Quit),
                 "help" | "h" => Ok(ReplAction::Output(HELP.to_string())),
                 "load" => self.load(argument).map(ReplAction::Output),
+                "save" => self.save(argument).map(ReplAction::Output),
                 "insert" => self.insert(argument).map(ReplAction::Output),
+                "retract" => self.retract(argument).map(ReplAction::Output),
+                "begin" => self.begin().map(ReplAction::Output),
+                "commit" => self.commit().map(ReplAction::Output),
+                "abort" | "rollback" => self.abort().map(ReplAction::Output),
                 "prepare" => self.prepare(argument).map(ReplAction::Output),
                 "threads" => self.threads(argument).map(ReplAction::Output),
                 "stats" => Ok(ReplAction::Output(self.stats())),
@@ -117,6 +143,15 @@ impl Repl {
         }
         let source =
             std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        if is_snapshot_text(&source) {
+            let snapshot = Snapshot::from_text(&source).map_err(|e| e.to_string())?;
+            let summary = self.engine.restore(&snapshot).map_err(|e| e.to_string())?;
+            self.txn = None;
+            return Ok(format!(
+                "restored snapshot {path}: {} rule(s), {} fact(s)",
+                summary.rules_added, summary.facts_added
+            ));
+        }
         let summary = self
             .engine
             .load_source(&source)
@@ -134,18 +169,107 @@ impl Repl {
         Ok(out)
     }
 
-    fn insert(&mut self, text: &str) -> Result<String, String> {
+    fn save(&mut self, path: &str) -> Result<String, String> {
+        if path.is_empty() {
+            return Err(":save requires a file path".to_string());
+        }
+        let snapshot = self.engine.snapshot();
+        snapshot.save(path).map_err(|e| e.to_string())?;
+        Ok(format!(
+            "saved snapshot {path}: {} rule(s), {} fact(s)",
+            self.engine.program().len(),
+            self.engine.facts().total_facts()
+        ))
+    }
+
+    /// Parse one ground fact argument (shared by `:insert` and `:retract`).
+    fn parse_fact(command: &str, text: &str) -> Result<Atom, String> {
         let text = text.trim().trim_end_matches('.');
         if text.is_empty() {
-            return Err(":insert requires a fact, e.g. `:insert e(1, 2).`".to_string());
+            return Err(format!(
+                "{command} requires a fact, e.g. `{command} e(1, 2).`"
+            ));
         }
         let atom = parse_atom(text).map_err(|e| e.to_string())?;
+        if !atom.is_ground() {
+            return Err(format!("cannot {} non-ground atom {atom}", &command[1..]));
+        }
+        Ok(atom)
+    }
+
+    fn insert(&mut self, text: &str) -> Result<String, String> {
+        let atom = Self::parse_fact(":insert", text)?;
+        if let Some(ops) = &mut self.txn {
+            ops.push(PendingOp::Assert(atom.clone()));
+            return Ok(format!(
+                "queued assert {atom} ({} op(s) pending)",
+                ops.len()
+            ));
+        }
         let new = self.engine.insert_atom(&atom).map_err(|e| e.to_string())?;
         Ok(if new {
             format!("inserted {atom}")
         } else {
             format!("{atom} already present")
         })
+    }
+
+    fn retract(&mut self, text: &str) -> Result<String, String> {
+        let atom = Self::parse_fact(":retract", text)?;
+        if let Some(ops) = &mut self.txn {
+            ops.push(PendingOp::Retract(atom.clone()));
+            return Ok(format!(
+                "queued retract {atom} ({} op(s) pending)",
+                ops.len()
+            ));
+        }
+        let removed = self.engine.retract_atom(&atom).map_err(|e| e.to_string())?;
+        Ok(if removed {
+            format!("retracted {atom}")
+        } else {
+            format!("{atom} not present (nothing retracted)")
+        })
+    }
+
+    fn begin(&mut self) -> Result<String, String> {
+        if self.txn.is_some() {
+            return Err("a transaction is already open (commit or abort it first)".to_string());
+        }
+        self.txn = Some(Vec::new());
+        Ok("transaction started; :insert/:retract queue until :commit".to_string())
+    }
+
+    fn commit(&mut self) -> Result<String, String> {
+        let Some(ops) = self.txn.take() else {
+            return Err("no open transaction (start one with :begin)".to_string());
+        };
+        let mut txn = self.engine.transaction();
+        for op in &ops {
+            match op {
+                PendingOp::Assert(atom) => txn.assert_atom(atom).map(|_| ()),
+                PendingOp::Retract(atom) => txn.retract_atom(atom).map(|_| ()),
+            }
+            .map_err(|e| e.to_string())?;
+        }
+        let summary = txn.commit().map_err(|e| e.to_string())?;
+        Ok(format!(
+            "committed {} op(s): {} asserted, {} retracted, {} duplicate(s), {} missing",
+            ops.len(),
+            summary.asserted,
+            summary.retracted,
+            summary.duplicates,
+            summary.missing
+        ))
+    }
+
+    fn abort(&mut self) -> Result<String, String> {
+        match self.txn.take() {
+            Some(ops) => Ok(format!(
+                "aborted transaction ({} op(s) discarded)",
+                ops.len()
+            )),
+            None => Err("no open transaction (start one with :begin)".to_string()),
+        }
     }
 
     fn parse_query_text(text: &str) -> Result<Query, String> {
@@ -273,6 +397,17 @@ impl Repl {
             stats.parallel_firings,
             stats.literal_reorders,
         );
+        let _ = write!(
+            out,
+            "\nmutations: {} retraction(s), {} rederivation(s), {} delete round(s); transaction: {}",
+            stats.retractions,
+            stats.rederivations,
+            stats.delete_rounds,
+            match &self.txn {
+                Some(ops) => format!("open ({} op(s) queued)", ops.len()),
+                None => "none".to_string(),
+            }
+        );
         out
     }
 
@@ -393,6 +528,97 @@ mod tests {
         assert!(stats.contains("threads: 4 configured"), "{stats}");
         assert!(stats.contains("parallel rounds:"), "{stats}");
         assert!(stats.contains("literal reorders:"), "{stats}");
+    }
+
+    #[test]
+    fn retract_command_round_trips() {
+        let mut repl = Repl::new();
+        output(&mut repl, "t(X, Y) :- e(X, Y).");
+        output(&mut repl, "t(X, Y) :- e(X, W), t(W, Y).");
+        for edge in ["e(0, 1).", "e(1, 2).", "e(2, 3)."] {
+            output(&mut repl, &format!(":insert {edge}"));
+        }
+        assert!(output(&mut repl, "?- t(0, Y).").contains("% 3 answer(s)"));
+        assert_eq!(output(&mut repl, ":retract e(1, 2)."), "retracted e(1, 2)");
+        assert!(output(&mut repl, "?- t(0, Y).").contains("% 1 answer(s)"));
+        assert_eq!(
+            output(&mut repl, ":retract e(1, 2)."),
+            "e(1, 2) not present (nothing retracted)"
+        );
+        assert!(output(&mut repl, ":retract e(X, 2).").starts_with("error:"));
+        let stats = output(&mut repl, ":stats");
+        assert!(stats.contains("mutations:"), "{stats}");
+        assert!(stats.contains("retraction(s)"), "{stats}");
+    }
+
+    #[test]
+    fn transactions_queue_and_commit_atomically() {
+        let mut repl = Repl::new();
+        output(
+            &mut repl,
+            "t(X, Y) :- e(X, Y).\nt(X, Y) :- e(X, W), t(W, Y).",
+        );
+        output(&mut repl, ":insert e(0, 1).");
+        output(&mut repl, ":insert e(1, 2).");
+        assert!(output(&mut repl, "?- t(0, Y).").contains("% 2 answer(s)"));
+
+        assert!(output(&mut repl, ":begin").contains("transaction started"));
+        assert!(
+            output(&mut repl, ":begin").starts_with("error:"),
+            "no nesting"
+        );
+        assert!(output(&mut repl, ":insert e(2, 3).").contains("queued assert"));
+        assert!(output(&mut repl, ":retract e(0, 1).").contains("queued retract"));
+        // Nothing applied yet.
+        assert!(output(&mut repl, "?- t(0, Y).").contains("% 2 answer(s)"));
+        let stats = output(&mut repl, ":stats");
+        assert!(
+            stats.contains("transaction: open (2 op(s) queued)"),
+            "{stats}"
+        );
+
+        let committed = output(&mut repl, ":commit");
+        assert!(committed.contains("1 asserted, 1 retracted"), "{committed}");
+        assert!(output(&mut repl, "?- t(0, Y).").contains("% 0 answer(s)"));
+        assert!(output(&mut repl, "?- t(1, Y).").contains("% 2 answer(s)"));
+        assert!(output(&mut repl, ":commit").starts_with("error:"), "closed");
+
+        // Abort discards.
+        output(&mut repl, ":begin");
+        output(&mut repl, ":insert e(7, 8).");
+        assert!(output(&mut repl, ":abort").contains("1 op(s) discarded"));
+        assert!(output(&mut repl, "?- t(7, Y).").contains("% 0 answer(s)"));
+        assert!(output(&mut repl, ":abort").starts_with("error:"));
+    }
+
+    #[test]
+    fn save_and_load_round_trip_a_snapshot() {
+        let path = std::env::temp_dir().join("factorlog_repl_snapshot_test.fl");
+        let path = path.to_str().unwrap().to_string();
+        let mut repl = Repl::new();
+        output(
+            &mut repl,
+            "t(X, Y) :- e(X, Y).\nt(X, Y) :- e(X, W), t(W, Y).",
+        );
+        output(&mut repl, ":insert e(1, 2).");
+        output(&mut repl, ":insert e(2, 3).");
+        let saved = output(&mut repl, &format!(":save {path}"));
+        assert!(saved.contains("saved snapshot"), "{saved}");
+        assert!(saved.contains("2 rule(s), 2 fact(s)"), "{saved}");
+
+        // A fresh session restores it via the same :load command (autodetected).
+        let mut fresh = Repl::new();
+        let restored = output(&mut fresh, &format!(":load {path}"));
+        assert!(restored.contains("restored snapshot"), "{restored}");
+        assert!(restored.contains("2 rule(s), 2 fact(s)"), "{restored}");
+        let answers = output(&mut fresh, "?- t(1, Y).");
+        assert!(answers.contains("% 2 answer(s)"), "{answers}");
+        assert!(answers.contains("Y = 2") && answers.contains("Y = 3"));
+        // And the restored session keeps mutating incrementally.
+        output(&mut fresh, ":retract e(2, 3).");
+        assert!(output(&mut fresh, "?- t(1, Y).").contains("% 1 answer(s)"));
+        std::fs::remove_file(&path).ok();
+        assert!(output(&mut repl, ":save").starts_with("error:"));
     }
 
     #[test]

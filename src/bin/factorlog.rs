@@ -16,8 +16,10 @@
 //!     --stats              print cumulative session evaluation statistics
 //!
 //! REPL MODE:
-//!     an incremental engine session: `:load`, `:insert fact.`, `:prepare q`,
-//!     `?- query.`, `:stats`, `:help`, `:quit`. An optional FILE is loaded at start.
+//!     an incremental engine session: `:load` (Datalog source or a `:save`d
+//!     snapshot), `:save file`, `:insert fact.`, `:retract fact.`,
+//!     `:begin`/`:commit`/`:abort` transactions, `:prepare q`, `?- query.`,
+//!     `:stats`, `:help`, `:quit`. An optional FILE is loaded at start.
 //! ```
 //!
 //! One-shot runs execute on the same [`Engine`] the REPL uses, so `--stats` reports

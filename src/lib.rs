@@ -56,13 +56,13 @@ pub mod prelude {
     };
     pub use factorlog_datalog::ast::{Atom, Const, Program, Query, Rule, Term};
     pub use factorlog_datalog::eval::{
-        evaluate, evaluate_default, seminaive_resume, CompiledProgram, EvalOptions, EvalResult,
-        EvalStats, Strategy as EvalStrategy,
+        evaluate, evaluate_default, seminaive_resume, seminaive_retract, CompiledProgram,
+        EvalOptions, EvalResult, EvalStats, Strategy as EvalStrategy,
     };
     pub use factorlog_datalog::parser::{parse_atom, parse_program, parse_query, parse_rule};
     pub use factorlog_datalog::storage::Database;
     pub use factorlog_datalog::Symbol;
-    pub use factorlog_engine::{Engine, EngineError, Repl, ReplAction};
+    pub use factorlog_engine::{Engine, EngineError, Repl, ReplAction, Snapshot, Txn, TxnSummary};
 }
 
 #[cfg(test)]

@@ -1,0 +1,279 @@
+//! Mutation-correctness property tests for the transactional engine API: any
+//! interleaving of assert/retract batches must converge to exactly the from-scratch
+//! evaluation of the surviving EDB — at 1, 2 and 4 worker threads, with the parallel
+//! threshold forced to zero so delete propagation exercises the partitioned executor —
+//! and a snapshot→restore round-trip must preserve a session mid-stream.
+
+use std::collections::BTreeSet;
+
+use factorlog::prelude::*;
+use factorlog::workloads::programs;
+use proptest::prelude::*;
+
+fn c(i: i64) -> Const {
+    Const::Int(i)
+}
+
+/// Engines under test: one per thread count, threshold zero so even tiny rounds run
+/// partitioned. Results must be identical across the whole list.
+fn engines_at_thread_counts(source: &str) -> Vec<Engine> {
+    [1usize, 2, 4]
+        .iter()
+        .map(|&threads| {
+            let mut engine = Engine::with_options(EvalOptions {
+                threads,
+                parallel_threshold: 0,
+                ..EvalOptions::default()
+            });
+            engine.load_source(source).unwrap();
+            engine
+        })
+        .collect()
+}
+
+/// From-scratch evaluation of the engine's current program over its current base
+/// facts — the reference every maintained model must match.
+fn batch_answers(engine: &Engine, query: &Query) -> Vec<Vec<Const>> {
+    evaluate_default(engine.program(), engine.facts())
+        .expect("batch evaluation succeeds")
+        .answers(query)
+}
+
+/// One generated mutation: `kind == 0` retracts, otherwise asserts (two-thirds
+/// asserts keeps the databases non-trivial).
+type Op = (usize, i64, i64);
+
+/// Apply one batch of edge mutations through the transactional API; returns the
+/// summary of the first engine (all engines must agree on it).
+fn apply_edge_batch(engines: &mut [Engine], predicate: &str, batch: &[Op]) -> TxnSummary {
+    let mut first: Option<TxnSummary> = None;
+    for engine in engines.iter_mut() {
+        let mut txn = engine.transaction();
+        for &(kind, a, b) in batch {
+            if kind == 0 {
+                txn.retract(predicate, &[c(a), c(b)]);
+            } else {
+                txn.assert(predicate, &[c(a), c(b)]);
+            }
+        }
+        let summary = txn.commit().expect("commit succeeds");
+        match first {
+            None => first = Some(summary),
+            Some(expected) => assert_eq!(expected, summary, "summaries agree across threads"),
+        }
+    }
+    first.expect("at least one engine")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn tc_mutation_batches_converge_to_scratch(
+        ops in prop::collection::vec((0usize..3, 0i64..8, 0i64..8), 1..36),
+        batch_size in 1usize..5,
+        start in 0i64..8,
+    ) {
+        let query = parse_query(&format!("t({start}, Y)")).unwrap();
+        let mut engines = engines_at_thread_counts(programs::THREE_RULE_TC);
+        // Independent ledger of what the base relation must contain (last op wins
+        // within a batch is modeled by sequential application).
+        let mut ledger: BTreeSet<(i64, i64)> = BTreeSet::new();
+        for batch in ops.chunks(batch_size) {
+            for &(kind, a, b) in batch {
+                if kind == 0 {
+                    ledger.remove(&(a, b));
+                } else {
+                    ledger.insert((a, b));
+                }
+            }
+            apply_edge_batch(&mut engines, "e", batch);
+            // The fact store matches the ledger exactly.
+            let stored: BTreeSet<(i64, i64)> = engines[0]
+                .facts()
+                .relation(Symbol::intern("e"))
+                .map(|rel| {
+                    rel.iter()
+                        .map(|row| (row[0].as_int().unwrap(), row[1].as_int().unwrap()))
+                        .collect()
+                })
+                .unwrap_or_default();
+            prop_assert_eq!(&stored, &ledger);
+            // Every engine's maintained answers equal from-scratch evaluation.
+            let reference = batch_answers(&engines[0], &query);
+            for engine in engines.iter_mut() {
+                prop_assert_eq!(engine.query(&query).unwrap(), reference.clone());
+            }
+        }
+    }
+
+    #[test]
+    fn sg_mutation_batches_converge_to_scratch(
+        ops in prop::collection::vec((0usize..3, 0i64..7, 0i64..7), 1..30),
+        probe in 0i64..7,
+    ) {
+        // Rotate mutations across the three EDB predicates of same-generation; the
+        // op kind doubles as the predicate selector (asserts on all three, retracts
+        // of whatever is hit).
+        let query = parse_query(&format!("sg({probe}, Y)")).unwrap();
+        let mut engines = engines_at_thread_counts(programs::SAME_GENERATION);
+        for (i, chunk) in ops.chunks(3).enumerate() {
+            for engine in engines.iter_mut() {
+                let mut txn = engine.transaction();
+                for (j, &(kind, a, b)) in chunk.iter().enumerate() {
+                    let predicate = ["up", "flat", "down"][(i + j) % 3];
+                    if kind == 0 {
+                        txn.retract(predicate, &[c(a), c(b)]);
+                    } else {
+                        txn.assert(predicate, &[c(a), c(b)]);
+                    }
+                }
+                txn.commit().expect("commit succeeds");
+            }
+            let reference = batch_answers(&engines[0], &query);
+            for engine in engines.iter_mut() {
+                prop_assert_eq!(engine.query(&query).unwrap(), reference.clone());
+            }
+        }
+    }
+
+    #[test]
+    fn idb_assert_retract_batches_converge_to_scratch(
+        edges in prop::collection::vec((0usize..3, 0i64..6, 0i64..6), 1..24),
+        idb_ops in prop::collection::vec((0usize..2, 0i64..6, 0i64..6), 1..8),
+        start in 0i64..6,
+    ) {
+        // Mix base-edge mutations with asserts/retracts of the *derived* predicate
+        // `t` (routed through the `t__asserted` exit-rule scheme).
+        let query = parse_query(&format!("t({start}, Y)")).unwrap();
+        let mut engines = engines_at_thread_counts(programs::RIGHT_LINEAR_TC);
+        apply_edge_batch(&mut engines, "e", &edges);
+        for engine in engines.iter_mut() {
+            let mut txn = engine.transaction();
+            for &(kind, a, b) in &idb_ops {
+                if kind == 0 {
+                    txn.retract("t", &[c(a), c(b)]);
+                } else {
+                    txn.assert("t", &[c(a), c(b)]);
+                }
+            }
+            txn.commit().expect("commit succeeds");
+        }
+        let reference = batch_answers(&engines[0], &query);
+        for engine in engines.iter_mut() {
+            prop_assert_eq!(engine.query(&query).unwrap(), reference.clone());
+        }
+        // Retract every asserted t fact again: derived-only facts must survive
+        // exactly as from-scratch evaluation says.
+        for engine in engines.iter_mut() {
+            let mut txn = engine.transaction();
+            for &(_, a, b) in &idb_ops {
+                txn.retract("t", &[c(a), c(b)]);
+            }
+            txn.commit().expect("commit succeeds");
+        }
+        let reference = batch_answers(&engines[0], &query);
+        for engine in engines.iter_mut() {
+            prop_assert_eq!(engine.query(&query).unwrap(), reference.clone());
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_preserves_sessions_mid_stream(
+        ops in prop::collection::vec((0usize..3, 0i64..8, 0i64..8), 1..25),
+        more in prop::collection::vec((0usize..3, 0i64..8, 0i64..8), 1..10),
+        start in 0i64..8,
+    ) {
+        let query = parse_query(&format!("t({start}, Y)")).unwrap();
+        let mut engine = Engine::new();
+        engine.load_source(programs::THREE_RULE_TC).unwrap();
+        let mut txn = engine.transaction();
+        for &(kind, a, b) in &ops {
+            if kind == 0 {
+                txn.retract("e", &[c(a), c(b)]);
+            } else {
+                txn.assert("e", &[c(a), c(b)]);
+            }
+        }
+        txn.commit().unwrap();
+        let answers = engine.query(&query).unwrap();
+
+        // Round-trip through the textual snapshot.
+        let snapshot = engine.snapshot();
+        let reparsed = Snapshot::from_text(snapshot.as_str()).unwrap();
+        let mut restored = Engine::from_snapshot(&reparsed).unwrap();
+        prop_assert_eq!(restored.query(&query).unwrap(), answers.clone());
+        // Prepared plans rebuild and agree after the restore.
+        prop_assert_eq!(restored.query_prepared(&query).unwrap(), answers.clone());
+
+        // Both sessions keep evolving identically.
+        for session in [&mut engine, &mut restored] {
+            let mut txn = session.transaction();
+            for &(kind, a, b) in &more {
+                if kind == 0 {
+                    txn.retract("e", &[c(a), c(b)]);
+                } else {
+                    txn.assert("e", &[c(a), c(b)]);
+                }
+            }
+            txn.commit().unwrap();
+        }
+        let expected = engine.query(&query).unwrap();
+        prop_assert_eq!(restored.query(&query).unwrap(), expected.clone());
+        prop_assert_eq!(batch_answers(&restored, &query), expected);
+    }
+}
+
+#[test]
+fn deterministic_mixed_workload_with_transactions() {
+    // A deterministic end-to-end interleaving: inserts, transactional rewires,
+    // retracts of asserted IDB facts, prepared queries, and a snapshot round-trip,
+    // each step checked against from-scratch evaluation.
+    let mut engine = Engine::new();
+    engine.load_source(programs::THREE_RULE_TC).unwrap();
+    let query = parse_query("t(0, Y)").unwrap();
+    for i in 0..10i64 {
+        engine.insert("e", &[c(i), c(i + 1)]).unwrap();
+    }
+    assert_eq!(engine.query(&query).unwrap().len(), 10);
+
+    // Rewire the middle of the chain through a detour in one atomic batch.
+    let mut txn = engine.transaction();
+    txn.retract("e", &[c(5), c(6)])
+        .assert("e", &[c(5), c(50)])
+        .assert("e", &[c(50), c(6)]);
+    let summary = txn.commit().unwrap();
+    assert_eq!(summary.retracted, 1);
+    assert_eq!(summary.asserted, 2);
+    assert_eq!(
+        engine.query(&query).unwrap(),
+        batch_answers(&engine, &query)
+    );
+    assert_eq!(engine.query(&query).unwrap().len(), 11);
+
+    // Assert and later retract a derived-predicate fact.
+    engine.insert("t", &[c(10), c(100)]).unwrap();
+    assert!(engine.query(&query).unwrap().contains(&vec![c(100)]));
+    assert!(engine.retract("t", &[c(10), c(100)]).unwrap());
+    assert_eq!(
+        engine.query(&query).unwrap(),
+        batch_answers(&engine, &query)
+    );
+    assert!(!engine.query(&query).unwrap().contains(&vec![c(100)]));
+
+    // Snapshot, restore, and diverge-check.
+    let snapshot = engine.snapshot();
+    let mut restored = Engine::from_snapshot(&snapshot).unwrap();
+    assert_eq!(
+        restored.query(&query).unwrap(),
+        engine.query(&query).unwrap()
+    );
+    restored.retract("e", &[c(0), c(1)]).unwrap();
+    assert!(restored.query(&query).unwrap().is_empty());
+    assert_eq!(
+        engine.query(&query).unwrap().len(),
+        11,
+        "original untouched"
+    );
+    assert!(engine.stats().retractions > 0);
+}
