@@ -68,6 +68,18 @@ pub struct EvalStats {
     pub rederivations: usize,
     /// Fixpoint rounds of the over-delete (negative-delta) phase.
     pub delete_rounds: usize,
+    /// Records appended to the durable session's transaction log (one per
+    /// committed mutation). Zero for in-memory sessions and one-shot evaluations.
+    pub wal_appends: usize,
+    /// Log records replayed through the transactional path when the session was
+    /// recovered at startup.
+    pub wal_replays: usize,
+    /// Torn/corrupt log tails truncated during recovery (at most one per open:
+    /// the bytes a crashed writer left behind).
+    pub wal_torn_truncations: usize,
+    /// Snapshot compactions performed (explicit `compact` calls plus automatic
+    /// threshold-triggered ones).
+    pub wal_compactions: usize,
 }
 
 impl EvalStats {
@@ -170,6 +182,10 @@ impl EvalStats {
         self.retractions += other.retractions;
         self.rederivations += other.rederivations;
         self.delete_rounds += other.delete_rounds;
+        self.wal_appends += other.wal_appends;
+        self.wal_replays += other.wal_replays;
+        self.wal_torn_truncations += other.wal_torn_truncations;
+        self.wal_compactions += other.wal_compactions;
         for (&p, &n) in &other.facts_per_predicate {
             *self.facts_per_predicate.entry(p).or_insert(0) += n;
         }
@@ -219,6 +235,15 @@ impl fmt::Display for EvalStats {
                 f,
                 "mutations: {} retractions, {} rederivations, {} delete rounds",
                 self.retractions, self.rederivations, self.delete_rounds
+            )?;
+        }
+        if self.wal_appends + self.wal_replays + self.wal_torn_truncations + self.wal_compactions
+            > 0
+        {
+            writeln!(
+                f,
+                "durability: {} wal appends, {} replays, {} torn-tail truncations, {} compactions",
+                self.wal_appends, self.wal_replays, self.wal_torn_truncations, self.wal_compactions
             )?;
         }
         let mut preds: Vec<_> = self.facts_per_predicate.iter().collect();
@@ -306,6 +331,30 @@ mod tests {
         assert_eq!(a.delete_rounds, 3);
         let text = format!("{a}");
         assert!(text.contains("mutations: 4 retractions, 3 rederivations, 3 delete rounds"));
+    }
+
+    #[test]
+    fn durability_counters_merge_and_display() {
+        let mut a = EvalStats::new(0);
+        a.wal_appends = 5;
+        a.wal_compactions = 1;
+        let mut b = EvalStats::new(0);
+        b.wal_replays = 3;
+        b.wal_torn_truncations = 1;
+        a.merge(&b);
+        assert_eq!(a.wal_appends, 5);
+        assert_eq!(a.wal_replays, 3);
+        assert_eq!(a.wal_torn_truncations, 1);
+        assert_eq!(a.wal_compactions, 1);
+        let text = format!("{a}");
+        assert!(
+            text.contains(
+                "durability: 5 wal appends, 3 replays, 1 torn-tail truncations, 1 compactions"
+            ),
+            "{text}"
+        );
+        // In-memory runs show no durability line.
+        assert!(!format!("{}", EvalStats::new(0)).contains("durability"));
     }
 
     #[test]

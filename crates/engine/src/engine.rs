@@ -63,6 +63,9 @@ pub enum EngineError {
     Snapshot(String),
     /// An I/O failure while saving or loading a snapshot.
     Io(String),
+    /// A durability failure: the transaction log could not be written or the
+    /// data directory could not be recovered/compacted.
+    Durability(String),
 }
 
 impl fmt::Display for EngineError {
@@ -84,6 +87,7 @@ impl fmt::Display for EngineError {
             }
             EngineError::Snapshot(message) => write!(f, "invalid snapshot: {message}"),
             EngineError::Io(message) => write!(f, "{message}"),
+            EngineError::Durability(message) => write!(f, "durability: {message}"),
         }
     }
 }
@@ -137,7 +141,7 @@ pub struct TxnSummary {
 
 /// One operation of a transaction batch.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum TxnOp {
+pub(crate) enum TxnOp {
     Assert,
     Retract,
 }
@@ -221,6 +225,12 @@ impl Txn<'_> {
 /// so every snapshot is also a loadable Datalog source file.
 pub const SNAPSHOT_HEADER: &str = "% factorlog snapshot v1";
 
+/// The version-independent prefix of every snapshot header: used to *sniff* that a
+/// text is some snapshot (possibly from a newer build) before checking whether this
+/// build can read it — an unknown version must fail loudly, never parse as plain
+/// Datalog source.
+pub const SNAPSHOT_HEADER_PREFIX: &str = "% factorlog snapshot";
+
 /// A serialized session image: the registered program plus every base fact, as
 /// versioned Datalog text (rules and facts round-trip through the regular parser).
 ///
@@ -245,12 +255,24 @@ impl Snapshot {
         &self.text
     }
 
-    /// Wrap existing snapshot text, validating the version header.
+    /// Wrap existing snapshot text, validating the version header: a missing
+    /// header is rejected, and so — explicitly — is a snapshot version this build
+    /// does not read (rather than falling back to parsing it as plain source).
     pub fn from_text(text: &str) -> Result<Snapshot, EngineError> {
-        if !is_snapshot_text(text) {
+        let Some(header) = text.lines().find(|line| !line.trim().is_empty()) else {
             return Err(EngineError::Snapshot(format!(
-                "missing `{SNAPSHOT_HEADER}` header"
+                "empty text (missing `{SNAPSHOT_HEADER}` header)"
             )));
+        };
+        let header = header.trim();
+        if header != SNAPSHOT_HEADER {
+            return Err(if header.starts_with(SNAPSHOT_HEADER_PREFIX) {
+                EngineError::Snapshot(format!(
+                    "unsupported snapshot version `{header}` (this build reads `{SNAPSHOT_HEADER}`)"
+                ))
+            } else {
+                EngineError::Snapshot(format!("missing `{SNAPSHOT_HEADER}` header"))
+            });
         }
         Ok(Snapshot {
             text: text.to_string(),
@@ -264,11 +286,19 @@ impl Snapshot {
             .map_err(|e| EngineError::Io(format!("cannot write {}: {e}", path.display())))
     }
 
-    /// Read a snapshot from a file (validating the version header).
+    /// Read a snapshot from a file (validating the version header). A missing or
+    /// empty file is a clean [`EngineError`] naming the path, never a raw
+    /// io/parse error.
     pub fn load(path: impl AsRef<std::path::Path>) -> Result<Snapshot, EngineError> {
         let path = path.as_ref();
         let text = std::fs::read_to_string(path)
             .map_err(|e| EngineError::Io(format!("cannot read {}: {e}", path.display())))?;
+        if text.trim().is_empty() {
+            return Err(EngineError::Snapshot(format!(
+                "snapshot file {} is empty",
+                path.display()
+            )));
+        }
         Snapshot::from_text(&text)
     }
 }
@@ -279,12 +309,15 @@ impl fmt::Display for Snapshot {
     }
 }
 
-/// Does `text` begin with the snapshot version header (allowing leading blank
-/// lines)? Used by front ends to tell a snapshot from ordinary Datalog source.
+/// Does `text` begin with a snapshot header of *any* version (allowing leading
+/// blank lines)? Used by front ends to tell a snapshot from ordinary Datalog
+/// source; version support is then checked by [`Snapshot::from_text`], so an
+/// unknown-version snapshot routes to an explicit error instead of being absorbed
+/// as source.
 pub fn is_snapshot_text(text: &str) -> bool {
     text.lines()
         .find(|line| !line.trim().is_empty())
-        .is_some_and(|line| line.trim() == SNAPSHOT_HEADER)
+        .is_some_and(|line| line.trim().starts_with(SNAPSHOT_HEADER_PREFIX))
 }
 
 /// Write one constant in parseable surface syntax: integers and identifier-shaped
@@ -357,7 +390,10 @@ pub struct Engine {
     prepared_clock: u64,
     options: EvalOptions,
     pipeline: PipelineOptions,
-    stats: EvalStats,
+    pub(crate) stats: EvalStats,
+    /// The durable half of the session (transaction log + data directory), when
+    /// opened via [`Engine::open_durable`]. `None` = plain in-memory session.
+    pub(crate) durability: Option<crate::durability::Durability>,
 }
 
 /// The cache key shape of a query: `b` for constant positions, a first-occurrence
@@ -412,6 +448,7 @@ impl Engine {
             options,
             pipeline: PipelineOptions::default(),
             stats: EvalStats::default(),
+            durability: None,
         }
     }
 
@@ -533,11 +570,23 @@ impl Engine {
 
     /// Register additional rules. Changing the program invalidates the materialized
     /// model and every cached plan (both are program-specific); the facts survive.
+    /// On a durable session the rules are logged (as rendered source) before they
+    /// are applied; a log failure registers nothing.
     ///
     /// Facts previously inserted under a predicate that now *becomes* IDB migrate to
     /// its assertion relation (see [`Engine::insert`]) so the rewrite pipeline keeps
     /// seeing a purely rule-defined predicate.
-    pub fn add_rules(&mut self, rules: Program) {
+    pub fn add_rules(&mut self, rules: Program) -> Result<(), EngineError> {
+        if rules.is_empty() {
+            return Ok(());
+        }
+        self.wal_log_source(&rules.to_string())?;
+        self.add_rules_unlogged(rules);
+        self.wal_maybe_compact()
+    }
+
+    /// [`Engine::add_rules`] minus the durability hooks (replay and internal use).
+    fn add_rules_unlogged(&mut self, rules: Program) {
         if rules.is_empty() {
             return;
         }
@@ -604,8 +653,31 @@ impl Engine {
 
     /// Parse `source` (rules, facts, optionally a `?- atom.` clause) and absorb it:
     /// rules are registered, facts inserted (incrementally when a model exists).
+    ///
+    /// On a durable session the *whole source text* is logged as one record (after
+    /// parsing, before anything is applied), so a bulk load costs one log append +
+    /// fsync instead of one per fact; replay re-absorbs the text verbatim.
     pub fn load_source(&mut self, source: &str) -> Result<LoadSummary, EngineError> {
         let parsed = parse_program(source)?;
+        if !source.trim().is_empty() {
+            self.wal_log_source(source)?;
+        }
+        // Suspend durability around the nested add_rules/insert calls — the source
+        // record above already covers them.
+        let suspended = self.durability.take();
+        let result = self.absorb_parsed(&parsed);
+        self.durability = suspended;
+        if result.is_ok() {
+            self.wal_maybe_compact()?;
+        }
+        result
+    }
+
+    /// Absorb an already-parsed source (the body of [`Engine::load_source`]).
+    fn absorb_parsed(
+        &mut self,
+        parsed: &factorlog_datalog::parser::ParseOutput,
+    ) -> Result<LoadSummary, EngineError> {
         let query = parsed.query().cloned();
         let (rules, facts) = parsed.split_facts();
         let mut summary = LoadSummary {
@@ -613,7 +685,7 @@ impl Engine {
             query,
             ..LoadSummary::default()
         };
-        self.add_rules(rules);
+        self.add_rules_unlogged(rules);
         for atom in &facts {
             if self.insert_atom(atom)? {
                 summary.facts_added += 1;
@@ -648,6 +720,25 @@ impl Engine {
                 });
             }
         }
+        // Durable sessions log the (validated) insert before applying it — except
+        // when the fact is already present: an idempotent re-insert is a no-op and
+        // must not grow the log or pay an fsync. (Non-durable sessions skip the
+        // probe; the `add_fact` below detects duplicates anyway.)
+        if self.durability.is_some() {
+            let probe = if self.idb.contains(&predicate) {
+                Self::asserted_symbol(predicate)
+            } else {
+                predicate
+            };
+            let present = self
+                .edb
+                .relation(probe)
+                .is_some_and(|r| r.arity() == tuple.len() && r.contains(tuple));
+            if present {
+                return Ok(false);
+            }
+            self.wal_log_txn(&[(TxnOp::Assert, predicate, tuple.to_vec())])?;
+        }
         let target = if self.idb.contains(&predicate) {
             self.ensure_assertion_rule(predicate, tuple.len());
             Self::asserted_symbol(predicate)
@@ -656,6 +747,7 @@ impl Engine {
         };
         let new = self.edb.add_fact(target, tuple);
         if !new {
+            self.wal_maybe_compact()?;
             return Ok(false);
         }
         if let Some(model) = &mut self.model {
@@ -669,6 +761,7 @@ impl Engine {
                     .insert(tuple);
             }
         }
+        self.wal_maybe_compact()?;
         Ok(true)
     }
 
@@ -716,7 +809,7 @@ impl Engine {
     /// Apply one transaction batch: validate everything, then retract, then assert,
     /// maintaining the materialized model incrementally (see [`Txn::commit`] for the
     /// error contract).
-    fn apply_txn(
+    pub(crate) fn apply_txn(
         &mut self,
         ops: Vec<(TxnOp, Symbol, Vec<Const>)>,
     ) -> Result<TxnSummary, EngineError> {
@@ -738,6 +831,13 @@ impl Engine {
             } else {
                 batch_arity.insert(*predicate, tuple.len());
             }
+        }
+
+        // Durable sessions log the validated batch *before* applying it (write-ahead:
+        // an append failure aborts the commit with the session untouched; a crash
+        // after the append replays the batch on recovery).
+        if !ops.is_empty() {
+            self.wal_log_txn(&ops)?;
         }
 
         // Net effect per fact: the last operation wins.
@@ -828,6 +928,7 @@ impl Engine {
                 }
             }
         }
+        self.wal_maybe_compact()?;
         Ok(summary)
     }
 
@@ -903,6 +1004,11 @@ impl Engine {
     pub fn restore(&mut self, snapshot: &Snapshot) -> Result<LoadSummary, EngineError> {
         let mut staged = Engine::with_options(self.options.clone());
         let summary = staged.load_source(snapshot.as_str())?;
+        // A durable session persists the replacement image *before* swapping it in
+        // (the restored state becomes the on-disk snapshot and the log resets —
+        // there is no meaningful log delta against a replaced state): a persistence
+        // failure leaves both memory and disk on the old state.
+        self.wal_persist_restore(&staged)?;
         self.program = staged.program;
         self.idb = staged.idb;
         self.edb = staged.edb;
@@ -1671,6 +1777,51 @@ mod tests {
             Snapshot::load("/nonexistent/path.fl"),
             Err(EngineError::Io(_))
         ));
+    }
+
+    #[test]
+    fn loading_missing_or_empty_snapshot_files_errors_cleanly() {
+        // Nonexistent path: a clean EngineError::Io naming the path.
+        let err = Snapshot::load("/nonexistent/factorlog_snapshot.fl").unwrap_err();
+        assert!(matches!(err, EngineError::Io(_)));
+        assert!(format!("{err}").contains("/nonexistent/factorlog_snapshot.fl"));
+
+        // Empty (and whitespace-only) files: an explicit snapshot error, not a
+        // confusing "missing header" parse of nothing.
+        let path = std::env::temp_dir().join(format!(
+            "factorlog_empty_snapshot_{}.fl",
+            std::process::id()
+        ));
+        for contents in ["", "  \n\n  "] {
+            std::fs::write(&path, contents).unwrap();
+            let err = Snapshot::load(&path).unwrap_err();
+            assert!(matches!(err, EngineError::Snapshot(_)), "{contents:?}");
+            assert!(format!("{err}").contains("is empty"), "{err}");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn unknown_snapshot_versions_fail_explicitly() {
+        // A v2 header still *sniffs* as a snapshot (so front ends do not absorb it
+        // as plain source)…
+        let v2 = "% factorlog snapshot v2\ne(1, 2).\n";
+        assert!(is_snapshot_text(v2));
+        // …but wrapping it fails with an explicit unsupported-version error.
+        let err = Snapshot::from_text(v2).unwrap_err();
+        assert!(matches!(err, EngineError::Snapshot(_)));
+        let message = format!("{err}");
+        assert!(
+            message.contains("unsupported snapshot version"),
+            "{message}"
+        );
+        assert!(message.contains("v2"), "{message}");
+
+        // A header-free text is still "missing header", not "unsupported version".
+        let err = Snapshot::from_text("e(1, 2).").unwrap_err();
+        assert!(format!("{err}").contains("missing"), "{err}");
+        // And v1 snapshots keep loading.
+        assert!(Snapshot::from_text(&format!("{SNAPSHOT_HEADER}\ne(1, 2).\n")).is_ok());
     }
 
     #[test]

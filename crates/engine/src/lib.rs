@@ -27,9 +27,17 @@
 //!   [`EvalStats::plan_cache_hits`](factorlog_datalog::eval::EvalStats) /
 //!   `plan_cache_misses`.
 //!
+//! * **Crash-safe durability** — [`Engine::open_durable`] binds a session to a data
+//!   directory: every committed mutation is appended to a checksummed, fsync'd
+//!   write-ahead log ([`wal`]) before it applies, startup recovery loads the newest
+//!   snapshot and replays the log tail (truncating torn writes), and the log
+//!   compacts into a fresh snapshot — atomically — once it outgrows
+//!   [`DurabilityOptions::compact_threshold`]. Derived views are never stored; they
+//!   rebuild from the recovered base facts on the first query.
+//!
 //! * **A REPL front end** — [`Repl`] interprets the `factorlog repl` command language
-//!   (`:load`, `:insert`, `:prepare`, `?- query.`, `:stats`, …) against an engine
-//!   session; the `factorlog` binary only supplies the I/O loop.
+//!   (`:load`, `:insert`, `:prepare`, `?- query.`, `:open`, `:compact`, `:stats`, …)
+//!   against an engine session; the `factorlog` binary only supplies the I/O loop.
 //!
 //! # Example
 //!
@@ -59,12 +67,18 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod durability;
 mod engine;
 mod repl;
+pub mod wal;
 
+pub use durability::{
+    CompactReport, CompactionFault, DurabilityOptions, RecoveryReport, DEFAULT_COMPACT_THRESHOLD,
+    SNAPSHOT_FILE, WAL_FILE,
+};
 pub use engine::{
     is_snapshot_text, Engine, EngineError, LoadSummary, PrepareReport, Snapshot, Txn, TxnSummary,
-    DEFAULT_PREPARED_CAPACITY, SNAPSHOT_HEADER,
+    DEFAULT_PREPARED_CAPACITY, SNAPSHOT_HEADER, SNAPSHOT_HEADER_PREFIX,
 };
 pub use repl::{Repl, ReplAction};
 

@@ -4,6 +4,9 @@
 //! ```text
 //! :load <file>        load a Datalog file — or restore a snapshot (autodetected)
 //! :save <file>        save the session (program + facts) as a snapshot
+//! :open <dir>         switch to a durable session backed by <dir> (snapshot +
+//!                     write-ahead log; recovers committed state on open)
+//! :compact            rewrite the durable snapshot and reset the log
 //! :insert <fact>.     insert one ground fact (incremental)
 //! :retract <fact>.    retract one base fact (counting-based delete propagation)
 //! :begin              start a transaction; :insert/:retract queue until :commit
@@ -24,6 +27,7 @@ use std::fmt::Write as _;
 use factorlog_datalog::ast::{Atom, Query};
 use factorlog_datalog::parser::{parse_atom, parse_query};
 
+use crate::durability::DurabilityOptions;
 use crate::engine::{is_snapshot_text, Engine, Snapshot};
 
 /// The outcome of executing one REPL line.
@@ -55,6 +59,10 @@ commands:
   :load <file>     load rules and facts from a Datalog file, or restore a
                    snapshot written by :save (autodetected by its header)
   :save <file>     save the session (program + base facts) as a snapshot
+  :open <dir>      switch to a durable session backed by <dir>: every committed
+                   mutation is appended to an fsync'd write-ahead log and
+                   recovered on the next :open (crash-safe)
+  :compact         rewrite the durable snapshot atomically and reset the log
   :insert <fact>.  insert one ground fact (incrementally maintained)
   :retract <fact>. retract one base fact (incremental delete propagation)
   :begin           start a transaction: :insert/:retract queue until :commit
@@ -121,6 +129,8 @@ impl Repl {
                 "help" | "h" => Ok(ReplAction::Output(HELP.to_string())),
                 "load" => self.load(argument).map(ReplAction::Output),
                 "save" => self.save(argument).map(ReplAction::Output),
+                "open" => self.open(argument).map(ReplAction::Output),
+                "compact" => self.compact().map(ReplAction::Output),
                 "insert" => self.insert(argument).map(ReplAction::Output),
                 "retract" => self.retract(argument).map(ReplAction::Output),
                 "begin" => self.begin().map(ReplAction::Output),
@@ -143,6 +153,9 @@ impl Repl {
         }
         let source =
             std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        if source.trim().is_empty() {
+            return Err(format!("{path} is empty (nothing to load)"));
+        }
         if is_snapshot_text(&source) {
             let snapshot = Snapshot::from_text(&source).map_err(|e| e.to_string())?;
             let summary = self.engine.restore(&snapshot).map_err(|e| e.to_string())?;
@@ -179,6 +192,40 @@ impl Repl {
             "saved snapshot {path}: {} rule(s), {} fact(s)",
             self.engine.program().len(),
             self.engine.facts().total_facts()
+        ))
+    }
+
+    fn open(&mut self, dir: &str) -> Result<String, String> {
+        if dir.is_empty() {
+            return Err(":open requires a data directory path".to_string());
+        }
+        if self.txn.is_some() {
+            return Err("a transaction is open (commit or abort it before :open)".to_string());
+        }
+        // The current session's evaluation options carry over; its *state* does not
+        // (the durable directory's recovered state replaces it).
+        let engine = Engine::open_durable_with_options(
+            dir,
+            DurabilityOptions::default(),
+            self.engine.options().clone(),
+        )
+        .map_err(|e| e.to_string())?;
+        self.engine = engine;
+        self.txn = None;
+        let report = self.engine.recovery_report().cloned().unwrap_or_default();
+        Ok(format!(
+            "opened durable session {dir}: {} rule(s), {} fact(s); {}",
+            self.engine.program().len(),
+            self.engine.facts().total_facts(),
+            report.describe(),
+        ))
+    }
+
+    fn compact(&mut self) -> Result<String, String> {
+        let report = self.engine.compact().map_err(|e| e.to_string())?;
+        Ok(format!(
+            "compacted: log {} -> {} byte(s); snapshot includes wal seq {}",
+            report.log_bytes_before, report.log_bytes_after, report.snapshot_seq
         ))
     }
 
@@ -408,6 +455,18 @@ impl Repl {
                 None => "none".to_string(),
             }
         );
+        if let Some(dir) = self.engine.data_dir() {
+            let _ = write!(
+                out,
+                "\ndurability: dir {}, log {} byte(s); {} append(s), {} replay(s), {} compaction(s), {} torn truncation(s)",
+                dir.display(),
+                self.engine.wal_len().unwrap_or(0),
+                stats.wal_appends,
+                stats.wal_replays,
+                stats.wal_compactions,
+                stats.wal_torn_truncations,
+            );
+        }
         out
     }
 
@@ -619,6 +678,97 @@ mod tests {
         assert!(output(&mut fresh, "?- t(1, Y).").contains("% 1 answer(s)"));
         std::fs::remove_file(&path).ok();
         assert!(output(&mut repl, ":save").starts_with("error:"));
+    }
+
+    #[test]
+    fn load_of_empty_or_missing_files_errors_cleanly() {
+        let mut repl = Repl::new();
+        // Missing file: clean error naming the path.
+        let message = output(&mut repl, ":load /nonexistent/factorlog.dl");
+        assert!(message.starts_with("error:"), "{message}");
+        assert!(message.contains("/nonexistent/factorlog.dl"), "{message}");
+        // Empty file: an explicit "is empty" error instead of silently loading
+        // 0 rules and 0 facts.
+        let path =
+            std::env::temp_dir().join(format!("factorlog_repl_empty_{}.dl", std::process::id()));
+        std::fs::write(&path, "  \n").unwrap();
+        let message = output(&mut repl, &format!(":load {}", path.display()));
+        assert!(message.starts_with("error:"), "{message}");
+        assert!(message.contains("is empty"), "{message}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_of_unknown_snapshot_version_errors_explicitly() {
+        // A future-version snapshot must be routed to the snapshot path and fail
+        // with an unsupported-version error — never be absorbed as plain source
+        // (its header is a valid Datalog comment, so silent absorption would load
+        // the facts while dropping whatever v2 semantics they relied on).
+        let path =
+            std::env::temp_dir().join(format!("factorlog_repl_v2_{}.fl", std::process::id()));
+        std::fs::write(&path, "% factorlog snapshot v2\ne(1, 2).\n").unwrap();
+        let mut repl = Repl::new();
+        let message = output(&mut repl, &format!(":load {}", path.display()));
+        assert!(message.starts_with("error:"), "{message}");
+        assert!(
+            message.contains("unsupported snapshot version"),
+            "{message}"
+        );
+        assert_eq!(repl.engine().facts().total_facts(), 0, "nothing absorbed");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn open_and_compact_drive_a_durable_session() {
+        let dir =
+            std::env::temp_dir().join(format!("factorlog_repl_durable_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let dir_arg = dir.display().to_string();
+
+        let mut repl = Repl::new();
+        assert!(
+            output(&mut repl, ":compact").starts_with("error:"),
+            "not durable yet"
+        );
+        let opened = output(&mut repl, &format!(":open {dir_arg}"));
+        assert!(opened.contains("opened durable session"), "{opened}");
+        assert!(
+            opened.contains("snapshot absent, 0 wal record(s) replayed"),
+            "{opened}"
+        );
+        output(
+            &mut repl,
+            "t(X, Y) :- e(X, Y).\nt(X, Y) :- e(X, W), t(W, Y).",
+        );
+        output(&mut repl, ":insert e(1, 2).");
+        output(&mut repl, ":begin");
+        output(&mut repl, ":insert e(2, 3).");
+        output(&mut repl, ":retract e(1, 2).");
+        assert!(output(&mut repl, ":commit").contains("1 asserted, 1 retracted"));
+        let stats = output(&mut repl, ":stats");
+        assert!(stats.contains("durability: dir"), "{stats}");
+        assert!(stats.contains("3 append(s)"), "{stats}");
+        let compacted = output(&mut repl, ":compact");
+        assert!(compacted.contains("compacted: log"), "{compacted}");
+
+        // :open refuses to silently discard a queued transaction.
+        output(&mut repl, ":begin");
+        assert!(
+            output(&mut repl, &format!(":open {dir_arg}")).starts_with("error:"),
+            "open must not discard the queued transaction"
+        );
+        output(&mut repl, ":abort");
+
+        // A brand-new REPL recovers the committed state from the directory alone.
+        let mut fresh = Repl::new();
+        let reopened = output(&mut fresh, &format!(":open {dir_arg}"));
+        assert!(reopened.contains("snapshot loaded"), "{reopened}");
+        let answers = output(&mut fresh, "?- t(2, Y).");
+        assert!(answers.contains("% 1 answer(s)"), "{answers}");
+        assert!(answers.contains("Y = 3"), "{answers}");
+        assert!(output(&mut fresh, "?- t(1, Y).").contains("% 0 answer(s)"));
+        std::fs::remove_dir_all(&dir).ok();
+        assert!(output(&mut repl, ":open").starts_with("error:"));
     }
 
     #[test]

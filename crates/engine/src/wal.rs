@@ -1,0 +1,807 @@
+//! The append-only transaction log behind durable sessions: versioned binary
+//! framing with a per-record length prefix and CRC-32 checksum, written through an
+//! fsync'ing writer with an injectable fault point so crash-recovery tests can kill
+//! the writer at any byte offset.
+//!
+//! # On-disk format
+//!
+//! ```text
+//! file   := header record*
+//! header := "FLOGWAL1"                          (8 bytes, format version 1)
+//! record := len:u32le crc:u32le payload         (crc = CRC-32/IEEE of payload)
+//!
+//! payload := kind:u8 seq:u64le body
+//!   kind 1 (txn)    body := nops:u32le op*
+//!                   op   := polarity:u8 pred:str arity:u16le const{arity}
+//!                   const := 0x00 i64le | 0x01 str
+//!   kind 2 (source) body := str                  (Datalog text absorbed verbatim)
+//!   str  := len:u32le utf8-bytes
+//! ```
+//!
+//! Every record carries a monotonically increasing sequence number. Snapshots
+//! record the sequence they include (see the `durability` module), so a log tail
+//! that survives a crashed compaction is replayed only from the first record the
+//! snapshot does *not* already contain — records are applied at most once no matter
+//! where a crash lands.
+//!
+//! # Recovery contract
+//!
+//! [`read_log`] scans from the start and stops at the first record whose length
+//! prefix overruns the file, whose CRC mismatches, or whose payload fails to
+//! decode. Everything before that point is returned; everything at and after it is
+//! the *torn tail* — the bytes a crashed writer left behind — which
+//! [`recover_log`] truncates away so the log is append-ready again. A torn write
+//! can therefore lose only the record being written at the moment of the crash,
+//! never a previously synced one.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use factorlog_datalog::ast::Const;
+use factorlog_datalog::symbol::Symbol;
+
+/// Magic bytes opening every log file: identifies the file *and* its format
+/// version (`FLOGWAL1` = framing version 1).
+pub const WAL_MAGIC: &[u8; 8] = b"FLOGWAL1";
+
+/// Hard ceiling on one record's payload (sanity bound during scans: a corrupt
+/// length prefix must not provoke a multi-gigabyte allocation).
+pub const MAX_RECORD_BYTES: u32 = 1 << 28;
+
+/// Errors raised by the log layer.
+#[derive(Debug)]
+pub enum WalError {
+    /// An underlying filesystem operation failed.
+    Io(std::io::Error),
+    /// The file exists but does not open with the `FLOGWAL1` header.
+    BadHeader(PathBuf),
+    /// A record failed to decode *before* the scan's stop point (only raised by
+    /// strict decoding paths; tail scans turn this into truncation instead).
+    Corrupt(String),
+    /// The injected fault point fired: the writer "crashed" mid-write, leaving a
+    /// torn tail behind. Test-harness only; never raised in production configs.
+    Injected {
+        /// Bytes of the in-flight record that reached the file before the crash.
+        written: usize,
+    },
+    /// The record exceeds [`MAX_RECORD_BYTES`]; nothing was written (recovery
+    /// would refuse to read such a record, so acknowledging it would lose it —
+    /// and everything after it — at the next open).
+    TooLarge {
+        /// Encoded payload size of the rejected record.
+        bytes: usize,
+    },
+}
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalError::Io(e) => write!(f, "wal i/o error: {e}"),
+            WalError::BadHeader(path) => {
+                write!(f, "{} is not a factorlog wal (bad header)", path.display())
+            }
+            WalError::Corrupt(message) => write!(f, "corrupt wal record: {message}"),
+            WalError::Injected { written } => {
+                write!(f, "injected wal fault after {written} byte(s)")
+            }
+            WalError::TooLarge { bytes } => write!(
+                f,
+                "record of {bytes} bytes exceeds the {MAX_RECORD_BYTES} byte record limit"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+impl From<std::io::Error> for WalError {
+    fn from(e: std::io::Error) -> Self {
+        WalError::Io(e)
+    }
+}
+
+/// CRC-32 (IEEE 802.3, the zlib/PNG polynomial), table-driven.
+fn crc32_table() -> &'static [u32; 256] {
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, slot) in table.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ 0xEDB8_8320
+                } else {
+                    crc >> 1
+                };
+            }
+            *slot = crc;
+        }
+        table
+    })
+}
+
+/// CRC-32 checksum of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let table = crc32_table();
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ table[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+/// Polarity of one logged operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WalOp {
+    /// The fact was asserted.
+    Assert,
+    /// The fact was retracted.
+    Retract,
+}
+
+/// One decoded log record.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WalRecord {
+    /// A committed transaction batch: the operations exactly as the caller queued
+    /// them (pre-routing predicate names — replay re-derives IDB assertion routing
+    /// and exit rules deterministically).
+    Txn {
+        /// This record's sequence number.
+        seq: u64,
+        /// The batch, in queue order.
+        ops: Vec<(WalOp, Symbol, Vec<Const>)>,
+    },
+    /// Datalog source text absorbed into the session (rule registrations and bulk
+    /// fact loads), replayed verbatim through the parser.
+    Source {
+        /// This record's sequence number.
+        seq: u64,
+        /// The absorbed text.
+        text: String,
+    },
+}
+
+impl WalRecord {
+    /// The record's sequence number.
+    pub fn seq(&self) -> u64 {
+        match self {
+            WalRecord::Txn { seq, .. } | WalRecord::Source { seq, .. } => *seq,
+        }
+    }
+
+    /// Encode the record payload (everything the CRC covers).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            WalRecord::Txn { seq, ops } => {
+                out.push(1u8);
+                out.extend_from_slice(&seq.to_le_bytes());
+                out.extend_from_slice(&(ops.len() as u32).to_le_bytes());
+                for (op, predicate, tuple) in ops {
+                    out.push(match op {
+                        WalOp::Assert => 0u8,
+                        WalOp::Retract => 1u8,
+                    });
+                    encode_str(&mut out, predicate.as_str());
+                    out.extend_from_slice(&(tuple.len() as u16).to_le_bytes());
+                    for value in tuple {
+                        match value {
+                            Const::Int(i) => {
+                                out.push(0u8);
+                                out.extend_from_slice(&i.to_le_bytes());
+                            }
+                            Const::Sym(s) => {
+                                out.push(1u8);
+                                encode_str(&mut out, s.as_str());
+                            }
+                        }
+                    }
+                }
+            }
+            WalRecord::Source { seq, text } => {
+                out.push(2u8);
+                out.extend_from_slice(&seq.to_le_bytes());
+                encode_str(&mut out, text);
+            }
+        }
+        out
+    }
+
+    /// Decode one record payload. Any framing violation is an error (the caller
+    /// decides whether that means corruption or a torn tail).
+    pub fn decode(payload: &[u8]) -> Result<WalRecord, WalError> {
+        let mut cursor = Cursor::new(payload);
+        let kind = cursor.u8()?;
+        let seq = cursor.u64()?;
+        let record = match kind {
+            1 => {
+                let nops = cursor.u32()? as usize;
+                if nops > payload.len() {
+                    return Err(WalError::Corrupt(format!(
+                        "op count {nops} exceeds payload size"
+                    )));
+                }
+                let mut ops = Vec::with_capacity(nops);
+                for _ in 0..nops {
+                    let op = match cursor.u8()? {
+                        0 => WalOp::Assert,
+                        1 => WalOp::Retract,
+                        other => return Err(WalError::Corrupt(format!("unknown op tag {other}"))),
+                    };
+                    let predicate = Symbol::intern(cursor.str()?);
+                    let arity = cursor.u16()? as usize;
+                    let mut tuple = Vec::with_capacity(arity);
+                    for _ in 0..arity {
+                        tuple.push(match cursor.u8()? {
+                            0 => Const::Int(cursor.i64()?),
+                            1 => Const::Sym(Symbol::intern(cursor.str()?)),
+                            other => {
+                                return Err(WalError::Corrupt(format!("unknown const tag {other}")))
+                            }
+                        });
+                    }
+                    ops.push((op, predicate, tuple));
+                }
+                WalRecord::Txn { seq, ops }
+            }
+            2 => WalRecord::Source {
+                seq,
+                text: cursor.str()?.to_string(),
+            },
+            other => return Err(WalError::Corrupt(format!("unknown record kind {other}"))),
+        };
+        if !cursor.at_end() {
+            return Err(WalError::Corrupt("trailing bytes in record".to_string()));
+        }
+        Ok(record)
+    }
+}
+
+fn encode_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// A bounds-checked byte reader over one record payload.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Cursor<'a> {
+        Cursor { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WalError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&end| end <= self.bytes.len())
+            .ok_or_else(|| WalError::Corrupt("record truncated mid-field".to_string()))?;
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, WalError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WalError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, WalError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, WalError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn i64(&mut self) -> Result<i64, WalError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn str(&mut self) -> Result<&'a str, WalError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        std::str::from_utf8(bytes)
+            .map_err(|_| WalError::Corrupt("string field is not utf-8".to_string()))
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+}
+
+/// A crash-injection point for the log writer: after `budget` more bytes reach the
+/// file, every further byte is dropped and the write reports [`WalError::Injected`]
+/// — exactly what a process killed mid-`write(2)` leaves on disk. Budgets at record
+/// boundaries simulate kills between commits; budgets inside a record simulate torn
+/// writes.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultPoint {
+    /// Bytes the writer is still allowed to persist before "crashing".
+    pub budget: u64,
+}
+
+/// The append side of the log: owns the file handle, tracks the append offset, and
+/// optionally fsyncs after every record.
+pub struct WalWriter {
+    path: PathBuf,
+    file: File,
+    /// Bytes of valid log currently on disk (header included).
+    len: u64,
+    /// fsync after every append (disable only for tests and throughput benches —
+    /// without it, the durability guarantee weakens to "whatever the OS flushed").
+    fsync: bool,
+    fault: Option<FaultPoint>,
+    /// Set after an injected fault: the writer is unusable (as a crashed process
+    /// would be) and every further append fails.
+    poisoned: bool,
+}
+
+impl WalWriter {
+    /// Create a fresh, empty log at `path` (truncating any existing file) and write
+    /// the header.
+    pub fn create(path: impl Into<PathBuf>, fsync: bool) -> Result<WalWriter, WalError> {
+        let path = path.into();
+        let mut file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(&path)?;
+        file.write_all(WAL_MAGIC)?;
+        if fsync {
+            file.sync_data()?;
+        }
+        Ok(WalWriter {
+            path,
+            file,
+            len: WAL_MAGIC.len() as u64,
+            fsync,
+            fault: None,
+            poisoned: false,
+        })
+    }
+
+    /// Open an existing log for appending at `valid_len` (as reported by
+    /// [`read_log`]), truncating anything after it — the torn tail of a crashed
+    /// writer.
+    pub fn open_append(
+        path: impl Into<PathBuf>,
+        valid_len: u64,
+        fsync: bool,
+    ) -> Result<WalWriter, WalError> {
+        let path = path.into();
+        let mut file = OpenOptions::new().read(true).write(true).open(&path)?;
+        file.set_len(valid_len)?;
+        file.seek(SeekFrom::Start(valid_len))?;
+        if fsync {
+            file.sync_data()?;
+        }
+        Ok(WalWriter {
+            path,
+            file,
+            len: valid_len,
+            fsync,
+            fault: None,
+            poisoned: false,
+        })
+    }
+
+    /// The log file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Bytes of valid log on disk (header included).
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Is the log empty (header only)?
+    pub fn is_empty(&self) -> bool {
+        self.len <= WAL_MAGIC.len() as u64
+    }
+
+    /// Arm (or disarm) the crash-injection point. Test harness only.
+    pub fn set_fault(&mut self, fault: Option<FaultPoint>) {
+        self.fault = fault;
+    }
+
+    /// Write `bytes` through the fault point: persists as much as the remaining
+    /// budget allows, then reports the injected crash.
+    fn write_through_fault(&mut self, bytes: &[u8]) -> Result<(), WalError> {
+        match &mut self.fault {
+            None => {
+                self.file.write_all(bytes)?;
+                Ok(())
+            }
+            Some(fault) => {
+                let allowed = (fault.budget.min(bytes.len() as u64)) as usize;
+                self.file.write_all(&bytes[..allowed])?;
+                fault.budget -= allowed as u64;
+                if allowed < bytes.len() {
+                    // Crash mid-write: flush what made it to the file (a real crash
+                    // can persist any prefix; syncing the partial write makes the
+                    // test deterministic) and poison the writer.
+                    self.file.sync_data().ok();
+                    self.poisoned = true;
+                    Err(WalError::Injected { written: allowed })
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    /// Append one record: length prefix, CRC, payload, then (when enabled) fsync.
+    /// On success the record is durable. On an error the writer first tries to
+    /// truncate the file back to the last durable record so the append can simply
+    /// be retried; if even that fails, the writer poisons itself (every further
+    /// append errors) — otherwise a retry would land after the torn bytes and be
+    /// silently discarded by the next recovery scan.
+    pub fn append(&mut self, record: &WalRecord) -> Result<(), WalError> {
+        if self.poisoned {
+            return Err(WalError::Injected { written: 0 });
+        }
+        let payload = record.encode();
+        if payload.len() as u64 > MAX_RECORD_BYTES as u64 {
+            // Nothing was written: the commit aborts cleanly instead of
+            // acknowledging a record the recovery scan would refuse to read.
+            return Err(WalError::TooLarge {
+                bytes: payload.len(),
+            });
+        }
+        let mut frame = Vec::with_capacity(8 + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        let result = self.write_through_fault(&frame).and_then(|()| {
+            if self.fsync {
+                self.file.sync_data()?;
+            }
+            Ok(())
+        });
+        if let Err(error) = result {
+            if !matches!(error, WalError::Injected { .. }) {
+                // A real I/O failure (full disk, failed sync): roll the file back
+                // to the last durable record, or poison the writer if we cannot.
+                let rolled_back = self
+                    .file
+                    .set_len(self.len)
+                    .and_then(|()| self.file.seek(SeekFrom::Start(self.len)).map(|_| ()))
+                    .is_ok();
+                if !rolled_back {
+                    self.poisoned = true;
+                }
+            }
+            return Err(error);
+        }
+        self.len += frame.len() as u64;
+        Ok(())
+    }
+
+    /// Force an fsync now (used once at the end of unsynced bulk phases).
+    pub fn sync(&mut self) -> Result<(), WalError> {
+        self.file.sync_data()?;
+        Ok(())
+    }
+}
+
+/// The result of scanning a log file.
+#[derive(Debug)]
+pub struct LogScan {
+    /// Every intact record, in file order.
+    pub records: Vec<WalRecord>,
+    /// Byte length of the valid prefix (header + intact records). Appending resumes
+    /// here; everything beyond is the torn tail.
+    pub valid_len: u64,
+    /// Bytes beyond `valid_len` found in the file — non-zero exactly when a torn or
+    /// corrupt tail was detected.
+    pub torn_bytes: u64,
+}
+
+/// Scan a log file from the start, returning every intact record and the byte
+/// offset where validity ends. A missing file scans as empty. A file whose header
+/// is a proper prefix of the magic (a crash during log creation) scans as empty
+/// with the partial header counted as torn. Any other leading bytes are a
+/// [`WalError::BadHeader`] — that file is not a factorlog log, and truncating it
+/// would destroy someone else's data.
+pub fn read_log(path: &Path) -> Result<LogScan, WalError> {
+    let bytes = match std::fs::read(path) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Ok(LogScan {
+                records: Vec::new(),
+                valid_len: 0,
+                torn_bytes: 0,
+            })
+        }
+        Err(e) => return Err(e.into()),
+    };
+    if bytes.len() < WAL_MAGIC.len() {
+        if *WAL_MAGIC != bytes[..] && !WAL_MAGIC.starts_with(&bytes) {
+            return Err(WalError::BadHeader(path.to_path_buf()));
+        }
+        // A crash during `create` left a partial header: treat as an empty log whose
+        // whole content is torn.
+        return Ok(LogScan {
+            records: Vec::new(),
+            valid_len: 0,
+            torn_bytes: bytes.len() as u64,
+        });
+    }
+    if bytes[..WAL_MAGIC.len()] != *WAL_MAGIC {
+        return Err(WalError::BadHeader(path.to_path_buf()));
+    }
+
+    let mut records = Vec::new();
+    let mut pos = WAL_MAGIC.len();
+    loop {
+        // Anything that fails from here on is a torn/corrupt tail: stop, report the
+        // valid prefix.
+        if pos + 8 > bytes.len() {
+            break;
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap());
+        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
+        if len > MAX_RECORD_BYTES {
+            break;
+        }
+        let start = pos + 8;
+        let Some(end) = start
+            .checked_add(len as usize)
+            .filter(|&e| e <= bytes.len())
+        else {
+            break;
+        };
+        let payload = &bytes[start..end];
+        if crc32(payload) != crc {
+            break;
+        }
+        let Ok(record) = WalRecord::decode(payload) else {
+            break;
+        };
+        // Sequence numbers must increase; a stale or replayed block means the tail
+        // is not trustworthy.
+        if let Some(last) = records.last() {
+            let last: &WalRecord = last;
+            if record.seq() <= last.seq() {
+                break;
+            }
+        }
+        records.push(record);
+        pos = end;
+    }
+    Ok(LogScan {
+        records,
+        valid_len: pos as u64,
+        torn_bytes: (bytes.len() - pos) as u64,
+    })
+}
+
+/// Scan `path` and truncate its torn tail (if any), returning the scan and a
+/// writer positioned to append after the last intact record. A missing file is
+/// created fresh.
+pub fn recover_log(path: &Path, fsync: bool) -> Result<(LogScan, WalWriter), WalError> {
+    let scan = read_log(path)?;
+    let writer = if scan.valid_len < WAL_MAGIC.len() as u64 {
+        // Missing file, or a partial header from a crashed create: start fresh.
+        WalWriter::create(path, fsync)?
+    } else {
+        WalWriter::open_append(path, scan.valid_len, fsync)?
+    };
+    Ok((scan, writer))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        static COUNTER: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+        let n = COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "factorlog_wal_{tag}_{}_{n}.log",
+            std::process::id()
+        ))
+    }
+
+    fn sample_txn(seq: u64) -> WalRecord {
+        WalRecord::Txn {
+            seq,
+            ops: vec![
+                (
+                    WalOp::Assert,
+                    Symbol::intern("e"),
+                    vec![Const::Int(seq as i64), Const::Int(seq as i64 + 1)],
+                ),
+                (
+                    WalOp::Retract,
+                    Symbol::intern("label"),
+                    vec![Const::sym("blue metal")],
+                ),
+            ],
+        }
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard check value of CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn records_round_trip_through_encoding() {
+        for record in [
+            sample_txn(7),
+            WalRecord::Source {
+                seq: 9,
+                text: "t(X, Y) :- e(X, Y).\ne(1, 2).".to_string(),
+            },
+            WalRecord::Txn {
+                seq: 1,
+                ops: vec![],
+            },
+        ] {
+            let decoded = WalRecord::decode(&record.encode()).unwrap();
+            assert_eq!(decoded, record);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(WalRecord::decode(&[]).is_err());
+        assert!(WalRecord::decode(&[9, 0, 0, 0, 0, 0, 0, 0, 0]).is_err());
+        // Valid record with trailing junk.
+        let mut bytes = sample_txn(3).encode();
+        bytes.push(0);
+        assert!(WalRecord::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let path = temp_path("roundtrip");
+        let mut writer = WalWriter::create(&path, true).unwrap();
+        for seq in 1..=5 {
+            writer.append(&sample_txn(seq)).unwrap();
+        }
+        let scan = read_log(&path).unwrap();
+        assert_eq!(scan.records.len(), 5);
+        assert_eq!(scan.torn_bytes, 0);
+        assert_eq!(scan.valid_len, writer.len());
+        assert_eq!(scan.records[2], sample_txn(3));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_detected_and_truncated_at_every_offset() {
+        // Build a 3-record log, then truncate at every byte offset: the scan must
+        // recover exactly the records whose frames fit the prefix.
+        let path = temp_path("torn");
+        let mut writer = WalWriter::create(&path, false).unwrap();
+        let mut boundaries = vec![writer.len()];
+        for seq in 1..=3 {
+            writer.append(&sample_txn(seq)).unwrap();
+            boundaries.push(writer.len());
+        }
+        drop(writer);
+        let full = std::fs::read(&path).unwrap();
+        for cut in (WAL_MAGIC.len() as u64)..=(full.len() as u64) {
+            std::fs::write(&path, &full[..cut as usize]).unwrap();
+            let scan = read_log(&path).unwrap();
+            let expect_records = boundaries.iter().filter(|&&b| b <= cut).count() - 1;
+            assert_eq!(
+                scan.records.len(),
+                expect_records,
+                "truncation at byte {cut}"
+            );
+            assert_eq!(scan.valid_len, boundaries[expect_records]);
+            assert_eq!(scan.torn_bytes, cut - boundaries[expect_records]);
+            // And recovery truncates + appends cleanly from there.
+            let (_, mut recovered) = recover_log(&path, false).unwrap();
+            recovered.append(&sample_txn(99)).unwrap();
+            let rescan = read_log(&path).unwrap();
+            assert_eq!(rescan.records.len(), expect_records + 1);
+            assert_eq!(rescan.torn_bytes, 0);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_byte_invalidates_the_record_and_everything_after() {
+        let path = temp_path("corrupt");
+        let mut writer = WalWriter::create(&path, false).unwrap();
+        let mut boundaries = vec![writer.len()];
+        for seq in 1..=3 {
+            writer.append(&sample_txn(seq)).unwrap();
+            boundaries.push(writer.len());
+        }
+        drop(writer);
+        let full = std::fs::read(&path).unwrap();
+        // Flip one byte inside record 2 (its CRC no longer matches): records 2 and 3
+        // are both dropped — after a bad record nothing downstream is trustworthy.
+        let mut bytes = full.clone();
+        let target = boundaries[1] as usize + 12;
+        bytes[target] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let scan = read_log(&path).unwrap();
+        assert_eq!(scan.records.len(), 1);
+        assert_eq!(scan.valid_len, boundaries[1]);
+        assert!(scan.torn_bytes > 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fault_point_tears_the_write_at_the_configured_byte() {
+        let path = temp_path("fault");
+        let record = sample_txn(1);
+        let frame_len = record.encode().len() as u64 + 8;
+        for budget in 0..frame_len {
+            let mut writer = WalWriter::create(&path, false).unwrap();
+            writer.append(&record).unwrap();
+            writer.set_fault(Some(FaultPoint { budget }));
+            let err = writer.append(&sample_txn(2)).unwrap_err();
+            assert!(matches!(err, WalError::Injected { .. }), "budget {budget}");
+            // The writer is poisoned, like a dead process.
+            assert!(matches!(
+                writer.append(&sample_txn(3)),
+                Err(WalError::Injected { .. })
+            ));
+            drop(writer);
+            // On disk: record 1 intact, record 2 torn at `budget` bytes.
+            let scan = read_log(&path).unwrap();
+            assert_eq!(scan.records.len(), 1, "budget {budget}");
+            assert_eq!(scan.torn_bytes, budget);
+        }
+        // A budget covering the whole frame lets the append through.
+        let mut writer = WalWriter::create(&path, false).unwrap();
+        writer.set_fault(Some(FaultPoint { budget: frame_len }));
+        writer.append(&record).unwrap();
+        assert_eq!(read_log(&path).unwrap().records.len(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_scans_empty_and_bad_header_is_rejected() {
+        let path = temp_path("missing");
+        let scan = read_log(&path).unwrap();
+        assert!(scan.records.is_empty());
+        assert_eq!(scan.valid_len, 0);
+
+        std::fs::write(&path, b"definitely not a wal").unwrap();
+        assert!(matches!(read_log(&path), Err(WalError::BadHeader(_))));
+
+        // A partial header (crashed create) recovers to a fresh log.
+        std::fs::write(&path, &WAL_MAGIC[..4]).unwrap();
+        let scan = read_log(&path).unwrap();
+        assert!(scan.records.is_empty());
+        assert_eq!(scan.torn_bytes, 4);
+        let (_, mut writer) = recover_log(&path, false).unwrap();
+        writer.append(&sample_txn(1)).unwrap();
+        assert_eq!(read_log(&path).unwrap().records.len(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn stale_sequence_numbers_stop_the_scan() {
+        // A compaction that truncated the log but crashed before finishing could in
+        // principle leave an old record after a new one; the scan must refuse to
+        // read past a non-increasing sequence.
+        let path = temp_path("seq");
+        let mut writer = WalWriter::create(&path, false).unwrap();
+        writer.append(&sample_txn(5)).unwrap();
+        writer.append(&sample_txn(3)).unwrap(); // stale
+        drop(writer);
+        let scan = read_log(&path).unwrap();
+        assert_eq!(scan.records.len(), 1);
+        assert_eq!(scan.records[0].seq(), 5);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -6,7 +6,7 @@
 //! USAGE:
 //!     factorlog <FILE> [--query "t(0, Y)"] [--strategy original|magic|factored]
 //!               [--show-program] [--explain] [--stats]
-//!     factorlog repl [FILE]
+//!     factorlog repl [FILE] [--data-dir DIR]
 //!
 //! OPTIONS:
 //!     --query <ATOM>       query literal (overrides any ?- clause in the file)
@@ -20,6 +20,9 @@
 //!     snapshot), `:save file`, `:insert fact.`, `:retract fact.`,
 //!     `:begin`/`:commit`/`:abort` transactions, `:prepare q`, `?- query.`,
 //!     `:stats`, `:help`, `:quit`. An optional FILE is loaded at start.
+//!     `--data-dir DIR` makes the session durable: committed mutations append to
+//!     an fsync'd write-ahead log in DIR, the state recovers on the next start
+//!     (even after SIGKILL), and the log compacts into a snapshot as it grows.
 //! ```
 //!
 //! One-shot runs execute on the same [`Engine`] the REPL uses, so `--stats` reports
@@ -54,8 +57,44 @@ struct CliOptions {
 
 fn usage() -> String {
     "usage: factorlog <FILE> [--query \"t(0, Y)\"] [--strategy original|magic|factored] \
-     [--show-program] [--explain] [--stats]\n       factorlog repl [FILE]"
+     [--show-program] [--explain] [--stats]\n       factorlog repl [FILE] [--data-dir DIR]"
         .to_string()
+}
+
+/// Arguments of `factorlog repl ...`.
+#[derive(Debug, Default, PartialEq, Eq)]
+struct ReplOptions {
+    /// Datalog source (or snapshot) loaded into the session at start.
+    file: Option<String>,
+    /// Data directory of a durable session (write-ahead log + snapshot).
+    data_dir: Option<String>,
+}
+
+fn parse_repl_args(args: &[String]) -> Result<ReplOptions, String> {
+    let mut options = ReplOptions::default();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--data-dir" => {
+                options.data_dir = Some(
+                    iter.next()
+                        .ok_or_else(|| "--data-dir requires a directory argument".to_string())?
+                        .clone(),
+                );
+            }
+            "--help" | "-h" => return Err(usage()),
+            other if other.starts_with("--") => {
+                return Err(format!("unknown repl option `{other}`\n{}", usage()));
+            }
+            other => {
+                if options.file.is_some() {
+                    return Err(format!("unexpected positional argument `{other}`"));
+                }
+                options.file = Some(other.to_string());
+            }
+        }
+    }
+    Ok(options)
 }
 
 fn parse_args(args: &[String]) -> Result<CliOptions, String> {
@@ -162,7 +201,9 @@ fn run(options: &CliOptions) -> Result<(), String> {
             // Evaluate the magic program as an auxiliary engine session sharing the
             // facts, then fold its counters into the main session's.
             let mut magic_engine = Engine::new();
-            magic_engine.add_rules(magicp.program);
+            magic_engine
+                .add_rules(magicp.program)
+                .map_err(|e| e.to_string())?;
             for (pred, rel) in engine.facts().iter() {
                 for tuple in rel.iter() {
                     magic_engine
@@ -223,11 +264,24 @@ fn run(options: &CliOptions) -> Result<(), String> {
     Ok(())
 }
 
-/// Run the interactive REPL; `file` (when given) is loaded into the session first.
-fn run_repl(file: Option<&str>) -> Result<(), String> {
-    let mut repl = Repl::new();
+/// Run the interactive REPL; `options.data_dir` (when given) makes the session
+/// durable, and `options.file` is loaded into it first.
+fn run_repl(options: &ReplOptions) -> Result<(), String> {
+    let mut repl = match &options.data_dir {
+        Some(dir) => {
+            let engine = Engine::open_durable(dir).map_err(|e| format!("--data-dir {dir}: {e}"))?;
+            let report = engine.recovery_report().cloned().unwrap_or_default();
+            println!(
+                "% durable session {dir}: {} fact(s) recovered ({})",
+                engine.facts().total_facts(),
+                report.describe()
+            );
+            Repl::with_engine(engine)
+        }
+        None => Repl::new(),
+    };
     println!("factorlog repl — :help for commands, :quit to leave");
-    if let Some(path) = file {
+    if let Some(path) = &options.file {
         match repl.execute(&format!(":load {path}")) {
             ReplAction::Output(message) => println!("{message}"),
             ReplAction::Quit => return Ok(()),
@@ -258,11 +312,7 @@ fn run_repl(file: Option<&str>) -> Result<(), String> {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("repl") {
-        if args.len() > 2 {
-            eprintln!("{}", usage());
-            return ExitCode::FAILURE;
-        }
-        return match run_repl(args.get(1).map(String::as_str)) {
+        return match parse_repl_args(&args[1..]).and_then(|options| run_repl(&options)) {
             Ok(()) => ExitCode::SUCCESS,
             Err(message) => {
                 eprintln!("error: {message}");
@@ -361,6 +411,20 @@ mod tests {
             run(&options).unwrap();
         }
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn parses_repl_arguments() {
+        assert_eq!(parse_repl_args(&args(&[])).unwrap(), ReplOptions::default());
+        let options = parse_repl_args(&args(&["base.dl"])).unwrap();
+        assert_eq!(options.file.as_deref(), Some("base.dl"));
+        assert!(options.data_dir.is_none());
+        let options = parse_repl_args(&args(&["--data-dir", "/tmp/d", "base.dl"])).unwrap();
+        assert_eq!(options.data_dir.as_deref(), Some("/tmp/d"));
+        assert_eq!(options.file.as_deref(), Some("base.dl"));
+        assert!(parse_repl_args(&args(&["--data-dir"])).is_err());
+        assert!(parse_repl_args(&args(&["a.dl", "b.dl"])).is_err());
+        assert!(parse_repl_args(&args(&["--bogus"])).is_err());
     }
 
     #[test]

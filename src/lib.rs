@@ -62,7 +62,10 @@ pub mod prelude {
     pub use factorlog_datalog::parser::{parse_atom, parse_program, parse_query, parse_rule};
     pub use factorlog_datalog::storage::Database;
     pub use factorlog_datalog::Symbol;
-    pub use factorlog_engine::{Engine, EngineError, Repl, ReplAction, Snapshot, Txn, TxnSummary};
+    pub use factorlog_engine::{
+        CompactionFault, DurabilityOptions, Engine, EngineError, RecoveryReport, Repl, ReplAction,
+        Snapshot, Txn, TxnSummary,
+    };
 }
 
 #[cfg(test)]

@@ -1,0 +1,505 @@
+//! Crash-injection tests for the durable engine: whatever byte the crash lands on
+//! — a kill between commits, a torn write inside a record, a flipped bit in the
+//! tail, an interrupted compaction — recovery must converge to *exactly* the
+//! from-scratch evaluation of the last fully committed transaction's EDB, at 1, 2
+//! and 4 worker threads.
+//!
+//! The harness drives three fault models:
+//!
+//! * **log truncation** — the on-disk log is cut at every byte offset (the state a
+//!   crashed kernel/device leaves after losing its tail);
+//! * **writer kills** — the WAL writer's [`FaultPoint`] drops every byte past a
+//!   budget and poisons the writer, emulating a process killed mid-`write(2)`;
+//! * **tail corruption** — a byte of the log is flipped, emulating media damage
+//!   caught by the per-record CRC.
+//!
+//! Plus the satellite scenarios: snapshot→txns→crash→recover equals the no-crash
+//! session (prepared-plan rebuild and evaluation-stats checksums included), and
+//! readers opening a directory mid-compaction see the old or the new image, never
+//! a torn one.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+use factorlog::engine::wal::FaultPoint;
+use factorlog::prelude::*;
+use factorlog::workloads::programs;
+use proptest::prelude::*;
+
+fn c(i: i64) -> Const {
+    Const::Int(i)
+}
+
+/// A scratch data directory, unique per test case and cleaned before use.
+fn fresh_dir(tag: &str) -> PathBuf {
+    static COUNTER: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+    let n = COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let dir =
+        std::env::temp_dir().join(format!("factorlog_crash_{tag}_{}_{n}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn copy_dir(src: &Path, dst: &Path) {
+    std::fs::remove_dir_all(dst).ok();
+    std::fs::create_dir_all(dst).unwrap();
+    for entry in std::fs::read_dir(src).unwrap() {
+        let entry = entry.unwrap();
+        std::fs::copy(entry.path(), dst.join(entry.file_name())).unwrap();
+    }
+}
+
+/// Durability options for crash tests: manual compaction only (each scenario
+/// controls its own snapshot points) and no fsync (the tests model crash *points*,
+/// not device write-back order; framing and recovery are fsync-independent).
+fn test_dopts() -> DurabilityOptions {
+    DurabilityOptions {
+        fsync: false,
+        compact_threshold: u64::MAX,
+    }
+}
+
+fn eval_opts(threads: usize) -> EvalOptions {
+    EvalOptions {
+        threads,
+        parallel_threshold: 0,
+        ..EvalOptions::default()
+    }
+}
+
+fn open_durable(dir: &Path, threads: usize) -> Engine {
+    Engine::open_durable_with_options(dir, test_dopts(), eval_opts(threads))
+        .expect("durable open succeeds")
+}
+
+/// One logged event of a session history: each applies as exactly one WAL record.
+#[derive(Clone, Debug)]
+enum Event {
+    /// Absorbed source text (rules and/or bulk facts) — one `Source` record.
+    Source(String),
+    /// A committed batch — one `Txn` record. `kind == 0` retracts, else asserts.
+    Batch(Vec<(usize, &'static str, i64, i64)>),
+}
+
+/// Apply one event to an engine (in-memory reference and durable sessions share
+/// this path, so both see identical histories).
+fn apply_event(engine: &mut Engine, event: &Event) {
+    match event {
+        Event::Source(text) => {
+            engine.load_source(text).expect("source event applies");
+        }
+        Event::Batch(ops) => {
+            let mut txn = engine.transaction();
+            for &(kind, predicate, a, b) in ops {
+                if kind == 0 {
+                    txn.retract(predicate, &[c(a), c(b)]);
+                } else {
+                    txn.assert(predicate, &[c(a), c(b)]);
+                }
+            }
+            txn.commit().expect("batch event commits");
+        }
+    }
+}
+
+/// The base-fact store as a comparable set of (predicate, tuple) strings.
+fn edb_facts(db: &Database) -> BTreeSet<(String, Vec<String>)> {
+    db.iter()
+        .flat_map(|(predicate, relation)| {
+            relation.iter().map(move |row| {
+                (
+                    predicate.to_string(),
+                    row.iter().map(|value| value.to_string()).collect(),
+                )
+            })
+        })
+        .collect()
+}
+
+/// The machine-independent checksum of a from-scratch evaluation over an engine's
+/// surviving EDB: identical EDBs (and programs) must yield identical counters.
+fn scratch_checksum(engine: &Engine) -> (usize, usize, usize, usize) {
+    let result = evaluate_default(engine.program(), engine.facts()).expect("scratch eval");
+    (
+        result.stats.inferences,
+        result.stats.facts_derived,
+        result.stats.duplicates,
+        result.stats.iterations,
+    )
+}
+
+/// The acceptance assertion: recovery of `dir` converges to `expected` (an
+/// in-memory session that applied exactly the surviving history) at 1, 2 and 4
+/// worker threads — same base facts, same program, same materialized answers as
+/// from-scratch evaluation, same prepared answers, same evaluation-stat checksums.
+fn assert_recovers_to(dir: &Path, expected: &mut Engine, query: &Query) {
+    let reference_answers = expected.query(query).expect("reference query");
+    let reference_facts = edb_facts(expected.facts());
+    let reference_checksum = scratch_checksum(expected);
+    // The prepared pipeline rejects queries over predicates the (possibly still
+    // empty) program does not define; the recovered sessions must mirror that too.
+    let reference_prepared = expected.query_prepared(query).ok();
+    let mut inference_counts = Vec::new();
+    for threads in [1usize, 2, 4] {
+        let mut recovered = open_durable(dir, threads);
+        assert_eq!(
+            edb_facts(recovered.facts()),
+            reference_facts,
+            "EDB diverges at {threads} thread(s)"
+        );
+        assert_eq!(
+            recovered.program().len(),
+            expected.program().len(),
+            "program diverges at {threads} thread(s)"
+        );
+        assert_eq!(
+            scratch_checksum(&recovered),
+            reference_checksum,
+            "from-scratch stats checksum diverges at {threads} thread(s)"
+        );
+        let answers = recovered.query(query).expect("recovered query");
+        assert_eq!(
+            answers, reference_answers,
+            "materialized answers diverge at {threads} thread(s)"
+        );
+        // Prepared plans rebuild from nothing after recovery and agree.
+        match &reference_prepared {
+            Some(answers) => assert_eq!(
+                &recovered.query_prepared(query).expect("prepared query"),
+                answers,
+                "prepared answers diverge at {threads} thread(s)"
+            ),
+            None => assert!(
+                recovered.query_prepared(query).is_err(),
+                "prepared query unexpectedly succeeds at {threads} thread(s)"
+            ),
+        }
+        inference_counts.push(recovered.stats().inferences);
+    }
+    assert!(
+        inference_counts.windows(2).all(|w| w[0] == w[1]),
+        "recovered materialization must be thread-invariant: {inference_counts:?}"
+    );
+}
+
+/// A deterministic, reasonably rich history: bulk loads, single-edge commits,
+/// rewire batches, IDB assertions (routed via `t__asserted`), and retractions.
+fn scripted_history() -> Vec<Event> {
+    vec![
+        Event::Source(programs::THREE_RULE_TC.to_string()),
+        Event::Source("e(0, 1).\ne(1, 2).\ne(2, 3).\ne(3, 4).".to_string()),
+        Event::Batch(vec![(1, "e", 4, 5), (1, "e", 5, 6)]),
+        Event::Batch(vec![(0, "e", 2, 3), (1, "e", 2, 30), (1, "e", 30, 3)]),
+        Event::Batch(vec![(1, "t", 6, 100)]), // asserted IDB fact
+        Event::Source("s(X, Y) :- t(Y, X).".to_string()), // rules added mid-log
+        Event::Batch(vec![(0, "t", 6, 100), (0, "e", 30, 3), (1, "e", 6, 7)]),
+    ]
+}
+
+/// Build a durable session at `dir` from `history`, returning the log's record
+/// boundaries (byte offsets after the header and after each event's record).
+fn build_durable_history(dir: &Path, history: &[Event]) -> Vec<u64> {
+    let mut engine = open_durable(dir, 1);
+    let mut boundaries = vec![engine.wal_len().expect("durable")];
+    for event in history {
+        apply_event(&mut engine, event);
+        boundaries.push(engine.wal_len().expect("durable"));
+    }
+    boundaries
+}
+
+/// The in-memory session that applied only `history[..k]`.
+fn reference_after(history: &[Event], k: usize) -> Engine {
+    let mut engine = Engine::with_options(eval_opts(1));
+    for event in &history[..k] {
+        apply_event(&mut engine, event);
+    }
+    engine
+}
+
+#[test]
+fn log_truncation_at_every_byte_offset_recovers_the_committed_prefix() {
+    let history = scripted_history();
+    let dir = fresh_dir("cut");
+    let boundaries = build_durable_history(&dir, &history);
+    let wal_path = dir.join(factorlog::engine::WAL_FILE);
+    let full = std::fs::read(&wal_path).unwrap();
+    assert_eq!(*boundaries.last().unwrap(), full.len() as u64);
+    let query = parse_query("t(0, Y)").unwrap();
+
+    for cut in boundaries[0]..=full.len() as u64 {
+        // The crash: everything past `cut` is lost.
+        std::fs::write(&wal_path, &full[..cut as usize]).unwrap();
+        let survivors = boundaries.iter().filter(|&&b| b <= cut).count() - 1;
+        let at_boundary = boundaries.contains(&cut);
+        let mut expected = reference_after(&history, survivors);
+        if at_boundary {
+            // Record boundaries are the commit points: check the full thread matrix.
+            assert_recovers_to(&dir, &mut expected, &query);
+        } else {
+            // Mid-record tears: the torn record must vanish, cheaply checked at one
+            // thread (the boundary sweep above covers the matrix).
+            let mut recovered = open_durable(&dir, 1);
+            assert_eq!(
+                edb_facts(recovered.facts()),
+                edb_facts(expected.facts()),
+                "EDB diverges at cut {cut}"
+            );
+            assert_eq!(
+                recovered.query(&query).unwrap(),
+                expected.query(&query).unwrap(),
+                "answers diverge at cut {cut}"
+            );
+            let report = recovered.recovery_report().unwrap();
+            assert_eq!(report.records_replayed, survivors);
+            assert!(report.torn_bytes_truncated > 0, "cut {cut} tore a record");
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn killed_writers_lose_only_the_in_flight_commit(
+        ops in prop::collection::vec((0usize..3, 0i64..8, 0i64..8), 4..32),
+        batch_size in 1usize..5,
+        fault_budget in 0u64..900,
+        start in 0i64..8,
+    ) {
+        let query = parse_query(&format!("t({start}, Y)")).unwrap();
+        let dir = fresh_dir("kill");
+        let mut durable = open_durable(&dir, 1);
+        let mut reference = Engine::with_options(eval_opts(1));
+        let program = Event::Source(programs::THREE_RULE_TC.to_string());
+        apply_event(&mut durable, &program);
+        apply_event(&mut reference, &program);
+
+        // Arm the fault after the program record: the writer will persist exactly
+        // `fault_budget` more bytes, then "crash" — possibly mid-record.
+        let armed = durable.set_wal_fault(Some(FaultPoint { budget: fault_budget }));
+        prop_assert!(armed, "fault arms on a durable session");
+        let mut crashed = false;
+        for batch in ops.chunks(batch_size) {
+            let mut txn = durable.transaction();
+            for &(kind, a, b) in batch {
+                if kind == 0 {
+                    txn.retract("e", &[c(a), c(b)]);
+                } else {
+                    txn.assert("e", &[c(a), c(b)]);
+                }
+            }
+            match txn.commit() {
+                Ok(_) => {
+                    // The commit is on disk: mirror it in the reference.
+                    let mut txn = reference.transaction();
+                    for &(kind, a, b) in batch {
+                        if kind == 0 {
+                            txn.retract("e", &[c(a), c(b)]);
+                        } else {
+                            txn.assert("e", &[c(a), c(b)]);
+                        }
+                    }
+                    txn.commit().unwrap();
+                }
+                Err(EngineError::Durability(_)) => {
+                    crashed = true;
+                    break;
+                }
+                Err(other) => prop_assert!(false, "unexpected commit error: {other}"),
+            }
+        }
+        if crashed {
+            // The failed commit must not have half-applied in memory…
+            prop_assert_eq!(edb_facts(durable.facts()), edb_facts(reference.facts()));
+            // …and the poisoned writer refuses everything afterwards.
+            prop_assert!(matches!(
+                durable.insert("e", &[c(90), c(91)]),
+                Err(EngineError::Durability(_))
+            ));
+        }
+        drop(durable);
+
+        // Recovery converges to the last successful commit, at 1/2/4 threads.
+        assert_recovers_to(&dir, &mut reference, &query);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupted_tail_bytes_drop_the_damaged_record_and_its_suffix(
+        ops in prop::collection::vec((0usize..3, 0i64..8, 0i64..8), 3..24),
+        batch_size in 1usize..4,
+        corrupt_at in 0u64..2000,
+        start in 0i64..8,
+    ) {
+        let query = parse_query(&format!("t({start}, Y)")).unwrap();
+        let mut history = vec![Event::Source(programs::THREE_RULE_TC.to_string())];
+        history.extend(
+            ops.chunks(batch_size)
+                .map(|chunk| Event::Batch(chunk.iter().map(|&(k, a, b)| (k, "e", a, b)).collect())),
+        );
+        let dir = fresh_dir("flip");
+        let boundaries = build_durable_history(&dir, &history);
+        let wal_path = dir.join(factorlog::engine::WAL_FILE);
+        let mut bytes = std::fs::read(&wal_path).unwrap();
+
+        // Flip one byte somewhere past the header (wrapped into range): the record
+        // containing it — and everything after, which can no longer be trusted —
+        // must be dropped by recovery.
+        let header = boundaries[0];
+        let offset = header + corrupt_at % (bytes.len() as u64 - header);
+        bytes[offset as usize] ^= 0x41;
+        std::fs::write(&wal_path, &bytes).unwrap();
+        let survivors = boundaries.iter().filter(|&&b| b <= offset).count() - 1;
+        prop_assert!(survivors < history.len(), "corruption must damage a record");
+
+        let mut expected = reference_after(&history, survivors);
+        assert_recovers_to(&dir, &mut expected, &query);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_then_txns_then_crash_equals_the_uncrashed_session(
+        before in prop::collection::vec((0usize..3, 0i64..8, 0i64..8), 1..20),
+        after in prop::collection::vec((0usize..3, 0i64..8, 0i64..8), 1..16),
+        batch_size in 1usize..4,
+        start in 0i64..8,
+    ) {
+        let query = parse_query(&format!("t({start}, Y)")).unwrap();
+        let dir = fresh_dir("interleave");
+        let mut durable = open_durable(&dir, 1);
+        let mut reference = Engine::with_options(eval_opts(1));
+
+        let mut history = vec![Event::Source(programs::THREE_RULE_TC.to_string())];
+        history.extend(
+            before
+                .chunks(batch_size)
+                .map(|chunk| Event::Batch(chunk.iter().map(|&(k, a, b)| (k, "e", a, b)).collect())),
+        );
+        for event in &history {
+            apply_event(&mut durable, event);
+            apply_event(&mut reference, event);
+        }
+
+        // Compact: the pre-snapshot history now lives in snapshot.fl, the log resets.
+        let report = durable.compact().expect("compaction succeeds");
+        prop_assert!(report.log_bytes_after < report.log_bytes_before);
+
+        // k more transactions land in the fresh log…
+        let tail: Vec<Event> = after
+            .chunks(batch_size)
+            .map(|chunk| Event::Batch(chunk.iter().map(|&(k, a, b)| (k, "e", a, b)).collect()))
+            .collect();
+        for event in &tail {
+            apply_event(&mut durable, event);
+            apply_event(&mut reference, event);
+        }
+        let live_answers = durable.query(&query).expect("live query");
+        prop_assert_eq!(&live_answers, &reference.query(&query).expect("reference query"));
+
+        // …then the crash. Recovery must replay snapshot + log tail into exactly
+        // the no-crash session: same EDB, same answers, same prepared-plan cache
+        // rebuild, same from-scratch stats checksums — at 1/2/4 threads.
+        drop(durable);
+        assert_recovers_to(&dir, &mut reference, &query);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn readers_mid_compaction_see_the_old_or_new_image_never_a_torn_one() {
+    // Deterministic walk of every compaction crash window: a "reader" opening the
+    // directory as a crashed compactor left it must see the full committed state —
+    // served by the old snapshot + full log before the rename, and by the new
+    // snapshot (with the stale log sequence-skipped) after it.
+    let history = scripted_history();
+    let base = fresh_dir("compaction_base");
+    build_durable_history(&base, &history);
+    let query = parse_query("t(0, Y)").unwrap();
+
+    for fault in [
+        CompactionFault::AfterTempWrite,
+        CompactionFault::AfterRename,
+    ] {
+        let work = fresh_dir("compaction_work");
+        copy_dir(&base, &work);
+        let mut engine = open_durable(&work, 1);
+        assert!(engine.set_compaction_fault(Some(fault)));
+        let err = engine.compact().expect_err("injected fault fires");
+        assert!(
+            format!("{err}").contains("injected"),
+            "unexpected error for {fault:?}: {err}"
+        );
+        drop(engine); // the crash
+
+        // A concurrent reader's view of the interrupted directory (copied so the
+        // reader's own recovery bookkeeping cannot disturb the crashed writer's
+        // files): old or new image, identical content either way.
+        let reader_view = fresh_dir("compaction_reader");
+        copy_dir(&work, &reader_view);
+        let mut expected = reference_after(&history, history.len());
+        assert_recovers_to(&reader_view, &mut expected, &query);
+
+        // The writer's own restart also recovers, exactly once (no double-apply of
+        // records the new snapshot already contains), and keeps committing.
+        let mut reopened = open_durable(&work, 1);
+        assert_eq!(
+            edb_facts(reopened.facts()),
+            edb_facts(expected.facts()),
+            "{fault:?}"
+        );
+        if fault == CompactionFault::AfterRename {
+            let report = reopened.recovery_report().unwrap();
+            assert!(
+                report.snapshot_loaded && report.records_replayed == 0,
+                "after the rename every log record is stale: {report:?}"
+            );
+            assert_eq!(report.records_skipped, history.len());
+        }
+        reopened.insert("e", &[c(70), c(71)]).unwrap();
+        expected.insert("e", &[c(70), c(71)]).unwrap();
+        assert_eq!(
+            reopened.query(&query).unwrap(),
+            expected.query(&query).unwrap(),
+            "{fault:?}"
+        );
+        std::fs::remove_dir_all(&work).ok();
+        std::fs::remove_dir_all(&reader_view).ok();
+    }
+    std::fs::remove_dir_all(&base).ok();
+}
+
+#[test]
+fn threshold_compactions_under_churn_stay_recoverable() {
+    // Automatic compaction interleaved with commits: whatever mix of snapshot and
+    // log the churn leaves behind, a crash-reopen converges.
+    let dir = fresh_dir("churn");
+    let options = DurabilityOptions {
+        fsync: false,
+        compact_threshold: 192,
+    };
+    let mut durable = Engine::open_durable_with_options(&dir, options, eval_opts(1)).expect("open");
+    let mut reference = Engine::with_options(eval_opts(1));
+    let program = Event::Source(programs::THREE_RULE_TC.to_string());
+    apply_event(&mut durable, &program);
+    apply_event(&mut reference, &program);
+    for i in 0..40i64 {
+        let event = if i % 7 == 3 {
+            Event::Batch(vec![(0, "e", i - 3, i - 2), (1, "e", i - 3, 200 + i)])
+        } else {
+            Event::Batch(vec![(1, "e", i, i + 1)])
+        };
+        apply_event(&mut durable, &event);
+        apply_event(&mut reference, &event);
+    }
+    assert!(
+        durable.stats().wal_compactions >= 2,
+        "the 192-byte threshold must compact repeatedly: {}",
+        durable.stats().wal_compactions
+    );
+    drop(durable);
+    let query = parse_query("t(0, Y)").unwrap();
+    assert_recovers_to(&dir, &mut reference, &query);
+    std::fs::remove_dir_all(&dir).ok();
+}
