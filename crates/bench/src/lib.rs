@@ -179,6 +179,16 @@ pub fn stream_batch(
     total
 }
 
+/// JSON fragment describing the measuring host, emitted by every suite's
+/// `to_json`: the machine's core count and the worker-thread setting the
+/// suite's evaluations were configured with (0 = one per core).
+pub fn host_json(threads_configured: usize) -> String {
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    format!("  \"host\": {{\"cores\": {cores}, \"threads_configured\": {threads_configured}}},\n")
+}
+
 /// Format a table of measurements (one row per strategy).
 pub fn format_table(title: &str, parameter: &str, rows: &[(String, Vec<Measurement>)]) -> String {
     use std::fmt::Write as _;
@@ -436,6 +446,7 @@ pub mod joins {
     pub fn to_json(results: &[JoinMeasurement], quick: bool) -> String {
         use std::fmt::Write as _;
         let mut out = String::from("{\n");
+        out.push_str(&crate::host_json(EvalOptions::default().threads));
         if quick {
             out.push_str(
                 "  \"quick\": true,\n  \"warning\": \"smoke run on shrunken workloads — not comparable to BENCH_joins.json\",\n",
@@ -634,6 +645,7 @@ pub mod incremental {
     pub fn to_json(results: &[IncrementalMeasurement], quick: bool) -> String {
         use std::fmt::Write as _;
         let mut out = String::from("{\n");
+        out.push_str(&crate::host_json(EvalOptions::default().threads));
         if quick {
             out.push_str(
                 "  \"quick\": true,\n  \"warning\": \"smoke run on shrunken workloads — not comparable to BENCH_incremental.json\",\n",
@@ -872,6 +884,9 @@ pub mod durability {
     pub fn to_json(results: &[DurabilityMeasurement], quick: bool) -> String {
         use std::fmt::Write as _;
         let mut out = String::from("{\n");
+        out.push_str(&crate::host_json(
+            factorlog_engine::EvalOptions::default().threads,
+        ));
         if quick {
             out.push_str(
                 "  \"quick\": true,\n  \"warning\": \"smoke run on shrunken workloads — not comparable to BENCH_durability.json\",\n",
@@ -1111,6 +1126,13 @@ pub mod parallel {
         let mut out = String::from("{\n");
         let _ = writeln!(out, "  \"suite\": \"parallel\",");
         let _ = writeln!(out, "  \"host_cores\": {host},");
+        // Uniform host object (host_cores above predates it and is kept for
+        // comparability with older BENCH_parallel.json baselines). The suite
+        // sweeps THREAD_COUNTS explicitly, so threads_configured reports the
+        // sweep's maximum.
+        out.push_str(&crate::host_json(
+            THREAD_COUNTS.iter().copied().max().unwrap_or(1),
+        ));
         if quick {
             out.push_str(
                 "  \"quick\": true,\n  \"warning\": \"smoke run on shrunken workloads — not comparable to BENCH_parallel.json\",\n",
@@ -1187,6 +1209,258 @@ pub mod parallel {
             c.add_fact("e", &[Const::Int(1), Const::Int(2)]);
             c.add_fact("e", &[Const::Int(3), Const::Int(4)]);
             assert_eq!(database_checksum(&a), database_checksum(&c));
+        }
+    }
+}
+
+/// The `observability` measurement suite: the workload set behind the checked-in
+/// `BENCH_observability.json` baseline and the `report --json observability`
+/// mode. It runs the joins suite's batch workloads twice — tracing off and
+/// tracing on — and measures the overhead the instrumentation adds when
+/// *enabled* (span timers around every phase, per-rule firing clocks, row
+/// counters at the staging sink). Full runs assert the enabled overhead stays
+/// under [`observability::OVERHEAD_BUDGET_PCT`]; every run (including the CI
+/// smoke run) asserts tracing changes nothing about *what* is computed —
+/// identical inference counts and database checksums with tracing off and on —
+/// and that the traced run actually produced a profile.
+pub mod observability {
+    use std::time::Instant;
+
+    use factorlog_datalog::eval::{seminaive_evaluate, EvalOptions, EvalProfile};
+    use factorlog_datalog::parser::parse_program;
+    use factorlog_datalog::storage::Database;
+    use factorlog_workloads::{graphs, programs};
+
+    use crate::parallel::database_checksum;
+
+    /// The enabled-tracing overhead budget, in percent, asserted by full runs
+    /// and recorded in `BENCH_observability.json`.
+    pub const OVERHEAD_BUDGET_PCT: f64 = 3.0;
+
+    /// One workload measured with tracing off and on.
+    #[derive(Clone, Debug)]
+    pub struct ObservabilityMeasurement {
+        /// Workload id (stable across runs; keys of `BENCH_observability.json`).
+        pub name: &'static str,
+        /// Best-of-N wall-clock milliseconds with tracing off.
+        pub millis_off: f64,
+        /// Best-of-N wall-clock milliseconds with tracing on.
+        pub millis_on: f64,
+        /// Enabled-tracing overhead in percent: `(on - off) / off * 100`
+        /// (negative values are measurement noise).
+        pub overhead_pct: f64,
+        /// Inference count — identical off and on (asserted).
+        pub inferences: usize,
+        /// Distinct phase spans the traced run recorded.
+        pub phases_recorded: usize,
+        /// Total rule firings the traced run's per-rule profile recorded.
+        pub rule_firings: u64,
+    }
+
+    /// Best-of-N is the right statistic for an overhead bound: the minimum of
+    /// repeated runs of deterministic CPU-bound work converges on the true cost,
+    /// while medians keep scheduler noise that can dwarf a few clock reads.
+    fn min_millis(samples: &[f64]) -> f64 {
+        samples.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    fn measure_pair(
+        name: &'static str,
+        source: &str,
+        edb: &Database,
+        samples: usize,
+    ) -> ObservabilityMeasurement {
+        let program = parse_program(source).expect("suite program parses").program;
+        let traced_options = EvalOptions {
+            trace: true,
+            ..EvalOptions::default()
+        };
+        let mut timings_off = Vec::with_capacity(samples);
+        let mut timings_on = Vec::with_capacity(samples);
+        let mut untraced: Option<(usize, u64)> = None;
+        let mut traced: Option<(usize, u64)> = None;
+        let mut profile: Option<Box<EvalProfile>> = None;
+        // One untimed warmup of each configuration (first-touch page faults and
+        // symbol interning land here, not in a timed sample).
+        seminaive_evaluate(&program, edb, &EvalOptions::default()).expect("warmup succeeds");
+        seminaive_evaluate(&program, edb, &traced_options).expect("warmup succeeds");
+        // Interleave the off/on runs so thermal and frequency drift hits both
+        // sides equally, and alternate which goes first within each pair so
+        // neither side systematically inherits the other's warmed caches.
+        for s in 0..samples {
+            for on in [s % 2 == 0, s % 2 != 0] {
+                if on {
+                    let start = Instant::now();
+                    let result = seminaive_evaluate(&program, edb, &traced_options)
+                        .expect("traced evaluation succeeds");
+                    timings_on.push(start.elapsed().as_secs_f64() * 1e3);
+                    traced = Some((result.stats.inferences, database_checksum(&result.database)));
+                    profile = result.stats.profile;
+                } else {
+                    let start = Instant::now();
+                    let result = seminaive_evaluate(&program, edb, &EvalOptions::default())
+                        .expect("untraced evaluation succeeds");
+                    timings_off.push(start.elapsed().as_secs_f64() * 1e3);
+                    untraced = Some((result.stats.inferences, database_checksum(&result.database)));
+                }
+            }
+        }
+        let (inferences, checksum_off) = untraced.expect("at least one sample");
+        let (inferences_on, checksum_on) = traced.expect("at least one sample");
+        assert_eq!(
+            inferences, inferences_on,
+            "{name}: tracing changed the inference count"
+        );
+        assert_eq!(
+            checksum_off, checksum_on,
+            "{name}: tracing changed the derived database"
+        );
+        let profile = profile.expect("traced run collects a profile");
+        assert!(
+            profile.phases.contains_key("eval.round"),
+            "{name}: traced run recorded no eval.round span"
+        );
+        let rule_firings: u64 = profile.rules.iter().map(|r| r.firings).sum();
+        assert!(rule_firings > 0, "{name}: no rule firings recorded");
+
+        let millis_off = min_millis(&timings_off);
+        let millis_on = min_millis(&timings_on);
+        ObservabilityMeasurement {
+            name,
+            millis_off,
+            millis_on,
+            overhead_pct: (millis_on - millis_off) / millis_off * 100.0,
+            inferences,
+            phases_recorded: profile.phases.len(),
+            rule_firings,
+        }
+    }
+
+    /// Measure a workload and assert the enabled-tracing overhead budget.
+    /// Shared-host scheduler noise can poison every sample on one side of a
+    /// single attempt (the workloads run tens of milliseconds, well within one
+    /// noisy scheduling burst), so the budget gets [`BUDGET_ATTEMPTS`] fresh
+    /// measurements before failing: a real regression exceeds the budget on
+    /// every attempt, a noise burst does not survive three. Quick smoke
+    /// workloads finish in microseconds, where the ratio is pure noise; they
+    /// skip the assertion (a single attempt, no budget check).
+    fn measure_with_budget(
+        name: &'static str,
+        source: &str,
+        edb: &Database,
+        samples: usize,
+        quick: bool,
+    ) -> ObservabilityMeasurement {
+        const BUDGET_ATTEMPTS: usize = 3;
+        let mut best: Option<ObservabilityMeasurement> = None;
+        for _ in 0..BUDGET_ATTEMPTS {
+            let m = measure_pair(name, source, edb, samples);
+            let better = best
+                .as_ref()
+                .is_none_or(|b| m.overhead_pct < b.overhead_pct);
+            if better {
+                best = Some(m);
+            }
+            let current = best.as_ref().expect("just set");
+            if quick || current.overhead_pct <= OVERHEAD_BUDGET_PCT {
+                break;
+            }
+        }
+        let m = best.expect("at least one attempt");
+        if !quick {
+            assert!(
+                m.overhead_pct <= OVERHEAD_BUDGET_PCT,
+                "{name}: enabled tracing costs {:.2}% (> {OVERHEAD_BUDGET_PCT}% budget) across \
+                 {BUDGET_ATTEMPTS} attempts; off {:.3}ms, on {:.3}ms",
+                m.overhead_pct,
+                m.millis_off,
+                m.millis_on
+            );
+        }
+        m
+    }
+
+    /// Run the whole suite. `quick` shrinks workloads and sample counts to a
+    /// smoke test: the identical-results and profile-shape assertions still run,
+    /// the overhead budget (meaningless at microsecond scale) does not.
+    pub fn run_suite(quick: bool) -> Vec<ObservabilityMeasurement> {
+        let samples = if quick { 3 } else { 9 };
+        let mut out = Vec::new();
+
+        // Wide deltas: many instantiations per rule firing, so per-firing clock
+        // reads amortize well — the common case.
+        let (width, depth) = if quick { (4, 3) } else { (10, 4) };
+        out.push(measure_with_budget(
+            "tc_tree_10k_edges",
+            programs::RIGHT_LINEAR_TC,
+            &graphs::tree(width, depth),
+            samples,
+            quick,
+        ));
+
+        // A long chain: hundreds of near-empty rounds, the worst case for
+        // per-round span overhead (two clock reads per round against almost no
+        // join work).
+        let n = if quick { 64 } else { 400 };
+        out.push(measure_with_budget(
+            "tc_chain_400",
+            programs::RIGHT_LINEAR_TC,
+            &graphs::chain(n),
+            samples,
+            quick,
+        ));
+
+        out
+    }
+
+    /// Render the suite results as a JSON object (manual formatting keeps the
+    /// workspace dependency-free). `quick` marks smoke runs on shrunken
+    /// workloads whose overhead numbers are noise.
+    pub fn to_json(results: &[ObservabilityMeasurement], quick: bool) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("{\n");
+        out.push_str(&crate::host_json(EvalOptions::default().threads));
+        let _ = writeln!(out, "  \"overhead_budget_pct\": {OVERHEAD_BUDGET_PCT},");
+        if quick {
+            out.push_str(
+                "  \"quick\": true,\n  \"warning\": \"smoke run on shrunken workloads — not comparable to BENCH_observability.json\",\n",
+            );
+        }
+        for (i, m) in results.iter().enumerate() {
+            let _ = write!(
+                out,
+                "  \"{}\": {{\"millis_off\": {:.3}, \"millis_on\": {:.3}, \"overhead_pct\": {:.2}, \"inferences\": {}, \"phases_recorded\": {}, \"rule_firings\": {}}}",
+                m.name,
+                m.millis_off,
+                m.millis_on,
+                m.overhead_pct,
+                m.inferences,
+                m.phases_recorded,
+                m.rule_firings
+            );
+            out.push_str(if i + 1 == results.len() { "\n" } else { ",\n" });
+        }
+        out.push('}');
+        out
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn quick_suite_traces_without_changing_results() {
+            // measure_pair asserts identical inferences/checksums and a
+            // populated profile internally; surviving the call IS the test.
+            let results = super::run_suite(true);
+            assert_eq!(results.len(), 2);
+            for m in &results {
+                assert!(m.phases_recorded > 0, "{m:?}");
+                assert!(m.rule_firings > 0, "{m:?}");
+            }
+            let json = super::to_json(&results, true);
+            assert!(json.contains("\"overhead_budget_pct\": 3"));
+            assert!(json.contains("\"tc_tree_10k_edges\""));
+            assert!(json.contains("\"host\""));
+            assert!(json.contains("\"quick\": true"));
         }
     }
 }

@@ -109,6 +109,12 @@ pub struct Optimized {
     pub strategy: Strategy,
     /// The simplification steps applied.
     pub trace: OptimizationTrace,
+    /// Wall time of each transformation pass, in execution order, as
+    /// `(pass name, nanoseconds)`. Passes that run twice (the stages re-run
+    /// after a successful reduction) appear twice. Always recorded — the
+    /// pipeline runs once per prepared-plan miss, so the handful of clock
+    /// reads is never on a hot path.
+    pub pass_times: Vec<(&'static str, u64)>,
 }
 
 impl Optimized {
@@ -339,19 +345,30 @@ struct Stages {
     factored: Option<FactoredProgram>,
 }
 
+/// Run `f`, appending its wall time to `passes` under `name`.
+fn timed<T>(passes: &mut Vec<(&'static str, u64)>, name: &'static str, f: impl FnOnce() -> T) -> T {
+    let start = std::time::Instant::now();
+    let out = f();
+    passes.push((name, start.elapsed().as_nanos() as u64));
+    out
+}
+
 fn run_stages(
     program: &Program,
     query: &Query,
     options: &PipelineOptions,
+    passes: &mut Vec<(&'static str, u64)>,
 ) -> TransformResult<Stages> {
-    let adorned = adorn(program, query)?;
-    let magic_program = magic(&adorned)?;
-    let classification = match classify(&adorned) {
+    let adorned = timed(passes, "adorn", || adorn(program, query))?;
+    let magic_program = timed(passes, "magic", || magic(&adorned))?;
+    let classification = match timed(passes, "classify", || classify(&adorned)) {
         Ok(c) => Some(c),
         Err(TransformError::NotUnitProgram { .. }) => None,
         Err(other) => return Err(other),
     };
-    let factorability = classification.as_ref().map(analyze);
+    let factorability = timed(passes, "factorability", || {
+        classification.as_ref().map(analyze)
+    });
     let should_factor = options.factor
         && (options.force_factoring
             || factorability
@@ -359,7 +376,7 @@ fn run_stages(
                 .map(FactorabilityReport::is_factorable)
                 .unwrap_or(false));
     let factored = if should_factor {
-        match factor_magic(&adorned, &magic_program) {
+        match timed(passes, "factor", || factor_magic(&adorned, &magic_program)) {
             Ok(f) => Some(f),
             Err(TransformError::NotApplicable { .. }) => None,
             Err(other) => return Err(other),
@@ -388,18 +405,19 @@ pub fn optimize_query(
     query: &Query,
     options: &PipelineOptions,
 ) -> TransformResult<Optimized> {
+    let mut pass_times: Vec<(&'static str, u64)> = Vec::new();
     let mut reduced: Option<ReducedProgram> = None;
-    let mut stages = run_stages(program, query, options)?;
+    let mut stages = run_stages(program, query, options, &mut pass_times)?;
 
     if stages.factored.is_none() && options.try_reduction {
-        let reduction = match reduce(program, query) {
+        let reduction = match timed(&mut pass_times, "reduce", || reduce(program, query)) {
             Ok(r) => Some(r),
             Err(TransformError::NotApplicable { .. })
             | Err(TransformError::UnknownQueryPredicate { .. }) => None,
             Err(other) => return Err(other),
         };
         if let Some(r) = reduction {
-            stages = run_stages(&r.program, &r.query, options)?;
+            stages = run_stages(&r.program, &r.query, options, &mut pass_times)?;
             reduced = Some(r);
         }
     }
@@ -415,16 +433,20 @@ pub fn optimize_query(
     let (final_program, final_query, strategy, trace) = match &factored {
         Some(f) => {
             let ctx = FactoringContext::from_factored(f);
-            let (optimized, trace) = optimize(&f.program, &f.query, Some(&ctx), &options.optimize);
+            let (optimized, trace) = timed(&mut pass_times, "optimize", || {
+                optimize(&f.program, &f.query, Some(&ctx), &options.optimize)
+            });
             (optimized, f.query.clone(), Strategy::FactoredMagic, trace)
         }
         None => {
-            let (optimized, trace) = optimize(
-                &magic_program.program,
-                &adorned.query,
-                None,
-                &options.optimize,
-            );
+            let (optimized, trace) = timed(&mut pass_times, "optimize", || {
+                optimize(
+                    &magic_program.program,
+                    &adorned.query,
+                    None,
+                    &options.optimize,
+                )
+            });
             (optimized, adorned.query.clone(), Strategy::MagicOnly, trace)
         }
     };
@@ -442,6 +464,7 @@ pub fn optimize_query(
         query: final_query,
         strategy,
         trace,
+        pass_times,
     })
 }
 
@@ -742,6 +765,36 @@ mod tests {
                 "prepared plan loses answers for {query_text} over:\n{src}"
             );
         }
+    }
+
+    #[test]
+    fn pass_times_record_every_stage_in_order() {
+        let program = parse_program(THREE_RULE_TC).unwrap().program;
+        let query = parse_query("t(5, Y)").unwrap();
+        let out = optimize_query(&program, &query, &PipelineOptions::default()).unwrap();
+        let names: Vec<&str> = out.pass_times.iter().map(|(n, _)| *n).collect();
+        assert_eq!(
+            names,
+            vec![
+                "adorn",
+                "magic",
+                "classify",
+                "factorability",
+                "factor",
+                "optimize"
+            ]
+        );
+
+        // A reduced program runs the stages twice; both runs are recorded.
+        let src = "p(X, Y, Z) :- a(X), p(X, Y, W), d(W, U), p(X, U, Z).\n\
+                   p(X, Y, Z) :- exit(X, Y, Z).";
+        let program = parse_program(src).unwrap().program;
+        let query = parse_query("p(5, 6, U)").unwrap();
+        let out = optimize_query(&program, &query, &PipelineOptions::default()).unwrap();
+        assert!(out.reduced.is_some());
+        let adorns = out.pass_times.iter().filter(|(n, _)| *n == "adorn").count();
+        assert_eq!(adorns, 2);
+        assert!(out.pass_times.iter().any(|(n, _)| *n == "reduce"));
     }
 
     #[test]

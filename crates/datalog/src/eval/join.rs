@@ -70,6 +70,11 @@ pub struct EvalOptions {
     /// (see [`DEFAULT_PARALLEL_THRESHOLD`]). Benchmarks and tests lower this to
     /// exercise the parallel path on small inputs.
     pub parallel_threshold: usize,
+    /// Collect an [`EvalProfile`](super::trace::EvalProfile) (phase spans,
+    /// per-rule firing times and row counts) on the run's statistics. Off by
+    /// default; when off, every instrumentation site costs one branch on a
+    /// `None` option and no allocation.
+    pub trace: bool,
 }
 
 /// The process-wide default thread count: `FACTORLOG_THREADS`, read once (defaults
@@ -93,6 +98,7 @@ impl Default for EvalOptions {
             threads: default_threads(),
             reorder_literals: true,
             parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
+            trace: false,
         }
     }
 }

@@ -5,6 +5,7 @@ pub mod join;
 pub mod naive;
 pub mod seminaive;
 pub mod stats;
+pub mod trace;
 
 use std::fmt;
 
@@ -21,6 +22,7 @@ pub use seminaive::{
     seminaive_retract, CompiledProgram,
 };
 pub use stats::EvalStats;
+pub use trace::{EvalProfile, Histogram, ProfileShape, RuleProfile, SpanStats};
 
 /// Which fixpoint strategy to use.
 #[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]

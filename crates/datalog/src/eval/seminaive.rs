@@ -48,7 +48,32 @@ use crate::symbol::Symbol;
 
 use super::join::{reorder_body, CompiledRule, EvalOptions, JoinScratch, RuleAccess, ShardSpec};
 use super::stats::EvalStats;
+use super::trace::EvalProfile;
 use super::{arity_map, EvalError, EvalResult};
+
+/// Start a phase timer iff the run is being traced — the disabled-tracing cost
+/// of every span site is this one branch on the profile option.
+#[inline]
+fn span_start(stats: &EvalStats) -> Option<std::time::Instant> {
+    stats.profile.is_some().then(std::time::Instant::now)
+}
+
+/// Close a phase timer opened by [`span_start`].
+#[inline]
+fn span_end(stats: &mut EvalStats, name: &'static str, start: Option<std::time::Instant>) {
+    if let (Some(profile), Some(start)) = (stats.profile.as_deref_mut(), start) {
+        profile.record_phase(name, start.elapsed());
+    }
+}
+
+/// Fresh statistics for a traced or untraced run of `rule_count` rules.
+fn stats_for_run(rule_count: usize, options: &EvalOptions) -> EvalStats {
+    let mut stats = EvalStats::new(rule_count);
+    if options.trace {
+        stats.profile = Some(Box::new(EvalProfile::new(rule_count)));
+    }
+    stats
+}
 
 /// A program validated and compiled for semi-naive evaluation: the reusable plan.
 ///
@@ -257,12 +282,14 @@ pub fn seminaive_evaluate_owned(
     mut db: Database,
     options: &EvalOptions,
 ) -> Result<EvalResult, EvalError> {
+    let mut stats = stats_for_run(compiled.rules.len(), options);
+    let plan_start = span_start(&stats);
     let plan = compiled.plan(&db, options);
     let arities = plan.prepare(&mut db);
-    let mut stats = EvalStats::new(compiled.rules.len());
     stats.literal_reorders += plan.reorders;
     let mut runtimes = plan.runtimes(&db, &mut stats);
     let mut exec = Executor::new(options);
+    span_end(&mut stats, "eval.plan", plan_start);
 
     // Round 0: fire every rule against the EDB alone (IDB relations are empty). Exit
     // rules and program facts produce the initial deltas; recursive rules find no IDB
@@ -277,6 +304,7 @@ pub fn seminaive_evaluate_owned(
             delta: None,
         })
         .collect();
+    let round_start = span_start(&stats);
     run_round(
         &plan,
         &db,
@@ -287,6 +315,7 @@ pub fn seminaive_evaluate_owned(
         &mut delta,
         &mut stats,
     );
+    span_end(&mut stats, "eval.round", round_start);
     drop(firings);
     merge_deltas(&mut db, &delta);
     run_fixpoint(
@@ -323,12 +352,14 @@ pub fn seminaive_resume(
     seeds: &FxHashMap<Symbol, Relation>,
     options: &EvalOptions,
 ) -> Result<EvalStats, EvalError> {
+    let mut stats = stats_for_run(compiled.rules.len(), options);
+    let plan_start = span_start(&stats);
     let plan = compiled.plan(model, options);
     let arities = plan.prepare(model);
-    let mut stats = EvalStats::new(compiled.rules.len());
     stats.literal_reorders += plan.reorders;
     let mut runtimes = plan.runtimes(model, &mut stats);
     let mut exec = Executor::new(options);
+    span_end(&mut stats, "eval.plan", plan_start);
 
     let mut staging = plan.empty_staging(&arities);
     stats.iterations += 1;
@@ -348,6 +379,7 @@ pub fn seminaive_resume(
                 });
             }
         }
+        let round_start = span_start(&stats);
         run_round(
             &plan,
             model,
@@ -358,6 +390,7 @@ pub fn seminaive_resume(
             &mut staging,
             &mut stats,
         );
+        span_end(&mut stats, "eval.round", round_start);
     }
     merge_deltas(model, &staging);
     run_fixpoint(
@@ -422,12 +455,14 @@ pub fn seminaive_retract(
     base: &Database,
     options: &EvalOptions,
 ) -> Result<EvalStats, EvalError> {
+    let mut stats = stats_for_run(compiled.rules.len(), options);
+    let plan_start = span_start(&stats);
     let plan = compiled.plan(model, options);
     let arities = plan.prepare(model);
-    let mut stats = EvalStats::new(compiled.rules.len());
     stats.literal_reorders += plan.reorders;
     let mut runtimes = plan.runtimes(model, &mut stats);
     let mut exec = Executor::new(options);
+    span_end(&mut stats, "eval.plan", plan_start);
 
     // Seed the deletion schedule with the retracted base facts present in the model,
     // indexed like delta relations so recursive-literal negative deltas probe.
@@ -461,6 +496,7 @@ pub fn seminaive_retract(
     }
 
     // Phase 1 — over-delete fixpoint: negative deltas through the compiled firings.
+    let overdelete_start = span_start(&stats);
     let mut delta: FxHashMap<Symbol, Relation> = deleted.clone();
     loop {
         let mut staging = plan.empty_staging(&arities);
@@ -513,13 +549,16 @@ pub fn seminaive_retract(
         }
         delta = staging;
     }
+    span_end(&mut stats, "delete.overdelete", overdelete_start);
 
     // Phase 2 — remove every scheduled fact (one compaction per relation).
+    let remove_start = span_start(&stats);
     for (&pred, rel) in &deleted {
         if let Some(target) = model.relation_mut(pred) {
             target.remove_all(rel);
         }
     }
+    span_end(&mut stats, "delete.remove", remove_start);
 
     // Phase 3 — counting re-derivation: count each over-deleted IDB fact's surviving
     // derivations; facts with support ≥ 1 are restored. A surviving *base* fact is
@@ -530,6 +569,7 @@ pub fn seminaive_retract(
         .map(|(&pred, rel)| (pred, rel.clone()))
         .collect();
     if !candidates.is_empty() {
+        let rederive_start = span_start(&stats);
         let mut restored = plan.empty_staging(&arities);
         for rel in restored.values_mut() {
             rel.enable_counts();
@@ -572,6 +612,7 @@ pub fn seminaive_retract(
                 &mut stats,
             );
         }
+        span_end(&mut stats, "delete.rederive", rederive_start);
         // Phase 4 — restored facts rejoin the model and seed the ordinary
         // positive-delta fixpoint for everything downstream of them.
         merge_deltas(model, &restored);
@@ -630,6 +671,7 @@ fn run_fixpoint(
                     });
                 }
             }
+            let round_start = span_start(stats);
             run_round(
                 plan,
                 db,
@@ -640,6 +682,7 @@ fn run_fixpoint(
                 &mut staging,
                 stats,
             );
+            span_end(stats, "eval.round", round_start);
         }
         // The new delta is the staged facts not already in the full database; `staged`
         // was deduplicated against `db` during emission, so it is the delta directly.
@@ -698,11 +741,12 @@ impl Sink<'_> {
         tuple: &[Const],
         stats: &mut EvalStats,
     ) {
-        match self {
+        let is_new = match self {
             Sink::Derive => {
                 let known = head.map(|r| r.contains(tuple)).unwrap_or(false);
                 let is_new = !known && staged.insert(tuple);
                 stats.record_inference(rule.rule_index, rule.head_predicate, is_new);
+                is_new
             }
             Sink::Retract { deleted } => {
                 let scheduled = deleted
@@ -711,6 +755,7 @@ impl Sink<'_> {
                 let dying = !scheduled && head.map(|r| r.contains(tuple)).unwrap_or(false);
                 let is_new = dying && staged.insert(tuple);
                 stats.record_retraction(rule.rule_index, is_new);
+                is_new
             }
             Sink::Rederive { candidates } => {
                 let candidate = candidates
@@ -718,7 +763,13 @@ impl Sink<'_> {
                     .is_some_and(|r| r.contains(tuple));
                 let is_new = candidate && staged.insert_counted(tuple);
                 stats.record_rederivation(rule.rule_index, is_new);
+                is_new
             }
+        };
+        // Rows in/out are recorded at THE emission point, so they are identical
+        // on the sequential and partitioned paths (and across thread counts).
+        if let Some(profile) = stats.profile.as_deref_mut() {
+            profile.record_rule_row(rule.rule_index, is_new);
         }
     }
 }
@@ -741,6 +792,10 @@ struct WorkerState {
     scratches: Vec<JoinScratch>,
     /// One out-buffer per firing of the current round (reused across rounds).
     bufs: Vec<OutBuf>,
+    /// Per-firing join wall time of the current round, in nanoseconds — filled
+    /// only when the run is traced, summed across workers into the per-rule
+    /// profile after the round joins.
+    times: Vec<u64>,
 }
 
 /// A worker's emissions for one firing: tuples appended flat, with `(outer row id,
@@ -788,6 +843,7 @@ impl Executor {
             self.pool.push(WorkerState {
                 scratches: rules.iter().map(CompiledRule::scratch).collect(),
                 bufs: Vec::new(),
+                times: Vec::new(),
             });
         }
         stats.scratch_allocs += self.workers * rules.len();
@@ -919,8 +975,10 @@ fn run_round_parallel(
 ) {
     let rules = plan.rules();
     let workers = exec.workers;
+    let trace = stats.profile.is_some();
     exec.ensure_pool(rules, stats);
 
+    let partition_start = span_start(stats);
     // Precompute each scanned outer's shard assignment once (PR 3 follow-on): one
     // hashing pass on the round driver replaces every worker re-hashing every outer
     // row in its ownership filter — O(rows) total instead of O(workers × rows). The
@@ -966,7 +1024,12 @@ fn run_round_parallel(
         for buf in &mut state.bufs[..jobs.len()] {
             buf.clear();
         }
+        state.times.clear();
+        if trace {
+            state.times.resize(jobs.len(), 0);
+        }
     }
+    span_end(stats, "parallel.partition", partition_start);
 
     // Fan out: worker 0 runs on the calling thread, the rest on scoped threads. All
     // shared state (database, deltas, access paths) is borrowed immutably; each
@@ -978,14 +1041,26 @@ fn run_round_parallel(
             let mut states = exec.pool.iter_mut();
             let first = states.next().expect("pool has at least one worker");
             for (i, state) in states.enumerate() {
-                scope.spawn(move || run_worker(i + 1, workers, state, jobs, rules, runtimes, db));
+                scope.spawn(move || {
+                    run_worker(i + 1, workers, state, jobs, rules, runtimes, db, trace)
+                });
             }
-            run_worker(0, workers, first, jobs, rules, runtimes, db);
+            run_worker(0, workers, first, jobs, rules, runtimes, db, trace);
         });
+    }
+
+    // A partitioned firing counts once (like its sequential counterpart); its
+    // time is the per-worker join times summed — CPU time, not round latency.
+    if let Some(profile) = stats.profile.as_deref_mut() {
+        for (j, job) in jobs.iter().enumerate() {
+            let total: u64 = exec.pool.iter().map(|state| state.times[j]).sum();
+            profile.record_rule_firing(job.rule_index, total);
+        }
     }
 
     // Merge: per firing, in firing order, k-way by outer row id — reconstructing the
     // sequential emission order — through the same dedup path `fire_into` uses.
+    let merge_start = span_start(stats);
     for (j, job) in jobs.iter().enumerate() {
         let rule = &rules[job.rule_index];
         let head = db.relation(rule.head_predicate);
@@ -1015,6 +1090,7 @@ fn run_round_parallel(
             cursors[w] = (key_idx + 1, offset);
         }
     }
+    span_end(stats, "parallel.merge", merge_start);
 
     for state in &mut exec.pool {
         for scratch in &mut state.scratches {
@@ -1033,6 +1109,7 @@ fn run_round_parallel(
 /// shard assignment (see [`run_round_parallel`]); only probed outers — whose
 /// candidate sets are too small to be worth a whole-relation hashing pass — fall
 /// back to hashing each candidate row.
+#[allow(clippy::too_many_arguments)]
 fn run_worker(
     worker: usize,
     of: usize,
@@ -1041,6 +1118,7 @@ fn run_worker(
     rules: &[CompiledRule],
     runtimes: &[RuleRuntime],
     db: &Database,
+    trace: bool,
 ) {
     for (j, job) in jobs.iter().enumerate() {
         let rule = &rules[job.rule_index];
@@ -1052,6 +1130,7 @@ fn run_worker(
             columns: job.columns,
             assign: job.assign,
         };
+        let start = trace.then(std::time::Instant::now);
         rule.fire_partition(
             db,
             job.delta,
@@ -1060,6 +1139,9 @@ fn run_worker(
             &shard,
             &mut |outer, tuple| buf.push(outer, tuple),
         );
+        if let Some(start) = start {
+            state.times[j] = start.elapsed().as_nanos() as u64;
+        }
     }
 }
 
@@ -1076,6 +1158,7 @@ fn fire_into(
     stats: &mut EvalStats,
 ) {
     let head = db.relation(rule.head_predicate);
+    let start = span_start(stats);
     rule.fire_with(
         db,
         delta,
@@ -1085,6 +1168,9 @@ fn fire_into(
             sink.stage(rule, head, staged, tuple, stats);
         },
     );
+    if let (Some(profile), Some(start)) = (stats.profile.as_deref_mut(), start) {
+        profile.record_rule_firing(rule.rule_index, start.elapsed().as_nanos() as u64);
+    }
     stats.absorb_join_counters(std::mem::take(&mut runtime.scratch.counters));
 }
 

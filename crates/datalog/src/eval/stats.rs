@@ -11,6 +11,8 @@ use std::fmt;
 use crate::fx::FxHashMap;
 use crate::symbol::Symbol;
 
+use super::trace::EvalProfile;
+
 /// Counters collected during one evaluation run.
 #[derive(Clone, Debug, Default)]
 pub struct EvalStats {
@@ -80,6 +82,10 @@ pub struct EvalStats {
     /// Snapshot compactions performed (explicit `compact` calls plus automatic
     /// threshold-triggered ones).
     pub wal_compactions: usize,
+    /// Phase spans and per-rule profiles, collected when
+    /// [`EvalOptions::trace`](super::EvalOptions) is on; `None` otherwise (the
+    /// disabled-tracing fast path is a branch on this option).
+    pub profile: Option<Box<EvalProfile>>,
 }
 
 impl EvalStats {
@@ -163,38 +169,72 @@ impl EvalStats {
     /// Merge another statistics object into this one (summing counters, taking the max
     /// of iteration counts). Session engines use this to accumulate per-call results
     /// into cumulative per-session counters.
+    ///
+    /// The source is exhaustively destructured: adding a field to [`EvalStats`]
+    /// without deciding its merge policy here is a compile error, not a counter
+    /// that silently stops accumulating.
     pub fn merge(&mut self, other: &EvalStats) {
-        self.iterations = self.iterations.max(other.iterations);
-        self.inferences += other.inferences;
-        self.duplicates += other.duplicates;
-        self.facts_derived += other.facts_derived;
-        self.plan_cache_hits += other.plan_cache_hits;
-        self.plan_cache_misses += other.plan_cache_misses;
-        self.plan_cache_evictions += other.plan_cache_evictions;
-        self.index_probes += other.index_probes;
-        self.full_scans += other.full_scans;
-        self.membership_checks += other.membership_checks;
-        self.scratch_allocs += other.scratch_allocs;
-        self.literal_reorders += other.literal_reorders;
-        self.parallel_rounds += other.parallel_rounds;
-        self.parallel_firings += other.parallel_firings;
-        self.threads_used = self.threads_used.max(other.threads_used);
-        self.retractions += other.retractions;
-        self.rederivations += other.rederivations;
-        self.delete_rounds += other.delete_rounds;
-        self.wal_appends += other.wal_appends;
-        self.wal_replays += other.wal_replays;
-        self.wal_torn_truncations += other.wal_torn_truncations;
-        self.wal_compactions += other.wal_compactions;
-        for (&p, &n) in &other.facts_per_predicate {
+        let EvalStats {
+            iterations,
+            inferences,
+            duplicates,
+            facts_derived,
+            facts_per_predicate,
+            inferences_per_rule,
+            plan_cache_hits,
+            plan_cache_misses,
+            plan_cache_evictions,
+            index_probes,
+            full_scans,
+            membership_checks,
+            scratch_allocs,
+            literal_reorders,
+            parallel_rounds,
+            parallel_firings,
+            threads_used,
+            retractions,
+            rederivations,
+            delete_rounds,
+            wal_appends,
+            wal_replays,
+            wal_torn_truncations,
+            wal_compactions,
+            profile,
+        } = other;
+        self.iterations = self.iterations.max(*iterations);
+        self.inferences += inferences;
+        self.duplicates += duplicates;
+        self.facts_derived += facts_derived;
+        self.plan_cache_hits += plan_cache_hits;
+        self.plan_cache_misses += plan_cache_misses;
+        self.plan_cache_evictions += plan_cache_evictions;
+        self.index_probes += index_probes;
+        self.full_scans += full_scans;
+        self.membership_checks += membership_checks;
+        self.scratch_allocs += scratch_allocs;
+        self.literal_reorders += literal_reorders;
+        self.parallel_rounds += parallel_rounds;
+        self.parallel_firings += parallel_firings;
+        self.threads_used = self.threads_used.max(*threads_used);
+        self.retractions += retractions;
+        self.rederivations += rederivations;
+        self.delete_rounds += delete_rounds;
+        self.wal_appends += wal_appends;
+        self.wal_replays += wal_replays;
+        self.wal_torn_truncations += wal_torn_truncations;
+        self.wal_compactions += wal_compactions;
+        for (&p, &n) in facts_per_predicate {
             *self.facts_per_predicate.entry(p).or_insert(0) += n;
         }
-        if self.inferences_per_rule.len() < other.inferences_per_rule.len() {
+        if self.inferences_per_rule.len() < inferences_per_rule.len() {
             self.inferences_per_rule
-                .resize(other.inferences_per_rule.len(), 0);
+                .resize(inferences_per_rule.len(), 0);
         }
-        for (i, n) in other.inferences_per_rule.iter().enumerate() {
+        for (i, n) in inferences_per_rule.iter().enumerate() {
             self.inferences_per_rule[i] += n;
+        }
+        if let Some(theirs) = profile {
+            self.profile.get_or_insert_with(Box::default).merge(theirs);
         }
     }
 }
@@ -355,6 +395,117 @@ mod tests {
         );
         // In-memory runs show no durability line.
         assert!(!format!("{}", EvalStats::new(0)).contains("durability"));
+    }
+
+    #[test]
+    fn merge_covers_every_field() {
+        // Build a stats value with EVERY field populated, via a full struct
+        // literal (no `..Default`): adding a field to `EvalStats` breaks this
+        // constructor — and `merge`'s exhaustive destructuring — at compile
+        // time, so a new counter cannot silently miss merging.
+        fn populated(seed: usize) -> EvalStats {
+            let mut profile = EvalProfile::new(2);
+            profile.record_rule_firing(0, seed as u64);
+            profile.record_rule_row(0, true);
+            profile.record_phase("eval.round", std::time::Duration::from_nanos(seed as u64));
+            EvalStats {
+                iterations: seed + 1,
+                inferences: seed + 2,
+                duplicates: seed + 3,
+                facts_derived: seed + 4,
+                facts_per_predicate: FxHashMap::from_iter([(Symbol::intern("t"), seed + 5)]),
+                inferences_per_rule: vec![seed + 6, seed + 7],
+                plan_cache_hits: seed + 8,
+                plan_cache_misses: seed + 9,
+                plan_cache_evictions: seed + 10,
+                index_probes: seed + 11,
+                full_scans: seed + 12,
+                membership_checks: seed + 13,
+                scratch_allocs: seed + 14,
+                literal_reorders: seed + 15,
+                parallel_rounds: seed + 16,
+                parallel_firings: seed + 17,
+                threads_used: seed + 18,
+                retractions: seed + 19,
+                rederivations: seed + 20,
+                delete_rounds: seed + 21,
+                wal_appends: seed + 22,
+                wal_replays: seed + 23,
+                wal_torn_truncations: seed + 24,
+                wal_compactions: seed + 25,
+                profile: Some(Box::new(profile)),
+            }
+        }
+        let mut merged = populated(100);
+        merged.merge(&populated(1000));
+        // Destructure the result so this assertion block, too, must be updated
+        // when a field is added.
+        let EvalStats {
+            iterations,
+            inferences,
+            duplicates,
+            facts_derived,
+            facts_per_predicate,
+            inferences_per_rule,
+            plan_cache_hits,
+            plan_cache_misses,
+            plan_cache_evictions,
+            index_probes,
+            full_scans,
+            membership_checks,
+            scratch_allocs,
+            literal_reorders,
+            parallel_rounds,
+            parallel_firings,
+            threads_used,
+            retractions,
+            rederivations,
+            delete_rounds,
+            wal_appends,
+            wal_replays,
+            wal_torn_truncations,
+            wal_compactions,
+            profile,
+        } = merged;
+        assert_eq!(iterations, 1001, "iterations merge by max");
+        assert_eq!(inferences, 102 + 1002);
+        assert_eq!(duplicates, 103 + 1003);
+        assert_eq!(facts_derived, 104 + 1004);
+        assert_eq!(facts_per_predicate[&Symbol::intern("t")], 105 + 1005);
+        assert_eq!(inferences_per_rule, vec![106 + 1006, 107 + 1007]);
+        assert_eq!(plan_cache_hits, 108 + 1008);
+        assert_eq!(plan_cache_misses, 109 + 1009);
+        assert_eq!(plan_cache_evictions, 110 + 1010);
+        assert_eq!(index_probes, 111 + 1011);
+        assert_eq!(full_scans, 112 + 1012);
+        assert_eq!(membership_checks, 113 + 1013);
+        assert_eq!(scratch_allocs, 114 + 1014);
+        assert_eq!(literal_reorders, 115 + 1015);
+        assert_eq!(parallel_rounds, 116 + 1016);
+        assert_eq!(parallel_firings, 117 + 1017);
+        assert_eq!(threads_used, 1018, "threads_used merges by max");
+        assert_eq!(retractions, 119 + 1019);
+        assert_eq!(rederivations, 120 + 1020);
+        assert_eq!(delete_rounds, 121 + 1021);
+        assert_eq!(wal_appends, 122 + 1022);
+        assert_eq!(wal_replays, 123 + 1023);
+        assert_eq!(wal_torn_truncations, 124 + 1024);
+        assert_eq!(wal_compactions, 125 + 1025);
+        let profile = profile.expect("profiles merge rather than drop");
+        assert_eq!(profile.rules[0].firings, 2);
+        assert_eq!(profile.rules[0].time_ns, 100 + 1000);
+        assert_eq!(profile.phases["eval.round"].count, 2);
+    }
+
+    #[test]
+    fn merge_creates_a_profile_when_only_the_source_has_one() {
+        let mut a = EvalStats::new(0);
+        let mut b = EvalStats::new(1);
+        let mut profile = EvalProfile::new(1);
+        profile.record_rule_firing(0, 7);
+        b.profile = Some(Box::new(profile));
+        a.merge(&b);
+        assert_eq!(a.profile.expect("profile carried over").rules[0].firings, 1);
     }
 
     #[test]

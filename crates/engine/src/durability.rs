@@ -418,6 +418,7 @@ impl Engine {
         let dir = dur.dir.clone();
         let fsync = dur.options.fsync;
         let fault = dur.compaction_fault;
+        let start = self.tracing.then(std::time::Instant::now);
 
         // Steps 1–2: stage the new snapshot and atomically cut over. After the
         // rename the snapshot includes every logged record; the (still-untruncated)
@@ -431,6 +432,9 @@ impl Engine {
         let dur = self.durability.as_mut().expect("checked durable above");
         dur.writer = writer;
         self.stats.wal_compactions += 1;
+        if let (Some(start), Some(metrics)) = (start, self.metrics.as_deref_mut()) {
+            metrics.compaction.record(start.elapsed());
+        }
         Ok(CompactReport {
             log_bytes_before,
             log_bytes_after,
@@ -461,9 +465,11 @@ impl Engine {
                 })
                 .collect(),
         };
+        let start = self.tracing.then(std::time::Instant::now);
         dur.writer.append(&record)?;
         dur.next_seq += 1;
         self.stats.wal_appends += 1;
+        self.record_wal_append(start);
         Ok(())
     }
 
@@ -477,10 +483,31 @@ impl Engine {
             seq: dur.next_seq,
             text: text.to_string(),
         };
+        let start = self.tracing.then(std::time::Instant::now);
         dur.writer.append(&record)?;
         dur.next_seq += 1;
         self.stats.wal_appends += 1;
+        self.record_wal_append(start);
         Ok(())
+    }
+
+    /// Record one successful WAL append into the tracing layer: the whole append
+    /// as a `wal_append` span and, when the append fsync'd, the fsync portion
+    /// alone into the `wal_fsync` histogram. No-op when `start` is `None`
+    /// (tracing was off when the append began).
+    fn record_wal_append(&mut self, start: Option<std::time::Instant>) {
+        let Some(start) = start else { return };
+        let elapsed = start.elapsed();
+        let fsync_ns = self
+            .durability
+            .as_ref()
+            .and_then(|dur| dur.writer.last_fsync_ns());
+        if let Some(metrics) = self.metrics.as_deref_mut() {
+            metrics.wal_append.record(elapsed);
+            if let Some(ns) = fsync_ns {
+                metrics.wal_fsync.record_ns(ns);
+            }
+        }
     }
 
     /// Compact if the log has outgrown the configured threshold. Called at the

@@ -394,6 +394,14 @@ pub struct Engine {
     /// The durable half of the session (transaction log + data directory), when
     /// opened via [`Engine::open_durable`]. `None` = plain in-memory session.
     pub(crate) durability: Option<crate::durability::Durability>,
+    /// Is the observability layer collecting? Every engine span site is a
+    /// single branch on this flag (eval-side sites branch on the equally cheap
+    /// `EvalOptions::trace` / profile option).
+    pub(crate) tracing: bool,
+    /// Engine-level metrics (latency histograms, subsystem spans). Allocated on
+    /// the first [`Engine::set_tracing`]`(true)` and retained when tracing is
+    /// later disabled, so collected data stays inspectable.
+    pub(crate) metrics: Option<Box<crate::metrics::EngineMetrics>>,
 }
 
 /// The cache key shape of a query: `b` for constant positions, a first-occurrence
@@ -449,6 +457,8 @@ impl Engine {
             pipeline: PipelineOptions::default(),
             stats: EvalStats::default(),
             durability: None,
+            tracing: false,
+            metrics: None,
         }
     }
 
@@ -462,6 +472,8 @@ impl Engine {
     /// materialized model are invalidated.
     pub fn set_options(&mut self, options: EvalOptions) {
         self.options = options;
+        // The session's tracing switch owns the eval-side trace flag.
+        self.options.trace = self.tracing;
         self.invalidate();
     }
 
@@ -515,6 +527,48 @@ impl Engine {
     /// (e.g. an auxiliary evaluation a front end performed on the session's behalf).
     pub fn absorb_stats(&mut self, other: &EvalStats) {
         self.stats.merge(other);
+    }
+
+    /// Is the observability layer (span timers, latency histograms, per-rule
+    /// profiles) collecting?
+    pub fn tracing(&self) -> bool {
+        self.tracing
+    }
+
+    /// Enable or disable tracing. Like [`Engine::set_threads`] this invalidates
+    /// nothing — tracing is not baked into compiled plans — so it can be toggled
+    /// mid-session. Disabling stops collection but retains everything collected
+    /// so far ([`Engine::metrics`] and the profile on [`Engine::stats`] stay
+    /// inspectable); [`Engine::reset_stats`] clears the eval-side profile.
+    pub fn set_tracing(&mut self, on: bool) {
+        self.tracing = on;
+        self.options.trace = on;
+        if on && self.metrics.is_none() {
+            self.metrics = Some(Box::default());
+        }
+    }
+
+    /// The engine-level metrics (query-latency and WAL-fsync histograms,
+    /// subsystem spans, optimizer pass times) collected so far; `None` when
+    /// tracing was never enabled on this session.
+    pub fn metrics(&self) -> Option<&crate::metrics::EngineMetrics> {
+        self.metrics.as_deref()
+    }
+
+    /// Render the versioned machine-readable metrics document for this session
+    /// (see the [`crate::metrics`] module docs for the schema). Valid whether or
+    /// not tracing is on — an untraced session reports its counters with empty
+    /// phase, rule, and histogram sections.
+    pub fn metrics_json(&self) -> String {
+        let default_metrics = crate::metrics::EngineMetrics::default();
+        let metrics = self.metrics.as_deref().unwrap_or(&default_metrics);
+        crate::metrics::render_metrics_json(
+            metrics,
+            &self.stats,
+            &self.program,
+            self.tracing,
+            self.options.threads,
+        )
     }
 
     /// Number of prepared plans currently cached.
@@ -1052,17 +1106,34 @@ impl Engine {
     /// (projected onto the query's free positions, sorted). Pending inserts are
     /// propagated first via incremental delta rounds.
     pub fn query(&mut self, query: &Query) -> Result<Vec<Vec<Const>>, EngineError> {
+        let start = self.tracing.then(std::time::Instant::now);
         self.refresh()?;
-        Ok(self
+        let answers = self
             .model
             .as_ref()
             .expect("model materialized by refresh")
-            .answers(query))
+            .answers(query);
+        if let (Some(start), Some(metrics)) = (start, self.metrics.as_deref_mut()) {
+            metrics.query_latency.record(start.elapsed());
+        }
+        Ok(answers)
     }
 
     /// Look up (or build) the prepared plan for `query`'s (predicate, shape),
     /// recording a cache hit or miss in the session statistics.
     fn prepared_plan(&mut self, query: &Query) -> Result<(PreparedPlan, Strategy), EngineError> {
+        let start = self.tracing.then(std::time::Instant::now);
+        let result = self.prepared_plan_inner(query);
+        if let (Some(start), Some(metrics)) = (start, self.metrics.as_deref_mut()) {
+            metrics.prepared_lookup.record(start.elapsed());
+        }
+        result
+    }
+
+    fn prepared_plan_inner(
+        &mut self,
+        query: &Query,
+    ) -> Result<(PreparedPlan, Strategy), EngineError> {
         let key = (query.atom.predicate, query_shape(query));
         let bound: Vec<Const> = query
             .atom
@@ -1085,6 +1156,11 @@ impl Engine {
         // least-recently-used plan when the cache is full.
         self.stats.record_plan_lookup(false);
         let optimized = optimize_query(&self.program, query, &self.pipeline)?;
+        if self.tracing {
+            if let Some(metrics) = self.metrics.as_deref_mut() {
+                metrics.absorb_pass_times(&optimized.pass_times);
+            }
+        }
         let plan = optimized.prepare(&self.options)?;
         let strategy = optimized.strategy;
         if self.prepared_capacity > 0 {
@@ -1131,10 +1207,15 @@ impl Engine {
     /// compiled plan over the current facts. Same answer contract as
     /// [`Engine::query`].
     pub fn query_prepared(&mut self, query: &Query) -> Result<Vec<Vec<Const>>, EngineError> {
+        let start = self.tracing.then(std::time::Instant::now);
         let (plan, _) = self.prepared_plan(query)?;
         let result = plan.evaluate(&self.edb, &self.options)?;
         self.stats.merge(&result.stats);
-        Ok(result.answers(plan.query()))
+        let answers = result.answers(plan.query());
+        if let (Some(start), Some(metrics)) = (start, self.metrics.as_deref_mut()) {
+            metrics.query_latency.record(start.elapsed());
+        }
+        Ok(answers)
     }
 }
 

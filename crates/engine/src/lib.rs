@@ -69,6 +69,7 @@
 
 mod durability;
 mod engine;
+pub mod metrics;
 mod repl;
 pub mod wal;
 
@@ -80,6 +81,7 @@ pub use engine::{
     is_snapshot_text, Engine, EngineError, LoadSummary, PrepareReport, Snapshot, Txn, TxnSummary,
     DEFAULT_PREPARED_CAPACITY, SNAPSHOT_HEADER, SNAPSHOT_HEADER_PREFIX,
 };
+pub use metrics::{EngineMetrics, METRICS_JSON_VERSION};
 pub use repl::{Repl, ReplAction};
 
 pub use factorlog_datalog::eval::{EvalOptions, EvalStats};

@@ -16,6 +16,8 @@
 //! ?- <query>.         answer a query (uses the prepared plan when one is cached)
 //! :threads [N]        show or set the evaluation worker count (0 = all cores)
 //! :stats              cumulative session statistics (incl. plan-cache counters)
+//! :profile [on|off|show]  toggle tracing / show span timers + per-rule profile
+//! :metrics            dump session metrics as versioned JSON
 //! :program            show the registered rules
 //! :help               command summary
 //! :quit               leave the session
@@ -72,11 +74,26 @@ commands:
   ?- <query>.      answer a query; replays the prepared plan when one is cached
   :threads [N]     show or set evaluation worker threads (1 = sequential, 0 = cores);
                    parallel evaluation is bit-identical to sequential, only faster
-  :stats           cumulative session statistics (plan cache, inferences, parallel)
+  :stats           cumulative session statistics, grouped by subsystem
+                   (eval, joins, parallel, mutations, wal)
+  :profile [on|off|show]  enable/disable tracing, or show the collected
+                   profile: per-phase span timers, per-rule firing times and
+                   row counts, latency histograms (p50/p95/p99)
+  :metrics         dump the session's metrics as a versioned JSON document
   :program         show the registered rules
   :help            this summary
   :quit            leave the session
 bare rules/facts (e.g. `e(1, 2).` or `t(X, Y) :- e(X, Y).`) are added directly.";
+
+/// Render nanoseconds with a human-scale unit (`812ns`, `3.4µs`, `1.2ms`, `2.5s`).
+fn fmt_ns(ns: u64) -> String {
+    match ns {
+        0..=999 => format!("{ns}ns"),
+        1_000..=999_999 => format!("{:.1}µs", ns as f64 / 1e3),
+        1_000_000..=999_999_999 => format!("{:.1}ms", ns as f64 / 1e6),
+        _ => format!("{:.2}s", ns as f64 / 1e9),
+    }
+}
 
 impl Repl {
     /// A fresh session.
@@ -139,6 +156,8 @@ impl Repl {
                 "prepare" => self.prepare(argument).map(ReplAction::Output),
                 "threads" => self.threads(argument).map(ReplAction::Output),
                 "stats" => Ok(ReplAction::Output(self.stats())),
+                "profile" => self.profile(argument).map(ReplAction::Output),
+                "metrics" => Ok(ReplAction::Output(self.engine.metrics_json())),
                 "program" => Ok(ReplAction::Output(self.show_program())),
                 other => Err(format!("unknown command `:{other}` (try :help)")),
             };
@@ -416,55 +435,210 @@ impl Repl {
         Ok(parts.join(", "))
     }
 
+    /// `:stats`: cumulative session counters grouped under one heading per
+    /// subsystem; a subsystem the session never exercised shows `—` instead of
+    /// a wall of zeros.
     fn stats(&self) -> String {
         let stats = self.engine.stats();
         let mut out = String::new();
-        let _ = write!(out, "{stats}");
-        let _ = write!(
+        let _ = writeln!(out, "eval:");
+        let _ = writeln!(
             out,
-            "prepared plans: {} cached of {} max ({} hits, {} misses, {} evicted); pending facts: {}; model: {}",
-            self.engine.prepared_count(),
-            self.engine.prepared_capacity(),
+            "  iterations: {}, inferences: {}, facts derived: {}, duplicates: {}",
+            stats.iterations, stats.inferences, stats.facts_derived, stats.duplicates
+        );
+        let _ = writeln!(
+            out,
+            "  plan cache: {} hits, {} misses, {} evicted; prepared plans: {} cached of {} max",
             stats.plan_cache_hits,
             stats.plan_cache_misses,
             stats.plan_cache_evictions,
+            self.engine.prepared_count(),
+            self.engine.prepared_capacity(),
+        );
+        let _ = writeln!(
+            out,
+            "  pending facts: {}; model: {}; tracing: {}",
             self.engine.pending_facts(),
             if self.engine.is_materialized() {
                 "materialized"
             } else {
                 "stale"
-            }
+            },
+            if self.engine.tracing() { "on" } else { "off" },
         );
-        let _ = write!(
+        let mut preds: Vec<_> = stats.facts_per_predicate.iter().collect();
+        preds.sort_by_key(|(p, _)| p.as_str());
+        for (p, n) in preds {
+            let _ = writeln!(out, "  {p}: {n} facts");
+        }
+
+        let _ = writeln!(out, "joins:");
+        if stats.index_probes
+            + stats.full_scans
+            + stats.membership_checks
+            + stats.scratch_allocs
+            + stats.literal_reorders
+            > 0
+        {
+            let _ = writeln!(
+                out,
+                "  {} index probes, {} full scans, {} membership checks, {} scratch allocations",
+                stats.index_probes, stats.full_scans, stats.membership_checks, stats.scratch_allocs
+            );
+            let _ = writeln!(out, "  literal reorders: {}", stats.literal_reorders);
+        } else {
+            let _ = writeln!(out, "  —");
+        }
+
+        let _ = writeln!(out, "parallel:");
+        let _ = writeln!(
             out,
-            "\nthreads: {} configured ({} effective); parallel rounds: {} ({} firings); literal reorders: {}",
+            "  threads: {} configured ({} effective)",
             self.engine.threads(),
-            self.engine.options().effective_threads(),
-            stats.parallel_rounds,
-            stats.parallel_firings,
-            stats.literal_reorders,
+            self.engine.options().effective_threads()
         );
-        let _ = write!(
+        if stats.parallel_rounds > 0 {
+            let _ = writeln!(
+                out,
+                "  parallel rounds: {} ({} firings) on {} threads",
+                stats.parallel_rounds, stats.parallel_firings, stats.threads_used
+            );
+        } else {
+            let _ = writeln!(out, "  parallel rounds: —");
+        }
+
+        let _ = writeln!(out, "mutations:");
+        if stats.retractions + stats.rederivations + stats.delete_rounds > 0 {
+            let _ = writeln!(
+                out,
+                "  {} retraction(s), {} rederivation(s), {} delete round(s)",
+                stats.retractions, stats.rederivations, stats.delete_rounds
+            );
+        } else {
+            let _ = writeln!(out, "  —");
+        }
+        let _ = writeln!(
             out,
-            "\nmutations: {} retraction(s), {} rederivation(s), {} delete round(s); transaction: {}",
-            stats.retractions,
-            stats.rederivations,
-            stats.delete_rounds,
+            "  transaction: {}",
             match &self.txn {
                 Some(ops) => format!("open ({} op(s) queued)", ops.len()),
                 None => "none".to_string(),
             }
         );
+
+        let _ = write!(out, "wal:");
         if let Some(dir) = self.engine.data_dir() {
             let _ = write!(
                 out,
-                "\ndurability: dir {}, log {} byte(s); {} append(s), {} replay(s), {} compaction(s), {} torn truncation(s)",
+                "\n  dir {}, log {} byte(s)\n  {} append(s), {} replay(s), {} compaction(s), {} torn truncation(s)",
                 dir.display(),
                 self.engine.wal_len().unwrap_or(0),
                 stats.wal_appends,
                 stats.wal_replays,
                 stats.wal_compactions,
                 stats.wal_torn_truncations,
+            );
+        } else {
+            let _ = write!(out, "\n  —");
+        }
+        out
+    }
+
+    /// `:profile on|off|show`.
+    fn profile(&mut self, arg: &str) -> Result<String, String> {
+        match arg {
+            "on" => {
+                self.engine.set_tracing(true);
+                Ok("profile: on (span timers and latency histograms collecting)".to_string())
+            }
+            "off" => {
+                self.engine.set_tracing(false);
+                Ok(
+                    "profile: off (collection stopped; collected data retained for :profile show)"
+                        .to_string(),
+                )
+            }
+            "" | "show" => Ok(self.show_profile()),
+            other => Err(format!(
+                "`:profile` expects `on`, `off`, or `show`, got `{other}`"
+            )),
+        }
+    }
+
+    /// Render the collected profile: per-phase spans, optimizer passes, latency
+    /// histograms, and per-rule firing times.
+    fn show_profile(&self) -> String {
+        let mut out = format!(
+            "profile: {}",
+            if self.engine.tracing() { "on" } else { "off" }
+        );
+        let stats = self.engine.stats();
+        let Some(profile) = stats.profile.as_deref() else {
+            out.push_str("\nno profile collected yet (enable with :profile on, then run queries)");
+            return out;
+        };
+        out.push_str("\nphases:");
+        if profile.phases.is_empty() {
+            out.push_str("\n  —");
+        }
+        for (name, span) in &profile.phases {
+            let _ = write!(
+                out,
+                "\n  {name:<20} count {:>8}  total {:>10}  max {:>10}",
+                span.count,
+                fmt_ns(span.total_ns),
+                fmt_ns(span.max_ns)
+            );
+        }
+        if let Some(metrics) = self.engine.metrics() {
+            if !metrics.optimize_passes.is_empty() {
+                out.push_str("\noptimize passes:");
+                for (name, span) in &metrics.optimize_passes {
+                    let _ = write!(
+                        out,
+                        "\n  {name:<20} count {:>8}  total {:>10}  max {:>10}",
+                        span.count,
+                        fmt_ns(span.total_ns),
+                        fmt_ns(span.max_ns)
+                    );
+                }
+            }
+            for (label, h) in [
+                ("query latency", &metrics.query_latency),
+                ("wal fsync", &metrics.wal_fsync),
+            ] {
+                if h.count() > 0 {
+                    let _ = write!(
+                        out,
+                        "\n{label}: {} sample(s), p50 {}, p95 {}, p99 {}, max {}",
+                        h.count(),
+                        fmt_ns(h.p50_ns()),
+                        fmt_ns(h.p95_ns()),
+                        fmt_ns(h.p99_ns()),
+                        fmt_ns(h.max_ns())
+                    );
+                }
+            }
+        }
+        out.push_str("\nrules:");
+        if profile.rules.is_empty() {
+            out.push_str("\n  —");
+        }
+        let program = self.engine.program();
+        for (i, rule) in profile.rules.iter().enumerate() {
+            let text = program
+                .rules
+                .get(i)
+                .map(|r| r.to_string())
+                .unwrap_or_else(|| format!("rule #{i}"));
+            let _ = write!(
+                out,
+                "\n  {text}\n    firings {}  time {}  rows in {}  rows out {}",
+                rule.firings,
+                fmt_ns(rule.time_ns),
+                rule.rows_in,
+                rule.rows_out
             );
         }
         out
@@ -560,13 +734,94 @@ mod tests {
         output(&mut repl, ":prepare s(X)");
         let stats = output(&mut repl, ":stats");
         assert!(
-            stats.contains("prepared plans: 1 cached of 1 max (0 hits, 2 misses, 1 evicted)"),
+            stats.contains(
+                "plan cache: 0 hits, 2 misses, 1 evicted; prepared plans: 1 cached of 1 max"
+            ),
             "{stats}"
         );
+    }
+
+    #[test]
+    fn stats_groups_by_subsystem_with_dashes_for_idle_ones() {
+        let mut repl = Repl::new();
+        let stats = output(&mut repl, ":stats");
+        // Every subsystem heading is present even in a fresh session...
+        for heading in ["eval:", "joins:", "parallel:", "mutations:", "wal:"] {
+            assert!(stats.contains(heading), "missing {heading} in {stats}");
+        }
+        // ...and the unexercised ones show a dash, not a wall of zeros.
+        assert!(stats.contains("joins:\n  —"), "{stats}");
+        assert!(stats.contains("mutations:\n  —"), "{stats}");
+        assert!(stats.contains("wal:\n  —"), "{stats}");
+        assert!(stats.contains("parallel rounds: —"), "{stats}");
+
+        // Exercising a subsystem replaces its dash with counters.
+        output(&mut repl, "t(X, Y) :- e(X, Y).");
+        output(&mut repl, ":insert e(1, 2).");
+        output(&mut repl, "?- t(1, Y).");
+        output(&mut repl, ":retract e(1, 2).");
+        let stats = output(&mut repl, ":stats");
+        assert!(!stats.contains("joins:\n  —"), "{stats}");
+        assert!(!stats.contains("mutations:\n  —"), "{stats}");
+        assert!(stats.contains("index probes"), "{stats}");
         assert!(
-            stats.contains("plan cache: 0 hits, 2 misses, 1 evicted"),
+            stats.contains("retraction(s), 0 rederivation(s)"),
             "{stats}"
         );
+    }
+
+    #[test]
+    fn profile_command_toggles_tracing_and_shows_spans() {
+        let mut repl = Repl::new();
+        let shown = output(&mut repl, ":profile");
+        assert!(shown.contains("no profile collected yet"), "{shown}");
+        assert!(output(&mut repl, ":profile nope").starts_with("error:"));
+
+        assert!(output(&mut repl, ":profile on").contains("profile: on"));
+        assert!(repl.engine().tracing());
+        output(
+            &mut repl,
+            "t(X, Y) :- e(X, Y).\nt(X, Y) :- e(X, W), t(W, Y).",
+        );
+        output(&mut repl, ":insert e(0, 1).");
+        output(&mut repl, ":insert e(1, 2).");
+        output(&mut repl, "?- t(0, Y).");
+        output(&mut repl, ":prepare t(0, Y)");
+        output(&mut repl, "?- t(0, Y).");
+
+        let shown = output(&mut repl, ":profile show");
+        assert!(shown.starts_with("profile: on"), "{shown}");
+        assert!(shown.contains("eval.plan"), "{shown}");
+        assert!(shown.contains("eval.round"), "{shown}");
+        assert!(shown.contains("optimize passes:"), "{shown}");
+        assert!(shown.contains("query latency:"), "{shown}");
+        assert!(shown.contains("p50"), "{shown}");
+        assert!(shown.contains("t(X, Y) :- e(X, W), t(W, Y)."), "{shown}");
+        assert!(shown.contains("firings"), "{shown}");
+
+        // :profile off stops collection but keeps what was gathered.
+        assert!(output(&mut repl, ":profile off").contains("profile: off"));
+        assert!(!repl.engine().tracing());
+        let shown = output(&mut repl, ":profile show");
+        assert!(shown.starts_with("profile: off"), "{shown}");
+        assert!(shown.contains("eval.round"), "{shown}");
+    }
+
+    #[test]
+    fn metrics_command_emits_versioned_json() {
+        let mut repl = Repl::new();
+        output(&mut repl, ":profile on");
+        output(&mut repl, "t(X, Y) :- e(X, Y).");
+        output(&mut repl, ":insert e(1, 2).");
+        output(&mut repl, "?- t(1, Y).");
+        let json = output(&mut repl, ":metrics");
+        assert!(json.contains("\"factorlog_metrics_version\": 1"), "{json}");
+        assert!(json.contains("\"tracing\": true"), "{json}");
+        assert!(json.contains("\"query_latency\""), "{json}");
+        assert!(json.contains("\"p99_ns\""), "{json}");
+        assert!(json.contains("\"eval.round\""), "{json}");
+        assert!(json.contains("t(X, Y) :- e(X, Y)."), "{json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
     #[test]
@@ -746,7 +1001,7 @@ mod tests {
         output(&mut repl, ":retract e(1, 2).");
         assert!(output(&mut repl, ":commit").contains("1 asserted, 1 retracted"));
         let stats = output(&mut repl, ":stats");
-        assert!(stats.contains("durability: dir"), "{stats}");
+        assert!(stats.contains("wal:\n  dir"), "{stats}");
         assert!(stats.contains("3 append(s)"), "{stats}");
         let compacted = output(&mut repl, ":compact");
         assert!(compacted.contains("compacted: log"), "{compacted}");

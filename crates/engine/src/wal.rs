@@ -342,6 +342,10 @@ pub struct WalWriter {
     /// Set after an injected fault: the writer is unusable (as a crashed process
     /// would be) and every further append fails.
     poisoned: bool,
+    /// Wall time of the fsync inside the most recent successful [`append`]
+    /// (`WalWriter::append`); `None` when that append did not fsync. Read by the
+    /// engine's tracing layer to feed the `wal_fsync` latency histogram.
+    last_fsync_ns: Option<u64>,
 }
 
 impl WalWriter {
@@ -365,6 +369,7 @@ impl WalWriter {
             fsync,
             fault: None,
             poisoned: false,
+            last_fsync_ns: None,
         })
     }
 
@@ -390,6 +395,7 @@ impl WalWriter {
             fsync,
             fault: None,
             poisoned: false,
+            last_fsync_ns: None,
         })
     }
 
@@ -411,6 +417,15 @@ impl WalWriter {
     /// Arm (or disarm) the crash-injection point. Test harness only.
     pub fn set_fault(&mut self, fault: Option<FaultPoint>) {
         self.fault = fault;
+    }
+
+    /// Wall time, in nanoseconds, of the fsync performed by the most recent
+    /// successful [`append`](WalWriter::append) — `None` when that append ran
+    /// with fsync disabled. Always measured (one clock pair per append, noise
+    /// next to the fsync itself); the engine samples it into the `wal_fsync`
+    /// histogram only while tracing.
+    pub fn last_fsync_ns(&self) -> Option<u64> {
+        self.last_fsync_ns
     }
 
     /// Write `bytes` through the fault point: persists as much as the remaining
@@ -461,9 +476,12 @@ impl WalWriter {
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         frame.extend_from_slice(&crc32(&payload).to_le_bytes());
         frame.extend_from_slice(&payload);
+        self.last_fsync_ns = None;
         let result = self.write_through_fault(&frame).and_then(|()| {
             if self.fsync {
+                let start = std::time::Instant::now();
                 self.file.sync_data()?;
+                self.last_fsync_ns = Some(start.elapsed().as_nanos() as u64);
             }
             Ok(())
         });

@@ -6,7 +6,7 @@
 //! USAGE:
 //!     factorlog <FILE> [--query "t(0, Y)"] [--strategy original|magic|factored]
 //!               [--show-program] [--explain] [--stats]
-//!     factorlog repl [FILE] [--data-dir DIR]
+//!     factorlog repl [FILE] [--data-dir DIR] [--metrics-json PATH]
 //!
 //! OPTIONS:
 //!     --query <ATOM>       query literal (overrides any ?- clause in the file)
@@ -19,10 +19,13 @@
 //!     an incremental engine session: `:load` (Datalog source or a `:save`d
 //!     snapshot), `:save file`, `:insert fact.`, `:retract fact.`,
 //!     `:begin`/`:commit`/`:abort` transactions, `:prepare q`, `?- query.`,
-//!     `:stats`, `:help`, `:quit`. An optional FILE is loaded at start.
+//!     `:stats`, `:profile`, `:metrics`, `:help`, `:quit`. An optional FILE is
+//!     loaded at start.
 //!     `--data-dir DIR` makes the session durable: committed mutations append to
 //!     an fsync'd write-ahead log in DIR, the state recovers on the next start
 //!     (even after SIGKILL), and the log compacts into a snapshot as it grows.
+//!     `--metrics-json PATH` enables tracing for the whole session and writes the
+//!     versioned metrics JSON document to PATH when the session ends.
 //! ```
 //!
 //! One-shot runs execute on the same [`Engine`] the REPL uses, so `--stats` reports
@@ -57,7 +60,8 @@ struct CliOptions {
 
 fn usage() -> String {
     "usage: factorlog <FILE> [--query \"t(0, Y)\"] [--strategy original|magic|factored] \
-     [--show-program] [--explain] [--stats]\n       factorlog repl [FILE] [--data-dir DIR]"
+     [--show-program] [--explain] [--stats]\n       factorlog repl [FILE] [--data-dir DIR] \
+     [--metrics-json PATH]"
         .to_string()
 }
 
@@ -68,6 +72,9 @@ struct ReplOptions {
     file: Option<String>,
     /// Data directory of a durable session (write-ahead log + snapshot).
     data_dir: Option<String>,
+    /// When set, tracing is on for the whole session and the metrics JSON
+    /// document is written here when the session ends.
+    metrics_json: Option<String>,
 }
 
 fn parse_repl_args(args: &[String]) -> Result<ReplOptions, String> {
@@ -79,6 +86,13 @@ fn parse_repl_args(args: &[String]) -> Result<ReplOptions, String> {
                 options.data_dir = Some(
                     iter.next()
                         .ok_or_else(|| "--data-dir requires a directory argument".to_string())?
+                        .clone(),
+                );
+            }
+            "--metrics-json" => {
+                options.metrics_json = Some(
+                    iter.next()
+                        .ok_or_else(|| "--metrics-json requires a file argument".to_string())?
                         .clone(),
                 );
             }
@@ -280,32 +294,48 @@ fn run_repl(options: &ReplOptions) -> Result<(), String> {
         }
         None => Repl::new(),
     };
+    if options.metrics_json.is_some() {
+        repl.engine_mut().set_tracing(true);
+    }
     println!("factorlog repl — :help for commands, :quit to leave");
     if let Some(path) = &options.file {
         match repl.execute(&format!(":load {path}")) {
             ReplAction::Output(message) => println!("{message}"),
-            ReplAction::Quit => return Ok(()),
+            ReplAction::Quit => return dump_metrics(&repl, options),
         }
     }
     let stdin = std::io::stdin();
     let mut stdout = std::io::stdout();
-    loop {
+    let result = loop {
         print!("factorlog> ");
         stdout.flush().ok();
         let mut line = String::new();
         match stdin.lock().read_line(&mut line) {
-            Ok(0) => break, // EOF
+            Ok(0) => break Ok(()), // EOF
             Ok(_) => match repl.execute(&line) {
                 ReplAction::Output(message) => {
                     if !message.is_empty() {
                         println!("{message}");
                     }
                 }
-                ReplAction::Quit => break,
+                ReplAction::Quit => break Ok(()),
             },
-            Err(e) => return Err(format!("stdin: {e}")),
+            Err(e) => break Err(format!("stdin: {e}")),
         }
-    }
+    };
+    dump_metrics(&repl, options)?;
+    result
+}
+
+/// Write the session's metrics JSON to `--metrics-json PATH` (no-op when the
+/// flag was not given).
+fn dump_metrics(repl: &Repl, options: &ReplOptions) -> Result<(), String> {
+    let Some(path) = &options.metrics_json else {
+        return Ok(());
+    };
+    std::fs::write(path, repl.engine().metrics_json())
+        .map_err(|e| format!("--metrics-json {path}: {e}"))?;
+    println!("% metrics written to {path}");
     Ok(())
 }
 
@@ -422,7 +452,12 @@ mod tests {
         let options = parse_repl_args(&args(&["--data-dir", "/tmp/d", "base.dl"])).unwrap();
         assert_eq!(options.data_dir.as_deref(), Some("/tmp/d"));
         assert_eq!(options.file.as_deref(), Some("base.dl"));
+        let options =
+            parse_repl_args(&args(&["--metrics-json", "/tmp/m.json", "base.dl"])).unwrap();
+        assert_eq!(options.metrics_json.as_deref(), Some("/tmp/m.json"));
+        assert_eq!(options.file.as_deref(), Some("base.dl"));
         assert!(parse_repl_args(&args(&["--data-dir"])).is_err());
+        assert!(parse_repl_args(&args(&["--metrics-json"])).is_err());
         assert!(parse_repl_args(&args(&["a.dl", "b.dl"])).is_err());
         assert!(parse_repl_args(&args(&["--bogus"])).is_err());
     }

@@ -165,3 +165,48 @@ proptest! {
         }
     }
 }
+
+/// The observability contract, as a deterministic companion to the bit-identity
+/// properties above: tracing the same program over the same data must yield an
+/// identical profile *shape* — phase span counts (`parallel.*` phases excluded)
+/// and per-rule firings / rows in / rows out — at 1, 2, and 4 worker threads.
+/// Rows are counted at the shared staging sink and firings once per rule per
+/// round, so partitioning changes only the wall-clock times, which the shape
+/// deliberately drops.
+#[test]
+fn profile_shape_is_identical_across_thread_counts() {
+    let program = parse_program(PROGRAMS[2]).unwrap().program;
+    let edges: Vec<(i64, i64)> = (0..12i64)
+        .flat_map(|a| [(a, (a + 1) % 12), (a, (a + 5) % 12)])
+        .collect();
+    let db = build_db(&edges, None);
+    let traced = |threads: usize| {
+        let opts = EvalOptions {
+            trace: true,
+            ..options(threads)
+        };
+        let result = seminaive_evaluate(&program, &db, &opts).unwrap();
+        result
+            .stats
+            .profile
+            .expect("tracing collects a profile")
+            .shape()
+    };
+    let baseline = traced(1);
+    assert!(!baseline.0.is_empty(), "phase counts recorded");
+    assert!(
+        baseline.1.iter().any(|&(firings, _, _)| firings > 0),
+        "rule firings recorded"
+    );
+    assert!(
+        baseline.1.iter().any(|&(_, _, rows_out)| rows_out > 0),
+        "rows out recorded"
+    );
+    for threads in [2usize, 4] {
+        assert_eq!(
+            traced(threads),
+            baseline,
+            "profile shape differs at {threads} threads"
+        );
+    }
+}
