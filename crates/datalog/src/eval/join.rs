@@ -28,9 +28,13 @@
 //! introduces derivation-depth indices `I + 1`, can be executed by the same engine.
 
 use crate::ast::{Atom, Const, Rule, Term};
+use crate::fault::{CancelToken, FaultAction, FaultInjector, FaultSite};
 use crate::fx::{FxHashMap, FxHashSet};
 use crate::storage::{shard_of_row, Database, IndexId, KeyHasher, Relation, RowId};
 use crate::symbol::Symbol;
+
+use super::stats::EvalStats;
+use super::{EvalError, LimitReason};
 
 /// Environment variable overriding the default worker-thread count
 /// ([`EvalOptions::threads`]): `FACTORLOG_THREADS=4` parallelizes every evaluation,
@@ -75,6 +79,29 @@ pub struct EvalOptions {
     /// default; when off, every instrumentation site costs one branch on a
     /// `None` option and no allocation.
     pub trace: bool,
+    /// Wall-clock budget for one evaluation entry point (a full evaluation, a
+    /// resume, or a delete propagation). Checked at every round boundary and,
+    /// within rounds, every [`POLL_INTERVAL`] candidate rows of the compiled
+    /// join — the cancellation granularity bound. `None` (the default) means
+    /// unlimited and costs nothing.
+    pub deadline: Option<std::time::Duration>,
+    /// Cap on facts derived (plus facts scheduled for deletion) by one
+    /// evaluation entry point, checked at round boundaries. `None` = unlimited.
+    pub max_derived_facts: Option<usize>,
+    /// Budget on the evaluation's estimated memory footprint, checked at round
+    /// boundaries. The estimate piggybacks on relation/staging row counts
+    /// (`rows x arity x size_of::<Const>()`) and is documented accurate within
+    /// 2x — indexes and dedup tables are not counted. `None` = unlimited.
+    pub memory_budget_bytes: Option<usize>,
+    /// Shareable cooperative-cancellation token. When present, the evaluator
+    /// polls it every [`POLL_INTERVAL`] candidate rows and at round boundaries,
+    /// aborting with [`LimitReason::Cancelled`] once it is set (front ends —
+    /// e.g. the REPL's Ctrl-C handler — keep a clone and set it from another
+    /// thread). `None` (the default) disables polling entirely.
+    pub cancel: Option<CancelToken>,
+    /// Chaos-test fault injector threaded through the evaluator's named sites
+    /// (see [`FaultSite`]). `None` in production.
+    pub fault_injector: Option<FaultInjector>,
 }
 
 /// The process-wide default thread count: `FACTORLOG_THREADS`, read once (defaults
@@ -99,6 +126,11 @@ impl Default for EvalOptions {
             reorder_literals: true,
             parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
             trace: false,
+            deadline: None,
+            max_derived_facts: None,
+            memory_budget_bytes: None,
+            cancel: None,
+            fault_injector: None,
         }
     }
 }
@@ -121,6 +153,226 @@ impl EvalOptions {
             n => n,
         };
         requested.min(MAX_WORKERS)
+    }
+
+    /// Is any resource guardrail (limit, deadline, cancel token, fault
+    /// injector) armed on these options?
+    pub fn has_guardrails(&self) -> bool {
+        self.deadline.is_some()
+            || self.max_derived_facts.is_some()
+            || self.memory_budget_bytes.is_some()
+            || self.cancel.is_some()
+            || self.fault_injector.is_some()
+    }
+}
+
+/// Candidate rows the compiled join enumerates between two cooperative
+/// governance polls — the intra-round cancellation granularity bound. Between
+/// polls a join performs at most this many row bindings before noticing a
+/// cancelled token, an expired deadline, or an injected join fault.
+pub const POLL_INTERVAL: u32 = 1024;
+
+/// The intra-round half of governance: a countdown the compiled join decrements
+/// once per candidate row (at every depth). Every [`POLL_INTERVAL`] rows it
+/// polls the cancel tokens, the deadline, and the join-loop fault site; once
+/// tripped, the join unwinds by refusing further rows (each remaining row costs
+/// one branch) and the [`Governor`] turns the trip into a structured error at
+/// the next round boundary. Armed per evaluation via [`JoinScratch::arm_poll`];
+/// `None` — the production default with no guardrails — costs one branch per
+/// row.
+#[derive(Clone, Debug)]
+pub struct JoinPoll {
+    user_cancel: Option<CancelToken>,
+    abort: CancelToken,
+    deadline_at: Option<std::time::Instant>,
+    injector: FaultInjector,
+    countdown: u32,
+    tripped: bool,
+}
+
+impl JoinPoll {
+    /// Count one candidate row; every [`POLL_INTERVAL`] rows, poll the
+    /// governance flags (recording the poll in `checks`). Returns `true` when
+    /// the join should stop enumerating rows.
+    #[inline]
+    fn tick(&mut self, checks: &mut usize) -> bool {
+        if self.tripped {
+            return true;
+        }
+        self.countdown -= 1;
+        if self.countdown > 0 {
+            return false;
+        }
+        self.countdown = POLL_INTERVAL;
+        *checks += 1;
+        match self.injector.hit(FaultSite::JoinOuterLoop) {
+            Some(FaultAction::Panic) => panic!("injected fault (join-outer-loop)"),
+            Some(FaultAction::Error) => {
+                // The structured `EvalError::Injected` surfaces at the next
+                // round boundary; here the join just stops emitting.
+                self.tripped = true;
+            }
+            None => {
+                if self.abort.is_cancelled()
+                    || self
+                        .user_cancel
+                        .as_ref()
+                        .is_some_and(CancelToken::is_cancelled)
+                    || self
+                        .deadline_at
+                        .is_some_and(|at| std::time::Instant::now() >= at)
+                {
+                    self.tripped = true;
+                }
+            }
+        }
+        self.tripped
+    }
+}
+
+/// Per-evaluation resource governor: created at each evaluation entry point
+/// (full evaluation, resume, delete propagation), it owns the start timestamp
+/// the deadline is measured from, the configured limits, and the internal
+/// abort token panic isolation uses to stop sibling workers. Round drivers call
+/// [`Governor::check_round`] at every round boundary and arm worker scratches
+/// with [`Governor::join_poll`] for the intra-round checks.
+pub struct Governor {
+    started: std::time::Instant,
+    deadline: Option<std::time::Duration>,
+    max_derived_facts: Option<usize>,
+    memory_budget_bytes: Option<usize>,
+    user_cancel: Option<CancelToken>,
+    /// Internal abort flag, distinct from the caller's token: a panicking
+    /// worker sets it so its siblings trip at their next poll, without
+    /// permanently cancelling the caller's long-lived token.
+    abort: CancelToken,
+    injector: FaultInjector,
+    poll_armed: bool,
+}
+
+impl Governor {
+    /// A governor for one evaluation under `options`, started now.
+    pub fn new(options: &EvalOptions) -> Governor {
+        let injector = options.fault_injector.clone().unwrap_or_default();
+        let poll_armed = options.deadline.is_some()
+            || options.cancel.is_some()
+            || injector.site() == Some(FaultSite::JoinOuterLoop);
+        Governor {
+            started: std::time::Instant::now(),
+            deadline: options.deadline,
+            max_derived_facts: options.max_derived_facts,
+            memory_budget_bytes: options.memory_budget_bytes,
+            user_cancel: options.cancel.clone(),
+            abort: CancelToken::new(),
+            injector,
+            poll_armed,
+        }
+    }
+
+    /// Is any guardrail armed at all? When `false`, [`Governor::check_round`]
+    /// is a single branch and no scratch carries a poll.
+    pub fn armed(&self) -> bool {
+        self.poll_armed
+            || self.max_derived_facts.is_some()
+            || self.memory_budget_bytes.is_some()
+            || self.injector.site().is_some()
+    }
+
+    /// The internal abort token. Panic isolation sets it when a worker dies so
+    /// sibling workers trip at their next poll.
+    pub fn abort_token(&self) -> CancelToken {
+        self.abort.clone()
+    }
+
+    /// A join-loop poll bound to this governor, or `None` when no intra-round
+    /// guardrail is armed (limits checked only at round boundaries need no
+    /// per-row countdown).
+    pub fn join_poll(&self) -> Option<JoinPoll> {
+        if !self.poll_armed {
+            return None;
+        }
+        Some(JoinPoll {
+            user_cancel: self.user_cancel.clone(),
+            abort: self.abort.clone(),
+            deadline_at: self.deadline.map(|d| self.started + d),
+            injector: self.injector.clone(),
+            countdown: POLL_INTERVAL,
+            tripped: false,
+        })
+    }
+
+    /// Round-boundary check of every guardrail: cancellation (the caller's
+    /// token or the internal abort), the deadline, the derived-fact cap, and
+    /// the memory budget. `estimate_bytes` is consulted only when a memory
+    /// budget is set. On abort, bumps `limit_aborts` and returns
+    /// [`EvalError::LimitExceeded`] carrying a clone of the counters so far.
+    pub fn check_round(
+        &self,
+        stats: &mut EvalStats,
+        estimate_bytes: impl FnOnce() -> usize,
+    ) -> Result<(), EvalError> {
+        if !self.armed() {
+            return Ok(());
+        }
+        stats.cancel_checks += 1;
+        // An Error-action join fault trips mid-round and surfaces here, at the
+        // first boundary after the join exited early.
+        if let Some((site, FaultAction::Error)) = self.injector.fired_at() {
+            return Err(EvalError::Injected { site });
+        }
+        let reason = if self.abort.is_cancelled()
+            || self
+                .user_cancel
+                .as_ref()
+                .is_some_and(CancelToken::is_cancelled)
+        {
+            Some(LimitReason::Cancelled)
+        } else {
+            None
+        };
+        let reason = reason.or_else(|| {
+            self.deadline.and_then(|budget| {
+                let elapsed = self.started.elapsed();
+                (elapsed >= budget).then_some(LimitReason::Deadline { budget, elapsed })
+            })
+        });
+        let reason = reason.or_else(|| {
+            self.max_derived_facts.and_then(|limit| {
+                let derived = stats.facts_derived + stats.retractions;
+                (derived > limit).then_some(LimitReason::DerivedFacts { limit, derived })
+            })
+        });
+        let reason = reason.or_else(|| {
+            self.memory_budget_bytes.and_then(|budget_bytes| {
+                let estimated_bytes = estimate_bytes();
+                (estimated_bytes > budget_bytes).then_some(LimitReason::MemoryBudget {
+                    budget_bytes,
+                    estimated_bytes,
+                })
+            })
+        });
+        match reason {
+            None => Ok(()),
+            Some(reason) => {
+                stats.limit_aborts += 1;
+                Err(EvalError::LimitExceeded {
+                    reason,
+                    partial_stats: Box::new(stats.clone()),
+                })
+            }
+        }
+    }
+
+    /// Report reaching a round-boundary fault site (round merge, the delete
+    /// phases): a no-op unless the injector is armed there, an
+    /// [`EvalError::Injected`] for an `Error`-action fault, a panic for a
+    /// `Panic`-action one (contained by the engine's isolation boundary).
+    pub fn fault_site(&self, site: FaultSite) -> Result<(), EvalError> {
+        match self.injector.hit(site) {
+            None => Ok(()),
+            Some(FaultAction::Error) => Err(EvalError::Injected { site }),
+            Some(FaultAction::Panic) => panic!("injected fault ({site})"),
+        }
     }
 }
 
@@ -197,6 +449,10 @@ pub struct JoinCounters {
     pub full_scans: usize,
     /// Membership checks performed for fully bound literals.
     pub membership_checks: usize,
+    /// Cooperative governance polls performed by the join loop (one per
+    /// [`POLL_INTERVAL`] candidate rows while a poll is armed; always zero
+    /// without guardrails).
+    pub cancel_checks: usize,
 }
 
 /// Reusable per-rule join state: preallocated buffers sized at construction so that
@@ -215,8 +471,27 @@ pub struct JoinScratch {
     /// base and truncates back to it on exit (replacing the per-row `newly_bound`
     /// vector of the interpreted join).
     unbind: Vec<usize>,
+    /// The armed governance poll, if any (see [`JoinScratch::arm_poll`]).
+    poll: Option<JoinPoll>,
     /// Join operation counters, drained by the evaluator.
     pub counters: JoinCounters,
+}
+
+impl JoinScratch {
+    /// Arm (or disarm) the cooperative governance poll for this scratch. Round
+    /// drivers arm every scratch from [`Governor::join_poll`] at the start of a
+    /// governed evaluation; an unarmed scratch pays one branch per row.
+    pub fn arm_poll(&mut self, poll: Option<JoinPoll>) {
+        self.poll = poll;
+    }
+
+    /// Did the armed poll trip (cancellation, deadline, or injected join
+    /// fault)? The structured error is produced by the round driver's
+    /// [`Governor::check_round`]; this accessor lets it skip further firings
+    /// first.
+    pub fn poll_tripped(&self) -> bool {
+        self.poll.as_ref().is_some_and(|p| p.tripped)
+    }
 }
 
 /// A rule compiled for evaluation.
@@ -497,6 +772,7 @@ impl CompiledRule {
             head_buf: Vec::with_capacity(self.head_slots.len()),
             key_buf: Vec::with_capacity(max_arity),
             unbind: Vec::with_capacity(self.env_size),
+            poll: None,
             counters: JoinCounters::default(),
         }
     }
@@ -702,6 +978,10 @@ impl CompiledRule {
     /// the environment. Collision candidates from hash buckets are rejected here (a
     /// row that does not match the bound slots fails the comparison), so probes need
     /// no separate verification pass.
+    ///
+    /// This is also the cooperative governance site: called once per candidate
+    /// row at every join depth, so one countdown here bounds how many rows any
+    /// join enumerates between polls, whatever the rule shape.
     #[inline]
     fn bind_and_descend(
         &self,
@@ -712,6 +992,11 @@ impl CompiledRule {
         emit: &mut dyn FnMut(&[Const]),
         count: &mut usize,
     ) {
+        if let Some(poll) = scratch.poll.as_mut() {
+            if poll.tick(&mut scratch.counters.cancel_checks) {
+                return;
+            }
+        }
         let literal = &self.literals[depth];
         let base = scratch.unbind.len();
         let mut consistent = true;

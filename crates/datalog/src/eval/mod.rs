@@ -15,7 +15,7 @@ use crate::storage::Database;
 use crate::symbol::Symbol;
 use crate::validate::ValidationError;
 
-pub use join::EvalOptions;
+pub use join::{EvalOptions, Governor};
 pub use naive::naive_evaluate;
 pub use seminaive::{
     seminaive_evaluate, seminaive_evaluate_compiled, seminaive_evaluate_owned, seminaive_resume,
@@ -62,6 +62,85 @@ pub enum EvalError {
         /// The limit that was exceeded.
         limit: usize,
     },
+    /// A resource guardrail fired: the evaluation was abandoned before the
+    /// fixpoint, and its partial output was discarded (the engine drops the
+    /// materialized view; the fact store stays the source of truth).
+    LimitExceeded {
+        /// Which guardrail fired.
+        reason: LimitReason,
+        /// Counters collected up to the abort (boxed: errors stay small).
+        partial_stats: Box<EvalStats>,
+    },
+    /// A worker panicked during a parallel round; the panic was caught, its
+    /// siblings were cancelled, and the evaluation's output was discarded.
+    WorkerPanic {
+        /// The panic payload, when it was a string (`"<non-string panic>"`
+        /// otherwise).
+        message: String,
+        /// Counters collected up to the abort.
+        partial_stats: Box<EvalStats>,
+    },
+    /// An injected fault fired (chaos-test harness only — see
+    /// [`FaultInjector`](crate::fault::FaultInjector)).
+    Injected {
+        /// The site the fault fired at.
+        site: crate::fault::FaultSite,
+    },
+}
+
+/// Which resource guardrail aborted an evaluation (see
+/// [`EvalError::LimitExceeded`]).
+#[derive(Clone, Debug)]
+pub enum LimitReason {
+    /// The shared [`CancelToken`](crate::fault::CancelToken) was set.
+    Cancelled,
+    /// The wall-clock deadline passed.
+    Deadline {
+        /// The configured budget.
+        budget: std::time::Duration,
+        /// Wall time actually elapsed when the abort was detected.
+        elapsed: std::time::Duration,
+    },
+    /// More facts were derived (or scheduled for deletion) than allowed.
+    DerivedFacts {
+        /// The configured cap.
+        limit: usize,
+        /// Facts counted when the abort was detected.
+        derived: usize,
+    },
+    /// The estimated memory footprint exceeded the budget.
+    MemoryBudget {
+        /// The configured budget in bytes.
+        budget_bytes: usize,
+        /// The row-count-based estimate (documented within 2x) at the abort.
+        estimated_bytes: usize,
+    },
+}
+
+impl fmt::Display for LimitReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LimitReason::Cancelled => write!(f, "cancelled"),
+            LimitReason::Deadline { budget, elapsed } => write!(
+                f,
+                "deadline of {:.1?} exceeded ({:.1?} elapsed)",
+                budget, elapsed
+            ),
+            LimitReason::DerivedFacts { limit, derived } => {
+                write!(
+                    f,
+                    "derived-fact limit of {limit} exceeded ({derived} derived)"
+                )
+            }
+            LimitReason::MemoryBudget {
+                budget_bytes,
+                estimated_bytes,
+            } => write!(
+                f,
+                "memory budget of {budget_bytes} byte(s) exceeded (~{estimated_bytes} estimated)"
+            ),
+        }
+    }
 }
 
 impl fmt::Display for EvalError {
@@ -76,6 +155,15 @@ impl fmt::Display for EvalError {
             }
             EvalError::IterationLimit { limit } => {
                 write!(f, "evaluation did not converge within {limit} iterations")
+            }
+            EvalError::LimitExceeded { reason, .. } => {
+                write!(f, "evaluation aborted: {reason}")
+            }
+            EvalError::WorkerPanic { message, .. } => {
+                write!(f, "evaluation worker panicked: {message}")
+            }
+            EvalError::Injected { site } => {
+                write!(f, "injected fault fired at {site}")
             }
         }
     }

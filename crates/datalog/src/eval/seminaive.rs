@@ -40,13 +40,18 @@
 //! sequential, so parallelism never taxes workloads it cannot help.
 
 use std::collections::BTreeSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
 
 use crate::ast::{Const, Program};
+use crate::fault::FaultSite;
 use crate::fx::FxHashMap;
 use crate::storage::{Database, Relation, RowId};
 use crate::symbol::Symbol;
 
-use super::join::{reorder_body, CompiledRule, EvalOptions, JoinScratch, RuleAccess, ShardSpec};
+use super::join::{
+    reorder_body, CompiledRule, EvalOptions, Governor, JoinScratch, RuleAccess, ShardSpec,
+};
 use super::stats::EvalStats;
 use super::trace::EvalProfile;
 use super::{arity_map, EvalError, EvalResult};
@@ -283,11 +288,13 @@ pub fn seminaive_evaluate_owned(
     options: &EvalOptions,
 ) -> Result<EvalResult, EvalError> {
     let mut stats = stats_for_run(compiled.rules.len(), options);
+    let governor = Governor::new(options);
     let plan_start = span_start(&stats);
     let plan = compiled.plan(&db, options);
     let arities = plan.prepare(&mut db);
     stats.literal_reorders += plan.reorders;
     let mut runtimes = plan.runtimes(&db, &mut stats);
+    arm_runtimes(&mut runtimes, &governor);
     let mut exec = Executor::new(options);
     span_end(&mut stats, "eval.plan", plan_start);
 
@@ -311,10 +318,11 @@ pub fn seminaive_evaluate_owned(
         &firings,
         &mut runtimes,
         &mut exec,
+        &governor,
         Sink::Derive,
         &mut delta,
         &mut stats,
-    );
+    )?;
     span_end(&mut stats, "eval.round", round_start);
     drop(firings);
     merge_deltas(&mut db, &delta);
@@ -325,6 +333,7 @@ pub fn seminaive_evaluate_owned(
         &arities,
         &mut runtimes,
         &mut exec,
+        &governor,
         options,
         &mut stats,
     )?;
@@ -353,11 +362,13 @@ pub fn seminaive_resume(
     options: &EvalOptions,
 ) -> Result<EvalStats, EvalError> {
     let mut stats = stats_for_run(compiled.rules.len(), options);
+    let governor = Governor::new(options);
     let plan_start = span_start(&stats);
     let plan = compiled.plan(model, options);
     let arities = plan.prepare(model);
     stats.literal_reorders += plan.reorders;
     let mut runtimes = plan.runtimes(model, &mut stats);
+    arm_runtimes(&mut runtimes, &governor);
     let mut exec = Executor::new(options);
     span_end(&mut stats, "eval.plan", plan_start);
 
@@ -386,10 +397,11 @@ pub fn seminaive_resume(
             &firings,
             &mut runtimes,
             &mut exec,
+            &governor,
             Sink::Derive,
             &mut staging,
             &mut stats,
-        );
+        )?;
         span_end(&mut stats, "eval.round", round_start);
     }
     merge_deltas(model, &staging);
@@ -400,6 +412,7 @@ pub fn seminaive_resume(
         &arities,
         &mut runtimes,
         &mut exec,
+        &governor,
         options,
         &mut stats,
     )?;
@@ -456,11 +469,13 @@ pub fn seminaive_retract(
     options: &EvalOptions,
 ) -> Result<EvalStats, EvalError> {
     let mut stats = stats_for_run(compiled.rules.len(), options);
+    let governor = Governor::new(options);
     let plan_start = span_start(&stats);
     let plan = compiled.plan(model, options);
     let arities = plan.prepare(model);
     stats.literal_reorders += plan.reorders;
     let mut runtimes = plan.runtimes(model, &mut stats);
+    arm_runtimes(&mut runtimes, &governor);
     let mut exec = Executor::new(options);
     span_end(&mut stats, "eval.plan", plan_start);
 
@@ -499,6 +514,7 @@ pub fn seminaive_retract(
     let overdelete_start = span_start(&stats);
     let mut delta: FxHashMap<Symbol, Relation> = deleted.clone();
     loop {
+        governor.check_round(&mut stats, || estimated_bytes(model, &deleted))?;
         let mut staging = plan.empty_staging(&arities);
         {
             let mut firings: Vec<Firing<'_>> = Vec::new();
@@ -531,10 +547,12 @@ pub fn seminaive_retract(
                 &firings,
                 &mut runtimes,
                 &mut exec,
+                &governor,
                 Sink::Retract { deleted: &deleted },
                 &mut staging,
                 &mut stats,
-            );
+            )?;
+            governor.fault_site(FaultSite::DeleteOverdelete)?;
         }
         if staging.values().all(Relation::is_empty) {
             break;
@@ -605,12 +623,14 @@ pub fn seminaive_retract(
                 &firings,
                 &mut runtimes,
                 &mut exec,
+                &governor,
                 Sink::Rederive {
                     candidates: &candidates,
                 },
                 &mut restored,
                 &mut stats,
-            );
+            )?;
+            governor.fault_site(FaultSite::DeleteRederive)?;
         }
         span_end(&mut stats, "delete.rederive", rederive_start);
         // Phase 4 — restored facts rejoin the model and seed the ordinary
@@ -623,6 +643,7 @@ pub fn seminaive_retract(
             &arities,
             &mut runtimes,
             &mut exec,
+            &governor,
             options,
             &mut stats,
         )?;
@@ -641,10 +662,15 @@ fn run_fixpoint(
     arities: &FxHashMap<Symbol, usize>,
     runtimes: &mut [RuleRuntime],
     exec: &mut Executor,
+    governor: &Governor,
     options: &EvalOptions,
     stats: &mut EvalStats,
 ) -> Result<(), EvalError> {
     loop {
+        // Guardrails are checked before the convergence test so a trip during
+        // the previous round (cancellation, deadline, a join fault) surfaces
+        // even when that round's truncated output left the delta empty.
+        governor.check_round(stats, || estimated_bytes(db, &delta))?;
         if delta.values().all(Relation::is_empty) {
             break;
         }
@@ -678,10 +704,11 @@ fn run_fixpoint(
                 &firings,
                 runtimes,
                 exec,
+                governor,
                 Sink::Derive,
                 &mut staging,
                 stats,
-            );
+            )?;
             span_end(stats, "eval.round", round_start);
         }
         // The new delta is the staged facts not already in the full database; `staged`
@@ -835,13 +862,22 @@ impl Executor {
 
     /// Build the per-worker scratch pool on first use (counted as scratch
     /// allocations: `workers * rules` on top of the sequential per-rule scratches).
-    fn ensure_pool(&mut self, rules: &[CompiledRule], stats: &mut EvalStats) {
+    /// Worker scratches are armed with the evaluation's governance poll, so the
+    /// cancellation granularity bound holds inside partitioned rounds too.
+    fn ensure_pool(&mut self, rules: &[CompiledRule], stats: &mut EvalStats, governor: &Governor) {
         if !self.pool.is_empty() {
             return;
         }
         for _ in 0..self.workers {
             self.pool.push(WorkerState {
-                scratches: rules.iter().map(CompiledRule::scratch).collect(),
+                scratches: rules
+                    .iter()
+                    .map(|rule| {
+                        let mut scratch = rule.scratch();
+                        scratch.arm_poll(governor.join_poll());
+                        scratch
+                    })
+                    .collect(),
                 bufs: Vec::new(),
                 times: Vec::new(),
             });
@@ -885,23 +921,31 @@ fn run_round(
     firings: &[Firing<'_>],
     runtimes: &mut [RuleRuntime],
     exec: &mut Executor,
+    governor: &Governor,
     sink: Sink<'_>,
     staging: &mut FxHashMap<Symbol, Relation>,
     stats: &mut EvalStats,
-) {
+) -> Result<(), EvalError> {
     let rules = plan.rules();
     if exec.workers > 1 && outer_rows(rules, db, firings) >= exec.threshold {
-        run_round_parallel(plan, db, firings, runtimes, exec, sink, staging, stats);
-        return;
+        return run_round_parallel(
+            plan, db, firings, runtimes, exec, governor, sink, staging, stats,
+        );
     }
     for firing in firings {
         let rule = &rules[firing.rule_index];
         let runtime = &mut runtimes[firing.rule_index];
+        // A tripped poll (cancellation, deadline, join fault) stops the round:
+        // remaining firings on that scratch would be discarded anyway.
+        if runtime.scratch.poll_tripped() {
+            continue;
+        }
         let staged = staging
             .get_mut(&rule.head_predicate)
             .expect("idb staging exists");
         fire_into(rule, runtime, db, firing.delta, sink, staged, stats);
     }
+    governor.fault_site(FaultSite::RoundMerge)
 }
 
 /// One firing of a partitioned round, with the partition-key columns all workers
@@ -969,14 +1013,15 @@ fn run_round_parallel(
     firings: &[Firing<'_>],
     runtimes: &mut [RuleRuntime],
     exec: &mut Executor,
+    governor: &Governor,
     sink: Sink<'_>,
     staging: &mut FxHashMap<Symbol, Relation>,
     stats: &mut EvalStats,
-) {
+) -> Result<(), EvalError> {
     let rules = plan.rules();
     let workers = exec.workers;
     let trace = stats.profile.is_some();
-    exec.ensure_pool(rules, stats);
+    exec.ensure_pool(rules, stats, governor);
 
     let partition_start = span_start(stats);
     // Precompute each scanned outer's shard assignment once (PR 3 follow-on): one
@@ -1034,18 +1079,53 @@ fn run_round_parallel(
     // Fan out: worker 0 runs on the calling thread, the rest on scoped threads. All
     // shared state (database, deltas, access paths) is borrowed immutably; each
     // worker owns its scratches and buffers.
+    //
+    // Panic isolation: every worker body runs under `catch_unwind`, so a panicking
+    // worker (a bug, or an injected `Panic`-action fault) cannot tear down the
+    // scope. The first panic records its payload and sets the governor's internal
+    // abort token — siblings with armed polls trip at their next poll instead of
+    // running their shards to completion — and the round surfaces a structured
+    // [`EvalError::WorkerPanic`]. `AssertUnwindSafe` is sound here because the
+    // whole evaluation is discarded on the error path: no half-mutated scratch or
+    // out-buffer is ever observed again.
+    let panicked: Mutex<Option<String>> = Mutex::new(None);
     {
         let runtimes: &[RuleRuntime] = runtimes;
         let jobs: &[Job<'_, '_>] = &jobs;
+        let panicked = &panicked;
+        let abort = governor.abort_token();
+        let abort = &abort;
         std::thread::scope(|scope| {
             let mut states = exec.pool.iter_mut();
             let first = states.next().expect("pool has at least one worker");
             for (i, state) in states.enumerate() {
                 scope.spawn(move || {
-                    run_worker(i + 1, workers, state, jobs, rules, runtimes, db, trace)
+                    let body = AssertUnwindSafe(|| {
+                        run_worker(i + 1, workers, state, jobs, rules, runtimes, db, trace);
+                    });
+                    if let Err(payload) = catch_unwind(body) {
+                        abort.cancel();
+                        *panicked.lock().unwrap() = Some(panic_message(payload.as_ref()));
+                    }
                 });
             }
-            run_worker(0, workers, first, jobs, rules, runtimes, db, trace);
+            let body = AssertUnwindSafe(|| {
+                run_worker(0, workers, first, jobs, rules, runtimes, db, trace);
+            });
+            if let Err(payload) = catch_unwind(body) {
+                abort.cancel();
+                *panicked.lock().unwrap() = Some(panic_message(payload.as_ref()));
+            }
+        });
+    }
+    if let Some(message) = panicked
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+    {
+        stats.worker_panics += 1;
+        return Err(EvalError::WorkerPanic {
+            message,
+            partial_stats: Box::new(stats.clone()),
         });
     }
 
@@ -1100,6 +1180,7 @@ fn run_round_parallel(
     stats.parallel_rounds += 1;
     stats.parallel_firings += jobs.len();
     stats.threads_used = stats.threads_used.max(workers);
+    governor.fault_site(FaultSite::RoundMerge)
 }
 
 /// One worker's share of a partitioned round: every firing, restricted to the outer
@@ -1124,6 +1205,11 @@ fn run_worker(
         let rule = &rules[job.rule_index];
         let buf = &mut state.bufs[j];
         let scratch = &mut state.scratches[job.rule_index];
+        // Once this worker's poll tripped (cancellation, deadline, a sibling's
+        // panic via the abort token), stop taking jobs: the round is doomed.
+        if scratch.poll_tripped() {
+            continue;
+        }
         let shard = ShardSpec {
             shard: worker,
             of,
@@ -1172,6 +1258,43 @@ fn fire_into(
         profile.record_rule_firing(rule.rule_index, start.elapsed().as_nanos() as u64);
     }
     stats.absorb_join_counters(std::mem::take(&mut runtime.scratch.counters));
+}
+
+/// Arm every sequential per-rule scratch with the evaluation's governance poll.
+/// (Worker-pool scratches are armed in [`Executor::ensure_pool`].)
+fn arm_runtimes(runtimes: &mut [RuleRuntime], governor: &Governor) {
+    for runtime in runtimes {
+        runtime.scratch.arm_poll(governor.join_poll());
+    }
+}
+
+/// Row-count-based estimate of the evaluation's resident footprint, consulted by
+/// the memory guardrail: every database and staging/delta row costs
+/// `arity × size_of::<Const>()`. Indexes, dedup tables, and allocator slack are
+/// not counted, so the estimate is documented as accurate within about 2x — the
+/// guardrail trades precision for a count that needs no allocator instrumentation.
+fn estimated_bytes(db: &Database, extra: &FxHashMap<Symbol, Relation>) -> usize {
+    let cells: usize = db
+        .iter()
+        .map(|(_, rel)| rel.len() * rel.arity().max(1))
+        .sum::<usize>()
+        + extra
+            .values()
+            .map(|rel| rel.len() * rel.arity().max(1))
+            .sum::<usize>();
+    cells * std::mem::size_of::<Const>()
+}
+
+/// Render a caught panic payload: the common `&str`/`String` payloads verbatim,
+/// a placeholder otherwise (panic payloads may be any `Any` value).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic>".to_string()
+    }
 }
 
 fn merge_deltas(db: &mut Database, deltas: &FxHashMap<Symbol, Relation>) {
@@ -1851,6 +1974,209 @@ mod tests {
             assert_eq!(base_stats.delete_rounds, stats.delete_rounds);
             assert_eq!(base_stats.inferences, stats.inferences);
         }
+    }
+
+    #[test]
+    fn unarmed_evaluation_never_polls() {
+        let program = tc_program();
+        let result = seminaive_evaluate(&program, &chain_edb(20), &EvalOptions::default()).unwrap();
+        assert_eq!(result.stats.cancel_checks, 0, "no guardrails, no polls");
+        assert_eq!(result.stats.limit_aborts, 0);
+        assert_eq!(result.stats.worker_panics, 0);
+    }
+
+    #[test]
+    fn deadline_aborts_unbounded_recursion() {
+        let program = parse_program("counter(0).\ncounter(M) :- counter(N), succ(N, M).")
+            .unwrap()
+            .program;
+        let deadline = std::time::Duration::from_millis(30);
+        let options = EvalOptions {
+            deadline: Some(deadline),
+            ..EvalOptions::default()
+        };
+        let start = std::time::Instant::now();
+        let err = seminaive_evaluate(&program, &Database::new(), &options).unwrap_err();
+        let took = start.elapsed();
+        let EvalError::LimitExceeded {
+            reason: super::super::LimitReason::Deadline { budget, elapsed },
+            partial_stats,
+        } = err
+        else {
+            panic!("expected a deadline abort, got {err}");
+        };
+        assert_eq!(budget, deadline);
+        assert!(elapsed >= deadline);
+        assert!(
+            partial_stats.cancel_checks > 0,
+            "the poll did the detecting"
+        );
+        assert_eq!(partial_stats.limit_aborts, 1);
+        // The acceptance bound: the abort lands within 2x the deadline. The unit
+        // test uses a much looser wall-clock bound to stay robust on loaded CI
+        // machines; the chaos harness checks the 2x bound end to end.
+        assert!(
+            took < deadline * 20,
+            "abort must be prompt, took {took:?} against a {deadline:?} deadline"
+        );
+    }
+
+    #[test]
+    fn preset_cancel_token_aborts_at_the_first_poll() {
+        let token = crate::fault::CancelToken::new();
+        token.cancel();
+        let options = EvalOptions {
+            cancel: Some(token),
+            ..EvalOptions::default()
+        };
+        let err = seminaive_evaluate(&tc_program(), &chain_edb(30), &options).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                EvalError::LimitExceeded {
+                    reason: super::super::LimitReason::Cancelled,
+                    ..
+                }
+            ),
+            "expected a cancellation, got {err}"
+        );
+    }
+
+    #[test]
+    fn derived_fact_limit_aborts_with_partial_counters() {
+        let options = EvalOptions {
+            max_derived_facts: Some(10),
+            ..EvalOptions::default()
+        };
+        let err = seminaive_evaluate(&tc_program(), &chain_edb(30), &options).unwrap_err();
+        let EvalError::LimitExceeded {
+            reason: super::super::LimitReason::DerivedFacts { limit, derived },
+            partial_stats,
+        } = err
+        else {
+            panic!("expected a derived-fact abort, got {err}");
+        };
+        assert_eq!(limit, 10);
+        assert!(derived > 10);
+        assert_eq!(partial_stats.facts_derived, derived);
+    }
+
+    #[test]
+    fn memory_budget_aborts_with_the_estimate() {
+        let options = EvalOptions {
+            memory_budget_bytes: Some(64),
+            ..EvalOptions::default()
+        };
+        let err = seminaive_evaluate(&tc_program(), &chain_edb(30), &options).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                EvalError::LimitExceeded {
+                    reason: super::super::LimitReason::MemoryBudget {
+                        budget_bytes: 64,
+                        estimated_bytes,
+                    },
+                    ..
+                } if estimated_bytes > 64
+            ),
+            "expected a memory abort, got {err}"
+        );
+    }
+
+    #[test]
+    fn limits_pass_through_when_generous() {
+        // Armed-but-unreached guardrails must not change the computed model.
+        let options = EvalOptions {
+            deadline: Some(std::time::Duration::from_secs(3600)),
+            max_derived_facts: Some(1_000_000),
+            memory_budget_bytes: Some(1 << 30),
+            cancel: Some(crate::fault::CancelToken::new()),
+            ..EvalOptions::default()
+        };
+        let governed = seminaive_evaluate(&tc_program(), &chain_edb(20), &options).unwrap();
+        let plain =
+            seminaive_evaluate(&tc_program(), &chain_edb(20), &EvalOptions::default()).unwrap();
+        assert_same_model(&governed.database, &plain.database);
+        assert!(governed.stats.cancel_checks > 0, "polls ran and passed");
+        assert_eq!(governed.stats.limit_aborts, 0);
+    }
+
+    #[test]
+    fn injected_error_fault_surfaces_at_every_site() {
+        use crate::fault::{FaultAction, FaultInjector};
+        // The join-loop site is reached once per POLL_INTERVAL candidate rows,
+        // so the evaluation must be big enough to accumulate that many rows on
+        // one rule's scratch (a 100-edge chain closes to 5050 facts).
+        for site in [FaultSite::JoinOuterLoop, FaultSite::RoundMerge] {
+            let options = EvalOptions {
+                fault_injector: Some(FaultInjector::armed(site, FaultAction::Error, 0)),
+                ..EvalOptions::default()
+            };
+            let err = seminaive_evaluate(&tc_program(), &chain_edb(100), &options).unwrap_err();
+            assert!(
+                matches!(err, EvalError::Injected { site: s } if s == site),
+                "expected an injected fault at {site}, got {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn injected_delete_faults_surface_from_retraction() {
+        use crate::fault::{FaultAction, FaultInjector};
+        for site in [FaultSite::DeleteOverdelete, FaultSite::DeleteRederive] {
+            let program = tc_program();
+            let options = EvalOptions {
+                fault_injector: Some(FaultInjector::armed(site, FaultAction::Error, 0)),
+                ..EvalOptions::default()
+            };
+            let compiled = CompiledProgram::compile(&program, &options).unwrap();
+            let mut edb = Database::new();
+            // Parallel paths so the rederive phase actually runs.
+            for &(a, b) in &[(0i64, 1i64), (1, 3), (0, 2), (2, 3)] {
+                edb.add_fact("e", &[c(a), c(b)]);
+            }
+            let mut model = seminaive_evaluate(&program, &edb, &EvalOptions::default())
+                .unwrap()
+                .database;
+            let mut seeds: FxHashMap<Symbol, Relation> = FxHashMap::default();
+            let mut seed = Relation::new(2);
+            edb.remove_fact("e", &[c(0), c(1)]);
+            seed.insert(&[c(0), c(1)]);
+            seeds.insert(Symbol::intern("e"), seed);
+            let err = seminaive_retract(&compiled, &mut model, &seeds, &edb, &options).unwrap_err();
+            assert!(
+                matches!(err, EvalError::Injected { site: s } if s == site),
+                "expected an injected fault at {site}, got {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_worker_panic_is_caught_and_structured() {
+        use crate::fault::{FaultAction, FaultInjector};
+        let options = EvalOptions {
+            fault_injector: Some(FaultInjector::armed(
+                FaultSite::JoinOuterLoop,
+                FaultAction::Panic,
+                0,
+            )),
+            ..parallel_options(4)
+        };
+        // Big enough that some worker's scratch accumulates POLL_INTERVAL
+        // candidate rows and reaches the armed join-loop site.
+        let err = seminaive_evaluate(&tc_program(), &chain_edb(100), &options).unwrap_err();
+        let EvalError::WorkerPanic {
+            message,
+            partial_stats,
+        } = err
+        else {
+            panic!("expected a caught worker panic, got {err}");
+        };
+        assert!(
+            message.contains("join-outer-loop"),
+            "panic payload must survive: {message}"
+        );
+        assert_eq!(partial_stats.worker_panics, 1);
     }
 
     #[test]

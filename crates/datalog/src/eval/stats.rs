@@ -82,6 +82,16 @@ pub struct EvalStats {
     /// Snapshot compactions performed (explicit `compact` calls plus automatic
     /// threshold-triggered ones).
     pub wal_compactions: usize,
+    /// Cooperative governance polls performed (join-loop countdown expiries plus
+    /// round-boundary checks). Zero when no limit, deadline, or cancel token is
+    /// armed — the guardrails cost nothing until someone asks for them.
+    pub cancel_checks: usize,
+    /// Evaluations aborted by a resource limit (deadline, derived-fact cap,
+    /// memory budget) or an explicit cancellation.
+    pub limit_aborts: usize,
+    /// Worker panics caught and converted into structured errors (parallel
+    /// workers or the engine's sequential containment boundary).
+    pub worker_panics: usize,
     /// Phase spans and per-rule profiles, collected when
     /// [`EvalOptions::trace`](super::EvalOptions) is on; `None` otherwise (the
     /// disabled-tracing fast path is a branch on this option).
@@ -127,6 +137,7 @@ impl EvalStats {
         self.index_probes += counters.index_probes;
         self.full_scans += counters.full_scans;
         self.membership_checks += counters.membership_checks;
+        self.cancel_checks += counters.cancel_checks;
     }
 
     /// Record one enumeration of a dying derivation by rule `rule_index` during the
@@ -199,6 +210,9 @@ impl EvalStats {
             wal_replays,
             wal_torn_truncations,
             wal_compactions,
+            cancel_checks,
+            limit_aborts,
+            worker_panics,
             profile,
         } = other;
         self.iterations = self.iterations.max(*iterations);
@@ -223,6 +237,9 @@ impl EvalStats {
         self.wal_replays += wal_replays;
         self.wal_torn_truncations += wal_torn_truncations;
         self.wal_compactions += wal_compactions;
+        self.cancel_checks += cancel_checks;
+        self.limit_aborts += limit_aborts;
+        self.worker_panics += worker_panics;
         for (&p, &n) in facts_per_predicate {
             *self.facts_per_predicate.entry(p).or_insert(0) += n;
         }
@@ -284,6 +301,13 @@ impl fmt::Display for EvalStats {
                 f,
                 "durability: {} wal appends, {} replays, {} torn-tail truncations, {} compactions",
                 self.wal_appends, self.wal_replays, self.wal_torn_truncations, self.wal_compactions
+            )?;
+        }
+        if self.cancel_checks + self.limit_aborts + self.worker_panics > 0 {
+            writeln!(
+                f,
+                "governance: {} cancel checks, {} limit aborts, {} worker panics",
+                self.cancel_checks, self.limit_aborts, self.worker_panics
             )?;
         }
         let mut preds: Vec<_> = self.facts_per_predicate.iter().collect();
@@ -398,6 +422,27 @@ mod tests {
     }
 
     #[test]
+    fn governance_counters_merge_and_display() {
+        let mut a = EvalStats::new(0);
+        a.cancel_checks = 4;
+        a.limit_aborts = 1;
+        let mut b = EvalStats::new(0);
+        b.cancel_checks = 6;
+        b.worker_panics = 2;
+        a.merge(&b);
+        assert_eq!(a.cancel_checks, 10);
+        assert_eq!(a.limit_aborts, 1);
+        assert_eq!(a.worker_panics, 2);
+        let text = format!("{a}");
+        assert!(
+            text.contains("governance: 10 cancel checks, 1 limit aborts, 2 worker panics"),
+            "{text}"
+        );
+        // Runs with no guardrails armed show no governance line.
+        assert!(!format!("{}", EvalStats::new(0)).contains("governance"));
+    }
+
+    #[test]
     fn merge_covers_every_field() {
         // Build a stats value with EVERY field populated, via a full struct
         // literal (no `..Default`): adding a field to `EvalStats` breaks this
@@ -433,6 +478,9 @@ mod tests {
                 wal_replays: seed + 23,
                 wal_torn_truncations: seed + 24,
                 wal_compactions: seed + 25,
+                cancel_checks: seed + 26,
+                limit_aborts: seed + 27,
+                worker_panics: seed + 28,
                 profile: Some(Box::new(profile)),
             }
         }
@@ -465,6 +513,9 @@ mod tests {
             wal_replays,
             wal_torn_truncations,
             wal_compactions,
+            cancel_checks,
+            limit_aborts,
+            worker_panics,
             profile,
         } = merged;
         assert_eq!(iterations, 1001, "iterations merge by max");
@@ -491,6 +542,9 @@ mod tests {
         assert_eq!(wal_replays, 123 + 1023);
         assert_eq!(wal_torn_truncations, 124 + 1024);
         assert_eq!(wal_compactions, 125 + 1025);
+        assert_eq!(cancel_checks, 126 + 1026);
+        assert_eq!(limit_aborts, 127 + 1027);
+        assert_eq!(worker_panics, 128 + 1028);
         let profile = profile.expect("profiles merge rather than drop");
         assert_eq!(profile.rules[0].firings, 2);
         assert_eq!(profile.rules[0].time_ns, 100 + 1000);

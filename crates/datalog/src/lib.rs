@@ -46,6 +46,7 @@ pub mod ast;
 pub mod cq;
 pub mod derivation;
 pub mod eval;
+pub mod fault;
 pub mod fx;
 pub mod graph;
 pub mod parser;
@@ -56,8 +57,9 @@ pub mod validate;
 pub use ast::{Atom, Const, Program, Query, Rule, Substitution, Term};
 pub use eval::{
     evaluate, evaluate_default, seminaive_resume, CompiledProgram, EvalError, EvalOptions,
-    EvalResult, EvalStats, Strategy,
+    EvalResult, EvalStats, LimitReason, Strategy,
 };
+pub use fault::{CancelToken, FaultAction, FaultInjector, FaultPoint, FaultSite};
 pub use parser::{parse_atom, parse_program, parse_query, parse_rule};
 pub use storage::{Database, Relation};
 pub use symbol::Symbol;

@@ -44,6 +44,7 @@ use std::path::{Path, PathBuf};
 
 use factorlog_datalog::ast::Const;
 use factorlog_datalog::eval::EvalOptions;
+use factorlog_datalog::fault::FaultSite;
 use factorlog_datalog::symbol::Symbol;
 
 use crate::engine::{Engine, EngineError, Snapshot, TxnOp};
@@ -408,37 +409,41 @@ impl Engine {
     /// sequence leaves a directory that recovers to exactly the same session.
     /// Errors when the session is not durable.
     pub fn compact(&mut self) -> Result<CompactReport, EngineError> {
-        let Some(dur) = self.durability.as_ref() else {
+        if self.durability.is_none() {
             return Err(EngineError::Durability(
                 "session is not durable (open it with open_durable)".to_string(),
             ));
-        };
-        let snapshot_seq = dur.next_seq - 1;
-        let log_bytes_before = dur.writer.len();
-        let dir = dur.dir.clone();
-        let fsync = dur.options.fsync;
-        let fault = dur.compaction_fault;
-        let start = self.tracing.then(std::time::Instant::now);
-
-        // Steps 1–2: stage the new snapshot and atomically cut over. After the
-        // rename the snapshot includes every logged record; the (still-untruncated)
-        // log's records are all stale and sequence-skipped by recovery.
-        let text = snapshot_text_with_seq(&self.snapshot(), snapshot_seq);
-        persist_snapshot_atomically(&dir, &text, fsync, fault)?;
-
-        // Step 3: reset the log.
-        let writer = WalWriter::create(dir.join(WAL_FILE), fsync)?;
-        let log_bytes_after = writer.len();
-        let dur = self.durability.as_mut().expect("checked durable above");
-        dur.writer = writer;
-        self.stats.wal_compactions += 1;
-        if let (Some(start), Some(metrics)) = (start, self.metrics.as_deref_mut()) {
-            metrics.compaction.record(start.elapsed());
         }
-        Ok(CompactReport {
-            log_bytes_before,
-            log_bytes_after,
-            snapshot_seq,
+        self.contained(|engine| {
+            engine.chaos_hit(FaultSite::Compaction)?;
+            let dur = engine.durability.as_ref().expect("checked durable above");
+            let snapshot_seq = dur.next_seq - 1;
+            let log_bytes_before = dur.writer.len();
+            let dir = dur.dir.clone();
+            let fsync = dur.options.fsync;
+            let fault = dur.compaction_fault;
+            let start = engine.tracing.then(std::time::Instant::now);
+
+            // Steps 1–2: stage the new snapshot and atomically cut over. After the
+            // rename the snapshot includes every logged record; the (still-untruncated)
+            // log's records are all stale and sequence-skipped by recovery.
+            let text = snapshot_text_with_seq(&engine.snapshot(), snapshot_seq);
+            persist_snapshot_atomically(&dir, &text, fsync, fault)?;
+
+            // Step 3: reset the log.
+            let writer = WalWriter::create(dir.join(WAL_FILE), fsync)?;
+            let log_bytes_after = writer.len();
+            let dur = engine.durability.as_mut().expect("checked durable above");
+            dur.writer = writer;
+            engine.stats.wal_compactions += 1;
+            if let (Some(start), Some(metrics)) = (start, engine.metrics.as_deref_mut()) {
+                metrics.compaction.record(start.elapsed());
+            }
+            Ok(CompactReport {
+                log_bytes_before,
+                log_bytes_after,
+                snapshot_seq,
+            })
         })
     }
 
@@ -449,45 +454,75 @@ impl Engine {
         &mut self,
         ops: &[(TxnOp, Symbol, Vec<Const>)],
     ) -> Result<(), EngineError> {
-        let Some(dur) = self.durability.as_mut() else {
+        if self.durability.is_none() {
             return Ok(());
-        };
-        let record = WalRecord::Txn {
-            seq: dur.next_seq,
-            ops: ops
-                .iter()
-                .map(|(op, predicate, tuple)| {
-                    let op = match op {
-                        TxnOp::Assert => WalOp::Assert,
-                        TxnOp::Retract => WalOp::Retract,
-                    };
-                    (op, *predicate, tuple.clone())
-                })
-                .collect(),
-        };
-        let start = self.tracing.then(std::time::Instant::now);
-        dur.writer.append(&record)?;
-        dur.next_seq += 1;
-        self.stats.wal_appends += 1;
-        self.record_wal_append(start);
-        Ok(())
+        }
+        self.contained(|engine| {
+            engine.chaos_hit(FaultSite::WalAppend)?;
+            engine.check_wal_not_poisoned()?;
+            let dur = engine.durability.as_mut().expect("checked durable above");
+            let record = WalRecord::Txn {
+                seq: dur.next_seq,
+                ops: ops
+                    .iter()
+                    .map(|(op, predicate, tuple)| {
+                        let op = match op {
+                            TxnOp::Assert => WalOp::Assert,
+                            TxnOp::Retract => WalOp::Retract,
+                        };
+                        (op, *predicate, tuple.clone())
+                    })
+                    .collect(),
+            };
+            let start = engine.tracing.then(std::time::Instant::now);
+            let dur = engine.durability.as_mut().expect("checked durable above");
+            dur.writer.append(&record)?;
+            dur.next_seq += 1;
+            engine.stats.wal_appends += 1;
+            engine.record_wal_append(start);
+            Ok(())
+        })
     }
 
     /// Append one absorbed source text (rules and bulk facts) to the log (no-op
     /// for in-memory sessions). Same contract as [`Engine::wal_log_txn`].
     pub(crate) fn wal_log_source(&mut self, text: &str) -> Result<(), EngineError> {
-        let Some(dur) = self.durability.as_mut() else {
+        if self.durability.is_none() {
             return Ok(());
-        };
-        let record = WalRecord::Source {
-            seq: dur.next_seq,
-            text: text.to_string(),
-        };
-        let start = self.tracing.then(std::time::Instant::now);
-        dur.writer.append(&record)?;
-        dur.next_seq += 1;
-        self.stats.wal_appends += 1;
-        self.record_wal_append(start);
+        }
+        self.contained(|engine| {
+            engine.chaos_hit(FaultSite::WalAppend)?;
+            engine.check_wal_not_poisoned()?;
+            let dur = engine.durability.as_mut().expect("checked durable above");
+            let record = WalRecord::Source {
+                seq: dur.next_seq,
+                text: text.to_string(),
+            };
+            let start = engine.tracing.then(std::time::Instant::now);
+            dur.writer.append(&record)?;
+            dur.next_seq += 1;
+            engine.stats.wal_appends += 1;
+            engine.record_wal_append(start);
+            Ok(())
+        })
+    }
+
+    /// A writer poisoned by an earlier mid-commit failure behaves like a crashed
+    /// process: every further append is rejected with a message pointing at the
+    /// recovery path (reopen the data directory, which truncates the torn
+    /// record) instead of a confusing low-level write error.
+    fn check_wal_not_poisoned(&self) -> Result<(), EngineError> {
+        let poisoned = self
+            .durability
+            .as_ref()
+            .is_some_and(|dur| dur.writer.is_poisoned());
+        if poisoned {
+            return Err(EngineError::Durability(
+                "the transaction log failed mid-commit; reopen the data directory to \
+                 recover (the torn record is discarded on replay)"
+                    .to_string(),
+            ));
+        }
         Ok(())
     }
 

@@ -26,6 +26,7 @@
 
 use std::collections::BTreeSet;
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use factorlog_core::error::TransformError;
 use factorlog_core::pipeline::{optimize_query, PipelineOptions, PreparedPlan, Strategy};
@@ -34,6 +35,7 @@ use factorlog_datalog::eval::{
     seminaive_evaluate_compiled, seminaive_resume, seminaive_retract, CompiledProgram, EvalError,
     EvalOptions, EvalStats,
 };
+use factorlog_datalog::fault::{CancelToken, FaultAction, FaultInjector, FaultSite};
 use factorlog_datalog::fx::FxHashMap;
 use factorlog_datalog::parser::{parse_program, ParseError};
 use factorlog_datalog::storage::{Database, Relation};
@@ -341,6 +343,18 @@ fn write_const(out: &mut String, value: &Const) {
     }
 }
 
+/// Render a caught panic payload: the common `&str`/`String` payloads verbatim,
+/// a placeholder otherwise (panic payloads may be any `Any` value).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic>".to_string()
+    }
+}
+
 /// What [`Engine::prepare`] did.
 #[derive(Clone, Debug)]
 pub struct PrepareReport {
@@ -489,6 +503,43 @@ impl Engine {
     /// results, so the materialized model and all cached plans stay valid.
     pub fn set_threads(&mut self, threads: usize) {
         self.options.threads = threads;
+    }
+
+    /// Set the session's resource guardrails for every subsequent evaluation:
+    /// wall-clock deadline, derived-fact cap, and estimated-memory budget (each
+    /// `None` = unlimited). Like [`Engine::set_threads`] this invalidates
+    /// nothing — guardrails decide when an evaluation is abandoned, never what
+    /// it computes, so the materialized model and all cached plans stay valid.
+    pub fn set_limits(
+        &mut self,
+        deadline: Option<std::time::Duration>,
+        max_derived_facts: Option<usize>,
+        memory_budget_bytes: Option<usize>,
+    ) {
+        self.options.deadline = deadline;
+        self.options.max_derived_facts = max_derived_facts;
+        self.options.memory_budget_bytes = memory_budget_bytes;
+    }
+
+    /// The cooperative cancellation token governing this session's evaluations,
+    /// created on first use. Clones share the flag: hand one to a signal
+    /// handler or another thread, and `cancel()` aborts the evaluation in
+    /// flight at its next poll with a structured
+    /// [`LimitExceeded`](EvalError::LimitExceeded) error. The engine never
+    /// resets the token — front ends [`reset`](CancelToken::reset) it before
+    /// each run so a stale Ctrl-C cannot cancel the next query.
+    pub fn cancel_token(&mut self) -> CancelToken {
+        self.options
+            .cancel
+            .get_or_insert_with(CancelToken::new)
+            .clone()
+    }
+
+    /// Arm (or disarm) the chaos-test fault injector threaded through every
+    /// evaluation and durable-write site of this session (see
+    /// [`FaultSite`]). Test harness only; invalidates nothing.
+    pub fn set_fault_injector(&mut self, injector: Option<FaultInjector>) {
+        self.options.fault_injector = injector;
     }
 
     /// The pipeline options used to prepare queries.
@@ -963,14 +1014,11 @@ impl Engine {
         }
 
         // Maintain the materialized model, if one exists. The fact store is already
-        // committed; an evaluation error here degrades to dropping the model (the
-        // next query rebuilds it from the — consistent — fact store).
+        // committed; an evaluation error (or a caught panic) here degrades to
+        // dropping the model via the containment boundary — the next query rebuilds
+        // it from the — consistent — fact store.
         if self.model.is_some() && !seeds.is_empty() {
-            if let Err(error) = self.propagate_retractions(&seeds) {
-                self.model = None;
-                self.pending.clear();
-                return Err(error);
-            }
+            self.contained(|engine| engine.propagate_retractions(&seeds))?;
         }
         if let Some(model) = &mut self.model {
             for (target, tuple) in new_facts {
@@ -1077,6 +1125,75 @@ impl Engine {
         Ok(engine)
     }
 
+    /// Run one evaluation (or durably-logged mutation) step under the engine's
+    /// fault-containment boundary, enforcing the session invariant: **any
+    /// failed evaluation — limit, cancellation, caught panic, injected fault —
+    /// drops the materialized view; the fact store stays the source of
+    /// truth.** A panic escaping `body` (an injected `Panic`-action fault, or
+    /// a genuine bug on the sequential path — parallel workers are already
+    /// caught one level down) is converted to [`EvalError::WorkerPanic`].
+    /// `AssertUnwindSafe` is sound because the poisoned half-state (a
+    /// partially maintained model, partial pending deltas) is exactly what the
+    /// invariant discards.
+    pub(crate) fn contained<T>(
+        &mut self,
+        body: impl FnOnce(&mut Engine) -> Result<T, EngineError>,
+    ) -> Result<T, EngineError> {
+        let caught = {
+            let this = &mut *self;
+            catch_unwind(AssertUnwindSafe(|| body(this)))
+        };
+        let result = match caught {
+            Ok(inner) => {
+                // A successful run merges its counters at the call site; an
+                // aborted one only carries them inside the error. Fold those
+                // partial counters into the session stats so `:stats` shows
+                // the work (and the abort) the failed evaluation did.
+                if let Err(EngineError::Eval(
+                    EvalError::LimitExceeded { partial_stats, .. }
+                    | EvalError::WorkerPanic { partial_stats, .. },
+                )) = &inner
+                {
+                    self.stats.merge(partial_stats);
+                }
+                inner
+            }
+            Err(payload) => {
+                self.stats.worker_panics += 1;
+                Err(EngineError::Eval(EvalError::WorkerPanic {
+                    message: panic_message(payload.as_ref()),
+                    // Already the session stats — nothing further to merge.
+                    partial_stats: Box::new(self.stats.clone()),
+                }))
+            }
+        };
+        // Only evaluation failures taint the view. Validation and durability
+        // errors abort *before* any state mutation (write-ahead discipline),
+        // so the model is still consistent with the fact store there.
+        if matches!(result, Err(EngineError::Eval(_))) {
+            self.model = None;
+            self.pending.clear();
+        }
+        result
+    }
+
+    /// Report reaching an engine-level chaos site (WAL append, compaction). A
+    /// no-op unless the session's fault injector is armed there; an
+    /// `Error`-action fault aborts the operation with a structured error
+    /// (before any state was mutated — the sites sit at the top of the
+    /// write-ahead path), a `Panic`-action fault panics and is converted by
+    /// the [`Engine::contained`] boundary of the enclosing operation.
+    pub(crate) fn chaos_hit(&mut self, site: FaultSite) -> Result<(), EngineError> {
+        let Some(injector) = &self.options.fault_injector else {
+            return Ok(());
+        };
+        match injector.hit(site) {
+            None => Ok(()),
+            Some(FaultAction::Error) => Err(EngineError::Eval(EvalError::Injected { site })),
+            Some(FaultAction::Panic) => panic!("injected fault ({site})"),
+        }
+    }
+
     /// Bring the materialized model up to date: full evaluation the first time,
     /// seeded-delta resume afterwards.
     fn refresh(&mut self) -> Result<(), EngineError> {
@@ -1107,7 +1224,7 @@ impl Engine {
     /// propagated first via incremental delta rounds.
     pub fn query(&mut self, query: &Query) -> Result<Vec<Vec<Const>>, EngineError> {
         let start = self.tracing.then(std::time::Instant::now);
-        self.refresh()?;
+        self.contained(Engine::refresh)?;
         let answers = self
             .model
             .as_ref()
@@ -1209,8 +1326,11 @@ impl Engine {
     pub fn query_prepared(&mut self, query: &Query) -> Result<Vec<Vec<Const>>, EngineError> {
         let start = self.tracing.then(std::time::Instant::now);
         let (plan, _) = self.prepared_plan(query)?;
-        let result = plan.evaluate(&self.edb, &self.options)?;
-        self.stats.merge(&result.stats);
+        let result = self.contained(|engine| {
+            let result = plan.evaluate(&engine.edb, &engine.options)?;
+            engine.stats.merge(&result.stats);
+            Ok(result)
+        })?;
         let answers = result.answers(plan.query());
         if let (Some(start), Some(metrics)) = (start, self.metrics.as_deref_mut()) {
             metrics.query_latency.record(start.elapsed());

@@ -84,5 +84,6 @@ pub use engine::{
 pub use metrics::{EngineMetrics, METRICS_JSON_VERSION};
 pub use repl::{Repl, ReplAction};
 
-pub use factorlog_datalog::eval::{EvalOptions, EvalStats};
+pub use factorlog_datalog::eval::{EvalError, EvalOptions, EvalStats, LimitReason};
+pub use factorlog_datalog::fault::{CancelToken, FaultAction, FaultInjector, FaultSite};
 pub use factorlog_datalog::storage::Database;

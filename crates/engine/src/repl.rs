@@ -25,12 +25,14 @@
 //! ```
 
 use std::fmt::Write as _;
+use std::time::Duration;
 
 use factorlog_datalog::ast::{Atom, Query};
+use factorlog_datalog::eval::{EvalError, LimitReason};
 use factorlog_datalog::parser::{parse_atom, parse_query};
 
 use crate::durability::DurabilityOptions;
-use crate::engine::{is_snapshot_text, Engine, Snapshot};
+use crate::engine::{is_snapshot_text, Engine, EngineError, Snapshot};
 
 /// The outcome of executing one REPL line.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -74,6 +76,12 @@ commands:
   ?- <query>.      answer a query; replays the prepared plan when one is cached
   :threads [N]     show or set evaluation worker threads (1 = sequential, 0 = cores);
                    parallel evaluation is bit-identical to sequential, only faster
+  :limit [time <ms> | facts <n> | mem <bytes> | off]
+                   show or set the session's evaluation guardrails: wall-clock
+                   deadline, derived-fact cap, estimated-memory budget. A tripped
+                   guardrail aborts the query with a structured error and the
+                   session stays usable; :limit off clears all three. Ctrl-C
+                   during a query cancels it the same way.
   :stats           cumulative session statistics, grouped by subsystem
                    (eval, joins, parallel, mutations, wal)
   :profile [on|off|show]  enable/disable tracing, or show the collected
@@ -155,6 +163,7 @@ impl Repl {
                 "abort" | "rollback" => self.abort().map(ReplAction::Output),
                 "prepare" => self.prepare(argument).map(ReplAction::Output),
                 "threads" => self.threads(argument).map(ReplAction::Output),
+                "limit" => self.limit(argument).map(ReplAction::Output),
                 "stats" => Ok(ReplAction::Output(self.stats())),
                 "profile" => self.profile(argument).map(ReplAction::Output),
                 "metrics" => Ok(ReplAction::Output(self.engine.metrics_json())),
@@ -376,17 +385,86 @@ impl Repl {
         Ok(describe(&self.engine))
     }
 
+    /// `:limit`: show or set the session's evaluation guardrails. Each
+    /// invocation adjusts one axis and leaves the others alone; `:limit off`
+    /// clears all three.
+    fn limit(&mut self, arg: &str) -> Result<String, String> {
+        let options = self.engine.options();
+        let (mut deadline, mut facts, mut mem) = (
+            options.deadline,
+            options.max_derived_facts,
+            options.memory_budget_bytes,
+        );
+        let (kind, value) = match arg.split_once(char::is_whitespace) {
+            Some((k, v)) => (k, v.trim()),
+            None => (arg, ""),
+        };
+        let parse = |what: &str, value: &str| -> Result<u64, String> {
+            value
+                .parse()
+                .map_err(|_| format!("`:limit {what}` expects a positive number, got `{value}`"))
+        };
+        match kind {
+            "" => {}
+            "off" => (deadline, facts, mem) = (None, None, None),
+            "time" => deadline = Some(Duration::from_millis(parse("time", value)?)),
+            "facts" => facts = Some(parse("facts", value)? as usize),
+            "mem" => mem = Some(parse("mem", value)? as usize),
+            other => return Err(format!(
+                "`:limit` expects `time <ms>`, `facts <n>`, `mem <bytes>`, or `off`, got `{other}`"
+            )),
+        }
+        self.engine.set_limits(deadline, facts, mem);
+        Ok(format!("limits: {}", Self::describe_limits(&self.engine)))
+    }
+
+    fn describe_limits(engine: &Engine) -> String {
+        let options = engine.options();
+        let mut parts = Vec::new();
+        if let Some(d) = options.deadline {
+            parts.push(format!("time {}ms", d.as_millis()));
+        }
+        if let Some(n) = options.max_derived_facts {
+            parts.push(format!("facts {n}"));
+        }
+        if let Some(b) = options.memory_budget_bytes {
+            parts.push(format!("mem {b} byte(s)"));
+        }
+        if parts.is_empty() {
+            "none".to_string()
+        } else {
+            parts.join(", ")
+        }
+    }
+
     fn run_query(&mut self, text: &str) -> Result<String, String> {
         let query = Self::parse_query_text(text)?;
-        let (answers, label) = if self.engine.has_prepared(&query) {
-            let answers = self
-                .engine
-                .query_prepared(&query)
-                .map_err(|e| e.to_string())?;
-            (answers, "prepared")
+        // A stale Ctrl-C (one that landed after the previous query already
+        // finished) must not cancel this run: reset the shared token first.
+        if let Some(token) = &self.engine.options().cancel {
+            token.reset();
+        }
+        let started = std::time::Instant::now();
+        let (result, label) = if self.engine.has_prepared(&query) {
+            (self.engine.query_prepared(&query), "prepared")
         } else {
-            let answers = self.engine.query(&query).map_err(|e| e.to_string())?;
-            (answers, "materialized")
+            (self.engine.query(&query), "materialized")
+        };
+        let answers = match result {
+            Ok(answers) => answers,
+            // A Ctrl-C cancellation is the user's own request, not a fault:
+            // report it as plain output, with how far the query got.
+            Err(EngineError::Eval(EvalError::LimitExceeded {
+                reason: LimitReason::Cancelled,
+                partial_stats,
+            })) => {
+                return Ok(format!(
+                    "cancelled after {:.1?} ({} fact(s) derived; model dropped, facts intact)",
+                    started.elapsed(),
+                    partial_stats.facts_derived,
+                ))
+            }
+            Err(e) => return Err(e.to_string()),
         };
 
         // Distinct free variables in first-occurrence order — matches the projection
@@ -467,6 +545,14 @@ impl Repl {
             },
             if self.engine.tracing() { "on" } else { "off" },
         );
+        let _ = writeln!(out, "  limits: {}", Self::describe_limits(&self.engine));
+        if stats.cancel_checks + stats.limit_aborts + stats.worker_panics > 0 {
+            let _ = writeln!(
+                out,
+                "  governance: {} cancel check(s), {} limit abort(s), {} worker panic(s)",
+                stats.cancel_checks, stats.limit_aborts, stats.worker_panics
+            );
+        }
         let mut preds: Vec<_> = stats.facts_per_predicate.iter().collect();
         preds.sort_by_key(|(p, _)| p.as_str());
         for (p, n) in preds {
@@ -842,6 +928,104 @@ mod tests {
         assert!(stats.contains("threads: 4 configured"), "{stats}");
         assert!(stats.contains("parallel rounds:"), "{stats}");
         assert!(stats.contains("literal reorders:"), "{stats}");
+    }
+
+    #[test]
+    fn limit_command_round_trips() {
+        let mut repl = Repl::new();
+        assert_eq!(output(&mut repl, ":limit"), "limits: none");
+        assert_eq!(output(&mut repl, ":limit time 250"), "limits: time 250ms");
+        assert_eq!(
+            output(&mut repl, ":limit facts 1000"),
+            "limits: time 250ms, facts 1000"
+        );
+        assert_eq!(
+            output(&mut repl, ":limit mem 1048576"),
+            "limits: time 250ms, facts 1000, mem 1048576 byte(s)"
+        );
+        let stats = output(&mut repl, ":stats");
+        assert!(
+            stats.contains("limits: time 250ms, facts 1000, mem 1048576 byte(s)"),
+            "{stats}"
+        );
+        assert_eq!(output(&mut repl, ":limit off"), "limits: none");
+        assert!(output(&mut repl, ":limit nope").starts_with("error:"));
+        assert!(output(&mut repl, ":limit time soon").starts_with("error:"));
+        assert!(output(&mut repl, ":help").contains(":limit"));
+    }
+
+    #[test]
+    fn tripped_limit_aborts_the_query_and_the_session_stays_usable() {
+        let mut repl = Repl::new();
+        output(
+            &mut repl,
+            "counter(N) :- seed(N).\ncounter(M) :- counter(N), succ(N, M).",
+        );
+        output(&mut repl, ":insert seed(0).");
+        output(&mut repl, ":limit facts 100");
+        let message = output(&mut repl, "?- counter(X).");
+        assert!(message.starts_with("error:"), "{message}");
+        assert!(message.contains("derived-fact limit"), "{message}");
+        let stats = output(&mut repl, ":stats");
+        assert!(stats.contains("limit abort(s)"), "{stats}");
+        // The session survives the abort: drop the divergent seed and query again.
+        assert!(output(&mut repl, ":retract seed(0).").contains("retracted"));
+        output(&mut repl, ":limit off");
+        assert!(output(&mut repl, "?- counter(X).").contains("% 0 answer(s)"));
+    }
+
+    #[test]
+    fn cancellation_mid_query_returns_to_the_prompt() {
+        let mut repl = Repl::new();
+        output(
+            &mut repl,
+            "counter(N) :- seed(N).\ncounter(M) :- counter(N), succ(N, M).",
+        );
+        output(&mut repl, ":insert seed(0).");
+        // Simulate Ctrl-C: a clone of the session token cancelled from another
+        // thread while the (unbounded) query runs.
+        let token = repl.engine_mut().cancel_token();
+        let canceller = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            token.cancel();
+        });
+        let message = output(&mut repl, "?- counter(X).");
+        canceller.join().unwrap();
+        assert!(message.starts_with("cancelled after"), "{message}");
+        assert!(message.contains("facts intact"), "{message}");
+        // The still-set token is stale now; the next query resets it instead of
+        // dying instantly, and the session keeps answering.
+        assert!(output(&mut repl, ":retract seed(0).").contains("retracted"));
+        assert!(output(&mut repl, "?- counter(X).").contains("% 0 answer(s)"));
+    }
+
+    #[test]
+    fn poisoned_wal_names_the_recovery_path_and_reopen_recovers() {
+        let dir =
+            std::env::temp_dir().join(format!("factorlog_repl_poison_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let dir_arg = dir.display().to_string();
+        let mut repl = Repl::new();
+        output(&mut repl, &format!(":open {dir_arg}"));
+        output(&mut repl, "t(X, Y) :- e(X, Y).");
+        output(&mut repl, ":insert e(1, 2).");
+        // Arm a byte-budget crash in the log writer: the next append tears
+        // mid-record and poisons the writer, as a real crash would.
+        assert!(repl
+            .engine_mut()
+            .set_wal_fault(Some(crate::wal::FaultPoint { budget: 4 })));
+        assert!(output(&mut repl, ":insert e(2, 3).").starts_with("error:"));
+        // Regression: the poisoned writer used to be a dead end (every later
+        // mutation kept failing with the raw injected-write error). It must now
+        // name the recovery path instead.
+        let blocked = output(&mut repl, ":insert e(3, 4).");
+        assert!(blocked.contains("reopen the data directory"), "{blocked}");
+        // :open on the same directory truncates the torn record and recovers.
+        let reopened = output(&mut repl, &format!(":open {dir_arg}"));
+        assert!(reopened.contains("opened durable session"), "{reopened}");
+        assert_eq!(output(&mut repl, ":insert e(2, 3)."), "inserted e(2, 3)");
+        assert!(output(&mut repl, "?- t(2, Y).").contains("Y = 3"));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

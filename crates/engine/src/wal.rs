@@ -322,11 +322,11 @@ impl<'a> Cursor<'a> {
 /// — exactly what a process killed mid-`write(2)` leaves on disk. Budgets at record
 /// boundaries simulate kills between commits; budgets inside a record simulate torn
 /// writes.
-#[derive(Clone, Copy, Debug)]
-pub struct FaultPoint {
-    /// Bytes the writer is still allowed to persist before "crashing".
-    pub budget: u64,
-}
+///
+/// Defined in the shared `factorlog_datalog::fault` module since the engine-wide
+/// chaos harness landed; re-exported here where the WAL's crash-injection tests
+/// have always found it.
+pub use factorlog_datalog::fault::FaultPoint;
 
 /// The append side of the log: owns the file handle, tracks the append offset, and
 /// optionally fsyncs after every record.
@@ -417,6 +417,13 @@ impl WalWriter {
     /// Arm (or disarm) the crash-injection point. Test harness only.
     pub fn set_fault(&mut self, fault: Option<FaultPoint>) {
         self.fault = fault;
+    }
+
+    /// Did an earlier append fail mid-write, leaving the writer unusable (as a
+    /// crashed process would be)? A poisoned writer rejects every further
+    /// append; reopening the directory recovers (the torn tail is truncated).
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
     }
 
     /// Wall time, in nanoseconds, of the fsync performed by the most recent

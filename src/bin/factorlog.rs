@@ -278,6 +278,46 @@ fn run(options: &CliOptions) -> Result<(), String> {
     Ok(())
 }
 
+/// Ctrl-C support for interactive sessions: a SIGINT handler that sets the
+/// engine's shared [`CancelToken`] instead of killing the process. The running
+/// evaluation notices at its next cooperative poll (a bounded number of join
+/// rows away), aborts with a structured error, and the REPL prints
+/// `cancelled after …` and returns to the prompt. Raw `signal(2)` FFI — no
+/// crate dependency; glibc's `signal` installs BSD (`SA_RESTART`) semantics,
+/// so a Ctrl-C at the prompt does not kill the blocking `read_line` either.
+#[cfg(unix)]
+mod sigint {
+    use std::sync::OnceLock;
+
+    use factorlog::prelude::CancelToken;
+
+    static TOKEN: OnceLock<CancelToken> = OnceLock::new();
+
+    const SIGINT: i32 = 2;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    /// The handler body is async-signal-safe: `OnceLock::get` is one atomic
+    /// load of an initialized-flag, and [`CancelToken::cancel`] one relaxed
+    /// atomic store. No allocation, locking, or I/O.
+    extern "C" fn handle(_signum: i32) {
+        if let Some(token) = TOKEN.get() {
+            token.cancel();
+        }
+    }
+
+    /// Install the handler, cancelling `token` on every SIGINT. Idempotent;
+    /// only the first token is retained.
+    pub fn install(token: CancelToken) {
+        let _ = TOKEN.set(token);
+        unsafe {
+            signal(SIGINT, handle as *const () as usize);
+        }
+    }
+}
+
 /// Run the interactive REPL; `options.data_dir` (when given) makes the session
 /// durable, and `options.file` is loaded into it first.
 fn run_repl(options: &ReplOptions) -> Result<(), String> {
@@ -297,7 +337,13 @@ fn run_repl(options: &ReplOptions) -> Result<(), String> {
     if options.metrics_json.is_some() {
         repl.engine_mut().set_tracing(true);
     }
-    println!("factorlog repl — :help for commands, :quit to leave");
+    // Ctrl-C cancels the running query (cooperatively, via the session's
+    // shared token) instead of killing the session.
+    #[cfg(unix)]
+    sigint::install(repl.engine_mut().cancel_token());
+    println!(
+        "factorlog repl — :help for commands, :quit to leave (Ctrl-C cancels a running query)"
+    );
     if let Some(path) = &options.file {
         match repl.execute(&format!(":load {path}")) {
             ReplAction::Output(message) => println!("{message}"),

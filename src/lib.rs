@@ -57,14 +57,15 @@ pub mod prelude {
     pub use factorlog_datalog::ast::{Atom, Const, Program, Query, Rule, Term};
     pub use factorlog_datalog::eval::{
         evaluate, evaluate_default, seminaive_resume, seminaive_retract, CompiledProgram,
-        EvalOptions, EvalResult, EvalStats, Strategy as EvalStrategy,
+        EvalError, EvalOptions, EvalResult, EvalStats, Strategy as EvalStrategy,
     };
     pub use factorlog_datalog::parser::{parse_atom, parse_program, parse_query, parse_rule};
     pub use factorlog_datalog::storage::Database;
     pub use factorlog_datalog::Symbol;
     pub use factorlog_engine::{
-        CompactionFault, DurabilityOptions, Engine, EngineError, RecoveryReport, Repl, ReplAction,
-        Snapshot, Txn, TxnSummary,
+        CancelToken, CompactionFault, DurabilityOptions, Engine, EngineError, FaultAction,
+        FaultInjector, FaultSite, LimitReason, RecoveryReport, Repl, ReplAction, Snapshot, Txn,
+        TxnSummary,
     };
 }
 
