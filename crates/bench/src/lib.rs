@@ -1668,3 +1668,318 @@ pub mod observability {
         }
     }
 }
+
+/// The `concurrent` measurement suite: the workload behind the checked-in
+/// `BENCH_concurrent.json` baseline and the `report --json concurrent` mode. A served
+/// engine ([`factorlog_engine::serve`]) answers point queries from 1/4/16 reader
+/// connections while [`concurrent::WRITERS`] writer connections sustain a mutation
+/// stream of single-edge transactions; the suite itself asserts the acceptance
+/// invariants — every reader observes the same full answer set on every query
+/// (snapshot isolation under concurrent writes), every acknowledged transaction is
+/// durable across a restart, and the group-commit pipeline shares each fsync across
+/// at least two transactions under the concurrent stream.
+pub mod concurrent {
+    use std::net::SocketAddr;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    use factorlog_datalog::fx::fx_hash_one;
+    use factorlog_engine::{serve, Client, DurabilityOptions, Engine, ServerOptions};
+    use factorlog_workloads::programs;
+
+    use crate::parallel::database_checksum;
+
+    /// Reader connection counts measured by the suite.
+    pub const CONNECTIONS: [usize; 3] = [1, 4, 16];
+    /// Writer connections sustaining the mutation stream during every run.
+    pub const WRITERS: usize = 4;
+    /// Acceptance floor: transactions per WAL fsync under the concurrent stream.
+    pub const BATCHING_FLOOR: f64 = 2.0;
+
+    /// One measured scenario (one reader connection count, writers held constant).
+    #[derive(Clone, Debug)]
+    pub struct ConcurrentMeasurement {
+        /// Scenario id (stable across runs; keys of `BENCH_concurrent.json`).
+        pub name: String,
+        /// Reader connections issuing point queries.
+        pub connections: usize,
+        /// Point queries answered across all readers.
+        pub queries: usize,
+        /// Point queries answered per second of reader wall-clock.
+        pub qps: f64,
+        /// Rows every reply carried — the full `t(0, Y)` answer set.
+        pub rows_per_query: usize,
+        /// Order-sensitive checksum of the reply rows — identical for every query
+        /// of every run (the mutation stream touches a disjoint id range).
+        pub row_checksum: u64,
+        /// Transactions the writers streamed and the server acknowledged.
+        pub txns_committed: usize,
+        /// Group commits (one WAL fsync each) those transactions rode through.
+        pub group_commits: u64,
+        /// Transactions covered by those group commits.
+        pub group_txns: u64,
+        /// Batching factor `group_txns / group_commits` — asserted ≥ 2.
+        pub txns_per_fsync: f64,
+        /// Checksum of the engine's facts after shutdown — asserted equal to a
+        /// fresh recovery of the data directory (every ack was durable).
+        pub facts_checksum: u64,
+    }
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        static COUNTER: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+        let n = COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "factorlog_bench_concurrent_{tag}_{}_{n}",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    /// Order-sensitive digest of a reply's rendered rows.
+    fn rows_checksum(rows: &[String]) -> u64 {
+        let mut checksum = 0u64;
+        for row in rows {
+            checksum = checksum
+                .wrapping_mul(1_000_003)
+                .wrapping_add(fx_hash_one(&row.as_str()));
+        }
+        checksum
+    }
+
+    /// Serve a durable TC session over an `n`-edge chain and hammer it: `conns`
+    /// readers issue `queries_per_reader` point queries each while [`WRITERS`]
+    /// writer connections stream disjoint-range edge transactions (at least
+    /// `min_txns` each, then until the readers finish).
+    fn measure_run(
+        conns: usize,
+        n: i64,
+        queries_per_reader: usize,
+        min_txns: usize,
+    ) -> ConcurrentMeasurement {
+        let dir = scratch_dir(&format!("{conns}conn"));
+        let options = DurabilityOptions {
+            fsync: true,
+            compact_threshold: u64::MAX,
+        };
+        let mut engine = Engine::open_durable_with(&dir, options).expect("durable open");
+        let mut source = String::from(programs::RIGHT_LINEAR_TC);
+        source.push('\n');
+        for i in 0..n {
+            use std::fmt::Write as _;
+            let _ = writeln!(source, "e({i}, {}).", i + 1);
+        }
+        engine.load_source(&source).expect("bulk load");
+        let handle = serve(
+            engine,
+            "127.0.0.1:0",
+            ServerOptions {
+                group_window: Duration::from_millis(2),
+                ..ServerOptions::default()
+            },
+        )
+        .expect("serve");
+        let addr: SocketAddr = handle.addr();
+
+        let mut control = Client::connect(addr).expect("control connect");
+        let before = control.stats().expect("baseline stats");
+
+        // The mutation stream: edges in an id range disjoint from (and unreachable
+        // by) the chain, so reader answers stay byte-identical throughout.
+        let stop = Arc::new(AtomicBool::new(false));
+        let writers: Vec<_> = (0..WRITERS)
+            .map(|w| {
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut client = Client::connect(addr).expect("writer connect");
+                    let mut committed = 0usize;
+                    while committed < min_txns || !stop.load(Ordering::Relaxed) {
+                        let a = 1_000_000 + (w as i64) * 100_000 + committed as i64;
+                        let b = a + 10_000_000;
+                        client
+                            .txn_with_retry(&format!("+e({a}, {b})"), 8)
+                            .expect("writer txn acknowledged");
+                        committed += 1;
+                    }
+                    client.quit();
+                    committed
+                })
+            })
+            .collect();
+
+        let start = Instant::now();
+        let readers: Vec<_> = (0..conns)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    let mut client = Client::connect(addr).expect("reader connect");
+                    let mut shape: Option<(usize, u64)> = None;
+                    for _ in 0..queries_per_reader {
+                        let reply = client.query_with_retry("t(0, Y)", 8).expect("point query");
+                        let got = (reply.rows.len(), rows_checksum(&reply.rows));
+                        match shape {
+                            Some(first) => assert_eq!(
+                                first, got,
+                                "reader answers must not vary under the mutation stream"
+                            ),
+                            None => shape = Some(got),
+                        }
+                    }
+                    client.quit();
+                    shape.expect("at least one query")
+                })
+            })
+            .collect();
+        let shapes: Vec<(usize, u64)> = readers
+            .into_iter()
+            .map(|r| r.join().expect("reader thread"))
+            .collect();
+        let elapsed = start.elapsed().as_secs_f64();
+        stop.store(true, Ordering::Relaxed);
+        let txns_committed: usize = writers
+            .into_iter()
+            .map(|w| w.join().expect("writer thread"))
+            .sum();
+
+        let (rows_per_query, row_checksum) = shapes[0];
+        for &shape in &shapes {
+            assert_eq!(shape, shapes[0], "all readers must agree on the answer set");
+        }
+        assert_eq!(
+            rows_per_query, n as usize,
+            "the full t(0, Y) answer set is served on every query"
+        );
+
+        let after = control.stats().expect("final stats");
+        control.quit();
+        let group_commits = after.group_commits - before.group_commits;
+        let group_txns = after.group_txns - before.group_txns;
+        assert_eq!(
+            group_txns as usize, txns_committed,
+            "every acknowledged transaction rode a group commit"
+        );
+        assert_eq!(
+            after.epoch,
+            before.epoch + txns_committed as u64,
+            "each committed transaction advances the epoch exactly once"
+        );
+        let txns_per_fsync = group_txns as f64 / group_commits.max(1) as f64;
+        assert!(
+            txns_per_fsync >= BATCHING_FLOOR,
+            "group commit must share fsyncs under a concurrent stream \
+             ({group_txns} txns over {group_commits} fsyncs)"
+        );
+
+        let report = handle.shutdown();
+        assert!(report.drained_cleanly, "all clients had already quit");
+        let facts_checksum = database_checksum(report.engine.facts());
+        drop(report); // releases the data-directory lock
+        let recovered = Engine::open_durable(&dir).expect("recovery");
+        assert_eq!(
+            database_checksum(recovered.facts()),
+            facts_checksum,
+            "recovery must reproduce every acknowledged transaction"
+        );
+        drop(recovered);
+        std::fs::remove_dir_all(&dir).ok();
+
+        let queries = conns * queries_per_reader;
+        ConcurrentMeasurement {
+            name: format!("point_query_{conns}_conn"),
+            connections: conns,
+            queries,
+            qps: queries as f64 / elapsed,
+            rows_per_query,
+            row_checksum,
+            txns_committed,
+            group_commits,
+            group_txns,
+            txns_per_fsync,
+            facts_checksum,
+        }
+    }
+
+    /// Run the whole suite. `quick` shrinks the chain and per-reader query counts
+    /// to a smoke test; every isolation/durability/batching assertion runs either
+    /// way.
+    pub fn run_suite(quick: bool) -> Vec<ConcurrentMeasurement> {
+        let (n, queries_per_reader, min_txns) = if quick {
+            (30i64, 25usize, 5usize)
+        } else {
+            (200, 200, 25)
+        };
+        let mut out = Vec::new();
+        for &conns in &CONNECTIONS {
+            let m = measure_run(conns, n, queries_per_reader, min_txns);
+            if let Some(first) = out.first() {
+                let first: &ConcurrentMeasurement = first;
+                assert_eq!(
+                    m.row_checksum, first.row_checksum,
+                    "the served answer set is independent of the connection count"
+                );
+            }
+            out.push(m);
+        }
+        out
+    }
+
+    /// Render the suite results as a JSON object (manual formatting keeps the
+    /// workspace dependency-free). `quick` marks smoke runs on shrunken workloads.
+    pub fn to_json(results: &[ConcurrentMeasurement], quick: bool) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("{\n");
+        out.push_str(&crate::host_json(
+            factorlog_engine::EvalOptions::default().threads,
+        ));
+        let _ = writeln!(
+            out,
+            "  \"writers\": {WRITERS},\n  \"batching_floor_txns_per_fsync\": {BATCHING_FLOOR},"
+        );
+        if quick {
+            out.push_str(
+                "  \"quick\": true,\n  \"warning\": \"smoke run on shrunken workloads — not comparable to BENCH_concurrent.json\",\n",
+            );
+        }
+        for (i, m) in results.iter().enumerate() {
+            let _ = write!(
+                out,
+                "  \"{}\": {{\"connections\": {}, \"qps\": {:.1}, \"queries\": {}, \"rows_per_query\": {}, \"row_checksum\": {}, \"txns_committed\": {}, \"group_commits\": {}, \"group_txns\": {}, \"txns_per_fsync\": {:.2}, \"facts_checksum\": {}}}",
+                m.name,
+                m.connections,
+                m.qps,
+                m.queries,
+                m.rows_per_query,
+                m.row_checksum,
+                m.txns_committed,
+                m.group_commits,
+                m.group_txns,
+                m.txns_per_fsync,
+                m.facts_checksum
+            );
+            out.push_str(if i + 1 == results.len() { "\n" } else { ",\n" });
+        }
+        out.push('}');
+        out
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn quick_suite_batches_fsyncs_and_agrees_on_answers() {
+            // measure_run asserts snapshot isolation, epoch accounting, durability
+            // and the batching floor internally; surviving the call IS the test.
+            let results = super::run_suite(true);
+            assert_eq!(results.len(), 3);
+            for m in &results {
+                assert!(m.txns_per_fsync >= super::BATCHING_FLOOR, "{m:?}");
+                assert!(m.qps > 0.0, "{m:?}");
+                assert_eq!(m.row_checksum, results[0].row_checksum);
+            }
+            let json = super::to_json(&results, true);
+            assert!(json.contains("point_query_16_conn"));
+            assert!(json.contains("\"writers\": 4"));
+            assert!(json.contains("\"quick\": true"));
+        }
+    }
+}

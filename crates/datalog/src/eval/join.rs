@@ -357,6 +357,7 @@ impl Governor {
                 stats.limit_aborts += 1;
                 Err(EvalError::LimitExceeded {
                     reason,
+                    elapsed: self.started.elapsed(),
                     partial_stats: Box::new(stats.clone()),
                 })
             }

@@ -68,6 +68,9 @@ pub enum EvalError {
     LimitExceeded {
         /// Which guardrail fired.
         reason: LimitReason,
+        /// Wall time from the start of the evaluation to the abort, so callers
+        /// (server responses, `:stats`) can report it without re-timing.
+        elapsed: std::time::Duration,
         /// Counters collected up to the abort (boxed: errors stay small).
         partial_stats: Box<EvalStats>,
     },
@@ -156,8 +159,10 @@ impl fmt::Display for EvalError {
             EvalError::IterationLimit { limit } => {
                 write!(f, "evaluation did not converge within {limit} iterations")
             }
-            EvalError::LimitExceeded { reason, .. } => {
-                write!(f, "evaluation aborted: {reason}")
+            EvalError::LimitExceeded {
+                reason, elapsed, ..
+            } => {
+                write!(f, "evaluation aborted after {elapsed:.1?}: {reason}")
             }
             EvalError::WorkerPanic { message, .. } => {
                 write!(f, "evaluation worker panicked: {message}")

@@ -2000,6 +2000,7 @@ mod tests {
         let took = start.elapsed();
         let EvalError::LimitExceeded {
             reason: super::super::LimitReason::Deadline { budget, elapsed },
+            elapsed: reported,
             partial_stats,
         } = err
         else {
@@ -2007,6 +2008,10 @@ mod tests {
         };
         assert_eq!(budget, deadline);
         assert!(elapsed >= deadline);
+        assert!(
+            reported >= deadline && reported <= took,
+            "top-level elapsed must cover the deadline without exceeding the wall clock"
+        );
         assert!(
             partial_stats.cancel_checks > 0,
             "the poll did the detecting"
@@ -2052,6 +2057,7 @@ mod tests {
         let EvalError::LimitExceeded {
             reason: super::super::LimitReason::DerivedFacts { limit, derived },
             partial_stats,
+            ..
         } = err
         else {
             panic!("expected a derived-fact abort, got {err}");

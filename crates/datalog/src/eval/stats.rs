@@ -82,6 +82,13 @@ pub struct EvalStats {
     /// Snapshot compactions performed (explicit `compact` calls plus automatic
     /// threshold-triggered ones).
     pub wal_compactions: usize,
+    /// Group commits performed: log appends that made a whole batch of
+    /// concurrently submitted transactions durable under a single fsync.
+    pub wal_group_commits: usize,
+    /// Transactions committed through group commits (the per-group batch sizes
+    /// summed; `wal_group_txns / wal_group_commits` is the mean batching
+    /// factor an fsync amortized over).
+    pub wal_group_txns: usize,
     /// Cooperative governance polls performed (join-loop countdown expiries plus
     /// round-boundary checks). Zero when no limit, deadline, or cancel token is
     /// armed — the guardrails cost nothing until someone asks for them.
@@ -210,6 +217,8 @@ impl EvalStats {
             wal_replays,
             wal_torn_truncations,
             wal_compactions,
+            wal_group_commits,
+            wal_group_txns,
             cancel_checks,
             limit_aborts,
             worker_panics,
@@ -237,6 +246,8 @@ impl EvalStats {
         self.wal_replays += wal_replays;
         self.wal_torn_truncations += wal_torn_truncations;
         self.wal_compactions += wal_compactions;
+        self.wal_group_commits += wal_group_commits;
+        self.wal_group_txns += wal_group_txns;
         self.cancel_checks += cancel_checks;
         self.limit_aborts += limit_aborts;
         self.worker_panics += worker_panics;
@@ -301,6 +312,15 @@ impl fmt::Display for EvalStats {
                 f,
                 "durability: {} wal appends, {} replays, {} torn-tail truncations, {} compactions",
                 self.wal_appends, self.wal_replays, self.wal_torn_truncations, self.wal_compactions
+            )?;
+        }
+        if self.wal_group_commits > 0 {
+            writeln!(
+                f,
+                "group commit: {} group(s) covering {} txn(s) ({:.1} txns/fsync)",
+                self.wal_group_commits,
+                self.wal_group_txns,
+                self.wal_group_txns as f64 / self.wal_group_commits as f64
             )?;
         }
         if self.cancel_checks + self.limit_aborts + self.worker_panics > 0 {
@@ -478,6 +498,8 @@ mod tests {
                 wal_replays: seed + 23,
                 wal_torn_truncations: seed + 24,
                 wal_compactions: seed + 25,
+                wal_group_commits: seed + 29,
+                wal_group_txns: seed + 30,
                 cancel_checks: seed + 26,
                 limit_aborts: seed + 27,
                 worker_panics: seed + 28,
@@ -513,6 +535,8 @@ mod tests {
             wal_replays,
             wal_torn_truncations,
             wal_compactions,
+            wal_group_commits,
+            wal_group_txns,
             cancel_checks,
             limit_aborts,
             worker_panics,
@@ -542,6 +566,8 @@ mod tests {
         assert_eq!(wal_replays, 123 + 1023);
         assert_eq!(wal_torn_truncations, 124 + 1024);
         assert_eq!(wal_compactions, 125 + 1025);
+        assert_eq!(wal_group_commits, 129 + 1029);
+        assert_eq!(wal_group_txns, 130 + 1030);
         assert_eq!(cancel_checks, 126 + 1026);
         assert_eq!(limit_aborts, 127 + 1027);
         assert_eq!(worker_panics, 128 + 1028);

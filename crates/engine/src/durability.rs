@@ -10,6 +10,7 @@
 //!                        sequence number the snapshot includes)
 //! <dir>/snapshot.fl.tmp  compaction staging file (ignored and removed on open)
 //! <dir>/wal.log          the record log of committed mutations since the snapshot
+//! <dir>/LOCK             single-writer lock: the PID of the live opener
 //! ```
 //!
 //! # Write path
@@ -56,6 +57,11 @@ pub const SNAPSHOT_FILE: &str = "snapshot.fl";
 pub const SNAPSHOT_TMP_FILE: &str = "snapshot.fl.tmp";
 /// File name of the transaction log inside a data directory.
 pub const WAL_FILE: &str = "wal.log";
+/// File name of the single-writer lock inside a data directory. Holds the PID
+/// of the live opener; a second [`Engine::open_durable`] of the same directory
+/// refuses with [`EngineError::Locked`] while that process is alive, and
+/// reclaims the lock when it is not (a stale lock from a crash).
+pub const LOCK_FILE: &str = "LOCK";
 
 /// The comment line (after the snapshot header) recording the last log sequence
 /// number a snapshot includes. Being a `%` comment it is invisible to the parser,
@@ -164,6 +170,92 @@ pub(crate) struct Durability {
     next_seq: u64,
     recovery: RecoveryReport,
     compaction_fault: Option<CompactionFault>,
+    /// Held for the session's lifetime; releasing the `LOCK` file on drop.
+    _lock: DirLock,
+}
+
+/// Canonical paths of every data directory this process currently holds open.
+/// The PID in the lock file cannot catch a same-process double-open (our own
+/// PID is very much alive), so that case is caught here.
+fn lock_registry() -> &'static std::sync::Mutex<std::collections::HashSet<PathBuf>> {
+    static REGISTRY: std::sync::OnceLock<std::sync::Mutex<std::collections::HashSet<PathBuf>>> =
+        std::sync::OnceLock::new();
+    REGISTRY.get_or_init(Default::default)
+}
+
+/// Is the process with `pid` alive? Linux answer via `/proc`; on platforms
+/// without procfs this conservatively reports dead, degrading to the
+/// pre-lock-file last-writer-wins behavior instead of wedging on stale locks.
+fn process_alive(pid: u32) -> bool {
+    cfg!(target_os = "linux") && Path::new("/proc").join(pid.to_string()).exists()
+}
+
+/// An acquired single-writer lock on a data directory: the `LOCK` file holding
+/// this process's PID plus the in-process registry entry. Both are released on
+/// drop, so dropping a durable [`Engine`] (or [`Engine::close_durable`]) lets
+/// the next opener in.
+pub(crate) struct DirLock {
+    canonical: PathBuf,
+    lock_path: PathBuf,
+}
+
+impl DirLock {
+    /// Acquire the lock on `dir` (which must already exist). Refuses with
+    /// [`EngineError::Locked`] when the directory is open in this process or
+    /// the `LOCK` file names a live foreign process; reclaims stale locks left
+    /// by dead processes.
+    fn acquire(dir: &Path) -> Result<DirLock, EngineError> {
+        let canonical = dir
+            .canonicalize()
+            .map_err(|e| EngineError::Io(format!("cannot canonicalize {}: {e}", dir.display())))?;
+        let lock_path = dir.join(LOCK_FILE);
+        let mut held = lock_registry().lock().expect("lock registry poisoned");
+        if held.contains(&canonical) {
+            return Err(EngineError::Locked {
+                dir: dir.to_path_buf(),
+                pid: std::process::id(),
+            });
+        }
+        match std::fs::read_to_string(&lock_path) {
+            Ok(text) => {
+                // A foreign live process holds the directory. Our own PID here
+                // without a registry entry means a prior holder in this process
+                // is gone (or the PID was recycled onto us): stale either way.
+                if let Ok(pid) = text.trim().parse::<u32>() {
+                    if pid != std::process::id() && process_alive(pid) {
+                        return Err(EngineError::Locked {
+                            dir: dir.to_path_buf(),
+                            pid,
+                        });
+                    }
+                }
+                // Unparseable or stale: reclaim by overwriting below.
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => {
+                return Err(EngineError::Io(format!(
+                    "cannot read {}: {e}",
+                    lock_path.display()
+                )))
+            }
+        }
+        std::fs::write(&lock_path, format!("{}\n", std::process::id()))
+            .map_err(|e| EngineError::Io(format!("cannot write {}: {e}", lock_path.display())))?;
+        held.insert(canonical.clone());
+        Ok(DirLock {
+            canonical,
+            lock_path,
+        })
+    }
+}
+
+impl Drop for DirLock {
+    fn drop(&mut self) {
+        std::fs::remove_file(&self.lock_path).ok();
+        if let Ok(mut held) = lock_registry().lock() {
+            held.remove(&self.canonical);
+        }
+    }
 }
 
 impl From<WalError> for EngineError {
@@ -254,8 +346,12 @@ impl Engine {
     /// torn tail, replays the remaining records, and logs every subsequent
     /// committed mutation. See the [module docs](self) for the crash guarantees.
     ///
-    /// The directory must have at most one live writer; concurrent
-    /// `open_durable` of the same directory is not detected (last writer wins).
+    /// The directory has exactly one live writer, enforced by a `LOCK` file
+    /// holding the opener's PID: a second open of the same directory — from
+    /// this process or another — fails with [`EngineError::Locked`] while the
+    /// first session is alive, and a stale lock left by a dead process is
+    /// reclaimed automatically. Dropping the engine (or
+    /// [`Engine::close_durable`]) releases the lock.
     pub fn open_durable(dir: impl AsRef<Path>) -> Result<Engine, EngineError> {
         Engine::open_durable_with(dir, DurabilityOptions::default())
     }
@@ -278,6 +374,9 @@ impl Engine {
         let dir = dir.as_ref();
         std::fs::create_dir_all(dir)
             .map_err(|e| EngineError::Io(format!("cannot create {}: {e}", dir.display())))?;
+        // Single-writer: take the directory lock before reading anything, so a
+        // concurrent opener cannot interleave with recovery.
+        let lock = DirLock::acquire(dir)?;
         let mut engine = Engine::with_options(eval_options);
 
         // 1. The newest valid snapshot. A leftover staging file is from a crashed
@@ -352,6 +451,7 @@ impl Engine {
             next_seq: last_seq + 1,
             recovery: report,
             compaction_fault: None,
+            _lock: lock,
         });
         Ok(engine)
     }
@@ -359,6 +459,27 @@ impl Engine {
     /// Is this session durable (opened via [`Engine::open_durable`])?
     pub fn is_durable(&self) -> bool {
         self.durability.is_some()
+    }
+
+    /// Detach the durable half of this session: drop the log writer and
+    /// release the single-writer `LOCK`, keeping the in-memory state (rules,
+    /// facts, model). Returns `true` when the session was durable. Subsequent
+    /// mutations are no longer logged — used before re-opening the same
+    /// directory from the same process (e.g. the REPL's `:open`).
+    pub fn close_durable(&mut self) -> bool {
+        self.durability.take().is_some()
+    }
+
+    /// Force an fsync of the transaction log now (a no-op for in-memory
+    /// sessions). With fsync-per-append on (the default) every acknowledged
+    /// commit is already durable and this adds nothing; with it off, this is
+    /// the flush point bulk loaders and graceful server shutdown call before
+    /// declaring the directory quiescent.
+    pub fn sync_wal(&mut self) -> Result<(), EngineError> {
+        if let Some(dur) = self.durability.as_mut() {
+            dur.writer.sync()?;
+        }
+        Ok(())
     }
 
     /// The durable session's data directory, if any.
@@ -479,6 +600,57 @@ impl Engine {
             dur.writer.append(&record)?;
             dur.next_seq += 1;
             engine.stats.wal_appends += 1;
+            engine.record_wal_append(start);
+            Ok(())
+        })
+    }
+
+    /// Append a whole group of validated transaction batches to the log under a
+    /// *single* fsync (group commit; no-op for in-memory sessions or an empty
+    /// group). Each batch gets its own record and consecutive sequence number,
+    /// exactly as if committed one by one — recovery cannot tell a group from
+    /// a burst of singles — but the durability cost is one sync. All-or-
+    /// nothing: on error no batch was acknowledged (see
+    /// [`crate::wal::WalWriter::append_all`]).
+    pub(crate) fn wal_log_txn_group(
+        &mut self,
+        batches: &[&[(TxnOp, Symbol, Vec<Const>)]],
+    ) -> Result<(), EngineError> {
+        if self.durability.is_none() || batches.is_empty() {
+            return Ok(());
+        }
+        self.contained(|engine| {
+            engine.chaos_hit(FaultSite::WalAppend)?;
+            engine.check_wal_not_poisoned()?;
+            let dur = engine.durability.as_mut().expect("checked durable above");
+            let mut seq = dur.next_seq;
+            let records: Vec<WalRecord> = batches
+                .iter()
+                .map(|ops| {
+                    let record = WalRecord::Txn {
+                        seq,
+                        ops: ops
+                            .iter()
+                            .map(|(op, predicate, tuple)| {
+                                let op = match op {
+                                    TxnOp::Assert => WalOp::Assert,
+                                    TxnOp::Retract => WalOp::Retract,
+                                };
+                                (op, *predicate, tuple.clone())
+                            })
+                            .collect(),
+                    };
+                    seq += 1;
+                    record
+                })
+                .collect();
+            let start = engine.tracing.then(std::time::Instant::now);
+            let dur = engine.durability.as_mut().expect("checked durable above");
+            dur.writer.append_all(&records)?;
+            dur.next_seq = seq;
+            engine.stats.wal_appends += records.len();
+            engine.stats.wal_group_commits += 1;
+            engine.stats.wal_group_txns += records.len();
             engine.record_wal_append(start);
             Ok(())
         })
@@ -772,6 +944,77 @@ mod tests {
         let mut reopened = Engine::open_durable(&dir).unwrap();
         assert_eq!(reopened.query(&query).unwrap(), vec![vec![c(7)]]);
         assert_eq!(reopened.facts().count("junk"), 0, "old state replaced");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn second_open_of_a_locked_directory_is_refused() {
+        let dir = fresh_dir("lock");
+        let mut engine = Engine::open_durable(&dir).unwrap();
+        engine.insert("e", &[c(1), c(2)]).unwrap();
+        assert!(dir.join(LOCK_FILE).exists(), "LOCK is on disk while open");
+
+        // Double-open (same process) is refused with the structured error.
+        let Err(err) = Engine::open_durable(&dir) else {
+            panic!("double-open must be refused");
+        };
+        let EngineError::Locked { dir: locked, pid } = err else {
+            panic!("expected Locked, got {err}");
+        };
+        assert_eq!(locked, dir);
+        assert_eq!(pid, std::process::id());
+        // The refused opener must not have clobbered the holder's lock.
+        assert!(dir.join(LOCK_FILE).exists());
+        engine.insert("e", &[c(2), c(3)]).unwrap();
+
+        // Dropping the holder releases the lock; the next opener gets in and
+        // sees the full history.
+        drop(engine);
+        assert!(!dir.join(LOCK_FILE).exists(), "drop releases the LOCK");
+        let reopened = Engine::open_durable(&dir).unwrap();
+        assert_eq!(reopened.facts().count("e"), 2);
+        drop(reopened);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stale_lock_from_a_dead_process_is_reclaimed() {
+        let dir = fresh_dir("stale_lock");
+        std::fs::create_dir_all(&dir).unwrap();
+        // No live process has this PID (kernel pid_max caps real PIDs well
+        // below u32::MAX), so the lock must be treated as stale.
+        std::fs::write(dir.join(LOCK_FILE), format!("{}\n", u32::MAX)).unwrap();
+        let engine = Engine::open_durable(&dir).expect("stale lock is reclaimed");
+        let text = std::fs::read_to_string(dir.join(LOCK_FILE)).unwrap();
+        assert_eq!(text.trim().parse::<u32>().unwrap(), std::process::id());
+        drop(engine);
+
+        // Garbage lock contents are also reclaimed, not wedged on.
+        std::fs::write(dir.join(LOCK_FILE), "not a pid").unwrap();
+        let engine = Engine::open_durable(&dir).expect("garbage lock is reclaimed");
+        drop(engine);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn close_durable_releases_the_lock_and_keeps_state() {
+        let dir = fresh_dir("close");
+        let mut engine = Engine::open_durable(&dir).unwrap();
+        engine.load_source(TC).unwrap();
+        engine.insert("e", &[c(0), c(1)]).unwrap();
+        assert!(engine.close_durable());
+        assert!(!engine.is_durable());
+        assert!(!engine.close_durable(), "second close is a no-op");
+        assert!(!dir.join(LOCK_FILE).exists());
+        // In-memory state survives the detach; mutations are no longer logged.
+        engine.insert("e", &[c(1), c(2)]).unwrap();
+        let query = parse_query("t(0, Y)").unwrap();
+        assert_eq!(engine.query(&query).unwrap().len(), 2);
+        // The directory is re-openable while the detached session lives, and
+        // only holds the logged prefix.
+        let mut reopened = Engine::open_durable(&dir).unwrap();
+        assert_eq!(reopened.query(&query).unwrap().len(), 1);
+        drop(reopened);
         std::fs::remove_dir_all(&dir).ok();
     }
 

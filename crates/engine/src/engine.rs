@@ -68,6 +68,15 @@ pub enum EngineError {
     /// A durability failure: the transaction log could not be written or the
     /// data directory could not be recovered/compacted.
     Durability(String),
+    /// A durable data directory is already open by a live session (see the
+    /// single-writer `LOCK` file, [`crate::LOCK_FILE`]).
+    Locked {
+        /// The directory that is locked.
+        dir: std::path::PathBuf,
+        /// The PID holding the lock (this process's own PID for a same-process
+        /// double-open).
+        pid: u32,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -90,6 +99,13 @@ impl fmt::Display for EngineError {
             EngineError::Snapshot(message) => write!(f, "invalid snapshot: {message}"),
             EngineError::Io(message) => write!(f, "{message}"),
             EngineError::Durability(message) => write!(f, "durability: {message}"),
+            EngineError::Locked { dir, pid } => write!(
+                f,
+                "data directory {} is locked by live process {pid} \
+                 (close that session first; a stale LOCK from a dead process \
+                 is reclaimed automatically)",
+                dir.display()
+            ),
         }
     }
 }
@@ -324,7 +340,7 @@ pub fn is_snapshot_text(text: &str) -> bool {
 
 /// Write one constant in parseable surface syntax: integers and identifier-shaped
 /// symbols verbatim, other symbols as quoted strings.
-fn write_const(out: &mut String, value: &Const) {
+pub(crate) fn write_const(out: &mut String, value: &Const) {
     use std::fmt::Write as _;
     match value {
         Const::Int(i) => {
@@ -911,17 +927,12 @@ impl Engine {
         self.retract(atom.predicate, &tuple)
     }
 
-    /// Apply one transaction batch: validate everything, then retract, then assert,
-    /// maintaining the materialized model incrementally (see [`Txn::commit`] for the
-    /// error contract).
-    pub(crate) fn apply_txn(
-        &mut self,
-        ops: Vec<(TxnOp, Symbol, Vec<Const>)>,
-    ) -> Result<TxnSummary, EngineError> {
-        // Validate arities against the session and within the batch, before any
-        // mutation — this is what makes a failed commit a no-op.
+    /// Validate one transaction batch's arities against the session and within
+    /// the batch, without mutating anything — this is what makes a failed
+    /// commit a no-op.
+    fn validate_txn_ops(&self, ops: &[(TxnOp, Symbol, Vec<Const>)]) -> Result<(), EngineError> {
         let mut batch_arity: FxHashMap<Symbol, usize> = FxHashMap::default();
-        for (_, predicate, tuple) in &ops {
+        for (_, predicate, tuple) in ops {
             let expected = self
                 .expected_arity(*predicate)
                 .or_else(|| batch_arity.get(predicate).copied());
@@ -937,6 +948,17 @@ impl Engine {
                 batch_arity.insert(*predicate, tuple.len());
             }
         }
+        Ok(())
+    }
+
+    /// Apply one transaction batch: validate everything, then retract, then assert,
+    /// maintaining the materialized model incrementally (see [`Txn::commit`] for the
+    /// error contract).
+    pub(crate) fn apply_txn(
+        &mut self,
+        ops: Vec<(TxnOp, Symbol, Vec<Const>)>,
+    ) -> Result<TxnSummary, EngineError> {
+        self.validate_txn_ops(&ops)?;
 
         // Durable sessions log the validated batch *before* applying it (write-ahead:
         // an append failure aborts the commit with the session untouched; a crash
@@ -944,7 +966,58 @@ impl Engine {
         if !ops.is_empty() {
             self.wal_log_txn(&ops)?;
         }
+        self.apply_txn_validated(ops)
+    }
 
+    /// Commit several independently submitted batches as one group: every
+    /// batch is validated separately, the valid ones are appended to the log
+    /// under a *single* fsync ([`crate::wal::WalWriter::append_all`]), then
+    /// applied in memory in submission order. Returns one result per input
+    /// batch, in order. A failed group append fails every valid batch with the
+    /// same (durability) error — none of them was acknowledged — while batches
+    /// that failed validation keep their own errors. This is the server's
+    /// group-commit pipeline; a single-element group degenerates to
+    /// [`Engine::apply_txn`] durability-wise.
+    pub(crate) fn commit_group(
+        &mut self,
+        mut batches: Vec<Vec<(TxnOp, Symbol, Vec<Const>)>>,
+    ) -> Vec<Result<TxnSummary, EngineError>> {
+        let mut results: Vec<Option<Result<TxnSummary, EngineError>>> = batches
+            .iter()
+            .map(|ops| self.validate_txn_ops(ops).err().map(Err))
+            .collect();
+        let valid: Vec<usize> = (0..batches.len())
+            .filter(|&i| results[i].is_none())
+            .collect();
+        // One WAL append + fsync for the whole group (empty batches log nothing,
+        // exactly as they would through apply_txn).
+        let group: Vec<&[(TxnOp, Symbol, Vec<Const>)]> = valid
+            .iter()
+            .map(|&i| batches[i].as_slice())
+            .filter(|ops| !ops.is_empty())
+            .collect();
+        if let Err(error) = self.wal_log_txn_group(&group) {
+            for &i in &valid {
+                results[i] = Some(Err(error.clone()));
+            }
+        } else {
+            for &i in &valid {
+                results[i] = Some(self.apply_txn_validated(std::mem::take(&mut batches[i])));
+            }
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every batch resolved"))
+            .collect()
+    }
+
+    /// The post-validation, post-logging half of [`Engine::apply_txn`]: compute
+    /// the batch's net effect and apply it to the fact store and the
+    /// materialized model. The batch (if any) is already on the log.
+    fn apply_txn_validated(
+        &mut self,
+        ops: Vec<(TxnOp, Symbol, Vec<Const>)>,
+    ) -> Result<TxnSummary, EngineError> {
         // Net effect per fact: the last operation wins.
         let mut order: Vec<(Symbol, Vec<Const>)> = Vec::new();
         let mut net: FxHashMap<(Symbol, Vec<Const>), TxnOp> = FxHashMap::default();
@@ -1234,6 +1307,15 @@ impl Engine {
             metrics.query_latency.record(start.elapsed());
         }
         Ok(answers)
+    }
+
+    /// Bring the materialized model up to date (under the containment boundary)
+    /// and return a clone of it: the full model answers *any* atom query via
+    /// [`Database::answers`], so the server snapshots it into an immutable,
+    /// `Arc`-shared view that reader threads query without touching the engine.
+    pub(crate) fn refreshed_model(&mut self) -> Result<Database, EngineError> {
+        self.contained(Engine::refresh)?;
+        Ok(self.model.clone().expect("model materialized by refresh"))
     }
 
     /// Look up (or build) the prepared plan for `query`'s (predicate, shape),

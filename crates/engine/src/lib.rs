@@ -35,6 +35,13 @@
 //!   [`DurabilityOptions::compact_threshold`]. Derived views are never stored; they
 //!   rebuild from the recovered base facts on the first query.
 //!
+//! * **A served engine** — [`serve`] moves a session behind a line-protocol TCP
+//!   front end ([`server`]): any number of reader connections answer queries
+//!   lock-free from an atomically swappable materialized view, while a single
+//!   writer thread group-commits concurrently submitted transactions under one
+//!   WAL fsync, with admission control (overload sheds with a retryable error),
+//!   per-request deadlines, and graceful drain-then-cancel shutdown.
+//!
 //! * **A REPL front end** — [`Repl`] interprets the `factorlog repl` command language
 //!   (`:load`, `:insert`, `:prepare`, `?- query.`, `:open`, `:compact`, `:stats`, …)
 //!   against an engine session; the `factorlog` binary only supplies the I/O loop.
@@ -71,11 +78,12 @@ mod durability;
 mod engine;
 pub mod metrics;
 mod repl;
+pub mod server;
 pub mod wal;
 
 pub use durability::{
     CompactReport, CompactionFault, DurabilityOptions, RecoveryReport, DEFAULT_COMPACT_THRESHOLD,
-    SNAPSHOT_FILE, WAL_FILE,
+    LOCK_FILE, SNAPSHOT_FILE, WAL_FILE,
 };
 pub use engine::{
     is_snapshot_text, Engine, EngineError, LoadSummary, PrepareReport, Snapshot, Txn, TxnSummary,
@@ -83,6 +91,10 @@ pub use engine::{
 };
 pub use metrics::{EngineMetrics, METRICS_JSON_VERSION};
 pub use repl::{Repl, ReplAction};
+pub use server::{
+    serve, Client, ClientError, QueryReply, ServeError, ServerHandle, ServerOptions,
+    ShutdownReport, StatsReply, TxnReply,
+};
 
 pub use factorlog_datalog::eval::{EvalError, EvalOptions, EvalStats, LimitReason};
 pub use factorlog_datalog::fault::{CancelToken, FaultAction, FaultInjector, FaultSite};

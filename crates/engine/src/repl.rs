@@ -19,6 +19,8 @@
 //! :profile [on|off|show]  toggle tracing / show span timers + per-rule profile
 //! :metrics            dump session metrics as versioned JSON
 //! :program            show the registered rules
+//! :serve <addr>       serve the engine over TCP; the session becomes a client
+//! :connect <addr>     become a client of a running server (:detach to return)
 //! :help               command summary
 //! :quit               leave the session
 //! <rule or fact>.     bare Datalog clauses are absorbed like :load text
@@ -33,6 +35,7 @@ use factorlog_datalog::parser::{parse_atom, parse_query};
 
 use crate::durability::DurabilityOptions;
 use crate::engine::{is_snapshot_text, Engine, EngineError, Snapshot};
+use crate::server::{serve, Client, ServerHandle, ServerOptions};
 
 /// The outcome of executing one REPL line.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -56,6 +59,11 @@ pub struct Repl {
     engine: Engine,
     /// Queued operations of an open `:begin` transaction (`None` = autocommit).
     txn: Option<Vec<PendingOp>>,
+    /// A server this session spawned via `:serve` (stopped by `:detach`).
+    server: Option<ServerHandle>,
+    /// When set, the session is in client mode: queries and mutations forward
+    /// over the wire instead of touching the local engine.
+    remote: Option<Client>,
 }
 
 const HELP: &str = "\
@@ -89,6 +97,12 @@ commands:
                    row counts, latency histograms (p50/p95/p99)
   :metrics         dump the session's metrics as a versioned JSON document
   :program         show the registered rules
+  :serve <addr>    move the engine behind a concurrent TCP server on <addr> and
+                   turn this session into a client of it (group-committed
+                   writes, admission control; :detach stops the server and
+                   reclaims the engine)
+  :connect <addr>  become a client of an already-running server (:detach
+                   returns to the untouched local session)
   :help            this summary
   :quit            leave the session
 bare rules/facts (e.g. `e(1, 2).` or `t(X, Y) :- e(X, Y).`) are added directly.";
@@ -106,15 +120,17 @@ fn fmt_ns(ns: u64) -> String {
 impl Repl {
     /// A fresh session.
     pub fn new() -> Repl {
-        Repl {
-            engine: Engine::new(),
-            txn: None,
-        }
+        Repl::with_engine(Engine::new())
     }
 
     /// A session wrapping an existing engine (e.g. pre-loaded from a file).
     pub fn with_engine(engine: Engine) -> Repl {
-        Repl { engine, txn: None }
+        Repl {
+            engine,
+            txn: None,
+            server: None,
+            remote: None,
+        }
     }
 
     /// The underlying engine.
@@ -141,6 +157,9 @@ impl Repl {
     }
 
     fn dispatch(&mut self, line: &str) -> Result<ReplAction, String> {
+        if self.remote.is_some() {
+            return self.dispatch_remote(line);
+        }
         if let Some(rest) = line.strip_prefix("?-") {
             return self.run_query(rest).map(ReplAction::Output);
         }
@@ -168,6 +187,9 @@ impl Repl {
                 "profile" => self.profile(argument).map(ReplAction::Output),
                 "metrics" => Ok(ReplAction::Output(self.engine.metrics_json())),
                 "program" => Ok(ReplAction::Output(self.show_program())),
+                "serve" => self.serve_cmd(argument).map(ReplAction::Output),
+                "connect" => self.connect_cmd(argument).map(ReplAction::Output),
+                "detach" => Err("no server or remote connection (:serve or :connect)".to_string()),
                 other => Err(format!("unknown command `:{other}` (try :help)")),
             };
         }
@@ -231,13 +253,23 @@ impl Repl {
             return Err("a transaction is open (commit or abort it before :open)".to_string());
         }
         // The current session's evaluation options carry over; its *state* does not
-        // (the durable directory's recovered state replaces it).
+        // (the durable directory's recovered state replaces it). Release the
+        // current directory's single-writer lock first: re-opening the same
+        // directory (the recovery flow after a poisoned log) must not be refused
+        // by our own lock.
+        let was_durable = self.engine.close_durable();
         let engine = Engine::open_durable_with_options(
             dir,
             DurabilityOptions::default(),
             self.engine.options().clone(),
         )
-        .map_err(|e| e.to_string())?;
+        .map_err(|e| {
+            if was_durable {
+                format!("{e} (the previous durable session is now detached; :open to re-attach)")
+            } else {
+                e.to_string()
+            }
+        })?;
         self.engine = engine;
         self.txn = None;
         let report = self.engine.recovery_report().cloned().unwrap_or_default();
@@ -254,6 +286,168 @@ impl Repl {
         Ok(format!(
             "compacted: log {} -> {} byte(s); snapshot includes wal seq {}",
             report.log_bytes_before, report.log_bytes_after, report.snapshot_seq
+        ))
+    }
+
+    /// `:serve <addr>`: move this session's engine behind a TCP server and
+    /// turn the session into a client of it (`:detach` reverses both).
+    fn serve_cmd(&mut self, addr: &str) -> Result<String, String> {
+        if addr.is_empty() {
+            return Err(
+                ":serve requires a listen address, e.g. `:serve 127.0.0.1:7070`".to_string(),
+            );
+        }
+        if self.txn.is_some() {
+            return Err("a transaction is open (commit or abort it before :serve)".to_string());
+        }
+        let engine = std::mem::take(&mut self.engine);
+        let handle = match serve(engine, addr, ServerOptions::default()) {
+            Ok(handle) => handle,
+            Err(e) => {
+                // Nothing started: the session keeps its engine and state.
+                self.engine = *e.engine;
+                return Err(e.error.to_string());
+            }
+        };
+        let bound = handle.addr();
+        match Client::connect(bound) {
+            Ok(client) => {
+                self.server = Some(handle);
+                self.remote = Some(client);
+                Ok(format!(
+                    "serving on {bound}; this session is now a client \
+                     (queries and :insert/:retract go over the wire; :detach to stop \
+                     the server and reclaim the engine)"
+                ))
+            }
+            Err(e) => {
+                // Could not even connect locally: stop the server, restore state.
+                self.engine = handle.shutdown().engine;
+                Err(format!("server started but local client failed: {e}"))
+            }
+        }
+    }
+
+    /// `:connect <addr>`: become a client of an already-running server. The
+    /// local engine is left untouched and comes back on `:detach`.
+    fn connect_cmd(&mut self, addr: &str) -> Result<String, String> {
+        if addr.is_empty() {
+            return Err(
+                ":connect requires a server address, e.g. `:connect 127.0.0.1:7070`".to_string(),
+            );
+        }
+        if self.txn.is_some() {
+            return Err("a transaction is open (commit or abort it before :connect)".to_string());
+        }
+        let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+        let epoch = client.epoch().map_err(|e| e.to_string())?;
+        self.remote = Some(client);
+        Ok(format!(
+            "connected to {addr} (epoch {epoch}); queries and :insert/:retract go \
+             over the wire (:detach to return to the local session)"
+        ))
+    }
+
+    /// Leave client mode: stop a `:serve`d server (reclaiming its engine) or
+    /// just drop a `:connect`ed session's connection.
+    fn detach(&mut self) -> Result<String, String> {
+        if self.remote.take().is_none() {
+            return Err("no server or remote connection (:serve or :connect)".to_string());
+        }
+        if let Some(handle) = self.server.take() {
+            let report = handle.shutdown();
+            self.engine = report.engine;
+            self.txn = None;
+            return Ok(format!(
+                "server stopped at epoch {} ({} request(s) shed); the session \
+                 reclaimed the engine",
+                report.epoch, report.shed
+            ));
+        }
+        Ok("disconnected; back to the local session".to_string())
+    }
+
+    /// Command dispatch while in client mode: the curated subset that makes
+    /// sense over the wire, everything else a structured refusal.
+    fn dispatch_remote(&mut self, line: &str) -> Result<ReplAction, String> {
+        if let Some(rest) = line.strip_prefix("?-") {
+            return self.remote_query(rest).map(ReplAction::Output);
+        }
+        if let Some(rest) = line.strip_prefix(':') {
+            let (command, argument) = match rest.split_once(char::is_whitespace) {
+                Some((c, a)) => (c, a.trim()),
+                None => (rest, ""),
+            };
+            return match command {
+                // Quitting the session tears the server down first: its engine
+                // flushes the WAL and releases the data-directory lock.
+                "quit" | "exit" | "q" => {
+                    let _ = self.detach();
+                    Ok(ReplAction::Quit)
+                }
+                "detach" => self.detach().map(ReplAction::Output),
+                "insert" => self
+                    .remote_mutate('+', ":insert", argument)
+                    .map(ReplAction::Output),
+                "retract" => self
+                    .remote_mutate('-', ":retract", argument)
+                    .map(ReplAction::Output),
+                "stats" => self.remote_stats().map(ReplAction::Output),
+                "help" | "h" => Ok(ReplAction::Output(
+                    "client mode: ?- <query>. | :insert <fact>. | :retract <fact>. | \
+                     :stats | :detach | :quit"
+                        .to_string(),
+                )),
+                other => Err(format!(
+                    "`:{other}` is not available in client mode (:detach to return \
+                     to the local session)"
+                )),
+            };
+        }
+        Err("bare clauses are not available in client mode (use :insert, or :detach)".to_string())
+    }
+
+    fn remote(&mut self) -> &mut Client {
+        self.remote
+            .as_mut()
+            .expect("dispatch_remote requires a client")
+    }
+
+    fn remote_query(&mut self, text: &str) -> Result<String, String> {
+        let reply = self
+            .remote()
+            .query_with_retry(text.trim(), 6)
+            .map_err(|e| e.to_string())?;
+        let mut out = format!(
+            "% {} answer(s) [remote, epoch {}]",
+            reply.rows.len(),
+            reply.epoch
+        );
+        for row in &reply.rows {
+            out.push('\n');
+            out.push_str(if row.is_empty() { "true" } else { row });
+        }
+        Ok(out)
+    }
+
+    fn remote_mutate(&mut self, sign: char, command: &str, text: &str) -> Result<String, String> {
+        let atom = Self::parse_fact(command, text)?;
+        let reply = self
+            .remote()
+            .txn_with_retry(&format!("{sign}{atom}"), 6)
+            .map_err(|e| e.to_string())?;
+        Ok(format!(
+            "{} asserted, {} retracted (epoch {})",
+            reply.asserted, reply.retracted, reply.epoch
+        ))
+    }
+
+    fn remote_stats(&mut self) -> Result<String, String> {
+        let stats = self.remote().stats().map_err(|e| e.to_string())?;
+        Ok(format!(
+            "server: epoch {}, {} in flight, {} shed, {} group commit(s) \
+             covering {} txn(s)",
+            stats.epoch, stats.in_flight, stats.shed, stats.group_commits, stats.group_txns
         ))
     }
 
@@ -410,9 +604,11 @@ impl Repl {
             "time" => deadline = Some(Duration::from_millis(parse("time", value)?)),
             "facts" => facts = Some(parse("facts", value)? as usize),
             "mem" => mem = Some(parse("mem", value)? as usize),
-            other => return Err(format!(
+            other => {
+                return Err(format!(
                 "`:limit` expects `time <ms>`, `facts <n>`, `mem <bytes>`, or `off`, got `{other}`"
-            )),
+            ))
+            }
         }
         self.engine.set_limits(deadline, facts, mem);
         Ok(format!("limits: {}", Self::describe_limits(&self.engine)))
@@ -444,7 +640,6 @@ impl Repl {
         if let Some(token) = &self.engine.options().cancel {
             token.reset();
         }
-        let started = std::time::Instant::now();
         let (result, label) = if self.engine.has_prepared(&query) {
             (self.engine.query_prepared(&query), "prepared")
         } else {
@@ -456,12 +651,12 @@ impl Repl {
             // report it as plain output, with how far the query got.
             Err(EngineError::Eval(EvalError::LimitExceeded {
                 reason: LimitReason::Cancelled,
+                elapsed,
                 partial_stats,
             })) => {
                 return Ok(format!(
                     "cancelled after {:.1?} ({} fact(s) derived; model dropped, facts intact)",
-                    started.elapsed(),
-                    partial_stats.facts_derived,
+                    elapsed, partial_stats.facts_derived,
                 ))
             }
             Err(e) => return Err(e.to_string()),
@@ -749,6 +944,56 @@ mod tests {
             ReplAction::Output(text) => text,
             ReplAction::Quit => panic!("unexpected quit for {line}"),
         }
+    }
+
+    #[test]
+    fn serve_turns_the_session_into_a_client_and_detach_reclaims_the_engine() {
+        let mut repl = Repl::new();
+        output(
+            &mut repl,
+            "t(X, Y) :- e(X, Y).\nt(X, Y) :- e(X, W), t(W, Y).",
+        );
+        output(&mut repl, ":insert e(0, 1).");
+
+        // A bad address is refused without losing the session's state.
+        let err = output(&mut repl, ":serve 256.0.0.1:0");
+        assert!(err.starts_with("error:"), "{err}");
+        assert!(output(&mut repl, "?- t(0, Y).").contains("% 1 answer(s)"));
+
+        let served = output(&mut repl, ":serve 127.0.0.1:0");
+        assert!(served.contains("this session is now a client"), "{served}");
+        assert!(
+            output(&mut repl, ":insert e(1, 2).").contains("1 asserted, 0 retracted (epoch 1)"),
+            "mutations forward over the wire"
+        );
+        let answers = output(&mut repl, "?- t(0, Y).");
+        assert!(
+            answers.contains("% 2 answer(s) [remote, epoch"),
+            "{answers}"
+        );
+        assert!(
+            answers.contains("\n1\n2") || answers.ends_with("1\n2"),
+            "{answers}"
+        );
+        let stats = output(&mut repl, ":stats");
+        assert!(stats.contains("server: epoch 1"), "{stats}");
+        assert!(
+            output(&mut repl, ":compact").starts_with("error:"),
+            "local-only commands are refused in client mode"
+        );
+
+        let detached = output(&mut repl, ":detach");
+        assert!(detached.contains("reclaimed the engine"), "{detached}");
+        // The remote mutation survived the round trip back to local mode.
+        let answers = output(&mut repl, "?- t(0, Y).");
+        assert!(
+            answers.contains("% 2 answer(s) [materialized]"),
+            "{answers}"
+        );
+        assert!(
+            output(&mut repl, ":detach").starts_with("error:"),
+            "nothing to detach from"
+        );
     }
 
     #[test]
@@ -1197,9 +1442,15 @@ mod tests {
             "open must not discard the queued transaction"
         );
         output(&mut repl, ":abort");
+        assert!(output(&mut repl, ":open").starts_with("error:"));
 
-        // A brand-new REPL recovers the committed state from the directory alone.
+        // Single-writer: a second session is refused while the first holds the
+        // directory's LOCK…
         let mut fresh = Repl::new();
+        let refused = output(&mut fresh, &format!(":open {dir_arg}"));
+        assert!(refused.contains("locked by live process"), "{refused}");
+        // …and recovers the committed state once the holder is gone.
+        drop(repl);
         let reopened = output(&mut fresh, &format!(":open {dir_arg}"));
         assert!(reopened.contains("snapshot loaded"), "{reopened}");
         let answers = output(&mut fresh, "?- t(2, Y).");
@@ -1207,7 +1458,6 @@ mod tests {
         assert!(answers.contains("Y = 3"), "{answers}");
         assert!(output(&mut fresh, "?- t(1, Y).").contains("% 0 answer(s)"));
         std::fs::remove_dir_all(&dir).ok();
-        assert!(output(&mut repl, ":open").starts_with("error:"));
     }
 
     #[test]

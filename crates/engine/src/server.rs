@@ -1,0 +1,1178 @@
+//! A concurrent multi-session TCP front end for the [`Engine`]: many reader
+//! connections querying an immutable, atomically swappable materialized view,
+//! one writer thread owning the engine and group-committing concurrently
+//! submitted transactions under a single WAL fsync.
+//!
+//! # Architecture
+//!
+//! ```text
+//!                    ┌────────────────────────────────────────────┐
+//!   conn threads ──▶ │  Arc<View { epoch, model: Arc<Database> }> │  lock-free reads
+//!     QUERY          │  (RwLock'd Arc swap; readers clone the Arc │  (Database::answers
+//!                    │   and answer without touching the engine)  │   on the full model)
+//!                    └────────────────▲───────────────────────────┘
+//!                                     │ publish after each group
+//!   conn threads ──▶ bounded queue ──▶ writer thread (owns Engine)
+//!     TXN             (try_send;        · drains the queue into a batch
+//!                      Full = shed)     · Engine::commit_group → ONE fsync
+//!                                       · refresh + publish the next view
+//! ```
+//!
+//! # Protocol
+//!
+//! One request per line; every response ends with exactly one `OK …` or
+//! `ERR <code>: <message>` line (rows precede it):
+//!
+//! ```text
+//! QUERY t(0, Y)        →  ROW 1 ⏎ ROW 2 ⏎ OK rows=2 epoch=7
+//! TXN +e(1, 2); -e(0, 1)  →  OK asserted=1 retracted=1 epoch=8
+//! EPOCH                →  OK epoch=8
+//! STATS                →  OK epoch=8 in_flight=1 shed=0 group_commits=3 group_txns=7
+//! PING                 →  OK pong
+//! QUIT                 →  OK bye (server closes the connection)
+//! ```
+//!
+//! Error codes: `parse`, `overloaded` (retryable — the message carries a
+//! `retry after N ms` hint), `deadline`, `cancelled`, `limit`, `shutdown`,
+//! `txn`, `internal`.
+//!
+//! # Guarantees
+//!
+//! * **Snapshot isolation for readers.** A query is answered entirely from one
+//!   `Arc`'d view: it can never observe a partially applied batch, and the
+//!   epoch it reports always equals a committed prefix of the transaction
+//!   stream.
+//! * **Admission control sheds, never queues unboundedly.** A request beyond
+//!   `max_in_flight` (or a transaction finding the commit queue full) is
+//!   rejected immediately with `ERR overloaded: … retry after N ms` — the
+//!   client backs off and retries ([`Client::txn_with_retry`]).
+//! * **Committed or structured error.** Every transaction either reports
+//!   `OK … epoch=E` (durable on the log before the reply is sent) or a
+//!   structured `ERR`; a connection killed mid-request loses only its reply,
+//!   never the store's consistency.
+//! * **Graceful shutdown.** [`ServerHandle::shutdown`] stops admitting, drains
+//!   in-flight requests (bounded by `drain_timeout`), cancels stragglers via
+//!   the engine's [`CancelToken`], flushes the WAL, and hands the engine back.
+
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use factorlog_datalog::ast::Const;
+use factorlog_datalog::eval::{EvalError, LimitReason};
+use factorlog_datalog::fault::CancelToken;
+use factorlog_datalog::parser::parse_query;
+use factorlog_datalog::storage::Database;
+use factorlog_datalog::symbol::Symbol;
+
+use crate::engine::{write_const, Engine, EngineError, TxnOp, TxnSummary};
+
+/// Cap on how many queued transactions one group commit will absorb.
+const MAX_GROUP: usize = 128;
+
+/// Read timeout connection threads poll with, so blocked reads notice shutdown.
+const CONN_POLL: Duration = Duration::from_millis(100);
+
+/// How often reader-side row streaming re-checks the deadline and cancel token.
+const ROW_CHECK_INTERVAL: usize = 256;
+
+/// Tuning knobs of a served engine.
+#[derive(Clone, Debug)]
+pub struct ServerOptions {
+    /// Requests allowed in service at once (readers and writers together).
+    /// The one past the cap is shed with `ERR overloaded`, never queued.
+    pub max_in_flight: usize,
+    /// Bound of the commit pipeline between connection threads and the writer;
+    /// a transaction finding it full is shed with `ERR overloaded`.
+    pub write_queue_depth: usize,
+    /// Per-request wall-clock deadline: applied to the writer's evaluations
+    /// (via the engine governor) and to reader-side row streaming. `None`
+    /// disables it.
+    pub request_deadline: Option<Duration>,
+    /// Memory budget for the writer's evaluations (see
+    /// [`EvalOptions::memory_budget_bytes`](factorlog_datalog::eval::EvalOptions)).
+    pub memory_budget_bytes: Option<usize>,
+    /// The `retry after` hint shed requests carry.
+    pub retry_after: Duration,
+    /// How long the committer lingers after the first queued transaction to
+    /// let concurrent submitters join its group.
+    pub group_window: Duration,
+    /// How long [`ServerHandle::shutdown`] waits for in-flight requests before
+    /// cancelling the stragglers.
+    pub drain_timeout: Duration,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        ServerOptions {
+            max_in_flight: 64,
+            write_queue_depth: 64,
+            request_deadline: Some(Duration::from_secs(5)),
+            memory_budget_bytes: None,
+            retry_after: Duration::from_millis(25),
+            group_window: Duration::from_millis(1),
+            drain_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// The immutable unit readers work against: one epoch, one fully materialized
+/// model. Swapped atomically (as an `Arc`) after every committed group, so a
+/// reader holding a view can never observe a half-applied batch.
+struct View {
+    /// Number of committed transaction batches this model includes — always a
+    /// prefix of the commit order.
+    epoch: u64,
+    /// The materialized model ([`Database::answers`] serves any atom query).
+    model: Arc<Database>,
+}
+
+/// A transaction submitted to the commit pipeline.
+struct WriteReq {
+    ops: Vec<(TxnOp, Symbol, Vec<Const>)>,
+    reply: mpsc::Sender<Result<(TxnSummary, u64), EngineError>>,
+}
+
+/// State shared by the accept loop, connection threads, and the writer.
+struct Shared {
+    view: RwLock<Arc<View>>,
+    epoch: AtomicU64,
+    in_flight: AtomicUsize,
+    shed: AtomicU64,
+    group_commits: AtomicU64,
+    group_txns: AtomicU64,
+    stopping: AtomicBool,
+    cancel: CancelToken,
+    options: ServerOptions,
+}
+
+impl Shared {
+    fn current_view(&self) -> Arc<View> {
+        self.view.read().expect("view lock poisoned").clone()
+    }
+
+    fn publish(&self, view: View) {
+        self.epoch.store(view.epoch, Ordering::Release);
+        *self.view.write().expect("view lock poisoned") = Arc::new(view);
+    }
+
+    /// Admission control: returns a guard while under the cap, `None` (and
+    /// counts the shed) past it. Never blocks, never queues.
+    fn admit(&self) -> Option<InFlight<'_>> {
+        let prev = self.in_flight.fetch_add(1, Ordering::AcqRel);
+        if prev >= self.options.max_in_flight {
+            self.in_flight.fetch_sub(1, Ordering::AcqRel);
+            self.shed.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        Some(InFlight { shared: self })
+    }
+}
+
+/// RAII decrement of the in-flight counter.
+struct InFlight<'a> {
+    shared: &'a Shared,
+}
+
+impl Drop for InFlight<'_> {
+    fn drop(&mut self) {
+        self.shared.in_flight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// What [`ServerHandle::shutdown`] did, with the engine handed back.
+pub struct ShutdownReport {
+    /// The engine, drained and WAL-flushed, ready for further single-owner use
+    /// (or to be dropped, releasing the data-directory lock).
+    pub engine: Engine,
+    /// Epoch at shutdown: committed transaction batches over the server's life.
+    pub epoch: u64,
+    /// Requests shed by admission control over the server's life.
+    pub shed: u64,
+    /// Did the drain finish inside `drain_timeout` (`false` = stragglers were
+    /// cancelled via the engine's [`CancelToken`])?
+    pub drained_cleanly: bool,
+}
+
+/// A running server: the listener address plus the join handles needed to shut
+/// it down. Obtain one from [`serve`].
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    write_tx: mpsc::SyncSender<WriteReq>,
+    accept_thread: Option<JoinHandle<Vec<JoinHandle<()>>>>,
+    writer_thread: Option<JoinHandle<Engine>>,
+}
+
+impl ServerHandle {
+    /// The address the server is listening on (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The currently published epoch (committed transaction batches).
+    pub fn epoch(&self) -> u64 {
+        self.shared.epoch.load(Ordering::Acquire)
+    }
+
+    /// Requests shed by admission control so far.
+    pub fn shed(&self) -> u64 {
+        self.shared.shed.load(Ordering::Relaxed)
+    }
+
+    /// Gracefully shut down: stop admitting (new requests get `ERR shutdown`),
+    /// drain in-flight requests for up to `drain_timeout`, cancel stragglers
+    /// via the engine's [`CancelToken`], flush the WAL, and return the engine.
+    pub fn shutdown(mut self) -> ShutdownReport {
+        self.shared.stopping.store(true, Ordering::Release);
+        // The accept loop polls the stopping flag; joining it also yields the
+        // connection threads it spawned.
+        let conn_threads = self
+            .accept_thread
+            .take()
+            .expect("accept thread present until shutdown")
+            .join()
+            .unwrap_or_default();
+        // Drain: connection threads finish the requests they are serving (new
+        // ones are refused), bounded by the drain timeout.
+        let deadline = Instant::now() + self.shared.options.drain_timeout;
+        let mut drained_cleanly = true;
+        while self.shared.in_flight.load(Ordering::Acquire) > 0 {
+            if Instant::now() >= deadline {
+                drained_cleanly = false;
+                // Stragglers: abort their evaluations cooperatively. They
+                // surface as structured `ERR cancelled` replies.
+                self.shared.cancel.cancel();
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        for handle in conn_threads {
+            let _ = handle.join();
+        }
+        // Senders are all gone once the connection threads are joined and our
+        // own clone is dropped: the writer drains what is queued, flushes the
+        // WAL, and returns the engine.
+        drop(self.write_tx);
+        let mut engine = self
+            .writer_thread
+            .take()
+            .expect("writer thread present until shutdown")
+            .join()
+            .expect("writer thread never panics (engine-contained)");
+        // A cancellation fired during drain must not outlive the server: the
+        // returned engine is immediately reusable.
+        self.shared.cancel.reset();
+        engine.sync_wal().ok();
+        ShutdownReport {
+            engine,
+            epoch: self.shared.epoch.load(Ordering::Acquire),
+            shed: self.shared.shed.load(Ordering::Relaxed),
+            drained_cleanly,
+        }
+    }
+}
+
+/// [`serve`] failed before any thread started: the engine comes back unchanged
+/// so a front end (e.g. the REPL's `:serve`) does not lose session state to a
+/// typo'd address.
+pub struct ServeError {
+    /// The engine, exactly as it was passed in.
+    pub engine: Box<Engine>,
+    /// Why serving did not start.
+    pub error: EngineError,
+}
+
+impl std::fmt::Debug for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ServeError({})", self.error)
+    }
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.error.fmt(f)
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Serve `engine` on `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port).
+/// The engine moves into the server's writer thread; [`ServerHandle::shutdown`]
+/// hands it back. Durable engines keep their data-directory `LOCK` for the
+/// server's lifetime (single writer).
+///
+/// # Panics
+///
+/// If the accept or writer OS thread cannot be spawned (resource exhaustion).
+pub fn serve(
+    mut engine: Engine,
+    addr: impl ToSocketAddrs,
+    options: ServerOptions,
+) -> Result<ServerHandle, ServeError> {
+    let fail = |engine: Engine, error: EngineError| ServeError {
+        engine: Box::new(engine),
+        error,
+    };
+    let listener = match TcpListener::bind(addr) {
+        Ok(listener) => listener,
+        Err(e) => {
+            return Err(fail(
+                engine,
+                EngineError::Io(format!("cannot bind server socket: {e}")),
+            ))
+        }
+    };
+    if let Err(e) = listener.set_nonblocking(true) {
+        return Err(fail(
+            engine,
+            EngineError::Io(format!("cannot configure listener: {e}")),
+        ));
+    }
+    let addr = match listener.local_addr() {
+        Ok(addr) => addr,
+        Err(e) => {
+            return Err(fail(
+                engine,
+                EngineError::Io(format!("cannot resolve listener address: {e}")),
+            ))
+        }
+    };
+
+    // Per-request governance rides on the engine's own governor.
+    engine.set_limits(
+        options.request_deadline,
+        engine.options().max_derived_facts,
+        options.memory_budget_bytes,
+    );
+    let cancel = engine.cancel_token();
+    cancel.reset();
+
+    // The initial view: epoch 0 is the committed prefix "everything recovered
+    // or loaded before serving".
+    let model = match engine.refreshed_model() {
+        Ok(model) => model,
+        Err(error) => return Err(fail(engine, error)),
+    };
+    let shared = Arc::new(Shared {
+        view: RwLock::new(Arc::new(View {
+            epoch: 0,
+            model: Arc::new(model),
+        })),
+        epoch: AtomicU64::new(0),
+        in_flight: AtomicUsize::new(0),
+        shed: AtomicU64::new(0),
+        group_commits: AtomicU64::new(engine.stats().wal_group_commits as u64),
+        group_txns: AtomicU64::new(engine.stats().wal_group_txns as u64),
+        stopping: AtomicBool::new(false),
+        cancel,
+        options: options.clone(),
+    });
+
+    let (write_tx, write_rx) = mpsc::sync_channel::<WriteReq>(options.write_queue_depth);
+
+    let writer_shared = shared.clone();
+    let writer_thread = std::thread::Builder::new()
+        .name("factorlog-writer".to_string())
+        .spawn(move || writer_loop(engine, write_rx, &writer_shared))
+        .expect("cannot spawn writer thread");
+
+    let accept_shared = shared.clone();
+    let accept_tx = write_tx.clone();
+    let accept_thread = std::thread::Builder::new()
+        .name("factorlog-accept".to_string())
+        .spawn(move || accept_loop(listener, accept_shared, accept_tx))
+        .expect("cannot spawn accept thread");
+
+    Ok(ServerHandle {
+        addr,
+        shared,
+        write_tx,
+        accept_thread: Some(accept_thread),
+        writer_thread: Some(writer_thread),
+    })
+}
+
+/// The commit pipeline: block for a first transaction, linger `group_window`
+/// to let concurrent submitters pile on, commit the whole batch under one
+/// fsync, publish the next view, then reply to every submitter.
+fn writer_loop(mut engine: Engine, rx: mpsc::Receiver<WriteReq>, shared: &Shared) -> Engine {
+    let mut epoch = shared.epoch.load(Ordering::Acquire);
+    loop {
+        let first = match rx.recv_timeout(Duration::from_millis(50)) {
+            Ok(req) => req,
+            Err(mpsc::RecvTimeoutError::Timeout) => continue,
+            // Every sender gone: the server is shutting down and the queue is
+            // fully drained (recv yields buffered requests before reporting
+            // disconnection).
+            Err(mpsc::RecvTimeoutError::Disconnected) => break,
+        };
+        let mut batch = vec![first];
+        while batch.len() < MAX_GROUP {
+            match rx.recv_timeout(shared.options.group_window) {
+                Ok(req) => batch.push(req),
+                Err(_) => break,
+            }
+        }
+
+        let (ops, replies): (Vec<_>, Vec<_>) = batch.into_iter().map(|r| (r.ops, r.reply)).unzip();
+        let results = engine.commit_group(ops);
+
+        // Assign each committed batch the epoch that first includes it; the
+        // view published below carries the last of them, so a client holding
+        // `OK … epoch=E` observes its write in every view with epoch >= E.
+        let mut outcomes = Vec::with_capacity(results.len());
+        for result in results {
+            outcomes.push(result.map(|summary| {
+                epoch += 1;
+                (summary, epoch)
+            }));
+        }
+        // Publish before replying: a reply in hand means the write is visible.
+        // A failed refresh (injected fault, tripped limit) keeps the previous
+        // view — still a committed prefix — and retries on the next group; the
+        // commits themselves are already durable either way.
+        if let Ok(model) = engine.refreshed_model() {
+            shared.publish(View {
+                epoch,
+                model: Arc::new(model),
+            });
+        }
+        shared
+            .group_commits
+            .store(engine.stats().wal_group_commits as u64, Ordering::Relaxed);
+        shared
+            .group_txns
+            .store(engine.stats().wal_group_txns as u64, Ordering::Relaxed);
+        for (outcome, reply) in outcomes.into_iter().zip(replies) {
+            // A submitter that died (connection killed mid-request) simply
+            // never reads its reply; the commit stands.
+            let _ = reply.send(outcome);
+        }
+    }
+    engine
+}
+
+/// Accept connections until shutdown; returns the connection-thread handles.
+fn accept_loop(
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    write_tx: mpsc::SyncSender<WriteReq>,
+) -> Vec<JoinHandle<()>> {
+    let mut conns = Vec::new();
+    while !shared.stopping.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let shared = shared.clone();
+                let write_tx = write_tx.clone();
+                if let Ok(handle) = std::thread::Builder::new()
+                    .name("factorlog-conn".to_string())
+                    .spawn(move || serve_connection(stream, &shared, &write_tx))
+                {
+                    conns.push(handle);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+    conns
+}
+
+/// Serve one connection: read request lines, answer each with rows + one
+/// `OK`/`ERR` line. Returns (closing the connection) on `QUIT`, client
+/// disconnect, I/O error, or server shutdown.
+fn serve_connection(stream: TcpStream, shared: &Shared, write_tx: &mpsc::SyncSender<WriteReq>) {
+    // The poll timeout keeps blocked reads responsive to shutdown; write
+    // errors (client gone) abort the connection — the reader side of
+    // disconnect cancellation.
+    stream.set_read_timeout(Some(CONN_POLL)).ok();
+    stream.set_nodelay(true).ok();
+    let Ok(reader_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(reader_half);
+    let mut writer = BufWriter::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return, // client closed
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if shared.stopping.load(Ordering::Acquire) {
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return,
+        }
+        let request = line.trim();
+        if request.is_empty() {
+            continue;
+        }
+        if shared.stopping.load(Ordering::Acquire) {
+            let _ = respond_err(&mut writer, "shutdown", "server is shutting down");
+            return;
+        }
+        let quit = request.eq_ignore_ascii_case("QUIT");
+        if quit {
+            let _ = writeln!(writer, "OK bye").and_then(|()| writer.flush());
+            return;
+        }
+        if handle_request(request, shared, write_tx, &mut writer).is_err() {
+            return; // client disconnected mid-response
+        }
+    }
+}
+
+/// Dispatch one request line. `Err` means the *socket* failed (disconnect);
+/// protocol-level failures are reported in-band as `ERR` lines.
+fn handle_request(
+    request: &str,
+    shared: &Shared,
+    write_tx: &mpsc::SyncSender<WriteReq>,
+    out: &mut impl Write,
+) -> std::io::Result<()> {
+    let (verb, rest) = match request.split_once(char::is_whitespace) {
+        Some((verb, rest)) => (verb, rest.trim()),
+        None => (request, ""),
+    };
+    if verb.eq_ignore_ascii_case("PING") {
+        writeln!(out, "OK pong")?;
+        return out.flush();
+    }
+    if verb.eq_ignore_ascii_case("EPOCH") {
+        writeln!(out, "OK epoch={}", shared.epoch.load(Ordering::Acquire))?;
+        return out.flush();
+    }
+    if verb.eq_ignore_ascii_case("STATS") {
+        writeln!(
+            out,
+            "OK epoch={} in_flight={} shed={} group_commits={} group_txns={}",
+            shared.epoch.load(Ordering::Acquire),
+            shared.in_flight.load(Ordering::Acquire),
+            shared.shed.load(Ordering::Relaxed),
+            shared.group_commits.load(Ordering::Relaxed),
+            shared.group_txns.load(Ordering::Relaxed),
+        )?;
+        return out.flush();
+    }
+    if verb.eq_ignore_ascii_case("QUERY") {
+        let Some(_guard) = shared.admit() else {
+            return respond_overloaded(out, shared);
+        };
+        return handle_query(rest, shared, out);
+    }
+    if verb.eq_ignore_ascii_case("TXN") {
+        let Some(_guard) = shared.admit() else {
+            return respond_overloaded(out, shared);
+        };
+        return handle_txn(rest, shared, write_tx, out);
+    }
+    respond_err(out, "parse", &format!("unknown request `{verb}`"))
+}
+
+/// Answer a query from the current view, streaming rows with periodic
+/// deadline/cancellation checks (slow clients must not wedge shutdown).
+fn handle_query(text: &str, shared: &Shared, out: &mut impl Write) -> std::io::Result<()> {
+    // Accept the REPL's clause syntax: a trailing period is noise here.
+    let text = text.trim().trim_end_matches('.');
+    let query = match parse_query(text) {
+        Ok(query) => query,
+        Err(e) => return respond_err(out, "parse", &e.to_string()),
+    };
+    let started = Instant::now();
+    let view = shared.current_view();
+    let answers = view.model.answers(&query);
+    let mut rendered = String::new();
+    for (i, row) in answers.iter().enumerate() {
+        if i % ROW_CHECK_INTERVAL == 0 && i > 0 {
+            if let Some(deadline) = shared.options.request_deadline {
+                if started.elapsed() >= deadline {
+                    return respond_err(
+                        out,
+                        "deadline",
+                        &format!(
+                            "deadline of {deadline:.1?} exceeded after {:.1?} ({i} of {} row(s) sent)",
+                            started.elapsed(),
+                            answers.len()
+                        ),
+                    );
+                }
+            }
+            if shared.cancel.is_cancelled() || shared.stopping.load(Ordering::Acquire) {
+                return respond_err(out, "shutdown", "server is shutting down");
+            }
+        }
+        rendered.clear();
+        rendered.push_str("ROW ");
+        for (j, value) in row.iter().enumerate() {
+            if j > 0 {
+                rendered.push_str(", ");
+            }
+            write_const(&mut rendered, value);
+        }
+        writeln!(out, "{rendered}")?;
+    }
+    writeln!(out, "OK rows={} epoch={}", answers.len(), view.epoch)?;
+    out.flush()
+}
+
+/// Parse and submit a transaction to the commit pipeline, then relay the
+/// writer's verdict.
+fn handle_txn(
+    spec: &str,
+    shared: &Shared,
+    write_tx: &mpsc::SyncSender<WriteReq>,
+    out: &mut impl Write,
+) -> std::io::Result<()> {
+    let ops = match parse_txn_ops(spec) {
+        Ok(ops) => ops,
+        Err(message) => return respond_err(out, "parse", &message),
+    };
+    let (reply_tx, reply_rx) = mpsc::channel();
+    let req = WriteReq {
+        ops,
+        reply: reply_tx,
+    };
+    // A full queue is overload, not a reason to block the connection thread.
+    if let Err(e) = write_tx.try_send(req) {
+        return match e {
+            mpsc::TrySendError::Full(_) => respond_overloaded(out, shared),
+            mpsc::TrySendError::Disconnected(_) => {
+                respond_err(out, "shutdown", "server is shutting down")
+            }
+        };
+    }
+    match reply_rx.recv() {
+        Ok(Ok((summary, epoch))) => {
+            writeln!(
+                out,
+                "OK asserted={} retracted={} epoch={epoch}",
+                summary.asserted, summary.retracted
+            )?;
+            out.flush()
+        }
+        Ok(Err(error)) => respond_engine_error(out, &error),
+        // The writer died before replying — only possible mid-shutdown.
+        Err(_) => respond_err(out, "shutdown", "server is shutting down"),
+    }
+}
+
+/// Parse `+p(1, 2); -q(foo)` into transaction ops. Every atom must be ground.
+fn parse_txn_ops(spec: &str) -> Result<Vec<(TxnOp, Symbol, Vec<Const>)>, String> {
+    let mut ops = Vec::new();
+    for part in spec.split(';') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let (op, atom_text) = match part.split_at(1) {
+            ("+", rest) => (TxnOp::Assert, rest.trim().trim_end_matches('.')),
+            ("-", rest) => (TxnOp::Retract, rest.trim().trim_end_matches('.')),
+            _ => {
+                return Err(format!(
+                    "transaction op `{part}` must start with `+` (assert) or `-` (retract)"
+                ))
+            }
+        };
+        let atom = parse_query(atom_text)
+            .map_err(|e| format!("bad atom in `{part}`: {e}"))?
+            .atom;
+        let Some(tuple) = atom.as_fact() else {
+            return Err(format!("transaction atom `{atom_text}` must be ground"));
+        };
+        ops.push((op, atom.predicate, tuple));
+    }
+    if ops.is_empty() {
+        return Err("empty transaction".to_string());
+    }
+    Ok(ops)
+}
+
+fn respond_overloaded(out: &mut impl Write, shared: &Shared) -> std::io::Result<()> {
+    respond_err(
+        out,
+        "overloaded",
+        &format!(
+            "server at capacity; retry after {} ms",
+            shared.options.retry_after.as_millis()
+        ),
+    )
+}
+
+/// Map an engine error onto a protocol error code.
+fn respond_engine_error(out: &mut impl Write, error: &EngineError) -> std::io::Result<()> {
+    let code = match error {
+        EngineError::Parse(_) => "parse",
+        EngineError::ArityMismatch { .. } | EngineError::NonGroundFact(_) => "txn",
+        EngineError::Eval(EvalError::LimitExceeded { reason, .. }) => match reason {
+            LimitReason::Cancelled => "cancelled",
+            LimitReason::Deadline { .. } => "deadline",
+            LimitReason::DerivedFacts { .. } | LimitReason::MemoryBudget { .. } => "limit",
+        },
+        EngineError::Eval(_) => "eval",
+        EngineError::Durability(_) | EngineError::Locked { .. } => "durability",
+        EngineError::Snapshot(_) | EngineError::Io(_) | EngineError::Transform(_) => "internal",
+    };
+    respond_err(out, code, &error.to_string())
+}
+
+fn respond_err(out: &mut impl Write, code: &str, message: &str) -> std::io::Result<()> {
+    // Protocol lines are single lines: flatten any embedded newlines.
+    let message = message.replace('\n', " | ");
+    writeln!(out, "ERR {code}: {message}")?;
+    out.flush()
+}
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+/// A client-side error.
+#[derive(Clone, Debug)]
+pub enum ClientError {
+    /// The socket failed (connect refused, disconnect mid-response).
+    Io(String),
+    /// The server sent something the client cannot interpret.
+    Protocol(String),
+    /// The server answered with a structured `ERR` line.
+    Server {
+        /// The error code (`overloaded`, `deadline`, `shutdown`, …).
+        code: String,
+        /// The human-readable message after the code.
+        message: String,
+    },
+}
+
+impl ClientError {
+    /// Is this an `overloaded` shed — the one error class the server asks the
+    /// client to retry after a backoff?
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, ClientError::Server { code, .. } if code == "overloaded")
+    }
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(m) => write!(f, "io: {m}"),
+            ClientError::Protocol(m) => write!(f, "protocol: {m}"),
+            ClientError::Server { code, message } => write!(f, "server ({code}): {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// A successful `QUERY` response.
+#[derive(Clone, Debug)]
+pub struct QueryReply {
+    /// One rendered row per answer, in the server's (sorted) answer order.
+    pub rows: Vec<String>,
+    /// Epoch of the view the query was answered from.
+    pub epoch: u64,
+}
+
+/// A successful `TXN` response.
+#[derive(Clone, Copy, Debug)]
+pub struct TxnReply {
+    /// Facts asserted (new).
+    pub asserted: usize,
+    /// Facts retracted (present and removed).
+    pub retracted: usize,
+    /// The first epoch whose view includes this transaction.
+    pub epoch: u64,
+}
+
+/// A parsed `STATS` response.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StatsReply {
+    /// Current published epoch.
+    pub epoch: u64,
+    /// Requests in service right now.
+    pub in_flight: usize,
+    /// Requests shed by admission control so far.
+    pub shed: u64,
+    /// Group commits the engine performed (each one fsync).
+    pub group_commits: u64,
+    /// Transactions committed through those groups.
+    pub group_txns: u64,
+}
+
+/// A line-protocol client with exponential-backoff retry for shed requests.
+/// One request in flight at a time per client (the protocol is synchronous).
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connect to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr).map_err(|e| ClientError::Io(e.to_string()))?;
+        stream.set_nodelay(true).ok();
+        let reader = stream
+            .try_clone()
+            .map_err(|e| ClientError::Io(e.to_string()))?;
+        Ok(Client {
+            reader: BufReader::new(reader),
+            writer: stream,
+        })
+    }
+
+    /// Connect with exponential backoff — for races against a server that is
+    /// still binding (e.g. a test or smoke script that just spawned it).
+    pub fn connect_with_retry(
+        addr: impl ToSocketAddrs + Clone,
+        attempts: usize,
+    ) -> Result<Client, ClientError> {
+        let mut delay = Duration::from_millis(10);
+        let mut last = ClientError::Io("no connection attempts made".to_string());
+        for _ in 0..attempts.max(1) {
+            match Client::connect(addr.clone()) {
+                Ok(client) => return Ok(client),
+                Err(e) => last = e,
+            }
+            std::thread::sleep(delay);
+            delay = (delay * 2).min(Duration::from_secs(1));
+        }
+        Err(last)
+    }
+
+    fn send_line(&mut self, line: &str) -> Result<(), ClientError> {
+        writeln!(self.writer, "{line}")
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| ClientError::Io(e.to_string()))
+    }
+
+    fn read_reply_line(&mut self) -> Result<String, ClientError> {
+        let mut line = String::new();
+        match self.reader.read_line(&mut line) {
+            Ok(0) => Err(ClientError::Io("server closed the connection".to_string())),
+            Ok(_) => Ok(line.trim_end().to_string()),
+            Err(e) => Err(ClientError::Io(e.to_string())),
+        }
+    }
+
+    /// Interpret a final `OK …`/`ERR …` line; rows are handled by the caller.
+    fn expect_ok(line: &str) -> Result<&str, ClientError> {
+        if let Some(rest) = line.strip_prefix("OK") {
+            return Ok(rest.trim());
+        }
+        if let Some(rest) = line.strip_prefix("ERR ") {
+            let (code, message) = rest.split_once(':').unwrap_or((rest, ""));
+            return Err(ClientError::Server {
+                code: code.trim().to_string(),
+                message: message.trim().to_string(),
+            });
+        }
+        Err(ClientError::Protocol(format!(
+            "expected OK/ERR, got `{line}`"
+        )))
+    }
+
+    fn parse_field(fields: &str, key: &str) -> Result<u64, ClientError> {
+        fields
+            .split_whitespace()
+            .find_map(|f| f.strip_prefix(key)?.strip_prefix('=')?.parse().ok())
+            .ok_or_else(|| ClientError::Protocol(format!("missing `{key}=` in `{fields}`")))
+    }
+
+    /// Run one query; rows come back rendered exactly as the server printed
+    /// them (parseable constant syntax, comma-separated).
+    pub fn query(&mut self, atom: &str) -> Result<QueryReply, ClientError> {
+        self.send_line(&format!("QUERY {atom}"))?;
+        let mut rows = Vec::new();
+        loop {
+            let line = self.read_reply_line()?;
+            if let Some(row) = line.strip_prefix("ROW ") {
+                rows.push(row.to_string());
+                continue;
+            }
+            let fields = Self::expect_ok(&line)?;
+            let epoch = Self::parse_field(fields, "epoch")?;
+            return Ok(QueryReply { rows, epoch });
+        }
+    }
+
+    /// Commit a transaction, e.g. `"+e(1, 2); -e(0, 1)"`.
+    pub fn txn(&mut self, spec: &str) -> Result<TxnReply, ClientError> {
+        self.send_line(&format!("TXN {spec}"))?;
+        let line = self.read_reply_line()?;
+        let fields = Self::expect_ok(&line)?;
+        Ok(TxnReply {
+            asserted: Self::parse_field(fields, "asserted")? as usize,
+            retracted: Self::parse_field(fields, "retracted")? as usize,
+            epoch: Self::parse_field(fields, "epoch")?,
+        })
+    }
+
+    /// Retry wrapper around [`Client::query`]: exponential backoff on
+    /// `overloaded` sheds, up to `attempts` tries.
+    pub fn query_with_retry(
+        &mut self,
+        atom: &str,
+        attempts: usize,
+    ) -> Result<QueryReply, ClientError> {
+        Self::with_backoff(attempts, || self.query(atom))
+    }
+
+    /// Retry wrapper around [`Client::txn`]: exponential backoff on
+    /// `overloaded` sheds, up to `attempts` tries.
+    pub fn txn_with_retry(&mut self, spec: &str, attempts: usize) -> Result<TxnReply, ClientError> {
+        Self::with_backoff(attempts, || self.txn(spec))
+    }
+
+    fn with_backoff<T>(
+        attempts: usize,
+        mut call: impl FnMut() -> Result<T, ClientError>,
+    ) -> Result<T, ClientError> {
+        let mut delay = Duration::from_millis(5);
+        let mut last_err = None;
+        for _ in 0..attempts.max(1) {
+            match call() {
+                Ok(value) => return Ok(value),
+                Err(e) if e.is_retryable() => {
+                    last_err = Some(e);
+                    std::thread::sleep(delay);
+                    delay = (delay * 2).min(Duration::from_millis(500));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last_err.expect("at least one attempt was made"))
+    }
+
+    /// The server's current epoch.
+    pub fn epoch(&mut self) -> Result<u64, ClientError> {
+        self.send_line("EPOCH")?;
+        let line = self.read_reply_line()?;
+        Self::parse_field(Self::expect_ok(&line)?, "epoch")
+    }
+
+    /// The server's counters.
+    pub fn stats(&mut self) -> Result<StatsReply, ClientError> {
+        self.send_line("STATS")?;
+        let line = self.read_reply_line()?;
+        let fields = Self::expect_ok(&line)?;
+        Ok(StatsReply {
+            epoch: Self::parse_field(fields, "epoch")?,
+            in_flight: Self::parse_field(fields, "in_flight")? as usize,
+            shed: Self::parse_field(fields, "shed")?,
+            group_commits: Self::parse_field(fields, "group_commits")?,
+            group_txns: Self::parse_field(fields, "group_txns")?,
+        })
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.send_line("PING")?;
+        let line = self.read_reply_line()?;
+        Self::expect_ok(&line).map(|_| ())
+    }
+
+    /// Say goodbye; the server closes the connection.
+    pub fn quit(mut self) {
+        let _ = self.send_line("QUIT");
+        let mut sink = String::new();
+        let _ = self.reader.read_to_string(&mut sink);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use factorlog_datalog::parser::parse_query as pq;
+
+    const TC: &str = "t(X, Y) :- e(X, Y).\nt(X, Y) :- e(X, W), t(W, Y).";
+
+    fn tc_engine(edges: i64) -> Engine {
+        let mut engine = Engine::new();
+        engine.load_source(TC).unwrap();
+        for i in 0..edges {
+            engine
+                .insert("e", &[Const::Int(i), Const::Int(i + 1)])
+                .unwrap();
+        }
+        engine
+    }
+
+    fn quick_options() -> ServerOptions {
+        ServerOptions {
+            drain_timeout: Duration::from_secs(2),
+            ..ServerOptions::default()
+        }
+    }
+
+    #[test]
+    fn queries_transactions_and_epochs_round_trip() {
+        let handle = serve(tc_engine(4), "127.0.0.1:0", quick_options()).unwrap();
+        let mut client = Client::connect(handle.addr()).unwrap();
+        client.ping().unwrap();
+
+        let reply = client.query("t(0, Y)").unwrap();
+        assert_eq!(reply.epoch, 0);
+        assert_eq!(reply.rows, vec!["1", "2", "3", "4"]);
+
+        let txn = client.txn("+e(4, 5); -e(0, 1)").unwrap();
+        assert_eq!((txn.asserted, txn.retracted), (1, 1));
+        assert_eq!(txn.epoch, 1);
+        // Read-your-writes: the reply's epoch is already published.
+        let reply = client.query("t(1, Y)").unwrap();
+        assert!(reply.epoch >= txn.epoch);
+        assert_eq!(reply.rows, vec!["2", "3", "4", "5"]);
+        let reply = client.query("t(0, Y)").unwrap();
+        assert!(reply.rows.is_empty(), "e(0,1) was retracted");
+
+        // Structured parse errors, not dropped connections.
+        let err = client.query("t(0, Y").unwrap_err();
+        assert!(matches!(err, ClientError::Server { ref code, .. } if code == "parse"));
+        let err = client.txn("e(1, 2)").unwrap_err();
+        assert!(matches!(err, ClientError::Server { ref code, .. } if code == "parse"));
+        let err = client.txn("+e(1)").unwrap_err();
+        assert!(
+            matches!(err, ClientError::Server { ref code, .. } if code == "txn"),
+            "arity mismatch is a structured txn error: {err}"
+        );
+        // The session survives all of it.
+        client.ping().unwrap();
+        assert_eq!(client.epoch().unwrap(), 1);
+        client.quit();
+
+        let report = handle.shutdown();
+        assert_eq!(report.epoch, 1);
+        assert!(report.drained_cleanly);
+        // The engine comes back with the committed state.
+        let mut engine = report.engine;
+        assert_eq!(engine.query(&pq("t(1, Y)").unwrap()).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn rows_render_symbols_in_parseable_syntax() {
+        let mut engine = Engine::new();
+        engine
+            .load_source("label(a, \"blue metal\").\nlabel(b, plain).")
+            .unwrap();
+        let handle = serve(engine, "127.0.0.1:0", quick_options()).unwrap();
+        let mut client = Client::connect(handle.addr()).unwrap();
+        let reply = client.query("label(X, Y)").unwrap();
+        assert_eq!(reply.rows, vec!["a, \"blue metal\"", "b, plain"]);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn concurrent_clients_group_commit_under_shared_fsyncs() {
+        let dir = std::env::temp_dir().join(format!(
+            "factorlog_server_group_{}_{}",
+            std::process::id(),
+            line!()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let mut engine = Engine::open_durable(&dir).unwrap();
+        engine.load_source(TC).unwrap();
+        let handle = serve(
+            engine,
+            "127.0.0.1:0",
+            ServerOptions {
+                group_window: Duration::from_millis(10),
+                ..quick_options()
+            },
+        )
+        .unwrap();
+        let addr = handle.addr();
+        let writers: Vec<_> = (0..8)
+            .map(|w| {
+                std::thread::spawn(move || {
+                    let mut client = Client::connect(addr).unwrap();
+                    for i in 0..5i64 {
+                        client
+                            .txn_with_retry(&format!("+e({}, {})", 100 * w + i, 100 * w + i + 1), 8)
+                            .unwrap();
+                    }
+                })
+            })
+            .collect();
+        for w in writers {
+            w.join().unwrap();
+        }
+        let mut client = Client::connect(addr).unwrap();
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.epoch, 40, "all 40 txns committed");
+        assert_eq!(stats.group_txns, 40);
+        assert!(
+            stats.group_commits < stats.group_txns,
+            "concurrent submitters must share fsyncs: {} groups for {} txns",
+            stats.group_commits,
+            stats.group_txns
+        );
+        let report = handle.shutdown();
+        drop(report);
+        // And the groups are replay-equivalent to singles.
+        let reopened = Engine::open_durable(&dir).unwrap();
+        assert_eq!(reopened.facts().count("e"), 40);
+        drop(reopened);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn overload_sheds_with_a_retryable_error_instead_of_queueing() {
+        // max_in_flight = 0: every governed request is shed immediately.
+        let handle = serve(
+            tc_engine(2),
+            "127.0.0.1:0",
+            ServerOptions {
+                max_in_flight: 0,
+                ..quick_options()
+            },
+        )
+        .unwrap();
+        let mut client = Client::connect(handle.addr()).unwrap();
+        let err = client.query("t(0, Y)").unwrap_err();
+        assert!(err.is_retryable(), "sheds are retryable: {err}");
+        assert!(err.to_string().contains("retry after"));
+        // Ungoverned liveness probes still answer.
+        client.ping().unwrap();
+        assert!(handle.shed() >= 1);
+        let report = handle.shutdown();
+        assert!(report.shed >= 1);
+    }
+
+    #[test]
+    fn shutdown_rejects_new_requests_and_returns_a_reusable_engine() {
+        let handle = serve(tc_engine(3), "127.0.0.1:0", quick_options()).unwrap();
+        let addr = handle.addr();
+        let mut client = Client::connect(addr).unwrap();
+        client.query("t(0, Y)").unwrap();
+        let report = handle.shutdown();
+        assert!(report.drained_cleanly);
+        // The old connection and new connections both see refusal, not a hang.
+        assert!(client.query("t(0, Y)").is_err());
+        assert!(Client::connect(addr).map(|mut c| c.ping()).is_err());
+        let mut engine = report.engine;
+        engine.insert("e", &[Const::Int(3), Const::Int(4)]).unwrap();
+        assert_eq!(engine.query(&pq("t(0, Y)").unwrap()).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn txn_ops_parse_and_reject_malformed_input() {
+        let ops = parse_txn_ops("+e(1, 2); -e(2, 1);").unwrap();
+        assert_eq!(ops.len(), 2);
+        assert_eq!(ops[0].0, TxnOp::Assert);
+        assert_eq!(ops[1].0, TxnOp::Retract);
+        assert!(parse_txn_ops("").is_err());
+        assert!(parse_txn_ops("e(1, 2)").is_err());
+        assert!(parse_txn_ops("+e(X, 2)").is_err(), "non-ground atom");
+        assert!(parse_txn_ops("+e(1, ").is_err());
+    }
+}

@@ -511,6 +511,58 @@ impl WalWriter {
         Ok(())
     }
 
+    /// Append a batch of records under a single fsync (group commit): every
+    /// frame is written, then one `sync_data` makes the whole batch durable at
+    /// once. All-or-nothing: on any error the file is rolled back to its length
+    /// before the batch (poisoning the writer if the rollback itself fails), so
+    /// no record of a failed group is ever acknowledged or replayed. An empty
+    /// batch is a no-op.
+    pub fn append_all(&mut self, records: &[WalRecord]) -> Result<(), WalError> {
+        if records.is_empty() {
+            return Ok(());
+        }
+        if self.poisoned {
+            return Err(WalError::Injected { written: 0 });
+        }
+        let mut frames = Vec::new();
+        for record in records {
+            let payload = record.encode();
+            if payload.len() as u64 > MAX_RECORD_BYTES as u64 {
+                // Nothing has been written yet: the whole group aborts cleanly.
+                return Err(WalError::TooLarge {
+                    bytes: payload.len(),
+                });
+            }
+            frames.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            frames.extend_from_slice(&crc32(&payload).to_le_bytes());
+            frames.extend_from_slice(&payload);
+        }
+        self.last_fsync_ns = None;
+        let result = self.write_through_fault(&frames).and_then(|()| {
+            if self.fsync {
+                let start = std::time::Instant::now();
+                self.file.sync_data()?;
+                self.last_fsync_ns = Some(start.elapsed().as_nanos() as u64);
+            }
+            Ok(())
+        });
+        if let Err(error) = result {
+            if !matches!(error, WalError::Injected { .. }) {
+                let rolled_back = self
+                    .file
+                    .set_len(self.len)
+                    .and_then(|()| self.file.seek(SeekFrom::Start(self.len)).map(|_| ()))
+                    .is_ok();
+                if !rolled_back {
+                    self.poisoned = true;
+                }
+            }
+            return Err(error);
+        }
+        self.len += frames.len() as u64;
+        Ok(())
+    }
+
     /// Force an fsync now (used once at the end of unsynced bulk phases).
     pub fn sync(&mut self) -> Result<(), WalError> {
         self.file.sync_data()?;
@@ -789,6 +841,69 @@ mod tests {
         let mut writer = WalWriter::create(&path, false).unwrap();
         writer.set_fault(Some(FaultPoint { budget: frame_len }));
         writer.append(&record).unwrap();
+        assert_eq!(read_log(&path).unwrap().records.len(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn append_all_groups_records_under_one_sync() {
+        let path = temp_path("group");
+        let mut writer = WalWriter::create(&path, true).unwrap();
+        writer.append(&sample_txn(1)).unwrap();
+        writer
+            .append_all(&[sample_txn(2), sample_txn(3), sample_txn(4)])
+            .unwrap();
+        writer.append_all(&[]).unwrap(); // no-op
+        let scan = read_log(&path).unwrap();
+        assert_eq!(scan.records.len(), 4);
+        assert_eq!(scan.torn_bytes, 0);
+        assert_eq!(scan.valid_len, writer.len());
+        assert_eq!(scan.records[3], sample_txn(4));
+        // The single group fsync is timed like a plain append's.
+        assert!(writer.last_fsync_ns().is_some());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn append_all_torn_mid_group_loses_the_whole_suffix_but_keeps_the_prefix() {
+        // Tear the group write at every byte offset: recovery keeps exactly the
+        // records whose frames fully made it to disk — a torn group commit can
+        // lose a suffix of the batch but never reorders or corrupts.
+        let path = temp_path("group_fault");
+        let batch = [sample_txn(2), sample_txn(3)];
+        let batch_len: u64 = batch.iter().map(|r| r.encode().len() as u64 + 8).sum();
+        let frame2_len = batch[0].encode().len() as u64 + 8;
+        for budget in 0..batch_len {
+            let mut writer = WalWriter::create(&path, false).unwrap();
+            writer.append(&sample_txn(1)).unwrap();
+            writer.set_fault(Some(FaultPoint { budget }));
+            let err = writer.append_all(&batch).unwrap_err();
+            assert!(matches!(err, WalError::Injected { .. }), "budget {budget}");
+            assert!(writer.is_poisoned());
+            drop(writer);
+            let scan = read_log(&path).unwrap();
+            let expect = 1 + usize::from(budget >= frame2_len);
+            assert_eq!(scan.records.len(), expect, "budget {budget}");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn append_all_rejects_oversized_records_without_writing() {
+        let path = temp_path("group_big");
+        let mut writer = WalWriter::create(&path, false).unwrap();
+        let huge = WalRecord::Source {
+            seq: 1,
+            text: "x".repeat(MAX_RECORD_BYTES as usize + 1),
+        };
+        let before = writer.len();
+        assert!(matches!(
+            writer.append_all(&[sample_txn(1), huge]),
+            Err(WalError::TooLarge { .. })
+        ));
+        assert_eq!(writer.len(), before, "nothing from the group is written");
+        assert!(!writer.is_poisoned());
+        writer.append_all(&[sample_txn(1)]).unwrap();
         assert_eq!(read_log(&path).unwrap().records.len(), 1);
         std::fs::remove_file(&path).ok();
     }

@@ -7,6 +7,8 @@
 //!     factorlog <FILE> [--query "t(0, Y)"] [--strategy original|magic|factored]
 //!               [--show-program] [--explain] [--stats]
 //!     factorlog repl [FILE] [--data-dir DIR] [--metrics-json PATH]
+//!     factorlog serve [FILE] [--data-dir DIR] [--addr HOST:PORT]
+//!               [--max-in-flight N] [--deadline-ms N]
 //!
 //! OPTIONS:
 //!     --query <ATOM>       query literal (overrides any ?- clause in the file)
@@ -26,6 +28,17 @@
 //!     (even after SIGKILL), and the log compacts into a snapshot as it grows.
 //!     `--metrics-json PATH` enables tracing for the whole session and writes the
 //!     versioned metrics JSON document to PATH when the session ends.
+//!
+//! SERVE MODE:
+//!     a concurrent multi-session server on the same engine: any number of
+//!     connections speak the line protocol (QUERY/TXN/PING/EPOCH/STATS/QUIT),
+//!     readers answer lock-free from an atomically swapped materialized view,
+//!     and concurrently submitted transactions group-commit under one WAL
+//!     fsync. `--max-in-flight N` bounds admission (excess requests are shed
+//!     with a retryable `ERR overloaded`), `--deadline-ms N` sets the
+//!     per-request deadline. SIGTERM or Ctrl-C shuts down gracefully: drain,
+//!     cancel stragglers, flush the WAL. An in-REPL session connects with
+//!     `:connect HOST:PORT`.
 //! ```
 //!
 //! One-shot runs execute on the same [`Engine`] the REPL uses, so `--stats` reports
@@ -61,7 +74,8 @@ struct CliOptions {
 fn usage() -> String {
     "usage: factorlog <FILE> [--query \"t(0, Y)\"] [--strategy original|magic|factored] \
      [--show-program] [--explain] [--stats]\n       factorlog repl [FILE] [--data-dir DIR] \
-     [--metrics-json PATH]"
+     [--metrics-json PATH]\n       factorlog serve [FILE] [--data-dir DIR] [--addr HOST:PORT] \
+     [--max-in-flight N] [--deadline-ms N]"
         .to_string()
 }
 
@@ -99,6 +113,82 @@ fn parse_repl_args(args: &[String]) -> Result<ReplOptions, String> {
             "--help" | "-h" => return Err(usage()),
             other if other.starts_with("--") => {
                 return Err(format!("unknown repl option `{other}`\n{}", usage()));
+            }
+            other => {
+                if options.file.is_some() {
+                    return Err(format!("unexpected positional argument `{other}`"));
+                }
+                options.file = Some(other.to_string());
+            }
+        }
+    }
+    Ok(options)
+}
+
+/// Arguments of `factorlog serve ...`.
+#[derive(Debug, PartialEq, Eq)]
+struct ServeCliOptions {
+    /// Datalog source (or snapshot) loaded into the engine before serving.
+    file: Option<String>,
+    /// Data directory of a durable served engine (WAL + snapshot + LOCK).
+    data_dir: Option<String>,
+    /// Listen address.
+    addr: String,
+    /// Admission-control cap (requests in service at once).
+    max_in_flight: Option<usize>,
+    /// Per-request deadline in milliseconds.
+    deadline_ms: Option<u64>,
+}
+
+impl Default for ServeCliOptions {
+    fn default() -> Self {
+        ServeCliOptions {
+            file: None,
+            data_dir: None,
+            addr: "127.0.0.1:7070".to_string(),
+            max_in_flight: None,
+            deadline_ms: None,
+        }
+    }
+}
+
+fn parse_serve_args(args: &[String]) -> Result<ServeCliOptions, String> {
+    let mut options = ServeCliOptions::default();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--data-dir" => {
+                options.data_dir = Some(
+                    iter.next()
+                        .ok_or_else(|| "--data-dir requires a directory argument".to_string())?
+                        .clone(),
+                );
+            }
+            "--addr" => {
+                options.addr = iter
+                    .next()
+                    .ok_or_else(|| "--addr requires a HOST:PORT argument".to_string())?
+                    .clone();
+            }
+            "--max-in-flight" => {
+                options.max_in_flight = Some(
+                    iter.next()
+                        .ok_or_else(|| "--max-in-flight requires a number".to_string())?
+                        .parse()
+                        .map_err(|e| format!("--max-in-flight: {e}"))?,
+                );
+            }
+            "--deadline-ms" => {
+                options.deadline_ms = Some(
+                    iter.next()
+                        .ok_or_else(|| "--deadline-ms requires a number".to_string())?
+                        .parse()
+                        .map_err(|e| format!("--deadline-ms: {e}"))?,
+                );
+            }
+            "--help" | "-h" => return Err(usage()),
+            other if other.starts_with("--") => {
+                return Err(format!("unknown serve option `{other}`\n{}", usage()));
             }
             other => {
                 if options.file.is_some() {
@@ -292,8 +382,10 @@ mod sigint {
     use factorlog::prelude::CancelToken;
 
     static TOKEN: OnceLock<CancelToken> = OnceLock::new();
+    static SHUTDOWN: OnceLock<CancelToken> = OnceLock::new();
 
     const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
 
     extern "C" {
         fn signal(signum: i32, handler: usize) -> usize;
@@ -308,6 +400,12 @@ mod sigint {
         }
     }
 
+    extern "C" fn handle_shutdown(_signum: i32) {
+        if let Some(token) = SHUTDOWN.get() {
+            token.cancel();
+        }
+    }
+
     /// Install the handler, cancelling `token` on every SIGINT. Idempotent;
     /// only the first token is retained.
     pub fn install(token: CancelToken) {
@@ -316,6 +414,83 @@ mod sigint {
             signal(SIGINT, handle as *const () as usize);
         }
     }
+
+    /// Serve mode: SIGTERM and SIGINT both request a *graceful* shutdown by
+    /// setting `token` — the main loop notices and drains the server; nothing
+    /// is killed mid-commit. Idempotent; only the first token is retained.
+    pub fn install_shutdown(token: CancelToken) {
+        let _ = SHUTDOWN.set(token);
+        unsafe {
+            signal(SIGINT, handle_shutdown as *const () as usize);
+            signal(SIGTERM, handle_shutdown as *const () as usize);
+        }
+    }
+}
+
+/// Run `factorlog serve`: put the engine behind the concurrent TCP front end
+/// and block until SIGTERM/Ctrl-C requests a graceful shutdown.
+fn run_serve(options: &ServeCliOptions) -> Result<(), String> {
+    let mut engine = match &options.data_dir {
+        Some(dir) => {
+            let engine = Engine::open_durable(dir).map_err(|e| format!("--data-dir {dir}: {e}"))?;
+            let report = engine.recovery_report().cloned().unwrap_or_default();
+            println!(
+                "% durable session {dir}: {} fact(s) recovered ({})",
+                engine.facts().total_facts(),
+                report.describe()
+            );
+            engine
+        }
+        None => Engine::new(),
+    };
+    if let Some(path) = &options.file {
+        let source =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let summary = engine
+            .load_source(&source)
+            .map_err(|e| format!("{path}: {e}"))?;
+        println!(
+            "% loaded {path}: {} rule(s), {} fact(s)",
+            summary.rules_added, summary.facts_added
+        );
+    }
+    let mut server_options = ServerOptions::default();
+    if let Some(n) = options.max_in_flight {
+        server_options.max_in_flight = n;
+        server_options.write_queue_depth = n.max(1);
+    }
+    if let Some(ms) = options.deadline_ms {
+        server_options.request_deadline = Some(std::time::Duration::from_millis(ms));
+    }
+    let handle = serve(engine, options.addr.as_str(), server_options)
+        .map_err(|e| format!("--addr {}: {e}", options.addr))?;
+    println!(
+        "% factorlog serving on {} (pid {}; SIGTERM or Ctrl-C shuts down gracefully)",
+        handle.addr(),
+        std::process::id()
+    );
+    std::io::stdout().flush().ok();
+
+    let shutdown = CancelToken::new();
+    #[cfg(unix)]
+    sigint::install_shutdown(shutdown.clone());
+    while !shutdown.is_cancelled() {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+
+    println!("% shutdown requested; draining in-flight requests");
+    let report = handle.shutdown();
+    println!(
+        "% served through epoch {} ({} request(s) shed); wal flushed; {}",
+        report.epoch,
+        report.shed,
+        if report.drained_cleanly {
+            "drained cleanly"
+        } else {
+            "stragglers cancelled"
+        }
+    );
+    Ok(())
 }
 
 /// Run the interactive REPL; `options.data_dir` (when given) makes the session
@@ -389,6 +564,15 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("repl") {
         return match parse_repl_args(&args[1..]).and_then(|options| run_repl(&options)) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(message) => {
+                eprintln!("error: {message}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if args.first().map(String::as_str) == Some("serve") {
+        return match parse_serve_args(&args[1..]).and_then(|options| run_serve(&options)) {
             Ok(()) => ExitCode::SUCCESS,
             Err(message) => {
                 eprintln!("error: {message}");
@@ -506,6 +690,35 @@ mod tests {
         assert!(parse_repl_args(&args(&["--metrics-json"])).is_err());
         assert!(parse_repl_args(&args(&["a.dl", "b.dl"])).is_err());
         assert!(parse_repl_args(&args(&["--bogus"])).is_err());
+    }
+
+    #[test]
+    fn parses_serve_arguments() {
+        assert_eq!(
+            parse_serve_args(&args(&[])).unwrap(),
+            ServeCliOptions::default()
+        );
+        let options = parse_serve_args(&args(&[
+            "base.dl",
+            "--data-dir",
+            "/tmp/d",
+            "--addr",
+            "0.0.0.0:9000",
+            "--max-in-flight",
+            "8",
+            "--deadline-ms",
+            "250",
+        ]))
+        .unwrap();
+        assert_eq!(options.file.as_deref(), Some("base.dl"));
+        assert_eq!(options.data_dir.as_deref(), Some("/tmp/d"));
+        assert_eq!(options.addr, "0.0.0.0:9000");
+        assert_eq!(options.max_in_flight, Some(8));
+        assert_eq!(options.deadline_ms, Some(250));
+        assert!(parse_serve_args(&args(&["--addr"])).is_err());
+        assert!(parse_serve_args(&args(&["--max-in-flight", "lots"])).is_err());
+        assert!(parse_serve_args(&args(&["a.dl", "b.dl"])).is_err());
+        assert!(parse_serve_args(&args(&["--bogus"])).is_err());
     }
 
     #[test]

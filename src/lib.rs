@@ -63,9 +63,10 @@ pub mod prelude {
     pub use factorlog_datalog::storage::Database;
     pub use factorlog_datalog::Symbol;
     pub use factorlog_engine::{
-        CancelToken, CompactionFault, DurabilityOptions, Engine, EngineError, FaultAction,
-        FaultInjector, FaultSite, LimitReason, RecoveryReport, Repl, ReplAction, Snapshot, Txn,
-        TxnSummary,
+        serve, CancelToken, Client, ClientError, CompactionFault, DurabilityOptions, Engine,
+        EngineError, FaultAction, FaultInjector, FaultSite, LimitReason, QueryReply,
+        RecoveryReport, Repl, ReplAction, ServeError, ServerHandle, ServerOptions, ShutdownReport,
+        Snapshot, StatsReply, Txn, TxnReply, TxnSummary,
     };
 }
 

@@ -335,6 +335,7 @@ fn deadline_on_unbounded_recursion_aborts_within_twice_the_deadline() {
     let took = started.elapsed();
     let EngineError::Eval(EvalError::LimitExceeded {
         reason: LimitReason::Deadline { .. },
+        elapsed,
         partial_stats,
     }) = error
     else {
@@ -343,6 +344,10 @@ fn deadline_on_unbounded_recursion_aborts_within_twice_the_deadline() {
     assert!(
         partial_stats.facts_derived > 0,
         "the query was really running"
+    );
+    assert!(
+        elapsed >= deadline && elapsed <= took,
+        "the error's own elapsed ({elapsed:?}) brackets the deadline without exceeding the wall clock ({took:?})"
     );
     assert!(
         took < deadline * 2,
