@@ -16,6 +16,8 @@
 //! cargo run -p factorlog-bench --bin report -- --json observability --quick   # CI smoke run
 //! cargo run --release -p factorlog-bench --bin report -- --json concurrent  # BENCH_concurrent.json body
 //! cargo run -p factorlog-bench --bin report -- --json concurrent --quick   # CI smoke run
+//! cargo run --release -p factorlog-bench --bin report -- --json replication  # BENCH_replication.json body
+//! cargo run -p factorlog-bench --bin report -- --json replication --quick   # CI smoke run
 //! ```
 //!
 //! The output is Markdown; each section corresponds to one experiment of DESIGN.md §4.
@@ -75,15 +77,20 @@ fn main() {
                 let results = factorlog_bench::concurrent::run_suite(quick);
                 println!("{}", factorlog_bench::concurrent::to_json(&results, quick));
             }
+            Some("replication") => {
+                let quick = args.iter().any(|a| a == "--quick");
+                let results = factorlog_bench::replication::run_suite(quick);
+                println!("{}", factorlog_bench::replication::to_json(&results, quick));
+            }
             Some(other) => {
                 eprintln!(
-                    "unknown --json suite `{other}` (expected: joins, parallel, incremental, durability, observability, concurrent)"
+                    "unknown --json suite `{other}` (expected: joins, parallel, incremental, durability, observability, concurrent, replication)"
                 );
                 std::process::exit(2);
             }
             None => {
                 eprintln!(
-                    "--json requires a suite name (expected: joins, parallel, incremental, durability, observability, concurrent)"
+                    "--json requires a suite name (expected: joins, parallel, incremental, durability, observability, concurrent, replication)"
                 );
                 std::process::exit(2);
             }

@@ -1983,3 +1983,251 @@ pub mod concurrent {
         }
     }
 }
+
+/// The `replication` measurement suite: the workload behind the checked-in
+/// `BENCH_replication.json` baseline and the `report --json replication` mode. A
+/// durable leader with a pre-built WAL backlog is served over TCP; a follower
+/// replica subscribes, and the suite measures (a) catch-up throughput — committed
+/// WAL frames applied per second until the follower's lag reaches zero — and (b)
+/// steady-state lag — the follower's frame lag sampled after every poll while
+/// writer connections sustain a live transaction stream. The suite itself asserts
+/// the acceptance invariant: after the final catch-up the follower's fact store is
+/// checksum-identical to the leader's.
+pub mod replication {
+    use std::path::PathBuf;
+    use std::time::{Duration, Instant};
+
+    use factorlog_datalog::ast::Const;
+    use factorlog_engine::{
+        serve, Client, DurabilityOptions, Engine, Replica, ReplicationOptions, ServerOptions,
+    };
+    use factorlog_workloads::programs;
+
+    use crate::parallel::database_checksum;
+
+    /// Writer connections sustaining the live stream during the steady phase.
+    pub const WRITERS: usize = 2;
+
+    /// One measured scenario (one backlog size).
+    #[derive(Clone, Debug)]
+    pub struct ReplicationMeasurement {
+        /// Scenario id (stable across runs; keys of `BENCH_replication.json`).
+        pub name: String,
+        /// Committed WAL frames in the leader's log before the follower starts.
+        pub backlog_frames: u64,
+        /// Wall-clock seconds the follower took to drain the backlog.
+        pub catchup_secs: f64,
+        /// Catch-up throughput: backlog frames applied per second.
+        pub catchup_frames_per_sec: f64,
+        /// Snapshot bootstraps during catch-up (0 when the log was intact).
+        pub bootstraps: u64,
+        /// Transactions the writers committed during the steady phase.
+        pub steady_txns: usize,
+        /// Follower lag samples taken during the steady phase (one per poll).
+        pub lag_samples: usize,
+        /// Maximum sampled lag, in frames.
+        pub steady_lag_max: u64,
+        /// Mean sampled lag, in frames.
+        pub steady_lag_mean: f64,
+        /// Checksum of the leader's fact store after shutdown — asserted equal
+        /// to the follower's (the replica converged to an identical copy).
+        pub facts_checksum: u64,
+    }
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        static COUNTER: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+        let n = COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "factorlog_bench_replication_{tag}_{}_{n}",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    /// Build a leader with `backlog` single-fact commits in its log, serve it,
+    /// catch a fresh follower up, then sustain a live stream of `steady_txns`
+    /// transactions per writer while the follower polls and its lag is sampled.
+    fn measure_run(backlog: u64, steady_txns: usize) -> ReplicationMeasurement {
+        let leader_dir = scratch_dir("leader");
+        let follower_dir = scratch_dir("follower");
+        let options = DurabilityOptions {
+            fsync: false,
+            compact_threshold: u64::MAX,
+        };
+        let mut engine = Engine::open_durable_with(&leader_dir, options).expect("durable open");
+        engine
+            .load_source(programs::RIGHT_LINEAR_TC)
+            .expect("program loads");
+        // Disjoint (non-chaining) edges: one WAL frame each, and the TC rules
+        // derive only linearly many facts, so the log — not evaluation — is
+        // what the catch-up phase measures.
+        for i in 0..backlog as i64 {
+            engine
+                .insert("e", &[Const::Int(i), Const::Int(i + 100_000_000)])
+                .expect("backlog insert");
+        }
+        let backlog_frames = engine.wal_last_seq().expect("leader is durable");
+        let handle = serve(
+            engine,
+            "127.0.0.1:0",
+            ServerOptions {
+                group_window: Duration::from_millis(2),
+                ..ServerOptions::default()
+            },
+        )
+        .expect("serve");
+        let addr = handle.addr();
+
+        // Catch-up phase: a fresh follower drains the whole backlog.
+        let follower_engine =
+            Engine::open_durable_with(&follower_dir, options).expect("follower open");
+        let mut follower = Replica::from_engine(
+            follower_engine,
+            addr.to_string(),
+            ReplicationOptions {
+                poll_interval: Duration::from_millis(1),
+                ..ReplicationOptions::default()
+            },
+        )
+        .expect("replica wraps");
+        let start = Instant::now();
+        while follower.applied_seq() < backlog_frames {
+            let report = follower.sync_once().expect("sync");
+            assert!(report.contacted, "the served leader must be reachable");
+        }
+        let catchup_secs = start.elapsed().as_secs_f64();
+        let bootstraps = follower.status().bootstraps;
+
+        // Steady phase: writers stream live transactions; the follower polls
+        // continuously and its frame lag is sampled after every poll.
+        let writers: Vec<_> = (0..WRITERS)
+            .map(|w| {
+                std::thread::spawn(move || {
+                    let mut client = Client::connect(addr).expect("writer connect");
+                    for k in 0..steady_txns {
+                        let a = 10_000_000 + (w as i64) * 1_000_000 + k as i64;
+                        client
+                            .txn_with_retry(&format!("+e({a}, {})", a + 1), 8)
+                            .expect("writer txn acknowledged");
+                    }
+                    client.quit();
+                })
+            })
+            .collect();
+        let mut lag_samples = Vec::new();
+        let mut writers_done = false;
+        loop {
+            follower.sync_once().expect("steady sync");
+            lag_samples.push(follower.lag_frames());
+            if writers_done && follower.lag_frames() == 0 {
+                break;
+            }
+            if !writers_done && writers.iter().all(|w| w.is_finished()) {
+                writers_done = true;
+            }
+        }
+        for w in writers {
+            w.join().expect("writer thread");
+        }
+        assert!(follower.catch_up(200).expect("final catch-up"));
+        let steady_lag_max = lag_samples.iter().copied().max().unwrap_or(0);
+        let steady_lag_mean =
+            lag_samples.iter().sum::<u64>() as f64 / lag_samples.len().max(1) as f64;
+
+        // Acceptance invariant: the follower converged to a checksum-identical
+        // copy of the leader's committed fact store.
+        let leader_engine = handle.shutdown().engine;
+        let facts_checksum = database_checksum(leader_engine.facts());
+        assert_eq!(
+            database_checksum(follower.engine().facts()),
+            facts_checksum,
+            "follower and leader must be checksum-identical after catch-up"
+        );
+        drop((leader_engine, follower));
+        std::fs::remove_dir_all(&leader_dir).ok();
+        std::fs::remove_dir_all(&follower_dir).ok();
+
+        ReplicationMeasurement {
+            name: format!("backlog_{backlog}"),
+            backlog_frames,
+            catchup_secs,
+            catchup_frames_per_sec: backlog_frames as f64 / catchup_secs.max(1e-9),
+            bootstraps,
+            steady_txns: steady_txns * WRITERS,
+            lag_samples: lag_samples.len(),
+            steady_lag_max,
+            steady_lag_mean,
+            facts_checksum,
+        }
+    }
+
+    /// Run the whole suite. `quick` shrinks the backlog and the live stream to
+    /// a smoke test; the checksum-equality assertion runs either way.
+    pub fn run_suite(quick: bool) -> Vec<ReplicationMeasurement> {
+        let scenarios: &[(u64, usize)] = if quick {
+            &[(100, 10), (300, 20)]
+        } else {
+            &[(1_000, 100), (5_000, 200)]
+        };
+        scenarios
+            .iter()
+            .map(|&(backlog, steady)| measure_run(backlog, steady))
+            .collect()
+    }
+
+    /// Render the suite results as a JSON object (manual formatting keeps the
+    /// workspace dependency-free). `quick` marks smoke runs on shrunken workloads.
+    pub fn to_json(results: &[ReplicationMeasurement], quick: bool) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("{\n");
+        out.push_str(&crate::host_json(
+            factorlog_engine::EvalOptions::default().threads,
+        ));
+        let _ = writeln!(out, "  \"writers\": {WRITERS},");
+        if quick {
+            out.push_str(
+                "  \"quick\": true,\n  \"warning\": \"smoke run on shrunken workloads — not comparable to BENCH_replication.json\",\n",
+            );
+        }
+        for (i, m) in results.iter().enumerate() {
+            let _ = write!(
+                out,
+                "  \"{}\": {{\"backlog_frames\": {}, \"catchup_secs\": {:.4}, \"catchup_frames_per_sec\": {:.1}, \"bootstraps\": {}, \"steady_txns\": {}, \"lag_samples\": {}, \"steady_lag_max\": {}, \"steady_lag_mean\": {:.2}, \"facts_checksum\": {}}}",
+                m.name,
+                m.backlog_frames,
+                m.catchup_secs,
+                m.catchup_frames_per_sec,
+                m.bootstraps,
+                m.steady_txns,
+                m.lag_samples,
+                m.steady_lag_max,
+                m.steady_lag_mean,
+                m.facts_checksum
+            );
+            out.push_str(if i + 1 == results.len() { "\n" } else { ",\n" });
+        }
+        out.push('}');
+        out
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn quick_suite_catches_up_and_checksums_match() {
+            // measure_run asserts leader/follower checksum equality internally;
+            // surviving the call IS the test.
+            let results = super::run_suite(true);
+            assert_eq!(results.len(), 2);
+            for m in &results {
+                assert!(m.catchup_frames_per_sec > 0.0, "{m:?}");
+                assert!(m.backlog_frames > 0, "{m:?}");
+                assert!(m.lag_samples > 0, "{m:?}");
+            }
+            let json = super::to_json(&results, true);
+            assert!(json.contains("\"backlog_100\""));
+            assert!(json.contains("\"catchup_frames_per_sec\""));
+            assert!(json.contains("\"quick\": true"));
+        }
+    }
+}

@@ -279,7 +279,7 @@ fn snapshot_text_with_seq(snapshot: &Snapshot, seq: u64) -> String {
 
 /// The `% wal-seq: N` value of a snapshot text (0 when absent — e.g. a snapshot
 /// written by `:save` and copied into a data directory by hand).
-fn parse_wal_seq(text: &str) -> u64 {
+pub(crate) fn parse_wal_seq(text: &str) -> u64 {
     text.lines()
         .take(8)
         .find_map(|line| line.trim().strip_prefix(WAL_SEQ_PREFIX))
@@ -677,6 +677,117 @@ impl Engine {
             engine.record_wal_append(start);
             Ok(())
         })
+    }
+
+    /// Last sequence number this durable session has logged: `None` for
+    /// in-memory sessions, `Some(0)` before the first record. On a leader this
+    /// is the publisher position followers chase; on a follower it is the
+    /// replication position (the two advance in lockstep because shipped
+    /// frames keep their leader sequence numbers).
+    pub fn wal_last_seq(&self) -> Option<u64> {
+        self.durability.as_ref().map(|d| d.next_seq - 1)
+    }
+
+    /// Apply a batch of shipped log records (replication's follower path):
+    /// each record is appended to this session's own log *verbatim* — keeping
+    /// the leader's sequence number, so the follower's log position mirrors the
+    /// leader's — and then applied through the recovery-replay path. At-most-
+    /// once: records at sequences already applied are skipped silently (poll
+    /// redelivery); a sequence *gap* is an error, because applying past it
+    /// would silently diverge from the leader. Returns how many records were
+    /// newly applied. Errors when the session is not durable — a follower
+    /// without its own log could not survive its own crash.
+    pub(crate) fn apply_replicated(
+        &mut self,
+        records: Vec<WalRecord>,
+    ) -> Result<usize, EngineError> {
+        if self.durability.is_none() {
+            return Err(EngineError::Durability(
+                "replication requires a durable session (open it with open_durable)".to_string(),
+            ));
+        }
+        let mut applied = 0usize;
+        for record in records {
+            let expected = self
+                .durability
+                .as_ref()
+                .expect("checked durable above")
+                .next_seq;
+            let seq = record.seq();
+            if seq < expected {
+                continue;
+            }
+            if seq > expected {
+                return Err(EngineError::Durability(format!(
+                    "replication gap: expected frame {expected}, got {seq}"
+                )));
+            }
+            self.check_wal_not_poisoned()?;
+            {
+                let dur = self.durability.as_mut().expect("checked durable above");
+                dur.writer.append(&record)?;
+                dur.next_seq = seq + 1;
+            }
+            self.stats.wal_appends += 1;
+            // Apply with durability detached: the nested apply must not log a
+            // second copy of the record it is replaying. Errors are ignored
+            // exactly as recovery ignores them — a shipped record is a
+            // deterministic re-execution of something the leader already
+            // committed, so any error it raises here is one the leader's
+            // history already includes.
+            let dur = self.durability.take();
+            match record {
+                WalRecord::Txn { ops, .. } => {
+                    let ops = ops
+                        .into_iter()
+                        .map(|(op, predicate, tuple)| {
+                            let op = match op {
+                                WalOp::Assert => TxnOp::Assert,
+                                WalOp::Retract => TxnOp::Retract,
+                            };
+                            (op, predicate, tuple)
+                        })
+                        .collect();
+                    let _ = self.apply_txn(ops);
+                }
+                WalRecord::Source { text, .. } => {
+                    let _ = self.load_source(&text);
+                }
+            }
+            self.durability = dur;
+            self.stats.wal_replays += 1;
+            applied += 1;
+        }
+        self.wal_maybe_compact()?;
+        Ok(applied)
+    }
+
+    /// Replace this durable session's state with a shipped snapshot text
+    /// (replication's full bootstrap: the leader compacted past the follower's
+    /// position, so frames alone cannot catch it up). The snapshot's
+    /// `% wal-seq` stamp becomes the session's log position — the restore
+    /// persists the snapshot locally and resets the log, so a crash right
+    /// after bootstrap recovers to exactly the shipped image. Returns the
+    /// sequence number the snapshot includes.
+    pub(crate) fn bootstrap_from_snapshot_text(&mut self, text: &str) -> Result<u64, EngineError> {
+        let Some(dur) = self.durability.as_mut() else {
+            return Err(EngineError::Durability(
+                "replication requires a durable session (open it with open_durable)".to_string(),
+            ));
+        };
+        let snapshot = Snapshot::from_text(text)?;
+        let seq = parse_wal_seq(text);
+        let prev_next_seq = dur.next_seq;
+        // Stamp the position *before* the restore: `wal_persist_restore` writes
+        // the local snapshot with `next_seq - 1`, which must be the shipped seq.
+        dur.next_seq = seq + 1;
+        if let Err(error) = self.restore(&snapshot) {
+            if let Some(dur) = self.durability.as_mut() {
+                dur.next_seq = prev_next_seq;
+            }
+            return Err(error);
+        }
+        Ok(seq)
     }
 
     /// A writer poisoned by an earlier mid-commit failure behaves like a crashed

@@ -627,6 +627,18 @@ impl Engine {
     /// not tracing is on — an untraced session reports its counters with empty
     /// phase, rule, and histogram sections.
     pub fn metrics_json(&self) -> String {
+        self.metrics_json_with(None)
+    }
+
+    /// [`Engine::metrics_json`] with a replication status block: replicating
+    /// front ends pass their [`Replica`](crate::replication::Replica)'s
+    /// [`status`](crate::replication::Replica::status) so the document's
+    /// `replication` object reports role, term, and lag; `None` renders it as
+    /// `null`.
+    pub fn metrics_json_with(
+        &self,
+        replication: Option<&crate::replication::ReplicaStatus>,
+    ) -> String {
         let default_metrics = crate::metrics::EngineMetrics::default();
         let metrics = self.metrics.as_deref().unwrap_or(&default_metrics);
         crate::metrics::render_metrics_json(
@@ -635,6 +647,7 @@ impl Engine {
             &self.program,
             self.tracing,
             self.options.threads,
+            replication,
         )
     }
 

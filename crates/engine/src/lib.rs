@@ -42,6 +42,12 @@
 //!   WAL fsync, with admission control (overload sheds with a retryable error),
 //!   per-request deadlines, and graceful drain-then-cancel shutdown.
 //!
+//! * **Replication** — [`replication`] ships committed WAL frames from a served
+//!   leader to any number of read replicas over the same line protocol
+//!   (`REPL SUBSCRIBE`), with snapshot bootstrap when compaction outruns a
+//!   lagging follower and lease-based failover (`PROMOTE` after lease expiry;
+//!   a superseded ex-leader fences itself and refuses writes).
+//!
 //! * **A REPL front end** — [`Repl`] interprets the `factorlog repl` command language
 //!   (`:load`, `:insert`, `:prepare`, `?- query.`, `:open`, `:compact`, `:stats`, …)
 //!   against an engine session; the `factorlog` binary only supplies the I/O loop.
@@ -78,6 +84,7 @@ mod durability;
 mod engine;
 pub mod metrics;
 mod repl;
+pub mod replication;
 pub mod server;
 pub mod wal;
 
@@ -91,6 +98,10 @@ pub use engine::{
 };
 pub use metrics::{EngineMetrics, METRICS_JSON_VERSION};
 pub use repl::{Repl, ReplAction};
+pub use replication::{
+    serve_follower, Replica, ReplicaRole, ReplicaStatus, ReplicationOptions, SubscribeReply,
+    SyncReport, TERM_FILE,
+};
 pub use server::{
     serve, Client, ClientError, QueryReply, ServeError, ServerHandle, ServerOptions,
     ShutdownReport, StatsReply, TxnReply,

@@ -9,16 +9,19 @@
 //! collected only while [`Engine::set_tracing`](crate::Engine::set_tracing) is
 //! on; the disabled fast path is one branch on an `Option` per site.
 //!
-//! # JSON schema (version 1)
+//! # JSON schema (version 2)
 //!
 //! [`render_metrics_json`] emits a single versioned object, hand-formatted (the
 //! workspace is dependency-free):
 //!
 //! ```text
 //! {
-//!   "factorlog_metrics_version": 1,
+//!   "factorlog_metrics_version": 2,
 //!   "tracing": bool,
 //!   "host": { "cores": n, "threads_configured": n },
+//!   "txns_per_fsync": f,
+//!   "replication": {"role": "...", "term": n, "applied_seq": n,
+//!                   "leader_seq": n, "lag_frames": n} | null,
 //!   "counters": { <every EvalStats counter>: n, ... },
 //!   "phases": { "<phase>": {"count": n, "total_ns": n, "max_ns": n}, ... },
 //!   "optimize_passes": { "<pass>": {"count": n, "total_ns": n, "max_ns": n}, ... },
@@ -31,6 +34,12 @@
 //! }
 //! ```
 //!
+//! Version 2 added `txns_per_fsync` (the measured group-commit batching ratio,
+//! `wal_group_txns / wal_group_commits`, 0 before the first commit), the
+//! `wal_group_commits`/`wal_group_txns` counters, and the `replication` object
+//! (`null` for a session that is not replicating; a replica reports its role,
+//! term, and how far behind its leader it is).
+//!
 //! `phases` and `rules` come from the accumulated eval profile and are empty
 //! when tracing was never enabled; every `*_ns` field is wall-clock nanoseconds.
 
@@ -41,7 +50,7 @@ use factorlog_datalog::ast::Program;
 use factorlog_datalog::eval::{EvalProfile, EvalStats, Histogram, SpanStats};
 
 /// Version stamp of the metrics JSON document.
-pub const METRICS_JSON_VERSION: u32 = 1;
+pub const METRICS_JSON_VERSION: u32 = 2;
 
 /// Metrics collected above the evaluators while tracing is enabled: latency
 /// histograms and subsystem span timers. See the [module docs](self).
@@ -125,12 +134,15 @@ fn histogram_json(h: &Histogram) -> String {
 /// (factorlog_datalog::eval::EvalOptions), 0 = one per core). The eval-side
 /// phase spans and per-rule profiles come from `stats.profile` (rule text is
 /// looked up in `program` by rule index); everything else from `metrics`.
+/// `replication` is a replica's point-in-time status (`None` renders the
+/// `replication` key as `null` — the session is not replicating).
 pub fn render_metrics_json(
     metrics: &EngineMetrics,
     stats: &EvalStats,
     program: &Program,
     tracing: bool,
     threads: usize,
+    replication: Option<&crate::replication::ReplicaStatus>,
 ) -> String {
     let cores = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
@@ -146,6 +158,25 @@ pub fn render_metrics_json(
         out,
         "  \"host\": {{\"cores\": {cores}, \"threads_configured\": {threads}}},"
     );
+    let txns_per_fsync = if stats.wal_group_commits > 0 {
+        stats.wal_group_txns as f64 / stats.wal_group_commits as f64
+    } else {
+        0.0
+    };
+    let _ = writeln!(out, "  \"txns_per_fsync\": {txns_per_fsync:.2},");
+    match replication {
+        Some(status) => {
+            let _ = writeln!(
+                out,
+                "  \"replication\": {{\"role\": \"{}\", \"term\": {}, \"applied_seq\": {}, \
+                 \"leader_seq\": {}, \"lag_frames\": {}}},",
+                status.role, status.term, status.applied_seq, status.leader_seq, status.lag_frames
+            );
+        }
+        None => {
+            let _ = writeln!(out, "  \"replication\": null,");
+        }
+    }
 
     let _ = writeln!(out, "  \"counters\": {{");
     let counters: &[(&str, usize)] = &[
@@ -171,6 +202,8 @@ pub fn render_metrics_json(
         ("wal_replays", stats.wal_replays),
         ("wal_torn_truncations", stats.wal_torn_truncations),
         ("wal_compactions", stats.wal_compactions),
+        ("wal_group_commits", stats.wal_group_commits),
+        ("wal_group_txns", stats.wal_group_txns),
     ];
     for (i, (name, value)) in counters.iter().enumerate() {
         let comma = if i + 1 < counters.len() { "," } else { "" };
@@ -283,13 +316,16 @@ mod tests {
         metrics.absorb_pass_times(&[("adorn", 5)]);
         let stats = EvalStats::default();
         let program = Program::new();
-        let text = render_metrics_json(&metrics, &stats, &program, true, 4);
+        let text = render_metrics_json(&metrics, &stats, &program, true, 4, None);
         for key in [
-            "\"factorlog_metrics_version\": 1",
+            "\"factorlog_metrics_version\": 2",
             "\"tracing\": true",
             "\"host\"",
             "\"threads_configured\": 4",
+            "\"txns_per_fsync\": 0.00",
+            "\"replication\": null",
             "\"counters\"",
+            "\"wal_group_commits\"",
             "\"phases\"",
             "\"optimize_passes\"",
             "\"engine_spans\"",
@@ -307,5 +343,35 @@ mod tests {
         let opens = text.matches('{').count();
         let closes = text.matches('}').count();
         assert_eq!(opens, closes, "{text}");
+    }
+
+    #[test]
+    fn render_includes_a_replication_object_for_replicas() {
+        let status = crate::replication::ReplicaStatus {
+            role: crate::replication::ReplicaRole::Follower,
+            term: 3,
+            applied_seq: 120,
+            leader_seq: 128,
+            lag_frames: 8,
+            frames_applied: 120,
+            bootstraps: 1,
+            leader: "127.0.0.1:7070".to_string(),
+        };
+        let text = render_metrics_json(
+            &EngineMetrics::default(),
+            &EvalStats::default(),
+            &Program::new(),
+            false,
+            1,
+            Some(&status),
+        );
+        for key in [
+            "\"replication\": {\"role\": \"follower\", \"term\": 3",
+            "\"applied_seq\": 120",
+            "\"lag_frames\": 8",
+        ] {
+            assert!(text.contains(key), "missing {key} in:\n{text}");
+        }
+        assert_eq!(text.matches('{').count(), text.matches('}').count());
     }
 }

@@ -21,6 +21,9 @@
 //! :program            show the registered rules
 //! :serve <addr>       serve the engine over TCP; the session becomes a client
 //! :connect <addr>     become a client of a running server (:detach to return)
+//! :follow <addr>      turn the (durable) session into a read replica of a
+//!                     served leader (:promote to take over, :detach to stop)
+//! :promote            promote a replica to leader once the lease has expired
 //! :help               command summary
 //! :quit               leave the session
 //! <rule or fact>.     bare Datalog clauses are absorbed like :load text
@@ -35,6 +38,7 @@ use factorlog_datalog::parser::{parse_atom, parse_query};
 
 use crate::durability::DurabilityOptions;
 use crate::engine::{is_snapshot_text, Engine, EngineError, Snapshot};
+use crate::replication::{Replica, ReplicationOptions};
 use crate::server::{serve, Client, ServerHandle, ServerOptions};
 
 /// The outcome of executing one REPL line.
@@ -64,6 +68,10 @@ pub struct Repl {
     /// When set, the session is in client mode: queries and mutations forward
     /// over the wire instead of touching the local engine.
     remote: Option<Client>,
+    /// When set, the session is a read replica (`:follow`): the engine lives
+    /// inside the [`Replica`], queries sync from the leader before answering
+    /// locally, and mutations are role-gated until `:promote`.
+    replica: Option<Replica>,
 }
 
 const HELP: &str = "\
@@ -103,6 +111,13 @@ commands:
                    reclaims the engine)
   :connect <addr>  become a client of an already-running server (:detach
                    returns to the untouched local session)
+  :follow <addr>   turn this (durable) session into a read replica of a served
+                   leader: queries sync committed WAL frames from <addr> and
+                   answer locally; :insert/:retract are refused until :promote;
+                   :detach stops following and keeps the replicated state
+  :promote         promote a replica to leader once the leader's lease has
+                   expired; the session becomes writable (in client mode,
+                   :promote asks the connected server to promote itself)
   :help            this summary
   :quit            leave the session
 bare rules/facts (e.g. `e(1, 2).` or `t(X, Y) :- e(X, Y).`) are added directly.";
@@ -130,6 +145,7 @@ impl Repl {
             txn: None,
             server: None,
             remote: None,
+            replica: None,
         }
     }
 
@@ -160,6 +176,9 @@ impl Repl {
         if self.remote.is_some() {
             return self.dispatch_remote(line);
         }
+        if self.replica.is_some() {
+            return self.dispatch_follower(line);
+        }
         if let Some(rest) = line.strip_prefix("?-") {
             return self.run_query(rest).map(ReplAction::Output);
         }
@@ -189,7 +208,16 @@ impl Repl {
                 "program" => Ok(ReplAction::Output(self.show_program())),
                 "serve" => self.serve_cmd(argument).map(ReplAction::Output),
                 "connect" => self.connect_cmd(argument).map(ReplAction::Output),
-                "detach" => Err("no server or remote connection (:serve or :connect)".to_string()),
+                "follow" => self.follow_cmd(argument).map(ReplAction::Output),
+                "promote" => Err(
+                    "not a replica (use :follow <addr> first, or :connect to a server \
+                     and :promote there)"
+                        .to_string(),
+                ),
+                "detach" => Err(
+                    "no server, remote, or replica connection (:serve, :connect, or :follow)"
+                        .to_string(),
+                ),
                 other => Err(format!("unknown command `:{other}` (try :help)")),
             };
         }
@@ -367,6 +395,209 @@ impl Repl {
         Ok("disconnected; back to the local session".to_string())
     }
 
+    /// `:follow <addr>`: wrap this session's durable engine in a [`Replica`]
+    /// subscribed to a served leader. Queries sync then answer locally;
+    /// `:promote` takes over after the lease expires; `:detach` stops
+    /// following and keeps the replicated state writable-if-promoted.
+    fn follow_cmd(&mut self, addr: &str) -> Result<String, String> {
+        if addr.is_empty() {
+            return Err(
+                ":follow requires a leader address, e.g. `:follow 127.0.0.1:7070`".to_string(),
+            );
+        }
+        if self.txn.is_some() {
+            return Err("a transaction is open (commit or abort it before :follow)".to_string());
+        }
+        if self.engine.data_dir().is_none() {
+            return Err(
+                "a replica must be durable (:open a data directory before :follow)".to_string(),
+            );
+        }
+        let engine = std::mem::take(&mut self.engine);
+        let mut replica = Replica::from_engine(engine, addr, ReplicationOptions::default())
+            .map_err(|e| e.to_string())?;
+        // Best-effort initial catch-up: an unreachable leader is not an error
+        // (the next query retries), only local durability failures are.
+        let caught_up = replica.catch_up(5).map_err(|e| e.to_string())?;
+        let message = format!(
+            "following {addr} (term {}): applied through seq {}{}; queries answer \
+             locally after syncing (:promote to take over, :detach to stop)",
+            replica.term(),
+            replica.applied_seq(),
+            if caught_up {
+                ""
+            } else {
+                ", leader unreachable (will keep retrying)"
+            },
+        );
+        self.replica = Some(replica);
+        Ok(message)
+    }
+
+    /// Command dispatch while following: queries sync-then-answer locally,
+    /// mutations go through the replica's role gate (so a promoted session
+    /// writes and a follower refuses), everything engine-shaped runs against
+    /// the replicated state via [`Repl::with_replica_engine`].
+    fn dispatch_follower(&mut self, line: &str) -> Result<ReplAction, String> {
+        if let Some(rest) = line.strip_prefix("?-") {
+            self.replica_sync()?;
+            let rest = rest.to_string();
+            return self
+                .with_replica_engine(|repl| repl.run_query(&rest))
+                .map(ReplAction::Output);
+        }
+        if let Some(rest) = line.strip_prefix(':') {
+            let (command, argument) = match rest.split_once(char::is_whitespace) {
+                Some((c, a)) => (c, a.trim()),
+                None => (rest, ""),
+            };
+            return match command {
+                "quit" | "exit" | "q" => {
+                    let _ = self.unfollow();
+                    Ok(ReplAction::Quit)
+                }
+                "detach" => self.unfollow().map(ReplAction::Output),
+                "insert" => self.replica_mutate(true, argument).map(ReplAction::Output),
+                "retract" => self.replica_mutate(false, argument).map(ReplAction::Output),
+                "promote" => self.promote_local().map(ReplAction::Output),
+                "stats" => {
+                    self.replica_sync()?;
+                    let header = self.replica_header();
+                    let body = self.with_replica_engine(|repl| repl.stats());
+                    Ok(ReplAction::Output(format!("{header}\n{body}")))
+                }
+                "metrics" => {
+                    let replica = self.replica.as_ref().expect("dispatch_follower");
+                    Ok(ReplAction::Output(
+                        replica.engine().metrics_json_with(Some(&replica.status())),
+                    ))
+                }
+                "prepare" => {
+                    let argument = argument.to_string();
+                    self.with_replica_engine(|repl| repl.prepare(&argument))
+                        .map(ReplAction::Output)
+                }
+                "threads" => {
+                    let argument = argument.to_string();
+                    self.with_replica_engine(|repl| repl.threads(&argument))
+                        .map(ReplAction::Output)
+                }
+                "program" => Ok(ReplAction::Output(
+                    self.with_replica_engine(|repl| repl.show_program()),
+                )),
+                "help" | "h" => Ok(ReplAction::Output(
+                    "replica mode: ?- <query>. | :promote | :stats | :metrics | \
+                     :prepare <q> | :threads [N] | :program | :detach | :quit \
+                     (:insert/:retract need a promoted leader)"
+                        .to_string(),
+                )),
+                other => Err(format!(
+                    "`:{other}` is not available while following (:detach to return \
+                     to the local session)"
+                )),
+            };
+        }
+        Err("bare clauses are not available while following (:promote first)".to_string())
+    }
+
+    /// One best-effort subscription poll; only local durability failures err.
+    fn replica_sync(&mut self) -> Result<(), String> {
+        let replica = self.replica.as_mut().expect("replica mode");
+        replica.sync_once().map(|_| ()).map_err(|e| e.to_string())
+    }
+
+    /// Run an engine-shaped REPL method against the replicated state by
+    /// temporarily swapping the replica's engine into `self.engine`.
+    fn with_replica_engine<T>(&mut self, f: impl FnOnce(&mut Repl) -> T) -> T {
+        std::mem::swap(
+            &mut self.engine,
+            self.replica.as_mut().expect("replica mode").engine_mut(),
+        );
+        let result = f(self);
+        std::mem::swap(
+            &mut self.engine,
+            self.replica.as_mut().expect("replica mode").engine_mut(),
+        );
+        result
+    }
+
+    fn replica_header(&self) -> String {
+        let status = self.replica.as_ref().expect("replica mode").status();
+        format!(
+            "replica:\n  role: {}, term {}, leader {}\n  applied seq {}, leader seq {}, \
+             lag {} frame(s); {} frame(s) applied, {} bootstrap(s)",
+            status.role,
+            status.term,
+            status.leader,
+            status.applied_seq,
+            status.leader_seq,
+            status.lag_frames,
+            status.frames_applied,
+            status.bootstraps,
+        )
+    }
+
+    fn replica_mutate(&mut self, insert: bool, text: &str) -> Result<String, String> {
+        let command = if insert { ":insert" } else { ":retract" };
+        let atom = Self::parse_fact(command, text)?;
+        let tuple = atom
+            .as_fact()
+            .ok_or_else(|| format!("cannot {} non-ground atom {atom}", &command[1..]))?;
+        let replica = self.replica.as_mut().expect("replica mode");
+        let predicate = atom.predicate.as_str().to_string();
+        if insert {
+            let new = replica
+                .insert(&predicate, &tuple)
+                .map_err(|e| e.to_string())?;
+            Ok(if new {
+                format!("inserted {atom}")
+            } else {
+                format!("{atom} already present")
+            })
+        } else {
+            let removed = replica
+                .retract(&predicate, &tuple)
+                .map_err(|e| e.to_string())?;
+            Ok(if removed {
+                format!("retracted {atom}")
+            } else {
+                format!("{atom} not present (nothing retracted)")
+            })
+        }
+    }
+
+    /// `:promote` while following: take over as leader once the lease expired.
+    fn promote_local(&mut self) -> Result<String, String> {
+        let replica = self.replica.as_mut().expect("replica mode");
+        let term = replica.promote().map_err(|e| e.to_string())?;
+        Ok(format!(
+            "promoted to leader (term {term}); the session now accepts \
+             :insert/:retract (:detach to drop the replica wrapper)"
+        ))
+    }
+
+    /// Stop following: unwrap the replica and reclaim its engine (with all
+    /// replicated state) as the local session engine.
+    fn unfollow(&mut self) -> Result<String, String> {
+        let Some(replica) = self.replica.take() else {
+            return Err("not following (:follow <addr> first)".to_string());
+        };
+        let role = replica.role();
+        let term = replica.term();
+        let leader = replica.status().leader;
+        self.engine = replica.into_engine();
+        self.txn = None;
+        Ok(format!(
+            "stopped following {leader} (role {role}, term {term}); the session \
+             keeps the replicated state{}",
+            if role == crate::replication::ReplicaRole::Leader {
+                " and stays writable"
+            } else {
+                " read-write locally (no longer replicating)"
+            }
+        ))
+    }
+
     /// Command dispatch while in client mode: the curated subset that makes
     /// sense over the wire, everything else a structured refusal.
     fn dispatch_remote(&mut self, line: &str) -> Result<ReplAction, String> {
@@ -393,9 +624,10 @@ impl Repl {
                     .remote_mutate('-', ":retract", argument)
                     .map(ReplAction::Output),
                 "stats" => self.remote_stats().map(ReplAction::Output),
+                "promote" => self.remote_promote().map(ReplAction::Output),
                 "help" | "h" => Ok(ReplAction::Output(
                     "client mode: ?- <query>. | :insert <fact>. | :retract <fact>. | \
-                     :stats | :detach | :quit"
+                     :stats | :promote | :detach | :quit"
                         .to_string(),
                 )),
                 other => Err(format!(
@@ -444,11 +676,29 @@ impl Repl {
 
     fn remote_stats(&mut self) -> Result<String, String> {
         let stats = self.remote().stats().map_err(|e| e.to_string())?;
-        Ok(format!(
+        let mut out = format!(
             "server: epoch {}, {} in flight, {} shed, {} group commit(s) \
-             covering {} txn(s)",
-            stats.epoch, stats.in_flight, stats.shed, stats.group_commits, stats.group_txns
-        ))
+             covering {} txn(s) ({:.2} txn(s)/fsync)",
+            stats.epoch,
+            stats.in_flight,
+            stats.shed,
+            stats.group_commits,
+            stats.group_txns,
+            stats.txns_per_fsync,
+        );
+        let _ = write!(
+            out,
+            "\nreplication: role {}, term {}, {} follower(s), lag {} frame(s) / {} ms",
+            stats.role, stats.term, stats.repl_followers, stats.repl_lag_frames, stats.repl_lag_ms,
+        );
+        Ok(out)
+    }
+
+    /// `:promote` in client mode: ask the connected server to promote itself
+    /// (it refuses while its leader's lease is still valid).
+    fn remote_promote(&mut self) -> Result<String, String> {
+        let (role, term) = self.remote().promote().map_err(|e| e.to_string())?;
+        Ok(format!("server promoted: role {role}, term {term}"))
     }
 
     /// Parse one ground fact argument (shared by `:insert` and `:retract`).
@@ -997,6 +1247,79 @@ mod tests {
     }
 
     #[test]
+    fn follow_replicates_and_promote_makes_the_session_writable() {
+        let base = std::env::temp_dir().join(format!(
+            "factorlog_repl_follow_{}_{:x}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .subsec_nanos()
+        ));
+        let leader_dir = base.join("leader");
+        let follower_dir = base.join("follower");
+        std::fs::remove_dir_all(&base).ok();
+
+        // Leader: a durable session served over TCP.
+        let mut leader = Repl::new();
+        output(&mut leader, &format!(":open {}", leader_dir.display()));
+        output(&mut leader, "t(X, Y) :- e(X, Y).");
+        output(&mut leader, ":insert e(1, 2).");
+        let served = output(&mut leader, ":serve 127.0.0.1:0");
+        let addr = served
+            .split("serving on ")
+            .nth(1)
+            .and_then(|rest| rest.split(';').next())
+            .expect("bound address in the :serve reply")
+            .trim()
+            .to_string();
+
+        // Follower: must be durable before :follow; then replicates and
+        // answers locally while refusing writes.
+        let mut follower = Repl::new();
+        assert!(
+            output(&mut follower, &format!(":follow {addr}")).starts_with("error:"),
+            "non-durable sessions cannot follow"
+        );
+        output(&mut follower, &format!(":open {}", follower_dir.display()));
+        let followed = output(&mut follower, &format!(":follow {addr}"));
+        assert!(followed.contains("following"), "{followed}");
+        let answers = output(&mut follower, "?- t(1, Y).");
+        assert!(answers.contains("Y = 2"), "{answers}");
+        let refused = output(&mut follower, ":insert e(9, 9).");
+        assert!(refused.starts_with("error:"), "{refused}");
+        assert!(refused.contains("read-only"), "{refused}");
+        let stats = output(&mut follower, ":stats");
+        assert!(stats.contains("role: follower"), "{stats}");
+        assert!(
+            output(&mut follower, ":promote").starts_with("error:"),
+            "promotion is refused while the leader's lease is valid"
+        );
+        let metrics = output(&mut follower, ":metrics");
+        assert!(metrics.contains("\"replication\": {"), "{metrics}");
+        assert!(metrics.contains("\"role\": \"follower\""), "{metrics}");
+
+        // Leader goes away; once the lease expires the follower promotes and
+        // becomes writable, then :detach keeps the replicated state.
+        output(&mut leader, ":detach");
+        std::thread::sleep(Duration::from_millis(800));
+        let promoted = output(&mut follower, ":promote");
+        assert!(promoted.contains("promoted to leader"), "{promoted}");
+        assert!(
+            output(&mut follower, ":insert e(2, 3).").contains("inserted"),
+            "a promoted replica accepts writes"
+        );
+        let detached = output(&mut follower, ":detach");
+        assert!(detached.contains("stopped following"), "{detached}");
+        let answers = output(&mut follower, "?- t(2, Y).");
+        assert!(answers.contains("Y = 3"), "{answers}");
+
+        drop(follower);
+        drop(leader);
+        std::fs::remove_dir_all(&base).ok();
+    }
+
+    #[test]
     fn full_session_transcript() {
         let mut repl = Repl::new();
         assert_eq!(output(&mut repl, "t(X, Y) :- e(X, Y)."), "added 1 rule(s)");
@@ -1146,7 +1469,8 @@ mod tests {
         output(&mut repl, ":insert e(1, 2).");
         output(&mut repl, "?- t(1, Y).");
         let json = output(&mut repl, ":metrics");
-        assert!(json.contains("\"factorlog_metrics_version\": 1"), "{json}");
+        assert!(json.contains("\"factorlog_metrics_version\": 2"), "{json}");
+        assert!(json.contains("\"replication\": null"), "{json}");
         assert!(json.contains("\"tracing\": true"), "{json}");
         assert!(json.contains("\"query_latency\""), "{json}");
         assert!(json.contains("\"p99_ns\""), "{json}");

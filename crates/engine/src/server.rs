@@ -28,13 +28,26 @@
 //! TXN +e(1, 2); -e(0, 1)  →  OK asserted=1 retracted=1 epoch=8
 //! EPOCH                →  OK epoch=8
 //! STATS                →  OK epoch=8 in_flight=1 shed=0 group_commits=3 group_txns=7
+//!                            txns_per_fsync=2.33 role=leader term=0
+//!                            repl_followers=0 repl_lag_frames=0 repl_lag_ms=0
+//!                         (one line on the wire)
 //! PING                 →  OK pong
+//! REPL SUBSCRIBE 12 term=0 id=7  →  FRAME <hex>* (or SNAP <hex>) ⏎
+//!                                   OK frames=2 last_seq=13 term=0
+//! PROMOTE              →  OK role=leader term=3
 //! QUIT                 →  OK bye (server closes the connection)
 //! ```
 //!
 //! Error codes: `parse`, `overloaded` (retryable — the message carries a
 //! `retry after N ms` hint), `deadline`, `cancelled`, `limit`, `shutdown`,
-//! `txn`, `internal`.
+//! `txn`, `internal`, and for replication `readonly` (TXN on a follower),
+//! `fenced` (a superseded ex-leader refuses writes and polls), `lease`
+//! (PROMOTE while the leader's lease is still valid), `repl` (subscription
+//! against a non-durable server, or a log/snapshot read failure).
+//!
+//! Replication (`REPL SUBSCRIBE`, `PROMOTE`, follower mode via
+//! [`serve_follower`](crate::replication::serve_follower)) is documented in
+//! [`crate::replication`].
 //!
 //! # Guarantees
 //!
@@ -54,11 +67,13 @@
 //!   in-flight requests (bounded by `drain_timeout`), cancels stragglers via
 //!   the engine's [`CancelToken`], flushes the WAL, and hands the engine back.
 
+use std::collections::HashMap;
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -70,6 +85,7 @@ use factorlog_datalog::storage::Database;
 use factorlog_datalog::symbol::Symbol;
 
 use crate::engine::{write_const, Engine, EngineError, TxnOp, TxnSummary};
+use crate::replication::{self, Replica, ReplicaRole, ReplicationOptions, StreamStep};
 
 /// Cap on how many queued transactions one group commit will absorb.
 const MAX_GROUP: usize = 128;
@@ -79,6 +95,14 @@ const CONN_POLL: Duration = Duration::from_millis(100);
 
 /// How often reader-side row streaming re-checks the deadline and cancel token.
 const ROW_CHECK_INTERVAL: usize = 256;
+
+/// Most WAL frames the leader ships per `REPL SUBSCRIBE` poll (bounds both the
+/// reply size and how long the handler holds the connection thread).
+const REPL_BATCH_FRAMES: usize = 512;
+
+/// Followers absent from `REPL SUBSCRIBE` for this long drop out of the
+/// leader's lag accounting (they are likely gone, not lagging).
+const FOLLOWER_PRUNE: Duration = Duration::from_secs(60);
 
 /// Tuning knobs of a served engine.
 #[derive(Clone, Debug)]
@@ -137,6 +161,41 @@ struct WriteReq {
     reply: mpsc::Sender<Result<(TxnSummary, u64), EngineError>>,
 }
 
+/// One follower's drain position, as observed from its `REPL SUBSCRIBE` polls
+/// (leader-side lag accounting for `STATS`).
+struct FollowerLag {
+    /// The last sequence number the follower holds (its poll asked for the
+    /// next one).
+    seq: u64,
+    last_poll: Instant,
+}
+
+/// Replication facet of the shared state. Present on every server — a plain
+/// [`serve`]d node is simply a leader (possibly of term 0, with no followers).
+struct ReplState {
+    /// [`ReplicaRole`] as a `u8` (`as_u8`/`from_u8`), atomically readable from
+    /// connection threads and the apply loop.
+    role: AtomicU8,
+    term: AtomicU64,
+    /// This node's committed log position: the leader's writer advances it
+    /// after each group commit, a follower sets it to its applied position.
+    last_seq: AtomicU64,
+    /// Follower only: the leader's position as of the last successful poll.
+    leader_seq: AtomicU64,
+    /// Follower only: ms since `started` of the last successful leader
+    /// contact. The lease clock for `PROMOTE`.
+    last_contact_ms: AtomicU64,
+    started: Instant,
+    lease_timeout: Duration,
+    /// Leader only: per-follower drain positions from recent polls.
+    followers: Mutex<HashMap<u64, FollowerLag>>,
+    /// The durable data directory frames are streamed from (`None` disables
+    /// `REPL SUBSCRIBE` — there is no committed log to ship).
+    data_dir: Option<PathBuf>,
+    /// `Some` iff this server started as a follower.
+    leader_addr: Option<String>,
+}
+
 /// State shared by the accept loop, connection threads, and the writer.
 struct Shared {
     view: RwLock<Arc<View>>,
@@ -148,6 +207,7 @@ struct Shared {
     stopping: AtomicBool,
     cancel: CancelToken,
     options: ServerOptions,
+    repl: ReplState,
 }
 
 impl Shared {
@@ -222,6 +282,18 @@ impl ServerHandle {
     /// Requests shed by admission control so far.
     pub fn shed(&self) -> u64 {
         self.shared.shed.load(Ordering::Relaxed)
+    }
+
+    /// The server's current replication role (a plain [`serve`]d node is a
+    /// leader; a [`serve_follower`](crate::replication::serve_follower)'d one
+    /// starts as a follower and may be promoted or fenced while running).
+    pub fn role(&self) -> ReplicaRole {
+        ReplicaRole::from_u8(self.shared.repl.role.load(Ordering::Acquire))
+    }
+
+    /// The server's current replication term.
+    pub fn term(&self) -> u64 {
+        self.shared.repl.term.load(Ordering::Acquire)
     }
 
     /// Gracefully shut down: stop admitting (new requests get `ERR shutdown`),
@@ -310,14 +382,38 @@ impl std::error::Error for ServeError {}
 ///
 /// If the accept or writer OS thread cannot be spawned (resource exhaustion).
 pub fn serve(
+    engine: Engine,
+    addr: impl ToSocketAddrs,
+    options: ServerOptions,
+) -> Result<ServerHandle, ServeError> {
+    serve_inner(engine, addr, options, None)
+}
+
+/// What [`serve_follower`](crate::replication::serve_follower) adds on top of
+/// [`serve`]: a leader to subscribe to and the polling/lease knobs.
+pub(crate) struct FollowerConfig {
+    pub(crate) leader: String,
+    pub(crate) replication: ReplicationOptions,
+}
+
+pub(crate) fn serve_inner(
     mut engine: Engine,
     addr: impl ToSocketAddrs,
     options: ServerOptions,
+    follow: Option<FollowerConfig>,
 ) -> Result<ServerHandle, ServeError> {
     let fail = |engine: Engine, error: EngineError| ServeError {
         engine: Box::new(engine),
         error,
     };
+    if follow.is_some() && !engine.is_durable() {
+        return Err(fail(
+            engine,
+            EngineError::Durability(
+                "a follower must be durable (open the engine with open_durable)".to_string(),
+            ),
+        ));
+    }
     let listener = match TcpListener::bind(addr) {
         Ok(listener) => listener,
         Err(e) => {
@@ -358,6 +454,13 @@ pub fn serve(
         Ok(model) => model,
         Err(error) => return Err(fail(engine, error)),
     };
+    let data_dir = engine.data_dir().map(|dir| dir.to_path_buf());
+    let term = data_dir.as_deref().map(replication::read_term).unwrap_or(0);
+    let initial_role = if follow.is_some() {
+        ReplicaRole::Follower
+    } else {
+        ReplicaRole::Leader
+    };
     let shared = Arc::new(Shared {
         view: RwLock::new(Arc::new(View {
             epoch: 0,
@@ -371,15 +474,38 @@ pub fn serve(
         stopping: AtomicBool::new(false),
         cancel,
         options: options.clone(),
+        repl: ReplState {
+            role: AtomicU8::new(initial_role.as_u8()),
+            term: AtomicU64::new(term),
+            last_seq: AtomicU64::new(engine.wal_last_seq().unwrap_or(0)),
+            leader_seq: AtomicU64::new(0),
+            // The lease clock starts "contacted at startup": a fresh follower
+            // must wait out one full lease before it can promote.
+            last_contact_ms: AtomicU64::new(0),
+            started: Instant::now(),
+            lease_timeout: follow
+                .as_ref()
+                .map(|f| f.replication.lease_timeout)
+                .unwrap_or_else(|| ReplicationOptions::default().lease_timeout),
+            followers: Mutex::new(HashMap::new()),
+            data_dir,
+            leader_addr: follow.as_ref().map(|f| f.leader.clone()),
+        },
     });
 
     let (write_tx, write_rx) = mpsc::sync_channel::<WriteReq>(options.write_queue_depth);
 
     let writer_shared = shared.clone();
-    let writer_thread = std::thread::Builder::new()
-        .name("factorlog-writer".to_string())
-        .spawn(move || writer_loop(engine, write_rx, &writer_shared))
-        .expect("cannot spawn writer thread");
+    let writer_thread = match follow {
+        None => std::thread::Builder::new()
+            .name("factorlog-writer".to_string())
+            .spawn(move || writer_loop(engine, write_rx, &writer_shared))
+            .expect("cannot spawn writer thread"),
+        Some(config) => std::thread::Builder::new()
+            .name("factorlog-follower".to_string())
+            .spawn(move || follower_loop(engine, write_rx, &writer_shared, config))
+            .expect("cannot spawn follower thread"),
+    };
 
     let accept_shared = shared.clone();
     let accept_tx = write_tx.clone();
@@ -400,16 +526,31 @@ pub fn serve(
 /// The commit pipeline: block for a first transaction, linger `group_window`
 /// to let concurrent submitters pile on, commit the whole batch under one
 /// fsync, publish the next view, then reply to every submitter.
-fn writer_loop(mut engine: Engine, rx: mpsc::Receiver<WriteReq>, shared: &Shared) -> Engine {
+fn writer_loop(engine: Engine, rx: mpsc::Receiver<WriteReq>, shared: &Shared) -> Engine {
+    writer_core(engine, rx, shared, None)
+}
+
+/// [`writer_loop`] with an optional already-received first request — a
+/// follower promoted mid-`recv` hands the raced request over instead of
+/// bouncing it.
+fn writer_core(
+    mut engine: Engine,
+    rx: mpsc::Receiver<WriteReq>,
+    shared: &Shared,
+    mut pending: Option<WriteReq>,
+) -> Engine {
     let mut epoch = shared.epoch.load(Ordering::Acquire);
     loop {
-        let first = match rx.recv_timeout(Duration::from_millis(50)) {
-            Ok(req) => req,
-            Err(mpsc::RecvTimeoutError::Timeout) => continue,
-            // Every sender gone: the server is shutting down and the queue is
-            // fully drained (recv yields buffered requests before reporting
-            // disconnection).
-            Err(mpsc::RecvTimeoutError::Disconnected) => break,
+        let first = match pending.take() {
+            Some(req) => req,
+            None => match rx.recv_timeout(Duration::from_millis(50)) {
+                Ok(req) => req,
+                Err(mpsc::RecvTimeoutError::Timeout) => continue,
+                // Every sender gone: the server is shutting down and the queue
+                // is fully drained (recv yields buffered requests before
+                // reporting disconnection).
+                Err(mpsc::RecvTimeoutError::Disconnected) => break,
+            },
         };
         let mut batch = vec![first];
         while batch.len() < MAX_GROUP {
@@ -448,6 +589,11 @@ fn writer_loop(mut engine: Engine, rx: mpsc::Receiver<WriteReq>, shared: &Shared
         shared
             .group_txns
             .store(engine.stats().wal_group_txns as u64, Ordering::Relaxed);
+        // Publish our committed log position for subscribers' lag accounting.
+        shared
+            .repl
+            .last_seq
+            .store(engine.wal_last_seq().unwrap_or(0), Ordering::Release);
         for (outcome, reply) in outcomes.into_iter().zip(replies) {
             // A submitter that died (connection killed mid-request) simply
             // never reads its reply; the commit stands.
@@ -455,6 +601,78 @@ fn writer_loop(mut engine: Engine, rx: mpsc::Receiver<WriteReq>, shared: &Shared
         }
     }
     engine
+}
+
+/// The follower's apply loop, standing where a leader's [`writer_loop`]
+/// stands: instead of committing submitted transactions (those are refused
+/// with `ERR readonly` before they reach the queue), it polls the leader,
+/// applies shipped frames, and publishes each applied prefix as a fresh view —
+/// readers on this node see the leader's history, stale-bounded by one poll.
+/// When `PROMOTE` flips the shared role, the loop hands the engine to
+/// [`writer_core`] and the node starts committing writes as a leader.
+fn follower_loop(
+    engine: Engine,
+    rx: mpsc::Receiver<WriteReq>,
+    shared: &Shared,
+    config: FollowerConfig,
+) -> Engine {
+    let poll_interval = config.replication.poll_interval;
+    let mut replica = Replica::from_engine(engine, config.leader, config.replication)
+        .expect("serve_inner verified the engine is durable");
+    shared.repl.term.store(replica.term(), Ordering::Release);
+    loop {
+        // A PROMOTE handled by a connection thread flips the shared role; sync
+        // the replica object and become the writer.
+        if shared.repl.role.load(Ordering::Acquire) == ReplicaRole::Leader.as_u8() {
+            replica.adopt_promotion(shared.repl.term.load(Ordering::Acquire));
+            return writer_core(replica.into_engine(), rx, shared, None);
+        }
+        match rx.recv_timeout(poll_interval) {
+            Ok(req) => {
+                if shared.repl.role.load(Ordering::Acquire) == ReplicaRole::Leader.as_u8() {
+                    // Promoted while we were blocked in recv: this request is
+                    // valid — carry it into the writer loop.
+                    replica.adopt_promotion(shared.repl.term.load(Ordering::Acquire));
+                    return writer_core(replica.into_engine(), rx, shared, Some(req));
+                }
+                let _ = req.reply.send(Err(EngineError::Durability(
+                    "replica is read-only: write to the leader or promote it".to_string(),
+                )));
+                continue;
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+            Err(mpsc::RecvTimeoutError::Disconnected) => return replica.into_engine(),
+        }
+        // Local durability failures (our own log or snapshot) leave the
+        // current view serving; the next poll retries.
+        let Ok(report) = replica.sync_once() else {
+            continue;
+        };
+        if report.contacted {
+            shared.repl.last_contact_ms.store(
+                shared.repl.started.elapsed().as_millis() as u64,
+                Ordering::Relaxed,
+            );
+        }
+        shared.repl.term.store(replica.term(), Ordering::Release);
+        shared
+            .repl
+            .leader_seq
+            .store(replica.leader_seq(), Ordering::Relaxed);
+        let applied = replica.applied_seq();
+        let progressed = applied > shared.repl.last_seq.load(Ordering::Acquire);
+        if progressed || report.bootstrapped {
+            shared.repl.last_seq.store(applied, Ordering::Release);
+            // Publish the applied prefix — the epoch is the leader's log
+            // position, so a reader can relate replies across the fleet.
+            if let Ok(model) = replica.engine_mut().refreshed_model() {
+                shared.publish(View {
+                    epoch: applied,
+                    model: Arc::new(model),
+                });
+            }
+        }
+    }
 }
 
 /// Accept connections until shutdown; returns the connection-thread handles.
@@ -556,16 +774,15 @@ fn handle_request(
         return out.flush();
     }
     if verb.eq_ignore_ascii_case("STATS") {
-        writeln!(
-            out,
-            "OK epoch={} in_flight={} shed={} group_commits={} group_txns={}",
-            shared.epoch.load(Ordering::Acquire),
-            shared.in_flight.load(Ordering::Acquire),
-            shared.shed.load(Ordering::Relaxed),
-            shared.group_commits.load(Ordering::Relaxed),
-            shared.group_txns.load(Ordering::Relaxed),
-        )?;
-        return out.flush();
+        return handle_stats(shared, out);
+    }
+    if verb.eq_ignore_ascii_case("REPL") {
+        // Ungoverned, like STATS: replication must stay alive under reader
+        // load, or a shed storm would starve every follower into failover.
+        return handle_repl(rest, shared, out);
+    }
+    if verb.eq_ignore_ascii_case("PROMOTE") {
+        return handle_promote(shared, out);
     }
     if verb.eq_ignore_ascii_case("QUERY") {
         let Some(_guard) = shared.admit() else {
@@ -574,12 +791,261 @@ fn handle_request(
         return handle_query(rest, shared, out);
     }
     if verb.eq_ignore_ascii_case("TXN") {
+        match ReplicaRole::from_u8(shared.repl.role.load(Ordering::Acquire)) {
+            ReplicaRole::Leader => {}
+            ReplicaRole::Follower => {
+                return respond_err(
+                    out,
+                    "readonly",
+                    "this node is a replica: write to the leader or PROMOTE it",
+                )
+            }
+            ReplicaRole::Fenced => {
+                return respond_err(
+                    out,
+                    "fenced",
+                    &format!(
+                        "superseded by term {}; this ex-leader refuses writes",
+                        shared.repl.term.load(Ordering::Acquire)
+                    ),
+                )
+            }
+        }
         let Some(_guard) = shared.admit() else {
             return respond_overloaded(out, shared);
         };
         return handle_txn(rest, shared, write_tx, out);
     }
     respond_err(out, "parse", &format!("unknown request `{verb}`"))
+}
+
+/// Answer `STATS`: admission/commit counters plus the replication facet
+/// (role, term, and lag — follower lag against its leader, or the leader's
+/// worst-follower lag from recent subscription polls).
+fn handle_stats(shared: &Shared, out: &mut impl Write) -> std::io::Result<()> {
+    let repl = &shared.repl;
+    let group_commits = shared.group_commits.load(Ordering::Relaxed);
+    let group_txns = shared.group_txns.load(Ordering::Relaxed);
+    let txns_per_fsync = if group_commits > 0 {
+        group_txns as f64 / group_commits as f64
+    } else {
+        0.0
+    };
+    let role = ReplicaRole::from_u8(repl.role.load(Ordering::Acquire));
+    let last_seq = repl.last_seq.load(Ordering::Acquire);
+    let (followers, lag_frames, lag_ms) = if repl.leader_addr.is_some() {
+        // A (possibly promoted or fenced) replica: lag against its leader.
+        let lag = repl
+            .leader_seq
+            .load(Ordering::Relaxed)
+            .saturating_sub(last_seq);
+        let since_contact = (repl.started.elapsed().as_millis() as u64)
+            .saturating_sub(repl.last_contact_ms.load(Ordering::Relaxed));
+        (0u64, lag, since_contact)
+    } else {
+        // A leader: worst lag over the live followers.
+        let mut followers = repl.followers.lock().expect("follower map poisoned");
+        followers.retain(|_, lag| lag.last_poll.elapsed() < FOLLOWER_PRUNE);
+        let lag_frames = followers
+            .values()
+            .map(|f| last_seq.saturating_sub(f.seq))
+            .max()
+            .unwrap_or(0);
+        let lag_ms = followers
+            .values()
+            .map(|f| f.last_poll.elapsed().as_millis() as u64)
+            .max()
+            .unwrap_or(0);
+        (followers.len() as u64, lag_frames, lag_ms)
+    };
+    writeln!(
+        out,
+        "OK epoch={} in_flight={} shed={} group_commits={group_commits} \
+         group_txns={group_txns} txns_per_fsync={txns_per_fsync:.2} role={role} term={} \
+         repl_followers={followers} repl_lag_frames={lag_frames} repl_lag_ms={lag_ms}",
+        shared.epoch.load(Ordering::Acquire),
+        shared.in_flight.load(Ordering::Acquire),
+        shared.shed.load(Ordering::Relaxed),
+        repl.term.load(Ordering::Acquire),
+    )?;
+    out.flush()
+}
+
+/// Answer `REPL SUBSCRIBE <from_seq> [term=T] [id=I]`: stream committed WAL
+/// frames (or a snapshot when compaction outran the subscriber) straight from
+/// the data directory, and fence ourselves when the poll proves a newer term.
+fn handle_repl(rest: &str, shared: &Shared, out: &mut impl Write) -> std::io::Result<()> {
+    let (sub, args) = match rest.split_once(char::is_whitespace) {
+        Some((sub, args)) => (sub, args.trim()),
+        None => (rest, ""),
+    };
+    if !sub.eq_ignore_ascii_case("SUBSCRIBE") {
+        return respond_err(
+            out,
+            "parse",
+            "usage: REPL SUBSCRIBE <from_seq> [term=T] [id=I]",
+        );
+    }
+    let mut from_seq: Option<u64> = None;
+    let mut term = 0u64;
+    let mut id = 0u64;
+    for token in args.split_whitespace() {
+        if let Some(value) = token.strip_prefix("term=") {
+            term = value.parse().unwrap_or(0);
+        } else if let Some(value) = token.strip_prefix("id=") {
+            id = value.parse().unwrap_or(0);
+        } else {
+            from_seq = token.parse().ok();
+        }
+    }
+    let Some(from_seq) = from_seq else {
+        return respond_err(
+            out,
+            "parse",
+            "usage: REPL SUBSCRIBE <from_seq> [term=T] [id=I]",
+        );
+    };
+    let repl = &shared.repl;
+    let Some(dir) = repl.data_dir.as_deref() else {
+        return respond_err(
+            out,
+            "repl",
+            "this server is not durable; nothing to replicate",
+        );
+    };
+    // Fencing: a subscriber carrying a newer term proves a newer leader was
+    // elected. Adopt the term; if we thought we were the leader, we are not —
+    // flip to fenced (writes refused) before answering.
+    let my_term = repl.term.load(Ordering::Acquire);
+    if term > my_term {
+        repl.term.store(term, Ordering::Release);
+        let was_leader = repl
+            .role
+            .compare_exchange(
+                ReplicaRole::Leader.as_u8(),
+                ReplicaRole::Fenced.as_u8(),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_ok();
+        let _ = replication::persist_term(dir, term);
+        if was_leader || repl.role.load(Ordering::Acquire) == ReplicaRole::Fenced.as_u8() {
+            return respond_err(out, "fenced", &format!("superseded by term {term}"));
+        }
+        // A follower simply adopts the newer term and keeps serving frames
+        // (chained replication stays valid: our log is a committed prefix).
+    } else if repl.role.load(Ordering::Acquire) == ReplicaRole::Fenced.as_u8() {
+        return respond_err(
+            out,
+            "fenced",
+            &format!("superseded by term {}", repl.term.load(Ordering::Acquire)),
+        );
+    }
+    let step = match replication::stream_step(dir, from_seq, REPL_BATCH_FRAMES) {
+        Ok(step) => step,
+        Err(error) => return respond_err(out, "repl", &error.to_string()),
+    };
+    // Record this follower's drain position for leader-side lag accounting.
+    if id != 0 {
+        let mut followers = repl.followers.lock().expect("follower map poisoned");
+        followers.retain(|_, lag| lag.last_poll.elapsed() < FOLLOWER_PRUNE);
+        followers.insert(
+            id,
+            FollowerLag {
+                seq: from_seq.saturating_sub(1),
+                last_poll: Instant::now(),
+            },
+        );
+    }
+    let my_term = repl.term.load(Ordering::Acquire);
+    match step {
+        StreamStep::Snapshot {
+            text,
+            seq,
+            last_seq,
+        } => {
+            writeln!(out, "SNAP {}", replication::to_hex(text.as_bytes()))?;
+            writeln!(
+                out,
+                "OK frames=0 snapshot_seq={seq} last_seq={last_seq} term={my_term}"
+            )?;
+        }
+        StreamStep::Frames { frames, last_seq } => {
+            for frame in &frames {
+                writeln!(out, "FRAME {}", replication::to_hex(&frame.encode()))?;
+            }
+            writeln!(
+                out,
+                "OK frames={} last_seq={last_seq} term={my_term}",
+                frames.len()
+            )?;
+        }
+    }
+    out.flush()
+}
+
+/// Answer `PROMOTE`: idempotent on a leader, refused on a fenced ex-leader,
+/// and on a follower gated by the lease — only after the leader has been out
+/// of contact for a full lease timeout does the term bump (persisted first)
+/// and the role flip; the apply loop then becomes the writer.
+fn handle_promote(shared: &Shared, out: &mut impl Write) -> std::io::Result<()> {
+    let repl = &shared.repl;
+    match ReplicaRole::from_u8(repl.role.load(Ordering::Acquire)) {
+        ReplicaRole::Leader => {
+            writeln!(
+                out,
+                "OK role=leader term={}",
+                repl.term.load(Ordering::Acquire)
+            )?;
+            out.flush()
+        }
+        ReplicaRole::Fenced => respond_err(
+            out,
+            "fenced",
+            &format!(
+                "superseded by term {}; restart this node as a follower",
+                repl.term.load(Ordering::Acquire)
+            ),
+        ),
+        ReplicaRole::Follower => {
+            let since_contact_ms = (repl.started.elapsed().as_millis() as u64)
+                .saturating_sub(repl.last_contact_ms.load(Ordering::Relaxed));
+            let lease_ms = repl.lease_timeout.as_millis() as u64;
+            if since_contact_ms < lease_ms {
+                return respond_err(
+                    out,
+                    "lease",
+                    &format!(
+                        "leader lease still valid for {} more ms; refusing promotion",
+                        lease_ms - since_contact_ms
+                    ),
+                );
+            }
+            let new_term = repl.term.load(Ordering::Acquire) + 1;
+            // Persist before flipping the role: a promotion that does not
+            // survive our own crash could let the old leader fence us back.
+            if let Some(dir) = repl.data_dir.as_deref() {
+                if let Err(error) = replication::persist_term(dir, new_term) {
+                    return respond_err(out, "repl", &error.to_string());
+                }
+            }
+            repl.term.store(new_term, Ordering::Release);
+            // A concurrent PROMOTE may win this race; both persisted the same
+            // term, so reporting the shared outcome is correct either way.
+            let _ = repl.role.compare_exchange(
+                ReplicaRole::Follower.as_u8(),
+                ReplicaRole::Leader.as_u8(),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            );
+            writeln!(
+                out,
+                "OK role=leader term={}",
+                repl.term.load(Ordering::Acquire)
+            )?;
+            out.flush()
+        }
+    }
 }
 
 /// Answer a query from the current view, streaming rows with periodic
@@ -735,6 +1201,32 @@ fn respond_err(out: &mut impl Write, code: &str, message: &str) -> std::io::Resu
     out.flush()
 }
 
+/// Jitter a backoff delay uniformly into `(delay/2, delay]`. Without this,
+/// every client shed by the same overload retries on the same schedule and the
+/// herd stampedes back in lockstep. Dependency-free: a splitmix64 stream over
+/// a process-global counter seeded from the clock and pid.
+fn jittered(delay: Duration) -> Duration {
+    static STATE: AtomicU64 = AtomicU64::new(0);
+    if STATE.load(Ordering::Relaxed) == 0 {
+        let seed = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x5_DEEC_E66D)
+            ^ ((std::process::id() as u64) << 32);
+        // `| 1`: never store 0, the "unseeded" sentinel.
+        let _ = STATE.compare_exchange(0, seed | 1, Ordering::Relaxed, Ordering::Relaxed);
+    }
+    let mut x = STATE.fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    let nanos = delay.as_nanos() as u64;
+    let span = (nanos / 2).max(1);
+    Duration::from_nanos(nanos - span + 1 + x % span)
+}
+
 // ---------------------------------------------------------------------------
 // Client
 // ---------------------------------------------------------------------------
@@ -808,6 +1300,21 @@ pub struct StatsReply {
     pub group_commits: u64,
     /// Transactions committed through those groups.
     pub group_txns: u64,
+    /// Measured batching ratio: `group_txns / group_commits` (0 before the
+    /// first commit).
+    pub txns_per_fsync: f64,
+    /// The server's replication role.
+    pub role: ReplicaRole,
+    /// The server's replication term.
+    pub term: u64,
+    /// Leader only: followers seen polling within the prune horizon.
+    pub repl_followers: u64,
+    /// Replication lag in frames: a follower's distance behind its leader, or
+    /// a leader's worst-follower distance.
+    pub repl_lag_frames: u64,
+    /// Replication lag in wall-clock ms: time since the follower's last
+    /// successful leader contact, or since the leader's stalest follower poll.
+    pub repl_lag_ms: u64,
 }
 
 /// A line-protocol client with exponential-backoff retry for shed requests.
@@ -844,19 +1351,19 @@ impl Client {
                 Ok(client) => return Ok(client),
                 Err(e) => last = e,
             }
-            std::thread::sleep(delay);
+            std::thread::sleep(jittered(delay));
             delay = (delay * 2).min(Duration::from_secs(1));
         }
         Err(last)
     }
 
-    fn send_line(&mut self, line: &str) -> Result<(), ClientError> {
+    pub(crate) fn send_line(&mut self, line: &str) -> Result<(), ClientError> {
         writeln!(self.writer, "{line}")
             .and_then(|()| self.writer.flush())
             .map_err(|e| ClientError::Io(e.to_string()))
     }
 
-    fn read_reply_line(&mut self) -> Result<String, ClientError> {
+    pub(crate) fn read_reply_line(&mut self) -> Result<String, ClientError> {
         let mut line = String::new();
         match self.reader.read_line(&mut line) {
             Ok(0) => Err(ClientError::Io("server closed the connection".to_string())),
@@ -866,7 +1373,7 @@ impl Client {
     }
 
     /// Interpret a final `OK …`/`ERR …` line; rows are handled by the caller.
-    fn expect_ok(line: &str) -> Result<&str, ClientError> {
+    pub(crate) fn expect_ok(line: &str) -> Result<&str, ClientError> {
         if let Some(rest) = line.strip_prefix("OK") {
             return Ok(rest.trim());
         }
@@ -882,7 +1389,14 @@ impl Client {
         )))
     }
 
-    fn parse_field(fields: &str, key: &str) -> Result<u64, ClientError> {
+    pub(crate) fn parse_field(fields: &str, key: &str) -> Result<u64, ClientError> {
+        fields
+            .split_whitespace()
+            .find_map(|f| f.strip_prefix(key)?.strip_prefix('=')?.parse().ok())
+            .ok_or_else(|| ClientError::Protocol(format!("missing `{key}=` in `{fields}`")))
+    }
+
+    fn parse_field_f64(fields: &str, key: &str) -> Result<f64, ClientError> {
         fields
             .split_whitespace()
             .find_map(|f| f.strip_prefix(key)?.strip_prefix('=')?.parse().ok())
@@ -945,7 +1459,7 @@ impl Client {
                 Ok(value) => return Ok(value),
                 Err(e) if e.is_retryable() => {
                     last_err = Some(e);
-                    std::thread::sleep(delay);
+                    std::thread::sleep(jittered(delay));
                     delay = (delay * 2).min(Duration::from_millis(500));
                 }
                 Err(e) => return Err(e),
@@ -966,12 +1480,23 @@ impl Client {
         self.send_line("STATS")?;
         let line = self.read_reply_line()?;
         let fields = Self::expect_ok(&line)?;
+        let role = fields
+            .split_whitespace()
+            .find_map(|f| f.strip_prefix("role="))
+            .and_then(ReplicaRole::parse)
+            .unwrap_or_default();
         Ok(StatsReply {
             epoch: Self::parse_field(fields, "epoch")?,
             in_flight: Self::parse_field(fields, "in_flight")? as usize,
             shed: Self::parse_field(fields, "shed")?,
             group_commits: Self::parse_field(fields, "group_commits")?,
             group_txns: Self::parse_field(fields, "group_txns")?,
+            txns_per_fsync: Self::parse_field_f64(fields, "txns_per_fsync")?,
+            role,
+            term: Self::parse_field(fields, "term")?,
+            repl_followers: Self::parse_field(fields, "repl_followers")?,
+            repl_lag_frames: Self::parse_field(fields, "repl_lag_frames")?,
+            repl_lag_ms: Self::parse_field(fields, "repl_lag_ms")?,
         })
     }
 
@@ -1116,6 +1641,13 @@ mod tests {
             stats.group_commits,
             stats.group_txns
         );
+        assert!(
+            stats.txns_per_fsync > 1.0,
+            "measured batching ratio surfaces in STATS: {}",
+            stats.txns_per_fsync
+        );
+        assert_eq!(stats.role, ReplicaRole::Leader);
+        assert_eq!(stats.repl_followers, 0, "no follower ever subscribed");
         let report = handle.shutdown();
         drop(report);
         // And the groups are replay-equivalent to singles.
@@ -1162,6 +1694,17 @@ mod tests {
         let mut engine = report.engine;
         engine.insert("e", &[Const::Int(3), Const::Int(4)]).unwrap();
         assert_eq!(engine.query(&pq("t(0, Y)").unwrap()).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn jittered_delays_stay_in_the_half_open_band() {
+        for _ in 0..200 {
+            let d = jittered(Duration::from_millis(100));
+            assert!(
+                d > Duration::from_millis(50) && d <= Duration::from_millis(100),
+                "jitter must stay in (delay/2, delay]: {d:?}"
+            );
+        }
     }
 
     #[test]

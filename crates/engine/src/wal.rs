@@ -583,6 +583,120 @@ pub struct LogScan {
     pub torn_bytes: u64,
 }
 
+/// A pull-based iterator over the intact records of a log file, in file order,
+/// with exactly [`read_log`]'s stop rules: the iterator ends at the first record
+/// whose length prefix overruns the file, whose CRC mismatches, whose payload
+/// fails to decode, or whose sequence number does not increase — everything at
+/// and beyond that point is the torn tail.
+///
+/// This is the streaming primitive replication is built on: the leader's
+/// subscription handler walks frames from disk without materializing the whole
+/// log, and [`read_frames_from`] layers sequence filtering and batching on top.
+pub struct FrameIter {
+    bytes: Vec<u8>,
+    /// Byte offset validity has been confirmed up to (the next frame starts here).
+    pos: usize,
+    last_seq: Option<u64>,
+    stopped: bool,
+}
+
+impl FrameIter {
+    /// Open `path` for frame iteration. A missing file iterates as empty; a
+    /// partial-magic prefix (crash during log creation) iterates as empty with
+    /// the partial header counted as torn; any other leading bytes are a
+    /// [`WalError::BadHeader`].
+    pub fn open(path: &Path) -> Result<FrameIter, WalError> {
+        let bytes = match std::fs::read(path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(e.into()),
+        };
+        if bytes.len() < WAL_MAGIC.len() {
+            if !bytes.is_empty() && !WAL_MAGIC.starts_with(&bytes) {
+                return Err(WalError::BadHeader(path.to_path_buf()));
+            }
+            // Empty/missing, or a crash during `create` left a partial header:
+            // an empty log whose whole content (if any) is torn.
+            return Ok(FrameIter {
+                bytes,
+                pos: 0,
+                last_seq: None,
+                stopped: true,
+            });
+        }
+        if bytes[..WAL_MAGIC.len()] != *WAL_MAGIC {
+            return Err(WalError::BadHeader(path.to_path_buf()));
+        }
+        Ok(FrameIter {
+            bytes,
+            pos: WAL_MAGIC.len(),
+            last_seq: None,
+            stopped: false,
+        })
+    }
+
+    /// Byte length of the valid prefix walked so far (header + intact records).
+    /// Once the iterator is exhausted this is [`LogScan::valid_len`].
+    pub fn valid_len(&self) -> u64 {
+        self.pos as u64
+    }
+
+    /// Bytes beyond the current position — once exhausted, the torn tail size.
+    pub fn torn_bytes(&self) -> u64 {
+        (self.bytes.len() - self.pos) as u64
+    }
+}
+
+impl Iterator for FrameIter {
+    type Item = WalRecord;
+
+    fn next(&mut self) -> Option<WalRecord> {
+        if self.stopped {
+            return None;
+        }
+        // Anything that fails from here on is a torn/corrupt tail: stop without
+        // advancing, so `valid_len` reports the intact prefix.
+        let bytes = &self.bytes;
+        let pos = self.pos;
+        if pos + 8 > bytes.len() {
+            self.stopped = true;
+            return None;
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap());
+        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
+        if len > MAX_RECORD_BYTES {
+            self.stopped = true;
+            return None;
+        }
+        let start = pos + 8;
+        let Some(end) = start
+            .checked_add(len as usize)
+            .filter(|&e| e <= bytes.len())
+        else {
+            self.stopped = true;
+            return None;
+        };
+        let payload = &bytes[start..end];
+        if crc32(payload) != crc {
+            self.stopped = true;
+            return None;
+        }
+        let Ok(record) = WalRecord::decode(payload) else {
+            self.stopped = true;
+            return None;
+        };
+        // Sequence numbers must increase; a stale or replayed block means the
+        // tail is not trustworthy.
+        if self.last_seq.is_some_and(|last| record.seq() <= last) {
+            self.stopped = true;
+            return None;
+        }
+        self.last_seq = Some(record.seq());
+        self.pos = end;
+        Some(record)
+    }
+}
+
 /// Scan a log file from the start, returning every intact record and the byte
 /// offset where validity ends. A missing file scans as empty. A file whose header
 /// is a proper prefix of the magic (a crash during log creation) scans as empty
@@ -590,76 +704,62 @@ pub struct LogScan {
 /// [`WalError::BadHeader`] — that file is not a factorlog log, and truncating it
 /// would destroy someone else's data.
 pub fn read_log(path: &Path) -> Result<LogScan, WalError> {
-    let bytes = match std::fs::read(path) {
-        Ok(bytes) => bytes,
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
-            return Ok(LogScan {
-                records: Vec::new(),
-                valid_len: 0,
-                torn_bytes: 0,
-            })
-        }
-        Err(e) => return Err(e.into()),
-    };
-    if bytes.len() < WAL_MAGIC.len() {
-        if *WAL_MAGIC != bytes[..] && !WAL_MAGIC.starts_with(&bytes) {
-            return Err(WalError::BadHeader(path.to_path_buf()));
-        }
-        // A crash during `create` left a partial header: treat as an empty log whose
-        // whole content is torn.
-        return Ok(LogScan {
-            records: Vec::new(),
-            valid_len: 0,
-            torn_bytes: bytes.len() as u64,
-        });
-    }
-    if bytes[..WAL_MAGIC.len()] != *WAL_MAGIC {
-        return Err(WalError::BadHeader(path.to_path_buf()));
-    }
-
-    let mut records = Vec::new();
-    let mut pos = WAL_MAGIC.len();
-    loop {
-        // Anything that fails from here on is a torn/corrupt tail: stop, report the
-        // valid prefix.
-        if pos + 8 > bytes.len() {
-            break;
-        }
-        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap());
-        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
-        if len > MAX_RECORD_BYTES {
-            break;
-        }
-        let start = pos + 8;
-        let Some(end) = start
-            .checked_add(len as usize)
-            .filter(|&e| e <= bytes.len())
-        else {
-            break;
-        };
-        let payload = &bytes[start..end];
-        if crc32(payload) != crc {
-            break;
-        }
-        let Ok(record) = WalRecord::decode(payload) else {
-            break;
-        };
-        // Sequence numbers must increase; a stale or replayed block means the tail
-        // is not trustworthy.
-        if let Some(last) = records.last() {
-            let last: &WalRecord = last;
-            if record.seq() <= last.seq() {
-                break;
-            }
-        }
-        records.push(record);
-        pos = end;
-    }
+    let mut iter = FrameIter::open(path)?;
+    let records: Vec<WalRecord> = iter.by_ref().collect();
     Ok(LogScan {
         records,
-        valid_len: pos as u64,
-        torn_bytes: (bytes.len() - pos) as u64,
+        valid_len: iter.valid_len(),
+        torn_bytes: iter.torn_bytes(),
     })
+}
+
+/// The result of a sequence-filtered, batched frame read (see
+/// [`read_frames_from`]).
+#[derive(Debug, Default)]
+pub struct FrameRead {
+    /// The intact records with `seq >= from_seq`, in file order, capped at the
+    /// requested batch size.
+    pub frames: Vec<WalRecord>,
+    /// Sequence number of the first returned frame (`None` when none matched).
+    /// A value *greater* than the requested `from_seq` means the log no longer
+    /// reaches back that far — the caller's position predates this log (e.g. a
+    /// compaction reset it) and a snapshot bootstrap is needed.
+    pub first_seq: Option<u64>,
+    /// Sequence number of the last intact record in the *whole* log — the
+    /// publisher's current position, regardless of the batch cap.
+    pub last_seq: Option<u64>,
+    /// Did the batch cap cut the read short (more matching frames remain)?
+    pub truncated: bool,
+}
+
+/// Read the intact records with `seq >= from_seq`, at most `max_frames` of
+/// them, plus the log's overall last sequence number. The streaming read under
+/// the leader's `REPL SUBSCRIBE` handler: a follower at position `from_seq - 1`
+/// asks for everything from `from_seq` on, in publisher-bounded batches.
+/// Shares [`read_log`]'s header and torn-tail handling.
+pub fn read_frames_from(
+    path: &Path,
+    from_seq: u64,
+    max_frames: usize,
+) -> Result<FrameRead, WalError> {
+    let iter = FrameIter::open(path)?;
+    let mut read = FrameRead::default();
+    for record in iter {
+        read.last_seq = Some(record.seq());
+        if record.seq() < from_seq {
+            continue;
+        }
+        if read.frames.len() >= max_frames {
+            // Keep walking for `last_seq` (the lag signal) but ship no more.
+            read.truncated = true;
+            continue;
+        }
+        if read.first_seq.is_none() {
+            read.first_seq = Some(record.seq());
+        }
+        read.frames.push(record);
+    }
+    Ok(read)
 }
 
 /// Scan `path` and truncate its torn tail (if any), returning the scan and a
@@ -926,6 +1026,99 @@ mod tests {
         let (_, mut writer) = recover_log(&path, false).unwrap();
         writer.append(&sample_txn(1)).unwrap();
         assert_eq!(read_log(&path).unwrap().records.len(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn frame_iter_handles_empty_and_missing_logs() {
+        // Missing file: iterates as empty, nothing valid, nothing torn.
+        let path = temp_path("iter_missing");
+        let mut iter = FrameIter::open(&path).unwrap();
+        assert!(iter.next().is_none());
+        assert_eq!(iter.valid_len(), 0);
+        assert_eq!(iter.torn_bytes(), 0);
+        let read = read_frames_from(&path, 1, 16).unwrap();
+        assert!(read.frames.is_empty());
+        assert_eq!(read.first_seq, None);
+        assert_eq!(read.last_seq, None);
+        assert!(!read.truncated);
+
+        // Header-only log: same, but the header counts as valid bytes.
+        let writer = WalWriter::create(&path, false).unwrap();
+        drop(writer);
+        let mut iter = FrameIter::open(&path).unwrap();
+        assert!(iter.next().is_none());
+        assert_eq!(iter.valid_len(), WAL_MAGIC.len() as u64);
+        assert_eq!(iter.torn_bytes(), 0);
+        let read = read_frames_from(&path, 1, 16).unwrap();
+        assert!(read.frames.is_empty() && read.last_seq.is_none());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn frame_iter_stops_at_a_torn_tail_mid_frame() {
+        let path = temp_path("iter_torn");
+        let mut writer = WalWriter::create(&path, false).unwrap();
+        writer.append(&sample_txn(1)).unwrap();
+        writer.append(&sample_txn(2)).unwrap();
+        let boundary = writer.len();
+        writer.append(&sample_txn(3)).unwrap();
+        drop(writer);
+        // Cut 5 bytes into record 3's frame: the iterator yields 1 and 2 and
+        // reports the torn bytes without touching them.
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..boundary as usize + 5]).unwrap();
+        let mut iter = FrameIter::open(&path).unwrap();
+        assert_eq!(iter.next().map(|r| r.seq()), Some(1));
+        assert_eq!(iter.next().map(|r| r.seq()), Some(2));
+        assert!(iter.next().is_none());
+        assert_eq!(iter.valid_len(), boundary);
+        assert_eq!(iter.torn_bytes(), 5);
+        // The streaming read sees the same prefix: last_seq stops before the tear.
+        let read = read_frames_from(&path, 2, 16).unwrap();
+        assert_eq!(read.frames.len(), 1);
+        assert_eq!(read.first_seq, Some(2));
+        assert_eq!(read.last_seq, Some(2));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn read_frames_from_at_a_compaction_boundary() {
+        // After a compaction the log restarts at a later sequence (say 5..=8).
+        let path = temp_path("iter_boundary");
+        let mut writer = WalWriter::create(&path, false).unwrap();
+        for seq in 5..=8 {
+            writer.append(&sample_txn(seq)).unwrap();
+        }
+        drop(writer);
+
+        // Reading from exactly the first retained sequence returns everything.
+        let read = read_frames_from(&path, 5, 16).unwrap();
+        assert_eq!(read.frames.len(), 4);
+        assert_eq!(read.first_seq, Some(5));
+        assert_eq!(read.last_seq, Some(8));
+        assert!(!read.truncated);
+
+        // Reading from *before* the boundary reveals the gap: the first frame
+        // the log can supply is 5, not the 4 the caller asked for — the caller
+        // must bootstrap from a snapshot instead of applying a discontinuity.
+        let read = read_frames_from(&path, 4, 16).unwrap();
+        assert_eq!(read.first_seq, Some(5));
+        assert_eq!(read.frames[0].seq(), 5);
+
+        // Reading from past the end returns no frames but still reports the
+        // publisher position.
+        let read = read_frames_from(&path, 9, 16).unwrap();
+        assert!(read.frames.is_empty());
+        assert_eq!(read.first_seq, None);
+        assert_eq!(read.last_seq, Some(8));
+
+        // The batch cap truncates without losing the position signal.
+        let read = read_frames_from(&path, 5, 2).unwrap();
+        assert_eq!(read.frames.len(), 2);
+        assert_eq!(read.frames[1].seq(), 6);
+        assert_eq!(read.last_seq, Some(8));
+        assert!(read.truncated);
         std::fs::remove_file(&path).ok();
     }
 

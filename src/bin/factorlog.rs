@@ -9,6 +9,7 @@
 //!     factorlog repl [FILE] [--data-dir DIR] [--metrics-json PATH]
 //!     factorlog serve [FILE] [--data-dir DIR] [--addr HOST:PORT]
 //!               [--max-in-flight N] [--deadline-ms N]
+//!               [--follow HOST:PORT] [--lease-ms N]
 //!
 //! OPTIONS:
 //!     --query <ATOM>       query literal (overrides any ?- clause in the file)
@@ -39,6 +40,11 @@
 //!     per-request deadline. SIGTERM or Ctrl-C shuts down gracefully: drain,
 //!     cancel stragglers, flush the WAL. An in-REPL session connects with
 //!     `:connect HOST:PORT`.
+//!     `--follow HOST:PORT` starts the node as a *read replica* of a served
+//!     leader instead (requires `--data-dir`): it streams committed WAL frames
+//!     from the leader, answers queries from the replicated state, refuses
+//!     transactions with `ERR readonly`, and accepts `PROMOTE` once the
+//!     leader's lease (`--lease-ms`, default 750) has expired.
 //! ```
 //!
 //! One-shot runs execute on the same [`Engine`] the REPL uses, so `--stats` reports
@@ -75,7 +81,7 @@ fn usage() -> String {
     "usage: factorlog <FILE> [--query \"t(0, Y)\"] [--strategy original|magic|factored] \
      [--show-program] [--explain] [--stats]\n       factorlog repl [FILE] [--data-dir DIR] \
      [--metrics-json PATH]\n       factorlog serve [FILE] [--data-dir DIR] [--addr HOST:PORT] \
-     [--max-in-flight N] [--deadline-ms N]"
+     [--max-in-flight N] [--deadline-ms N] [--follow HOST:PORT] [--lease-ms N]"
         .to_string()
 }
 
@@ -138,6 +144,10 @@ struct ServeCliOptions {
     max_in_flight: Option<usize>,
     /// Per-request deadline in milliseconds.
     deadline_ms: Option<u64>,
+    /// Leader address: serve as a read replica following it (needs --data-dir).
+    follow: Option<String>,
+    /// Leader lease timeout in milliseconds (follower promotion gate).
+    lease_ms: Option<u64>,
 }
 
 impl Default for ServeCliOptions {
@@ -148,6 +158,8 @@ impl Default for ServeCliOptions {
             addr: "127.0.0.1:7070".to_string(),
             max_in_flight: None,
             deadline_ms: None,
+            follow: None,
+            lease_ms: None,
         }
     }
 }
@@ -186,6 +198,21 @@ fn parse_serve_args(args: &[String]) -> Result<ServeCliOptions, String> {
                         .map_err(|e| format!("--deadline-ms: {e}"))?,
                 );
             }
+            "--follow" => {
+                options.follow = Some(
+                    iter.next()
+                        .ok_or_else(|| "--follow requires a HOST:PORT argument".to_string())?
+                        .clone(),
+                );
+            }
+            "--lease-ms" => {
+                options.lease_ms = Some(
+                    iter.next()
+                        .ok_or_else(|| "--lease-ms requires a number".to_string())?
+                        .parse()
+                        .map_err(|e| format!("--lease-ms: {e}"))?,
+                );
+            }
             "--help" | "-h" => return Err(usage()),
             other if other.starts_with("--") => {
                 return Err(format!("unknown serve option `{other}`\n{}", usage()));
@@ -197,6 +224,21 @@ fn parse_serve_args(args: &[String]) -> Result<ServeCliOptions, String> {
                 options.file = Some(other.to_string());
             }
         }
+    }
+    if options.follow.is_some() {
+        if options.data_dir.is_none() {
+            return Err("--follow requires --data-dir (a replica must be durable)".to_string());
+        }
+        if options.file.is_some() {
+            return Err(
+                "--follow conflicts with a FILE argument: a replica's state comes \
+                 from the leader, not a local file"
+                    .to_string(),
+            );
+        }
+    }
+    if options.lease_ms.is_some() && options.follow.is_none() {
+        return Err("--lease-ms only applies with --follow".to_string());
     }
     Ok(options)
 }
@@ -462,13 +504,38 @@ fn run_serve(options: &ServeCliOptions) -> Result<(), String> {
     if let Some(ms) = options.deadline_ms {
         server_options.request_deadline = Some(std::time::Duration::from_millis(ms));
     }
-    let handle = serve(engine, options.addr.as_str(), server_options)
-        .map_err(|e| format!("--addr {}: {e}", options.addr))?;
-    println!(
-        "% factorlog serving on {} (pid {}; SIGTERM or Ctrl-C shuts down gracefully)",
-        handle.addr(),
-        std::process::id()
-    );
+    let handle = match &options.follow {
+        Some(leader) => {
+            let mut replication = ReplicationOptions::default();
+            if let Some(ms) = options.lease_ms {
+                replication.lease_timeout = std::time::Duration::from_millis(ms);
+            }
+            serve_follower(
+                engine,
+                leader.as_str(),
+                options.addr.as_str(),
+                server_options,
+                replication,
+            )
+            .map_err(|e| format!("--addr {}: {e}", options.addr))?
+        }
+        None => serve(engine, options.addr.as_str(), server_options)
+            .map_err(|e| format!("--addr {}: {e}", options.addr))?,
+    };
+    match &options.follow {
+        Some(leader) => println!(
+            "% factorlog replica on {} following {} (pid {}; PROMOTE takes over after \
+             the lease expires; SIGTERM or Ctrl-C shuts down gracefully)",
+            handle.addr(),
+            leader,
+            std::process::id()
+        ),
+        None => println!(
+            "% factorlog serving on {} (pid {}; SIGTERM or Ctrl-C shuts down gracefully)",
+            handle.addr(),
+            std::process::id()
+        ),
+    }
     std::io::stdout().flush().ok();
 
     let shutdown = CancelToken::new();
@@ -719,6 +786,39 @@ mod tests {
         assert!(parse_serve_args(&args(&["--max-in-flight", "lots"])).is_err());
         assert!(parse_serve_args(&args(&["a.dl", "b.dl"])).is_err());
         assert!(parse_serve_args(&args(&["--bogus"])).is_err());
+    }
+
+    #[test]
+    fn parses_follower_serve_arguments() {
+        let options = parse_serve_args(&args(&[
+            "--data-dir",
+            "/tmp/replica",
+            "--follow",
+            "127.0.0.1:7070",
+            "--lease-ms",
+            "500",
+        ]))
+        .unwrap();
+        assert_eq!(options.follow.as_deref(), Some("127.0.0.1:7070"));
+        assert_eq!(options.lease_ms, Some(500));
+        assert_eq!(options.data_dir.as_deref(), Some("/tmp/replica"));
+        // A replica must be durable, takes no FILE, and --lease-ms is
+        // follower-only.
+        let err = parse_serve_args(&args(&["--follow", "127.0.0.1:7070"])).unwrap_err();
+        assert!(err.contains("--data-dir"), "{err}");
+        let err = parse_serve_args(&args(&[
+            "base.dl",
+            "--data-dir",
+            "/tmp/replica",
+            "--follow",
+            "127.0.0.1:7070",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("FILE"), "{err}");
+        let err = parse_serve_args(&args(&["--lease-ms", "500"])).unwrap_err();
+        assert!(err.contains("--follow"), "{err}");
+        assert!(parse_serve_args(&args(&["--follow"])).is_err());
+        assert!(parse_serve_args(&args(&["--lease-ms", "soon"])).is_err());
     }
 
     #[test]

@@ -63,10 +63,11 @@ pub mod prelude {
     pub use factorlog_datalog::storage::Database;
     pub use factorlog_datalog::Symbol;
     pub use factorlog_engine::{
-        serve, CancelToken, Client, ClientError, CompactionFault, DurabilityOptions, Engine,
-        EngineError, FaultAction, FaultInjector, FaultSite, LimitReason, QueryReply,
-        RecoveryReport, Repl, ReplAction, ServeError, ServerHandle, ServerOptions, ShutdownReport,
-        Snapshot, StatsReply, Txn, TxnReply, TxnSummary,
+        serve, serve_follower, CancelToken, Client, ClientError, CompactionFault,
+        DurabilityOptions, Engine, EngineError, FaultAction, FaultInjector, FaultSite, LimitReason,
+        QueryReply, RecoveryReport, Repl, ReplAction, Replica, ReplicaRole, ReplicaStatus,
+        ReplicationOptions, ServeError, ServerHandle, ServerOptions, ShutdownReport, Snapshot,
+        StatsReply, SyncReport, Txn, TxnReply, TxnSummary,
     };
 }
 
