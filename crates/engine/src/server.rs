@@ -719,7 +719,6 @@ fn serve_connection(stream: TcpStream, shared: &Shared, write_tx: &mpsc::SyncSen
     let mut writer = BufWriter::new(stream);
     let mut line = String::new();
     loop {
-        line.clear();
         match reader.read_line(&mut line) {
             Ok(0) => return, // client closed
             Ok(_) => {}
@@ -730,12 +729,16 @@ fn serve_connection(stream: TcpStream, shared: &Shared, write_tx: &mpsc::SyncSen
                 if shared.stopping.load(Ordering::Acquire) {
                     return;
                 }
+                // A timed-out read_line may already have appended part of a
+                // request to `line`; keep it so the next readiness completes
+                // the same request instead of truncating it.
                 continue;
             }
             Err(_) => return,
         }
         let request = line.trim();
         if request.is_empty() {
+            line.clear();
             continue;
         }
         if shared.stopping.load(Ordering::Acquire) {
@@ -750,6 +753,7 @@ fn serve_connection(stream: TcpStream, shared: &Shared, write_tx: &mpsc::SyncSen
         if handle_request(request, shared, write_tx, &mut writer).is_err() {
             return; // client disconnected mid-response
         }
+        line.clear();
     }
 }
 
@@ -1581,6 +1585,48 @@ mod tests {
         // The engine comes back with the committed state.
         let mut engine = report.engine;
         assert_eq!(engine.query(&pq("t(1, Y)").unwrap()).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn slow_writers_are_not_truncated_across_read_timeouts() {
+        // Regression: a client that writes half a request, pauses longer than
+        // the connection read timeout, then writes the rest must get the
+        // answer to the WHOLE request — not have the first half discarded and
+        // the tail parsed as a different (possibly valid) request.
+        let handle = serve(tc_engine(4), "127.0.0.1:0", quick_options()).unwrap();
+        let mut stream = std::net::TcpStream::connect(handle.addr()).unwrap();
+        stream.set_nodelay(true).unwrap();
+        // On the broken read loop the truncated tail can be an empty request
+        // (swallowed silently): a bounded read turns that hang into a failure.
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let request = b"QUERY t(0, Y)\n";
+        for (i, byte) in request.iter().enumerate() {
+            // Byte at a time, stalling past the poll interval at several
+            // mid-request boundaries (after the verb, inside the atom, and
+            // right before the terminating newline).
+            if [6, 9, request.len() - 1].contains(&i) {
+                std::thread::sleep(Duration::from_millis(150));
+            }
+            stream.write_all(&[*byte]).unwrap();
+            stream.flush().unwrap();
+        }
+        let mut rows = Vec::new();
+        loop {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            let line = line.trim_end();
+            if let Some(row) = line.strip_prefix("ROW ") {
+                rows.push(row.to_string());
+                continue;
+            }
+            assert_eq!(line, "OK rows=4 epoch=0", "slow request mangled");
+            break;
+        }
+        assert_eq!(rows, vec!["1", "2", "3", "4"]);
+        handle.shutdown();
     }
 
     #[test]
