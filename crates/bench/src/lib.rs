@@ -1671,7 +1671,7 @@ pub mod observability {
 
 /// The `concurrent` measurement suite: the workload behind the checked-in
 /// `BENCH_concurrent.json` baseline and the `report --json concurrent` mode. A served
-/// engine ([`factorlog_engine::serve`]) answers point queries from 1/4/16 reader
+/// engine ([`factorlog_engine::serve`]) answers point queries from 1/4/16/64 reader
 /// connections while [`concurrent::WRITERS`] writer connections sustain a mutation
 /// stream of single-edge transactions; the suite itself asserts the acceptance
 /// invariants — every reader observes the same full answer set on every query
@@ -1691,8 +1691,9 @@ pub mod concurrent {
 
     use crate::parallel::database_checksum;
 
-    /// Reader connection counts measured by the suite.
-    pub const CONNECTIONS: [usize; 3] = [1, 4, 16];
+    /// Reader connection counts measured by the suite. The 64-connection point
+    /// exists to exercise the reactor well past thread-per-connection scale.
+    pub const CONNECTIONS: [usize; 4] = [1, 4, 16, 64];
     /// Writer connections sustaining the mutation stream during every run.
     pub const WRITERS: usize = 4;
     /// Acceptance floor: transactions per WAL fsync under the concurrent stream.
@@ -1970,7 +1971,7 @@ pub mod concurrent {
             // measure_run asserts snapshot isolation, epoch accounting, durability
             // and the batching floor internally; surviving the call IS the test.
             let results = super::run_suite(true);
-            assert_eq!(results.len(), 3);
+            assert_eq!(results.len(), 4);
             for m in &results {
                 assert!(m.txns_per_fsync >= super::BATCHING_FLOOR, "{m:?}");
                 assert!(m.qps > 0.0, "{m:?}");

@@ -627,17 +627,21 @@ impl Engine {
     /// not tracing is on — an untraced session reports its counters with empty
     /// phase, rule, and histogram sections.
     pub fn metrics_json(&self) -> String {
-        self.metrics_json_with(None)
+        self.metrics_json_with(None, None)
     }
 
-    /// [`Engine::metrics_json`] with a replication status block: replicating
-    /// front ends pass their [`Replica`](crate::replication::Replica)'s
+    /// [`Engine::metrics_json`] with the front-end facets: replicating
+    /// sessions pass their [`Replica`](crate::replication::Replica)'s
     /// [`status`](crate::replication::Replica::status) so the document's
-    /// `replication` object reports role, term, and lag; `None` renders it as
-    /// `null`.
+    /// `replication` object reports role, term, and lag; serving sessions pass
+    /// their [`ServerHandle`](crate::server::ServerHandle)'s
+    /// [`server_metrics`](crate::server::ServerHandle::server_metrics) so the
+    /// `server` object reports the reactor counters. `None` renders the
+    /// corresponding key as `null`.
     pub fn metrics_json_with(
         &self,
         replication: Option<&crate::replication::ReplicaStatus>,
+        server: Option<&crate::server::ServerMetrics>,
     ) -> String {
         let default_metrics = crate::metrics::EngineMetrics::default();
         let metrics = self.metrics.as_deref().unwrap_or(&default_metrics);
@@ -648,6 +652,7 @@ impl Engine {
             self.tracing,
             self.options.threads,
             replication,
+            server,
         )
     }
 

@@ -9,19 +9,22 @@
 //! collected only while [`Engine::set_tracing`](crate::Engine::set_tracing) is
 //! on; the disabled fast path is one branch on an `Option` per site.
 //!
-//! # JSON schema (version 2)
+//! # JSON schema (version 3)
 //!
 //! [`render_metrics_json`] emits a single versioned object, hand-formatted (the
 //! workspace is dependency-free):
 //!
 //! ```text
 //! {
-//!   "factorlog_metrics_version": 2,
+//!   "factorlog_metrics_version": 3,
 //!   "tracing": bool,
 //!   "host": { "cores": n, "threads_configured": n },
 //!   "txns_per_fsync": f,
 //!   "replication": {"role": "...", "term": n, "applied_seq": n,
 //!                   "leader_seq": n, "lag_frames": n} | null,
+//!   "server": {"reactor_wakeups": n, "pipelined_batches": n,
+//!              "pipelined_requests": n, "max_batch_depth": n,
+//!              "prepared_execs": n, "reply_cache_hits": n} | null,
 //!   "counters": { <every EvalStats counter>: n, ... },
 //!   "phases": { "<phase>": {"count": n, "total_ns": n, "max_ns": n}, ... },
 //!   "optimize_passes": { "<pass>": {"count": n, "total_ns": n, "max_ns": n}, ... },
@@ -40,6 +43,11 @@
 //! (`null` for a session that is not replicating; a replica reports its role,
 //! term, and how far behind its leader it is).
 //!
+//! Version 3 added the `server` object: the event-driven front end's reactor
+//! counters (poll-loop wakeups, pipelined batch/request totals, deepest batch,
+//! prepared-statement executions, rendered-reply cache hits). `null` for a
+//! session that is not serving.
+//!
 //! `phases` and `rules` come from the accumulated eval profile and are empty
 //! when tracing was never enabled; every `*_ns` field is wall-clock nanoseconds.
 
@@ -50,7 +58,7 @@ use factorlog_datalog::ast::Program;
 use factorlog_datalog::eval::{EvalProfile, EvalStats, Histogram, SpanStats};
 
 /// Version stamp of the metrics JSON document.
-pub const METRICS_JSON_VERSION: u32 = 2;
+pub const METRICS_JSON_VERSION: u32 = 3;
 
 /// Metrics collected above the evaluators while tracing is enabled: latency
 /// histograms and subsystem span timers. See the [module docs](self).
@@ -135,7 +143,9 @@ fn histogram_json(h: &Histogram) -> String {
 /// phase spans and per-rule profiles come from `stats.profile` (rule text is
 /// looked up in `program` by rule index); everything else from `metrics`.
 /// `replication` is a replica's point-in-time status (`None` renders the
-/// `replication` key as `null` — the session is not replicating).
+/// `replication` key as `null` — the session is not replicating). `server` is
+/// a serving front end's reactor counters (`None` renders the `server` key as
+/// `null` — the session is not serving).
 pub fn render_metrics_json(
     metrics: &EngineMetrics,
     stats: &EvalStats,
@@ -143,6 +153,7 @@ pub fn render_metrics_json(
     tracing: bool,
     threads: usize,
     replication: Option<&crate::replication::ReplicaStatus>,
+    server: Option<&crate::server::ServerMetrics>,
 ) -> String {
     let cores = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
@@ -175,6 +186,25 @@ pub fn render_metrics_json(
         }
         None => {
             let _ = writeln!(out, "  \"replication\": null,");
+        }
+    }
+    match server {
+        Some(m) => {
+            let _ = writeln!(
+                out,
+                "  \"server\": {{\"reactor_wakeups\": {}, \"pipelined_batches\": {}, \
+                 \"pipelined_requests\": {}, \"max_batch_depth\": {}, \"prepared_execs\": {}, \
+                 \"reply_cache_hits\": {}}},",
+                m.reactor_wakeups,
+                m.pipelined_batches,
+                m.pipelined_requests,
+                m.max_batch_depth,
+                m.prepared_execs,
+                m.reply_cache_hits
+            );
+        }
+        None => {
+            let _ = writeln!(out, "  \"server\": null,");
         }
     }
 
@@ -316,14 +346,15 @@ mod tests {
         metrics.absorb_pass_times(&[("adorn", 5)]);
         let stats = EvalStats::default();
         let program = Program::new();
-        let text = render_metrics_json(&metrics, &stats, &program, true, 4, None);
+        let text = render_metrics_json(&metrics, &stats, &program, true, 4, None, None);
         for key in [
-            "\"factorlog_metrics_version\": 2",
+            "\"factorlog_metrics_version\": 3",
             "\"tracing\": true",
             "\"host\"",
             "\"threads_configured\": 4",
             "\"txns_per_fsync\": 0.00",
             "\"replication\": null",
+            "\"server\": null",
             "\"counters\"",
             "\"wal_group_commits\"",
             "\"phases\"",
@@ -364,11 +395,44 @@ mod tests {
             false,
             1,
             Some(&status),
+            None,
         );
         for key in [
             "\"replication\": {\"role\": \"follower\", \"term\": 3",
             "\"applied_seq\": 120",
             "\"lag_frames\": 8",
+        ] {
+            assert!(text.contains(key), "missing {key} in:\n{text}");
+        }
+        assert_eq!(text.matches('{').count(), text.matches('}').count());
+    }
+
+    #[test]
+    fn render_includes_a_server_object_for_serving_sessions() {
+        let server = crate::server::ServerMetrics {
+            reactor_wakeups: 17,
+            pipelined_batches: 4,
+            pipelined_requests: 12,
+            max_batch_depth: 5,
+            prepared_execs: 3,
+            reply_cache_hits: 2,
+        };
+        let text = render_metrics_json(
+            &EngineMetrics::default(),
+            &EvalStats::default(),
+            &Program::new(),
+            false,
+            1,
+            None,
+            Some(&server),
+        );
+        for key in [
+            "\"server\": {\"reactor_wakeups\": 17",
+            "\"pipelined_batches\": 4",
+            "\"pipelined_requests\": 12",
+            "\"max_batch_depth\": 5",
+            "\"prepared_execs\": 3",
+            "\"reply_cache_hits\": 2",
         ] {
             assert!(text.contains(key), "missing {key} in:\n{text}");
         }

@@ -469,7 +469,9 @@ impl Repl {
                 "metrics" => {
                     let replica = self.replica.as_ref().expect("dispatch_follower");
                     Ok(ReplAction::Output(
-                        replica.engine().metrics_json_with(Some(&replica.status())),
+                        replica
+                            .engine()
+                            .metrics_json_with(Some(&replica.status()), None),
                     ))
                 }
                 "prepare" => {
@@ -625,9 +627,23 @@ impl Repl {
                     .map(ReplAction::Output),
                 "stats" => self.remote_stats().map(ReplAction::Output),
                 "promote" => self.remote_promote().map(ReplAction::Output),
+                // A `:serve`d session renders the live reactor counters in the
+                // `server` facet (the engine facets stay behind the server
+                // until `:detach` hands the engine back).
+                "metrics" => match &self.server {
+                    Some(handle) => Ok(ReplAction::Output(
+                        self.engine
+                            .metrics_json_with(None, Some(&handle.server_metrics())),
+                    )),
+                    None => Err(
+                        "`:metrics` is remote-less in client mode (:detach to return \
+                         to the local session)"
+                            .to_string(),
+                    ),
+                },
                 "help" | "h" => Ok(ReplAction::Output(
                     "client mode: ?- <query>. | :insert <fact>. | :retract <fact>. | \
-                     :stats | :promote | :detach | :quit"
+                     :stats | :metrics | :promote | :detach | :quit"
                         .to_string(),
                 )),
                 other => Err(format!(
@@ -690,6 +706,17 @@ impl Repl {
             out,
             "\nreplication: role {}, term {}, {} follower(s), lag {} frame(s) / {} ms",
             stats.role, stats.term, stats.repl_followers, stats.repl_lag_frames, stats.repl_lag_ms,
+        );
+        let _ = write!(
+            out,
+            "\nreactor: {} wakeup(s), {} pipelined batch(es) covering {} request(s) \
+             (max depth {}), {} prepared exec(s), {} reply-cache hit(s)",
+            stats.reactor_wakeups,
+            stats.pipelined_batches,
+            stats.pipelined_requests,
+            stats.max_batch_depth,
+            stats.prepared_execs,
+            stats.reply_cache_hits,
         );
         Ok(out)
     }
@@ -1469,8 +1496,9 @@ mod tests {
         output(&mut repl, ":insert e(1, 2).");
         output(&mut repl, "?- t(1, Y).");
         let json = output(&mut repl, ":metrics");
-        assert!(json.contains("\"factorlog_metrics_version\": 2"), "{json}");
+        assert!(json.contains("\"factorlog_metrics_version\": 3"), "{json}");
         assert!(json.contains("\"replication\": null"), "{json}");
+        assert!(json.contains("\"server\": null"), "{json}");
         assert!(json.contains("\"tracing\": true"), "{json}");
         assert!(json.contains("\"query_latency\""), "{json}");
         assert!(json.contains("\"p99_ns\""), "{json}");

@@ -68,8 +68,9 @@
 //!   the engine's [`CancelToken`], flushes the WAL, and hands the engine back.
 
 use std::collections::HashMap;
-use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::fd::AsRawFd;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::mpsc;
@@ -77,7 +78,7 @@ use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use factorlog_datalog::ast::Const;
+use factorlog_datalog::ast::{Const, Query, Term};
 use factorlog_datalog::eval::{EvalError, LimitReason};
 use factorlog_datalog::fault::CancelToken;
 use factorlog_datalog::parser::parse_query;
@@ -85,13 +86,29 @@ use factorlog_datalog::storage::Database;
 use factorlog_datalog::symbol::Symbol;
 
 use crate::engine::{write_const, Engine, EngineError, TxnOp, TxnSummary};
+use crate::reactor::{poll_fds, PollFd, WakePipe, POLL_FAIL, POLL_IN, POLL_OUT};
 use crate::replication::{self, Replica, ReplicaRole, ReplicationOptions, StreamStep};
 
 /// Cap on how many queued transactions one group commit will absorb.
 const MAX_GROUP: usize = 128;
 
-/// Read timeout connection threads poll with, so blocked reads notice shutdown.
-const CONN_POLL: Duration = Duration::from_millis(100);
+/// Safety-net poll timeout of the reactor (ms): readiness events and the wake
+/// pipe drive the loop; this only bounds how stale a missed wake can go.
+const REACTOR_POLL_MS: i32 = 100;
+
+/// Bytes the reactor reads per `read(2)` on a ready connection.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// Hard cap on one connection's unparsed request bytes: a line that never
+/// terminates is a protocol violation, not a reason to buffer without bound.
+const MAX_REQUEST_BYTES: usize = 1 << 20;
+
+/// Most prepared statements one connection may hold at once.
+const MAX_PREPARED_PER_CONN: usize = 64;
+
+/// Bound on the epoch-keyed rendered-reply cache (entries and bytes per entry).
+const REPLY_CACHE_MAX_ENTRIES: usize = 256;
+const REPLY_CACHE_MAX_REPLY_BYTES: usize = 64 * 1024;
 
 /// How often reader-side row streaming re-checks the deadline and cancel token.
 const ROW_CHECK_INTERVAL: usize = 256;
@@ -155,10 +172,111 @@ struct View {
     model: Arc<Database>,
 }
 
+/// Outcome of one committed (or refused) transaction, as the writer reports it.
+type TxnOutcome = Result<(TxnSummary, u64), EngineError>;
+
+/// The writer→reactor completion channel: outcomes queue here and the wake
+/// pipe interrupts the reactor's `poll` so replies go out immediately. The
+/// pipe lives *inside* this Arc'd struct so a writer draining the queue after
+/// the reactor exited still holds a valid (if unread) descriptor — never a
+/// recycled one.
+struct Completions {
+    queue: Mutex<Vec<(u64, TxnOutcome)>>,
+    pipe: WakePipe,
+}
+
+impl Completions {
+    fn new() -> std::io::Result<Completions> {
+        Ok(Completions {
+            queue: Mutex::new(Vec::new()),
+            pipe: WakePipe::new()?,
+        })
+    }
+
+    fn push(&self, conn_id: u64, outcome: TxnOutcome) {
+        self.queue
+            .lock()
+            .expect("completion queue poisoned")
+            .push((conn_id, outcome));
+        self.pipe.handle().wake();
+    }
+
+    fn take(&self) -> Vec<(u64, TxnOutcome)> {
+        std::mem::take(&mut *self.queue.lock().expect("completion queue poisoned"))
+    }
+
+    fn wake(&self) {
+        self.pipe.handle().wake();
+    }
+}
+
+/// Where a transaction's outcome goes: back to the reactor, addressed to the
+/// submitting connection. Dropping an unsent ticket (a request discarded
+/// without a verdict — only possible mid-shutdown) delivers a structured
+/// shutdown error so the connection's admission slot is always released.
+struct TxnTicket {
+    conn_id: u64,
+    completions: Arc<Completions>,
+    sent: bool,
+}
+
+impl TxnTicket {
+    fn send(mut self, outcome: TxnOutcome) {
+        self.sent = true;
+        self.completions.push(self.conn_id, outcome);
+    }
+}
+
+impl Drop for TxnTicket {
+    fn drop(&mut self) {
+        if !self.sent {
+            self.completions.push(
+                self.conn_id,
+                Err(EngineError::Durability(
+                    "server is shutting down".to_string(),
+                )),
+            );
+        }
+    }
+}
+
 /// A transaction submitted to the commit pipeline.
 struct WriteReq {
     ops: Vec<(TxnOp, Symbol, Vec<Const>)>,
-    reply: mpsc::Sender<Result<(TxnSummary, u64), EngineError>>,
+    reply: TxnTicket,
+}
+
+/// Reactor-side counters surfaced by `STATS` and the metrics v3 `server`
+/// object. All incremented from the reactor thread with relaxed ordering.
+#[derive(Default)]
+struct ServerCounters {
+    reactor_wakeups: AtomicU64,
+    pipelined_batches: AtomicU64,
+    pipelined_requests: AtomicU64,
+    max_batch_depth: AtomicU64,
+    prepared_execs: AtomicU64,
+    reply_cache_hits: AtomicU64,
+}
+
+/// A point-in-time snapshot of the reactor's counters (see
+/// [`ServerHandle::server_metrics`] and the metrics v3 `server` object).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServerMetrics {
+    /// Times the reactor's `poll` returned (readiness events + wakes +
+    /// safety-net timeouts).
+    pub reactor_wakeups: u64,
+    /// Readiness batches that served at least one request.
+    pub pipelined_batches: u64,
+    /// Requests served across those batches (`pipelined_requests /
+    /// pipelined_batches` is the mean pipeline depth).
+    pub pipelined_requests: u64,
+    /// Most requests one readiness batch drained from a single connection's
+    /// buffer before re-arming.
+    pub max_batch_depth: u64,
+    /// `EXEC` requests answered from a prepared statement (no query re-parse).
+    pub prepared_execs: u64,
+    /// Replies served byte-for-byte from the epoch-keyed rendered-reply cache.
+    pub reply_cache_hits: u64,
 }
 
 /// One follower's drain position, as observed from its `REPL SUBSCRIBE` polls
@@ -196,7 +314,7 @@ struct ReplState {
     leader_addr: Option<String>,
 }
 
-/// State shared by the accept loop, connection threads, and the writer.
+/// State shared by the reactor thread and the writer.
 struct Shared {
     view: RwLock<Arc<View>>,
     epoch: AtomicU64,
@@ -207,6 +325,7 @@ struct Shared {
     stopping: AtomicBool,
     cancel: CancelToken,
     options: ServerOptions,
+    counters: ServerCounters,
     repl: ReplState,
 }
 
@@ -220,27 +339,36 @@ impl Shared {
         *self.view.write().expect("view lock poisoned") = Arc::new(view);
     }
 
-    /// Admission control: returns a guard while under the cap, `None` (and
-    /// counts the shed) past it. Never blocks, never queues.
-    fn admit(&self) -> Option<InFlight<'_>> {
+    /// Admission control: take one in-flight slot if under the cap; count the
+    /// shed otherwise. Never blocks, never queues.
+    fn try_acquire_slot(&self) -> bool {
         let prev = self.in_flight.fetch_add(1, Ordering::AcqRel);
         if prev >= self.options.max_in_flight {
             self.in_flight.fetch_sub(1, Ordering::AcqRel);
             self.shed.fetch_add(1, Ordering::Relaxed);
-            return None;
+            return false;
         }
-        Some(InFlight { shared: self })
+        true
     }
-}
 
-/// RAII decrement of the in-flight counter.
-struct InFlight<'a> {
-    shared: &'a Shared,
-}
+    /// Release a slot taken by [`Shared::try_acquire_slot`]. Reads release in
+    /// [`Reactor::serve_cached`] once the reply is rendered; transactions hold
+    /// their slot across the commit pipeline and release it when the outcome
+    /// is delivered (or the submitter is found dead).
+    fn release_slot(&self) {
+        self.in_flight.fetch_sub(1, Ordering::AcqRel);
+    }
 
-impl Drop for InFlight<'_> {
-    fn drop(&mut self) {
-        self.shared.in_flight.fetch_sub(1, Ordering::AcqRel);
+    fn server_metrics(&self) -> ServerMetrics {
+        let c = &self.counters;
+        ServerMetrics {
+            reactor_wakeups: c.reactor_wakeups.load(Ordering::Relaxed),
+            pipelined_batches: c.pipelined_batches.load(Ordering::Relaxed),
+            pipelined_requests: c.pipelined_requests.load(Ordering::Relaxed),
+            max_batch_depth: c.max_batch_depth.load(Ordering::Relaxed),
+            prepared_execs: c.prepared_execs.load(Ordering::Relaxed),
+            reply_cache_hits: c.reply_cache_hits.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -256,6 +384,8 @@ pub struct ShutdownReport {
     /// Did the drain finish inside `drain_timeout` (`false` = stragglers were
     /// cancelled via the engine's [`CancelToken`])?
     pub drained_cleanly: bool,
+    /// Final reactor counters (wakeups, pipeline depth, prepared execs).
+    pub server_metrics: ServerMetrics,
 }
 
 /// A running server: the listener address plus the join handles needed to shut
@@ -264,7 +394,8 @@ pub struct ServerHandle {
     addr: SocketAddr,
     shared: Arc<Shared>,
     write_tx: mpsc::SyncSender<WriteReq>,
-    accept_thread: Option<JoinHandle<Vec<JoinHandle<()>>>>,
+    completions: Arc<Completions>,
+    reactor_thread: Option<JoinHandle<bool>>,
     writer_thread: Option<JoinHandle<Engine>>,
 }
 
@@ -296,39 +427,31 @@ impl ServerHandle {
         self.shared.repl.term.load(Ordering::Acquire)
     }
 
+    /// A snapshot of the reactor's counters (wakeups, pipelined batch depth,
+    /// prepared-exec hits, reply-cache hits) — live, any time.
+    pub fn server_metrics(&self) -> ServerMetrics {
+        self.shared.server_metrics()
+    }
+
     /// Gracefully shut down: stop admitting (new requests get `ERR shutdown`),
     /// drain in-flight requests for up to `drain_timeout`, cancel stragglers
     /// via the engine's [`CancelToken`], flush the WAL, and return the engine.
     pub fn shutdown(mut self) -> ShutdownReport {
         self.shared.stopping.store(true, Ordering::Release);
-        // The accept loop polls the stopping flag; joining it also yields the
-        // connection threads it spawned.
-        let conn_threads = self
-            .accept_thread
+        // The reactor owns the drain: it wakes on the pipe, stops accepting,
+        // refuses buffered requests with `ERR shutdown`, waits out in-flight
+        // transactions (cancelling stragglers at the drain deadline), flushes
+        // reply buffers, and reports whether it finished inside the timeout.
+        self.completions.wake();
+        let drained_cleanly = self
+            .reactor_thread
             .take()
-            .expect("accept thread present until shutdown")
+            .expect("reactor thread present until shutdown")
             .join()
-            .unwrap_or_default();
-        // Drain: connection threads finish the requests they are serving (new
-        // ones are refused), bounded by the drain timeout.
-        let deadline = Instant::now() + self.shared.options.drain_timeout;
-        let mut drained_cleanly = true;
-        while self.shared.in_flight.load(Ordering::Acquire) > 0 {
-            if Instant::now() >= deadline {
-                drained_cleanly = false;
-                // Stragglers: abort their evaluations cooperatively. They
-                // surface as structured `ERR cancelled` replies.
-                self.shared.cancel.cancel();
-                break;
-            }
-            std::thread::sleep(Duration::from_millis(5));
-        }
-        for handle in conn_threads {
-            let _ = handle.join();
-        }
-        // Senders are all gone once the connection threads are joined and our
-        // own clone is dropped: the writer drains what is queued, flushes the
-        // WAL, and returns the engine.
+            .unwrap_or(false);
+        // Senders are all gone once the reactor is joined and our own clone is
+        // dropped: the writer drains what is queued, flushes the WAL, and
+        // returns the engine.
         drop(self.write_tx);
         let mut engine = self
             .writer_thread
@@ -345,6 +468,7 @@ impl ServerHandle {
             epoch: self.shared.epoch.load(Ordering::Acquire),
             shed: self.shared.shed.load(Ordering::Relaxed),
             drained_cleanly,
+            server_metrics: self.shared.server_metrics(),
         }
     }
 }
@@ -474,6 +598,7 @@ pub(crate) fn serve_inner(
         stopping: AtomicBool::new(false),
         cancel,
         options: options.clone(),
+        counters: ServerCounters::default(),
         repl: ReplState {
             role: AtomicU8::new(initial_role.as_u8()),
             term: AtomicU64::new(term),
@@ -493,6 +618,16 @@ pub(crate) fn serve_inner(
         },
     });
 
+    let completions = match Completions::new() {
+        Ok(completions) => Arc::new(completions),
+        Err(e) => {
+            return Err(fail(
+                engine,
+                EngineError::Io(format!("cannot open reactor wake pipe: {e}")),
+            ))
+        }
+    };
+
     let (write_tx, write_rx) = mpsc::sync_channel::<WriteReq>(options.write_queue_depth);
 
     let writer_shared = shared.clone();
@@ -507,18 +642,22 @@ pub(crate) fn serve_inner(
             .expect("cannot spawn follower thread"),
     };
 
-    let accept_shared = shared.clone();
-    let accept_tx = write_tx.clone();
-    let accept_thread = std::thread::Builder::new()
-        .name("factorlog-accept".to_string())
-        .spawn(move || accept_loop(listener, accept_shared, accept_tx))
-        .expect("cannot spawn accept thread");
+    let reactor_shared = shared.clone();
+    let reactor_tx = write_tx.clone();
+    let reactor_completions = completions.clone();
+    let reactor_thread = std::thread::Builder::new()
+        .name("factorlog-reactor".to_string())
+        .spawn(move || {
+            Reactor::new(listener, reactor_shared, reactor_tx, reactor_completions).run()
+        })
+        .expect("cannot spawn reactor thread");
 
     Ok(ServerHandle {
         addr,
         shared,
         write_tx,
-        accept_thread: Some(accept_thread),
+        completions,
+        reactor_thread: Some(reactor_thread),
         writer_thread: Some(writer_thread),
     })
 }
@@ -597,7 +736,7 @@ fn writer_core(
         for (outcome, reply) in outcomes.into_iter().zip(replies) {
             // A submitter that died (connection killed mid-request) simply
             // never reads its reply; the commit stands.
-            let _ = reply.send(outcome);
+            reply.send(outcome);
         }
     }
     engine
@@ -635,7 +774,7 @@ fn follower_loop(
                     replica.adopt_promotion(shared.repl.term.load(Ordering::Acquire));
                     return writer_core(replica.into_engine(), rx, shared, Some(req));
                 }
-                let _ = req.reply.send(Err(EngineError::Durability(
+                req.reply.send(Err(EngineError::Durability(
                     "replica is read-only: write to the leader or promote it".to_string(),
                 )));
                 continue;
@@ -675,96 +814,652 @@ fn follower_loop(
     }
 }
 
-/// Accept connections until shutdown; returns the connection-thread handles.
-fn accept_loop(
+/// One connection's reactor-side state: the nonblocking socket plus the
+/// incremental read and write buffers that make partial requests survive
+/// readiness boundaries (the bug class the old polling read loop had) and let
+/// a whole pipelined batch of replies leave in one write.
+struct Conn {
+    stream: TcpStream,
+    /// Bytes received but not yet consumed; a request is complete once it has
+    /// a terminating `\n`. Partial tails persist across readiness events.
+    inbuf: Vec<u8>,
+    /// Rendered replies not yet written to the socket (`outpos` marks the
+    /// already-written prefix).
+    outbuf: Vec<u8>,
+    outpos: usize,
+    /// A transaction is in the commit pipeline: request draining is paused so
+    /// replies stay in request order, and one admission slot is held.
+    awaiting_txn: bool,
+    /// Flush the remaining `outbuf`, then close (set by `QUIT`, protocol
+    /// violations, and shutdown).
+    closing: bool,
+    /// Drop the connection now (peer gone, socket error).
+    dead: bool,
+    /// `PREPARE`d statements, addressed by the id `EXEC` carries.
+    prepared: HashMap<u64, PreparedStmt>,
+    next_prepared: u64,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            inbuf: Vec::new(),
+            outbuf: Vec::new(),
+            outpos: 0,
+            awaiting_txn: false,
+            closing: false,
+            dead: false,
+            prepared: HashMap::new(),
+            next_prepared: 1,
+        }
+    }
+
+    /// Write as much of `outbuf` as the socket accepts without blocking.
+    fn flush_out(&mut self) {
+        while self.outpos < self.outbuf.len() {
+            match self.stream.write(&self.outbuf[self.outpos..]) {
+                Ok(0) => {
+                    self.dead = true;
+                    return;
+                }
+                Ok(n) => self.outpos += n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.dead = true;
+                    return;
+                }
+            }
+        }
+        if self.outpos == self.outbuf.len() {
+            self.outbuf.clear();
+            self.outpos = 0;
+            if self.closing {
+                self.dead = true;
+            }
+        } else if self.outpos > READ_CHUNK {
+            // Reclaim the written prefix of a large, partially flushed reply.
+            self.outbuf.drain(..self.outpos);
+            self.outpos = 0;
+        }
+    }
+}
+
+/// A `PREPARE`d query: parsed once, its `?` placeholders recorded as term
+/// positions so `EXEC` only parses the constants it binds.
+struct PreparedStmt {
+    /// Normalized source text — the reply-cache fingerprint, so two
+    /// connections preparing the same text share cached replies.
+    src: String,
+    query: Query,
+    /// Term positions of the `?` placeholders, in placeholder order.
+    params: Vec<usize>,
+}
+
+/// Rendered replies keyed by request fingerprint, valid for exactly one
+/// epoch: any published view invalidates the whole cache. Lives on the
+/// reactor thread — no locks.
+struct ReplyCache {
+    epoch: u64,
+    map: HashMap<String, Vec<u8>>,
+}
+
+impl ReplyCache {
+    fn new() -> ReplyCache {
+        ReplyCache {
+            epoch: u64::MAX,
+            map: HashMap::new(),
+        }
+    }
+
+    fn lookup(&mut self, epoch: u64, key: &str) -> Option<&Vec<u8>> {
+        if self.epoch != epoch {
+            self.epoch = epoch;
+            self.map.clear();
+            return None;
+        }
+        self.map.get(key)
+    }
+
+    fn insert(&mut self, epoch: u64, key: String, reply: Vec<u8>) {
+        if self.epoch != epoch || reply.len() > REPLY_CACHE_MAX_REPLY_BYTES {
+            return;
+        }
+        if self.map.len() >= REPLY_CACHE_MAX_ENTRIES {
+            self.map.clear();
+        }
+        self.map.insert(key, reply);
+    }
+}
+
+/// The event-driven front end: ONE thread drives the listener and every
+/// connection through a `poll(2)` readiness loop over nonblocking sockets.
+/// Idle connections cost one pollfd entry, not a thread; every complete
+/// request already buffered is served before re-arming (pipelining), and the
+/// batch's replies leave in one write.
+struct Reactor {
     listener: TcpListener,
     shared: Arc<Shared>,
     write_tx: mpsc::SyncSender<WriteReq>,
-) -> Vec<JoinHandle<()>> {
-    let mut conns = Vec::new();
-    while !shared.stopping.load(Ordering::Acquire) {
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                let shared = shared.clone();
-                let write_tx = write_tx.clone();
-                if let Ok(handle) = std::thread::Builder::new()
-                    .name("factorlog-conn".to_string())
-                    .spawn(move || serve_connection(stream, &shared, &write_tx))
-                {
-                    conns.push(handle);
-                }
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(10));
-            }
-            Err(_) => std::thread::sleep(Duration::from_millis(10)),
-        }
-    }
-    conns
+    completions: Arc<Completions>,
+    conns: HashMap<u64, Conn>,
+    next_conn: u64,
+    cache: ReplyCache,
+    /// Scratch: rendered reply of the request being served (moved to the
+    /// conn's outbuf, optionally copied into the cache).
+    scratch: Vec<u8>,
 }
 
-/// Serve one connection: read request lines, answer each with rows + one
-/// `OK`/`ERR` line. Returns (closing the connection) on `QUIT`, client
-/// disconnect, I/O error, or server shutdown.
-fn serve_connection(stream: TcpStream, shared: &Shared, write_tx: &mpsc::SyncSender<WriteReq>) {
-    // The poll timeout keeps blocked reads responsive to shutdown; write
-    // errors (client gone) abort the connection — the reader side of
-    // disconnect cancellation.
-    stream.set_read_timeout(Some(CONN_POLL)).ok();
-    stream.set_nodelay(true).ok();
-    let Ok(reader_half) = stream.try_clone() else {
-        return;
-    };
-    let mut reader = BufReader::new(reader_half);
-    let mut writer = BufWriter::new(stream);
-    let mut line = String::new();
-    loop {
-        match reader.read_line(&mut line) {
-            Ok(0) => return, // client closed
-            Ok(_) => {}
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                if shared.stopping.load(Ordering::Acquire) {
-                    return;
+impl Reactor {
+    fn new(
+        listener: TcpListener,
+        shared: Arc<Shared>,
+        write_tx: mpsc::SyncSender<WriteReq>,
+        completions: Arc<Completions>,
+    ) -> Reactor {
+        Reactor {
+            listener,
+            shared,
+            write_tx,
+            completions,
+            conns: HashMap::new(),
+            next_conn: 1,
+            cache: ReplyCache::new(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Run until shutdown; returns whether the drain finished inside
+    /// `drain_timeout` (`false` = straggling transactions were cancelled).
+    fn run(mut self) -> bool {
+        let mut fds: Vec<PollFd> = Vec::new();
+        let mut fd_conns: Vec<u64> = Vec::new();
+        loop {
+            let stopping = self.shared.stopping.load(Ordering::Acquire);
+            fds.clear();
+            fd_conns.clear();
+            fds.push(PollFd::new(self.completions.pipe.poll_fd(), POLL_IN));
+            let listener_slot = if stopping {
+                usize::MAX
+            } else {
+                fds.push(PollFd::new(self.listener.as_raw_fd(), POLL_IN));
+                1
+            };
+            for (&id, conn) in &self.conns {
+                let mut events = POLL_IN;
+                if conn.outpos < conn.outbuf.len() {
+                    events |= POLL_OUT;
                 }
-                // A timed-out read_line may already have appended part of a
-                // request to `line`; keep it so the next readiness completes
-                // the same request instead of truncating it.
+                fds.push(PollFd::new(conn.stream.as_raw_fd(), events));
+                fd_conns.push(id);
+            }
+            if poll_fds(&mut fds, REACTOR_POLL_MS).is_err() {
+                // Only EINVAL-class failures reach here (EINTR is absorbed);
+                // back off instead of spinning.
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            self.shared
+                .counters
+                .reactor_wakeups
+                .fetch_add(1, Ordering::Relaxed);
+            if fds[0].ready(POLL_IN) {
+                self.completions.pipe.drain();
+            }
+            self.deliver_completions();
+            if self.shared.stopping.load(Ordering::Acquire) {
+                return self.drain();
+            }
+            if listener_slot != usize::MAX && fds[listener_slot].ready(POLL_IN | POLL_FAIL) {
+                self.accept_ready();
+            }
+            let conn_fds_base = if listener_slot == usize::MAX { 1 } else { 2 };
+            for (slot, &id) in fd_conns.iter().enumerate() {
+                let pollfd = fds[conn_fds_base + slot];
+                let Some(conn) = self.conns.get_mut(&id) else {
+                    continue;
+                };
+                if pollfd.ready(POLL_IN | POLL_FAIL) && !conn.closing {
+                    self.read_and_serve(id);
+                }
+                if let Some(conn) = self.conns.get_mut(&id) {
+                    if pollfd.ready(POLL_OUT | POLL_FAIL) || !conn.outbuf.is_empty() {
+                        conn.flush_out();
+                    }
+                }
+            }
+            self.reap_dead();
+        }
+    }
+
+    /// Deliver queued transaction outcomes to their connections. Each outcome
+    /// releases the admission slot its submission took — whether or not the
+    /// submitter is still alive — and resumes the connection's paused request
+    /// draining (pipelined requests behind a TXN).
+    fn deliver_completions(&mut self) {
+        for (conn_id, outcome) in self.completions.take() {
+            self.shared.release_slot();
+            let Some(conn) = self.conns.get_mut(&conn_id) else {
+                continue; // submitter died mid-commit; the commit stands
+            };
+            conn.awaiting_txn = false;
+            let _ = match outcome {
+                Ok((summary, epoch)) => writeln!(
+                    conn.outbuf,
+                    "OK asserted={} retracted={} epoch={epoch}",
+                    summary.asserted, summary.retracted
+                ),
+                Err(error) => respond_engine_error(&mut conn.outbuf, &error),
+            };
+            self.serve_buffered(conn_id);
+            if let Some(conn) = self.conns.get_mut(&conn_id) {
+                conn.flush_out();
+            }
+        }
+    }
+
+    /// Accept every pending connection (the listener is nonblocking).
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    stream.set_nodelay(true).ok();
+                    let id = self.next_conn;
+                    self.next_conn += 1;
+                    self.conns.insert(id, Conn::new(stream));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+    }
+
+    /// Pull every byte the socket has, then serve every complete request.
+    fn read_and_serve(&mut self, conn_id: u64) {
+        let Some(conn) = self.conns.get_mut(&conn_id) else {
+            return;
+        };
+        let mut buf = [0u8; READ_CHUNK];
+        loop {
+            match conn.stream.read(&mut buf) {
+                Ok(0) => {
+                    conn.dead = true;
+                    break;
+                }
+                Ok(n) => {
+                    conn.inbuf.extend_from_slice(&buf[..n]);
+                    if conn.inbuf.len() > MAX_REQUEST_BYTES {
+                        let _ = respond_err(
+                            &mut conn.outbuf,
+                            "parse",
+                            "request exceeds the 1 MiB line limit",
+                        );
+                        conn.closing = true;
+                        conn.inbuf.clear();
+                        break;
+                    }
+                    if n < buf.len() {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    conn.dead = true;
+                    break;
+                }
+            }
+        }
+        self.serve_buffered(conn_id);
+        if let Some(conn) = self.conns.get_mut(&conn_id) {
+            // One write carries the whole batch's replies.
+            conn.flush_out();
+        }
+    }
+
+    /// Serve every complete request in the connection's buffer — the
+    /// pipelining core. Draining pauses at a submitted transaction (replies
+    /// must stay in request order) and resumes when its outcome is delivered.
+    fn serve_buffered(&mut self, conn_id: u64) {
+        let mut served = 0u64;
+        let mut consumed = 0usize;
+        let mut line = String::new();
+        while let Some(conn) = self.conns.get_mut(&conn_id) {
+            if conn.awaiting_txn || conn.closing || conn.dead {
+                break;
+            }
+            let Some(nl) = conn.inbuf[consumed..].iter().position(|&b| b == b'\n') else {
+                break;
+            };
+            let raw = &conn.inbuf[consumed..consumed + nl];
+            consumed += nl + 1;
+            line.clear();
+            match std::str::from_utf8(raw) {
+                Ok(text) => line.push_str(text.trim()),
+                Err(_) => {
+                    let _ = respond_err(&mut conn.outbuf, "parse", "request is not valid UTF-8");
+                    continue;
+                }
+            }
+            if line.is_empty() {
                 continue;
             }
-            Err(_) => return,
+            served += 1;
+            self.serve_request(conn_id, &line);
         }
-        let request = line.trim();
-        if request.is_empty() {
-            line.clear();
-            continue;
+        if let Some(conn) = self.conns.get_mut(&conn_id) {
+            conn.inbuf.drain(..consumed);
         }
-        if shared.stopping.load(Ordering::Acquire) {
-            let _ = respond_err(&mut writer, "shutdown", "server is shutting down");
-            return;
+        if served > 0 {
+            let counters = &self.shared.counters;
+            counters.pipelined_batches.fetch_add(1, Ordering::Relaxed);
+            counters
+                .pipelined_requests
+                .fetch_add(served, Ordering::Relaxed);
+            counters
+                .max_batch_depth
+                .fetch_max(served, Ordering::Relaxed);
         }
-        let quit = request.eq_ignore_ascii_case("QUIT");
-        if quit {
-            let _ = writeln!(writer, "OK bye").and_then(|()| writer.flush());
-            return;
-        }
-        if handle_request(request, shared, write_tx, &mut writer).is_err() {
-            return; // client disconnected mid-response
-        }
-        line.clear();
     }
+
+    /// Dispatch one request line for `conn_id`, appending the reply (or
+    /// submitting the transaction) as a side effect.
+    fn serve_request(&mut self, conn_id: u64, request: &str) {
+        let shared = self.shared.clone();
+        let Some(conn) = self.conns.get_mut(&conn_id) else {
+            return;
+        };
+        if shared.stopping.load(Ordering::Acquire) {
+            let _ = respond_err(&mut conn.outbuf, "shutdown", "server is shutting down");
+            conn.closing = true;
+            return;
+        }
+        if request.eq_ignore_ascii_case("QUIT") {
+            let _ = writeln!(conn.outbuf, "OK bye");
+            conn.closing = true;
+            return;
+        }
+        let (verb, rest) = match request.split_once(char::is_whitespace) {
+            Some((verb, rest)) => (verb, rest.trim()),
+            None => (request, ""),
+        };
+        if verb.eq_ignore_ascii_case("QUERY") {
+            // Manual slot accounting (not the RAII guard): the slot must stay
+            // held across `serve_cached`, which releases it.
+            if !shared.try_acquire_slot() {
+                let _ = respond_overloaded(&mut conn.outbuf, &shared);
+                return;
+            }
+            let text = rest.trim().trim_end_matches('.');
+            self.serve_cached(conn_id, &format!("QUERY\u{1}{text}"), |shared, out| {
+                handle_query(text, shared, out)
+            });
+            return;
+        }
+        if verb.eq_ignore_ascii_case("PREPARE") {
+            handle_prepare(conn, rest);
+            return;
+        }
+        if verb.eq_ignore_ascii_case("EXEC") {
+            self.serve_exec(conn_id, rest, &shared);
+            return;
+        }
+        if verb.eq_ignore_ascii_case("TXN") {
+            self.submit_txn(conn_id, rest, &shared);
+            return;
+        }
+        let _ = handle_misc(request, &shared, &mut conn.outbuf);
+    }
+
+    /// Serve a read through the epoch-keyed rendered-reply cache: a hit is a
+    /// byte copy; a miss renders via `render`, then caches successful replies.
+    /// The caller has already taken (and here releases) the admission slot.
+    fn serve_cached(
+        &mut self,
+        conn_id: u64,
+        key: &str,
+        render: impl FnOnce(&Shared, &mut Vec<u8>) -> std::io::Result<()>,
+    ) {
+        let epoch = self.shared.epoch.load(Ordering::Acquire);
+        if let Some(reply) = self.cache.lookup(epoch, key) {
+            self.shared
+                .counters
+                .reply_cache_hits
+                .fetch_add(1, Ordering::Relaxed);
+            if let Some(conn) = self.conns.get_mut(&conn_id) {
+                conn.outbuf.extend_from_slice(reply);
+            }
+            self.shared.release_slot();
+            return;
+        }
+        self.scratch.clear();
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let _ = render(&self.shared, &mut scratch);
+        if let Some(conn) = self.conns.get_mut(&conn_id) {
+            conn.outbuf.extend_from_slice(&scratch);
+        }
+        if reply_is_ok(&scratch) {
+            self.cache.insert(epoch, key.to_string(), scratch.clone());
+        }
+        self.scratch = scratch;
+        self.shared.release_slot();
+    }
+
+    /// Answer `EXEC <id> [consts]`: bind the prepared statement's placeholders
+    /// and answer from the current view without re-parsing the query.
+    fn serve_exec(&mut self, conn_id: u64, rest: &str, shared: &Arc<Shared>) {
+        let Some(conn) = self.conns.get_mut(&conn_id) else {
+            return;
+        };
+        let (id_text, args) = match rest.split_once(char::is_whitespace) {
+            Some((id, args)) => (id, args.trim()),
+            None => (rest, ""),
+        };
+        let Ok(id) = id_text.parse::<u64>() else {
+            let _ = respond_err(&mut conn.outbuf, "parse", "usage: EXEC <id> [consts]");
+            return;
+        };
+        // Bind before admitting: the statement borrow (of the connection map)
+        // must end before `serve_cached` re-borrows it, and a bad id is a
+        // protocol error, not load.
+        let (key, bound) = match conn.prepared.get(&id) {
+            Some(stmt) => (
+                format!("EXEC\u{1}{}\u{1}{args}", stmt.src),
+                bind_prepared(stmt, args),
+            ),
+            None => {
+                let _ = respond_err(
+                    &mut conn.outbuf,
+                    "parse",
+                    &format!("no prepared statement with id {id} on this connection"),
+                );
+                return;
+            }
+        };
+        if !shared.try_acquire_slot() {
+            if let Some(conn) = self.conns.get_mut(&conn_id) {
+                let _ = respond_overloaded(&mut conn.outbuf, shared);
+            }
+            return;
+        }
+        shared
+            .counters
+            .prepared_execs
+            .fetch_add(1, Ordering::Relaxed);
+        self.serve_cached(conn_id, &key, move |shared, out| match bound {
+            Ok(query) => answer_query(&query, shared, out),
+            Err(message) => respond_err(out, "parse", &message),
+        });
+    }
+
+    /// Parse, admit, and submit a transaction; the reply is delivered by
+    /// [`Reactor::deliver_completions`] when the writer reports the outcome.
+    fn submit_txn(&mut self, conn_id: u64, spec: &str, shared: &Arc<Shared>) {
+        let Some(conn) = self.conns.get_mut(&conn_id) else {
+            return;
+        };
+        match ReplicaRole::from_u8(shared.repl.role.load(Ordering::Acquire)) {
+            ReplicaRole::Leader => {}
+            ReplicaRole::Follower => {
+                let _ = respond_err(
+                    &mut conn.outbuf,
+                    "readonly",
+                    "this node is a replica: write to the leader or PROMOTE it",
+                );
+                return;
+            }
+            ReplicaRole::Fenced => {
+                let _ = respond_err(
+                    &mut conn.outbuf,
+                    "fenced",
+                    &format!(
+                        "superseded by term {}; this ex-leader refuses writes",
+                        shared.repl.term.load(Ordering::Acquire)
+                    ),
+                );
+                return;
+            }
+        }
+        let ops = match parse_txn_ops(spec) {
+            Ok(ops) => ops,
+            Err(message) => {
+                let _ = respond_err(&mut conn.outbuf, "parse", &message);
+                return;
+            }
+        };
+        if !shared.try_acquire_slot() {
+            let _ = respond_overloaded(&mut conn.outbuf, shared);
+            return;
+        }
+        let req = WriteReq {
+            ops,
+            reply: TxnTicket {
+                conn_id,
+                completions: self.completions.clone(),
+                sent: false,
+            },
+        };
+        // A full queue is overload, not a reason to block the reactor. The
+        // refused ticket's Drop would release the slot via a completion; do it
+        // directly so the shed is synchronous like every other shed.
+        match self.write_tx.try_send(req) {
+            Ok(()) => conn.awaiting_txn = true,
+            Err(e) => {
+                let req = match e {
+                    mpsc::TrySendError::Full(req) => {
+                        let _ = respond_overloaded(&mut conn.outbuf, shared);
+                        req
+                    }
+                    mpsc::TrySendError::Disconnected(req) => {
+                        let _ =
+                            respond_err(&mut conn.outbuf, "shutdown", "server is shutting down");
+                        req
+                    }
+                };
+                let mut ticket = req.reply;
+                ticket.sent = true; // suppress the Drop completion
+                drop(ticket);
+                shared.release_slot();
+            }
+        }
+    }
+
+    /// Drain mode, entered once `stopping` is observed: refuse buffered
+    /// requests, deliver outstanding transaction outcomes, flush reply
+    /// buffers — all bounded by `drain_timeout`, after which stragglers are
+    /// cancelled via the engine's [`CancelToken`] and given one grace period.
+    fn drain(&mut self) -> bool {
+        let deadline = Instant::now() + self.shared.options.drain_timeout;
+        // Refuse whatever is already buffered (`ERR shutdown`), then flush.
+        let ids: Vec<u64> = self.conns.keys().copied().collect();
+        for id in ids {
+            self.serve_buffered(id);
+            if let Some(conn) = self.conns.get_mut(&id) {
+                if !conn.awaiting_txn {
+                    conn.closing = true;
+                }
+                conn.flush_out();
+            }
+        }
+        self.reap_dead();
+        let mut cancelled = false;
+        loop {
+            let outstanding = self.conns.values().any(|c| c.awaiting_txn);
+            let unflushed = self.conns.values().any(|c| c.outpos < c.outbuf.len());
+            if !outstanding && !unflushed {
+                return !cancelled;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                if !cancelled {
+                    cancelled = true;
+                    // Stragglers: abort their evaluations cooperatively. They
+                    // surface as structured `ERR cancelled` replies.
+                    self.shared.cancel.cancel();
+                } else if now >= deadline + self.shared.options.drain_timeout {
+                    // The grace period is over; the writer will still drain
+                    // the queue after we exit, but clients get EOF.
+                    return false;
+                }
+            }
+            let mut fds = vec![PollFd::new(self.completions.pipe.poll_fd(), POLL_IN)];
+            let mut fd_conns = Vec::new();
+            for (&id, conn) in &self.conns {
+                if conn.outpos < conn.outbuf.len() {
+                    fds.push(PollFd::new(conn.stream.as_raw_fd(), POLL_OUT));
+                    fd_conns.push(id);
+                }
+            }
+            if poll_fds(&mut fds, 20).is_err() {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            if fds[0].ready(POLL_IN) {
+                self.completions.pipe.drain();
+            }
+            self.deliver_completions();
+            for (slot, &id) in fd_conns.iter().enumerate() {
+                if fds[1 + slot].ready(POLL_OUT | POLL_FAIL) {
+                    if let Some(conn) = self.conns.get_mut(&id) {
+                        conn.flush_out();
+                    }
+                }
+            }
+            self.reap_dead();
+        }
+    }
+
+    /// Drop dead connections. A dead submitter's admission slot is NOT
+    /// released here — its outcome is still coming and releases the slot in
+    /// [`Reactor::deliver_completions`].
+    fn reap_dead(&mut self) {
+        self.conns.retain(|_, conn| !conn.dead);
+    }
+}
+
+/// Does a rendered reply end in an `OK …` verdict line (cacheable)?
+fn reply_is_ok(reply: &[u8]) -> bool {
+    if !reply.ends_with(b"\n") {
+        return false;
+    }
+    let body = &reply[..reply.len() - 1];
+    let start = body
+        .iter()
+        .rposition(|&b| b == b'\n')
+        .map(|p| p + 1)
+        .unwrap_or(0);
+    body[start..].starts_with(b"OK ")
 }
 
 /// Dispatch one request line. `Err` means the *socket* failed (disconnect);
 /// protocol-level failures are reported in-band as `ERR` lines.
-fn handle_request(
-    request: &str,
-    shared: &Shared,
-    write_tx: &mpsc::SyncSender<WriteReq>,
-    out: &mut impl Write,
-) -> std::io::Result<()> {
+/// Dispatch the verbs that need no connection state and no admission slot:
+/// `PING`, `EPOCH`, `STATS`, `REPL …`, `PROMOTE`, and the unknown-verb error.
+/// (`QUERY`/`EXEC`/`TXN`/`PREPARE`/`QUIT` live on [`Reactor::serve_request`].)
+fn handle_misc(request: &str, shared: &Shared, out: &mut impl Write) -> std::io::Result<()> {
     let (verb, rest) = match request.split_once(char::is_whitespace) {
         Some((verb, rest)) => (verb, rest.trim()),
         None => (request, ""),
@@ -788,39 +1483,22 @@ fn handle_request(
     if verb.eq_ignore_ascii_case("PROMOTE") {
         return handle_promote(shared, out);
     }
-    if verb.eq_ignore_ascii_case("QUERY") {
-        let Some(_guard) = shared.admit() else {
-            return respond_overloaded(out, shared);
-        };
-        return handle_query(rest, shared, out);
-    }
-    if verb.eq_ignore_ascii_case("TXN") {
-        match ReplicaRole::from_u8(shared.repl.role.load(Ordering::Acquire)) {
-            ReplicaRole::Leader => {}
-            ReplicaRole::Follower => {
-                return respond_err(
-                    out,
-                    "readonly",
-                    "this node is a replica: write to the leader or PROMOTE it",
-                )
-            }
-            ReplicaRole::Fenced => {
-                return respond_err(
-                    out,
-                    "fenced",
-                    &format!(
-                        "superseded by term {}; this ex-leader refuses writes",
-                        shared.repl.term.load(Ordering::Acquire)
-                    ),
-                )
-            }
-        }
-        let Some(_guard) = shared.admit() else {
-            return respond_overloaded(out, shared);
-        };
-        return handle_txn(rest, shared, write_tx, out);
-    }
     respond_err(out, "parse", &format!("unknown request `{verb}`"))
+}
+
+/// Milliseconds since the follower last heard from its leader.
+///
+/// The contact stamp is loaded FIRST: `started.elapsed()` taken after the
+/// load is ≥ every stamp recorded before it, so the subtraction cannot
+/// underflow. (The old code captured `elapsed` first, so a sync landing
+/// between the two reads made `contact > elapsed` and the saturating_sub
+/// reported a spurious 0 — or, without saturation, would have underflowed.)
+/// A sync landing after the load only makes the result an overestimate
+/// bounded by the load-to-elapsed gap, which is the safe direction for both
+/// the lease gate and the lag stat.
+fn ms_since_leader_contact(repl: &ReplState) -> u64 {
+    let contact = repl.last_contact_ms.load(Ordering::Acquire);
+    (repl.started.elapsed().as_millis() as u64).saturating_sub(contact)
 }
 
 /// Answer `STATS`: admission/commit counters plus the replication facet
@@ -839,13 +1517,12 @@ fn handle_stats(shared: &Shared, out: &mut impl Write) -> std::io::Result<()> {
     let last_seq = repl.last_seq.load(Ordering::Acquire);
     let (followers, lag_frames, lag_ms) = if repl.leader_addr.is_some() {
         // A (possibly promoted or fenced) replica: lag against its leader.
+        // `lag_ms` is ms since the last successful leader contact.
         let lag = repl
             .leader_seq
             .load(Ordering::Relaxed)
             .saturating_sub(last_seq);
-        let since_contact = (repl.started.elapsed().as_millis() as u64)
-            .saturating_sub(repl.last_contact_ms.load(Ordering::Relaxed));
-        (0u64, lag, since_contact)
+        (0u64, lag, ms_since_leader_contact(repl))
     } else {
         // A leader: worst lag over the live followers.
         let mut followers = repl.followers.lock().expect("follower map poisoned");
@@ -862,15 +1539,24 @@ fn handle_stats(shared: &Shared, out: &mut impl Write) -> std::io::Result<()> {
             .unwrap_or(0);
         (followers.len() as u64, lag_frames, lag_ms)
     };
+    let m = shared.server_metrics();
     writeln!(
         out,
         "OK epoch={} in_flight={} shed={} group_commits={group_commits} \
          group_txns={group_txns} txns_per_fsync={txns_per_fsync:.2} role={role} term={} \
-         repl_followers={followers} repl_lag_frames={lag_frames} repl_lag_ms={lag_ms}",
+         repl_followers={followers} repl_lag_frames={lag_frames} repl_lag_ms={lag_ms} \
+         reactor_wakeups={} pipelined_batches={} pipelined_requests={} max_batch_depth={} \
+         prepared_execs={} reply_cache_hits={}",
         shared.epoch.load(Ordering::Acquire),
         shared.in_flight.load(Ordering::Acquire),
         shared.shed.load(Ordering::Relaxed),
         repl.term.load(Ordering::Acquire),
+        m.reactor_wakeups,
+        m.pipelined_batches,
+        m.pipelined_requests,
+        m.max_batch_depth,
+        m.prepared_execs,
+        m.reply_cache_hits,
     )?;
     out.flush()
 }
@@ -1012,8 +1698,7 @@ fn handle_promote(shared: &Shared, out: &mut impl Write) -> std::io::Result<()> 
             ),
         ),
         ReplicaRole::Follower => {
-            let since_contact_ms = (repl.started.elapsed().as_millis() as u64)
-                .saturating_sub(repl.last_contact_ms.load(Ordering::Relaxed));
+            let since_contact_ms = ms_since_leader_contact(repl);
             let lease_ms = repl.lease_timeout.as_millis() as u64;
             if since_contact_ms < lease_ms {
                 return respond_err(
@@ -1052,8 +1737,7 @@ fn handle_promote(shared: &Shared, out: &mut impl Write) -> std::io::Result<()> 
     }
 }
 
-/// Answer a query from the current view, streaming rows with periodic
-/// deadline/cancellation checks (slow clients must not wedge shutdown).
+/// Parse and answer a `QUERY` from the current view.
 fn handle_query(text: &str, shared: &Shared, out: &mut impl Write) -> std::io::Result<()> {
     // Accept the REPL's clause syntax: a trailing period is noise here.
     let text = text.trim().trim_end_matches('.');
@@ -1061,9 +1745,15 @@ fn handle_query(text: &str, shared: &Shared, out: &mut impl Write) -> std::io::R
         Ok(query) => query,
         Err(e) => return respond_err(out, "parse", &e.to_string()),
     };
+    answer_query(&query, shared, out)
+}
+
+/// Answer an already-parsed query from the current view, with periodic
+/// deadline/cancellation checks while rendering rows.
+fn answer_query(query: &Query, shared: &Shared, out: &mut impl Write) -> std::io::Result<()> {
     let started = Instant::now();
     let view = shared.current_view();
-    let answers = view.model.answers(&query);
+    let answers = view.model.answers(query);
     let mut rendered = String::new();
     for (i, row) in answers.iter().enumerate() {
         if i % ROW_CHECK_INTERVAL == 0 && i > 0 {
@@ -1098,45 +1788,121 @@ fn handle_query(text: &str, shared: &Shared, out: &mut impl Write) -> std::io::R
     out.flush()
 }
 
-/// Parse and submit a transaction to the commit pipeline, then relay the
-/// writer's verdict.
-fn handle_txn(
-    spec: &str,
-    shared: &Shared,
-    write_tx: &mpsc::SyncSender<WriteReq>,
-    out: &mut impl Write,
-) -> std::io::Result<()> {
-    let ops = match parse_txn_ops(spec) {
-        Ok(ops) => ops,
-        Err(message) => return respond_err(out, "parse", &message),
-    };
-    let (reply_tx, reply_rx) = mpsc::channel();
-    let req = WriteReq {
-        ops,
-        reply: reply_tx,
-    };
-    // A full queue is overload, not a reason to block the connection thread.
-    if let Err(e) = write_tx.try_send(req) {
-        return match e {
-            mpsc::TrySendError::Full(_) => respond_overloaded(out, shared),
-            mpsc::TrySendError::Disconnected(_) => {
-                respond_err(out, "shutdown", "server is shutting down")
-            }
-        };
+/// Handle `PREPARE <query>`: parse once with `?` placeholders, store the
+/// statement on the connection, and reply `OK id=<id> params=<count>`.
+fn handle_prepare(conn: &mut Conn, text: &str) {
+    if conn.prepared.len() >= MAX_PREPARED_PER_CONN {
+        let _ = respond_err(
+            &mut conn.outbuf,
+            "limit",
+            &format!("connection already holds {MAX_PREPARED_PER_CONN} prepared statements"),
+        );
+        return;
     }
-    match reply_rx.recv() {
-        Ok(Ok((summary, epoch))) => {
-            writeln!(
-                out,
-                "OK asserted={} retracted={} epoch={epoch}",
-                summary.asserted, summary.retracted
-            )?;
-            out.flush()
+    match prepare_statement(text) {
+        Ok(stmt) => {
+            let id = conn.next_prepared;
+            conn.next_prepared += 1;
+            let params = stmt.params.len();
+            conn.prepared.insert(id, stmt);
+            let _ = writeln!(conn.outbuf, "OK id={id} params={params}");
         }
-        Ok(Err(error)) => respond_engine_error(out, &error),
-        // The writer died before replying — only possible mid-shutdown.
-        Err(_) => respond_err(out, "shutdown", "server is shutting down"),
+        Err(message) => {
+            let _ = respond_err(&mut conn.outbuf, "parse", &message);
+        }
     }
+}
+
+/// Compile `PREPARE` text into a [`PreparedStmt`]: each `?` outside a string
+/// literal becomes a fresh variable, the rewritten query is parsed once, and
+/// the placeholder term positions are recorded in placeholder order.
+fn prepare_statement(text: &str) -> Result<PreparedStmt, String> {
+    let src = text.trim().trim_end_matches('.').to_string();
+    let mut rewritten = String::with_capacity(src.len() + 16);
+    let mut names: Vec<String> = Vec::new();
+    let mut in_string = false;
+    for ch in src.chars() {
+        if in_string {
+            rewritten.push(ch);
+            // The lexer has no escapes: a string runs to the next `"`.
+            if ch == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match ch {
+            '"' => {
+                in_string = true;
+                rewritten.push(ch);
+            }
+            '?' => {
+                // `_Param` prefix: uppercase-or-underscore start makes it a
+                // variable; distinct from the parser's `_anon` names, and
+                // suffixed past any collision with the query's own text.
+                let mut name = format!("_Param{}", names.len());
+                while src.contains(&name) {
+                    name.push('_');
+                }
+                rewritten.push_str(&name);
+                names.push(name);
+            }
+            _ => rewritten.push(ch),
+        }
+    }
+    // Zero-placeholder statements are legal: EXEC then behaves like a cached,
+    // re-parse-free QUERY.
+    let query = parse_query(&rewritten).map_err(|e| e.to_string())?;
+    let mut params = vec![usize::MAX; names.len()];
+    for (pos, term) in query.atom.terms.iter().enumerate() {
+        if let Term::Var(symbol) = term {
+            if let Some(slot) = names.iter().position(|n| n == symbol.as_str()) {
+                if params[slot] != usize::MAX {
+                    return Err("internal: placeholder bound twice".to_string());
+                }
+                params[slot] = pos;
+            }
+        }
+    }
+    if params.contains(&usize::MAX) {
+        return Err("placeholders are only supported in term positions".to_string());
+    }
+    Ok(PreparedStmt { src, query, params })
+}
+
+/// Bind `EXEC` arguments into a prepared statement, yielding a ground-where-
+/// bound query. Arguments are parsed as constants by wrapping them in a tiny
+/// synthetic atom — the only parsing `EXEC` does.
+fn bind_prepared(stmt: &PreparedStmt, args: &str) -> Result<Query, String> {
+    let consts: Vec<Const> = if args.is_empty() {
+        Vec::new()
+    } else {
+        let parsed = parse_query(&format!("x({args})"))
+            .map_err(|e| format!("bad EXEC arguments `{args}`: {e}"))?;
+        let mut consts = Vec::with_capacity(parsed.atom.terms.len());
+        for term in &parsed.atom.terms {
+            match term {
+                Term::Const(value) => consts.push(*value),
+                Term::Var(_) => {
+                    return Err(format!(
+                        "EXEC arguments must be constants, got variable in `{args}`"
+                    ))
+                }
+            }
+        }
+        consts
+    };
+    if consts.len() != stmt.params.len() {
+        return Err(format!(
+            "prepared statement takes {} argument(s), got {}",
+            stmt.params.len(),
+            consts.len()
+        ));
+    }
+    let mut query = stmt.query.clone();
+    for (&pos, &value) in stmt.params.iter().zip(consts.iter()) {
+        query.atom.terms[pos] = Term::Const(value);
+    }
+    Ok(query)
 }
 
 /// Parse `+p(1, 2); -q(foo)` into transaction ops. Every atom must be ground.
@@ -1319,13 +2085,43 @@ pub struct StatsReply {
     /// Replication lag in wall-clock ms: time since the follower's last
     /// successful leader contact, or since the leader's stalest follower poll.
     pub repl_lag_ms: u64,
+    /// Times the reactor's poll loop woke (readiness, wake pipe, or timeout).
+    pub reactor_wakeups: u64,
+    /// Read-drain rounds that served at least one request.
+    pub pipelined_batches: u64,
+    /// Requests served across those rounds (`/ pipelined_batches` = mean
+    /// pipelining depth).
+    pub pipelined_requests: u64,
+    /// Deepest single pipelined batch seen.
+    pub max_batch_depth: u64,
+    /// `EXEC` requests served from prepared statements.
+    pub prepared_execs: u64,
+    /// Reads answered from the epoch-keyed rendered-reply cache.
+    pub reply_cache_hits: u64,
+}
+
+/// A server-side prepared statement handle, scoped to the [`Client`]
+/// connection that created it.
+#[derive(Clone, Copy, Debug)]
+pub struct Prepared {
+    /// The id `EXEC` sends.
+    pub id: u64,
+    /// Number of `?` placeholders the statement takes.
+    pub params: usize,
 }
 
 /// A line-protocol client with exponential-backoff retry for shed requests.
 /// One request in flight at a time per client (the protocol is synchronous).
+///
+/// Idempotent reads ([`Client::query`]) transparently reconnect and retry
+/// once when the connection drops; writes ([`Client::txn`]) never do — a
+/// dropped connection mid-commit leaves the outcome unknown, and a blind
+/// retry could double-apply.
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    /// The server's resolved address, kept for reconnects.
+    addr: SocketAddr,
 }
 
 impl Client {
@@ -1333,13 +2129,26 @@ impl Client {
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
         let stream = TcpStream::connect(addr).map_err(|e| ClientError::Io(e.to_string()))?;
         stream.set_nodelay(true).ok();
+        let addr = stream
+            .peer_addr()
+            .map_err(|e| ClientError::Io(e.to_string()))?;
         let reader = stream
             .try_clone()
             .map_err(|e| ClientError::Io(e.to_string()))?;
         Ok(Client {
             reader: BufReader::new(reader),
             writer: stream,
+            addr,
         })
+    }
+
+    /// Replace the dropped connection with a fresh one to the same address.
+    /// Connection-scoped state (prepared statements) does not survive.
+    fn reconnect(&mut self) -> Result<(), ClientError> {
+        let fresh = Client::connect(self.addr)?;
+        self.reader = fresh.reader;
+        self.writer = fresh.writer;
+        Ok(())
     }
 
     /// Connect with exponential backoff — for races against a server that is
@@ -1409,8 +2218,26 @@ impl Client {
 
     /// Run one query; rows come back rendered exactly as the server printed
     /// them (parseable constant syntax, comma-separated).
+    ///
+    /// Queries are idempotent, so a dropped connection is repaired by one
+    /// transparent reconnect-and-retry before the error surfaces.
     pub fn query(&mut self, atom: &str) -> Result<QueryReply, ClientError> {
+        match self.query_once(atom) {
+            Err(ClientError::Io(_)) => {
+                self.reconnect()?;
+                self.query_once(atom)
+            }
+            other => other,
+        }
+    }
+
+    fn query_once(&mut self, atom: &str) -> Result<QueryReply, ClientError> {
         self.send_line(&format!("QUERY {atom}"))?;
+        self.read_query_reply()
+    }
+
+    /// Read `ROW …` lines up to the `OK rows=… epoch=…` verdict.
+    fn read_query_reply(&mut self) -> Result<QueryReply, ClientError> {
         let mut rows = Vec::new();
         loop {
             let line = self.read_reply_line()?;
@@ -1424,7 +2251,37 @@ impl Client {
         }
     }
 
+    /// `PREPARE` a query with `?` placeholders; [`Client::exec`] binds them.
+    /// The statement lives on this connection — a reconnect discards it.
+    pub fn prepare(&mut self, query: &str) -> Result<Prepared, ClientError> {
+        self.send_line(&format!("PREPARE {query}"))?;
+        let line = self.read_reply_line()?;
+        let fields = Self::expect_ok(&line)?;
+        Ok(Prepared {
+            id: Self::parse_field(fields, "id")?,
+            params: Self::parse_field(fields, "params")? as usize,
+        })
+    }
+
+    /// `EXEC` a prepared statement with comma-separated constant arguments
+    /// (e.g. `"0, foo"`; empty string for zero-parameter statements).
+    ///
+    /// No transparent reconnect: prepared statements are connection-scoped,
+    /// so after a drop the id no longer exists — re-`PREPARE` instead.
+    pub fn exec(&mut self, stmt: Prepared, args: &str) -> Result<QueryReply, ClientError> {
+        if args.is_empty() {
+            self.send_line(&format!("EXEC {}", stmt.id))?;
+        } else {
+            self.send_line(&format!("EXEC {} {args}", stmt.id))?;
+        }
+        self.read_query_reply()
+    }
+
     /// Commit a transaction, e.g. `"+e(1, 2); -e(0, 1)"`.
+    ///
+    /// Never reconnects on I/O errors: the transaction may have committed
+    /// before the drop, and blindly retrying could double-apply it. Callers
+    /// who know their ops are idempotent can reconnect and retry themselves.
     pub fn txn(&mut self, spec: &str) -> Result<TxnReply, ClientError> {
         self.send_line(&format!("TXN {spec}"))?;
         let line = self.read_reply_line()?;
@@ -1501,6 +2358,12 @@ impl Client {
             repl_followers: Self::parse_field(fields, "repl_followers")?,
             repl_lag_frames: Self::parse_field(fields, "repl_lag_frames")?,
             repl_lag_ms: Self::parse_field(fields, "repl_lag_ms")?,
+            reactor_wakeups: Self::parse_field(fields, "reactor_wakeups")?,
+            pipelined_batches: Self::parse_field(fields, "pipelined_batches")?,
+            pipelined_requests: Self::parse_field(fields, "pipelined_requests")?,
+            max_batch_depth: Self::parse_field(fields, "max_batch_depth")?,
+            prepared_execs: Self::parse_field(fields, "prepared_execs")?,
+            reply_cache_hits: Self::parse_field(fields, "reply_cache_hits")?,
         })
     }
 
@@ -1763,5 +2626,183 @@ mod tests {
         assert!(parse_txn_ops("e(1, 2)").is_err());
         assert!(parse_txn_ops("+e(X, 2)").is_err(), "non-ground atom");
         assert!(parse_txn_ops("+e(1, ").is_err());
+    }
+
+    #[test]
+    fn pipelined_requests_answer_in_order_from_one_packet() {
+        let handle = serve(tc_engine(4), "127.0.0.1:0", quick_options()).unwrap();
+        let mut stream = std::net::TcpStream::connect(handle.addr()).unwrap();
+        stream.set_nodelay(true).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        // Five requests in ONE write: the reactor must serve all of them
+        // before re-arming, and the replies must come back in request order.
+        stream
+            .write_all(b"PING\nQUERY t(0, Y)\nEPOCH\nQUERY t(3, Y)\nPING\n")
+            .unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut lines = Vec::new();
+        while lines.len() < 8 {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            lines.push(line.trim_end().to_string());
+        }
+        assert_eq!(
+            lines,
+            vec![
+                "OK pong",
+                "ROW 1",
+                "ROW 2",
+                "ROW 3",
+                "ROW 4",
+                "OK rows=4 epoch=0",
+                "OK epoch=0",
+                "ROW 4",
+            ]
+        );
+        let metrics = handle.server_metrics();
+        assert!(metrics.pipelined_batches >= 1);
+        assert!(
+            metrics.max_batch_depth >= 5,
+            "five requests in one packet should drain as one batch: {metrics:?}"
+        );
+        handle.shutdown();
+    }
+
+    #[test]
+    fn prepare_exec_binds_placeholders_without_reparsing() {
+        let handle = serve(tc_engine(4), "127.0.0.1:0", quick_options()).unwrap();
+        let mut client = Client::connect(handle.addr()).unwrap();
+
+        let stmt = client.prepare("t(?, Y)").unwrap();
+        assert_eq!(stmt.params, 1);
+        // The same statement serves different constants (rebinding).
+        assert_eq!(
+            client.exec(stmt, "0").unwrap().rows,
+            vec!["1", "2", "3", "4"]
+        );
+        assert_eq!(client.exec(stmt, "2").unwrap().rows, vec!["3", "4"]);
+
+        // Zero-parameter statements are legal; a miss is an empty row set.
+        let all = client.prepare("t(X, Y)").unwrap();
+        assert_eq!(all.params, 0);
+        assert_eq!(client.exec(all, "").unwrap().rows.len(), 10);
+        assert!(client.exec(stmt, "99").unwrap().rows.is_empty());
+
+        // Structured errors: wrong arity, variables as args, unknown id.
+        let err = client.exec(stmt, "1, 2").unwrap_err();
+        assert!(matches!(err, ClientError::Server { ref code, .. } if code == "parse"));
+        let err = client.exec(stmt, "X").unwrap_err();
+        assert!(matches!(err, ClientError::Server { ref code, .. } if code == "parse"));
+        let err = client
+            .exec(Prepared { id: 999, params: 0 }, "")
+            .unwrap_err();
+        assert!(matches!(err, ClientError::Server { ref code, .. } if code == "parse"));
+
+        // Placeholders inside string literals are literal text, not params.
+        let lit = client.prepare("t(?, \"a?b\")").unwrap();
+        assert_eq!(lit.params, 1);
+
+        // EXEC results track the live view across commits.
+        client.txn("+e(4, 5)").unwrap();
+        assert_eq!(
+            client.exec(stmt, "0").unwrap().rows,
+            vec!["1", "2", "3", "4", "5"]
+        );
+
+        let stats = client.stats().unwrap();
+        assert!(stats.prepared_execs >= 7, "stats: {stats:?}");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn repeated_reads_hit_the_reply_cache_until_the_epoch_moves() {
+        let handle = serve(tc_engine(4), "127.0.0.1:0", quick_options()).unwrap();
+        let mut client = Client::connect(handle.addr()).unwrap();
+        let first = client.query("t(0, Y)").unwrap();
+        let second = client.query("t(0, Y)").unwrap();
+        assert_eq!(first.rows, second.rows);
+        assert!(
+            client.stats().unwrap().reply_cache_hits >= 1,
+            "identical queries in one epoch must share a rendered reply"
+        );
+        // A commit moves the epoch; the cached reply must NOT be served stale.
+        client.txn("+e(4, 5)").unwrap();
+        let third = client.query("t(0, Y)").unwrap();
+        assert_eq!(third.rows, vec!["1", "2", "3", "4", "5"]);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn query_reconnects_once_after_a_dropped_connection_but_txn_refuses() {
+        let handle = serve(tc_engine(3), "127.0.0.1:0", quick_options()).unwrap();
+
+        // QUIT makes the server close this connection while staying up — the
+        // cheapest honest stand-in for a broken TCP session.
+        let mut client = Client::connect(handle.addr()).unwrap();
+        client.send_line("QUIT").unwrap();
+        assert_eq!(client.read_reply_line().unwrap(), "OK bye");
+        let reply = client.query("t(0, Y)").unwrap();
+        assert_eq!(reply.rows, vec!["1", "2", "3"], "query must reconnect");
+
+        // Writes never silently retry: the commit may have landed.
+        let mut client = Client::connect(handle.addr()).unwrap();
+        client.send_line("QUIT").unwrap();
+        assert_eq!(client.read_reply_line().unwrap(), "OK bye");
+        let err = client.txn("+e(7, 8)").unwrap_err();
+        assert!(
+            matches!(err, ClientError::Io(_)),
+            "txn on a dropped connection surfaces the I/O error: {err}"
+        );
+        handle.shutdown();
+    }
+
+    #[test]
+    fn follower_lag_never_underflows_when_contact_lands_mid_read() {
+        let repl = ReplState {
+            role: AtomicU8::new(ReplicaRole::Follower.as_u8()),
+            term: AtomicU64::new(0),
+            last_seq: AtomicU64::new(0),
+            leader_seq: AtomicU64::new(0),
+            last_contact_ms: AtomicU64::new(0),
+            started: Instant::now(),
+            lease_timeout: Duration::from_secs(1),
+            followers: Mutex::new(HashMap::new()),
+            data_dir: None,
+            leader_addr: Some("127.0.0.1:1".to_string()),
+        };
+        // A sync thread hammers the contact stamp while readers compute lag:
+        // with the stamp loaded before the elapsed capture, lag can never be
+        // a giant underflow and stays bounded by the loop's runtime.
+        std::thread::scope(|scope| {
+            let writer = scope.spawn(|| {
+                let deadline = Instant::now() + Duration::from_millis(120);
+                while Instant::now() < deadline {
+                    let now = repl.started.elapsed().as_millis() as u64;
+                    repl.last_contact_ms.store(now, Ordering::Release);
+                }
+            });
+            while !writer.is_finished() {
+                let lag = ms_since_leader_contact(&repl);
+                assert!(
+                    lag < 10_000,
+                    "lag must track the (sub-second) test duration, got {lag}"
+                );
+            }
+        });
+    }
+
+    #[test]
+    fn prepare_statement_rejects_placeholders_outside_term_positions() {
+        assert!(prepare_statement("t(?, Y)").is_ok());
+        assert!(prepare_statement("t(??, Y)").is_err(), "?? is not a term");
+        assert!(prepare_statement("?(X, Y)").is_err(), "predicate position");
+        let stmt = prepare_statement("t(?, ?)").unwrap();
+        assert_eq!(stmt.params.len(), 2);
+        let bound = bind_prepared(&stmt, "1, 2").unwrap();
+        assert_eq!(bound.atom.terms.len(), 2);
+        assert!(bound.atom.terms.iter().all(|t| !t.is_var()));
+        assert!(bind_prepared(&stmt, "1").is_err(), "arity mismatch");
     }
 }

@@ -65,9 +65,9 @@ pub mod prelude {
     pub use factorlog_engine::{
         serve, serve_follower, CancelToken, Client, ClientError, CompactionFault,
         DurabilityOptions, Engine, EngineError, FaultAction, FaultInjector, FaultSite, LimitReason,
-        QueryReply, RecoveryReport, Repl, ReplAction, Replica, ReplicaRole, ReplicaStatus,
-        ReplicationOptions, ServeError, ServerHandle, ServerOptions, ShutdownReport, Snapshot,
-        StatsReply, SyncReport, Txn, TxnReply, TxnSummary,
+        Prepared, QueryReply, RecoveryReport, Repl, ReplAction, Replica, ReplicaRole,
+        ReplicaStatus, ReplicationOptions, ServeError, ServerHandle, ServerMetrics, ServerOptions,
+        ShutdownReport, Snapshot, StatsReply, SyncReport, Txn, TxnReply, TxnSummary,
     };
 }
 
