@@ -54,8 +54,15 @@ impl PollFd {
     }
 }
 
+/// `nfds_t`: `unsigned long` on Linux, `unsigned int` on the BSD family
+/// (including macOS).
+#[cfg(any(target_os = "linux", target_os = "android"))]
+type NfdsT = std::os::raw::c_ulong;
+#[cfg(not(any(target_os = "linux", target_os = "android")))]
+type NfdsT = std::os::raw::c_uint;
+
 extern "C" {
-    fn poll(fds: *mut PollFd, nfds: u64, timeout: i32) -> i32;
+    fn poll(fds: *mut PollFd, nfds: NfdsT, timeout: i32) -> i32;
     fn pipe(fds: *mut RawFd) -> i32;
     fn read(fd: RawFd, buf: *mut u8, count: usize) -> isize;
     fn write(fd: RawFd, buf: *const u8, count: usize) -> isize;
@@ -65,13 +72,41 @@ extern "C" {
 
 const F_GETFL: i32 = 3;
 const F_SETFL: i32 = 4;
+// `O_NONBLOCK` differs per platform; a wrong value makes `fcntl` silently set
+// the wrong flag, sockets stay blocking, and the single-threaded reactor
+// wedges on the first slow peer — so refuse to compile on targets we have not
+// checked rather than guess.
+#[cfg(any(target_os = "linux", target_os = "android"))]
 const O_NONBLOCK: i32 = 0x800;
+#[cfg(any(
+    target_os = "macos",
+    target_os = "ios",
+    target_os = "freebsd",
+    target_os = "netbsd",
+    target_os = "openbsd",
+    target_os = "dragonfly"
+))]
+const O_NONBLOCK: i32 = 0x4;
+#[cfg(not(any(
+    target_os = "linux",
+    target_os = "android",
+    target_os = "macos",
+    target_os = "ios",
+    target_os = "freebsd",
+    target_os = "netbsd",
+    target_os = "openbsd",
+    target_os = "dragonfly"
+)))]
+compile_error!(
+    "reactor FFI shim: O_NONBLOCK/nfds_t are not verified for this target OS; \
+     add the platform's values before building"
+);
 
 /// Block until at least one descriptor is ready or `timeout_ms` elapses
 /// (`-1` = forever). Returns the number of ready descriptors (0 on timeout);
 /// `EINTR` is surfaced as `Ok(0)` so signal delivery just re-runs the loop.
 pub fn poll_fds(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
-    let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as u64, timeout_ms) };
+    let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as NfdsT, timeout_ms) };
     if rc >= 0 {
         return Ok(rc as usize);
     }

@@ -99,9 +99,15 @@ const REACTOR_POLL_MS: i32 = 100;
 /// Bytes the reactor reads per `read(2)` on a ready connection.
 const READ_CHUNK: usize = 16 * 1024;
 
-/// Hard cap on one connection's unparsed request bytes: a line that never
-/// terminates is a protocol violation, not a reason to buffer without bound.
+/// Hard cap on a single request line. An unterminated (or terminated) line
+/// longer than this is a protocol violation; a *backlog* of complete
+/// pipelined requests larger than this is load, answered with backpressure
+/// (stop reading until the backlog drains), never with a close.
 const MAX_REQUEST_BYTES: usize = 1 << 20;
+
+/// How long the reactor leaves the listener out of the poll set after a
+/// persistent `accept` error (e.g. `EMFILE`).
+const ACCEPT_BACKOFF_MS: u64 = 50;
 
 /// Most prepared statements one connection may hold at once.
 const MAX_PREPARED_PER_CONN: usize = 64;
@@ -335,8 +341,12 @@ impl Shared {
     }
 
     fn publish(&self, view: View) {
-        self.epoch.store(view.epoch, Ordering::Release);
+        // View first, epoch second: the epoch atomic must never run ahead of
+        // the view a reader can observe, or a reply rendered from the old
+        // view could be filed under the new epoch (stale-reply poisoning).
+        let epoch = view.epoch;
         *self.view.write().expect("view lock poisoned") = Arc::new(view);
+        self.epoch.store(epoch, Ordering::Release);
     }
 
     /// Admission control: take one in-flight slot if under the cap; count the
@@ -949,6 +959,10 @@ struct Reactor {
     /// Scratch: rendered reply of the request being served (moved to the
     /// conn's outbuf, optionally copied into the cache).
     scratch: Vec<u8>,
+    /// Set after a persistent `accept` error (e.g. `EMFILE`): the listener is
+    /// left out of the poll set until this instant, so a readable listener we
+    /// cannot accept from does not spin the reactor.
+    accept_backoff_until: Option<Instant>,
 }
 
 impl Reactor {
@@ -967,6 +981,7 @@ impl Reactor {
             next_conn: 1,
             cache: ReplyCache::new(),
             scratch: Vec::new(),
+            accept_backoff_until: None,
         }
     }
 
@@ -980,14 +995,30 @@ impl Reactor {
             fds.clear();
             fd_conns.clear();
             fds.push(PollFd::new(self.completions.pipe.poll_fd(), POLL_IN));
-            let listener_slot = if stopping {
-                usize::MAX
-            } else {
+            let accepting = !stopping
+                && match self.accept_backoff_until {
+                    Some(until) if Instant::now() < until => false,
+                    _ => {
+                        self.accept_backoff_until = None;
+                        true
+                    }
+                };
+            let listener_slot = if accepting {
                 fds.push(PollFd::new(self.listener.as_raw_fd(), POLL_IN));
                 1
+            } else {
+                usize::MAX
             };
             for (&id, conn) in &self.conns {
-                let mut events = POLL_IN;
+                // No POLL_IN for a closing conn (unread inbound bytes would
+                // make every poll return instantly while we wait out a slow
+                // reader's flush) or while the inbuf backlog is over the cap
+                // (backpressure: drain before reading more). Error/hangup
+                // conditions are reported even with no requested events.
+                let mut events = 0;
+                if !conn.closing && conn.inbuf.len() <= MAX_REQUEST_BYTES {
+                    events |= POLL_IN;
+                }
                 if conn.outpos < conn.outbuf.len() {
                     events |= POLL_OUT;
                 }
@@ -1073,7 +1104,14 @@ impl Reactor {
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-                Err(_) => break,
+                Err(_) => {
+                    // Persistent failure (EMFILE and kin): the listener stays
+                    // readable, so back off briefly instead of re-polling it
+                    // into a busy loop.
+                    self.accept_backoff_until =
+                        Some(Instant::now() + Duration::from_millis(ACCEPT_BACKOFF_MS));
+                    break;
+                }
             }
         }
     }
@@ -1092,7 +1130,16 @@ impl Reactor {
                 }
                 Ok(n) => {
                     conn.inbuf.extend_from_slice(&buf[..n]);
-                    if conn.inbuf.len() > MAX_REQUEST_BYTES {
+                    // The limit is per LINE, not per buffer: only an
+                    // unterminated line longer than the cap is a protocol
+                    // violation. A backlog of complete pipelined requests is
+                    // load, not a violation — stop reading and let
+                    // `serve_buffered` drain it (backpressure), then resume.
+                    let partial = match conn.inbuf.iter().rposition(|&b| b == b'\n') {
+                        Some(nl) => conn.inbuf.len() - nl - 1,
+                        None => conn.inbuf.len(),
+                    };
+                    if partial > MAX_REQUEST_BYTES {
                         let _ = respond_err(
                             &mut conn.outbuf,
                             "parse",
@@ -1100,6 +1147,9 @@ impl Reactor {
                         );
                         conn.closing = true;
                         conn.inbuf.clear();
+                        break;
+                    }
+                    if conn.inbuf.len() > MAX_REQUEST_BYTES {
                         break;
                     }
                     if n < buf.len() {
@@ -1135,6 +1185,19 @@ impl Reactor {
             let Some(nl) = conn.inbuf[consumed..].iter().position(|&b| b == b'\n') else {
                 break;
             };
+            if nl > MAX_REQUEST_BYTES {
+                // A terminated line can slip past the partial-line check in
+                // `read_and_serve` when its newline lands in the same read
+                // chunk that pushes it over the cap.
+                let _ = respond_err(
+                    &mut conn.outbuf,
+                    "parse",
+                    "request exceeds the 1 MiB line limit",
+                );
+                conn.closing = true;
+                consumed = conn.inbuf.len();
+                break;
+            }
             let raw = &conn.inbuf[consumed..consumed + nl];
             consumed += nl + 1;
             line.clear();
@@ -1195,8 +1258,8 @@ impl Reactor {
                 return;
             }
             let text = rest.trim().trim_end_matches('.');
-            self.serve_cached(conn_id, &format!("QUERY\u{1}{text}"), |shared, out| {
-                handle_query(text, shared, out)
+            self.serve_cached(conn_id, &format!("QUERY\u{1}{text}"), |shared, view, out| {
+                handle_query(text, shared, view, out)
             });
             return;
         }
@@ -1222,9 +1285,16 @@ impl Reactor {
         &mut self,
         conn_id: u64,
         key: &str,
-        render: impl FnOnce(&Shared, &mut Vec<u8>) -> std::io::Result<()>,
+        render: impl FnOnce(&Shared, &View, &mut Vec<u8>) -> std::io::Result<()>,
     ) {
-        let epoch = self.shared.epoch.load(Ordering::Acquire);
+        // Snapshot the view ONCE and key the cache by ITS epoch. Loading the
+        // epoch atomic separately races with `publish`: a reply rendered from
+        // the old view could be cached under the new epoch and served stale
+        // for the rest of that epoch, breaking read-your-writes after a TXN
+        // ack (`OK … epoch=E` promises the write is visible at every epoch
+        // >= E).
+        let view = self.shared.current_view();
+        let epoch = view.epoch;
         if let Some(reply) = self.cache.lookup(epoch, key) {
             self.shared
                 .counters
@@ -1238,7 +1308,7 @@ impl Reactor {
         }
         self.scratch.clear();
         let mut scratch = std::mem::take(&mut self.scratch);
-        let _ = render(&self.shared, &mut scratch);
+        let _ = render(&self.shared, &view, &mut scratch);
         if let Some(conn) = self.conns.get_mut(&conn_id) {
             conn.outbuf.extend_from_slice(&scratch);
         }
@@ -1290,8 +1360,8 @@ impl Reactor {
             .counters
             .prepared_execs
             .fetch_add(1, Ordering::Relaxed);
-        self.serve_cached(conn_id, &key, move |shared, out| match bound {
-            Ok(query) => answer_query(&query, shared, out),
+        self.serve_cached(conn_id, &key, move |shared, view, out| match bound {
+            Ok(query) => answer_query(&query, shared, view, out),
             Err(message) => respond_err(out, "parse", &message),
         });
     }
@@ -1738,21 +1808,31 @@ fn handle_promote(shared: &Shared, out: &mut impl Write) -> std::io::Result<()> 
 }
 
 /// Parse and answer a `QUERY` from the current view.
-fn handle_query(text: &str, shared: &Shared, out: &mut impl Write) -> std::io::Result<()> {
+fn handle_query(
+    text: &str,
+    shared: &Shared,
+    view: &View,
+    out: &mut impl Write,
+) -> std::io::Result<()> {
     // Accept the REPL's clause syntax: a trailing period is noise here.
     let text = text.trim().trim_end_matches('.');
     let query = match parse_query(text) {
         Ok(query) => query,
         Err(e) => return respond_err(out, "parse", &e.to_string()),
     };
-    answer_query(&query, shared, out)
+    answer_query(&query, shared, view, out)
 }
 
-/// Answer an already-parsed query from the current view, with periodic
+/// Answer an already-parsed query from the caller's view snapshot (whose
+/// epoch keys the reply cache — see [`Reactor::serve_cached`]), with periodic
 /// deadline/cancellation checks while rendering rows.
-fn answer_query(query: &Query, shared: &Shared, out: &mut impl Write) -> std::io::Result<()> {
+fn answer_query(
+    query: &Query,
+    shared: &Shared,
+    view: &View,
+    out: &mut impl Write,
+) -> std::io::Result<()> {
     let started = Instant::now();
-    let view = shared.current_view();
     let answers = view.model.answers(query);
     let mut rendered = String::new();
     for (i, row) in answers.iter().enumerate() {
@@ -2791,6 +2871,43 @@ mod tests {
                 );
             }
         });
+    }
+
+    /// Publish order pins the reply-cache's correctness: the epoch atomic
+    /// must never run ahead of the readable view, or a reply rendered from
+    /// the old view could be cached under the new epoch and served stale for
+    /// the rest of that epoch (breaking read-your-writes after a TXN ack).
+    #[test]
+    fn publish_never_lets_the_epoch_atomic_run_ahead_of_the_view() {
+        let handle = serve(tc_engine(2), "127.0.0.1:0", quick_options()).unwrap();
+        let shared = handle.shared.clone();
+        let stop = Arc::new(AtomicBool::new(false));
+        let observer = {
+            let shared = shared.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Acquire) {
+                    let epoch = shared.epoch.load(Ordering::Acquire);
+                    let view = shared.current_view();
+                    assert!(
+                        view.epoch >= epoch,
+                        "observed view at epoch {} behind the epoch atomic ({epoch}): \
+                         a reply rendered now could be cached under an epoch it \
+                         does not reflect",
+                        view.epoch
+                    );
+                }
+            })
+        };
+        let mut client = Client::connect(handle.addr()).unwrap();
+        for i in 0..100 {
+            client
+                .txn(&format!("+e({}, {})", 500 + i, 501 + i))
+                .unwrap();
+        }
+        stop.store(true, Ordering::Release);
+        observer.join().expect("no stale-epoch observation");
+        handle.shutdown();
     }
 
     #[test]

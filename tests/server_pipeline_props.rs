@@ -214,6 +214,65 @@ fn pipelined_txn_then_query_replies_in_request_order() {
     );
 }
 
+/// A >1 MiB burst of small pipelined requests is load, not a protocol
+/// violation: every request must be answered, with backpressure while the
+/// backlog drains — never a "line limit" close. The leading TXN (plus a wide
+/// group window) pauses draining behind the commit pipeline, forcing the
+/// backlog to genuinely accumulate past the cap in the connection's buffer.
+#[test]
+fn megabyte_of_pipelined_requests_is_backpressured_not_killed() {
+    let opts = ServerOptions {
+        group_window: Duration::from_millis(150),
+        drain_timeout: Duration::from_secs(5),
+        ..ServerOptions::default()
+    };
+    let handle = serve(tc_engine(3), "127.0.0.1:0", opts).expect("serve");
+    let (mut stream, mut reader) = connect(handle.addr());
+
+    const PINGS: usize = 250_000; // "PING\n" is 5 bytes: 1.25 MiB, past the 1 MiB line cap
+    let mut bytes = Vec::with_capacity(PINGS * 5 + 32);
+    bytes.extend_from_slice(b"TXN +e(700, 701)\n");
+    for _ in 0..PINGS {
+        bytes.extend_from_slice(b"PING\n");
+    }
+    stream.write_all(&bytes).expect("burst writes");
+    stream.flush().expect("burst flushes");
+
+    assert_eq!(
+        read_one_reply(&mut reader),
+        vec!["OK asserted=1 retracted=0 epoch=1"]
+    );
+    for i in 0..PINGS {
+        let reply = read_one_reply(&mut reader);
+        assert_eq!(reply, vec!["OK pong"], "ping {i} of {PINGS} lost or mangled");
+    }
+    handle.shutdown();
+}
+
+/// The per-LINE cap still holds: a single request line longer than 1 MiB is
+/// a protocol violation answered with a structured parse error and a close.
+#[test]
+fn oversized_single_line_still_closes_the_connection() {
+    let handle = serve(tc_engine(3), "127.0.0.1:0", server_opts()).expect("serve");
+    let (mut stream, mut reader) = connect(handle.addr());
+    // One byte past the cap, no terminator: the server consumes every byte
+    // before deciding, so the error reply is delivered before the close.
+    let line = vec![b'x'; (1 << 20) + 1];
+    stream.write_all(&line).expect("oversized line writes");
+    stream.flush().expect("flushes");
+
+    let mut reply = String::new();
+    reader.read_line(&mut reply).expect("error line reads");
+    assert!(
+        reply.starts_with("ERR parse"),
+        "oversized line must get a structured parse error, got {reply:?}"
+    );
+    let mut rest = String::new();
+    let n = reader.read_line(&mut rest).unwrap_or(0);
+    assert_eq!(n, 0, "connection must be closed after the violation");
+    handle.shutdown();
+}
+
 /// The reactor's scalability contract: hundreds of connections are pollfd
 /// entries in ONE thread, not a thread each. 256+ idle connections must leave
 /// the process thread count untouched and the server responsive.
